@@ -1,0 +1,66 @@
+//! Criterion: NFA match-operator throughput (C4 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gesto_bench::{learn_gesture, perform};
+use gesto_cep::Engine;
+use gesto_kinect::{frames_to_tuples, gestures, kinect_schema, NoiseModel, Persona, KINECT_STREAM};
+use gesto_learn::query_gen::{generate_query, QueryStyle};
+use gesto_learn::LearnerConfig;
+use gesto_transform::standard_catalog;
+
+fn workload() -> Vec<gesto_stream::Tuple> {
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let frames = perform(&gestures::swipe_right(), &persona, 1);
+    frames_to_tuples(&frames, &kinect_schema())
+}
+
+fn bench_queries_scaling(c: &mut Criterion) {
+    let tuples = workload();
+    let specs = [
+        gestures::swipe_right(),
+        gestures::swipe_up(),
+        gestures::push(),
+        gestures::circle(),
+    ];
+    let mut group = c.benchmark_group("nfa/deployed_queries");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    for n in [1usize, 4, 16] {
+        let engine = Engine::new(standard_catalog());
+        for i in 0..n {
+            let mut def =
+                learn_gesture(&specs[i % specs.len()], 2, i as u64, LearnerConfig::default());
+            def.name = format!("g{i}");
+            engine
+                .deploy(generate_query(&def, QueryStyle::TransformedView))
+                .unwrap();
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                engine.run_batch(KINECT_STREAM, &tuples).unwrap();
+                engine.reset_runs();
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_query_detection(c: &mut Criterion) {
+    let tuples = workload();
+    let def = learn_gesture(&gestures::swipe_right(), 3, 50, LearnerConfig::default());
+    let engine = Engine::new(standard_catalog());
+    engine
+        .deploy(generate_query(&def, QueryStyle::TransformedView))
+        .unwrap();
+    let mut group = c.benchmark_group("nfa/single_query");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("swipe_detection", |b| {
+        b.iter(|| {
+            engine.run_batch(KINECT_STREAM, &tuples).unwrap();
+            engine.reset_runs();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries_scaling, bench_single_query_detection);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion: query parsing and generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gesto_bench::learn_gesture;
+use gesto_cep::{fixtures::FIG1_QUERY, parse_query};
+use gesto_kinect::gestures;
+use gesto_learn::query_gen::{generate_query_text, QueryStyle};
+use gesto_learn::LearnerConfig;
+
+fn bench_parse_fig1(c: &mut Criterion) {
+    c.bench_function("parser/fig1_query", |b| {
+        b.iter(|| parse_query(FIG1_QUERY).unwrap())
+    });
+}
+
+fn bench_generate_and_parse(c: &mut Criterion) {
+    let def = learn_gesture(&gestures::circle(), 3, 0, LearnerConfig::default());
+    c.bench_function("querygen/circle_text", |b| {
+        b.iter(|| generate_query_text(&def, QueryStyle::TransformedView))
+    });
+    let text = generate_query_text(&def, QueryStyle::TransformedView);
+    c.bench_function("parser/generated_circle", |b| {
+        b.iter(|| parse_query(&text).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_parse_fig1, bench_generate_and_parse);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion: learner pipeline costs — distance-based sampling and
+//! incremental merging (E4 companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gesto_bench::{perform, transform_frames};
+use gesto_kinect::{gestures, NoiseModel, Persona};
+use gesto_learn::merging::{MergeConfig, MergeState};
+use gesto_learn::sampling::{sample_path, CentroidMode, Strategy};
+use gesto_learn::{GestureSample, JointSet, Metric, PathPoint, Threshold};
+
+fn path_of(len: usize) -> Vec<PathPoint> {
+    (0..len)
+        .map(|i| {
+            let t = i as f64 / len as f64;
+            PathPoint::new(
+                i as i64 * 33,
+                vec![
+                    800.0 * t,
+                    150.0 + 80.0 * (t * std::f64::consts::TAU).sin(),
+                    -120.0 - 300.0 * (t * std::f64::consts::PI).sin(),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learner/sampling");
+    for len in [30usize, 150, 600, 3000] {
+        let path = path_of(len);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &path, |b, path| {
+            b.iter(|| {
+                sample_path(
+                    path,
+                    Strategy::DistanceBased {
+                        metric: Metric::Euclidean,
+                        threshold: Threshold::RelativePathFraction(0.22),
+                        centroid: CentroidMode::Reference,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    // Realistic characteristic-point sequences from the simulator.
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let joints = JointSet::right_hand();
+    let samples: Vec<Vec<PathPoint>> = (0..8u64)
+        .map(|seed| {
+            let frames = transform_frames(&perform(&gestures::swipe_right(), &persona, seed));
+            let sample = GestureSample::from_frames(&frames, &joints);
+            sample_path(&sample.points, Strategy::default())
+        })
+        .collect();
+
+    c.bench_function("learner/merge_8_samples", |b| {
+        b.iter(|| {
+            let mut m = MergeState::new(MergeConfig::default());
+            for s in &samples {
+                m.add_sample(s);
+            }
+            m.windows().len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_sampling, bench_merge);
+criterion_main!(benches);

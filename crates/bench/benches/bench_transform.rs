@@ -1,0 +1,46 @@
+//! Criterion: kinect_t transformation throughput (C5 — the §3.2
+//! single-pass claim: must sustain far beyond the 30 Hz sensor rate).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gesto_bench::perform;
+use gesto_kinect::{frames_to_tuples, gestures, kinect_schema, NoiseModel, Persona};
+use gesto_transform::{TransformConfig, Transformer};
+
+fn bench_transform_frames(c: &mut Criterion) {
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let frames = perform(&gestures::circle(), &persona, 1);
+    let mut group = c.benchmark_group("transform");
+    group.throughput(Throughput::Elements(frames.len() as u64));
+    group.bench_function("frames", |b| {
+        b.iter(|| {
+            let mut tr = Transformer::new(TransformConfig::default());
+            frames
+                .iter()
+                .filter_map(|f| tr.transform_frame(f))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_view_operator(c: &mut Criterion) {
+    // Through the catalog view factory (tuple -> frame -> tuple), the
+    // path the engine actually takes.
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let frames = perform(&gestures::circle(), &persona, 1);
+    let tuples = frames_to_tuples(&frames, &kinect_schema());
+    let catalog = gesto_transform::standard_catalog();
+    let view = catalog.view(gesto_transform::KINECT_T).unwrap();
+    let mut group = c.benchmark_group("transform");
+    group.throughput(Throughput::Elements(tuples.len() as u64));
+    group.bench_function("view_operator", |b| {
+        b.iter(|| {
+            let mut op = (view.factory)();
+            gesto_stream::run_operator(op.as_mut(), &tuples).len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transform_frames, bench_view_operator);
+criterion_main!(benches);

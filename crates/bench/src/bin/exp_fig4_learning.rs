@@ -1,0 +1,112 @@
+//! E4 — Fig. 4: distance-based sampling and window merging, quantified.
+//!
+//! (a) number of mined windows vs the `max_dist` threshold (Fig. 4 top);
+//! (b) MBR growth and outlier warnings as samples merge (Fig. 4 bottom);
+//! (c) the resulting window table in the style of the Fig. 2 gesture
+//!     database panel.
+
+use gesto_bench::{perform, transform_frames, Table};
+use gesto_kinect::{gestures, NoiseModel, Persona};
+use gesto_learn::sampling::{sample_path, CentroidMode, Strategy};
+use gesto_learn::{
+    GestureSample, JointSet, Learner, LearnerConfig, MergeWarning, Metric, Threshold,
+};
+
+fn main() {
+    println!("E4 / Fig. 4 — distance-based sampling & window merging");
+    println!("========================================================\n");
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let joints = JointSet::right_hand();
+
+    // (a) threshold sweep on one swipe sample.
+    let frames = transform_frames(&perform(&gestures::swipe_right(), &persona, 1));
+    let sample = GestureSample::from_frames(&frames, &joints);
+    println!(
+        "(a) windows vs max_dist threshold — one swipe sample, {} readings",
+        sample.len()
+    );
+    let mut table = Table::new(&["max_dist (% of path)", "windows", "compression"]);
+    for fraction in [0.05, 0.08, 0.1, 0.15, 0.22, 0.3, 0.4, 0.6] {
+        let pts = sample_path(
+            &sample.points,
+            Strategy::DistanceBased {
+                metric: Metric::Euclidean,
+                threshold: Threshold::RelativePathFraction(fraction),
+                centroid: CentroidMode::Reference,
+            },
+        );
+        table.row(&[
+            format!("{:.0}%", fraction * 100.0),
+            format!("{}", pts.len()),
+            format!("{:.1}x", sample.len() as f64 / pts.len() as f64),
+        ]);
+    }
+    table.print();
+
+    // (b) incremental merging: window growth + warnings.
+    println!("\n(b) incremental window merging over 6 samples (+1 deliberate outlier)");
+    let mut learner = Learner::new(LearnerConfig::default());
+    let mut table = Table::new(&[
+        "sample", "poses", "mean half-width (mm)", "max half-width (mm)", "warnings",
+    ]);
+    for seed in 0..6u64 {
+        let frames = transform_frames(&perform(&gestures::swipe_right(), &persona, 10 + seed));
+        let warns = learner.add_sample_frames(&frames).expect("sample ok");
+        let windows = learner.windows();
+        let widths: Vec<f64> = windows.iter().flat_map(|w| w.width.clone()).collect();
+        let mean = widths.iter().sum::<f64>() / widths.len().max(1) as f64;
+        let max = widths.iter().cloned().fold(0.0, f64::max);
+        table.row(&[
+            format!("{}", seed + 1),
+            format!("{}", windows.len()),
+            format!("{mean:.1}"),
+            format!("{max:.1}"),
+            format!("{}", warns.len()),
+        ]);
+    }
+    // The outlier: a circle recorded as if it were a swipe sample.
+    let circle = transform_frames(&perform(&gestures::circle(), &persona, 99));
+    let warns = learner.add_sample_frames(&circle).expect("sample ok");
+    let outliers = warns
+        .iter()
+        .filter(|w| matches!(w, MergeWarning::Outlier { .. }))
+        .count();
+    table.row(&[
+        "7 (circle!)".into(),
+        format!("{}", learner.windows().len()),
+        "—".into(),
+        "—".into(),
+        format!("{} ({} outlier)", warns.len(), outliers),
+    ]);
+    table.print();
+    println!("\n(the deviating sample triggers the §3.3.2 warning, as in the paper)");
+
+    // (c) final window table (Fig. 2 gesture-database style).
+    let mut learner = Learner::new(LearnerConfig::default());
+    for seed in 0..4u64 {
+        let frames = transform_frames(&perform(&gestures::swipe_right(), &persona, 40 + seed));
+        learner.add_sample_frames(&frames).unwrap();
+    }
+    let def = learner.finalize("swipe_right").unwrap();
+    println!(
+        "\n(c) final gesture description: \"{}\" — {} poses from {} samples",
+        def.name,
+        def.pose_count(),
+        def.sample_count
+    );
+    let mut table = Table::new(&["pose", "center (x, y, z)", "half-width (x, y, z)", "within"]);
+    for (i, w) in def.poses.iter().enumerate() {
+        let within = if i == 0 {
+            "—".to_string()
+        } else {
+            format!("{} ms", def.within_ms[i - 1])
+        };
+        table.row(&[
+            format!("{}", i + 1),
+            format!("({:.0}, {:.0}, {:.0})", w.center[0], w.center[1], w.center[2]),
+            format!("({:.0}, {:.0}, {:.0})", w.width[0], w.width[1], w.width[2]),
+            within,
+        ]);
+    }
+    table.print();
+}

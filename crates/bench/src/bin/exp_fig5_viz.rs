@@ -1,0 +1,29 @@
+//! E5 — Fig. 5 substitute: visual debugging output.
+//!
+//! Renders the learned swipe and circle gestures (window boxes + a sample
+//! path) as ASCII to stdout and as SVG files under `target/`.
+
+use gesto_bench::{learn_gesture, perform, transform_frames};
+use gesto_kinect::{gestures, NoiseModel, Persona};
+use gesto_learn::{viz, GestureSample, JointSet, LearnerConfig};
+
+fn main() {
+    println!("E5 / Fig. 5 — visual debugging (ASCII + SVG)");
+    println!("=============================================\n");
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let out_dir = std::path::Path::new("target/gesto-viz");
+    std::fs::create_dir_all(out_dir).expect("create output dir");
+
+    for spec in [gestures::swipe_right(), gestures::circle()] {
+        let def = learn_gesture(&spec, 4, 60, LearnerConfig::default());
+        let path_frames = transform_frames(&perform(&spec, &persona, 99));
+        let path = GestureSample::from_frames(&path_frames, &JointSet::right_hand());
+
+        println!("{}", viz::ascii(&def, &path.points, 100, 26));
+
+        let svg = viz::svg(&def, &path.points, 640);
+        let file = out_dir.join(format!("{}.svg", spec.name));
+        std::fs::write(&file, svg).expect("write svg");
+        println!("SVG written to {}\n", file.display());
+    }
+}

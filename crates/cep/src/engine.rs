@@ -1,0 +1,377 @@
+//! The CEP engine: runtime deployment and execution of gesture queries.
+//!
+//! The engine owns a [`Catalog`] of streams/views and a set of deployed
+//! queries. Tuples are pushed per base stream; for every deployed query
+//! the engine runs the required view chain (e.g. `kinect` → `kinect_t`)
+//! and advances the query's NFA. Queries can be deployed, undeployed and
+//! replaced while the stream is live — the paper's "exchanging the
+//! applications' pre-defined navigation operations during runtime" (§4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gesto_stream::{BoxedOperator, Catalog, Tuple};
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::CepError;
+use crate::expr::FunctionRegistry;
+use crate::match_op::Detection;
+use crate::nfa::Nfa;
+use crate::parser::parse_query;
+use crate::pattern::Query;
+
+/// Callback invoked on every detection.
+pub type DetectionListener = Arc<dyn Fn(&Detection) + Send + Sync>;
+
+/// One deployed query with its per-source view chains.
+struct Deployed {
+    query: Query,
+    /// `(source name, base stream, view operator chain base→source)`.
+    routes: Vec<(String, String, Vec<BoxedOperator>)>,
+    nfa: Nfa,
+    detections: u64,
+}
+
+/// Runtime statistics of a deployed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Query (gesture) name.
+    pub name: String,
+    /// Total detections so far.
+    pub detections: u64,
+    /// Currently tracked partial matches.
+    pub active_runs: usize,
+    /// Partial matches shed due to the run cap.
+    pub shed_runs: u64,
+    /// Number of primitive steps in the pattern.
+    pub steps: usize,
+}
+
+/// The CEP engine.
+pub struct Engine {
+    catalog: Arc<Catalog>,
+    funcs: Arc<FunctionRegistry>,
+    queries: RwLock<HashMap<String, Mutex<Deployed>>>,
+    listeners: RwLock<Vec<DetectionListener>>,
+}
+
+impl Engine {
+    /// Creates an engine over `catalog` with the built-in functions.
+    pub fn new(catalog: Arc<Catalog>) -> Self {
+        Self {
+            catalog,
+            funcs: Arc::new(FunctionRegistry::with_builtins()),
+            queries: RwLock::new(HashMap::new()),
+            listeners: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Creates an engine with a custom function registry.
+    pub fn with_functions(catalog: Arc<Catalog>, funcs: Arc<FunctionRegistry>) -> Self {
+        Self { catalog, funcs, queries: RwLock::new(HashMap::new()), listeners: RwLock::new(Vec::new()) }
+    }
+
+    /// The engine's catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+
+    /// The engine's function registry (for registering UDFs).
+    pub fn functions(&self) -> &Arc<FunctionRegistry> {
+        &self.funcs
+    }
+
+    /// Adds a detection listener (invoked for every detection of every
+    /// query).
+    pub fn add_listener(&self, listener: DetectionListener) {
+        self.listeners.write().push(listener);
+    }
+
+    /// Deploys a parsed query. Fails if a query with the same name is
+    /// already deployed.
+    pub fn deploy(&self, query: Query) -> Result<(), CepError> {
+        let deployed = self.compile(query)?;
+        let mut queries = self.queries.write();
+        if queries.contains_key(&deployed.query.name) {
+            return Err(CepError::DuplicateQuery(deployed.query.name.clone()));
+        }
+        queries.insert(deployed.query.name.clone(), Mutex::new(deployed));
+        Ok(())
+    }
+
+    /// Parses and deploys query text.
+    pub fn deploy_text(&self, text: &str) -> Result<(), CepError> {
+        self.deploy(parse_query(text)?)
+    }
+
+    /// Removes a deployed query.
+    pub fn undeploy(&self, name: &str) -> Result<Query, CepError> {
+        self.queries
+            .write()
+            .remove(name)
+            .map(|d| d.into_inner().query)
+            .ok_or_else(|| CepError::UnknownQuery(name.to_owned()))
+    }
+
+    /// Atomically replaces a deployed query of the same name (deploys if
+    /// absent). Partial matches of the old query are discarded.
+    pub fn replace(&self, query: Query) -> Result<(), CepError> {
+        let deployed = self.compile(query)?;
+        self.queries
+            .write()
+            .insert(deployed.query.name.clone(), Mutex::new(deployed));
+        Ok(())
+    }
+
+    /// Names of deployed queries (sorted).
+    pub fn deployed(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.queries.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of deployed queries.
+    pub fn len(&self) -> usize {
+        self.queries.read().len()
+    }
+
+    /// True when no queries are deployed.
+    pub fn is_empty(&self) -> bool {
+        self.queries.read().is_empty()
+    }
+
+    /// Statistics of one deployed query.
+    pub fn stats(&self, name: &str) -> Result<QueryStats, CepError> {
+        let queries = self.queries.read();
+        let d = queries
+            .get(name)
+            .ok_or_else(|| CepError::UnknownQuery(name.to_owned()))?
+            .lock();
+        Ok(QueryStats {
+            name: d.query.name.clone(),
+            detections: d.detections,
+            active_runs: d.nfa.active_runs(),
+            shed_runs: d.nfa.shed_runs(),
+            steps: d.nfa.step_count(),
+        })
+    }
+
+    /// Pushes one tuple of base stream `stream` through all deployed
+    /// queries; returns all detections (listeners are also invoked).
+    pub fn push(&self, stream: &str, tuple: &Tuple) -> Result<Vec<Detection>, CepError> {
+        let mut detections = Vec::new();
+        {
+            let queries = self.queries.read();
+            for entry in queries.values() {
+                let mut d = entry.lock();
+                Self::push_into(&mut d, stream, tuple, &mut detections)?;
+            }
+        }
+        if !detections.is_empty() {
+            let listeners = self.listeners.read();
+            for det in &detections {
+                for l in listeners.iter() {
+                    l(det);
+                }
+            }
+        }
+        Ok(detections)
+    }
+
+    /// Pushes a batch of tuples of one stream; returns all detections.
+    pub fn run_batch(&self, stream: &str, tuples: &[Tuple]) -> Result<Vec<Detection>, CepError> {
+        let mut out = Vec::new();
+        for t in tuples {
+            out.extend(self.push(stream, t)?);
+        }
+        Ok(out)
+    }
+
+    /// Resets all partial matches of all queries (e.g. between test
+    /// passes).
+    pub fn reset_runs(&self) {
+        let queries = self.queries.read();
+        for entry in queries.values() {
+            entry.lock().nfa.reset();
+        }
+    }
+
+    fn push_into(
+        d: &mut Deployed,
+        stream: &str,
+        tuple: &Tuple,
+        detections: &mut Vec<Detection>,
+    ) -> Result<(), CepError> {
+        for (source, base, chain) in &mut d.routes {
+            if base != stream {
+                continue;
+            }
+            // Run the view chain; each stage may emit 0..n tuples.
+            let mut staged = vec![tuple.clone()];
+            for op in chain.iter_mut() {
+                let mut next = Vec::new();
+                {
+                    let mut emit = |t: Tuple| next.push(t);
+                    for t in &staged {
+                        op.process(t, &mut emit);
+                    }
+                }
+                staged = next;
+                if staged.is_empty() {
+                    break;
+                }
+            }
+            for t in &staged {
+                for m in d.nfa.advance(source, t)? {
+                    d.detections += 1;
+                    detections.push(Detection {
+                        gesture: d.query.name.clone(),
+                        ts: m.ts,
+                        started_at: m.started_at,
+                        events: m.events,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn compile(&self, query: Query) -> Result<Deployed, CepError> {
+        let nfa = Nfa::compile(&query.pattern, self.catalog.as_ref(), &self.funcs)?;
+        let mut routes = Vec::new();
+        for source in query.pattern.sources() {
+            let (base, views) = self.catalog.resolve(source)?;
+            let chain: Vec<BoxedOperator> = views.iter().map(|v| (v.factory)()).collect();
+            routes.push((source.to_owned(), base, chain));
+        }
+        Ok(Deployed { query, routes, nfa, detections: 0 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesto_stream::{ops::MapOp, SchemaBuilder, SchemaRef, Value, ViewDef};
+
+    fn schema() -> SchemaRef {
+        SchemaBuilder::new("kinect").timestamp("ts").float("x").build().unwrap()
+    }
+
+    fn tup(ts: i64, x: f64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(ts), Value::Float(x)]).unwrap()
+    }
+
+    fn engine_with_view() -> Engine {
+        let cat = Arc::new(Catalog::new());
+        cat.register_stream(schema()).unwrap();
+        // kinect_t doubles x.
+        let out = SchemaBuilder::new("kinect_t").timestamp("ts").float("x").build().unwrap();
+        let factory_schema = out.clone();
+        cat.register_view(ViewDef {
+            name: "kinect_t".into(),
+            input: "kinect".into(),
+            schema: out,
+            factory: Arc::new(move || {
+                let s = factory_schema.clone();
+                Box::new(MapOp::new("double", s.clone(), move |t: &Tuple| {
+                    Some(Tuple::new_unchecked(
+                        s.clone(),
+                        vec![
+                            t.get_by_name("ts").unwrap().clone(),
+                            Value::Float(t.f64("x").unwrap() * 2.0),
+                        ],
+                    ))
+                }))
+            }),
+        })
+        .unwrap();
+        Engine::new(cat)
+    }
+
+    #[test]
+    fn deploy_push_detect() {
+        let e = engine_with_view();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9) -> kinect(x < 1) within 1 seconds;"#)
+            .unwrap();
+        assert_eq!(e.deployed(), vec!["g"]);
+        assert!(e.push("kinect", &tup(0, 10.0)).unwrap().is_empty());
+        let ds = e.push("kinect", &tup(100, 0.5)).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].gesture, "g");
+        assert_eq!(e.stats("g").unwrap().detections, 1);
+    }
+
+    #[test]
+    fn view_chain_applied() {
+        let e = engine_with_view();
+        // Query over the doubled view: x>18 only true via the view (raw 10).
+        e.deploy_text(r#"SELECT "v" MATCHING kinect_t(x > 18);"#).unwrap();
+        let ds = e.push("kinect", &tup(0, 10.0)).unwrap();
+        assert_eq!(ds.len(), 1, "view transformed 10 -> 20 > 18");
+        let ds = e.push("kinect", &tup(10, 8.0)).unwrap();
+        assert!(ds.is_empty(), "8 -> 16 < 18");
+    }
+
+    #[test]
+    fn duplicate_deploy_rejected_replace_allowed() {
+        let e = engine_with_view();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#).unwrap();
+        assert!(matches!(
+            e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 5);"#),
+            Err(CepError::DuplicateQuery(_))
+        ));
+        e.replace(parse_query(r#"SELECT "g" MATCHING kinect(x > 100);"#).unwrap())
+            .unwrap();
+        assert!(e.push("kinect", &tup(0, 10.0)).unwrap().is_empty(), "replaced threshold");
+    }
+
+    #[test]
+    fn undeploy_stops_detection() {
+        let e = engine_with_view();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#).unwrap();
+        assert_eq!(e.push("kinect", &tup(0, 10.0)).unwrap().len(), 1);
+        let q = e.undeploy("g").unwrap();
+        assert_eq!(q.name, "g");
+        assert!(e.push("kinect", &tup(1, 10.0)).unwrap().is_empty());
+        assert!(matches!(e.undeploy("g"), Err(CepError::UnknownQuery(_))));
+    }
+
+    #[test]
+    fn listeners_invoked() {
+        let e = engine_with_view();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#).unwrap();
+        let hits = Arc::new(parking_lot::Mutex::new(Vec::<String>::new()));
+        let h2 = hits.clone();
+        e.add_listener(Arc::new(move |d: &Detection| h2.lock().push(d.gesture.clone())));
+        e.push("kinect", &tup(0, 10.0)).unwrap();
+        assert_eq!(hits.lock().as_slice(), &["g".to_string()]);
+    }
+
+    #[test]
+    fn multiple_queries_detect_independently() {
+        let e = engine_with_view();
+        e.deploy_text(r#"SELECT "hi" MATCHING kinect(x > 9);"#).unwrap();
+        e.deploy_text(r#"SELECT "lo" MATCHING kinect(x < 1);"#).unwrap();
+        let ds = e.run_batch("kinect", &[tup(0, 10.0), tup(10, 0.0)]).unwrap();
+        let mut names: Vec<_> = ds.iter().map(|d| d.gesture.as_str()).collect();
+        names.sort();
+        assert_eq!(names, vec!["hi", "lo"]);
+    }
+
+    #[test]
+    fn unknown_source_fails_deploy() {
+        let e = engine_with_view();
+        let err = e.deploy_text(r#"SELECT "g" MATCHING nosuch(x > 1);"#).unwrap_err();
+        assert!(matches!(err, CepError::Stream(_)), "{err}");
+    }
+
+    #[test]
+    fn reset_runs_clears_state() {
+        let e = engine_with_view();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9) -> kinect(x < 1);"#).unwrap();
+        e.push("kinect", &tup(0, 10.0)).unwrap();
+        assert_eq!(e.stats("g").unwrap().active_runs, 1);
+        e.reset_runs();
+        assert_eq!(e.stats("g").unwrap().active_runs, 0);
+    }
+}

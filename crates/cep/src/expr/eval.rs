@@ -1,0 +1,412 @@
+//! Expression compilation and evaluation.
+//!
+//! Expressions are compiled once against a schema (column names →
+//! indices, function names → callables) and then evaluated per tuple with
+//! no name lookups on the hot path. Logic is three-valued: comparisons and
+//! predicates over `Null` yield `Null`, and a pattern step only fires when
+//! its predicate evaluates to *true* (unknown ≠ true).
+
+use std::sync::Arc;
+
+use gesto_stream::{SchemaRef, Tuple, Value};
+
+use crate::error::CepError;
+use crate::expr::ast::{BinOp, Expr, UnaryOp};
+use crate::expr::functions::{FunctionRegistry, ScalarFn};
+
+/// An expression compiled against a fixed schema.
+pub enum CompiledExpr {
+    /// Column by index.
+    Column(usize),
+    /// Constant.
+    Literal(Value),
+    /// Unary application.
+    Unary(UnaryOp, Box<CompiledExpr>),
+    /// Binary application.
+    Binary(BinOp, Box<CompiledExpr>, Box<CompiledExpr>),
+    /// Bound function call.
+    Call(Arc<str>, ScalarFn, Vec<CompiledExpr>),
+}
+
+impl std::fmt::Debug for CompiledExpr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompiledExpr::Column(i) => write!(f, "Column({i})"),
+            CompiledExpr::Literal(v) => write!(f, "Literal({v})"),
+            CompiledExpr::Unary(op, e) => write!(f, "Unary({op:?}, {e:?})"),
+            CompiledExpr::Binary(op, l, r) => write!(f, "Binary({op:?}, {l:?}, {r:?})"),
+            CompiledExpr::Call(name, _, args) => write!(f, "Call({name}, {args:?})"),
+        }
+    }
+}
+
+/// Compiles `expr` against `schema`, resolving functions in `funcs`.
+pub fn compile(
+    expr: &Expr,
+    schema: &SchemaRef,
+    funcs: &FunctionRegistry,
+) -> Result<CompiledExpr, CepError> {
+    match expr {
+        Expr::Column(name) => {
+            let idx = schema.index_of(name).ok_or_else(|| {
+                CepError::Compile(format!(
+                    "unknown column '{name}' in stream '{}'",
+                    schema.name
+                ))
+            })?;
+            Ok(CompiledExpr::Column(idx))
+        }
+        Expr::Literal(v) => Ok(CompiledExpr::Literal(v.clone())),
+        Expr::Unary { op, expr } => Ok(CompiledExpr::Unary(
+            *op,
+            Box::new(compile(expr, schema, funcs)?),
+        )),
+        Expr::Binary { op, lhs, rhs } => Ok(CompiledExpr::Binary(
+            *op,
+            Box::new(compile(lhs, schema, funcs)?),
+            Box::new(compile(rhs, schema, funcs)?),
+        )),
+        Expr::Call { func, args } => {
+            let f = funcs.resolve(func, args.len())?;
+            let compiled = args
+                .iter()
+                .map(|a| compile(a, schema, funcs))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(CompiledExpr::Call(Arc::from(func.as_str()), f, compiled))
+        }
+    }
+}
+
+impl CompiledExpr {
+    /// Evaluates against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value, CepError> {
+        match self {
+            CompiledExpr::Column(i) => Ok(tuple.values()[*i].clone()),
+            CompiledExpr::Literal(v) => Ok(v.clone()),
+            CompiledExpr::Unary(op, e) => {
+                let v = e.eval(tuple)?;
+                eval_unary(*op, v)
+            }
+            CompiledExpr::Binary(op, l, r) => {
+                // Short-circuit logical operators (Kleene logic).
+                if op.is_logical() {
+                    return eval_logical(*op, l, r, tuple);
+                }
+                let a = l.eval(tuple)?;
+                let b = r.eval(tuple)?;
+                eval_binary(*op, a, b)
+            }
+            CompiledExpr::Call(_name, f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(a.eval(tuple)?);
+                }
+                f(&vals)
+            }
+        }
+    }
+
+    /// Evaluates as a predicate: `true` only when the result is boolean
+    /// true; `Null`/unknown is `false`.
+    pub fn eval_bool(&self, tuple: &Tuple) -> Result<bool, CepError> {
+        Ok(matches!(self.eval(tuple)?, Value::Bool(true)))
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value, CepError> {
+    match op {
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(CepError::Eval(format!("cannot negate {other}"))),
+        },
+        UnaryOp::Not => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(CepError::Eval(format!("cannot apply 'not' to {other}"))),
+        },
+    }
+}
+
+fn eval_logical(
+    op: BinOp,
+    l: &CompiledExpr,
+    r: &CompiledExpr,
+    tuple: &Tuple,
+) -> Result<Value, CepError> {
+    let a = l.eval(tuple)?;
+    let a_bool = match &a {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        other => return Err(CepError::Eval(format!("non-boolean operand {other} for {op:?}"))),
+    };
+    // Kleene short circuit: false and X = false; true or X = true.
+    match (op, a_bool) {
+        (BinOp::And, Some(false)) => return Ok(Value::Bool(false)),
+        (BinOp::Or, Some(true)) => return Ok(Value::Bool(true)),
+        _ => {}
+    }
+    let b = r.eval(tuple)?;
+    let b_bool = match &b {
+        Value::Null => None,
+        Value::Bool(b) => Some(*b),
+        other => return Err(CepError::Eval(format!("non-boolean operand {other} for {op:?}"))),
+    };
+    let out = match op {
+        BinOp::And => match (a_bool, b_bool) {
+            (Some(true), Some(true)) => Some(true),
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            _ => None,
+        },
+        BinOp::Or => match (a_bool, b_bool) {
+            (Some(false), Some(false)) => Some(false),
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            _ => None,
+        },
+        _ => unreachable!("eval_logical called with non-logical op"),
+    };
+    Ok(out.map(Value::Bool).unwrap_or(Value::Null))
+}
+
+fn eval_binary(op: BinOp, a: Value, b: Value) -> Result<Value, CepError> {
+    if op.is_comparison() {
+        return eval_comparison(op, a, b);
+    }
+    // Arithmetic. Null propagates.
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    match (&a, &b) {
+        (Value::Int(x), Value::Int(y)) => {
+            let v = match op {
+                BinOp::Add => Value::Int(x + y),
+                BinOp::Sub => Value::Int(x - y),
+                BinOp::Mul => Value::Int(x * y),
+                BinOp::Div => {
+                    if *y == 0 {
+                        return Err(CepError::Eval("integer division by zero".into()));
+                    }
+                    Value::Float(*x as f64 / *y as f64)
+                }
+                _ => unreachable!(),
+            };
+            Ok(v)
+        }
+        _ => {
+            let x = a
+                .as_f64()
+                .ok_or_else(|| CepError::Eval(format!("non-numeric operand {a}")))?;
+            let y = b
+                .as_f64()
+                .ok_or_else(|| CepError::Eval(format!("non-numeric operand {b}")))?;
+            let v = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => x / y,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(v))
+        }
+    }
+}
+
+fn eval_comparison(op: BinOp, a: Value, b: Value) -> Result<Value, CepError> {
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    use std::cmp::Ordering;
+    let ord = a.partial_cmp_value(&b);
+    let out = match op {
+        BinOp::Eq => a.eq_value(&b),
+        BinOp::Ne => a.eq_value(&b).map(|e| !e),
+        BinOp::Lt => ord.map(|o| o == Ordering::Less),
+        BinOp::Le => ord.map(|o| o != Ordering::Greater),
+        BinOp::Gt => ord.map(|o| o == Ordering::Greater),
+        BinOp::Ge => ord.map(|o| o != Ordering::Less),
+        _ => unreachable!(),
+    };
+    match out {
+        Some(b) => Ok(Value::Bool(b)),
+        None => Err(CepError::Eval(format!("incomparable values {a} and {b}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesto_stream::SchemaBuilder;
+
+    fn schema() -> SchemaRef {
+        SchemaBuilder::new("k")
+            .timestamp("ts")
+            .float("x")
+            .float("y")
+            .bool("flag")
+            .str("tag")
+            .build()
+            .unwrap()
+    }
+
+    fn tuple(x: f64, y: f64) -> Tuple {
+        Tuple::new(
+            schema(),
+            vec![
+                Value::Timestamp(0),
+                Value::Float(x),
+                Value::Float(y),
+                Value::Bool(true),
+                Value::Str("t".into()),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn eval(e: &Expr, t: &Tuple) -> Value {
+        let reg = FunctionRegistry::with_builtins();
+        compile(e, t.schema(), &reg).unwrap().eval(t).unwrap()
+    }
+
+    #[test]
+    fn paper_range_predicate() {
+        // abs(x - y - 0) < 50
+        let e = Expr::lt(
+            Expr::abs(Expr::bin(
+                BinOp::Sub,
+                Expr::bin(BinOp::Sub, Expr::col("x"), Expr::col("y")),
+                Expr::lit(0.0),
+            )),
+            Expr::lit(50.0),
+        );
+        assert_eq!(eval(&e, &tuple(100.0, 60.0)), Value::Bool(true));
+        assert_eq!(eval(&e, &tuple(100.0, 20.0)), Value::Bool(false));
+    }
+
+    #[test]
+    fn arithmetic_int_and_float() {
+        let t = tuple(10.0, 4.0);
+        let add = Expr::bin(BinOp::Add, Expr::lit(2i64), Expr::lit(3i64));
+        assert_eq!(eval(&add, &t), Value::Int(5));
+        let div = Expr::bin(BinOp::Div, Expr::lit(7i64), Expr::lit(2i64));
+        assert_eq!(eval(&div, &t), Value::Float(3.5));
+        let mixed = Expr::bin(BinOp::Mul, Expr::col("x"), Expr::lit(2i64));
+        assert_eq!(eval(&mixed, &t), Value::Float(20.0));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let reg = FunctionRegistry::with_builtins();
+        let t = tuple(1.0, 1.0);
+        let e = Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64));
+        let c = compile(&e, t.schema(), &reg).unwrap();
+        assert!(matches!(c.eval(&t), Err(CepError::Eval(_))));
+        // Float division by zero is IEEE infinity, not an error.
+        let e = Expr::bin(BinOp::Div, Expr::lit(1.0), Expr::lit(0.0));
+        let c = compile(&e, t.schema(), &reg).unwrap();
+        assert_eq!(c.eval(&t).unwrap(), Value::Float(f64::INFINITY));
+    }
+
+    #[test]
+    fn null_propagates_to_unknown_predicate() {
+        let s = schema();
+        let t = Tuple::new(
+            s,
+            vec![Value::Timestamp(0), Value::Null, Value::Float(1.0), Value::Bool(true), Value::Null],
+        )
+        .unwrap();
+        let e = Expr::lt(Expr::col("x"), Expr::lit(50.0));
+        let reg = FunctionRegistry::with_builtins();
+        let c = compile(&e, t.schema(), &reg).unwrap();
+        assert_eq!(c.eval(&t).unwrap(), Value::Null);
+        assert!(!c.eval_bool(&t).unwrap(), "unknown is not a match");
+    }
+
+    #[test]
+    fn kleene_short_circuit() {
+        let t = tuple(1.0, 1.0);
+        // false and (1/0) must not evaluate the rhs
+        let e = Expr::and(
+            Expr::lit(false),
+            Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64)),
+        );
+        let reg = FunctionRegistry::with_builtins();
+        let c = compile(&e, t.schema(), &reg).unwrap();
+        assert_eq!(c.eval(&t).unwrap(), Value::Bool(false));
+
+        // true or error-rhs = true
+        let e = Expr::bin(
+            BinOp::Or,
+            Expr::lit(true),
+            Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64)),
+        );
+        let c = compile(&e, t.schema(), &reg).unwrap();
+        assert_eq!(c.eval(&t).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn null_and_false_is_false() {
+        let s = schema();
+        let t = Tuple::new(
+            s,
+            vec![Value::Timestamp(0), Value::Null, Value::Float(1.0), Value::Bool(true), Value::Null],
+        )
+        .unwrap();
+        let reg = FunctionRegistry::with_builtins();
+        // (x < 1) and false  => false even though lhs is unknown
+        let e = Expr::and(Expr::lt(Expr::col("x"), Expr::lit(1.0)), Expr::lit(false));
+        let c = compile(&e, t.schema(), &reg).unwrap();
+        assert_eq!(c.eval(&t).unwrap(), Value::Bool(false));
+        // (x < 1) or true => true
+        let e = Expr::bin(BinOp::Or, Expr::lt(Expr::col("x"), Expr::lit(1.0)), Expr::lit(true));
+        let c = compile(&e, t.schema(), &reg).unwrap();
+        assert_eq!(c.eval(&t).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn unknown_column_fails_compile() {
+        let reg = FunctionRegistry::with_builtins();
+        let e = Expr::col("nope");
+        assert!(matches!(
+            compile(&e, &schema(), &reg),
+            Err(CepError::Compile(_))
+        ));
+    }
+
+    #[test]
+    fn string_equality() {
+        let t = tuple(0.0, 0.0);
+        let e = Expr::bin(BinOp::Eq, Expr::col("tag"), Expr::lit("t"));
+        assert_eq!(eval(&e, &t), Value::Bool(true));
+        let e = Expr::bin(BinOp::Ne, Expr::col("tag"), Expr::lit("z"));
+        assert_eq!(eval(&e, &t), Value::Bool(true));
+    }
+
+    #[test]
+    fn incomparable_types_error() {
+        let reg = FunctionRegistry::with_builtins();
+        let t = tuple(0.0, 0.0);
+        let e = Expr::lt(Expr::col("tag"), Expr::lit(1.0));
+        let c = compile(&e, t.schema(), &reg).unwrap();
+        assert!(matches!(c.eval(&t), Err(CepError::Eval(_))));
+    }
+
+    #[test]
+    fn nested_function_calls() {
+        let t = tuple(-9.0, 2.0);
+        let e = Expr::Call {
+            func: "sqrt".into(),
+            args: vec![Expr::abs(Expr::col("x"))],
+        };
+        assert_eq!(eval(&e, &t), Value::Float(3.0));
+    }
+
+    #[test]
+    fn negation() {
+        let t = tuple(5.0, 0.0);
+        let e = Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::col("x")) };
+        assert_eq!(eval(&e, &t), Value::Float(-5.0));
+        let e = Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::col("flag")) };
+        assert_eq!(eval(&e, &t), Value::Bool(false));
+    }
+}

@@ -1,0 +1,234 @@
+//! Scalar function registry (user-defined operators).
+//!
+//! The paper's AnduIN engine exposes user-defined operators such as the
+//! Roll-Pitch-Yaw angle calculations (§3.2). This registry provides the
+//! same extension point: named scalar functions over [`Value`]s, resolved
+//! at expression-compile time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gesto_stream::Value;
+use parking_lot::RwLock;
+
+use crate::error::CepError;
+
+/// A scalar function implementation.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Result<Value, CepError> + Send + Sync>;
+
+/// Fixed or variadic arity declaration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arity {
+    /// Exactly `n` arguments.
+    Exact(usize),
+    /// At least `n` arguments.
+    AtLeast(usize),
+}
+
+impl Arity {
+    fn check(&self, name: &str, got: usize) -> Result<(), CepError> {
+        let ok = match self {
+            Arity::Exact(n) => got == *n,
+            Arity::AtLeast(n) => got >= *n,
+        };
+        if ok {
+            Ok(())
+        } else {
+            let expected = match self {
+                Arity::Exact(n) | Arity::AtLeast(n) => *n,
+            };
+            Err(CepError::FunctionArity { name: name.to_owned(), expected, got })
+        }
+    }
+}
+
+#[derive(Clone)]
+struct FunctionEntry {
+    arity: Arity,
+    f: ScalarFn,
+}
+
+/// Thread-safe registry of scalar functions.
+///
+/// A fresh registry contains the built-ins used by generated gesture
+/// queries: `abs`, `sqrt`, `min`, `max`, `pow`, `dist` (Euclidean distance
+/// between two 3D points), `hypot2`/`hypot3`.
+pub struct FunctionRegistry {
+    funcs: RwLock<HashMap<String, FunctionEntry>>,
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+fn num(name: &str, v: &Value) -> Result<Option<f64>, CepError> {
+    if v.is_null() {
+        return Ok(None);
+    }
+    v.as_f64()
+        .map(Some)
+        .ok_or_else(|| CepError::Eval(format!("{name}: non-numeric argument {v}")))
+}
+
+/// Applies `f` over all-numeric args; any `Null` argument yields `Null`.
+fn numeric_fn(
+    name: &'static str,
+    f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
+) -> ScalarFn {
+    Arc::new(move |args: &[Value]| {
+        let mut nums = Vec::with_capacity(args.len());
+        for a in args {
+            match num(name, a)? {
+                Some(x) => nums.push(x),
+                None => return Ok(Value::Null),
+            }
+        }
+        Ok(Value::Float(f(&nums)))
+    })
+}
+
+impl FunctionRegistry {
+    /// Creates an empty registry.
+    pub fn empty() -> Self {
+        Self { funcs: RwLock::new(HashMap::new()) }
+    }
+
+    /// Creates a registry populated with the built-in functions.
+    pub fn with_builtins() -> Self {
+        let reg = Self::empty();
+        reg.register("abs", Arity::Exact(1), numeric_fn("abs", |a| a[0].abs()));
+        reg.register("sqrt", Arity::Exact(1), numeric_fn("sqrt", |a| a[0].sqrt()));
+        reg.register("min", Arity::AtLeast(1), numeric_fn("min", |a| {
+            a.iter().copied().fold(f64::INFINITY, f64::min)
+        }));
+        reg.register("max", Arity::AtLeast(1), numeric_fn("max", |a| {
+            a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        }));
+        reg.register("pow", Arity::Exact(2), numeric_fn("pow", |a| a[0].powf(a[1])));
+        reg.register(
+            "dist",
+            Arity::Exact(6),
+            numeric_fn("dist", |a| {
+                let dx = a[0] - a[3];
+                let dy = a[1] - a[4];
+                let dz = a[2] - a[5];
+                (dx * dx + dy * dy + dz * dz).sqrt()
+            }),
+        );
+        reg.register("hypot2", Arity::Exact(2), numeric_fn("hypot2", |a| a[0].hypot(a[1])));
+        reg.register(
+            "hypot3",
+            Arity::Exact(3),
+            numeric_fn("hypot3", |a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()),
+        );
+        reg
+    }
+
+    /// Registers (or replaces) a scalar function under `name`
+    /// (case-insensitive).
+    pub fn register(&self, name: &str, arity: Arity, f: ScalarFn) {
+        self.funcs
+            .write()
+            .insert(name.to_ascii_lowercase(), FunctionEntry { arity, f });
+    }
+
+    /// Resolves a function and validates the call-site arity; returns the
+    /// callable.
+    pub fn resolve(&self, name: &str, argc: usize) -> Result<ScalarFn, CepError> {
+        let funcs = self.funcs.read();
+        let entry = funcs
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| CepError::UnknownFunction(name.to_owned()))?;
+        entry.arity.check(name, argc)?;
+        Ok(entry.f.clone())
+    }
+
+    /// True when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.funcs.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Sorted list of registered function names.
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.funcs.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_abs_and_dist() {
+        let reg = FunctionRegistry::with_builtins();
+        let abs = reg.resolve("abs", 1).unwrap();
+        assert_eq!(abs(&[Value::Float(-3.5)]).unwrap(), Value::Float(3.5));
+        assert_eq!(abs(&[Value::Int(-2)]).unwrap(), Value::Float(2.0));
+
+        let dist = reg.resolve("dist", 6).unwrap();
+        let d = dist(&[
+            Value::Float(0.0),
+            Value::Float(0.0),
+            Value::Float(0.0),
+            Value::Float(3.0),
+            Value::Float(4.0),
+            Value::Float(0.0),
+        ])
+        .unwrap();
+        assert_eq!(d, Value::Float(5.0));
+    }
+
+    #[test]
+    fn null_propagates() {
+        let reg = FunctionRegistry::with_builtins();
+        let abs = reg.resolve("abs", 1).unwrap();
+        assert_eq!(abs(&[Value::Null]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arity_enforced_at_resolve() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(matches!(
+            reg.resolve("abs", 2),
+            Err(CepError::FunctionArity { expected: 1, got: 2, .. })
+        ));
+        assert!(reg.resolve("min", 3).is_ok(), "min is variadic");
+        assert!(matches!(
+            reg.resolve("min", 0),
+            Err(CepError::FunctionArity { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_function() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(matches!(reg.resolve("nope", 0), Err(CepError::UnknownFunction(_))));
+    }
+
+    #[test]
+    fn case_insensitive_lookup() {
+        let reg = FunctionRegistry::with_builtins();
+        assert!(reg.contains("ABS"));
+        assert!(reg.resolve("Abs", 1).is_ok());
+    }
+
+    #[test]
+    fn custom_function_registration() {
+        let reg = FunctionRegistry::empty();
+        reg.register("answer", Arity::Exact(0), Arc::new(|_| Ok(Value::Int(42))));
+        let f = reg.resolve("answer", 0).unwrap();
+        assert_eq!(f(&[]).unwrap(), Value::Int(42));
+        assert_eq!(reg.names(), vec!["answer"]);
+    }
+
+    #[test]
+    fn non_numeric_argument_errors() {
+        let reg = FunctionRegistry::with_builtins();
+        let abs = reg.resolve("abs", 1).unwrap();
+        assert!(matches!(abs(&[Value::Str("x".into())]), Err(CepError::Eval(_))));
+    }
+}

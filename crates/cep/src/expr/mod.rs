@@ -1,0 +1,9 @@
+//! Expressions: AST, scalar functions, compilation and evaluation.
+
+mod ast;
+mod eval;
+mod functions;
+
+pub use ast::{BinOp, Expr, UnaryOp};
+pub use eval::{compile, CompiledExpr};
+pub use functions::{Arity, FunctionRegistry, ScalarFn};

@@ -1,0 +1,41 @@
+//! Paper fixtures: the Fig. 1 query text, verbatim (modulo whitespace).
+
+/// The `swipe_right` detection query from Fig. 1 of the paper.
+///
+/// Three poses of the right hand relative to the torso — start at
+/// (0, 150, −120), middle at (400, 150, −420), end at (800, 150, −120) —
+/// each with a ±50 window, consecutive poses within 1 second.
+pub const FIG1_QUERY: &str = r#"SELECT "swipe_right"
+MATCHING (
+  kinect(
+    abs(rHand_x - torso_x - 0) < 50 and
+    abs(rHand_y - torso_y - 150) < 50 and
+    abs(rHand_z - torso_z + 120) < 50
+  ) ->
+  kinect(
+    abs(rHand_x - torso_x - 400) < 50 and
+    abs(rHand_y - torso_y - 150) < 50 and
+    abs(rHand_z - torso_z + 420) < 50
+  )
+  within 1 seconds select first consume all
+) ->
+kinect(
+  abs(rHand_x - torso_x - 800) < 50 and
+  abs(rHand_y - torso_y - 150) < 50 and
+  abs(rHand_z - torso_z + 120) < 50
+)
+within 1 seconds select first consume all;
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn fixture_parses() {
+        let q = parse_query(FIG1_QUERY).unwrap();
+        assert_eq!(q.name, "swipe_right");
+        assert_eq!(q.pattern.event_count(), 3);
+    }
+}

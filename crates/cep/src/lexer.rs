@@ -1,0 +1,374 @@
+//! Lexer for the gesture query dialect.
+
+use crate::error::CepError;
+
+/// A lexical token with its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character.
+    pub offset: usize,
+}
+
+/// Token kinds of the query language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Bare identifier or keyword (`kinect`, `select`, `and`, ...).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Double-quoted string literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=` (also accepts `==`)
+    Eq,
+    /// `!=` (also accepts `<>`)
+    Ne,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier '{s}'"),
+            TokenKind::Number(n) => format!("number {n}"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::Comma => "','".into(),
+            TokenKind::Semicolon => "';'".into(),
+            TokenKind::Arrow => "'->'".into(),
+            TokenKind::Plus => "'+'".into(),
+            TokenKind::Minus => "'-'".into(),
+            TokenKind::Star => "'*'".into(),
+            TokenKind::Slash => "'/'".into(),
+            TokenKind::Lt => "'<'".into(),
+            TokenKind::Le => "'<='".into(),
+            TokenKind::Gt => "'>'".into(),
+            TokenKind::Ge => "'>='".into(),
+            TokenKind::Eq => "'='".into(),
+            TokenKind::Ne => "'!='".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// Tokenises query text. Comments run from `--` to end of line.
+pub fn lex(src: &str) -> Result<Vec<Token>, CepError> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                tokens.push(Token { kind: TokenKind::Arrow, offset: i });
+                i += 2;
+            }
+            b'-' => {
+                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                i += 1;
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            b'=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                    i += 2;
+                } else {
+                    return Err(CepError::Parse {
+                        offset: i,
+                        message: "unexpected '!' (did you mean '!=' ?)".into(),
+                    });
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(CepError::Parse {
+                            offset: start,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    match bytes[i] {
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' if i + 1 < bytes.len() => {
+                            s.push(bytes[i + 1] as char);
+                            i += 2;
+                        }
+                        b => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                let mut seen_dot = false;
+                let mut seen_exp = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !seen_dot && !seen_exp => {
+                            seen_dot = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' if !seen_exp && i > start => {
+                            seen_exp = true;
+                            i += 1;
+                            if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &src[start..i];
+                let n: f64 = text.parse().map_err(|_| CepError::Parse {
+                    offset: start,
+                    message: format!("invalid number '{text}'"),
+                })?;
+                tokens.push(Token { kind: TokenKind::Number(n), offset: start });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(src[start..i].to_owned()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(CepError::Parse {
+                    offset: i,
+                    message: format!("unexpected character '{}'", other as char),
+                });
+            }
+        }
+    }
+    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_paper_fragment() {
+        let ks = kinds("kinect( abs(rHand_x - torso_x - 0) < 50 ) -> ;");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("kinect".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("abs".into()),
+                TokenKind::LParen,
+                TokenKind::Ident("rHand_x".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("torso_x".into()),
+                TokenKind::Minus,
+                TokenKind::Number(0.0),
+                TokenKind::RParen,
+                TokenKind::Lt,
+                TokenKind::Number(50.0),
+                TokenKind::RParen,
+                TokenKind::Arrow,
+                TokenKind::Semicolon,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus_vs_comment() {
+        assert_eq!(kinds("a -> b"), vec![
+            TokenKind::Ident("a".into()),
+            TokenKind::Arrow,
+            TokenKind::Ident("b".into()),
+            TokenKind::Eof
+        ]);
+        assert_eq!(kinds("a - b"), vec![
+            TokenKind::Ident("a".into()),
+            TokenKind::Minus,
+            TokenKind::Ident("b".into()),
+            TokenKind::Eof
+        ]);
+        assert_eq!(kinds("a -- comment\nb"), vec![
+            TokenKind::Ident("a".into()),
+            TokenKind::Ident("b".into()),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("1 2.5 .5 1e3 2.5e-2"), vec![
+            TokenKind::Number(1.0),
+            TokenKind::Number(2.5),
+            TokenKind::Number(0.5),
+            TokenKind::Number(1000.0),
+            TokenKind::Number(0.025),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(kinds(r#""swipe_right" "a\"b""#), vec![
+            TokenKind::Str("swipe_right".into()),
+            TokenKind::Str("a\"b".into()),
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(matches!(err, CepError::Parse { offset: 0, .. }));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(kinds("< <= > >= = == != <>"), vec![
+            TokenKind::Lt,
+            TokenKind::Le,
+            TokenKind::Gt,
+            TokenKind::Ge,
+            TokenKind::Eq,
+            TokenKind::Eq,
+            TokenKind::Ne,
+            TokenKind::Ne,
+            TokenKind::Eof
+        ]);
+    }
+
+    #[test]
+    fn bad_character_reports_offset() {
+        let err = lex("abc $").unwrap_err();
+        match err {
+            CepError::Parse { offset, .. } => assert_eq!(offset, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_bang_errors() {
+        assert!(lex("!x").is_err());
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 3);
+    }
+}

@@ -1,0 +1,49 @@
+//! # gesto-cep — complex event processing for gesture detection
+//!
+//! The CEP engine of the reproduction of *Beier et al., "Learning Event
+//! Patterns for Gesture Detection"* (EDBT 2014): a query language in the
+//! paper's dialect (Fig. 1), an expression evaluator with user-defined
+//! scalar functions, an NFA-based `match` operator with `within` time
+//! constraints and `select`/`consume` policies, and a runtime engine that
+//! deploys, replaces and undeploys queries on live streams.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use gesto_stream::{Catalog, SchemaBuilder, Tuple, Value};
+//! use gesto_cep::Engine;
+//!
+//! let catalog = Arc::new(Catalog::new());
+//! let schema = SchemaBuilder::new("kinect").timestamp("ts").float("x").build().unwrap();
+//! catalog.register_stream(schema.clone()).unwrap();
+//!
+//! let engine = Engine::new(catalog);
+//! engine.deploy_text(
+//!     r#"SELECT "swipe" MATCHING kinect(x < 10) -> kinect(x > 90) within 1 seconds;"#,
+//! ).unwrap();
+//!
+//! let t0 = Tuple::new(schema.clone(), vec![Value::Timestamp(0), Value::Float(0.0)]).unwrap();
+//! let t1 = Tuple::new(schema, vec![Value::Timestamp(500), Value::Float(100.0)]).unwrap();
+//! assert!(engine.push("kinect", &t0).unwrap().is_empty());
+//! assert_eq!(engine.push("kinect", &t1).unwrap()[0].gesture, "swipe");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod engine;
+mod error;
+pub mod expr;
+pub mod fixtures;
+mod lexer;
+mod match_op;
+mod nfa;
+mod parser;
+mod pattern;
+
+pub use engine::{DetectionListener, Engine, QueryStats};
+pub use error::CepError;
+pub use expr::{BinOp, Expr, FunctionRegistry, UnaryOp};
+pub use match_op::{detection_schema, Detection, MatchOp};
+pub use nfa::{Nfa, NfaMatch, SchemaResolver, SingleSchema, TimeConstraint, DEFAULT_MAX_RUNS};
+pub use parser::{parse_expr, parse_pattern, parse_query};
+pub use pattern::{ConsumePolicy, EventPattern, Pattern, Query, SelectPolicy, SequencePattern};

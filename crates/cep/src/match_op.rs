@@ -1,0 +1,190 @@
+//! The `match` operator: a stream operator wrapping one compiled NFA.
+//!
+//! On every completed match the operator emits a detection tuple with the
+//! gesture name, the completion timestamp and the match duration — the
+//! "result tuple … which can be used to trigger arbitrary actions in any
+//! listening application" of §2.
+
+use std::sync::Arc;
+
+use gesto_stream::{Emit, Operator, Schema, SchemaRef, Tuple, Value};
+
+use crate::error::CepError;
+use crate::expr::FunctionRegistry;
+use crate::nfa::{Nfa, NfaMatch, SchemaResolver};
+use crate::pattern::Query;
+
+/// Schema of detection tuples: `(gesture: str, ts: timestamp,
+/// started_at: timestamp, duration_ms: int)`.
+pub fn detection_schema() -> SchemaRef {
+    use gesto_stream::{Field, ValueType};
+    Arc::new(
+        Schema::new(
+            "detections",
+            vec![
+                Field::new("gesture", ValueType::Str),
+                Field::new("ts", ValueType::Timestamp),
+                Field::new("started_at", ValueType::Timestamp),
+                Field::new("duration_ms", ValueType::Int),
+            ],
+        )
+        .expect("static detection schema"),
+    )
+}
+
+/// A detection event produced by a deployed query.
+#[derive(Debug, Clone)]
+pub struct Detection {
+    /// Gesture (query) name.
+    pub gesture: String,
+    /// Completion stream time.
+    pub ts: i64,
+    /// Stream time of the first matched event.
+    pub started_at: i64,
+    /// The matched event tuples, one per pattern step.
+    pub events: Vec<Tuple>,
+}
+
+impl Detection {
+    /// Duration of the gesture in stream milliseconds.
+    pub fn duration_ms(&self) -> i64 {
+        self.ts - self.started_at
+    }
+
+    /// Converts to a detection tuple (drops the per-step events).
+    pub fn to_tuple(&self, schema: &SchemaRef) -> Tuple {
+        Tuple::new_unchecked(
+            schema.clone(),
+            vec![
+                Value::Str(self.gesture.clone()),
+                Value::Timestamp(self.ts),
+                Value::Timestamp(self.started_at),
+                Value::Int(self.duration_ms()),
+            ],
+        )
+    }
+
+    fn from_match(gesture: &str, m: NfaMatch) -> Self {
+        Self { gesture: gesture.to_owned(), ts: m.ts, started_at: m.started_at, events: m.events }
+    }
+}
+
+/// Stream operator running one query's NFA over a single input stream.
+///
+/// The operator assumes its input *is* the stream every event pattern in
+/// the query references (the usual case: all steps read `kinect_t`). For
+/// multi-source patterns use [`crate::Engine`], which routes by source
+/// name.
+pub struct MatchOp {
+    query_name: String,
+    source: String,
+    nfa: Nfa,
+    schema: SchemaRef,
+}
+
+impl MatchOp {
+    /// Compiles `query` into a match operator reading tuples of `source`.
+    pub fn new(
+        query: &Query,
+        source: impl Into<String>,
+        resolver: &dyn SchemaResolver,
+        funcs: &FunctionRegistry,
+    ) -> Result<Self, CepError> {
+        let nfa = Nfa::compile(&query.pattern, resolver, funcs)?;
+        Ok(Self {
+            query_name: query.name.clone(),
+            source: source.into(),
+            nfa,
+            schema: detection_schema(),
+        })
+    }
+
+    /// Direct access to the matches for one tuple (non-operator use).
+    pub fn push(&mut self, tuple: &Tuple) -> Result<Vec<Detection>, CepError> {
+        Ok(self
+            .nfa
+            .advance(&self.source, tuple)?
+            .into_iter()
+            .map(|m| Detection::from_match(&self.query_name, m))
+            .collect())
+    }
+
+    /// The wrapped NFA (inspection).
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+}
+
+impl Operator for MatchOp {
+    fn name(&self) -> &str {
+        &self.query_name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+        // Evaluation errors at runtime (e.g. nulls in arithmetic that the
+        // UDF rejects) drop the tuple rather than poisoning the stream.
+        if let Ok(matches) = self.nfa.advance(&self.source, tuple) {
+            for m in matches {
+                let d = Detection::from_match(&self.query_name, m);
+                emit(d.to_tuple(&self.schema));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::SingleSchema;
+    use crate::parser::parse_query;
+    use gesto_stream::{run_operator, SchemaBuilder};
+
+    fn schema() -> SchemaRef {
+        SchemaBuilder::new("k").timestamp("ts").float("x").build().unwrap()
+    }
+
+    fn tup(ts: i64, x: f64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(ts), Value::Float(x)]).unwrap()
+    }
+
+    #[test]
+    fn emits_detection_tuples() {
+        let q = parse_query(r#"SELECT "updown" MATCHING k(x > 9) -> k(x < 1) within 1 seconds;"#)
+            .unwrap();
+        let mut op = MatchOp::new(
+            &q,
+            "k",
+            &SingleSchema(schema()),
+            &FunctionRegistry::with_builtins(),
+        )
+        .unwrap();
+        let out = run_operator(&mut op, &[tup(0, 10.0), tup(100, 5.0), tup(200, 0.5)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].str("gesture"), Some("updown"));
+        assert_eq!(out[0].timestamp(), Some(200));
+        assert_eq!(out[0].i64("duration_ms"), Some(200));
+        assert_eq!(out[0].i64("started_at"), Some(0));
+    }
+
+    #[test]
+    fn push_returns_rich_detections() {
+        let q = parse_query(r#"SELECT "g" MATCHING k(x > 9) -> k(x < 1);"#).unwrap();
+        let mut op = MatchOp::new(
+            &q,
+            "k",
+            &SingleSchema(schema()),
+            &FunctionRegistry::with_builtins(),
+        )
+        .unwrap();
+        assert!(op.push(&tup(0, 10.0)).unwrap().is_empty());
+        let ds = op.push(&tup(50, 0.0)).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].events.len(), 2);
+        assert_eq!(ds[0].events[0].f64("x"), Some(10.0));
+        assert_eq!(ds[0].duration_ms(), 50);
+    }
+}

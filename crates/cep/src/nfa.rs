@@ -1,0 +1,537 @@
+//! NFA-based pattern matching runtime (the `match` operator's core).
+//!
+//! A [`crate::Pattern`] compiles into a linear list of *leaf steps* (the
+//! primitive events, in sequence order) plus a set of *time constraints*
+//! derived from the `within` clauses of (possibly nested) sequences. The
+//! runtime keeps a set of partial matches ("runs"); each input tuple may
+//! seed a new run at step 0 and/or advance existing runs by one step
+//! (skip-till-next-match semantics: non-matching tuples are ignored, they
+//! do not kill runs).
+//!
+//! Policies follow §2/§3.3.4 of the paper: `select first` reports one
+//! match per completion wave, `consume all` flushes all partial state on
+//! detection so one physical movement produces one detection.
+
+use gesto_stream::{SchemaRef, StreamTime, Tuple};
+
+use crate::error::CepError;
+use crate::expr::{compile, CompiledExpr, FunctionRegistry};
+use crate::pattern::{ConsumePolicy, Pattern, SelectPolicy};
+
+/// Default cap on simultaneously tracked partial matches.
+pub const DEFAULT_MAX_RUNS: usize = 4096;
+
+/// A compiled leaf step.
+struct CompiledStep {
+    source: String,
+    predicate: CompiledExpr,
+}
+
+/// `completion(to_leaf) - completion(from_leaf) <= within_ms`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeConstraint {
+    /// Leaf index whose completion starts the clock.
+    pub from_leaf: usize,
+    /// Leaf index that must complete in time.
+    pub to_leaf: usize,
+    /// Budget in stream milliseconds.
+    pub within_ms: StreamTime,
+}
+
+/// A partial match.
+#[derive(Debug, Clone)]
+struct Run {
+    /// Index of the next leaf to match.
+    next: usize,
+    /// Completion timestamp per completed leaf.
+    completions: Vec<StreamTime>,
+    /// The tuple that matched each completed leaf.
+    matched: Vec<Tuple>,
+    /// Monotone run id (seeding order).
+    id: u64,
+}
+
+/// A completed match.
+#[derive(Debug, Clone)]
+pub struct NfaMatch {
+    /// Stream time of the final event.
+    pub ts: StreamTime,
+    /// Stream time of the first event.
+    pub started_at: StreamTime,
+    /// One tuple per leaf step, in order.
+    pub events: Vec<Tuple>,
+}
+
+impl NfaMatch {
+    /// Total duration of the match in stream milliseconds.
+    pub fn duration_ms(&self) -> StreamTime {
+        self.ts - self.started_at
+    }
+}
+
+/// Compiled pattern + run state.
+pub struct Nfa {
+    steps: Vec<CompiledStep>,
+    constraints: Vec<TimeConstraint>,
+    select: SelectPolicy,
+    consume: ConsumePolicy,
+    runs: Vec<Run>,
+    next_run_id: u64,
+    max_runs: usize,
+    /// Total runs discarded due to the `max_runs` cap.
+    shed: u64,
+}
+
+/// Per-leaf schema resolution used at compile time: maps a source name to
+/// the schema its predicates are evaluated against.
+pub trait SchemaResolver {
+    /// Schema of the named stream or view.
+    fn schema_of(&self, source: &str) -> Result<SchemaRef, CepError>;
+}
+
+impl SchemaResolver for gesto_stream::Catalog {
+    fn schema_of(&self, source: &str) -> Result<SchemaRef, CepError> {
+        Ok(gesto_stream::Catalog::schema_of(self, source)?)
+    }
+}
+
+/// Resolver for the common single-stream case: every source name maps to
+/// one schema.
+pub struct SingleSchema(pub SchemaRef);
+
+impl SchemaResolver for SingleSchema {
+    fn schema_of(&self, _source: &str) -> Result<SchemaRef, CepError> {
+        Ok(self.0.clone())
+    }
+}
+
+impl Nfa {
+    /// Compiles `pattern` against the schemas provided by `resolver`,
+    /// resolving scalar functions in `funcs`.
+    pub fn compile(
+        pattern: &Pattern,
+        resolver: &dyn SchemaResolver,
+        funcs: &FunctionRegistry,
+    ) -> Result<Self, CepError> {
+        let mut steps = Vec::new();
+        let mut constraints = Vec::new();
+        collect(pattern, resolver, funcs, &mut steps, &mut constraints)?;
+        if steps.is_empty() {
+            return Err(CepError::Compile("pattern has no event steps".into()));
+        }
+        let (select, consume) = match pattern {
+            Pattern::Sequence(s) => (s.select, s.consume),
+            Pattern::Event(_) => (SelectPolicy::default(), ConsumePolicy::default()),
+        };
+        Ok(Self {
+            steps,
+            constraints,
+            select,
+            consume,
+            runs: Vec::new(),
+            next_run_id: 0,
+            max_runs: DEFAULT_MAX_RUNS,
+            shed: 0,
+        })
+    }
+
+    /// Overrides the partial-match cap.
+    pub fn with_max_runs(mut self, max_runs: usize) -> Self {
+        self.max_runs = max_runs.max(1);
+        self
+    }
+
+    /// Number of leaf steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The compiled time constraints (for inspection/tests).
+    pub fn constraints(&self) -> &[TimeConstraint] {
+        &self.constraints
+    }
+
+    /// Live partial matches.
+    pub fn active_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Runs discarded because of the `max_runs` cap.
+    pub fn shed_runs(&self) -> u64 {
+        self.shed
+    }
+
+    /// Drops all partial matches.
+    pub fn reset(&mut self) {
+        self.runs.clear();
+    }
+
+    /// Feeds one tuple from `source`; returns completed matches according
+    /// to the select policy.
+    pub fn advance(
+        &mut self,
+        source: &str,
+        tuple: &Tuple,
+    ) -> Result<Vec<NfaMatch>, CepError> {
+        let ts = tuple.timestamp().unwrap_or(0);
+        self.prune_expired(ts);
+
+        let mut completed: Vec<Run> = Vec::new();
+
+        // Advance existing runs (each run by at most one step per tuple).
+        // Advanced runs are parked in a side vector so the same tuple can
+        // never advance one run twice.
+        let mut advanced: Vec<Run> = Vec::new();
+        let mut i = 0;
+        while i < self.runs.len() {
+            let run = &self.runs[i];
+            let step = &self.steps[run.next];
+            if step.source == source && step.predicate.eval_bool(tuple)? {
+                let mut run = self.runs.swap_remove(i);
+                run.completions.push(ts);
+                run.matched.push(tuple.clone());
+                run.next += 1;
+                if self.violates_constraints(&run) {
+                    // Too slow: the run dies. swap_remove moved an
+                    // unprocessed run into slot i, so don't increment.
+                    continue;
+                }
+                if run.next == self.steps.len() {
+                    completed.push(run);
+                } else {
+                    advanced.push(run);
+                }
+                continue;
+            }
+            i += 1;
+        }
+        self.runs.extend(advanced);
+
+        // Seed a new run: this tuple as leaf 0.
+        let step0 = &self.steps[0];
+        if step0.source == source && step0.predicate.eval_bool(tuple)? {
+            let run = Run {
+                next: 1,
+                completions: vec![ts],
+                matched: vec![tuple.clone()],
+                id: self.next_run_id,
+            };
+            self.next_run_id += 1;
+            if self.steps.len() == 1 {
+                completed.push(run);
+            } else if self.runs.len() >= self.max_runs {
+                // Shed the oldest run to bound memory.
+                if let Some(pos) = self.oldest_run_pos() {
+                    self.runs.swap_remove(pos);
+                    self.shed += 1;
+                }
+                self.runs.push(run);
+            } else {
+                self.runs.push(run);
+            }
+        }
+
+        if completed.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // Selection policy.
+        completed.sort_by_key(|r| r.id);
+        let selected: Vec<Run> = match self.select {
+            SelectPolicy::First => completed.into_iter().take(1).collect(),
+            SelectPolicy::Last => {
+                let last = completed.pop().expect("non-empty");
+                vec![last]
+            }
+            SelectPolicy::All => completed,
+        };
+
+        // Consumption policy.
+        if self.consume == ConsumePolicy::All {
+            self.runs.clear();
+        }
+
+        Ok(selected
+            .into_iter()
+            .map(|r| NfaMatch {
+                ts: *r.completions.last().expect("completed run"),
+                started_at: r.completions[0],
+                events: r.matched,
+            })
+            .collect())
+    }
+
+    fn oldest_run_pos(&self) -> Option<usize> {
+        self.runs
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.id)
+            .map(|(i, _)| i)
+    }
+
+    /// Kills runs whose pending time constraints can no longer be met at
+    /// stream time `now`.
+    fn prune_expired(&mut self, now: StreamTime) {
+        let constraints = &self.constraints;
+        self.runs.retain(|run| {
+            for c in constraints {
+                if run.next <= c.to_leaf && c.from_leaf < run.completions.len() {
+                    let deadline = run.completions[c.from_leaf] + c.within_ms;
+                    if now > deadline {
+                        return false;
+                    }
+                }
+            }
+            true
+        });
+    }
+
+    /// Checks constraints that end at the run's most recently completed
+    /// leaf.
+    fn violates_constraints(&self, run: &Run) -> bool {
+        let last = run.completions.len() - 1;
+        for c in &self.constraints {
+            if c.to_leaf == last
+                && c.from_leaf < run.completions.len()
+                && run.completions[last] - run.completions[c.from_leaf] > c.within_ms
+            {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Recursively collects leaf steps and time constraints.
+fn collect(
+    pattern: &Pattern,
+    resolver: &dyn SchemaResolver,
+    funcs: &FunctionRegistry,
+    steps: &mut Vec<CompiledStep>,
+    constraints: &mut Vec<TimeConstraint>,
+) -> Result<(), CepError> {
+    match pattern {
+        Pattern::Event(e) => {
+            let schema = resolver.schema_of(&e.source)?;
+            let predicate = compile(&e.predicate, &schema, funcs)?;
+            steps.push(CompiledStep { source: e.source.clone(), predicate });
+            Ok(())
+        }
+        Pattern::Sequence(s) => {
+            if s.steps.is_empty() {
+                return Err(CepError::Compile("empty sequence".into()));
+            }
+            let mut first_child_last_leaf = None;
+            for (i, child) in s.steps.iter().enumerate() {
+                collect(child, resolver, funcs, steps, constraints)?;
+                if i == 0 {
+                    first_child_last_leaf = Some(steps.len() - 1);
+                }
+            }
+            if let (Some(within), Some(from)) = (s.within_ms, first_child_last_leaf) {
+                let to = steps.len() - 1;
+                if to > from {
+                    constraints.push(TimeConstraint { from_leaf: from, to_leaf: to, within_ms: within });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_pattern, parse_query};
+    use gesto_stream::{SchemaBuilder, Value};
+
+    fn schema() -> SchemaRef {
+        SchemaBuilder::new("k").timestamp("ts").float("x").build().unwrap()
+    }
+
+    fn tup(ts: i64, x: f64) -> Tuple {
+        Tuple::new(schema(), vec![Value::Timestamp(ts), Value::Float(x)]).unwrap()
+    }
+
+    fn nfa(src: &str) -> Nfa {
+        let p = parse_pattern(src).unwrap();
+        Nfa::compile(&p, &SingleSchema(schema()), &FunctionRegistry::with_builtins()).unwrap()
+    }
+
+    #[test]
+    fn simple_sequence_matches_in_order() {
+        let mut n = nfa("k(x < 1) -> k(x > 9)");
+        assert!(n.advance("k", &tup(0, 0.5)).unwrap().is_empty());
+        let m = n.advance("k", &tup(100, 10.0)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].started_at, 0);
+        assert_eq!(m[0].ts, 100);
+        assert_eq!(m[0].duration_ms(), 100);
+        assert_eq!(m[0].events.len(), 2);
+    }
+
+    #[test]
+    fn out_of_order_does_not_match() {
+        let mut n = nfa("k(x < 1) -> k(x > 9)");
+        assert!(n.advance("k", &tup(0, 10.0)).unwrap().is_empty());
+        assert!(n.advance("k", &tup(50, 0.5)).unwrap().is_empty());
+        // now completes with a later high value
+        assert_eq!(n.advance("k", &tup(90, 12.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn skip_till_next_match_ignores_noise() {
+        let mut n = nfa("k(x < 1) -> k(x > 9)");
+        n.advance("k", &tup(0, 0.5)).unwrap();
+        for i in 1..10 {
+            assert!(n.advance("k", &tup(i * 10, 5.0)).unwrap().is_empty());
+        }
+        assert_eq!(n.advance("k", &tup(200, 10.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn within_constraint_expires_runs() {
+        let mut n = nfa("k(x < 1) -> k(x > 9) within 1 seconds");
+        n.advance("k", &tup(0, 0.5)).unwrap();
+        // 1500 ms later: run must be dead.
+        assert!(n.advance("k", &tup(1500, 10.0)).unwrap().is_empty());
+        assert_eq!(n.active_runs(), 0);
+        // A fresh attempt inside the budget works.
+        n.advance("k", &tup(2000, 0.5)).unwrap();
+        assert_eq!(n.advance("k", &tup(2900, 10.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn within_boundary_inclusive() {
+        let mut n = nfa("k(x < 1) -> k(x > 9) within 1 seconds");
+        n.advance("k", &tup(0, 0.5)).unwrap();
+        assert_eq!(n.advance("k", &tup(1000, 10.0)).unwrap().len(), 1, "exactly at deadline");
+    }
+
+    #[test]
+    fn nested_within_gives_per_segment_budgets() {
+        // (A -> B within 1s) -> C within 1s : B-A <= 1s and C-B <= 1s.
+        let mut n = nfa("(k(x < 1) -> k(x > 9) within 1 seconds) -> k(x < 1) within 1 seconds");
+        assert_eq!(n.constraints().len(), 2);
+        n.advance("k", &tup(0, 0.0)).unwrap();
+        n.advance("k", &tup(900, 10.0)).unwrap();
+        // C arrives 1.9 s after A but only 1.0 s after B: must match.
+        let m = n.advance("k", &tup(1900, 0.0)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].duration_ms(), 1900);
+    }
+
+    #[test]
+    fn nested_within_kills_slow_tail() {
+        let mut n = nfa("(k(x < 1) -> k(x > 9) within 1 seconds) -> k(x = 5) within 1 seconds");
+        n.advance("k", &tup(0, 0.0)).unwrap();
+        n.advance("k", &tup(500, 10.0)).unwrap();
+        // Tail 1.2 s after B: outer constraint violated.
+        assert!(n.advance("k", &tup(1700, 5.0)).unwrap().is_empty());
+        assert_eq!(n.active_runs(), 0);
+    }
+
+    #[test]
+    fn consume_all_clears_partial_state() {
+        let mut n = nfa("k(x < 1) -> k(x > 9)");
+        n.advance("k", &tup(0, 0.5)).unwrap();
+        n.advance("k", &tup(10, 0.6)).unwrap(); // second seed
+        assert_eq!(n.active_runs(), 2);
+        let m = n.advance("k", &tup(20, 10.0)).unwrap();
+        assert_eq!(m.len(), 1, "select first");
+        assert_eq!(n.active_runs(), 0, "consume all cleared runs");
+    }
+
+    #[test]
+    fn consume_none_keeps_other_runs() {
+        let mut n = nfa("k(x < 1) -> k(x > 9) select all consume none");
+        n.advance("k", &tup(0, 0.5)).unwrap();
+        n.advance("k", &tup(10, 0.6)).unwrap();
+        let m = n.advance("k", &tup(20, 10.0)).unwrap();
+        assert_eq!(m.len(), 2, "select all reports both");
+    }
+
+    #[test]
+    fn select_last_reports_most_recent_seed() {
+        let mut n = nfa("k(x < 1) -> k(x > 9) select last consume all");
+        n.advance("k", &tup(0, 0.5)).unwrap();
+        n.advance("k", &tup(10, 0.6)).unwrap();
+        let m = n.advance("k", &tup(20, 10.0)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].started_at, 10);
+    }
+
+    #[test]
+    fn single_event_pattern_fires_immediately() {
+        let mut n = nfa("k(x > 9)");
+        assert!(n.advance("k", &tup(0, 1.0)).unwrap().is_empty());
+        let m = n.advance("k", &tup(10, 10.0)).unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].duration_ms(), 0);
+    }
+
+    #[test]
+    fn one_tuple_advances_a_run_by_at_most_one_step() {
+        // Predicate true for both steps: one tuple must not complete both.
+        let mut n = nfa("k(x > 0) -> k(x > 0)");
+        assert!(n.advance("k", &tup(0, 1.0)).unwrap().is_empty());
+        assert_eq!(n.advance("k", &tup(1, 1.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn source_mismatch_is_ignored() {
+        let mut n = nfa("a(x < 1) -> b(x > 9)");
+        assert!(n.advance("b", &tup(0, 0.5)).unwrap().is_empty(), "b tuple can't seed a-step");
+        n.advance("a", &tup(10, 0.5)).unwrap();
+        assert!(n.advance("a", &tup(20, 10.0)).unwrap().is_empty(), "a tuple can't fill b-step");
+        assert_eq!(n.advance("b", &tup(30, 10.0)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn max_runs_sheds_oldest() {
+        let mut n = nfa("k(x < 1) -> k(x > 9)").with_max_runs(2);
+        n.advance("k", &tup(0, 0.0)).unwrap();
+        n.advance("k", &tup(1, 0.0)).unwrap();
+        n.advance("k", &tup(2, 0.0)).unwrap();
+        assert_eq!(n.active_runs(), 2);
+        assert_eq!(n.shed_runs(), 1);
+    }
+
+    #[test]
+    fn compile_fig1_pattern() {
+        let q = parse_query(crate::fixtures::FIG1_QUERY).unwrap();
+        let schema = SchemaBuilder::new("kinect")
+            .timestamp("ts")
+            .float("rHand_x")
+            .float("rHand_y")
+            .float("rHand_z")
+            .float("torso_x")
+            .float("torso_y")
+            .float("torso_z")
+            .build()
+            .unwrap();
+        let n = Nfa::compile(
+            &q.pattern,
+            &SingleSchema(schema),
+            &FunctionRegistry::with_builtins(),
+        )
+        .unwrap();
+        assert_eq!(n.step_count(), 3);
+        assert_eq!(
+            n.constraints(),
+            &[
+                TimeConstraint { from_leaf: 0, to_leaf: 1, within_ms: 1000 },
+                TimeConstraint { from_leaf: 1, to_leaf: 2, within_ms: 1000 },
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_clears_runs() {
+        let mut n = nfa("k(x < 1) -> k(x > 9)");
+        n.advance("k", &tup(0, 0.0)).unwrap();
+        assert_eq!(n.active_runs(), 1);
+        n.reset();
+        assert_eq!(n.active_runs(), 0);
+    }
+}

@@ -1,0 +1,20 @@
+//! # gesto-control — the interactive gesture-learning workflow
+//!
+//! §3.1 of *Beier et al., "Learning Event Patterns for Gesture
+//! Detection"* (EDBT 2014): control gestures steer the learning tool
+//! itself (wave = record a sample, two-hand swipe = finalise), stillness
+//! segmentation brackets each recording, and finalisation deploys the
+//! generated query into the live CEP engine.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod control_gestures;
+mod motion;
+mod session;
+mod workflow;
+
+pub use control_gestures::{control_queries, is_control_name, FINISH_CONTROL, WAVE_CONTROL};
+pub use motion::{MotionConfig, MotionDetector, MotionState};
+pub use session::{ControlSignals, Session, SessionEvent, SessionState};
+pub use workflow::{Workflow, WorkflowError, WorkflowEvent};

@@ -1,0 +1,221 @@
+//! Stillness detection (§3.1).
+//!
+//! "The actual recording is triggered after the user did not move for
+//! some time and lasts until the user stops at the end pose." The
+//! detector watches the tracked joints over a sliding time window and
+//! reports `Still` when their bounding-box diameter stays under a
+//! threshold for the whole window.
+
+use std::collections::VecDeque;
+
+use gesto_kinect::{SkeletonFrame, ALL_JOINTS};
+use serde::{Deserialize, Serialize};
+
+/// Motion classification of the current instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MotionState {
+    /// Not enough history to decide yet.
+    Unknown,
+    /// The user held the pose for the whole window.
+    Still,
+    /// The user is moving.
+    Moving,
+}
+
+/// Configuration of the motion detector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MotionConfig {
+    /// Window length in stream ms the classification looks back over.
+    pub window_ms: i64,
+    /// Maximum bounding-box edge (mm) of any joint's positions within the
+    /// window for the pose to count as still.
+    pub threshold_mm: f64,
+}
+
+impl Default for MotionConfig {
+    fn default() -> Self {
+        Self { window_ms: 500, threshold_mm: 60.0 }
+    }
+}
+
+/// Sliding-window stillness detector over skeleton frames.
+#[derive(Debug, Clone)]
+pub struct MotionDetector {
+    config: MotionConfig,
+    history: VecDeque<(i64, Vec<Option<gesto_kinect::Vec3>>)>,
+}
+
+impl MotionDetector {
+    /// Creates a detector.
+    pub fn new(config: MotionConfig) -> Self {
+        Self { config, history: VecDeque::new() }
+    }
+
+    /// Creates a detector with default settings.
+    pub fn with_defaults() -> Self {
+        Self::new(MotionConfig::default())
+    }
+
+    /// Clears history (e.g. at session boundaries).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    /// Feeds one frame, returns the current state.
+    pub fn push(&mut self, frame: &SkeletonFrame) -> MotionState {
+        let ts = frame.ts;
+        self.history
+            .push_back((ts, frame.joints.to_vec()));
+        while let Some((t0, _)) = self.history.front() {
+            if ts - t0 > self.config.window_ms {
+                self.history.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.classify()
+    }
+
+    /// Current state without feeding a new frame.
+    pub fn classify(&self) -> MotionState {
+        let span = match (self.history.front(), self.history.back()) {
+            (Some((a, _)), Some((b, _))) => b - a,
+            _ => return MotionState::Unknown,
+        };
+        // Need (most of) a full window of history before deciding.
+        if span < (self.config.window_ms as f64 * 0.8) as i64 {
+            return MotionState::Unknown;
+        }
+        // Per joint: bounding box of positions in the window.
+        for j in ALL_JOINTS {
+            let idx = j.index();
+            let mut min = [f64::MAX; 3];
+            let mut max = [f64::MIN; 3];
+            let mut seen = false;
+            for (_, joints) in &self.history {
+                if let Some(p) = joints[idx] {
+                    seen = true;
+                    for (d, v) in [p.x, p.y, p.z].into_iter().enumerate() {
+                        min[d] = min[d].min(v);
+                        max[d] = max[d].max(v);
+                    }
+                }
+            }
+            if !seen {
+                continue;
+            }
+            for d in 0..3 {
+                if max[d] - min[d] > self.config.threshold_mm {
+                    return MotionState::Moving;
+                }
+            }
+        }
+        MotionState::Still
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesto_kinect::{gestures, Joint, NoiseModel, Performer, Persona, Vec3};
+
+    #[test]
+    fn unknown_until_window_fills() {
+        let mut d = MotionDetector::with_defaults();
+        let mut f = SkeletonFrame::empty(0, 1);
+        f.set_joint(Joint::Torso, Vec3::ZERO);
+        assert_eq!(d.push(&f), MotionState::Unknown);
+        let mut f2 = f.clone();
+        f2.ts = 100;
+        assert_eq!(d.push(&f2), MotionState::Unknown);
+    }
+
+    #[test]
+    fn still_pose_detected() {
+        let mut d = MotionDetector::with_defaults();
+        let mut state = MotionState::Unknown;
+        for i in 0..20 {
+            let mut f = SkeletonFrame::empty(i * 33, 1);
+            f.set_joint(Joint::RightHand, Vec3::new(100.0, 200.0, -100.0));
+            state = d.push(&f);
+        }
+        assert_eq!(state, MotionState::Still);
+    }
+
+    #[test]
+    fn movement_detected_and_recovers() {
+        let mut d = MotionDetector::with_defaults();
+        // Still phase.
+        for i in 0..20 {
+            let mut f = SkeletonFrame::empty(i * 33, 1);
+            f.set_joint(Joint::RightHand, Vec3::new(0.0, 0.0, 0.0));
+            d.push(&f);
+        }
+        // Sudden movement.
+        let mut f = SkeletonFrame::empty(20 * 33, 1);
+        f.set_joint(Joint::RightHand, Vec3::new(300.0, 0.0, 0.0));
+        assert_eq!(d.push(&f), MotionState::Moving);
+        // Hold the new pose: back to still after a window passes.
+        let mut state = MotionState::Moving;
+        for i in 21..45 {
+            let mut f = SkeletonFrame::empty(i * 33, 1);
+            f.set_joint(Joint::RightHand, Vec3::new(300.0, 0.0, 0.0));
+            state = d.push(&f);
+        }
+        assert_eq!(state, MotionState::Still);
+    }
+
+    #[test]
+    fn sensor_jitter_stays_still() {
+        let persona = Persona::reference().with_noise(NoiseModel::realistic());
+        let mut perf = Performer::new(persona, 0);
+        let frames = perf.render_idle(2000);
+        let mut d = MotionDetector::with_defaults();
+        let mut still = 0;
+        let mut moving = 0;
+        for f in &frames {
+            match d.push(f) {
+                MotionState::Still => still += 1,
+                MotionState::Moving => moving += 1,
+                MotionState::Unknown => {}
+            }
+        }
+        assert!(still > 30, "idle persona is mostly still ({still} still, {moving} moving)");
+        assert_eq!(moving, 0, "jitter below threshold");
+    }
+
+    #[test]
+    fn swipe_is_moving() {
+        let mut perf = Performer::new(Persona::reference(), 0);
+        let frames = perf.render(&gestures::swipe_right());
+        let mut d = MotionDetector::with_defaults();
+        let states: Vec<MotionState> = frames.iter().map(|f| d.push(f)).collect();
+        assert!(states.contains(&MotionState::Moving));
+    }
+
+    #[test]
+    fn dropout_joints_ignored() {
+        let mut d = MotionDetector::with_defaults();
+        let mut state = MotionState::Unknown;
+        for i in 0..20 {
+            let mut f = SkeletonFrame::empty(i * 33, 1);
+            // Only the torso is ever tracked; everything else missing.
+            f.set_joint(Joint::Torso, Vec3::new(1.0, 2.0, 3.0));
+            state = d.push(&f);
+        }
+        assert_eq!(state, MotionState::Still);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut d = MotionDetector::with_defaults();
+        for i in 0..20 {
+            let mut f = SkeletonFrame::empty(i * 33, 1);
+            f.set_joint(Joint::Torso, Vec3::ZERO);
+            d.push(&f);
+        }
+        assert_eq!(d.classify(), MotionState::Still);
+        d.reset();
+        assert_eq!(d.classify(), MotionState::Unknown);
+    }
+}

@@ -1,0 +1,279 @@
+//! The recording session state machine (§3.1).
+//!
+//! Protocol: the user *waves* to request a sample recording, moves to the
+//! gesture's start pose, holds still (arming), performs the movement
+//! (recording), and holds still again at the end pose (sample complete).
+//! A *two-hand swipe* finalises the session. Everything between arming
+//! stillness and end stillness "is regarded as part of the gesture and
+//! forwarded to the learning component".
+
+use gesto_kinect::SkeletonFrame;
+use serde::{Deserialize, Serialize};
+
+use crate::motion::MotionState;
+
+/// State of the recording session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SessionState {
+    /// Waiting for the wave control gesture.
+    #[default]
+    Idle,
+    /// Wave seen; waiting for the user to settle at the start pose.
+    AwaitStill,
+    /// Start pose held; recording begins at the next movement.
+    Armed,
+    /// Movement in progress; frames are being buffered.
+    Recording,
+    /// Session finalised (two-hand swipe); no further samples.
+    Finished,
+}
+
+/// Events emitted by the state machine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// Wave detected: waiting for the start pose.
+    RecordingRequested,
+    /// User settled: the next movement starts the sample.
+    Armed,
+    /// Movement began: buffering.
+    RecordingStarted,
+    /// A sample was completed (the buffered frames).
+    SampleRecorded(Vec<SkeletonFrame>),
+    /// The session was finalised; any in-progress buffer was discarded.
+    Finished {
+        /// Samples completed during the session.
+        samples: usize,
+    },
+}
+
+/// Per-frame controller input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControlSignals {
+    /// The wave control gesture was detected on this frame.
+    pub wave: bool,
+    /// The finish (two-hand swipe) control gesture was detected.
+    pub finish: bool,
+}
+
+/// The session state machine. Pure logic: feed one frame + signals,
+/// collect events.
+#[derive(Debug, Default)]
+pub struct Session {
+    state: SessionState,
+    buffer: Vec<SkeletonFrame>,
+    samples: usize,
+}
+
+impl Session {
+    /// Creates an idle session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// Completed samples so far.
+    pub fn sample_count(&self) -> usize {
+        self.samples
+    }
+
+    /// Restarts an idle session after finalisation.
+    pub fn restart(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Advances the machine by one frame.
+    pub fn step(
+        &mut self,
+        frame: &SkeletonFrame,
+        motion: MotionState,
+        signals: ControlSignals,
+    ) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+
+        // Finish has priority in every active state; in Idle it only
+        // counts once at least one sample exists (guards against
+        // accidentally finalising an empty session).
+        let finish_applies = signals.finish
+            && self.state != SessionState::Finished
+            && (self.state != SessionState::Idle || self.samples > 0);
+        if finish_applies {
+            self.buffer.clear();
+            self.state = SessionState::Finished;
+            events.push(SessionEvent::Finished { samples: self.samples });
+            return events;
+        }
+
+        match self.state {
+            SessionState::Idle => {
+                if signals.wave {
+                    self.state = SessionState::AwaitStill;
+                    events.push(SessionEvent::RecordingRequested);
+                }
+            }
+            SessionState::AwaitStill => {
+                if motion == MotionState::Still {
+                    self.state = SessionState::Armed;
+                    events.push(SessionEvent::Armed);
+                }
+            }
+            SessionState::Armed => {
+                if motion == MotionState::Moving {
+                    self.state = SessionState::Recording;
+                    self.buffer.clear();
+                    self.buffer.push(frame.clone());
+                    events.push(SessionEvent::RecordingStarted);
+                }
+            }
+            SessionState::Recording => {
+                self.buffer.push(frame.clone());
+                if motion == MotionState::Still {
+                    let sample = std::mem::take(&mut self.buffer);
+                    self.samples += 1;
+                    self.state = SessionState::Idle;
+                    events.push(SessionEvent::SampleRecorded(sample));
+                }
+            }
+            SessionState::Finished => {}
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesto_kinect::{Joint, Vec3};
+
+    fn frame(ts: i64) -> SkeletonFrame {
+        let mut f = SkeletonFrame::empty(ts, 1);
+        f.set_joint(Joint::Torso, Vec3::ZERO);
+        f
+    }
+
+    const NO: ControlSignals = ControlSignals { wave: false, finish: false };
+    const WAVE: ControlSignals = ControlSignals { wave: true, finish: false };
+    const FINISH: ControlSignals = ControlSignals { wave: false, finish: true };
+
+    #[test]
+    fn full_recording_cycle() {
+        let mut s = Session::new();
+        assert_eq!(s.state(), SessionState::Idle);
+
+        // Wave requests recording.
+        let ev = s.step(&frame(0), MotionState::Moving, WAVE);
+        assert_eq!(ev, vec![SessionEvent::RecordingRequested]);
+        assert_eq!(s.state(), SessionState::AwaitStill);
+
+        // Still -> armed.
+        let ev = s.step(&frame(33), MotionState::Still, NO);
+        assert_eq!(ev, vec![SessionEvent::Armed]);
+
+        // Movement -> recording.
+        let ev = s.step(&frame(66), MotionState::Moving, NO);
+        assert_eq!(ev, vec![SessionEvent::RecordingStarted]);
+        assert_eq!(s.state(), SessionState::Recording);
+
+        // A few movement frames buffer up.
+        for i in 3..10 {
+            assert!(s.step(&frame(i * 33), MotionState::Moving, NO).is_empty());
+        }
+
+        // Still -> sample recorded, back to idle.
+        let ev = s.step(&frame(330), MotionState::Still, NO);
+        match &ev[0] {
+            SessionEvent::SampleRecorded(frames) => {
+                assert_eq!(frames.len(), 9, "movement + closing frame");
+                assert_eq!(frames[0].ts, 66, "buffer starts at movement onset");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.state(), SessionState::Idle);
+        assert_eq!(s.sample_count(), 1);
+    }
+
+    #[test]
+    fn wave_ignored_outside_idle() {
+        let mut s = Session::new();
+        s.step(&frame(0), MotionState::Moving, WAVE);
+        assert_eq!(s.state(), SessionState::AwaitStill);
+        // Second wave while awaiting still: no new event.
+        assert!(s.step(&frame(33), MotionState::Moving, WAVE).is_empty());
+        assert_eq!(s.state(), SessionState::AwaitStill);
+    }
+
+    #[test]
+    fn unknown_motion_does_not_arm_or_close() {
+        let mut s = Session::new();
+        s.step(&frame(0), MotionState::Moving, WAVE);
+        assert!(s.step(&frame(33), MotionState::Unknown, NO).is_empty());
+        assert_eq!(s.state(), SessionState::AwaitStill);
+    }
+
+    #[test]
+    fn finish_discards_in_progress_buffer() {
+        let mut s = Session::new();
+        s.step(&frame(0), MotionState::Moving, WAVE);
+        s.step(&frame(33), MotionState::Still, NO);
+        s.step(&frame(66), MotionState::Moving, NO);
+        assert_eq!(s.state(), SessionState::Recording);
+        let ev = s.step(&frame(99), MotionState::Moving, FINISH);
+        assert_eq!(ev, vec![SessionEvent::Finished { samples: 0 }]);
+        assert_eq!(s.state(), SessionState::Finished);
+        // No further activity.
+        assert!(s.step(&frame(132), MotionState::Moving, WAVE).is_empty());
+    }
+
+    #[test]
+    fn finish_in_fresh_idle_is_ignored() {
+        let mut s = Session::new();
+        assert!(s.step(&frame(0), MotionState::Still, FINISH).is_empty());
+        assert_eq!(s.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn finish_in_idle_with_samples_finalises() {
+        let mut s = Session::new();
+        s.step(&frame(0), MotionState::Moving, WAVE);
+        s.step(&frame(33), MotionState::Still, NO);
+        s.step(&frame(66), MotionState::Moving, NO);
+        s.step(&frame(99), MotionState::Still, NO);
+        assert_eq!(s.sample_count(), 1);
+        assert_eq!(s.state(), SessionState::Idle);
+        let ev = s.step(&frame(200), MotionState::Moving, FINISH);
+        assert_eq!(ev, vec![SessionEvent::Finished { samples: 1 }]);
+    }
+
+    #[test]
+    fn multiple_samples_in_one_session() {
+        let mut s = Session::new();
+        for round in 0..3 {
+            let base = round * 1000;
+            s.step(&frame(base), MotionState::Moving, WAVE);
+            s.step(&frame(base + 33), MotionState::Still, NO);
+            s.step(&frame(base + 66), MotionState::Moving, NO);
+            s.step(&frame(base + 99), MotionState::Moving, NO);
+            let ev = s.step(&frame(base + 132), MotionState::Still, NO);
+            assert!(matches!(ev[0], SessionEvent::SampleRecorded(_)));
+        }
+        assert_eq!(s.sample_count(), 3);
+        let ev = s.step(&frame(5000), MotionState::Still, ControlSignals { wave: true, finish: false });
+        assert_eq!(ev, vec![SessionEvent::RecordingRequested]);
+        let ev = s.step(&frame(5033), MotionState::Still, FINISH);
+        assert_eq!(ev, vec![SessionEvent::Finished { samples: 3 }]);
+    }
+
+    #[test]
+    fn restart_after_finish() {
+        let mut s = Session::new();
+        s.step(&frame(0), MotionState::Moving, WAVE);
+        s.step(&frame(33), MotionState::Still, FINISH);
+        assert_eq!(s.state(), SessionState::Finished);
+        s.restart();
+        assert_eq!(s.state(), SessionState::Idle);
+        assert_eq!(s.sample_count(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Learner configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::merging::MergeConfig;
+use crate::model::JointSet;
+use crate::sampling::Strategy;
+
+/// How the `within` budget of generated queries is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WithinPolicy {
+    /// Fixed per-transition budget in ms (the paper's `within 1 seconds`).
+    FixedMs(i64),
+    /// Largest observed transition duration × `slack`, floored at
+    /// `floor_ms` — adapts to slow gestures while keeping the paper's
+    /// robustness.
+    Adaptive {
+        /// Multiplier on the observed maximum (e.g. 2.0).
+        slack: f64,
+        /// Lower bound in ms.
+        floor_ms: i64,
+    },
+}
+
+impl Default for WithinPolicy {
+    fn default() -> Self {
+        WithinPolicy::Adaptive { slack: 2.5, floor_ms: 1000 }
+    }
+}
+
+/// Configuration of the full learning pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LearnerConfig {
+    /// Joints the gesture is defined over.
+    pub joints: JointSet,
+    /// Sampling strategy (§3.3.1).
+    pub sampling: Strategy,
+    /// Merge behaviour (§3.3.2).
+    pub merge: MergeConfig,
+    /// Generalisation: scale factor applied to merged half-widths.
+    pub width_scale: f64,
+    /// Generalisation: minimum half-width per dimension (mm). The paper's
+    /// example windows use ±50.
+    pub min_width_mm: f64,
+    /// Time-budget policy for generated queries.
+    pub within: WithinPolicy,
+    /// Stream/view name generated queries read from.
+    pub source: String,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        Self {
+            joints: JointSet::default(),
+            sampling: Strategy::default(),
+            merge: MergeConfig::default(),
+            width_scale: 1.2,
+            min_width_mm: 50.0,
+            within: WithinPolicy::default(),
+            source: "kinect_t".into(),
+        }
+    }
+}
+
+impl LearnerConfig {
+    /// Config matching the paper's Fig. 1 setting: raw torso-relative
+    /// coordinates and a fixed 1-second budget.
+    pub fn fig1() -> Self {
+        Self {
+            within: WithinPolicy::FixedMs(1000),
+            source: "kinect".into(),
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = LearnerConfig::default();
+        assert_eq!(c.min_width_mm, 50.0, "paper's ±50 default");
+        assert!(c.width_scale >= 1.0);
+        assert_eq!(c.source, "kinect_t");
+        match c.within {
+            WithinPolicy::Adaptive { slack, floor_ms } => {
+                assert!(slack > 1.0);
+                assert_eq!(floor_ms, 1000);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fig1_config() {
+        let c = LearnerConfig::fig1();
+        assert_eq!(c.source, "kinect");
+        assert_eq!(c.within, WithinPolicy::FixedMs(1000));
+    }
+}

@@ -1,0 +1,57 @@
+//! # gesto-learn — learning event patterns for gesture detection
+//!
+//! The primary contribution of *Beier, Alaqraa, Lai, Sattler: "Learning
+//! Event Patterns for Gesture Detection"* (EDBT 2014), reproduced in
+//! Rust: a pipeline that turns a handful of recorded gesture samples into
+//! declarative CEP detection queries.
+//!
+//! Pipeline (paper §3.3):
+//!
+//! 1. [`sampling`] — distance-based sampling compresses each 30 Hz sample
+//!    path into characteristic points (§3.3.1);
+//! 2. [`merging`] — per-sequence-number minimal bounding rectangles merge
+//!    samples incrementally, with outlier warnings (§3.3.2);
+//! 3. generalisation — width scaling and flooring ([`Learner::finalize`]);
+//! 4. [`validate`] — overlap cross-checks, window merging, coordinate
+//!    elimination (§3.3.3);
+//! 5. [`query_gen`] — range-predicate / nested-sequence query generation
+//!    (§3.3.4).
+//!
+//! ```
+//! use gesto_learn::{Learner, query_gen::{generate_query_text, QueryStyle}};
+//! use gesto_kinect::{gestures, Performer, Persona};
+//! use gesto_transform::{TransformConfig, Transformer};
+//!
+//! let mut learner = Learner::with_defaults();
+//! for seed in 0..3 {
+//!     let mut perf = Performer::new(Persona::reference().with_seed(seed), 0);
+//!     let frames = perf.render(&gestures::swipe_right());
+//!     let mut tr = Transformer::new(TransformConfig::default());
+//!     let transformed: Vec<_> = frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+//!     learner.add_sample_frames(&transformed).unwrap();
+//! }
+//! let def = learner.finalize("swipe_right").unwrap();
+//! let query = generate_query_text(&def, QueryStyle::TransformedView);
+//! assert!(query.contains("SELECT \"swipe_right\""));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod learner;
+pub mod merging;
+pub mod metric;
+mod model;
+pub mod query_gen;
+pub mod sampling;
+pub mod validate;
+pub mod viz;
+mod window;
+
+pub use config::{LearnerConfig, WithinPolicy};
+pub use learner::{LearnError, Learner};
+pub use merging::{MergeConfig, MergeState, MergeWarning};
+pub use metric::{Metric, Threshold};
+pub use model::{GestureDefinition, GestureSample, JointSet, PathPoint};
+pub use window::PoseWindow;

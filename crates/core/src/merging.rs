@@ -1,0 +1,366 @@
+//! Window merging across samples (§3.3.2, Fig. 4 bottom).
+//!
+//! Characteristic points are extracted per sample; clusters "with the
+//! same sequence number" merge into minimal bounding rectangles. The
+//! merge is incremental (samples can be added one at a time, the paper's
+//! "further samples can be added to incrementally improve the results")
+//! and flags samples that deviate too much from the windows learned so
+//! far.
+//!
+//! Samples rarely produce exactly the same number of characteristic
+//! points. The paper leaves alignment implicit; we align by normalised
+//! arc length: each subsequent sample's characteristic polyline is
+//! resampled at the same relative path positions as the first sample's
+//! points, which preserves sequence order and spreads windows along the
+//! movement.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metric::Metric;
+use crate::model::PathPoint;
+use crate::window::PoseWindow;
+
+/// A warning produced while merging a sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MergeWarning {
+    /// The sample's pose deviated from the current window by more than
+    /// the outlier budget.
+    Outlier {
+        /// Index of the sample (0-based, in merge order).
+        sample: usize,
+        /// Pose (sequence number) where the deviation occurred.
+        pose: usize,
+        /// How far outside the window the point lay (mm).
+        overshoot: f64,
+    },
+    /// The sample produced a different number of characteristic points
+    /// than the model and was re-aligned.
+    Realigned {
+        /// Index of the sample.
+        sample: usize,
+        /// Points the sample produced.
+        got: usize,
+        /// Points the model expects.
+        expected: usize,
+    },
+    /// The sample was rejected entirely (see
+    /// [`MergeConfig::reject_outliers`]).
+    Rejected {
+        /// Index of the sample.
+        sample: usize,
+        /// Worst overshoot that triggered the rejection.
+        overshoot: f64,
+    },
+}
+
+/// Configuration of the incremental merge.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MergeConfig {
+    /// A pose point farther than `outlier_budget_mm` outside the current
+    /// window raises an [`MergeWarning::Outlier`].
+    pub outlier_budget_mm: f64,
+    /// When true, outlier samples do not extend the windows (they are
+    /// reported and dropped); when false they merge anyway (the warning
+    /// still fires).
+    pub reject_outliers: bool,
+    /// Metric used for arc-length alignment.
+    pub metric: Metric,
+}
+
+impl Default for MergeConfig {
+    fn default() -> Self {
+        Self { outlier_budget_mm: 220.0, reject_outliers: false, metric: Metric::Euclidean }
+    }
+}
+
+/// Incremental merge state: one growing MBR per sequence position plus
+/// per-pose timing statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MergeState {
+    config: MergeConfig,
+    windows: Vec<PoseWindow>,
+    /// Per-transition observed durations (ms), max over samples.
+    max_transition_ms: Vec<i64>,
+    samples_merged: usize,
+}
+
+impl MergeState {
+    /// Creates an empty merge state.
+    pub fn new(config: MergeConfig) -> Self {
+        Self { config, windows: Vec::new(), max_transition_ms: Vec::new(), samples_merged: 0 }
+    }
+
+    /// Number of samples merged so far.
+    pub fn sample_count(&self) -> usize {
+        self.samples_merged
+    }
+
+    /// Current windows (empty before the first sample).
+    pub fn windows(&self) -> &[PoseWindow] {
+        &self.windows
+    }
+
+    /// Largest observed duration of each pose transition, ms.
+    pub fn max_transition_ms(&self) -> &[i64] {
+        &self.max_transition_ms
+    }
+
+    /// Merges one sample's characteristic points; returns warnings.
+    ///
+    /// The first sample defines the window count; later samples are
+    /// aligned to it (see module docs).
+    pub fn add_sample(&mut self, points: &[PathPoint]) -> Vec<MergeWarning> {
+        let mut warnings = Vec::new();
+        if points.is_empty() {
+            return warnings;
+        }
+        let sample_idx = self.samples_merged;
+
+        if self.windows.is_empty() {
+            self.windows = points
+                .iter()
+                .map(|p| PoseWindow::point(p.feat.clone()))
+                .collect();
+            self.max_transition_ms = points
+                .windows(2)
+                .map(|w| (w[1].ts - w[0].ts).max(1))
+                .collect();
+            self.samples_merged = 1;
+            return warnings;
+        }
+
+        let expected = self.windows.len();
+        let aligned: Vec<PathPoint> = if points.len() == expected {
+            points.to_vec()
+        } else {
+            warnings.push(MergeWarning::Realigned {
+                sample: sample_idx,
+                got: points.len(),
+                expected,
+            });
+            resample_to(points, expected, self.config.metric)
+        };
+
+        // Outlier check against the current windows.
+        let mut worst = 0.0f64;
+        for (pose, p) in aligned.iter().enumerate() {
+            let overshoot = self.windows[pose].max_overshoot(&p.feat);
+            if overshoot > self.config.outlier_budget_mm {
+                warnings.push(MergeWarning::Outlier { sample: sample_idx, pose, overshoot });
+            }
+            worst = worst.max(overshoot);
+        }
+        if self.config.reject_outliers && worst > self.config.outlier_budget_mm {
+            warnings.push(MergeWarning::Rejected { sample: sample_idx, overshoot: worst });
+            return warnings;
+        }
+
+        // MBR extension per sequence number.
+        for (pose, p) in aligned.iter().enumerate() {
+            self.windows[pose].extend_to(&p.feat);
+        }
+        for (i, w) in aligned.windows(2).enumerate() {
+            let dt = (w[1].ts - w[0].ts).max(1);
+            if dt > self.max_transition_ms[i] {
+                self.max_transition_ms[i] = dt;
+            }
+        }
+        self.samples_merged += 1;
+        warnings
+    }
+}
+
+/// Resamples a characteristic polyline to exactly `n` points at uniform
+/// relative arc-length positions (timestamps interpolated linearly).
+pub fn resample_to(points: &[PathPoint], n: usize, metric: Metric) -> Vec<PathPoint> {
+    assert!(n >= 1);
+    if points.is_empty() {
+        return Vec::new();
+    }
+    if points.len() == 1 || n == 1 {
+        return vec![points[0].clone()];
+    }
+    // Cumulative arc length.
+    let mut cum = Vec::with_capacity(points.len());
+    cum.push(0.0);
+    for w in points.windows(2) {
+        let d = metric.distance(&w[0].feat, &w[1].feat);
+        cum.push(cum.last().unwrap() + d);
+    }
+    let total = *cum.last().unwrap();
+    if total <= f64::EPSILON {
+        // Degenerate: all points coincide.
+        return (0..n).map(|_| points[0].clone()).collect();
+    }
+
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for k in 0..n {
+        let target = total * k as f64 / (n - 1) as f64;
+        while seg + 1 < cum.len() - 1 && cum[seg + 1] < target {
+            seg += 1;
+        }
+        let span = cum[seg + 1] - cum[seg];
+        let t = if span > 0.0 { ((target - cum[seg]) / span).clamp(0.0, 1.0) } else { 0.0 };
+        let a = &points[seg];
+        let b = &points[seg + 1];
+        let feat = a
+            .feat
+            .iter()
+            .zip(&b.feat)
+            .map(|(x, y)| x + (y - x) * t)
+            .collect();
+        let ts = a.ts + ((b.ts - a.ts) as f64 * t).round() as i64;
+        out.push(PathPoint::new(ts, feat));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(ts: i64, x: f64, y: f64) -> PathPoint {
+        PathPoint::new(ts, vec![x, y, 0.0])
+    }
+
+    fn sample(offsets: &[(f64, f64)]) -> Vec<PathPoint> {
+        offsets
+            .iter()
+            .enumerate()
+            .map(|(i, (x, y))| pt(i as i64 * 300, *x, *y))
+            .collect()
+    }
+
+    #[test]
+    fn first_sample_defines_point_windows() {
+        let mut m = MergeState::new(MergeConfig::default());
+        let warns = m.add_sample(&sample(&[(0.0, 0.0), (400.0, 100.0), (800.0, 0.0)]));
+        assert!(warns.is_empty());
+        assert_eq!(m.windows().len(), 3);
+        assert_eq!(m.windows()[1].center, vec![400.0, 100.0, 0.0]);
+        assert_eq!(m.windows()[1].width, vec![0.0, 0.0, 0.0]);
+        assert_eq!(m.max_transition_ms(), &[300, 300]);
+    }
+
+    #[test]
+    fn second_sample_grows_mbrs() {
+        let mut m = MergeState::new(MergeConfig::default());
+        m.add_sample(&sample(&[(0.0, 0.0), (400.0, 100.0), (800.0, 0.0)]));
+        let warns = m.add_sample(&sample(&[(20.0, -10.0), (380.0, 120.0), (820.0, 10.0)]));
+        assert!(warns.is_empty(), "{warns:?}");
+        assert_eq!(m.sample_count(), 2);
+        let w0 = &m.windows()[0];
+        assert_eq!(w0.center[0], 10.0);
+        assert_eq!(w0.width[0], 10.0);
+        assert!(w0.contains(&[0.0, 0.0, 0.0]) && w0.contains(&[20.0, -10.0, 0.0]));
+    }
+
+    #[test]
+    fn mbr_contains_all_merged_points() {
+        let mut m = MergeState::new(MergeConfig::default());
+        let samples = [
+            sample(&[(0.0, 0.0), (400.0, 100.0), (800.0, 0.0)]),
+            sample(&[(30.0, 5.0), (370.0, 90.0), (790.0, -20.0)]),
+            sample(&[(-25.0, 12.0), (420.0, 80.0), (830.0, 15.0)]),
+        ];
+        for s in &samples {
+            m.add_sample(s);
+        }
+        for s in &samples {
+            for (i, p) in s.iter().enumerate() {
+                assert!(m.windows()[i].contains(&p.feat), "pose {i} point {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn outlier_warning_fires() {
+        let mut m = MergeState::new(MergeConfig { outlier_budget_mm: 100.0, ..Default::default() });
+        m.add_sample(&sample(&[(0.0, 0.0), (400.0, 0.0)]));
+        let warns = m.add_sample(&sample(&[(0.0, 0.0), (900.0, 0.0)]));
+        assert!(
+            warns.iter().any(|w| matches!(
+                w,
+                MergeWarning::Outlier { pose: 1, overshoot, .. } if *overshoot > 400.0
+            )),
+            "{warns:?}"
+        );
+        // Merged anyway (reject_outliers = false).
+        assert!(m.windows()[1].contains(&[900.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn reject_outliers_drops_sample() {
+        let mut m = MergeState::new(MergeConfig {
+            outlier_budget_mm: 100.0,
+            reject_outliers: true,
+            ..Default::default()
+        });
+        m.add_sample(&sample(&[(0.0, 0.0), (400.0, 0.0)]));
+        let warns = m.add_sample(&sample(&[(0.0, 0.0), (900.0, 0.0)]));
+        assert!(warns.iter().any(|w| matches!(w, MergeWarning::Rejected { .. })));
+        assert_eq!(m.sample_count(), 1, "rejected sample not counted");
+        assert!(!m.windows()[1].contains(&[900.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn differing_point_counts_realign() {
+        let mut m = MergeState::new(MergeConfig::default());
+        m.add_sample(&sample(&[(0.0, 0.0), (400.0, 0.0), (800.0, 0.0)]));
+        // 5-point second sample along the same line.
+        let warns =
+            m.add_sample(&sample(&[(0.0, 0.0), (200.0, 0.0), (400.0, 0.0), (600.0, 0.0), (800.0, 0.0)]));
+        assert!(warns
+            .iter()
+            .any(|w| matches!(w, MergeWarning::Realigned { got: 5, expected: 3, .. })));
+        assert_eq!(m.windows().len(), 3, "window count stays fixed");
+        // Aligned at 0 / 400 / 800: windows stay tight.
+        for w in m.windows() {
+            assert!(w.width[0] < 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn transition_times_take_max() {
+        let mut m = MergeState::new(MergeConfig::default());
+        m.add_sample(&[pt(0, 0.0, 0.0), pt(250, 400.0, 0.0)]);
+        m.add_sample(&[pt(0, 0.0, 0.0), pt(700, 400.0, 0.0)]);
+        assert_eq!(m.max_transition_ms(), &[700]);
+        m.add_sample(&[pt(0, 0.0, 0.0), pt(100, 400.0, 0.0)]);
+        assert_eq!(m.max_transition_ms(), &[700], "max is sticky");
+    }
+
+    #[test]
+    fn empty_sample_ignored() {
+        let mut m = MergeState::new(MergeConfig::default());
+        assert!(m.add_sample(&[]).is_empty());
+        assert_eq!(m.sample_count(), 0);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_order() {
+        let pts = sample(&[(0.0, 0.0), (100.0, 0.0), (100.0, 300.0)]);
+        let r = resample_to(&pts, 5, Metric::Euclidean);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0].feat, pts[0].feat);
+        assert_eq!(r[4].feat, pts[2].feat);
+        // Uniform arc positions: total 400 -> targets 0,100,200,300,400.
+        assert_eq!(r[1].feat, vec![100.0, 0.0, 0.0]);
+        assert!((r[2].feat[1] - 100.0).abs() < 1e-9);
+        for w in r.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn resample_degenerate_cases() {
+        let one = vec![pt(0, 1.0, 1.0)];
+        assert_eq!(resample_to(&one, 4, Metric::Euclidean).len(), 1);
+        let same = vec![pt(0, 1.0, 1.0), pt(10, 1.0, 1.0)];
+        let r = resample_to(&same, 3, Metric::Euclidean);
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|p| p.feat == vec![1.0, 1.0, 0.0]));
+        assert!(resample_to(&[], 3, Metric::Euclidean).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Distance metrics for the sampling step.
+//!
+//! "The distance function is configurable to express several gesture
+//! semantics, e.g., the Euclidean distance can be used to express spatial
+//! differences between successive poses, or metrics like 'every x tuples'
+//! can be used for time-based constraints" (§3.3.1).
+
+use serde::{Deserialize, Serialize};
+
+/// Point-to-point distance in feature space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Metric {
+    /// L2 distance (spatial difference between poses).
+    #[default]
+    Euclidean,
+    /// L1 distance.
+    Manhattan,
+    /// L∞ distance (largest single-coordinate deviation).
+    Chebyshev,
+}
+
+impl Metric {
+    /// Distance between two feature vectors.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+            Metric::Chebyshev => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max),
+        }
+    }
+}
+
+/// How the `max_dist` threshold of the sampling step is determined.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Threshold {
+    /// Fixed distance in feature units (mm).
+    Absolute(f64),
+    /// Fraction of the total path deviation — "at least x% of the total
+    /// deviation observed" (§3.3.1). A fraction of 0.25 on a 2 m path
+    /// yields a new pose roughly every 0.5 m.
+    RelativePathFraction(f64),
+}
+
+impl Default for Threshold {
+    fn default() -> Self {
+        // ~5 poses per gesture: a new window every ~22% of the path.
+        Threshold::RelativePathFraction(0.22)
+    }
+}
+
+impl Threshold {
+    /// Resolves the threshold against a concrete total path length.
+    pub fn resolve(&self, total_path: f64) -> f64 {
+        match self {
+            Threshold::Absolute(d) => *d,
+            Threshold::RelativePathFraction(f) => f * total_path,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_values() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [3.0, 4.0, 0.0];
+        assert_eq!(Metric::Euclidean.distance(&a, &b), 5.0);
+        assert_eq!(Metric::Manhattan.distance(&a, &b), 7.0);
+        assert_eq!(Metric::Chebyshev.distance(&a, &b), 4.0);
+    }
+
+    #[test]
+    fn metrics_are_symmetric_and_zero_on_identity() {
+        let a = [1.0, -2.0, 3.5];
+        let b = [-4.0, 0.0, 2.0];
+        for m in [Metric::Euclidean, Metric::Manhattan, Metric::Chebyshev] {
+            assert_eq!(m.distance(&a, &b), m.distance(&b, &a));
+            assert_eq!(m.distance(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    fn threshold_resolution() {
+        assert_eq!(Threshold::Absolute(120.0).resolve(9999.0), 120.0);
+        assert_eq!(Threshold::RelativePathFraction(0.25).resolve(2000.0), 500.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Query generation (§3.3.4).
+//!
+//! For each pose MBR the generator emits the conjunction
+//! `⋀ abs(coord − center) < width` over the active joints/coordinates,
+//! joins poses with nested sequence operators (left-deep, one `within`
+//! budget per transition) and wraps everything in a named `SELECT ...
+//! MATCHING ...;` query — the exact shape of Fig. 1.
+
+use gesto_cep::{BinOp, Expr, Pattern, Query};
+use serde::{Deserialize, Serialize};
+
+use crate::model::GestureDefinition;
+use crate::window::PoseWindow;
+
+/// Coordinate style of generated predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum QueryStyle {
+    /// Over the transformed view: coordinates are already torso-relative
+    /// (`abs(rHand_x - 400) < 50` on `kinect_t`).
+    #[default]
+    TransformedView,
+    /// Over the raw stream with explicit torso subtraction, exactly as in
+    /// Fig. 1 (`abs(rHand_x - torso_x - 400) < 50` on `kinect`).
+    RawTorsoRelative,
+}
+
+/// Rounds query literals to 2 decimals — learned centres carry float
+/// noise that would otherwise print as `84.00999999999999`; 0.01 mm is
+/// far below sensor noise.
+fn round2(v: f64) -> f64 {
+    (v * 100.0).round() / 100.0
+}
+
+/// Builds `expr - c` for `c >= 0` and `expr + |c|` for `c < 0`, matching
+/// the paper's "`- 400`" / "`+ 120`" print style.
+fn offset_by_center(expr: Expr, center: f64) -> Expr {
+    let center = round2(center);
+    if center >= 0.0 {
+        Expr::bin(BinOp::Sub, expr, Expr::lit(center))
+    } else {
+        Expr::bin(BinOp::Add, expr, Expr::lit(-center))
+    }
+}
+
+/// The range predicate of one pose window.
+pub fn pose_predicate(
+    def: &GestureDefinition,
+    pose: &PoseWindow,
+    style: QueryStyle,
+) -> Expr {
+    let mut terms = Vec::new();
+    for d in 0..def.joints.dims() {
+        if !def.active_dims[d] {
+            continue;
+        }
+        let coord = Expr::col(def.joints.dim_name(d));
+        let axis = ["x", "y", "z"][d % 3];
+        let lhs = match style {
+            QueryStyle::TransformedView => coord,
+            QueryStyle::RawTorsoRelative => {
+                Expr::bin(BinOp::Sub, coord, Expr::col(format!("torso_{axis}")))
+            }
+        };
+        terms.push(Expr::lt(
+            Expr::abs(offset_by_center(lhs, pose.center[d])),
+            Expr::lit(round2(pose.width[d])),
+        ));
+    }
+    Expr::and_all(terms)
+}
+
+/// Generates the pattern for a gesture definition: left-deep nested
+/// sequences with a `within` budget per pose transition.
+pub fn to_pattern(def: &GestureDefinition, style: QueryStyle, source: &str) -> Pattern {
+    let mut events = def
+        .poses
+        .iter()
+        .map(|p| Pattern::event(source, pose_predicate(def, p, style)));
+    let first = events.next().expect("validated definition has poses");
+    events
+        .zip(&def.within_ms)
+        .fold(first, |acc, (event, within)| {
+            Pattern::sequence(vec![acc, event], Some(*within))
+        })
+}
+
+/// Generates the complete detection query.
+pub fn generate_query(def: &GestureDefinition, style: QueryStyle) -> Query {
+    let source = match style {
+        QueryStyle::TransformedView => "kinect_t",
+        QueryStyle::RawTorsoRelative => "kinect",
+    };
+    generate_query_on(def, style, source)
+}
+
+/// Generates the query against an explicit source stream/view name.
+pub fn generate_query_on(def: &GestureDefinition, style: QueryStyle, source: &str) -> Query {
+    Query::new(def.name.clone(), to_pattern(def, style, source))
+}
+
+/// Generates the query text (parsable, Fig. 1 format).
+pub fn generate_query_text(def: &GestureDefinition, style: QueryStyle) -> String {
+    generate_query(def, style).to_query_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::JointSet;
+    use gesto_cep::parse_query;
+
+    /// A hand-built definition mirroring Fig. 1's three windows.
+    fn fig1_def() -> GestureDefinition {
+        let js = JointSet::right_hand();
+        GestureDefinition {
+            name: "swipe_right".into(),
+            joints: js,
+            poses: vec![
+                PoseWindow::new(vec![0.0, 150.0, -120.0], vec![50.0, 50.0, 50.0]),
+                PoseWindow::new(vec![400.0, 150.0, -420.0], vec![50.0, 50.0, 50.0]),
+                PoseWindow::new(vec![800.0, 150.0, -120.0], vec![50.0, 50.0, 50.0]),
+            ],
+            within_ms: vec![1000, 1000],
+            active_dims: vec![true; 3],
+            sample_count: 3,
+        }
+    }
+
+    #[test]
+    fn raw_style_reproduces_fig1_predicates() {
+        let text = generate_query_text(&fig1_def(), QueryStyle::RawTorsoRelative);
+        assert!(text.contains("SELECT \"swipe_right\""), "{text}");
+        assert!(text.contains("abs(rHand_x - torso_x - 0) < 50"), "{text}");
+        assert!(text.contains("abs(rHand_x - torso_x - 400) < 50"), "{text}");
+        assert!(text.contains("abs(rHand_z - torso_z + 120) < 50"), "{text}");
+        assert!(text.contains("abs(rHand_z - torso_z + 420) < 50"), "{text}");
+        assert!(text.contains("within 1 seconds select first consume all"), "{text}");
+        assert!(text.contains("kinect("), "{text}");
+    }
+
+    #[test]
+    fn transformed_style_drops_torso_terms() {
+        let text = generate_query_text(&fig1_def(), QueryStyle::TransformedView);
+        assert!(text.contains("abs(rHand_x - 400) < 50"), "{text}");
+        assert!(!text.contains("torso_x"), "{text}");
+        assert!(text.contains("kinect_t("), "{text}");
+    }
+
+    #[test]
+    fn generated_text_parses_back_to_same_query() {
+        for style in [QueryStyle::TransformedView, QueryStyle::RawTorsoRelative] {
+            let q = generate_query(&fig1_def(), style);
+            let text = q.to_query_text();
+            let reparsed = parse_query(&text)
+                .unwrap_or_else(|e| panic!("generated query must parse ({style:?}): {e}\n{text}"));
+            assert_eq!(q, reparsed, "round trip ({style:?})");
+        }
+    }
+
+    #[test]
+    fn pattern_structure_left_deep() {
+        let p = to_pattern(&fig1_def(), QueryStyle::TransformedView, "kinect_t");
+        assert_eq!(p.event_count(), 3);
+        assert_eq!(p.depth(), 2, "left-deep nesting: ((e1->e2)->e3)");
+        match &p {
+            Pattern::Sequence(s) => assert_eq!(s.within_ms, Some(1000)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn inactive_dims_are_omitted() {
+        let mut def = fig1_def();
+        def.active_dims = vec![true, true, false]; // drop z
+        let text = generate_query_text(&def, QueryStyle::TransformedView);
+        assert!(!text.contains("rHand_z"), "{text}");
+        assert!(text.contains("rHand_x") && text.contains("rHand_y"));
+    }
+
+    #[test]
+    fn single_pose_definition_generates_event_query() {
+        let mut def = fig1_def();
+        def.poses.truncate(1);
+        def.within_ms.clear();
+        let q = generate_query(&def, QueryStyle::TransformedView);
+        assert!(matches!(q.pattern, Pattern::Event(_)));
+        assert!(parse_query(&q.to_query_text()).is_ok());
+    }
+
+    #[test]
+    fn per_transition_budgets() {
+        let mut def = fig1_def();
+        def.within_ms = vec![800, 2500];
+        let text = generate_query_text(&def, QueryStyle::TransformedView);
+        assert!(text.contains("within 800 ms"), "{text}");
+        assert!(text.contains("within 2500 ms"), "{text}");
+    }
+}

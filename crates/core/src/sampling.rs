@@ -1,0 +1,315 @@
+//! Distance-based sampling (§3.3.1, Fig. 4 top).
+//!
+//! Compresses a 30 Hz gesture path into few characteristic points: the
+//! first tuple becomes the initial cluster centroid and reference; a new
+//! window (cluster) starts whenever a point's distance from the current
+//! reference exceeds `max_dist`. This is the density-based-clustering
+//! relative of the paper (it cites DBSCAN [2]): consecutive points closer
+//! than the threshold collapse into one cluster.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metric::{Metric, Threshold};
+use crate::model::PathPoint;
+
+/// What a cluster reports as its characteristic point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CentroidMode {
+    /// The reference point that opened the cluster (paper behaviour:
+    /// "the first tuple is used as initial cluster centroid").
+    #[default]
+    Reference,
+    /// Mean of all cluster members (smoother under sensor noise).
+    Mean,
+}
+
+/// Sampling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Distance-based clustering along the path.
+    DistanceBased {
+        /// Point metric.
+        metric: Metric,
+        /// `max_dist` threshold.
+        threshold: Threshold,
+        /// Cluster representative.
+        centroid: CentroidMode,
+    },
+    /// Keep every `n`-th tuple (a time-based metric at a fixed rate).
+    EveryN(usize),
+    /// Keep one tuple per `ms` of stream time.
+    TimeDelta(i64),
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::DistanceBased {
+            metric: Metric::default(),
+            threshold: Threshold::default(),
+            centroid: CentroidMode::default(),
+        }
+    }
+}
+
+/// Total path length under a metric (the "total deviation observed").
+pub fn path_length(points: &[PathPoint], metric: Metric) -> f64 {
+    points
+        .windows(2)
+        .map(|w| metric.distance(&w[0].feat, &w[1].feat))
+        .sum()
+}
+
+/// Extracts the characteristic points of one sample path.
+///
+/// Guarantees:
+/// - the first input point is always the first output point;
+/// - the last input point is always represented (appended as a final
+///   characteristic point when it is not already the last reference);
+/// - outputs are in path order;
+/// - the cluster count is monotone non-increasing in `max_dist`; the
+///   optional end anchor can add one further point, so the total output
+///   count is monotone up to ±1.
+pub fn sample_path(points: &[PathPoint], strategy: Strategy) -> Vec<PathPoint> {
+    match strategy {
+        Strategy::EveryN(n) => {
+            let n = n.max(1);
+            let mut out: Vec<PathPoint> =
+                points.iter().step_by(n).cloned().collect();
+            if let (Some(last_out), Some(last_in)) = (out.last(), points.last()) {
+                if last_out.ts != last_in.ts {
+                    out.push(last_in.clone());
+                }
+            }
+            out
+        }
+        Strategy::TimeDelta(ms) => {
+            let ms = ms.max(1);
+            let mut out: Vec<PathPoint> = Vec::new();
+            for p in points {
+                match out.last() {
+                    None => out.push(p.clone()),
+                    Some(prev) if p.ts - prev.ts >= ms => out.push(p.clone()),
+                    _ => {}
+                }
+            }
+            if let (Some(last_out), Some(last_in)) = (out.last(), points.last()) {
+                if last_out.ts != last_in.ts {
+                    out.push(last_in.clone());
+                }
+            }
+            out
+        }
+        Strategy::DistanceBased { metric, threshold, centroid } => {
+            distance_based(points, metric, threshold, centroid)
+        }
+    }
+}
+
+fn distance_based(
+    points: &[PathPoint],
+    metric: Metric,
+    threshold: Threshold,
+    centroid: CentroidMode,
+) -> Vec<PathPoint> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let total = path_length(points, metric);
+    let max_dist = threshold.resolve(total).max(0.0);
+    if total <= f64::EPSILON || max_dist <= f64::EPSILON {
+        // No movement (or degenerate threshold): a single pose.
+        return vec![points[0].clone()];
+    }
+
+    let mut out: Vec<PathPoint> = Vec::new();
+    let mut reference = points[0].clone();
+    let mut members: Vec<&PathPoint> = vec![&points[0]];
+
+    let flush = |reference: &PathPoint, members: &[&PathPoint], out: &mut Vec<PathPoint>| {
+        let rep = match centroid {
+            CentroidMode::Reference => reference.clone(),
+            CentroidMode::Mean => {
+                let dims = reference.feat.len();
+                let mut mean = vec![0.0; dims];
+                for m in members {
+                    for (s, v) in mean.iter_mut().zip(&m.feat) {
+                        *s += v;
+                    }
+                }
+                for s in &mut mean {
+                    *s /= members.len() as f64;
+                }
+                let ts = members[members.len() / 2].ts;
+                PathPoint::new(ts, mean)
+            }
+        };
+        out.push(rep);
+    };
+
+    for p in &points[1..] {
+        let d = metric.distance(&reference.feat, &p.feat);
+        if d > max_dist {
+            flush(&reference, &members, &mut out);
+            reference = p.clone();
+            members = vec![p];
+        } else {
+            members.push(p);
+        }
+    }
+    flush(&reference, &members, &mut out);
+
+    // Anchor the end pose: the gesture's final position matters even if
+    // it never strayed max_dist from the last reference.
+    let last_in = points.last().expect("non-empty");
+    let last_out = out.last().expect("flushed at least once");
+    if metric.distance(&last_out.feat, &last_in.feat) > max_dist * 0.5 {
+        out.push(last_in.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(ts: i64, x: f64) -> PathPoint {
+        PathPoint::new(ts, vec![x, 0.0, 0.0])
+    }
+
+    fn line(n: usize, step: f64) -> Vec<PathPoint> {
+        (0..n).map(|i| p(i as i64 * 33, i as f64 * step)).collect()
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(sample_path(&[], Strategy::default()).is_empty());
+    }
+
+    #[test]
+    fn still_path_yields_single_pose() {
+        let pts: Vec<PathPoint> = (0..30).map(|i| p(i * 33, 5.0)).collect();
+        let out = sample_path(&pts, Strategy::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].feat[0], 5.0);
+    }
+
+    #[test]
+    fn first_point_is_first_output() {
+        let pts = line(30, 10.0);
+        let out = sample_path(&pts, Strategy::default());
+        assert_eq!(out[0], pts[0]);
+    }
+
+    #[test]
+    fn relative_threshold_controls_pose_count() {
+        // 30 points over 290mm; fraction 0.25 -> max_dist 72.5 -> poses at
+        // 0, 80, 160, 240 + end anchor.
+        let pts = line(30, 10.0);
+        let strat = |f: f64| Strategy::DistanceBased {
+            metric: Metric::Euclidean,
+            threshold: Threshold::RelativePathFraction(f),
+            centroid: CentroidMode::Reference,
+        };
+        let coarse = sample_path(&pts, strat(0.5)).len();
+        let medium = sample_path(&pts, strat(0.25)).len();
+        let fine = sample_path(&pts, strat(0.1)).len();
+        assert!(coarse <= medium && medium <= fine, "{coarse} {medium} {fine}");
+        assert!(coarse >= 2, "at least start+end");
+        assert!(fine <= pts.len());
+    }
+
+    #[test]
+    fn monotone_in_threshold() {
+        let pts = line(60, 7.0);
+        let mut last = usize::MAX;
+        for f in [0.05, 0.1, 0.2, 0.3, 0.5, 0.9] {
+            let n = sample_path(
+                &pts,
+                Strategy::DistanceBased {
+                    metric: Metric::Euclidean,
+                    threshold: Threshold::RelativePathFraction(f),
+                    centroid: CentroidMode::Reference,
+                },
+            )
+            .len();
+            assert!(n <= last, "fraction {f}: {n} > {last}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn end_pose_is_anchored() {
+        let pts = line(30, 10.0);
+        let out = sample_path(&pts, Strategy::default());
+        let last_out = out.last().unwrap();
+        let last_in = pts.last().unwrap();
+        let d = Metric::Euclidean.distance(&last_out.feat, &last_in.feat);
+        let total = path_length(&pts, Metric::Euclidean);
+        assert!(d <= 0.25 * total * 0.5 + 1e-9, "end pose close to path end");
+    }
+
+    #[test]
+    fn outputs_in_path_order() {
+        let pts = line(50, 13.0);
+        let out = sample_path(&pts, Strategy::default());
+        for w in out.windows(2) {
+            assert!(w[0].ts <= w[1].ts);
+        }
+    }
+
+    #[test]
+    fn absolute_threshold() {
+        let pts = line(30, 10.0); // 10mm per step
+        let out = sample_path(
+            &pts,
+            Strategy::DistanceBased {
+                metric: Metric::Euclidean,
+                threshold: Threshold::Absolute(95.0),
+                centroid: CentroidMode::Reference,
+            },
+        );
+        // References at x = 0, 100, 200 (+ end anchor at 290).
+        let xs: Vec<f64> = out.iter().map(|p| p.feat[0]).collect();
+        assert_eq!(xs, vec![0.0, 100.0, 200.0, 290.0]);
+    }
+
+    #[test]
+    fn mean_centroid_averages_members() {
+        let pts = line(11, 10.0); // 0..100, total 100
+        let out = sample_path(
+            &pts,
+            Strategy::DistanceBased {
+                metric: Metric::Euclidean,
+                threshold: Threshold::Absolute(1000.0), // one cluster
+                centroid: CentroidMode::Mean,
+            },
+        );
+        assert_eq!(out.len(), 1, "everything within max_dist");
+        assert!((out[0].feat[0] - 50.0).abs() < 1e-9, "mean of 0..100");
+    }
+
+    #[test]
+    fn every_n_includes_last() {
+        let pts = line(10, 1.0);
+        let out = sample_path(&pts, Strategy::EveryN(4));
+        let ts: Vec<i64> = out.iter().map(|p| p.ts).collect();
+        assert_eq!(ts, vec![0, 132, 264, 297]);
+    }
+
+    #[test]
+    fn time_delta_strategy() {
+        let pts = line(30, 1.0); // 33ms apart
+        let out = sample_path(&pts, Strategy::TimeDelta(100));
+        for w in out.windows(2) {
+            assert!(w[1].ts - w[0].ts >= 99 || w[1].ts == pts.last().unwrap().ts);
+        }
+        assert!(out.len() >= 9);
+    }
+
+    #[test]
+    fn path_length_computation() {
+        let pts = line(11, 10.0);
+        assert!((path_length(&pts, Metric::Euclidean) - 100.0).abs() < 1e-9);
+        assert_eq!(path_length(&pts[..1], Metric::Euclidean), 0.0);
+    }
+}

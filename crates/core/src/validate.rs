@@ -1,0 +1,530 @@
+//! Validation and optimisation of gesture sets (§3.3.3).
+//!
+//! Post-processing over learned definitions:
+//! - **overlap detection**: pairwise window-intersection tests that
+//!   reveal when one gesture's pattern could fire inside another's
+//!   movement (the "overlapping problem" of §3.3.2);
+//! - **window merging**: collapse adjacent near-identical poses to
+//!   "decrease the detection effort";
+//! - **coordinate elimination**: drop dimensions that carry no sequence
+//!   information from the generated predicates;
+//! - **separating constraints**: suggest an extra predicate that
+//!   disambiguates an overlapping pair, the paper's manual fix made
+//!   automatic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::GestureDefinition;
+
+/// Overlap analysis of one ordered pair of gestures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairOverlap {
+    /// First gesture name.
+    pub a: String,
+    /// Second gesture name.
+    pub b: String,
+    /// Pose index pairs `(i, j)` whose windows intersect.
+    pub intersecting_poses: Vec<(usize, usize)>,
+    /// True when *every* pose of `b` can be matched, in order, by an
+    /// intersecting pose of `a` — movements matching `a` may then also
+    /// fire `b`.
+    pub b_subsumed_in_a: bool,
+    /// True when the polyline through `a`'s pose centres passes through
+    /// every window of `b` in order — a stronger dynamic-overlap
+    /// predictor than window-to-window intersection: the movement that
+    /// matches `a` travels *between* `a`'s windows too, and can fire `b`
+    /// on the way (e.g. a prefix gesture).
+    pub b_on_a_path: bool,
+}
+
+impl PairOverlap {
+    /// True when any pose windows intersect at all.
+    pub fn any_overlap(&self) -> bool {
+        !self.intersecting_poses.is_empty()
+    }
+}
+
+/// Full overlap report over a gesture set.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OverlapReport {
+    /// One entry per ordered pair with at least one intersection.
+    pub pairs: Vec<PairOverlap>,
+}
+
+impl OverlapReport {
+    /// Pairs where one gesture is sequence-subsumed by another — by
+    /// window intersection or along the movement path (the actionable
+    /// conflicts).
+    pub fn conflicts(&self) -> impl Iterator<Item = &PairOverlap> {
+        self.pairs.iter().filter(|p| p.b_subsumed_in_a || p.b_on_a_path)
+    }
+
+    /// True when no windows intersect anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// Analyses one ordered pair (can gesture `b` fire during `a`?).
+pub fn analyze_pair(a: &GestureDefinition, b: &GestureDefinition) -> PairOverlap {
+    let comparable = a.joints == b.joints;
+    let mut intersecting = Vec::new();
+    if comparable {
+        for (i, wa) in a.poses.iter().enumerate() {
+            for (j, wb) in b.poses.iter().enumerate() {
+                if wa.intersects(wb) {
+                    intersecting.push((i, j));
+                }
+            }
+        }
+    }
+    // Subsumption: a monotone assignment of every b-pose to an
+    // intersecting a-pose, in order (subsequence matching).
+    let b_subsumed = comparable && {
+        let mut next_a = 0usize;
+        let mut ok = true;
+        for (j, wb) in b.poses.iter().enumerate() {
+            match (next_a..a.poses.len()).find(|&i| a.poses[i].intersects(wb)) {
+                Some(i) => next_a = i + 1,
+                None => {
+                    ok = false;
+                    let _ = j;
+                    break;
+                }
+            }
+        }
+        ok
+    };
+    PairOverlap {
+        a: a.name.clone(),
+        b: b.name.clone(),
+        intersecting_poses: intersecting,
+        b_subsumed_in_a: b_subsumed,
+        b_on_a_path: comparable && path_subsumes(a, b),
+    }
+}
+
+/// True when the polyline through `a`'s pose centres crosses every window
+/// of `b`, in sequence order.
+fn path_subsumes(a: &GestureDefinition, b: &GestureDefinition) -> bool {
+    if a.poses.is_empty() || b.poses.is_empty() {
+        return false;
+    }
+    // Path position: (segment index, parameter within segment).
+    let mut min_pos = 0.0f64;
+    for wb in &b.poses {
+        match earliest_crossing(&a.poses, wb, min_pos) {
+            Some(pos) => min_pos = pos,
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Earliest position `>= from` (measured in fractional segment units
+/// along the polyline of `a_poses` centres, single poses count as a
+/// zero-length segment) where the polyline is inside `window`.
+fn earliest_crossing(
+    a_poses: &[crate::window::PoseWindow],
+    window: &crate::window::PoseWindow,
+    from: f64,
+) -> Option<f64> {
+    if a_poses.len() == 1 {
+        return (from <= 0.0 && window.contains(&a_poses[0].center)).then_some(0.0);
+    }
+    for seg in 0..a_poses.len() - 1 {
+        let seg_start = seg as f64;
+        if (seg_start + 1.0) < from {
+            continue;
+        }
+        let p = &a_poses[seg].center;
+        let q = &a_poses[seg + 1].center;
+        // Slab clipping: the parameter interval [t0, t1] where the
+        // segment lies inside the box, per dimension.
+        let mut t0 = 0.0f64;
+        let mut t1 = 1.0f64;
+        let mut ok = true;
+        for d in 0..window.dims() {
+            let dir = q[d] - p[d];
+            let lo = window.min(d) - p[d];
+            let hi = window.max(d) - p[d];
+            if dir.abs() < 1e-12 {
+                if lo > 0.0 || hi < 0.0 {
+                    ok = false;
+                    break;
+                }
+            } else {
+                let (mut ta, mut tb) = (lo / dir, hi / dir);
+                if ta > tb {
+                    std::mem::swap(&mut ta, &mut tb);
+                }
+                t0 = t0.max(ta);
+                t1 = t1.min(tb);
+                if t0 > t1 {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            continue;
+        }
+        let lo_pos = seg_start + t0;
+        let hi_pos = seg_start + t1;
+        let candidate = lo_pos.max(from);
+        if candidate <= hi_pos {
+            return Some(candidate);
+        }
+    }
+    None
+}
+
+/// Cross-checks a whole gesture set.
+pub fn analyze_set(defs: &[GestureDefinition]) -> OverlapReport {
+    let mut pairs = Vec::new();
+    for a in defs {
+        for b in defs {
+            if a.name == b.name {
+                continue;
+            }
+            let p = analyze_pair(a, b);
+            if p.any_overlap() {
+                pairs.push(p);
+            }
+        }
+    }
+    OverlapReport { pairs }
+}
+
+/// Merges adjacent poses whose union grows the combined volume by at most
+/// `max_growth` (e.g. 1.25 = 25%); returns the number of merges applied.
+///
+/// This is the §3.3.3 "merging windows to decrease the detection effort":
+/// fewer poses = fewer NFA steps.
+pub fn merge_adjacent_windows(def: &mut GestureDefinition, max_growth: f64) -> usize {
+    let floor = 1.0; // avoid zero-volume degeneracies
+    let mut merges = 0;
+    let mut i = 0;
+    while i + 1 < def.poses.len() {
+        let a = &def.poses[i];
+        let b = &def.poses[i + 1];
+        let union = a.union(b);
+        let grown = union.volume_with_floor(floor);
+        let separate = a.volume_with_floor(floor) + b.volume_with_floor(floor);
+        if grown <= separate * max_growth {
+            def.poses[i] = union;
+            def.poses.remove(i + 1);
+            // Transition budgets: the merged pose inherits the sum of the
+            // two budgets around the removed boundary.
+            if i < def.within_ms.len() {
+                let removed = def.within_ms.remove(i);
+                if i < def.within_ms.len() {
+                    def.within_ms[i] += removed;
+                } else if let Some(last) = def.within_ms.last_mut() {
+                    *last += removed;
+                }
+            }
+            merges += 1;
+        } else {
+            i += 1;
+        }
+    }
+    merges
+}
+
+/// Marks dimensions inactive when their centres vary less than
+/// `min_center_range_mm` across the pose sequence (they carry no
+/// sequence information). Returns the eliminated dimension indices.
+///
+/// At least one dimension always stays active.
+pub fn eliminate_irrelevant_dims(
+    def: &mut GestureDefinition,
+    min_center_range_mm: f64,
+) -> Vec<usize> {
+    let dims = def.joints.dims();
+    let mut eliminated = Vec::new();
+    for d in 0..dims {
+        if !def.active_dims[d] {
+            continue;
+        }
+        let lo = def.poses.iter().map(|p| p.center[d]).fold(f64::MAX, f64::min);
+        let hi = def.poses.iter().map(|p| p.center[d]).fold(f64::MIN, f64::max);
+        if hi - lo < min_center_range_mm {
+            // Keep at least one active dimension.
+            let still_active = def.active_dims.iter().filter(|b| **b).count();
+            if still_active > 1 {
+                def.active_dims[d] = false;
+                eliminated.push(d);
+            }
+        }
+    }
+    eliminated
+}
+
+/// A suggested extra constraint separating gesture `b` from `a`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeparatingConstraint {
+    /// Pose index of `a` to strengthen.
+    pub pose: usize,
+    /// Dimension to constrain.
+    pub dim: usize,
+    /// Human-readable dimension name.
+    pub dim_name: String,
+    /// Suggested tighter half-width on that dimension.
+    pub suggested_width: f64,
+    /// Current half-width.
+    pub current_width: f64,
+}
+
+/// For a conflicting pair, finds the pose/dimension of `a` whose window
+/// could be tightened to stop intersecting `b` while still covering `a`'s
+/// own centre region — the automated version of "manually adding
+/// additional constraints to generated queries" (§3.3.2).
+pub fn suggest_separation(
+    a: &GestureDefinition,
+    b: &GestureDefinition,
+) -> Option<SeparatingConstraint> {
+    if a.joints != b.joints {
+        return None;
+    }
+    let mut best: Option<(f64, SeparatingConstraint)> = None;
+    for (i, wa) in a.poses.iter().enumerate() {
+        for wb in &b.poses {
+            if !wa.intersects(wb) {
+                continue;
+            }
+            for d in 0..wa.dims() {
+                if !a.active_dims[d] {
+                    continue;
+                }
+                let gap = (wa.center[d] - wb.center[d]).abs();
+                // Tightening a's width below the centre gap minus b's
+                // width removes the overlap in this dimension.
+                let needed = gap - wb.width[d];
+                if needed > 0.0 && needed < wa.width[d] {
+                    // Prefer the mildest tightening (largest remaining
+                    // width) so the fix costs the least recall.
+                    let remaining = needed;
+                    if best.as_ref().map(|(m, _)| remaining > *m).unwrap_or(true) {
+                        best = Some((
+                            remaining,
+                            SeparatingConstraint {
+                                pose: i,
+                                dim: d,
+                                dim_name: a.joints.dim_name(d),
+                                suggested_width: (needed * 0.95).max(1.0),
+                                current_width: wa.width[d],
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    best.map(|(_, c)| c)
+}
+
+/// Applies a separating constraint to the definition.
+pub fn apply_separation(def: &mut GestureDefinition, c: &SeparatingConstraint) {
+    if let Some(pose) = def.poses.get_mut(c.pose) {
+        if c.dim < pose.width.len() {
+            pose.width[c.dim] = c.suggested_width;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::JointSet;
+    use crate::window::PoseWindow;
+
+    fn def(name: &str, centers: &[[f64; 3]], width: f64) -> GestureDefinition {
+        GestureDefinition {
+            name: name.into(),
+            joints: JointSet::right_hand(),
+            poses: centers
+                .iter()
+                .map(|c| PoseWindow::new(c.to_vec(), vec![width; 3]))
+                .collect(),
+            within_ms: vec![1000; centers.len().saturating_sub(1)],
+            active_dims: vec![true; 3],
+            sample_count: 3,
+        }
+    }
+
+    #[test]
+    fn disjoint_gestures_are_clean() {
+        let a = def("a", &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0]], 50.0);
+        let b = def("b", &[[0.0, 900.0, 0.0], [400.0, 900.0, 0.0]], 50.0);
+        let report = analyze_set(&[a, b]);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn prefix_gesture_is_subsumed() {
+        // b = first two poses of a: any a-movement fires b.
+        let a = def("a", &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0], [800.0, 0.0, 0.0]], 60.0);
+        let b = def("b", &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0]], 60.0);
+        let p = analyze_pair(&a, &b);
+        assert!(p.any_overlap());
+        assert!(p.b_subsumed_in_a, "{p:?}");
+        // The reverse is not subsumed (a has a pose b lacks).
+        let q = analyze_pair(&b, &a);
+        assert!(!q.b_subsumed_in_a);
+        // analyze_set finds one directional conflict at least.
+        let report = analyze_set(&[a, b]);
+        assert_eq!(report.conflicts().count(), 1);
+    }
+
+    #[test]
+    fn finer_grained_prefix_detected_via_path() {
+        // b samples the first half of a's movement at finer granularity:
+        // window-to-window subsumption misses it, the path test finds it.
+        let a = def(
+            "full",
+            &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0], [800.0, 0.0, 0.0]],
+            50.0,
+        );
+        let b = def(
+            "prefix",
+            &[[0.0, 0.0, 0.0], [130.0, 0.0, 0.0], [260.0, 0.0, 0.0], [400.0, 0.0, 0.0]],
+            50.0,
+        );
+        let p = analyze_pair(&a, &b);
+        assert!(!p.b_subsumed_in_a, "window subsumption misses the finer prefix");
+        assert!(p.b_on_a_path, "path subsumption catches it");
+        // The reverse: a's later poses (800) never lie on b's path.
+        let q = analyze_pair(&b, &a);
+        assert!(!q.b_on_a_path);
+        // And the conflict iterator reports it.
+        let report = analyze_set(&[a, b]);
+        assert!(report.conflicts().any(|c| c.a == "full" && c.b == "prefix"));
+    }
+
+    #[test]
+    fn path_subsumption_respects_order() {
+        let a = def("a", &[[0.0, 0.0, 0.0], [800.0, 0.0, 0.0]], 10.0);
+        let rev = def("rev", &[[700.0, 0.0, 0.0], [100.0, 0.0, 0.0]], 10.0);
+        assert!(!analyze_pair(&a, &rev).b_on_a_path, "reverse order not on path");
+        let fwd = def("fwd", &[[100.0, 0.0, 0.0], [700.0, 0.0, 0.0]], 10.0);
+        assert!(analyze_pair(&a, &fwd).b_on_a_path, "forward mid-points on path");
+    }
+
+    #[test]
+    fn path_subsumption_single_pose_cases() {
+        let a = def("a", &[[0.0, 0.0, 0.0]], 50.0);
+        let inside = def("i", &[[10.0, 0.0, 0.0]], 100.0);
+        assert!(analyze_pair(&a, &inside).b_on_a_path, "centre inside window");
+        let outside = def("o", &[[500.0, 0.0, 0.0]], 50.0);
+        assert!(!analyze_pair(&a, &outside).b_on_a_path);
+    }
+
+    #[test]
+    fn order_matters_for_subsumption() {
+        // Same windows, reversed order: not subsumed (sequence mismatch).
+        let a = def("a", &[[0.0, 0.0, 0.0], [800.0, 0.0, 0.0]], 50.0);
+        let b = def("b", &[[800.0, 0.0, 0.0], [0.0, 0.0, 0.0]], 50.0);
+        let p = analyze_pair(&a, &b);
+        assert!(p.any_overlap());
+        assert!(!p.b_subsumed_in_a, "reversed order must not subsume");
+    }
+
+    #[test]
+    fn widened_windows_create_overlap() {
+        // The §3.3.2 story: scaling windows too much introduces overlap.
+        let mk = |w: f64| {
+            (
+                def("swipe", &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0]], w),
+                def("raise", &[[150.0, 300.0, 0.0], [250.0, 600.0, 0.0]], w),
+            )
+        };
+        let (a, b) = mk(50.0);
+        assert!(analyze_set(&[a, b]).is_clean(), "tight windows are clean");
+        let (a, b) = mk(400.0);
+        assert!(!analyze_set(&[a, b]).is_clean(), "4x windows overlap");
+    }
+
+    #[test]
+    fn different_joint_sets_never_compared() {
+        let a = def("a", &[[0.0, 0.0, 0.0]], 1000.0);
+        let mut b = def("b", &[[0.0, 0.0, 0.0]], 1000.0);
+        b.joints = JointSet::both_hands();
+        b.poses = vec![PoseWindow::new(vec![0.0; 6], vec![1000.0; 6])];
+        b.active_dims = vec![true; 6];
+        let p = analyze_pair(&a, &b);
+        assert!(!p.any_overlap());
+        assert!(!p.b_subsumed_in_a);
+    }
+
+    #[test]
+    fn merge_adjacent_collapses_near_identical_poses() {
+        let mut d = def(
+            "g",
+            &[[0.0, 0.0, 0.0], [10.0, 0.0, 0.0], [800.0, 0.0, 0.0]],
+            50.0,
+        );
+        let merges = merge_adjacent_windows(&mut d, 1.3);
+        assert_eq!(merges, 1, "first two poses nearly coincide");
+        assert_eq!(d.poses.len(), 2);
+        assert_eq!(d.within_ms.len(), 1);
+        assert_eq!(d.within_ms[0], 2000, "budgets summed");
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn merge_respects_growth_limit() {
+        let mut d = def("g", &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0]], 50.0);
+        assert_eq!(merge_adjacent_windows(&mut d, 1.3), 0, "distant poses stay");
+        assert_eq!(d.poses.len(), 2);
+    }
+
+    #[test]
+    fn eliminate_flat_dimensions() {
+        // z constant, x sweeps: z eliminated, x kept.
+        let mut d = def(
+            "g",
+            &[[0.0, 0.0, -120.0], [400.0, 5.0, -120.0], [800.0, -3.0, -121.0]],
+            50.0,
+        );
+        let dropped = eliminate_irrelevant_dims(&mut d, 60.0);
+        assert_eq!(dropped, vec![1, 2], "y and z flat");
+        assert!(d.active_dims[0]);
+        assert!(d.validate().is_ok());
+        assert_eq!(d.predicate_count(), 3, "3 poses x 1 dim");
+    }
+
+    #[test]
+    fn elimination_keeps_one_dimension() {
+        let mut d = def("g", &[[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]], 50.0);
+        let dropped = eliminate_irrelevant_dims(&mut d, 1e9);
+        assert_eq!(dropped.len(), 2, "cannot drop all three");
+        assert_eq!(d.active_dim_count(), 1);
+    }
+
+    #[test]
+    fn separation_suggested_and_applied() {
+        // Pose 0 windows overlap on y; centres differ by 300 on y.
+        let a = def("a", &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0]], 350.0);
+        let b = def("b", &[[0.0, 300.0, 0.0], [400.0, 300.0, 0.0]], 50.0);
+        assert!(analyze_pair(&a, &b).any_overlap());
+        let c = suggest_separation(&a, &b).expect("separable pair");
+        assert!(c.suggested_width < 350.0);
+        let mut a2 = a.clone();
+        apply_separation(&mut a2, &c);
+        // Tightened dimension no longer intersects at that pose pair.
+        assert!(a2.poses[c.pose].width[c.dim] < 350.0);
+        let p = analyze_pair(&a2, &b);
+        assert!(
+            p.intersecting_poses.len() < analyze_pair(&a, &b).intersecting_poses.len(),
+            "overlap reduced"
+        );
+    }
+
+    #[test]
+    fn no_separation_for_identical_gestures() {
+        let a = def("a", &[[0.0, 0.0, 0.0]], 50.0);
+        let b = def("b", &[[0.0, 0.0, 0.0]], 50.0);
+        assert!(suggest_separation(&a, &b).is_none(), "no dimension separates clones");
+    }
+}

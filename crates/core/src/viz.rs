@@ -1,0 +1,231 @@
+//! Visualisation of learned gestures (Fig. 5 substitute).
+//!
+//! The paper's demo renders mined windows on an animated 3D body model.
+//! Headless equivalents: an ASCII projection for terminal experiment
+//! output and an SVG rendering for documentation — both show the pose
+//! windows and, optionally, a recorded path, which is what makes
+//! detection problems debuggable (§3.1).
+
+use std::fmt::Write as _;
+
+use crate::model::{GestureDefinition, PathPoint};
+
+/// Which two feature dimensions to project onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Projection {
+    /// Horizontal feature dimension index.
+    pub x_dim: usize,
+    /// Vertical feature dimension index.
+    pub y_dim: usize,
+}
+
+impl Default for Projection {
+    fn default() -> Self {
+        // Frontal plane of the first joint: x vs y.
+        Self { x_dim: 0, y_dim: 1 }
+    }
+}
+
+struct Bounds {
+    min_x: f64,
+    max_x: f64,
+    min_y: f64,
+    max_y: f64,
+}
+
+fn bounds(def: &GestureDefinition, path: &[PathPoint], proj: Projection) -> Bounds {
+    let mut b = Bounds { min_x: f64::MAX, max_x: f64::MIN, min_y: f64::MAX, max_y: f64::MIN };
+    for p in &def.poses {
+        b.min_x = b.min_x.min(p.min(proj.x_dim));
+        b.max_x = b.max_x.max(p.max(proj.x_dim));
+        b.min_y = b.min_y.min(p.min(proj.y_dim));
+        b.max_y = b.max_y.max(p.max(proj.y_dim));
+    }
+    for p in path {
+        b.min_x = b.min_x.min(p.feat[proj.x_dim]);
+        b.max_x = b.max_x.max(p.feat[proj.x_dim]);
+        b.min_y = b.min_y.min(p.feat[proj.y_dim]);
+        b.max_y = b.max_y.max(p.feat[proj.y_dim]);
+    }
+    // Pad 5% so strokes don't sit on the border.
+    let pad_x = ((b.max_x - b.min_x) * 0.05).max(1.0);
+    let pad_y = ((b.max_y - b.min_y) * 0.05).max(1.0);
+    b.min_x -= pad_x;
+    b.max_x += pad_x;
+    b.min_y -= pad_y;
+    b.max_y += pad_y;
+    b
+}
+
+/// Renders the definition (and an optional path) as an ASCII grid.
+///
+/// Windows are drawn as digit-labelled corners (`1`, `2`, ... per pose);
+/// path points as `·`.
+pub fn ascii(def: &GestureDefinition, path: &[PathPoint], cols: usize, rows: usize) -> String {
+    let proj = Projection::default();
+    let cols = cols.clamp(20, 240);
+    let rows = rows.clamp(10, 120);
+    let b = bounds(def, path, proj);
+    let mut grid = vec![vec![' '; cols]; rows];
+    let to_cell = |x: f64, y: f64| -> (usize, usize) {
+        let cx = ((x - b.min_x) / (b.max_x - b.min_x) * (cols - 1) as f64).round() as usize;
+        // Screen y grows downward.
+        let cy = ((b.max_y - y) / (b.max_y - b.min_y) * (rows - 1) as f64).round() as usize;
+        (cx.min(cols - 1), cy.min(rows - 1))
+    };
+
+    for p in path {
+        let (cx, cy) = to_cell(p.feat[proj.x_dim], p.feat[proj.y_dim]);
+        grid[cy][cx] = '\u{b7}'; // ·
+    }
+    for (i, w) in def.poses.iter().enumerate() {
+        let label = char::from_digit(((i + 1) % 36) as u32, 36).unwrap_or('#');
+        let (x0, y0) = to_cell(w.min(proj.x_dim), w.max(proj.y_dim));
+        let (x1, y1) = to_cell(w.max(proj.x_dim), w.min(proj.y_dim));
+        for row in [y0, y1] {
+            for cell in grid[row][x0..=x1].iter_mut() {
+                *cell = '-';
+            }
+        }
+        for row in grid.iter_mut().take(y1 + 1).skip(y0) {
+            row[x0] = '|';
+            row[x1] = '|';
+        }
+        grid[y0][x0] = '+';
+        grid[y0][x1] = '+';
+        grid[y1][x0] = '+';
+        grid[y1][x1] = '+';
+        let (cx, cy) = to_cell(w.center[proj.x_dim], w.center[proj.y_dim]);
+        grid[cy][cx] = label;
+    }
+
+    let mut out = String::with_capacity(rows * (cols + 1) + 64);
+    let _ = writeln!(
+        out,
+        "{} — {} poses, {} samples ({} x {})",
+        def.name,
+        def.pose_count(),
+        def.sample_count,
+        def.joints.dim_name(proj.x_dim),
+        def.joints.dim_name(proj.y_dim),
+    );
+    for row in grid {
+        out.extend(row);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the definition (and an optional path) as an SVG document.
+pub fn svg(def: &GestureDefinition, path: &[PathPoint], width_px: usize) -> String {
+    let proj = Projection::default();
+    let b = bounds(def, path, proj);
+    let scale = width_px as f64 / (b.max_x - b.min_x);
+    let height_px = ((b.max_y - b.min_y) * scale).ceil() as usize;
+    let sx = |x: f64| (x - b.min_x) * scale;
+    let sy = |y: f64| (b.max_y - y) * scale;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width_px}" height="{height_px}" viewBox="0 0 {width_px} {height_px}">"#
+    );
+    let _ = writeln!(
+        out,
+        r#"<rect width="100%" height="100%" fill="white"/><title>{}</title>"#,
+        def.name
+    );
+    if path.len() >= 2 {
+        let pts: Vec<String> = path
+            .iter()
+            .map(|p| format!("{:.1},{:.1}", sx(p.feat[proj.x_dim]), sy(p.feat[proj.y_dim])))
+            .collect();
+        let _ = writeln!(
+            out,
+            r##"<polyline points="{}" fill="none" stroke="#888" stroke-width="1.5"/>"##,
+            pts.join(" ")
+        );
+    }
+    for (i, w) in def.poses.iter().enumerate() {
+        let x = sx(w.min(proj.x_dim));
+        let y = sy(w.max(proj.y_dim));
+        let ww = (w.max(proj.x_dim) - w.min(proj.x_dim)) * scale;
+        let wh = (w.max(proj.y_dim) - w.min(proj.y_dim)) * scale;
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{ww:.1}" height="{wh:.1}" fill="none" stroke="#c00" stroke-width="2"/>"##
+        );
+        let _ = writeln!(
+            out,
+            r##"<text x="{:.1}" y="{:.1}" font-size="14" fill="#c00">{}</text>"##,
+            sx(w.center[proj.x_dim]),
+            sy(w.center[proj.y_dim]),
+            i + 1
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::JointSet;
+    use crate::window::PoseWindow;
+
+    fn def() -> GestureDefinition {
+        GestureDefinition {
+            name: "swipe_right".into(),
+            joints: JointSet::right_hand(),
+            poses: vec![
+                PoseWindow::new(vec![0.0, 150.0, -120.0], vec![50.0; 3]),
+                PoseWindow::new(vec![400.0, 150.0, -420.0], vec![50.0; 3]),
+                PoseWindow::new(vec![800.0, 150.0, -120.0], vec![50.0; 3]),
+            ],
+            within_ms: vec![1000, 1000],
+            active_dims: vec![true; 3],
+            sample_count: 3,
+        }
+    }
+
+    fn path() -> Vec<PathPoint> {
+        (0..=20)
+            .map(|i| PathPoint::new(i * 33, vec![i as f64 * 40.0, 150.0, -120.0]))
+            .collect()
+    }
+
+    #[test]
+    fn ascii_contains_labels_and_path() {
+        let s = ascii(&def(), &path(), 80, 24);
+        assert!(s.contains("swipe_right"));
+        assert!(s.contains('1') && s.contains('2') && s.contains('3'));
+        assert!(s.contains('\u{b7}'), "path dots rendered");
+        assert!(s.contains('+') && s.contains('-') && s.contains('|'));
+        // Fixed geometry: every line equal length.
+        let lines: Vec<&str> = s.lines().skip(1).collect();
+        assert_eq!(lines.len(), 24);
+        assert!(lines.iter().all(|l| l.chars().count() == 80));
+    }
+
+    #[test]
+    fn ascii_clamps_extreme_sizes() {
+        let s = ascii(&def(), &[], 5, 2);
+        assert!(s.lines().count() >= 10);
+    }
+
+    #[test]
+    fn svg_well_formed() {
+        let s = svg(&def(), &path(), 600);
+        assert!(s.starts_with("<svg"));
+        assert!(s.trim_end().ends_with("</svg>"));
+        assert_eq!(s.matches("<rect").count(), 4, "background + 3 windows");
+        assert_eq!(s.matches("<text").count(), 3);
+        assert!(s.contains("<polyline"));
+    }
+
+    #[test]
+    fn svg_without_path_omits_polyline() {
+        let s = svg(&def(), &[], 600);
+        assert!(!s.contains("<polyline"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Semicolon-CSV import/export of gesture samples.
+//!
+//! The paper's Fig. 1 prints recorded samples as semicolon-separated
+//! rows (`torsoX;torsoY;torsoZ;rHandX;rHandY;rHandZ`). This module reads
+//! and writes that format generically: a header row names the feature
+//! dimensions, an optional leading `ts` column carries stream time.
+
+use gesto_learn::{GestureSample, PathPoint};
+
+use crate::error::DbError;
+
+/// Exports a sample as semicolon CSV with a header.
+///
+/// `dim_names` must match the sample's feature dimensionality; a `ts`
+/// column is always included.
+pub fn export_sample(sample: &GestureSample, dim_names: &[String]) -> String {
+    let mut out = String::new();
+    out.push_str("ts");
+    for n in dim_names {
+        out.push(';');
+        out.push_str(n);
+    }
+    out.push('\n');
+    for p in &sample.points {
+        out.push_str(&p.ts.to_string());
+        for v in &p.feat {
+            out.push(';');
+            out.push_str(&format!("{v:.2}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Imports a sample from semicolon CSV.
+///
+/// Accepts an optional header row (detected by non-numeric first field).
+/// A leading `ts` column is used when the header names it (or when
+/// headerless rows have `dims + 1` columns); otherwise timestamps are
+/// synthesised at 30 Hz.
+pub fn import_sample(csv: &str, dims: usize) -> Result<GestureSample, DbError> {
+    let mut points = Vec::new();
+    let mut lines = csv.lines().enumerate().peekable();
+
+    // Header detection.
+    let mut has_ts_column = None;
+    if let Some((_, first)) = lines.peek() {
+        let first_field = first.split(';').next().unwrap_or("").trim();
+        if !first_field.is_empty() && first_field.parse::<f64>().is_err() {
+            has_ts_column = Some(first_field.eq_ignore_ascii_case("ts"));
+            lines.next();
+        }
+    }
+
+    let mut frame_no: u64 = 0;
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(';').map(str::trim).collect();
+        let with_ts = match has_ts_column {
+            Some(b) => b,
+            None => fields.len() == dims + 1,
+        };
+        let expected = if with_ts { dims + 1 } else { dims };
+        if fields.len() != expected {
+            return Err(DbError::Csv {
+                line: idx + 1,
+                message: format!("expected {expected} fields, found {}", fields.len()),
+            });
+        }
+        let parse = |s: &str| -> Result<f64, DbError> {
+            s.parse::<f64>().map_err(|_| DbError::Csv {
+                line: idx + 1,
+                message: format!("invalid number '{s}'"),
+            })
+        };
+        let (ts, feat_fields) = if with_ts {
+            (parse(fields[0])? as i64, &fields[1..])
+        } else {
+            // Synthesised 30 Hz timestamps.
+            let ts = (frame_no as f64 * 1000.0 / 30.0).round() as i64;
+            (ts, &fields[..])
+        };
+        let feat = feat_fields
+            .iter()
+            .map(|f| parse(f))
+            .collect::<Result<Vec<f64>, _>>()?;
+        points.push(PathPoint::new(ts, feat));
+        frame_no += 1;
+    }
+    Ok(GestureSample { points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GestureSample {
+        GestureSample {
+            points: vec![
+                PathPoint::new(0, vec![1.0, 2.0, 3.0]),
+                PathPoint::new(33, vec![4.5, 5.25, -6.0]),
+            ],
+        }
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let names = vec!["rHand_x".into(), "rHand_y".into(), "rHand_z".into()];
+        let csv = export_sample(&sample(), &names);
+        assert!(csv.starts_with("ts;rHand_x;rHand_y;rHand_z\n"), "{csv}");
+        let back = import_sample(&csv, 3).unwrap();
+        assert_eq!(back.points.len(), 2);
+        assert_eq!(back.points[1].ts, 33);
+        assert!((back.points[1].feat[1] - 5.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_style_headerless_rows() {
+        // Fig. 1 style: no header, no ts, 6 dims.
+        let csv = "45.21;166.36;1961.27;-38.80;238.82;1822.28\n45.52;165.01;1961.72;-34.19;242.18;1809.85\n";
+        let s = import_sample(csv, 6).unwrap();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[0].ts, 0, "synthesised timestamps");
+        assert_eq!(s.points[1].ts, 33);
+        assert_eq!(s.points[0].feat[0], 45.21);
+    }
+
+    #[test]
+    fn header_without_ts() {
+        let csv = "x;y\n1;2\n3;4\n";
+        let s = import_sample(csv, 2).unwrap();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.points[1].ts, 33);
+        assert_eq!(s.points[1].feat, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "1;2\n\n3;4\n";
+        let s = import_sample(csv, 2).unwrap();
+        assert_eq!(s.points.len(), 2);
+    }
+
+    #[test]
+    fn field_count_mismatch_reports_line() {
+        let csv = "1;2;3\n1;2\n";
+        let err = import_sample(csv, 3).unwrap_err();
+        match err {
+            DbError::Csv { line, .. } => assert_eq!(line, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_number_reports_line() {
+        let csv = "ts;x\n0;1.0\n5;abc\n";
+        let err = import_sample(csv, 1).unwrap_err();
+        match err {
+            DbError::Csv { line, message } => {
+                assert_eq!(line, 3);
+                assert!(message.contains("abc"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input_is_empty_sample() {
+        assert!(import_sample("", 3).unwrap().points.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Gesture database errors.
+
+use std::fmt;
+
+/// Errors of the gesture store and its import/export formats.
+#[derive(Debug)]
+pub enum DbError {
+    /// A definition failed validation.
+    InvalidDefinition(String),
+    /// Snapshot format version mismatch.
+    Version {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// Filesystem error.
+    Io(String),
+    /// JSON (de)serialisation error.
+    Serde(serde_json::Error),
+    /// CSV import error with line number.
+    Csv {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::InvalidDefinition(m) => write!(f, "invalid gesture definition: {m}"),
+            DbError::Version { found, supported } => {
+                write!(f, "snapshot version {found} unsupported (supported: {supported})")
+            }
+            DbError::Io(m) => write!(f, "io error: {m}"),
+            DbError::Serde(e) => write!(f, "serialisation error: {e}"),
+            DbError::Csv { line, message } => write!(f, "csv error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<serde_json::Error> for DbError {
+    fn from(e: serde_json::Error) -> Self {
+        DbError::Serde(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(DbError::Io("nope".into()).to_string().contains("nope"));
+        assert!(DbError::Version { found: 2, supported: 1 }.to_string().contains("2"));
+        assert!(DbError::Csv { line: 7, message: "bad".into() }
+            .to_string()
+            .contains("line 7"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Parameterised body model: limb lengths from body height.
+//!
+//! The paper's scale-invariance assumption (§3.2) is that "tall people
+//! have longer arms than smaller people"; the simulator encodes that with
+//! standard anthropometric ratios so that personas of different heights
+//! produce proportionally scaled movements — exactly the variability the
+//! forearm-length normalisation must absorb.
+
+use serde::{Deserialize, Serialize};
+
+/// Anthropometric proportions relative to body height (Drillis & Contini
+/// style segment ratios, rounded).
+mod ratio {
+    pub const HEAD: f64 = 0.936;
+    pub const NECK: f64 = 0.870;
+    pub const SHOULDER: f64 = 0.818;
+    pub const TORSO: f64 = 0.580;
+    pub const HIP: f64 = 0.530;
+    pub const KNEE: f64 = 0.285;
+    pub const FOOT: f64 = 0.039;
+    pub const SHOULDER_HALF_WIDTH: f64 = 0.129;
+    pub const HIP_HALF_WIDTH: f64 = 0.096;
+    pub const UPPER_ARM: f64 = 0.186;
+    pub const FOREARM: f64 = 0.146;
+}
+
+/// Limb lengths and landmark heights of one user, in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BodyModel {
+    /// Total body height.
+    pub height: f64,
+    /// Height of the head joint above the floor.
+    pub head_h: f64,
+    /// Height of the neck joint.
+    pub neck_h: f64,
+    /// Height of the shoulder line.
+    pub shoulder_h: f64,
+    /// Height of the torso (centre-of-mass) joint.
+    pub torso_h: f64,
+    /// Height of the hip joints.
+    pub hip_h: f64,
+    /// Height of the knee joints.
+    pub knee_h: f64,
+    /// Height of the foot joints.
+    pub foot_h: f64,
+    /// Half the shoulder width.
+    pub shoulder_half_w: f64,
+    /// Half the hip width.
+    pub hip_half_w: f64,
+    /// Shoulder-to-elbow length.
+    pub upper_arm: f64,
+    /// Elbow-to-hand length — the paper's scale factor (§3.2).
+    pub forearm: f64,
+}
+
+/// The reference forearm length (mm) corresponding to the paper's figure
+/// coordinates: a ~1.75 m adult. The transformed view normalises every
+/// user to this reference so learned windows keep paper-scale numbers.
+pub const REFERENCE_FOREARM_MM: f64 = 255.0;
+
+/// Reference body height producing [`REFERENCE_FOREARM_MM`].
+pub const REFERENCE_HEIGHT_MM: f64 = REFERENCE_FOREARM_MM / ratio::FOREARM;
+
+impl BodyModel {
+    /// Builds the model for a user of `height_mm` (clamped to a plausible
+    /// 800–2300 mm range).
+    pub fn from_height(height_mm: f64) -> Self {
+        let h = height_mm.clamp(800.0, 2300.0);
+        Self {
+            height: h,
+            head_h: h * ratio::HEAD,
+            neck_h: h * ratio::NECK,
+            shoulder_h: h * ratio::SHOULDER,
+            torso_h: h * ratio::TORSO,
+            hip_h: h * ratio::HIP,
+            knee_h: h * ratio::KNEE,
+            foot_h: h * ratio::FOOT,
+            shoulder_half_w: h * ratio::SHOULDER_HALF_WIDTH,
+            hip_half_w: h * ratio::HIP_HALF_WIDTH,
+            upper_arm: h * ratio::UPPER_ARM,
+            forearm: h * ratio::FOREARM,
+        }
+    }
+
+    /// The reference adult body used by gesture specifications.
+    pub fn reference() -> Self {
+        Self::from_height(REFERENCE_HEIGHT_MM)
+    }
+
+    /// Maximum reach of the arm (shoulder to hand).
+    pub fn arm_reach(&self) -> f64 {
+        self.upper_arm + self.forearm
+    }
+
+    /// Scale of this body relative to the reference (ratio of forearm
+    /// lengths) — what the `kinect_t` normalisation must divide out.
+    pub fn scale_vs_reference(&self) -> f64 {
+        self.forearm / REFERENCE_FOREARM_MM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_forearm_is_reference() {
+        let b = BodyModel::reference();
+        assert!((b.forearm - REFERENCE_FOREARM_MM).abs() < 1e-9);
+        assert!((b.scale_vs_reference() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn taller_people_have_longer_arms() {
+        let child = BodyModel::from_height(1100.0);
+        let adult = BodyModel::from_height(1900.0);
+        assert!(adult.forearm > child.forearm);
+        assert!(adult.arm_reach() > child.arm_reach());
+        assert!((adult.forearm / child.forearm - 1900.0 / 1100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heights_ordered_sanely() {
+        let b = BodyModel::from_height(1750.0);
+        assert!(b.head_h > b.neck_h);
+        assert!(b.neck_h > b.shoulder_h);
+        assert!(b.shoulder_h > b.torso_h);
+        assert!(b.torso_h > b.hip_h);
+        assert!(b.hip_h > b.knee_h);
+        assert!(b.knee_h > b.foot_h);
+        assert!(b.foot_h > 0.0);
+    }
+
+    #[test]
+    fn height_clamped() {
+        assert_eq!(BodyModel::from_height(100.0).height, 800.0);
+        assert_eq!(BodyModel::from_height(9999.0).height, 2300.0);
+    }
+}

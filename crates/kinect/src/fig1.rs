@@ -1,0 +1,109 @@
+//! The sensor trace printed in Fig. 1 of the paper, embedded verbatim.
+//!
+//! 19 consecutive Kinect readings of a real `swipe_right` performance:
+//! torso and right-hand positions in camera coordinates (mm). The paper
+//! prints no timestamps; we attach 30 Hz stream times (frame *n* at
+//! ⌈n·1000/30⌉ ms), matching the sensor rate stated in §3.3.1.
+
+use gesto_stream::{FrameClock, SchemaRef, Tuple};
+
+use crate::joints::{Joint, SkeletonFrame};
+use crate::stream::frame_to_tuple;
+use crate::vec3::Vec3;
+
+/// `(torso, right hand)` per frame, in paper order.
+pub const TRACE: [([f64; 3], [f64; 3]); 19] = [
+    ([45.21, 166.36, 1961.27], [-38.80, 238.82, 1822.28]),
+    ([45.52, 165.01, 1961.72], [-34.19, 242.18, 1809.85]),
+    ([46.41, 166.66, 1962.06], [-43.40, 247.94, 1784.66]),
+    ([46.43, 165.01, 1962.28], [-41.77, 255.67, 1749.81]),
+    ([47.70, 163.58, 1963.10], [-26.71, 261.12, 1708.15]),
+    ([47.28, 162.47, 1963.95], [7.46, 268.41, 1666.37]),
+    ([46.87, 160.21, 1963.41], [55.50, 279.27, 1623.10]),
+    ([47.88, 159.74, 1964.06], [115.67, 285.51, 1586.52]),
+    ([49.59, 158.18, 1964.48], [189.70, 288.57, 1600.58]),
+    ([50.60, 155.84, 1964.30], [266.81, 297.11, 1611.36]),
+    ([51.41, 154.77, 1963.49], [352.69, 303.68, 1607.77]),
+    ([51.20, 154.26, 1962.55], [441.28, 309.47, 1612.19]),
+    ([50.48, 154.63, 1961.98], [524.74, 316.60, 1637.53]),
+    ([48.32, 159.31, 1960.89], [595.35, 318.67, 1686.02]),
+    ([48.01, 161.80, 1960.45], [651.49, 318.95, 1741.35]),
+    ([47.76, 163.37, 1959.53], [698.53, 319.05, 1805.54]),
+    ([46.53, 161.74, 1957.08], [732.56, 314.73, 1872.58]),
+    ([45.67, 162.10, 1956.12], [756.19, 315.46, 1937.36]),
+    ([44.33, 161.65, 1954.86], [775.07, 310.60, 1997.73]),
+];
+
+/// The trace as skeleton frames (only torso and right hand are tracked,
+/// as in the paper's excerpt). Timestamps start at `start_ts`.
+pub fn frames(start_ts: i64) -> Vec<SkeletonFrame> {
+    let clock = FrameClock::kinect(start_ts);
+    TRACE
+        .iter()
+        .enumerate()
+        .map(|(i, (torso, hand))| {
+            let mut f = SkeletonFrame::empty(clock.frame_ts(i as u64), 1);
+            f.set_joint(Joint::Torso, Vec3::new(torso[0], torso[1], torso[2]));
+            f.set_joint(Joint::RightHand, Vec3::new(hand[0], hand[1], hand[2]));
+            f
+        })
+        .collect()
+}
+
+/// The trace as `kinect` tuples.
+pub fn tuples(start_ts: i64, schema: &SchemaRef) -> Vec<Tuple> {
+    frames(start_ts).iter().map(|f| frame_to_tuple(f, schema)).collect()
+}
+
+/// Right-hand positions relative to the torso (the coordinates the Fig. 1
+/// query ranges over).
+pub fn hand_offsets() -> Vec<Vec3> {
+    TRACE
+        .iter()
+        .map(|(t, h)| Vec3::new(h[0] - t[0], h[1] - t[1], h[2] - t[2]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::kinect_schema;
+
+    #[test]
+    fn trace_has_19_frames_at_30hz() {
+        let fs = frames(0);
+        assert_eq!(fs.len(), 19);
+        assert_eq!(fs[0].ts, 0);
+        assert_eq!(fs[18].ts - fs[0].ts, 600, "18 frame gaps = 600 ms");
+    }
+
+    #[test]
+    fn hand_sweeps_left_to_right() {
+        let offs = hand_offsets();
+        assert!(offs[0].x < -80.0, "starts left of the torso: {:?}", offs[0]);
+        assert!(offs.last().unwrap().x > 720.0, "ends far right");
+        // x increases monotonically once the swipe is underway (the first
+        // frames show a small leftward wind-up in the raw data).
+        for w in offs[3..].windows(2) {
+            assert!(w[1].x > w[0].x, "{:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn hand_bows_towards_camera_mid_swipe() {
+        let offs = hand_offsets();
+        let min_z = offs.iter().map(|o| o.z).fold(f64::MAX, f64::min);
+        assert!(min_z < -340.0, "mid-swipe approaches camera: {min_z}");
+        assert!(offs[0].z > -150.0);
+        assert!(offs.last().unwrap().z > 0.0, "ends behind the torso plane");
+    }
+
+    #[test]
+    fn tuples_expose_paper_fields() {
+        let ts = tuples(0, &kinect_schema());
+        assert_eq!(ts.len(), 19);
+        assert_eq!(ts[0].f64("torso_x"), Some(45.21));
+        assert_eq!(ts[0].f64("rHand_z"), Some(1822.28));
+        assert!(ts[0].get_by_name("lHand_x").unwrap().is_null(), "untracked joints null");
+    }
+}

@@ -1,0 +1,315 @@
+//! The built-in gesture library.
+//!
+//! Each [`GestureSpec`] describes the *intended* movement in user-local
+//! gesture space (x = user's right, y = up, z = depth relative to the
+//! torso, negative in front; reference-body millimetres). The
+//! [`crate::Performer`] renders specs into camera-space skeleton streams
+//! for arbitrary users.
+//!
+//! The `swipe_right` spec reproduces Fig. 1: start (0, 150, −120), bow
+//! forward through (400, 150, −420), end (800, 150, −120). `circle`
+//! follows the five Fig. 2 windows. `wave` and `two_hand_swipe` are the
+//! paper's control gestures (§3.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::joints::Joint;
+use crate::trajectory::{PathSpec, TimeProfile};
+use crate::vec3::Vec3;
+
+/// A gesture: one or more joints moving along paths over a duration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GestureSpec {
+    /// Gesture name (used as the learned query name).
+    pub name: String,
+    /// Moving joints and their paths; joints not listed stay in the rest
+    /// pose.
+    pub channels: Vec<(Joint, PathSpec)>,
+    /// Nominal duration in milliseconds (tempo 1.0).
+    pub duration_ms: i64,
+    /// Timing profile.
+    pub profile: TimeProfile,
+}
+
+impl GestureSpec {
+    /// Single-joint gesture.
+    pub fn single(
+        name: impl Into<String>,
+        joint: Joint,
+        path: PathSpec,
+        duration_ms: i64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            channels: vec![(joint, path)],
+            duration_ms,
+            profile: TimeProfile::MinJerk,
+        }
+    }
+
+    /// The joints this gesture moves.
+    pub fn joints(&self) -> Vec<Joint> {
+        self.channels.iter().map(|(j, _)| *j).collect()
+    }
+}
+
+/// Fig. 1 swipe: right hand left-to-right at chest height, bowing towards
+/// the camera.
+pub fn swipe_right() -> GestureSpec {
+    GestureSpec::single(
+        "swipe_right",
+        Joint::RightHand,
+        PathSpec::Spline(vec![
+            Vec3::new(0.0, 150.0, -120.0),
+            Vec3::new(400.0, 150.0, -420.0),
+            Vec3::new(800.0, 150.0, -120.0),
+        ]),
+        900,
+    )
+}
+
+/// Mirror of [`swipe_right`], performed with the left hand.
+pub fn swipe_left() -> GestureSpec {
+    GestureSpec::single(
+        "swipe_left",
+        Joint::LeftHand,
+        PathSpec::Spline(vec![
+            Vec3::new(0.0, 150.0, -120.0),
+            Vec3::new(-400.0, 150.0, -420.0),
+            Vec3::new(-800.0, 150.0, -120.0),
+        ]),
+        900,
+    )
+}
+
+/// Right hand rising from hip to overhead in front of the user.
+pub fn swipe_up() -> GestureSpec {
+    GestureSpec::single(
+        "swipe_up",
+        Joint::RightHand,
+        PathSpec::Spline(vec![
+            Vec3::new(250.0, -150.0, -250.0),
+            Vec3::new(280.0, 250.0, -400.0),
+            Vec3::new(250.0, 650.0, -250.0),
+        ]),
+        900,
+    )
+}
+
+/// Right hand dropping from overhead to hip.
+pub fn swipe_down() -> GestureSpec {
+    GestureSpec::single(
+        "swipe_down",
+        Joint::RightHand,
+        PathSpec::Spline(vec![
+            Vec3::new(250.0, 650.0, -250.0),
+            Vec3::new(280.0, 250.0, -400.0),
+            Vec3::new(250.0, -150.0, -250.0),
+        ]),
+        900,
+    )
+}
+
+/// Straight push towards the camera at chest height.
+pub fn push() -> GestureSpec {
+    GestureSpec::single(
+        "push",
+        Joint::RightHand,
+        PathSpec::Waypoints(vec![
+            Vec3::new(100.0, 150.0, -150.0),
+            Vec3::new(100.0, 150.0, -520.0),
+        ]),
+        700,
+    )
+}
+
+/// Pull back from extended arm to the chest.
+pub fn pull() -> GestureSpec {
+    GestureSpec::single(
+        "pull",
+        Joint::RightHand,
+        PathSpec::Waypoints(vec![
+            Vec3::new(100.0, 150.0, -520.0),
+            Vec3::new(100.0, 150.0, -150.0),
+        ]),
+        700,
+    )
+}
+
+/// Full frontal circle with the right hand (Fig. 2 gesture-database
+/// example), drawn clockwise starting at the top.
+pub fn circle() -> GestureSpec {
+    GestureSpec {
+        name: "circle".into(),
+        channels: vec![(
+            Joint::RightHand,
+            PathSpec::Circle {
+                center: Vec3::new(300.0, 225.0, -150.0),
+                radius: 350.0,
+                start_angle: std::f64::consts::FRAC_PI_2,
+                turns: -1.0,
+            },
+        )],
+        duration_ms: 2000,
+        profile: TimeProfile::Linear,
+    }
+}
+
+/// Wave: hand raised, oscillating laterally (the §3.1 control gesture
+/// that starts recording).
+pub fn wave() -> GestureSpec {
+    GestureSpec {
+        name: "wave".into(),
+        channels: vec![(
+            Joint::RightHand,
+            PathSpec::Oscillation {
+                center: Vec3::new(250.0, 450.0, -200.0),
+                amplitude: 160.0,
+                cycles: 2.0,
+            },
+        )],
+        duration_ms: 1400,
+        profile: TimeProfile::Linear,
+    }
+}
+
+/// Both hands rising simultaneously.
+pub fn raise_both_hands() -> GestureSpec {
+    GestureSpec {
+        name: "raise_both_hands".into(),
+        channels: vec![
+            (
+                Joint::RightHand,
+                PathSpec::Waypoints(vec![
+                    Vec3::new(220.0, -200.0, -150.0),
+                    Vec3::new(250.0, 550.0, -250.0),
+                ]),
+            ),
+            (
+                Joint::LeftHand,
+                PathSpec::Waypoints(vec![
+                    Vec3::new(-220.0, -200.0, -150.0),
+                    Vec3::new(-250.0, 550.0, -250.0),
+                ]),
+            ),
+        ],
+        duration_ms: 900,
+        profile: TimeProfile::MinJerk,
+    }
+}
+
+/// Both hands swiping outwards — the §3.1 control gesture that finalises
+/// learning.
+pub fn two_hand_swipe() -> GestureSpec {
+    GestureSpec {
+        name: "two_hand_swipe".into(),
+        channels: vec![
+            (
+                Joint::RightHand,
+                PathSpec::Waypoints(vec![
+                    Vec3::new(120.0, 150.0, -300.0),
+                    Vec3::new(650.0, 150.0, -200.0),
+                ]),
+            ),
+            (
+                Joint::LeftHand,
+                PathSpec::Waypoints(vec![
+                    Vec3::new(-120.0, 150.0, -300.0),
+                    Vec3::new(-650.0, 150.0, -200.0),
+                ]),
+            ),
+        ],
+        duration_ms: 800,
+        profile: TimeProfile::MinJerk,
+    }
+}
+
+/// A zig-zag stroke, useful as a deliberately overlapping pattern for the
+/// §3.3.2 overlap experiments.
+pub fn zigzag() -> GestureSpec {
+    GestureSpec::single(
+        "zigzag",
+        Joint::RightHand,
+        PathSpec::Waypoints(vec![
+            Vec3::new(0.0, 100.0, -200.0),
+            Vec3::new(280.0, 420.0, -200.0),
+            Vec3::new(540.0, 100.0, -200.0),
+            Vec3::new(800.0, 420.0, -200.0),
+        ]),
+        1400,
+    )
+}
+
+/// All built-in gestures.
+pub fn standard_library() -> Vec<GestureSpec> {
+    vec![
+        swipe_right(),
+        swipe_left(),
+        swipe_up(),
+        swipe_down(),
+        push(),
+        pull(),
+        circle(),
+        wave(),
+        raise_both_hands(),
+        two_hand_swipe(),
+        zigzag(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_names_unique_and_nonempty() {
+        let lib = standard_library();
+        assert!(lib.len() >= 10);
+        let mut names: Vec<_> = lib.iter().map(|g| g.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), lib.len());
+        for g in &lib {
+            assert!(!g.channels.is_empty(), "{} has no channels", g.name);
+            assert!(g.duration_ms > 0);
+        }
+    }
+
+    #[test]
+    fn swipe_right_matches_fig1_endpoints() {
+        let g = swipe_right();
+        let (_, path) = &g.channels[0];
+        assert!(path.start().dist(&Vec3::new(0.0, 150.0, -120.0)) < 1e-9);
+        assert!(path.end().dist(&Vec3::new(800.0, 150.0, -120.0)) < 1e-9);
+        // Midpoint bows forward (more negative z).
+        assert!(path.at(0.5).z < -400.0);
+    }
+
+    #[test]
+    fn two_hand_gestures_move_both_hands() {
+        for g in [raise_both_hands(), two_hand_swipe()] {
+            let joints = g.joints();
+            assert!(joints.contains(&Joint::RightHand));
+            assert!(joints.contains(&Joint::LeftHand));
+        }
+    }
+
+    #[test]
+    fn paths_stay_within_plausible_reach() {
+        // Reference arm reach ~580mm from the shoulder; gesture space is
+        // torso-relative, so allow shoulder offset + reach ≈ 950mm.
+        for g in standard_library() {
+            for (_, path) in &g.channels {
+                for i in 0..=50 {
+                    let p = path.at(i as f64 / 50.0);
+                    assert!(
+                        p.norm() < 1000.0,
+                        "{}: point {:?} beyond plausible reach",
+                        g.name,
+                        p
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The tracked skeleton joints (OpenNI 15-joint set).
+
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::Vec3;
+
+/// The 15 skeleton joints delivered by OpenNI-style trackers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Joint {
+    Head,
+    Neck,
+    Torso,
+    LeftShoulder,
+    LeftElbow,
+    LeftHand,
+    RightShoulder,
+    RightElbow,
+    RightHand,
+    LeftHip,
+    LeftKnee,
+    LeftFoot,
+    RightHip,
+    RightKnee,
+    RightFoot,
+}
+
+/// Number of tracked joints.
+pub const JOINT_COUNT: usize = 15;
+
+/// All joints in canonical (schema) order.
+pub const ALL_JOINTS: [Joint; JOINT_COUNT] = [
+    Joint::Head,
+    Joint::Neck,
+    Joint::Torso,
+    Joint::LeftShoulder,
+    Joint::LeftElbow,
+    Joint::LeftHand,
+    Joint::RightShoulder,
+    Joint::RightElbow,
+    Joint::RightHand,
+    Joint::LeftHip,
+    Joint::LeftKnee,
+    Joint::LeftFoot,
+    Joint::RightHip,
+    Joint::RightKnee,
+    Joint::RightFoot,
+];
+
+impl Joint {
+    /// Canonical index in [`ALL_JOINTS`].
+    pub fn index(&self) -> usize {
+        ALL_JOINTS.iter().position(|j| j == self).expect("joint in ALL_JOINTS")
+    }
+
+    /// Field-name prefix used in tuple schemas (paper style: `rHand`,
+    /// `torso`, ...). Coordinates append `_x`, `_y`, `_z`.
+    pub fn prefix(&self) -> &'static str {
+        match self {
+            Joint::Head => "head",
+            Joint::Neck => "neck",
+            Joint::Torso => "torso",
+            Joint::LeftShoulder => "lShoulder",
+            Joint::LeftElbow => "lElbow",
+            Joint::LeftHand => "lHand",
+            Joint::RightShoulder => "rShoulder",
+            Joint::RightElbow => "rElbow",
+            Joint::RightHand => "rHand",
+            Joint::LeftHip => "lHip",
+            Joint::LeftKnee => "lKnee",
+            Joint::LeftFoot => "lFoot",
+            Joint::RightHip => "rHip",
+            Joint::RightKnee => "rKnee",
+            Joint::RightFoot => "rFoot",
+        }
+    }
+
+    /// Parses a field-name prefix back into a joint.
+    pub fn from_prefix(prefix: &str) -> Option<Joint> {
+        ALL_JOINTS.iter().copied().find(|j| j.prefix() == prefix)
+    }
+}
+
+/// One tracked skeleton frame: a timestamp plus an optional position per
+/// joint (`None` = tracking dropout for that joint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SkeletonFrame {
+    /// Stream time in milliseconds.
+    pub ts: i64,
+    /// Player id (multi-user trackers tag each skeleton).
+    pub player: i64,
+    /// Joint positions in camera coordinates (mm), indexed by
+    /// [`Joint::index`].
+    pub joints: [Option<Vec3>; JOINT_COUNT],
+}
+
+impl SkeletonFrame {
+    /// Creates a frame with all joints missing.
+    pub fn empty(ts: i64, player: i64) -> Self {
+        Self { ts, player, joints: [None; JOINT_COUNT] }
+    }
+
+    /// Position of a joint.
+    pub fn joint(&self, j: Joint) -> Option<Vec3> {
+        self.joints[j.index()]
+    }
+
+    /// Sets a joint position.
+    pub fn set_joint(&mut self, j: Joint, p: Vec3) {
+        self.joints[j.index()] = Some(p);
+    }
+
+    /// Removes a joint (tracking dropout).
+    pub fn drop_joint(&mut self, j: Joint) {
+        self.joints[j.index()] = None;
+    }
+
+    /// True when every joint is tracked.
+    pub fn complete(&self) -> bool {
+        self.joints.iter().all(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joint_index_roundtrip() {
+        for (i, j) in ALL_JOINTS.iter().enumerate() {
+            assert_eq!(j.index(), i);
+        }
+    }
+
+    #[test]
+    fn prefix_roundtrip() {
+        for j in ALL_JOINTS {
+            assert_eq!(Joint::from_prefix(j.prefix()), Some(j));
+        }
+        assert_eq!(Joint::from_prefix("nope"), None);
+    }
+
+    #[test]
+    fn frame_accessors() {
+        let mut f = SkeletonFrame::empty(10, 1);
+        assert!(!f.complete());
+        f.set_joint(Joint::RightHand, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(f.joint(Joint::RightHand), Some(Vec3::new(1.0, 2.0, 3.0)));
+        f.drop_joint(Joint::RightHand);
+        assert_eq!(f.joint(Joint::RightHand), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Converting skeleton frames to stream tuples (the `kinect` stream).
+
+use std::sync::Arc;
+
+use gesto_stream::{Field, Schema, SchemaRef, Tuple, Value, ValueType};
+
+use crate::joints::{Joint, SkeletonFrame, ALL_JOINTS};
+use crate::vec3::Vec3;
+
+/// Name of the raw sensor stream.
+pub const KINECT_STREAM: &str = "kinect";
+
+/// Builds the `kinect` stream schema:
+/// `(player: int, ts: timestamp, <joint>_x/_y/_z: float × 15)`.
+pub fn kinect_schema() -> SchemaRef {
+    schema_named(KINECT_STREAM, "")
+}
+
+/// Builds a kinect-layout schema under another stream name with an
+/// optional per-field suffix (used by the transformed `kinect_t` view).
+pub fn schema_named(name: &str, field_suffix: &str) -> SchemaRef {
+    let mut fields = Vec::with_capacity(2 + 3 * ALL_JOINTS.len());
+    fields.push(Field::new("player", ValueType::Int));
+    fields.push(Field::new("ts", ValueType::Timestamp));
+    for j in ALL_JOINTS {
+        for axis in ["x", "y", "z"] {
+            fields.push(Field::new(
+                format!("{}_{axis}{field_suffix}", j.prefix()),
+                ValueType::Float,
+            ));
+        }
+    }
+    Arc::new(Schema::new(name, fields).expect("static kinect schema"))
+}
+
+/// Converts one skeleton frame into a tuple of `schema` (which must have
+/// the kinect layout). Missing joints become `Null`s.
+pub fn frame_to_tuple(frame: &SkeletonFrame, schema: &SchemaRef) -> Tuple {
+    let mut values = Vec::with_capacity(schema.len());
+    values.push(Value::Int(frame.player));
+    values.push(Value::Timestamp(frame.ts));
+    for j in ALL_JOINTS {
+        match frame.joint(j) {
+            Some(p) => {
+                values.push(Value::Float(p.x));
+                values.push(Value::Float(p.y));
+                values.push(Value::Float(p.z));
+            }
+            None => {
+                values.push(Value::Null);
+                values.push(Value::Null);
+                values.push(Value::Null);
+            }
+        }
+    }
+    Tuple::new_unchecked(schema.clone(), values)
+}
+
+/// Converts a frame sequence into tuples.
+pub fn frames_to_tuples(frames: &[SkeletonFrame], schema: &SchemaRef) -> Vec<Tuple> {
+    frames.iter().map(|f| frame_to_tuple(f, schema)).collect()
+}
+
+/// Reads a joint position back out of a kinect-layout tuple (with an
+/// optional field suffix). `None` when any coordinate is missing.
+pub fn joint_from_tuple(tuple: &Tuple, joint: Joint, field_suffix: &str) -> Option<Vec3> {
+    let p = joint.prefix();
+    let x = tuple.f64(&format!("{p}_x{field_suffix}"))?;
+    let y = tuple.f64(&format!("{p}_y{field_suffix}"))?;
+    let z = tuple.f64(&format!("{p}_z{field_suffix}"))?;
+    Some(Vec3::new(x, y, z))
+}
+
+/// Converts a kinect-layout tuple back into a skeleton frame.
+pub fn tuple_to_frame(tuple: &Tuple, field_suffix: &str) -> SkeletonFrame {
+    let mut frame = SkeletonFrame::empty(
+        tuple.timestamp().unwrap_or(0),
+        tuple.i64("player").unwrap_or(1),
+    );
+    for j in ALL_JOINTS {
+        if let Some(p) = joint_from_tuple(tuple, j, field_suffix) {
+            frame.set_joint(j, p);
+        }
+    }
+    frame
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gestures::swipe_right;
+    use crate::performer::{Performer, Persona};
+
+    #[test]
+    fn schema_layout() {
+        let s = kinect_schema();
+        assert_eq!(s.len(), 2 + 45);
+        assert_eq!(s.index_of("player"), Some(0));
+        assert_eq!(s.index_of("ts"), Some(1));
+        assert!(s.index_of("rHand_x").is_some());
+        assert!(s.index_of("torso_z").is_some());
+        assert_eq!(s.name, "kinect");
+    }
+
+    #[test]
+    fn suffixed_schema() {
+        let s = schema_named("kinect_t", "");
+        assert_eq!(s.name, "kinect_t");
+        assert!(s.index_of("rHand_x").is_some());
+    }
+
+    #[test]
+    fn frame_tuple_roundtrip() {
+        let mut perf = Performer::new(Persona::reference(), 0);
+        let frames = perf.render(&swipe_right());
+        let schema = kinect_schema();
+        for f in &frames {
+            let t = frame_to_tuple(f, &schema);
+            let back = tuple_to_frame(&t, "");
+            assert_eq!(back.ts, f.ts);
+            for j in ALL_JOINTS {
+                let a = f.joint(j).unwrap();
+                let b = back.joint(j).unwrap();
+                assert!(a.dist(&b) < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_becomes_null() {
+        let mut f = SkeletonFrame::empty(5, 1);
+        f.set_joint(Joint::Torso, Vec3::new(1.0, 2.0, 3.0));
+        let schema = kinect_schema();
+        let t = frame_to_tuple(&f, &schema);
+        assert!(t.get_by_name("rHand_x").unwrap().is_null());
+        assert_eq!(t.f64("torso_y"), Some(2.0));
+        assert_eq!(joint_from_tuple(&t, Joint::RightHand, ""), None);
+        assert_eq!(joint_from_tuple(&t, Joint::Torso, ""), Some(Vec3::new(1.0, 2.0, 3.0)));
+    }
+}

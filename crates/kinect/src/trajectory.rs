@@ -1,0 +1,283 @@
+//! Gesture path primitives and timing profiles.
+//!
+//! A [`PathSpec`] maps a normalised parameter `u ∈ [0, 1]` to a point in
+//! *user-local gesture space*: x = user's right, y = up, z = signed depth
+//! relative to the torso (negative in front of the user), in millimetres
+//! of the reference body — the coordinate convention of the paper's
+//! Fig. 1/Fig. 2 window tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::vec3::Vec3;
+
+/// Minimum-jerk time warp: position parameter as a smooth function of
+/// normalised time (zero velocity and acceleration at both ends), the
+/// standard model for point-to-point human reaching movements.
+pub fn min_jerk(t: f64) -> f64 {
+    let t = t.clamp(0.0, 1.0);
+    t * t * t * (10.0 + t * (-15.0 + 6.0 * t))
+}
+
+/// How path parameter progresses over gesture time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum TimeProfile {
+    /// Minimum-jerk ease-in/ease-out (natural human movement).
+    #[default]
+    MinJerk,
+    /// Constant velocity.
+    Linear,
+}
+
+impl TimeProfile {
+    /// Warps normalised time `t` into path parameter `u`.
+    pub fn warp(&self, t: f64) -> f64 {
+        match self {
+            TimeProfile::MinJerk => min_jerk(t),
+            TimeProfile::Linear => t.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A parametric path in user-local gesture space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PathSpec {
+    /// Hold a fixed point.
+    Hold(Vec3),
+    /// Piecewise-linear interpolation through waypoints (arc-length
+    /// parameterised across segments).
+    Waypoints(Vec<Vec3>),
+    /// Catmull-Rom spline through waypoints (smooth arcs, like the
+    /// forward-bowed swipe of Fig. 1).
+    Spline(Vec<Vec3>),
+    /// Circle in the frontal (x/y) plane.
+    Circle {
+        /// Centre of the circle.
+        center: Vec3,
+        /// Radius in mm.
+        radius: f64,
+        /// Start angle in radians (0 = rightmost point, π/2 = top).
+        start_angle: f64,
+        /// Signed number of turns (negative = counter-clockwise).
+        turns: f64,
+    },
+    /// Horizontal oscillation around an anchor (a wave gesture).
+    Oscillation {
+        /// Anchor point.
+        center: Vec3,
+        /// Peak lateral displacement in mm.
+        amplitude: f64,
+        /// Number of full left-right cycles.
+        cycles: f64,
+    },
+}
+
+impl PathSpec {
+    /// Point at parameter `u ∈ [0, 1]`.
+    pub fn at(&self, u: f64) -> Vec3 {
+        let u = u.clamp(0.0, 1.0);
+        match self {
+            PathSpec::Hold(p) => *p,
+            PathSpec::Waypoints(pts) => waypoint_at(pts, u),
+            PathSpec::Spline(pts) => spline_at(pts, u),
+            PathSpec::Circle { center, radius, start_angle, turns } => {
+                let angle = start_angle + u * turns * std::f64::consts::TAU;
+                Vec3::new(
+                    center.x + radius * angle.cos(),
+                    center.y + radius * angle.sin(),
+                    center.z,
+                )
+            }
+            PathSpec::Oscillation { center, amplitude, cycles } => {
+                let phase = u * cycles * std::f64::consts::TAU;
+                Vec3::new(center.x + amplitude * phase.sin(), center.y, center.z)
+            }
+        }
+    }
+
+    /// Start point.
+    pub fn start(&self) -> Vec3 {
+        self.at(0.0)
+    }
+
+    /// End point.
+    pub fn end(&self) -> Vec3 {
+        self.at(1.0)
+    }
+
+    /// Approximate arc length (mm) via uniform sampling.
+    pub fn arc_length(&self, samples: usize) -> f64 {
+        let n = samples.max(2);
+        let mut len = 0.0;
+        let mut prev = self.at(0.0);
+        for i in 1..=n {
+            let p = self.at(i as f64 / n as f64);
+            len += prev.dist(&p);
+            prev = p;
+        }
+        len
+    }
+}
+
+fn waypoint_at(pts: &[Vec3], u: f64) -> Vec3 {
+    match pts.len() {
+        0 => Vec3::ZERO,
+        1 => pts[0],
+        _ => {
+            // Arc-length parameterisation over the polyline.
+            let mut seg_lens = Vec::with_capacity(pts.len() - 1);
+            let mut total = 0.0;
+            for w in pts.windows(2) {
+                let l = w[0].dist(&w[1]);
+                seg_lens.push(l);
+                total += l;
+            }
+            if total <= 0.0 {
+                return pts[0];
+            }
+            let mut target = u * total;
+            for (i, l) in seg_lens.iter().enumerate() {
+                if target <= *l || i == seg_lens.len() - 1 {
+                    let t = if *l > 0.0 { (target / l).clamp(0.0, 1.0) } else { 0.0 };
+                    return pts[i].lerp(&pts[i + 1], t);
+                }
+                target -= l;
+            }
+            *pts.last().expect("non-empty")
+        }
+    }
+}
+
+fn spline_at(pts: &[Vec3], u: f64) -> Vec3 {
+    match pts.len() {
+        0 => Vec3::ZERO,
+        1 => pts[0],
+        2 => pts[0].lerp(&pts[1], u),
+        _ => {
+            // Uniform Catmull-Rom over the control points, with clamped
+            // phantom endpoints.
+            let segs = pts.len() - 1;
+            let pos = u * segs as f64;
+            let i = (pos.floor() as usize).min(segs - 1);
+            let t = pos - i as f64;
+            let p0 = pts[i.saturating_sub(1)];
+            let p1 = pts[i];
+            let p2 = pts[i + 1];
+            let p3 = pts[(i + 2).min(pts.len() - 1)];
+            catmull_rom(p0, p1, p2, p3, t)
+        }
+    }
+}
+
+fn catmull_rom(p0: Vec3, p1: Vec3, p2: Vec3, p3: Vec3, t: f64) -> Vec3 {
+    let t2 = t * t;
+    let t3 = t2 * t;
+    (p1 * 2.0
+        + (p2 - p0) * t
+        + (p0 * 2.0 - p1 * 5.0 + p2 * 4.0 - p3) * t2
+        + ((p1 - p2) * 3.0 + p3 - p0) * t3)
+        * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_jerk_boundary_conditions() {
+        assert_eq!(min_jerk(0.0), 0.0);
+        assert_eq!(min_jerk(1.0), 1.0);
+        assert!((min_jerk(0.5) - 0.5).abs() < 1e-12, "symmetric at midpoint");
+        // Near-zero velocity at the ends.
+        let v0 = (min_jerk(0.01) - min_jerk(0.0)) / 0.01;
+        let vmid = (min_jerk(0.51) - min_jerk(0.49)) / 0.02;
+        assert!(v0 < 0.01, "slow start: {v0}");
+        assert!(vmid > 1.5, "fast middle: {vmid}");
+        // Clamps outside [0,1].
+        assert_eq!(min_jerk(-1.0), 0.0);
+        assert_eq!(min_jerk(2.0), 1.0);
+    }
+
+    #[test]
+    fn waypoints_arc_length_parameterised() {
+        // Unequal segments: midpoint of total length lies in the long leg.
+        let p = PathSpec::Waypoints(vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(10.0, 0.0, 0.0),
+            Vec3::new(10.0, 90.0, 0.0),
+        ]);
+        assert_eq!(p.start(), Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(p.end(), Vec3::new(10.0, 90.0, 0.0));
+        let mid = p.at(0.5); // total 100, at 50 -> 40 into the vertical leg
+        assert!((mid.x - 10.0).abs() < 1e-9);
+        assert!((mid.y - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spline_passes_through_control_points() {
+        let pts = vec![
+            Vec3::new(0.0, 150.0, -120.0),
+            Vec3::new(400.0, 150.0, -420.0),
+            Vec3::new(800.0, 150.0, -120.0),
+        ];
+        let p = PathSpec::Spline(pts.clone());
+        assert!(p.at(0.0).dist(&pts[0]) < 1e-9);
+        assert!(p.at(0.5).dist(&pts[1]) < 1e-9);
+        assert!(p.at(1.0).dist(&pts[2]) < 1e-9);
+    }
+
+    #[test]
+    fn circle_geometry() {
+        let c = PathSpec::Circle {
+            center: Vec3::new(300.0, 200.0, -150.0),
+            radius: 300.0,
+            start_angle: std::f64::consts::FRAC_PI_2,
+            turns: 1.0,
+        };
+        // Starts at top, returns to start after a full turn.
+        assert!(c.start().dist(&Vec3::new(300.0, 500.0, -150.0)) < 1e-9);
+        assert!(c.end().dist(&c.start()) < 1e-9);
+        // Every point is on the circle.
+        for i in 0..=20 {
+            let p = c.at(i as f64 / 20.0);
+            let d = ((p.x - 300.0).powi(2) + (p.y - 200.0).powi(2)).sqrt();
+            assert!((d - 300.0).abs() < 1e-9);
+            assert_eq!(p.z, -150.0);
+        }
+    }
+
+    #[test]
+    fn oscillation_cycles() {
+        let w = PathSpec::Oscillation {
+            center: Vec3::new(200.0, 500.0, -150.0),
+            amplitude: 150.0,
+            cycles: 2.0,
+        };
+        assert!(w.start().dist(&Vec3::new(200.0, 500.0, -150.0)) < 1e-9);
+        // Peak at u = 1/8 (first quarter of first cycle).
+        let peak = w.at(0.125);
+        assert!((peak.x - 350.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arc_length_of_line() {
+        let p = PathSpec::Waypoints(vec![Vec3::ZERO, Vec3::new(100.0, 0.0, 0.0)]);
+        assert!((p.arc_length(32) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hold_is_constant() {
+        let p = PathSpec::Hold(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(p.at(0.3), Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(p.arc_length(8), 0.0);
+    }
+
+    #[test]
+    fn degenerate_waypoints() {
+        assert_eq!(PathSpec::Waypoints(vec![]).at(0.5), Vec3::ZERO);
+        let one = PathSpec::Waypoints(vec![Vec3::new(1.0, 1.0, 1.0)]);
+        assert_eq!(one.at(0.7), Vec3::new(1.0, 1.0, 1.0));
+        // Coincident points: no NaN.
+        let same = PathSpec::Waypoints(vec![Vec3::ZERO, Vec3::ZERO]);
+        assert_eq!(same.at(0.5), Vec3::ZERO);
+    }
+}

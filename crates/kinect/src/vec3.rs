@@ -1,0 +1,176 @@
+//! Minimal 3D vector maths (millimetres, camera coordinates).
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A 3D point/vector in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// Lateral axis (camera X: to the camera's left as it looks at the
+    /// user; increases when a camera-facing user moves their hand to
+    /// *their* right, matching the paper's Fig. 1 trace).
+    pub x: f64,
+    /// Vertical axis (up).
+    pub y: f64,
+    /// Depth axis (distance from the camera).
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Origin.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn dist(&self, other: &Vec3) -> f64 {
+        (*self - *other).norm()
+    }
+
+    /// Dot product.
+    pub fn dot(&self, other: &Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product.
+    pub fn cross(&self, other: &Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Unit vector; `None` for (near-)zero vectors.
+    pub fn normalized(&self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-9 {
+            None
+        } else {
+            Some(*self * (1.0 / n))
+        }
+    }
+
+    /// Linear interpolation (`t` in [0, 1]).
+    pub fn lerp(&self, other: &Vec3, t: f64) -> Vec3 {
+        *self + (*other - *self) * t
+    }
+
+    /// Rotation around the vertical (Y) axis by `yaw` radians
+    /// (counter-clockwise seen from above).
+    pub fn rotate_y(&self, yaw: f64) -> Vec3 {
+        let (s, c) = yaw.sin_cos();
+        Vec3::new(c * self.x + s * self.z, self.y, -s * self.x + c * self.z)
+    }
+
+    /// Component-wise scaling.
+    pub fn scale(&self, k: f64) -> Vec3 {
+        *self * k
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, k: f64) -> Vec3 {
+        Vec3::new(self.x * k, self.y * k, self.z * k)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn norm_and_dist() {
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < EPS);
+        assert!((Vec3::new(1.0, 0.0, 0.0).dist(&Vec3::new(0.0, 0.0, 0.0)) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = Vec3::new(0.0, 0.0, 1.0);
+        assert!((x.dot(&y)).abs() < EPS);
+        assert_eq!(x.cross(&y), z);
+        assert_eq!(y.cross(&x), -z);
+        // u × r = forward convention check: Y × X = -Z.
+        assert_eq!(y.cross(&x), Vec3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(0.0, 3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < EPS);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn lerp_endpoints_and_middle() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(10.0, -10.0, 4.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Vec3::new(5.0, -5.0, 2.0));
+    }
+
+    #[test]
+    fn rotate_y_quarter_turn() {
+        let v = Vec3::new(1.0, 2.0, 0.0);
+        let r = v.rotate_y(std::f64::consts::FRAC_PI_2);
+        assert!((r.x - 0.0).abs() < EPS);
+        assert!((r.y - 2.0).abs() < EPS);
+        assert!((r.z - -1.0).abs() < EPS);
+        // Full turn is identity.
+        let full = v.rotate_y(std::f64::consts::TAU);
+        assert!(full.dist(&v) < 1e-9);
+    }
+}

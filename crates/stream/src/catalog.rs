@@ -1,0 +1,226 @@
+//! Catalog of named base streams and derived views.
+//!
+//! The paper declares the transformed sensor stream as a view
+//! (`kinect_t`, §3.2) so detection queries can reference it by name. The
+//! catalog maps stream names to schemas and view names to operator
+//! factories; the CEP engine instantiates a fresh view operator per
+//! deployed query chain.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::StreamError;
+use crate::operator::BoxedOperator;
+use crate::schema::SchemaRef;
+
+/// Factory producing a fresh (stateful) view operator instance.
+pub type ViewFactory = Arc<dyn Fn() -> BoxedOperator + Send + Sync>;
+
+/// A derived view: input stream + operator factory + output schema.
+#[derive(Clone)]
+pub struct ViewDef {
+    /// View name (e.g. `kinect_t`).
+    pub name: String,
+    /// Name of the input stream or view.
+    pub input: String,
+    /// Output schema of the view operator.
+    pub schema: SchemaRef,
+    /// Factory for the view's operator.
+    pub factory: ViewFactory,
+}
+
+impl std::fmt::Debug for ViewDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ViewDef")
+            .field("name", &self.name)
+            .field("input", &self.input)
+            .field("schema", &self.schema.name)
+            .finish()
+    }
+}
+
+/// Thread-safe registry of base streams and views.
+#[derive(Default)]
+pub struct Catalog {
+    inner: RwLock<CatalogInner>,
+}
+
+#[derive(Default)]
+struct CatalogInner {
+    streams: HashMap<String, SchemaRef>,
+    views: HashMap<String, ViewDef>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a base stream schema.
+    pub fn register_stream(&self, schema: SchemaRef) -> Result<(), StreamError> {
+        let mut inner = self.inner.write();
+        let name = schema.name.clone();
+        if inner.streams.contains_key(&name) || inner.views.contains_key(&name) {
+            return Err(StreamError::DuplicateStream(name));
+        }
+        inner.streams.insert(name, schema);
+        Ok(())
+    }
+
+    /// Registers a derived view. The input must already exist.
+    pub fn register_view(&self, view: ViewDef) -> Result<(), StreamError> {
+        let mut inner = self.inner.write();
+        if inner.streams.contains_key(&view.name) || inner.views.contains_key(&view.name) {
+            return Err(StreamError::DuplicateStream(view.name));
+        }
+        if !inner.streams.contains_key(&view.input) && !inner.views.contains_key(&view.input) {
+            return Err(StreamError::UnknownStream(view.input));
+        }
+        inner.views.insert(view.name.clone(), view);
+        Ok(())
+    }
+
+    /// Schema of a stream or view by name.
+    pub fn schema_of(&self, name: &str) -> Result<SchemaRef, StreamError> {
+        let inner = self.inner.read();
+        if let Some(s) = inner.streams.get(name) {
+            return Ok(s.clone());
+        }
+        if let Some(v) = inner.views.get(name) {
+            return Ok(v.schema.clone());
+        }
+        Err(StreamError::UnknownStream(name.to_owned()))
+    }
+
+    /// True when `name` is a registered base stream.
+    pub fn is_stream(&self, name: &str) -> bool {
+        self.inner.read().streams.contains_key(name)
+    }
+
+    /// Looks up a view definition.
+    pub fn view(&self, name: &str) -> Option<ViewDef> {
+        self.inner.read().views.get(name).cloned()
+    }
+
+    /// Resolves the chain of view definitions from `name` down to its base
+    /// stream: returns `(base_stream, views_outermost_last)`.
+    ///
+    /// E.g. for `kinect_t` over `kinect` this returns
+    /// `("kinect", [kinect_t])`; instantiating the factories in order turns
+    /// base tuples into view tuples.
+    pub fn resolve(&self, name: &str) -> Result<(String, Vec<ViewDef>), StreamError> {
+        let inner = self.inner.read();
+        let mut chain = Vec::new();
+        let mut current = name.to_owned();
+        loop {
+            if inner.streams.contains_key(&current) {
+                chain.reverse();
+                return Ok((current, chain));
+            }
+            match inner.views.get(&current) {
+                Some(v) => {
+                    if chain.len() > inner.views.len() {
+                        return Err(StreamError::Pipeline(format!(
+                            "view cycle detected while resolving '{name}'"
+                        )));
+                    }
+                    chain.push(v.clone());
+                    current = v.input.clone();
+                }
+                None => return Err(StreamError::UnknownStream(current)),
+            }
+        }
+    }
+
+    /// All registered stream and view names (streams first, then views).
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.read();
+        let mut out: Vec<String> = inner.streams.keys().cloned().collect();
+        out.sort();
+        let mut views: Vec<String> = inner.views.keys().cloned().collect();
+        views.sort();
+        out.extend(views);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::MapOp;
+    use crate::schema::SchemaBuilder;
+
+    fn base() -> SchemaRef {
+        SchemaBuilder::new("kinect").timestamp("ts").float("x").build().unwrap()
+    }
+
+    fn view_over(name: &str, input: &str, schema: SchemaRef) -> ViewDef {
+        let out = schema.clone();
+        ViewDef {
+            name: name.into(),
+            input: input.into(),
+            schema: schema.clone(),
+            factory: Arc::new(move || {
+                let out = out.clone();
+                Box::new(MapOp::new("id", out, move |t| Some(t.clone())))
+            }),
+        }
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        assert!(cat.is_stream("kinect"));
+        assert_eq!(cat.schema_of("kinect").unwrap().name, "kinect");
+        assert!(cat.schema_of("nope").is_err());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        assert!(matches!(
+            cat.register_stream(base()),
+            Err(StreamError::DuplicateStream(_))
+        ));
+    }
+
+    #[test]
+    fn view_requires_existing_input() {
+        let cat = Catalog::new();
+        let v = view_over("v", "missing", base());
+        assert!(matches!(cat.register_view(v), Err(StreamError::UnknownStream(_))));
+    }
+
+    #[test]
+    fn resolve_walks_view_chain() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let s = SchemaBuilder::new("kinect_t").timestamp("ts").float("x").build().unwrap();
+        cat.register_view(view_over("kinect_t", "kinect", s.clone())).unwrap();
+        let s2 = SchemaBuilder::new("k2").timestamp("ts").float("x").build().unwrap();
+        cat.register_view(view_over("k2", "kinect_t", s2)).unwrap();
+
+        let (root, chain) = cat.resolve("k2").unwrap();
+        assert_eq!(root, "kinect");
+        let names: Vec<_> = chain.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["kinect_t", "k2"]);
+
+        let (root, chain) = cat.resolve("kinect").unwrap();
+        assert_eq!(root, "kinect");
+        assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn names_sorted_streams_then_views() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let s = SchemaBuilder::new("kinect_t").timestamp("ts").float("x").build().unwrap();
+        cat.register_view(view_over("kinect_t", "kinect", s)).unwrap();
+        assert_eq!(cat.names(), vec!["kinect".to_string(), "kinect_t".to_string()]);
+    }
+}

@@ -1,0 +1,48 @@
+//! # gesto-stream — a push-based data-stream substrate
+//!
+//! Minimal data-stream management core in the spirit of the AnduIN engine
+//! used by *Beier et al., "Learning Event Patterns for Gesture Detection"*
+//! (EDBT 2014): dynamically typed tuples with shared schemas, push-based
+//! operators, linear operator chains, a catalog of named streams and
+//! declarative views, and an optional threaded runner.
+//!
+//! The CEP engine (`gesto-cep`) builds its `match` operator on top of this
+//! crate; the coordinate transformation of the paper's §3.2 is a [`ops::MapOp`]
+//! registered as a catalog view named `kinect_t`.
+//!
+//! ```
+//! use gesto_stream::{SchemaBuilder, Tuple, Value, Chain};
+//! use gesto_stream::ops::FilterOp;
+//!
+//! let schema = SchemaBuilder::new("s").timestamp("ts").float("x").build().unwrap();
+//! let mut chain = Chain::new("demo")
+//!     .then(FilterOp::new("pos", schema.clone(), |t| t.f64("x").unwrap_or(-1.0) > 0.0));
+//! let t = Tuple::new(schema, vec![Value::Timestamp(0), Value::Float(4.2)]).unwrap();
+//! assert_eq!(chain.push(&t).len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod catalog;
+mod error;
+mod operator;
+pub mod ops;
+mod pipeline;
+mod runner;
+mod schema;
+mod stats;
+pub mod time;
+mod tuple;
+mod value;
+
+pub use catalog::{Catalog, ViewDef, ViewFactory};
+pub use error::StreamError;
+pub use operator::{run_operator, BoxedOperator, Emit, Operator};
+pub use pipeline::Chain;
+pub use runner::ThreadedRunner;
+pub use schema::{Field, Schema, SchemaBuilder, SchemaRef};
+pub use stats::{Metered, OpStats};
+pub use time::{FrameClock, StreamTime, KINECT_FRAME_MS, KINECT_HZ};
+pub use tuple::{tuple_from_pairs, Tuple};
+pub use value::{Value, ValueType};

@@ -1,0 +1,78 @@
+//! The push-based operator abstraction.
+
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// Downstream continuation: operators emit output tuples by calling this.
+pub type Emit<'a> = dyn FnMut(Tuple) + 'a;
+
+/// A push-based stream operator.
+///
+/// Operators receive one input tuple at a time and may emit zero or more
+/// output tuples via the `emit` continuation, which keeps per-tuple
+/// processing allocation-free for pass-through operators.
+pub trait Operator: Send {
+    /// Human-readable operator name (for stats and debugging).
+    fn name(&self) -> &str;
+
+    /// Output schema produced by this operator.
+    fn output_schema(&self) -> SchemaRef;
+
+    /// Processes one tuple.
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>);
+
+    /// Flushes any buffered state at end-of-stream (windows, aggregates).
+    ///
+    /// The default implementation emits nothing.
+    fn finish(&mut self, _emit: &mut Emit<'_>) {}
+}
+
+/// A boxed operator, the unit the pipeline wires together.
+pub type BoxedOperator = Box<dyn Operator>;
+
+/// Collects emitted tuples into a vector; convenient in tests and for
+/// one-shot batch runs.
+pub fn run_operator(op: &mut dyn Operator, input: &[Tuple]) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    {
+        let mut emit = |t: Tuple| out.push(t);
+        for t in input {
+            op.process(t, &mut emit);
+        }
+        op.finish(&mut emit);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    struct Doubler {
+        schema: SchemaRef,
+    }
+
+    impl Operator for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn output_schema(&self) -> SchemaRef {
+            self.schema.clone()
+        }
+        fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+            emit(tuple.clone());
+            emit(tuple.clone());
+        }
+    }
+
+    #[test]
+    fn run_operator_collects_all_emissions() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        let t = Tuple::new(schema.clone(), vec![Value::Int(1)]).unwrap();
+        let mut op = Doubler { schema };
+        let out = run_operator(&mut op, &[t.clone(), t]);
+        assert_eq!(out.len(), 4);
+    }
+}

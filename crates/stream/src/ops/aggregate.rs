@@ -1,0 +1,262 @@
+//! Sliding / tumbling aggregation over numeric fields.
+
+use std::sync::Arc;
+
+use crate::error::StreamError;
+use crate::operator::{Emit, Operator};
+use crate::ops::window::CountWindow;
+use crate::schema::{Field, Schema, SchemaRef};
+use crate::tuple::Tuple;
+use crate::value::{Value, ValueType};
+
+/// Aggregation function applied to one numeric field over a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Count of non-null values.
+    Count,
+    /// Population standard deviation.
+    StdDev,
+}
+
+impl AggFn {
+    /// Output field suffix (`x_avg`, `x_min`, ...).
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            AggFn::Avg => "avg",
+            AggFn::Min => "min",
+            AggFn::Max => "max",
+            AggFn::Sum => "sum",
+            AggFn::Count => "count",
+            AggFn::StdDev => "stddev",
+        }
+    }
+
+    /// Applies the aggregate over the non-null values.
+    pub fn apply(&self, values: &[f64]) -> Value {
+        if values.is_empty() {
+            return match self {
+                AggFn::Count => Value::Int(0),
+                _ => Value::Null,
+            };
+        }
+        match self {
+            AggFn::Avg => Value::Float(values.iter().sum::<f64>() / values.len() as f64),
+            AggFn::Min => Value::Float(values.iter().copied().fold(f64::INFINITY, f64::min)),
+            AggFn::Max => Value::Float(values.iter().copied().fold(f64::NEG_INFINITY, f64::max)),
+            AggFn::Sum => Value::Float(values.iter().sum()),
+            AggFn::Count => Value::Int(values.len() as i64),
+            AggFn::StdDev => {
+                let n = values.len() as f64;
+                let mean = values.iter().sum::<f64>() / n;
+                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+                Value::Float(var.sqrt())
+            }
+        }
+    }
+}
+
+/// Emission mode of a windowed aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowMode {
+    /// One output per input once the window is full (sliding).
+    Sliding,
+    /// One output per full window, then the window restarts (tumbling).
+    Tumbling,
+}
+
+/// Count-based windowed aggregation over a set of numeric fields.
+///
+/// Output schema: `ts` (newest tuple's timestamp) followed by one field per
+/// `(input field × aggregate)` pair, named `<field>_<agg>`.
+pub struct SlidingAggregate {
+    name: String,
+    window: CountWindow,
+    mode: WindowMode,
+    schema: SchemaRef,
+    field_indices: Vec<usize>,
+    aggs: Vec<AggFn>,
+}
+
+impl SlidingAggregate {
+    /// Creates an aggregate over `fields` (each crossed with each `aggs`
+    /// entry), windows of `window_size` tuples.
+    pub fn new(
+        name: impl Into<String>,
+        input: &SchemaRef,
+        fields: &[&str],
+        aggs: &[AggFn],
+        window_size: usize,
+        mode: WindowMode,
+    ) -> Result<Self, StreamError> {
+        if fields.is_empty() || aggs.is_empty() {
+            return Err(StreamError::Pipeline(
+                "aggregate needs at least one field and one aggregate function".into(),
+            ));
+        }
+        let name = name.into();
+        let mut field_indices = Vec::with_capacity(fields.len());
+        let mut out_fields = vec![Field::new("ts", ValueType::Timestamp)];
+        for f in fields {
+            let i = input.require(f)?;
+            let ty = input.fields()[i].ty;
+            if !matches!(ty, ValueType::Int | ValueType::Float | ValueType::Timestamp) {
+                return Err(StreamError::TypeMismatch {
+                    schema: input.name.clone(),
+                    field: (*f).to_owned(),
+                    value: format!("non-numeric type {ty}"),
+                });
+            }
+            field_indices.push(i);
+            for a in aggs {
+                let ty = if *a == AggFn::Count { ValueType::Int } else { ValueType::Float };
+                out_fields.push(Field::new(format!("{f}_{}", a.suffix()), ty));
+            }
+        }
+        let schema = Arc::new(Schema::new(format!("{name}_out"), out_fields)?);
+        Ok(Self {
+            name,
+            window: CountWindow::new(window_size),
+            mode,
+            schema,
+            field_indices,
+            aggs: aggs.to_vec(),
+        })
+    }
+
+    fn emit_window(&self, emit: &mut Emit<'_>) {
+        let ts = self.window.newest().and_then(Tuple::timestamp).unwrap_or(0);
+        let mut values = Vec::with_capacity(self.schema.len());
+        values.push(Value::Timestamp(ts));
+        for &fi in &self.field_indices {
+            let column: Vec<f64> = self
+                .window
+                .iter()
+                .filter_map(|t| t.values()[fi].as_f64())
+                .collect();
+            for a in &self.aggs {
+                values.push(a.apply(&column));
+            }
+        }
+        emit(Tuple::new_unchecked(self.schema.clone(), values));
+    }
+}
+
+impl Operator for SlidingAggregate {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+        self.window.push(tuple.clone());
+        if !self.window.is_full() {
+            return;
+        }
+        self.emit_window(emit);
+        if self.mode == WindowMode::Tumbling {
+            self.window.clear();
+        }
+    }
+
+    fn finish(&mut self, emit: &mut Emit<'_>) {
+        // Flush a partial tumbling window so trailing data is not lost.
+        if self.mode == WindowMode::Tumbling && !self.window.is_empty() {
+            self.emit_window(emit);
+            self.window.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::run_operator;
+    use crate::schema::SchemaBuilder;
+
+    fn input() -> (SchemaRef, Vec<Tuple>) {
+        let schema = SchemaBuilder::new("s").timestamp("ts").float("x").build().unwrap();
+        let tuples = (0..6)
+            .map(|i| {
+                Tuple::new(
+                    schema.clone(),
+                    vec![Value::Timestamp(i * 10), Value::Float(i as f64)],
+                )
+                .unwrap()
+            })
+            .collect();
+        (schema, tuples)
+    }
+
+    #[test]
+    fn sliding_avg() {
+        let (schema, tuples) = input();
+        let mut op = SlidingAggregate::new(
+            "agg", &schema, &["x"], &[AggFn::Avg], 3, WindowMode::Sliding,
+        )
+        .unwrap();
+        let out = run_operator(&mut op, &tuples);
+        // Windows: [0,1,2] [1,2,3] [2,3,4] [3,4,5]
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].f64("x_avg"), Some(1.0));
+        assert_eq!(out[3].f64("x_avg"), Some(4.0));
+        assert_eq!(out[3].timestamp(), Some(50));
+    }
+
+    #[test]
+    fn tumbling_flushes_partial_window() {
+        let (schema, tuples) = input();
+        let mut op = SlidingAggregate::new(
+            "agg", &schema, &["x"], &[AggFn::Sum, AggFn::Count], 4, WindowMode::Tumbling,
+        )
+        .unwrap();
+        let out = run_operator(&mut op, &tuples);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].f64("x_sum"), Some(6.0)); // 0+1+2+3
+        assert_eq!(out[1].f64("x_sum"), Some(9.0)); // 4+5 (flushed partial)
+        assert_eq!(out[1].i64("x_count"), Some(2));
+    }
+
+    #[test]
+    fn stddev_and_minmax() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(AggFn::Min.apply(&vals), Value::Float(1.0));
+        assert_eq!(AggFn::Max.apply(&vals), Value::Float(4.0));
+        let sd = AggFn::StdDev.apply(&vals).as_f64().unwrap();
+        assert!((sd - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_column_yields_null_or_zero() {
+        assert_eq!(AggFn::Avg.apply(&[]), Value::Null);
+        assert_eq!(AggFn::Count.apply(&[]), Value::Int(0));
+    }
+
+    #[test]
+    fn rejects_non_numeric_field() {
+        let schema = SchemaBuilder::new("s").str("tag").build().unwrap();
+        assert!(SlidingAggregate::new(
+            "agg", &schema, &["tag"], &[AggFn::Avg], 2, WindowMode::Sliding
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_empty_spec() {
+        let schema = SchemaBuilder::new("s").float("x").build().unwrap();
+        assert!(
+            SlidingAggregate::new("agg", &schema, &[], &[AggFn::Avg], 2, WindowMode::Sliding)
+                .is_err()
+        );
+    }
+}

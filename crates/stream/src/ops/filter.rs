@@ -1,0 +1,59 @@
+//! Predicate filter operator.
+
+use crate::operator::{Emit, Operator};
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// Passes tuples for which the predicate returns `true`.
+pub struct FilterOp {
+    name: String,
+    schema: SchemaRef,
+    pred: Box<dyn FnMut(&Tuple) -> bool + Send>,
+}
+
+impl FilterOp {
+    /// Creates a filter; the output schema equals the input schema.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        pred: impl FnMut(&Tuple) -> bool + Send + 'static,
+    ) -> Self {
+        Self { name: name.into(), schema, pred: Box::new(pred) }
+    }
+}
+
+impl Operator for FilterOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+        if (self.pred)(tuple) {
+            emit(tuple.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::run_operator;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn filters_by_predicate() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        let mut op = FilterOp::new("even", schema.clone(), |t| {
+            t.i64("a").map(|v| v % 2 == 0).unwrap_or(false)
+        });
+        let mk = |a: i64| Tuple::new(schema.clone(), vec![Value::Int(a)]).unwrap();
+        let out = run_operator(&mut op, &[mk(1), mk(2), mk(3), mk(4)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].i64("a"), Some(4));
+    }
+}

@@ -1,0 +1,79 @@
+//! Column projection operator.
+
+use std::sync::Arc;
+
+use crate::error::StreamError;
+use crate::operator::{Emit, Operator};
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// Projects tuples onto a subset (or reordering) of fields.
+///
+/// Field indices are resolved once at construction, so the per-tuple path
+/// is a plain indexed copy.
+pub struct ProjectOp {
+    name: String,
+    schema: SchemaRef,
+    indices: Vec<usize>,
+}
+
+impl ProjectOp {
+    /// Creates a projection of `input` onto `fields`, producing a stream
+    /// named `output_name`.
+    pub fn new(
+        name: impl Into<String>,
+        input: &SchemaRef,
+        output_name: &str,
+        fields: &[&str],
+    ) -> Result<Self, StreamError> {
+        let schema = Arc::new(input.project(output_name, fields)?);
+        let indices = fields
+            .iter()
+            .map(|f| input.require(f))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { name: name.into(), schema, indices })
+    }
+}
+
+impl Operator for ProjectOp {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+        let values = self
+            .indices
+            .iter()
+            .map(|&i| tuple.values()[i].clone())
+            .collect();
+        emit(Tuple::new_unchecked(self.schema.clone(), values));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::run_operator;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn projects_and_reorders() {
+        let schema = SchemaBuilder::new("s").int("a").int("b").int("c").build().unwrap();
+        let mut op = ProjectOp::new("p", &schema, "p", &["c", "a"]).unwrap();
+        let t = Tuple::new(schema, vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap();
+        let out = run_operator(&mut op, &[t]);
+        assert_eq!(out[0].values(), &[Value::Int(3), Value::Int(1)]);
+        assert_eq!(out[0].schema().name, "p");
+    }
+
+    #[test]
+    fn unknown_field_fails_at_construction() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        assert!(ProjectOp::new("p", &schema, "p", &["zz"]).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Decimation operator: keep every n-th tuple.
+
+use crate::operator::{Emit, Operator};
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// Emits every `n`-th input tuple (the first tuple is always emitted).
+///
+/// Used for crude rate reduction; the learner's *distance-based* sampling
+/// (which adapts to the gesture path) lives in `gesto-learn`.
+pub struct EveryN {
+    name: String,
+    schema: SchemaRef,
+    n: usize,
+    count: usize,
+}
+
+impl EveryN {
+    /// Creates a decimator keeping 1 of every `n` tuples (`n >= 1`).
+    pub fn new(name: impl Into<String>, schema: SchemaRef, n: usize) -> Self {
+        Self { name: name.into(), schema, n: n.max(1), count: 0 }
+    }
+}
+
+impl Operator for EveryN {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+        if self.count.is_multiple_of(self.n) {
+            emit(tuple.clone());
+        }
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::run_operator;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn keeps_every_third() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        let mut op = EveryN::new("d", schema.clone(), 3);
+        let input: Vec<_> = (0..10)
+            .map(|i| Tuple::new(schema.clone(), vec![Value::Int(i)]).unwrap())
+            .collect();
+        let out = run_operator(&mut op, &input);
+        let kept: Vec<_> = out.iter().map(|t| t.i64("a").unwrap()).collect();
+        assert_eq!(kept, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn n_zero_clamps_to_one() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        let mut op = EveryN::new("d", schema.clone(), 0);
+        let input: Vec<_> = (0..4)
+            .map(|i| Tuple::new(schema.clone(), vec![Value::Int(i)]).unwrap())
+            .collect();
+        assert_eq!(run_operator(&mut op, &input).len(), 4);
+    }
+}

@@ -1,0 +1,100 @@
+//! Terminal operators: callbacks and collectors.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::operator::{Emit, Operator};
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// Invokes a callback for every tuple; emits nothing downstream.
+pub struct CallbackSink {
+    name: String,
+    schema: SchemaRef,
+    f: Box<dyn FnMut(&Tuple) + Send>,
+}
+
+impl CallbackSink {
+    /// Creates a callback sink.
+    pub fn new(
+        name: impl Into<String>,
+        schema: SchemaRef,
+        f: impl FnMut(&Tuple) + Send + 'static,
+    ) -> Self {
+        Self { name: name.into(), schema, f: Box::new(f) }
+    }
+}
+
+impl Operator for CallbackSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, tuple: &Tuple, _emit: &mut Emit<'_>) {
+        (self.f)(tuple);
+    }
+}
+
+/// Collects all tuples into a shared vector readable from outside the
+/// pipeline (tests, experiment harnesses).
+pub struct CollectSink {
+    name: String,
+    schema: SchemaRef,
+    out: Arc<Mutex<Vec<Tuple>>>,
+}
+
+impl CollectSink {
+    /// Creates a collector plus the shared handle to read results from.
+    pub fn new(name: impl Into<String>, schema: SchemaRef) -> (Self, Arc<Mutex<Vec<Tuple>>>) {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        (Self { name: name.into(), schema, out: out.clone() }, out)
+    }
+}
+
+impl Operator for CollectSink {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.schema.clone()
+    }
+
+    fn process(&mut self, tuple: &Tuple, _emit: &mut Emit<'_>) {
+        self.out.lock().push(tuple.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::run_operator;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn collect_sink_gathers_tuples() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        let (mut sink, out) = CollectSink::new("c", schema.clone());
+        let t = Tuple::new(schema, vec![Value::Int(7)]).unwrap();
+        let emitted = run_operator(&mut sink, &[t.clone(), t]);
+        assert!(emitted.is_empty(), "sinks emit nothing");
+        assert_eq!(out.lock().len(), 2);
+    }
+
+    #[test]
+    fn callback_sink_invokes() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        let counter = Arc::new(Mutex::new(0usize));
+        let c2 = counter.clone();
+        let mut sink = CallbackSink::new("cb", schema.clone(), move |_| *c2.lock() += 1);
+        let t = Tuple::new(schema, vec![Value::Int(7)]).unwrap();
+        run_operator(&mut sink, &[t.clone(), t.clone(), t]);
+        assert_eq!(*counter.lock(), 3);
+    }
+}

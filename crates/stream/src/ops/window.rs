@@ -1,0 +1,130 @@
+//! Count-based sliding windows.
+
+use std::collections::VecDeque;
+
+use crate::tuple::Tuple;
+
+/// A fixed-capacity sliding window over the most recent tuples.
+///
+/// This is a building block (not an [`crate::Operator`]): the motion
+/// detector in `gesto-control` and the sliding aggregates keep one and
+/// query it per frame.
+#[derive(Debug, Clone)]
+pub struct CountWindow {
+    buf: VecDeque<Tuple>,
+    capacity: usize,
+}
+
+impl CountWindow {
+    /// Creates a window holding at most `capacity` tuples (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self { buf: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Pushes a tuple, evicting the oldest when full. Returns the evicted
+    /// tuple, if any.
+    pub fn push(&mut self, t: Tuple) -> Option<Tuple> {
+        let evicted = if self.buf.len() == self.capacity {
+            self.buf.pop_front()
+        } else {
+            None
+        };
+        self.buf.push_back(t);
+        evicted
+    }
+
+    /// Current number of buffered tuples.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no tuples are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// True once the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Iterates oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.buf.iter()
+    }
+
+    /// The newest tuple.
+    pub fn newest(&self) -> Option<&Tuple> {
+        self.buf.back()
+    }
+
+    /// The oldest tuple.
+    pub fn oldest(&self) -> Option<&Tuple> {
+        self.buf.front()
+    }
+
+    /// Drops all buffered tuples.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Time span (newest ts − oldest ts) in stream milliseconds, or 0 when
+    /// fewer than two tuples are buffered or timestamps are missing.
+    pub fn span_ms(&self) -> i64 {
+        match (
+            self.oldest().and_then(Tuple::timestamp),
+            self.newest().and_then(Tuple::timestamp),
+        ) {
+            (Some(a), Some(b)) => (b - a).max(0),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    fn mk(ts: i64) -> Tuple {
+        let schema = SchemaBuilder::new("s").timestamp("ts").build().unwrap();
+        Tuple::new(schema, vec![Value::Timestamp(ts)]).unwrap()
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut w = CountWindow::new(3);
+        assert!(w.push(mk(1)).is_none());
+        assert!(w.push(mk(2)).is_none());
+        assert!(!w.is_full());
+        assert!(w.push(mk(3)).is_none());
+        assert!(w.is_full());
+        let evicted = w.push(mk(4)).unwrap();
+        assert_eq!(evicted.timestamp(), Some(1));
+        assert_eq!(w.oldest().unwrap().timestamp(), Some(2));
+        assert_eq!(w.newest().unwrap().timestamp(), Some(4));
+    }
+
+    #[test]
+    fn span_and_clear() {
+        let mut w = CountWindow::new(10);
+        assert_eq!(w.span_ms(), 0);
+        w.push(mk(100));
+        assert_eq!(w.span_ms(), 0);
+        w.push(mk(400));
+        assert_eq!(w.span_ms(), 300);
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let mut w = CountWindow::new(0);
+        w.push(mk(1));
+        w.push(mk(2));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.newest().unwrap().timestamp(), Some(2));
+    }
+}

@@ -1,0 +1,209 @@
+//! Operator chains: linear pipelines with deterministic in-thread
+//! execution.
+
+use crate::operator::{BoxedOperator, Emit, Operator};
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// A linear chain of operators executed depth-first per input tuple.
+///
+/// The chain is itself an [`Operator`], so chains compose (a chain can be a
+/// stage of another chain). Execution is fully deterministic: each input
+/// tuple is pushed through all stages before the next input is consumed.
+pub struct Chain {
+    name: String,
+    ops: Vec<BoxedOperator>,
+}
+
+impl Chain {
+    /// Creates an empty (identity) chain; it needs at least one operator
+    /// before `output_schema` is meaningful.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), ops: Vec::new() }
+    }
+
+    /// Appends an operator stage.
+    pub fn then(mut self, op: impl Operator + 'static) -> Self {
+        self.ops.push(Box::new(op));
+        self
+    }
+
+    /// Appends a boxed operator stage.
+    pub fn then_boxed(mut self, op: BoxedOperator) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the chain has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Pushes one tuple through the chain, collecting final outputs.
+    pub fn push(&mut self, tuple: &Tuple) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        {
+            let mut emit = |t: Tuple| out.push(t);
+            Self::run_stage(&mut self.ops, 0, tuple, &mut emit);
+        }
+        out
+    }
+
+    /// Pushes a batch, collecting all final outputs (then flushes).
+    pub fn run(&mut self, tuples: &[Tuple]) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        {
+            let mut emit = |t: Tuple| out.push(t);
+            for t in tuples {
+                Self::run_stage(&mut self.ops, 0, t, &mut emit);
+            }
+            Self::finish_stage(&mut self.ops, 0, &mut emit);
+        }
+        out
+    }
+
+    fn run_stage(ops: &mut [BoxedOperator], i: usize, tuple: &Tuple, emit: &mut Emit<'_>) {
+        if i >= ops.len() {
+            emit(tuple.clone());
+            return;
+        }
+        // Split so the current op and the tail can be borrowed disjointly.
+        let (head, tail) = ops.split_at_mut(i + 1);
+        let op = &mut head[i];
+        let mut forward = |t: Tuple| {
+            if tail.is_empty() {
+                emit(t);
+            } else {
+                Self::run_stage_tail(tail, &t, emit);
+            }
+        };
+        op.process(tuple, &mut forward);
+    }
+
+    fn run_stage_tail(ops: &mut [BoxedOperator], tuple: &Tuple, emit: &mut Emit<'_>) {
+        let (head, tail) = ops.split_at_mut(1);
+        let op = &mut head[0];
+        let mut forward = |t: Tuple| {
+            if tail.is_empty() {
+                emit(t);
+            } else {
+                Self::run_stage_tail(tail, &t, emit);
+            }
+        };
+        op.process(tuple, &mut forward);
+    }
+
+    fn finish_stage(ops: &mut [BoxedOperator], i: usize, emit: &mut Emit<'_>) {
+        if i >= ops.len() {
+            return;
+        }
+        let (head, tail) = ops.split_at_mut(i + 1);
+        let op = &mut head[i];
+        let mut forward = |t: Tuple| {
+            if tail.is_empty() {
+                emit(t);
+            } else {
+                Self::run_stage_tail(tail, &t, emit);
+            }
+        };
+        op.finish(&mut forward);
+        // Recurse on the remainder: downstream operators may also buffer.
+        Self::finish_stage(ops, i + 1, emit);
+    }
+}
+
+impl Operator for Chain {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.ops
+            .last()
+            .map(|op| op.output_schema())
+            .expect("output_schema of an empty chain")
+    }
+
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+        Self::run_stage(&mut self.ops, 0, tuple, emit);
+    }
+
+    fn finish(&mut self, emit: &mut Emit<'_>) {
+        Self::finish_stage(&mut self.ops, 0, emit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{FilterOp, MapOp};
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn chain_composes_stages_in_order() {
+        let schema = SchemaBuilder::new("s").float("x").build().unwrap();
+        let s2 = schema.clone();
+        let mut chain = Chain::new("c")
+            .then(MapOp::new("x+1", schema.clone(), move |t| {
+                Some(Tuple::new_unchecked(
+                    s2.clone(),
+                    vec![Value::Float(t.f64("x").unwrap() + 1.0)],
+                ))
+            }))
+            .then(FilterOp::new("pos", schema.clone(), |t| t.f64("x").unwrap() > 0.0));
+
+        let mk = |x: f64| Tuple::new(schema.clone(), vec![Value::Float(x)]).unwrap();
+        let out = chain.run(&[mk(-2.0), mk(0.0), mk(5.0)]);
+        let xs: Vec<_> = out.iter().map(|t| t.f64("x").unwrap()).collect();
+        assert_eq!(xs, vec![1.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_chain_is_identity_via_push() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        let mut chain = Chain::new("id");
+        let t = Tuple::new(schema, vec![Value::Int(1)]).unwrap();
+        let out = chain.push(&t);
+        assert_eq!(out, vec![t]);
+    }
+
+    #[test]
+    fn chains_nest() {
+        let schema = SchemaBuilder::new("s").float("x").build().unwrap();
+        let s2 = schema.clone();
+        let inner = Chain::new("inner").then(MapOp::new("x*2", schema.clone(), move |t| {
+            Some(Tuple::new_unchecked(
+                s2.clone(),
+                vec![Value::Float(t.f64("x").unwrap() * 2.0)],
+            ))
+        }));
+        let mut outer = Chain::new("outer").then(inner);
+        let t = Tuple::new(schema, vec![Value::Float(3.0)]).unwrap();
+        assert_eq!(outer.push(&t)[0].f64("x"), Some(6.0));
+    }
+
+    #[test]
+    fn finish_flushes_buffered_stages() {
+        use crate::ops::{AggFn, SlidingAggregate, WindowMode};
+        let schema = SchemaBuilder::new("s").timestamp("ts").float("x").build().unwrap();
+        let agg = SlidingAggregate::new(
+            "agg", &schema, &["x"], &[AggFn::Sum], 10, WindowMode::Tumbling,
+        )
+        .unwrap();
+        let mut chain = Chain::new("c").then(agg);
+        let tuples: Vec<_> = (0..3)
+            .map(|i| {
+                Tuple::new(schema.clone(), vec![Value::Timestamp(i), Value::Float(1.0)]).unwrap()
+            })
+            .collect();
+        let out = chain.run(&tuples);
+        assert_eq!(out.len(), 1, "partial window flushed by run()");
+        assert_eq!(out[0].f64("x_sum"), Some(3.0));
+    }
+}

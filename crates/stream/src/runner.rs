@@ -1,0 +1,169 @@
+//! Threaded pipeline runner built on crossbeam channels.
+//!
+//! Most of the repository uses the deterministic in-thread [`crate::Chain`]
+//! runner; this module provides the asynchronous flavour used when a live
+//! source (e.g. the simulator replaying in real time) must not block the
+//! consumer.
+
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+
+use crate::error::StreamError;
+use crate::pipeline::Chain;
+use crate::tuple::Tuple;
+
+/// Handle to a chain running on its own thread.
+///
+/// Tuples sent via [`ThreadedRunner::send`] are processed in order; outputs
+/// are delivered on the `outputs` receiver. Dropping the handle (or calling
+/// [`ThreadedRunner::close`]) flushes buffered operator state and joins the
+/// worker.
+pub struct ThreadedRunner {
+    input: Option<Sender<Tuple>>,
+    outputs: Receiver<Tuple>,
+    handle: Option<JoinHandle<()>>,
+    dropped: usize,
+}
+
+impl ThreadedRunner {
+    /// Spawns `chain` on a worker thread with a bounded input queue of
+    /// `queue_len` tuples.
+    ///
+    /// The input queue is bounded (producer backpressure / load
+    /// shedding); the output channel is unbounded so the worker can never
+    /// block on a slow consumer — otherwise a producer blocked on the
+    /// full input queue and a worker blocked on a full output queue would
+    /// deadlock.
+    pub fn spawn(mut chain: Chain, queue_len: usize) -> Self {
+        let (in_tx, in_rx) = bounded::<Tuple>(queue_len.max(1));
+        let (out_tx, out_rx) = unbounded::<Tuple>();
+        let handle = std::thread::Builder::new()
+            .name("gesto-stream-runner".into())
+            .spawn(move || {
+                for t in in_rx.iter() {
+                    for out in chain.push(&t) {
+                        if out_tx.send(out).is_err() {
+                            return;
+                        }
+                    }
+                }
+                // Input closed: flush buffered state.
+                let mut tail = Vec::new();
+                {
+                    let mut emit = |t: Tuple| tail.push(t);
+                    use crate::operator::Operator;
+                    chain.finish(&mut emit);
+                }
+                for out in tail {
+                    if out_tx.send(out).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn stream runner thread");
+        Self { input: Some(in_tx), outputs: out_rx, handle: Some(handle), dropped: 0 }
+    }
+
+    /// Sends a tuple, blocking if the queue is full.
+    pub fn send(&self, t: Tuple) -> Result<(), StreamError> {
+        self.input
+            .as_ref()
+            .ok_or(StreamError::Closed)?
+            .send(t)
+            .map_err(|_| StreamError::Closed)
+    }
+
+    /// Sends without blocking; drops the tuple (load shedding) when the
+    /// queue is full and records it.
+    pub fn send_lossy(&mut self, t: Tuple) -> Result<bool, StreamError> {
+        match self.input.as_ref().ok_or(StreamError::Closed)?.try_send(t) {
+            Ok(()) => Ok(true),
+            Err(TrySendError::Full(_)) => {
+                self.dropped += 1;
+                Ok(false)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(StreamError::Closed),
+        }
+    }
+
+    /// Number of tuples shed by [`Self::send_lossy`].
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Receiver of the chain's outputs.
+    pub fn outputs(&self) -> &Receiver<Tuple> {
+        &self.outputs
+    }
+
+    /// Closes the input, flushes and joins; returns remaining outputs.
+    pub fn close(mut self) -> Vec<Tuple> {
+        self.input.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        self.outputs.try_iter().collect()
+    }
+
+    /// Blocks until the next output (or `None` once the worker finished
+    /// and all outputs were consumed).
+    pub fn recv(&self) -> Option<Tuple> {
+        self.outputs.recv().ok()
+    }
+}
+
+impl Drop for ThreadedRunner {
+    fn drop(&mut self) {
+        self.input.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::MapOp;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn runs_chain_on_thread_and_flushes() {
+        let schema = SchemaBuilder::new("s").float("x").build().unwrap();
+        let s2 = schema.clone();
+        let chain = Chain::new("c").then(MapOp::new("x*10", schema.clone(), move |t| {
+            Some(Tuple::new_unchecked(
+                s2.clone(),
+                vec![Value::Float(t.f64("x").unwrap() * 10.0)],
+            ))
+        }));
+        let runner = ThreadedRunner::spawn(chain, 8);
+        for i in 0..100 {
+            runner
+                .send(Tuple::new(schema.clone(), vec![Value::Float(i as f64)]).unwrap())
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        // Drain while the worker runs, then close for the tail.
+        while got.len() < 50 {
+            if let Ok(t) = runner.outputs().recv() {
+                got.push(t);
+            }
+        }
+        got.extend(runner.close());
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[99].f64("x"), Some(990.0));
+    }
+
+    #[test]
+    fn send_after_close_fails() {
+        let schema = SchemaBuilder::new("s").float("x").build().unwrap();
+        let chain = Chain::new("c");
+        let runner = ThreadedRunner::spawn(chain, 2);
+        let t = Tuple::new(schema, vec![Value::Float(0.0)]).unwrap();
+        runner.send(t).unwrap();
+        let _ = runner.close();
+    }
+}

@@ -1,0 +1,315 @@
+//! Stream schemas: ordered, named, typed field lists.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::StreamError;
+use crate::value::ValueType;
+
+/// A single field declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Field name, unique within the schema.
+    pub name: String,
+    /// Declared type.
+    pub ty: ValueType,
+}
+
+impl Field {
+    /// Creates a field declaration.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        Self { name: name.into(), ty }
+    }
+}
+
+/// An ordered list of fields with O(1) lookup by name.
+///
+/// Schemas are immutable and shared via [`SchemaRef`]; every [`crate::Tuple`]
+/// carries one so operators never need out-of-band type information.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Schema {
+    /// Stream/view name this schema belongs to (informational).
+    pub name: String,
+    fields: Vec<Field>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+/// Shared schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.fields == other.fields
+    }
+}
+impl Eq for Schema {}
+
+impl Schema {
+    /// Builds a schema; field names must be unique and non-empty.
+    pub fn new(name: impl Into<String>, fields: Vec<Field>) -> Result<Self, StreamError> {
+        let name = name.into();
+        let mut index = HashMap::with_capacity(fields.len());
+        for (i, f) in fields.iter().enumerate() {
+            if f.name.is_empty() {
+                return Err(StreamError::Schema(format!(
+                    "schema '{name}': field {i} has an empty name"
+                )));
+            }
+            if index.insert(f.name.clone(), i).is_some() {
+                return Err(StreamError::Schema(format!(
+                    "schema '{name}': duplicate field '{}'",
+                    f.name
+                )));
+            }
+        }
+        Ok(Self { name, fields, index })
+    }
+
+    /// Convenience constructor returning a shared handle.
+    pub fn shared(name: impl Into<String>, fields: Vec<Field>) -> Result<SchemaRef, StreamError> {
+        Ok(Arc::new(Self::new(name, fields)?))
+    }
+
+    /// Rebuilds the name index (needed after deserialisation, where the
+    /// index is skipped).
+    pub fn reindex(&mut self) {
+        self.index = self
+            .fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.clone(), i))
+            .collect();
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Field by position.
+    pub fn field(&self, i: usize) -> Option<&Field> {
+        self.fields.get(i)
+    }
+
+    /// Position of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        if self.index.len() == self.fields.len() {
+            self.index.get(name).copied()
+        } else {
+            // Deserialised schema whose index was not rebuilt.
+            self.fields.iter().position(|f| f.name == name)
+        }
+    }
+
+    /// Position of a field by name, as a hard error.
+    pub fn require(&self, name: &str) -> Result<usize, StreamError> {
+        self.index_of(name).ok_or_else(|| StreamError::UnknownField {
+            schema: self.name.clone(),
+            field: name.to_owned(),
+        })
+    }
+
+    /// Declared type of a named field.
+    pub fn type_of(&self, name: &str) -> Option<ValueType> {
+        self.index_of(name).map(|i| self.fields[i].ty)
+    }
+
+    /// Derives a new schema containing `names` (projection), in the given
+    /// order, under a new stream name.
+    pub fn project(&self, new_name: impl Into<String>, names: &[&str]) -> Result<Schema, StreamError> {
+        let mut fields = Vec::with_capacity(names.len());
+        for n in names {
+            let i = self.require(n)?;
+            fields.push(self.fields[i].clone());
+        }
+        Schema::new(new_name, fields)
+    }
+
+    /// Derives a schema with the same field layout under a different name,
+    /// optionally applying a suffix to every field (used by the `kinect_t`
+    /// transformed view, which keeps the layout but renames fields).
+    pub fn renamed(&self, new_name: impl Into<String>, field_suffix: &str) -> Schema {
+        let fields = self
+            .fields
+            .iter()
+            .map(|f| Field::new(format!("{}{}", f.name, field_suffix), f.ty))
+            .collect();
+        Schema::new(new_name, fields).expect("renaming preserves uniqueness")
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, fd) in self.fields.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{}: {}", fd.name, fd.ty)?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// Builder for schemas with a fluent interface.
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    name: String,
+    fields: Vec<Field>,
+}
+
+impl SchemaBuilder {
+    /// Starts a schema with the given stream name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), fields: Vec::new() }
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, name: impl Into<String>, ty: ValueType) -> Self {
+        self.fields.push(Field::new(name, ty));
+        self
+    }
+
+    /// Appends an `Int` field.
+    pub fn int(self, name: impl Into<String>) -> Self {
+        self.field(name, ValueType::Int)
+    }
+
+    /// Appends a `Float` field.
+    pub fn float(self, name: impl Into<String>) -> Self {
+        self.field(name, ValueType::Float)
+    }
+
+    /// Appends a `Str` field.
+    pub fn str(self, name: impl Into<String>) -> Self {
+        self.field(name, ValueType::Str)
+    }
+
+    /// Appends a `Bool` field.
+    pub fn bool(self, name: impl Into<String>) -> Self {
+        self.field(name, ValueType::Bool)
+    }
+
+    /// Appends a `Timestamp` field.
+    pub fn timestamp(self, name: impl Into<String>) -> Self {
+        self.field(name, ValueType::Timestamp)
+    }
+
+    /// Finishes the schema.
+    pub fn build(self) -> Result<SchemaRef, StreamError> {
+        Schema::shared(self.name, self.fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SchemaRef {
+        SchemaBuilder::new("s")
+            .timestamp("ts")
+            .float("x")
+            .float("y")
+            .str("tag")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = sample();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.index_of("x"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert_eq!(s.type_of("tag"), Some(ValueType::Str));
+        assert_eq!(s.field(0).unwrap().name, "ts");
+    }
+
+    #[test]
+    fn duplicate_field_rejected() {
+        let err = Schema::new(
+            "d",
+            vec![Field::new("a", ValueType::Int), Field::new("a", ValueType::Int)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate field 'a'"));
+    }
+
+    #[test]
+    fn empty_field_name_rejected() {
+        let err = Schema::new("d", vec![Field::new("", ValueType::Int)]).unwrap_err();
+        assert!(err.to_string().contains("empty name"));
+    }
+
+    #[test]
+    fn require_unknown_field_errors() {
+        let s = sample();
+        let err = s.require("missing").unwrap_err();
+        assert!(matches!(err, StreamError::UnknownField { .. }));
+    }
+
+    #[test]
+    fn projection_preserves_order_and_types() {
+        let s = sample();
+        let p = s.project("p", &["y", "ts"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).unwrap().name, "y");
+        assert_eq!(p.field(1).unwrap().ty, ValueType::Timestamp);
+    }
+
+    #[test]
+    fn projection_of_unknown_field_fails() {
+        let s = sample();
+        assert!(s.project("p", &["zz"]).is_err());
+    }
+
+    #[test]
+    fn renamed_applies_suffix() {
+        let s = sample();
+        let r = s.renamed("s_t", "_t");
+        assert_eq!(r.name, "s_t");
+        assert_eq!(r.index_of("x_t"), Some(1));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = sample();
+        assert_eq!(s.to_string(), "s(ts: timestamp, x: float, y: float, tag: str)");
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let s = sample();
+        let json = serde_json_roundtrip(&s);
+        assert_eq!(json.index_of("y"), Some(2));
+    }
+
+    // Minimal in-test JSON roundtrip without pulling serde_json into the
+    // crate dependencies: use the bincode-free approach via Debug clone.
+    fn serde_json_roundtrip(s: &Schema) -> Schema {
+        // Emulate a deserialised schema (skipped index) and exercise the
+        // fallback linear lookup plus reindex().
+        let mut clone = Schema {
+            name: s.name.clone(),
+            fields: s.fields().to_vec(),
+            index: HashMap::new(),
+        };
+        assert_eq!(clone.index_of("y"), Some(2), "fallback lookup works");
+        clone.reindex();
+        clone
+    }
+}

@@ -1,0 +1,109 @@
+//! Operator instrumentation: tuple counters shared with the outside.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::operator::{BoxedOperator, Emit, Operator};
+use crate::schema::SchemaRef;
+use crate::tuple::Tuple;
+
+/// Shared counters of an instrumented operator.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    tuples_in: AtomicU64,
+    tuples_out: AtomicU64,
+}
+
+impl OpStats {
+    /// Tuples the wrapped operator has consumed.
+    pub fn tuples_in(&self) -> u64 {
+        self.tuples_in.load(Ordering::Relaxed)
+    }
+
+    /// Tuples the wrapped operator has emitted.
+    pub fn tuples_out(&self) -> u64 {
+        self.tuples_out.load(Ordering::Relaxed)
+    }
+
+    /// Output/input ratio (selectivity); 0 when nothing was consumed.
+    pub fn selectivity(&self) -> f64 {
+        let i = self.tuples_in();
+        if i == 0 {
+            0.0
+        } else {
+            self.tuples_out() as f64 / i as f64
+        }
+    }
+}
+
+/// Wraps an operator and counts tuples in/out.
+pub struct Metered {
+    inner: BoxedOperator,
+    stats: Arc<OpStats>,
+}
+
+impl Metered {
+    /// Wraps `inner`; returns the wrapper and the shared stats handle.
+    pub fn new(inner: BoxedOperator) -> (Self, Arc<OpStats>) {
+        let stats = Arc::new(OpStats::default());
+        (Self { inner, stats: stats.clone() }, stats)
+    }
+}
+
+impl Operator for Metered {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.inner.output_schema()
+    }
+
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+        self.stats.tuples_in.fetch_add(1, Ordering::Relaxed);
+        let stats = self.stats.clone();
+        let mut counting = |t: Tuple| {
+            stats.tuples_out.fetch_add(1, Ordering::Relaxed);
+            emit(t);
+        };
+        self.inner.process(tuple, &mut counting);
+    }
+
+    fn finish(&mut self, emit: &mut Emit<'_>) {
+        let stats = self.stats.clone();
+        let mut counting = |t: Tuple| {
+            stats.tuples_out.fetch_add(1, Ordering::Relaxed);
+            emit(t);
+        };
+        self.inner.finish(&mut counting);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::run_operator;
+    use crate::ops::FilterOp;
+    use crate::schema::SchemaBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn counts_in_and_out() {
+        let schema = SchemaBuilder::new("s").int("a").build().unwrap();
+        let filter = FilterOp::new("even", schema.clone(), |t| t.i64("a").unwrap() % 2 == 0);
+        let (mut metered, stats) = Metered::new(Box::new(filter));
+        let input: Vec<_> = (0..10)
+            .map(|i| Tuple::new(schema.clone(), vec![Value::Int(i)]).unwrap())
+            .collect();
+        run_operator(&mut metered, &input);
+        assert_eq!(stats.tuples_in(), 10);
+        assert_eq!(stats.tuples_out(), 5);
+        assert!((stats.selectivity() - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn selectivity_zero_when_idle() {
+        let stats = OpStats::default();
+        assert_eq!(stats.selectivity(), 0.0);
+    }
+}

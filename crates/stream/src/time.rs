@@ -1,0 +1,111 @@
+//! Stream time: millisecond timestamps and replay clocks.
+//!
+//! The Kinect delivers ~30 Hz (one frame every 33 ms). All experiments run
+//! on *stream time* carried in the tuples themselves, so replays can run
+//! as fast as the CPU allows while time-based `within` constraints stay
+//! exact and deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds of stream time.
+pub type StreamTime = i64;
+
+/// Frame period of a 30 Hz sensor, in milliseconds (rounded; the simulator
+/// distributes the remainder so that 30 frames span exactly 1000 ms).
+pub const KINECT_FRAME_MS: i64 = 33;
+
+/// Nominal Kinect frame rate in Hz.
+pub const KINECT_HZ: f64 = 30.0;
+
+/// Converts whole seconds into stream milliseconds.
+pub const fn seconds(s: i64) -> StreamTime {
+    s * 1000
+}
+
+/// Converts fractional seconds into stream milliseconds (rounds half up).
+pub fn seconds_f64(s: f64) -> StreamTime {
+    (s * 1000.0).round() as StreamTime
+}
+
+/// A deterministic frame clock: yields the timestamp of frame `n` at a
+/// given rate so that frame timestamps accumulate no drift (30 frames
+/// span exactly 1000 ms).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameClock {
+    /// Stream time of frame 0.
+    pub start: StreamTime,
+    /// Frame rate in Hz.
+    pub hz: f64,
+}
+
+impl FrameClock {
+    /// Standard 30 Hz Kinect clock starting at `start`.
+    pub fn kinect(start: StreamTime) -> Self {
+        Self { start, hz: KINECT_HZ }
+    }
+
+    /// Timestamp of the `n`-th frame.
+    pub fn frame_ts(&self, n: u64) -> StreamTime {
+        self.start + ((n as f64) * 1000.0 / self.hz).round() as StreamTime
+    }
+
+    /// Number of frames covering `duration_ms` of stream time (at least 1
+    /// for a positive duration).
+    pub fn frames_for(&self, duration_ms: StreamTime) -> u64 {
+        if duration_ms <= 0 {
+            return 0;
+        }
+        ((duration_ms as f64) * self.hz / 1000.0).ceil() as u64
+    }
+}
+
+impl Default for FrameClock {
+    fn default() -> Self {
+        Self::kinect(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_conversions() {
+        assert_eq!(seconds(2), 2000);
+        assert_eq!(seconds_f64(0.5), 500);
+        assert_eq!(seconds_f64(1.2345), 1235);
+    }
+
+    #[test]
+    fn kinect_clock_has_no_drift_over_a_second() {
+        let c = FrameClock::kinect(0);
+        assert_eq!(c.frame_ts(0), 0);
+        assert_eq!(c.frame_ts(30), 1000, "30 frames == exactly 1 second");
+        assert_eq!(c.frame_ts(300), 10_000);
+    }
+
+    #[test]
+    fn frame_spacing_is_33_or_34_ms() {
+        let c = FrameClock::kinect(0);
+        for n in 1..=120u64 {
+            let dt = c.frame_ts(n) - c.frame_ts(n - 1);
+            assert!((33..=34).contains(&dt), "frame {n} spacing {dt}");
+        }
+    }
+
+    #[test]
+    fn frames_for_durations() {
+        let c = FrameClock::kinect(0);
+        assert_eq!(c.frames_for(1000), 30);
+        assert_eq!(c.frames_for(0), 0);
+        assert_eq!(c.frames_for(-5), 0);
+        assert_eq!(c.frames_for(1), 1);
+    }
+
+    #[test]
+    fn custom_rate() {
+        let c = FrameClock { start: 100, hz: 10.0 };
+        assert_eq!(c.frame_ts(1), 200);
+        assert_eq!(c.frames_for(500), 5);
+    }
+}

@@ -1,0 +1,305 @@
+//! Scalar values flowing through the stream engine.
+//!
+//! The engine is dynamically typed at the tuple level: every field slot
+//! holds a [`Value`] and every stream carries a [`crate::Schema`] describing
+//! the declared [`ValueType`] of each slot. Operators validate against the
+//! schema once at wiring time and can then rely on the declared types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Declared type of a tuple field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// Millisecond timestamp (monotone stream time).
+    Timestamp,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "str",
+            ValueType::Bool => "bool",
+            ValueType::Timestamp => "timestamp",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dynamically typed scalar value.
+///
+/// `Null` is used for missing sensor readings (e.g. a joint the tracker
+/// lost); predicates evaluating over `Null` yield `Null` and a pattern
+/// never matches on it (three-valued logic, as in SQL).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+    /// Millisecond timestamp.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The runtime type of this value, or `None` for `Null`.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(ValueType::Int),
+            Value::Float(_) => Some(ValueType::Float),
+            Value::Str(_) => Some(ValueType::Str),
+            Value::Bool(_) => Some(ValueType::Bool),
+            Value::Timestamp(_) => Some(ValueType::Timestamp),
+        }
+    }
+
+    /// True if the value is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value is acceptable in a slot declared as `ty`.
+    ///
+    /// `Null` is acceptable everywhere; `Int` widens into `Float` slots.
+    pub fn conforms_to(&self, ty: ValueType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Int(_), ValueType::Int | ValueType::Float)
+                | (Value::Float(_), ValueType::Float)
+                | (Value::Str(_), ValueType::Str)
+                | (Value::Bool(_), ValueType::Bool)
+                | (Value::Timestamp(_), ValueType::Timestamp)
+        )
+    }
+
+    /// Numeric view: `Int`, `Float` and `Timestamp` as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Timestamp(t) => Some(*t as f64),
+            _ => None,
+        }
+    }
+
+    /// Integer view: `Int` and `Timestamp` as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Timestamp(t) => Some(*t),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Three-valued comparison used by range predicates.
+    ///
+    /// Numeric types compare across `Int`/`Float`/`Timestamp`; comparing a
+    /// `Null` or incompatible types yields `None` (unknown).
+    pub fn partial_cmp_value(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL-style equality: `Null` compares as unknown (`None`).
+    pub fn eq_value(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a == b),
+            (Value::Bool(a), Value::Bool(b)) => Some(a == b),
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => Some(a == b),
+                _ => Some(false),
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Timestamp(t) => write!(f, "@{t}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Float(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_of_values() {
+        assert_eq!(Value::Int(1).value_type(), Some(ValueType::Int));
+        assert_eq!(Value::Float(1.0).value_type(), Some(ValueType::Float));
+        assert_eq!(Value::Str("x".into()).value_type(), Some(ValueType::Str));
+        assert_eq!(Value::Bool(true).value_type(), Some(ValueType::Bool));
+        assert_eq!(Value::Timestamp(9).value_type(), Some(ValueType::Timestamp));
+        assert_eq!(Value::Null.value_type(), None);
+    }
+
+    #[test]
+    fn null_conforms_everywhere() {
+        for ty in [
+            ValueType::Int,
+            ValueType::Float,
+            ValueType::Str,
+            ValueType::Bool,
+            ValueType::Timestamp,
+        ] {
+            assert!(Value::Null.conforms_to(ty));
+        }
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        assert!(Value::Int(3).conforms_to(ValueType::Float));
+        assert!(!Value::Float(3.0).conforms_to(ValueType::Int));
+    }
+
+    #[test]
+    fn numeric_cross_type_comparison() {
+        assert_eq!(
+            Value::Int(2).partial_cmp_value(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Float(2.0).partial_cmp_value(&Value::Int(2)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(Value::Null.partial_cmp_value(&Value::Int(2)), None);
+        assert_eq!(
+            Value::Str("a".into()).partial_cmp_value(&Value::Int(2)),
+            None
+        );
+    }
+
+    #[test]
+    fn eq_value_three_valued() {
+        assert_eq!(Value::Int(1).eq_value(&Value::Float(1.0)), Some(true));
+        assert_eq!(Value::Null.eq_value(&Value::Int(1)), None);
+        assert_eq!(
+            Value::Str("a".into()).eq_value(&Value::Str("b".into())),
+            Some(false)
+        );
+        assert_eq!(Value::Bool(true).eq_value(&Value::Int(1)), Some(false));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.25).to_string(), "2.25");
+        assert_eq!(Value::Str("hi".into()).to_string(), "\"hi\"");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Timestamp(33).to_string(), "@33");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+
+    #[test]
+    fn as_views() {
+        assert_eq!(Value::Timestamp(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Timestamp(7).as_i64(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Str("x".into()).as_str(), Some("x"));
+        assert_eq!(Value::Int(1).as_bool(), None);
+    }
+}

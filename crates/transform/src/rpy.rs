@@ -1,0 +1,209 @@
+//! Roll-Pitch-Yaw angle operators (paper §3.2).
+//!
+//! The paper registers RPY calculations as user-defined operators in the
+//! CEP engine so queries can "easily express movements using any kind of
+//! rotations, e.g., a wave gesture". Angles are defined in the
+//! transformed East-North-Up-style frame (`x' = right`, `y' = up`,
+//! `z' = depth`, negative in front):
+//!
+//! - **yaw**: heading of a limb vector in the horizontal plane, degrees;
+//!   0° = straight ahead (towards the camera for a camera-facing user),
+//!   +90° = to the user's right.
+//! - **pitch**: elevation above the horizontal plane, degrees; +90° =
+//!   straight up.
+//! - **roll**: rotation of a reference "up" vector around the limb axis,
+//!   degrees.
+
+use std::sync::Arc;
+
+use gesto_cep::expr::{Arity, FunctionRegistry};
+use gesto_cep::CepError;
+use gesto_kinect::Vec3;
+use gesto_stream::Value;
+
+/// Yaw (heading) of the vector `(dx, dy, dz)` in degrees.
+pub fn yaw_deg(v: Vec3) -> f64 {
+    // Forward is -z'; right is +x'.
+    v.x.atan2(-v.z).to_degrees()
+}
+
+/// Pitch (elevation) of the vector in degrees.
+pub fn pitch_deg(v: Vec3) -> f64 {
+    let horizontal = (v.x * v.x + v.z * v.z).sqrt();
+    v.y.atan2(horizontal).to_degrees()
+}
+
+/// Roll of reference vector `up` around the limb axis `v`, in degrees.
+///
+/// Projects `up` onto the plane perpendicular to `v` and measures its
+/// angle against the projected world-up; 0° when the reference is as
+/// upright as geometrically possible.
+pub fn roll_deg(v: Vec3, up: Vec3) -> f64 {
+    let axis = match v.normalized() {
+        Some(a) => a,
+        None => return 0.0,
+    };
+    let world_up = Vec3::new(0.0, 1.0, 0.0);
+    let proj = |w: Vec3| w - axis * w.dot(&axis);
+    let a = proj(up);
+    let b = proj(world_up);
+    match (a.normalized(), b.normalized()) {
+        (Some(a), Some(b)) => {
+            let sin = a.cross(&b).dot(&axis);
+            let cos = a.dot(&b);
+            sin.atan2(cos).to_degrees()
+        }
+        _ => 0.0,
+    }
+}
+
+fn vec_from_args(args: &[Value], at: usize) -> Result<Option<Vec3>, CepError> {
+    let mut c = [0.0; 3];
+    for (i, slot) in c.iter_mut().enumerate() {
+        let v = &args[at + i];
+        if v.is_null() {
+            return Ok(None);
+        }
+        *slot = v
+            .as_f64()
+            .ok_or_else(|| CepError::Eval(format!("rpy: non-numeric argument {v}")))?;
+    }
+    Ok(Some(Vec3::new(c[0], c[1], c[2])))
+}
+
+/// Registers `yaw`, `pitch` (3 args: a vector, or 6 args: two points) and
+/// `roll` (6 args: limb vector + reference vector) in a CEP function
+/// registry.
+pub fn register_rpy(registry: &FunctionRegistry) {
+    let vector_of = |args: &[Value]| -> Result<Option<Vec3>, CepError> {
+        match args.len() {
+            3 => vec_from_args(args, 0),
+            6 => {
+                let a = vec_from_args(args, 0)?;
+                let b = vec_from_args(args, 3)?;
+                Ok(a.zip(b).map(|(a, b)| b - a))
+            }
+            n => Err(CepError::FunctionArity {
+                name: "yaw/pitch".into(),
+                expected: 3,
+                got: n,
+            }),
+        }
+    };
+
+    registry.register(
+        "yaw",
+        Arity::AtLeast(3),
+        Arc::new(move |args| {
+            Ok(match vector_of(args)? {
+                Some(v) => Value::Float(yaw_deg(v)),
+                None => Value::Null,
+            })
+        }),
+    );
+    let vector_of2 = |args: &[Value]| -> Result<Option<Vec3>, CepError> {
+        match args.len() {
+            3 => vec_from_args(args, 0),
+            6 => {
+                let a = vec_from_args(args, 0)?;
+                let b = vec_from_args(args, 3)?;
+                Ok(a.zip(b).map(|(a, b)| b - a))
+            }
+            n => Err(CepError::FunctionArity {
+                name: "yaw/pitch".into(),
+                expected: 3,
+                got: n,
+            }),
+        }
+    };
+    registry.register(
+        "pitch",
+        Arity::AtLeast(3),
+        Arc::new(move |args| {
+            Ok(match vector_of2(args)? {
+                Some(v) => Value::Float(pitch_deg(v)),
+                None => Value::Null,
+            })
+        }),
+    );
+    registry.register(
+        "roll",
+        Arity::Exact(6),
+        Arc::new(|args| {
+            let v = vec_from_args(args, 0)?;
+            let up = vec_from_args(args, 3)?;
+            Ok(match v.zip(up) {
+                Some((v, up)) => Value::Float(roll_deg(v, up)),
+                None => Value::Null,
+            })
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn yaw_cardinal_directions() {
+        assert!((yaw_deg(Vec3::new(0.0, 0.0, -1.0)) - 0.0).abs() < EPS, "forward");
+        assert!((yaw_deg(Vec3::new(1.0, 0.0, 0.0)) - 90.0).abs() < EPS, "right");
+        assert!((yaw_deg(Vec3::new(-1.0, 0.0, 0.0)) + 90.0).abs() < EPS, "left");
+        assert!((yaw_deg(Vec3::new(0.0, 0.0, 1.0)).abs() - 180.0).abs() < EPS, "backward");
+    }
+
+    #[test]
+    fn pitch_vertical_and_level() {
+        assert!((pitch_deg(Vec3::new(0.0, 1.0, 0.0)) - 90.0).abs() < EPS);
+        assert!((pitch_deg(Vec3::new(0.0, -1.0, 0.0)) + 90.0).abs() < EPS);
+        assert!((pitch_deg(Vec3::new(1.0, 0.0, -1.0))).abs() < EPS);
+        assert!((pitch_deg(Vec3::new(1.0, 1.0, 0.0)) - 45.0).abs() < EPS);
+    }
+
+    #[test]
+    fn roll_about_forward_axis() {
+        let v = Vec3::new(0.0, 0.0, -1.0); // pointing forward
+        assert!((roll_deg(v, Vec3::new(0.0, 1.0, 0.0))).abs() < EPS, "upright");
+        let tilted = roll_deg(v, Vec3::new(1.0, 0.0, 0.0));
+        assert!((tilted.abs() - 90.0).abs() < EPS, "sideways reference: {tilted}");
+        assert_eq!(roll_deg(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)), 0.0, "degenerate axis");
+    }
+
+    #[test]
+    fn registered_functions_evaluate() {
+        let reg = FunctionRegistry::with_builtins();
+        register_rpy(&reg);
+        let yaw = reg.resolve("yaw", 3).unwrap();
+        let v = yaw(&[Value::Float(1.0), Value::Float(0.0), Value::Float(0.0)]).unwrap();
+        assert_eq!(v, Value::Float(90.0));
+
+        // 6-arg form: vector from two points.
+        let pitch = reg.resolve("pitch", 6).unwrap();
+        let v = pitch(&[
+            Value::Float(0.0),
+            Value::Float(0.0),
+            Value::Float(0.0),
+            Value::Float(0.0),
+            Value::Float(5.0),
+            Value::Float(0.0),
+        ])
+        .unwrap();
+        assert_eq!(v, Value::Float(90.0));
+
+        // Null propagates.
+        let v = yaw(&[Value::Null, Value::Float(0.0), Value::Float(0.0)]).unwrap();
+        assert_eq!(v, Value::Null);
+    }
+
+    #[test]
+    fn wrong_arity_errors_at_eval() {
+        let reg = FunctionRegistry::with_builtins();
+        register_rpy(&reg);
+        let yaw = reg.resolve("yaw", 4).unwrap(); // AtLeast(3) admits 4...
+        let args = vec![Value::Float(0.0); 4];
+        let r = yaw(&args); // ...but evaluation rejects it
+        assert!(r.is_err());
+    }
+}

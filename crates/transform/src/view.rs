@@ -1,0 +1,110 @@
+//! Registering the `kinect_t` view in a stream catalog.
+//!
+//! "We defined a `kinect_t` view letting AnduIN calculate all coordinates
+//! on-the-fly" (§3.2). Here the view is a [`MapOp`] holding a stateful
+//! [`Transformer`]; the CEP engine instantiates one per deployed query
+//! route.
+
+use std::sync::Arc;
+
+use gesto_kinect::{frame_to_tuple, schema_named, tuple_to_frame, KINECT_STREAM};
+use gesto_stream::{ops::MapOp, Catalog, SchemaRef, StreamError, Tuple, ViewDef};
+
+use crate::transform::{TransformConfig, Transformer};
+
+/// Name of the transformed view.
+pub const KINECT_T: &str = "kinect_t";
+
+/// Schema of the transformed view (kinect layout under the view name).
+pub fn kinect_t_schema() -> SchemaRef {
+    schema_named(KINECT_T, "")
+}
+
+/// Registers the `kinect_t` view over the raw `kinect` stream.
+pub fn register_kinect_t(catalog: &Catalog, config: TransformConfig) -> Result<(), StreamError> {
+    let schema = kinect_t_schema();
+    let factory_schema = schema.clone();
+    catalog.register_view(ViewDef {
+        name: KINECT_T.into(),
+        input: KINECT_STREAM.into(),
+        schema,
+        factory: Arc::new(move || {
+            let out = factory_schema.clone();
+            let mut transformer = Transformer::new(config);
+            Box::new(MapOp::new("kinect_t", out.clone(), move |t: &Tuple| {
+                let frame = tuple_to_frame(t, "");
+                transformer
+                    .transform_frame(&frame)
+                    .map(|f| frame_to_tuple(&f, &out))
+            }))
+        }),
+    })
+}
+
+/// Builds a catalog with the `kinect` stream and default `kinect_t` view
+/// registered — the standard setup for examples, tests and benches.
+pub fn standard_catalog() -> Arc<Catalog> {
+    let catalog = Arc::new(Catalog::new());
+    catalog
+        .register_stream(gesto_kinect::kinect_schema())
+        .expect("fresh catalog");
+    register_kinect_t(&catalog, TransformConfig::default()).expect("fresh catalog");
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gesto_cep::Engine;
+    use gesto_kinect::{frames_to_tuples, gestures, kinect_schema, Performer, Persona};
+
+    #[test]
+    fn catalog_resolves_view_chain() {
+        let cat = standard_catalog();
+        let (base, views) = cat.resolve(KINECT_T).unwrap();
+        assert_eq!(base, KINECT_STREAM);
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].name, KINECT_T);
+    }
+
+    #[test]
+    fn engine_detects_on_transformed_view_across_users() {
+        let engine = Engine::new(standard_catalog());
+        // A crude swipe detector over transformed coordinates.
+        engine
+            .deploy_text(
+                r#"SELECT "swipe"
+                   MATCHING kinect_t(rHand_x < 100 and abs(rHand_y - 150) < 120)
+                         -> kinect_t(rHand_x > 700)
+                   within 2 seconds select first consume all;"#,
+            )
+            .unwrap();
+        let schema = kinect_schema();
+        for (i, persona) in [
+            Persona::reference(),
+            Persona::reference().with_height(1200.0).at(700.0, 2800.0),
+            Persona::reference().rotated(0.8),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut perf = Performer::new(persona, 0);
+            let tuples = frames_to_tuples(&perf.render(&gestures::swipe_right()), &schema);
+            let ds = engine.run_batch(KINECT_STREAM, &tuples).unwrap();
+            assert_eq!(ds.len(), 1, "persona #{i} must be detected once");
+            engine.reset_runs();
+        }
+    }
+
+    #[test]
+    fn view_drops_frames_without_torso() {
+        let cat = standard_catalog();
+        let view = cat.view(KINECT_T).unwrap();
+        let mut op = (view.factory)();
+        let schema = kinect_schema();
+        let empty = gesto_kinect::SkeletonFrame::empty(0, 1);
+        let t = frame_to_tuple(&empty, &schema);
+        let out = gesto_stream::run_operator(op.as_mut(), &[t]);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! Configuring the learner: metrics, thresholds, joints and the
+//! validation/optimisation passes of §3.3.3.
+//!
+//! ```sh
+//! cargo run --example custom_metric
+//! ```
+
+use gesto::kinect::{gestures, NoiseModel, Performer, Persona, SkeletonFrame};
+use gesto::learn::query_gen::{generate_query_text, QueryStyle};
+use gesto::learn::{
+    validate, JointSet, Learner, LearnerConfig, Metric, Threshold,
+};
+use gesto::learn::sampling::{CentroidMode, Strategy};
+use gesto::transform::{TransformConfig, Transformer};
+
+fn samples_of(spec: &gesto::kinect::GestureSpec, n: usize) -> Vec<Vec<SkeletonFrame>> {
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    (0..n)
+        .map(|seed| {
+            let mut p = Performer::new(persona.clone().with_seed(seed as u64), 0);
+            let frames = p.render(spec);
+            let mut tr = Transformer::new(TransformConfig::default());
+            frames.iter().filter_map(|f| tr.transform_frame(f)).collect()
+        })
+        .collect()
+}
+
+fn learn_with(config: LearnerConfig, samples: &[Vec<SkeletonFrame>], name: &str) -> gesto::learn::GestureDefinition {
+    let mut learner = Learner::new(config);
+    for s in samples {
+        learner.add_sample_frames(s).expect("sample ok");
+    }
+    learner.finalize(name).expect("finalizable")
+}
+
+fn main() {
+    let samples = samples_of(&gestures::swipe_right(), 3);
+
+    // 1. The distance threshold controls pattern granularity.
+    println!("== sampling threshold sweep (swipe_right, Euclidean) ==");
+    println!("  {:>10} | {:>5}", "max_dist", "poses");
+    for fraction in [0.05, 0.1, 0.2, 0.3, 0.5] {
+        let config = LearnerConfig {
+            sampling: Strategy::DistanceBased {
+                metric: Metric::Euclidean,
+                threshold: Threshold::RelativePathFraction(fraction),
+                centroid: CentroidMode::Reference,
+            },
+            ..LearnerConfig::default()
+        };
+        let def = learn_with(config, &samples, "swipe");
+        println!("  {:>9.0}% | {:>5}", fraction * 100.0, def.pose_count());
+    }
+
+    // 2. Different metrics express different gesture semantics.
+    println!("\n== metric comparison ==");
+    for (label, metric) in [
+        ("euclidean", Metric::Euclidean),
+        ("manhattan", Metric::Manhattan),
+        ("chebyshev", Metric::Chebyshev),
+    ] {
+        let config = LearnerConfig {
+            sampling: Strategy::DistanceBased {
+                metric,
+                threshold: Threshold::RelativePathFraction(0.22),
+                centroid: CentroidMode::Mean,
+            },
+            ..LearnerConfig::default()
+        };
+        let def = learn_with(config, &samples, "swipe");
+        println!("  {label:<10}: {} poses", def.pose_count());
+    }
+
+    // 3. Time-based strategies ("every x tuples").
+    println!("\n== time-based strategies ==");
+    for (label, strategy) in [
+        ("every 8 tuples", Strategy::EveryN(8)),
+        ("every 250 ms", Strategy::TimeDelta(250)),
+    ] {
+        let config = LearnerConfig { sampling: strategy, ..LearnerConfig::default() };
+        let def = learn_with(config, &samples, "swipe");
+        println!("  {label:<15}: {} poses", def.pose_count());
+    }
+
+    // 4. Validation & optimisation passes.
+    println!("\n== optimisation passes (push gesture) ==");
+    let push_samples = samples_of(&gestures::push(), 3);
+    let mut def = learn_with(LearnerConfig::default(), &push_samples, "push");
+    println!("  learned        : {} poses, {} predicates", def.pose_count(), def.predicate_count());
+
+    let merges = validate::merge_adjacent_windows(&mut def, 1.6);
+    println!("  window merging : {merges} merges -> {} poses", def.pose_count());
+
+    let dropped = validate::eliminate_irrelevant_dims(&mut def, 120.0);
+    let names: Vec<String> = dropped.iter().map(|&d| def.joints.dim_name(d)).collect();
+    println!(
+        "  dim elimination: dropped {names:?} -> {} predicates",
+        def.predicate_count()
+    );
+    println!("\n  optimised query:\n{}", generate_query_text(&def, QueryStyle::TransformedView));
+
+    // 5. Multi-joint gestures.
+    println!("== multi-joint gesture (two-hand swipe, both hands) ==");
+    let two_hand = samples_of(&gestures::two_hand_swipe(), 3);
+    let config = LearnerConfig { joints: JointSet::both_hands(), ..LearnerConfig::default() };
+    let def = learn_with(config, &two_hand, "two_hand_swipe");
+    println!(
+        "  {} poses over {} dims -> {} predicates per query",
+        def.pose_count(),
+        def.joints.dims(),
+        def.predicate_count()
+    );
+}

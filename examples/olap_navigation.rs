@@ -1,0 +1,140 @@
+//! Gesture-controlled OLAP navigation — the paper's §1 motivation
+//! ("gesture-controlled interaction with OLAP databases", cf. the
+//! authors' Data3 demo).
+//!
+//! Teaches four gestures, binds them to OLAP navigation operators on a
+//! small in-memory sales cube, then simulates a user analysing the cube
+//! by gesturing.
+//!
+//! ```sh
+//! cargo run --example olap_navigation
+//! ```
+
+use gesto::kinect::{gestures, GestureSpec, NoiseModel, Performer, Persona};
+use gesto::GestureSystem;
+
+/// A toy OLAP cube: sales by (region, product), navigable by dimension
+/// level.
+struct SalesCube {
+    level: usize,
+    levels: Vec<&'static str>,
+    pivoted: bool,
+}
+
+impl SalesCube {
+    fn new() -> Self {
+        Self { level: 0, levels: vec!["year", "quarter", "month", "day"], pivoted: false }
+    }
+
+    fn drill_down(&mut self) {
+        if self.level + 1 < self.levels.len() {
+            self.level += 1;
+        }
+    }
+
+    fn roll_up(&mut self) {
+        self.level = self.level.saturating_sub(1);
+    }
+
+    fn pivot(&mut self) {
+        self.pivoted = !self.pivoted;
+    }
+
+    fn describe(&self) -> String {
+        let (rows, cols) = if self.pivoted { ("product", "region") } else { ("region", "product") };
+        format!("view: {rows} x {cols} at {} granularity", self.levels[self.level])
+    }
+}
+
+fn main() {
+    let system = GestureSystem::new();
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+
+    // 1. Teach the navigation gestures (3 samples each).
+    let bindings: Vec<(&str, GestureSpec, &str)> = vec![
+        ("swipe_right", gestures::swipe_right(), "drill-down"),
+        ("swipe_left", gestures::swipe_left(), "roll-up"),
+        ("circle", gestures::circle(), "pivot"),
+        ("push", gestures::push(), "select cell"),
+    ];
+    println!("== teaching {} navigation gestures ==", bindings.len());
+    for (name, spec, op) in &bindings {
+        let samples: Vec<_> = (0..3)
+            .map(|seed| {
+                let mut p =
+                    Performer::new(persona.clone().with_seed(*name.as_bytes().first().unwrap() as u64 + seed), 0);
+                p.render(spec)
+            })
+            .collect();
+        let def = system.teach(name, &samples).expect("teachable");
+        println!("  {name:<12} -> {op:<12} ({} poses)", def.pose_count());
+    }
+
+    // 2. Cross-check the learned set for overlaps (§3.3.3).
+    let report = gesto::learn::validate::analyze_set(&system.store().definitions());
+    if report.is_clean() {
+        println!("\ncross-check: no window overlaps between gestures");
+    } else {
+        for p in &report.pairs {
+            println!(
+                "\ncross-check: '{}' overlaps '{}' at {} pose pairs (subsumed: {})",
+                p.a,
+                p.b,
+                p.intersecting_poses.len(),
+                p.b_subsumed_in_a
+            );
+        }
+    }
+
+    // 3. Simulate an analysis session: the user gestures, detections
+    // drive the cube.
+    println!("\n== gesture-driven analysis session ==");
+    let mut cube = SalesCube::new();
+    println!("  start           : {}", cube.describe());
+    let script = [
+        "swipe_right",
+        "swipe_right",
+        "circle",
+        "swipe_left",
+        "push",
+    ];
+    for (i, gesture_name) in script.iter().enumerate() {
+        let spec = bindings
+            .iter()
+            .find(|(n, _, _)| n == gesture_name)
+            .map(|(_, s, _)| s.clone())
+            .expect("scripted gesture taught");
+        let mut p = Performer::new(persona.clone().with_seed(500 + i as u64), 0);
+        let detections = system.run_frames(&p.render(&spec)).expect("stream ok");
+        system.engine().reset_runs();
+
+        let detected: Vec<&str> =
+            detections.iter().map(|d| d.gesture.as_str()).collect();
+        for d in &detected {
+            match *d {
+                "swipe_right" => cube.drill_down(),
+                "swipe_left" => cube.roll_up(),
+                "circle" => cube.pivot(),
+                "push" => println!("  [selected cell]"),
+                _ => {}
+            }
+        }
+        println!(
+            "  {:<15} : {}  (detected: {:?})",
+            gesture_name,
+            cube.describe(),
+            detected
+        );
+    }
+
+    // 4. Runtime exchange (§4): rebind swipe_right by replacing the
+    // deployed query with a stricter variant — no application restart.
+    println!("\n== runtime query exchange ==");
+    let stats_before = system.engine().stats("swipe_right").expect("deployed");
+    println!(
+        "  swipe_right detections so far: {}",
+        stats_before.detections
+    );
+    system.forget("swipe_right").expect("undeploy");
+    println!("  swipe_right undeployed; engine now runs {} queries", system.engine().len());
+}

@@ -1,0 +1,97 @@
+//! Quickstart: teach a gesture from three simulated samples, print the
+//! generated CEP query, and detect the gesture live.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use gesto::kinect::{gestures, NoiseModel, Performer, Persona};
+use gesto::learn::viz;
+use gesto::GestureSystem;
+
+fn main() {
+    let system = GestureSystem::new();
+
+    // 1. Record three samples of a swipe with a noisy simulated user.
+    println!("== recording 3 samples of swipe_right (simulated) ==");
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let samples: Vec<_> = (0..3)
+        .map(|seed| {
+            let mut p = Performer::new(persona.clone().with_seed(seed), 0);
+            p.render(&gestures::swipe_right())
+        })
+        .collect();
+    for (i, s) in samples.iter().enumerate() {
+        println!("  sample {}: {} frames ({} ms)", i + 1, s.len(), s.len() * 33);
+    }
+
+    // 2. Learn + deploy.
+    let def = system.teach("swipe_right", &samples).expect("learning succeeds");
+    println!(
+        "\n== learned {} poses from {} samples ==",
+        def.pose_count(),
+        def.sample_count
+    );
+    for (i, pose) in def.poses.iter().enumerate() {
+        println!(
+            "  pose {}: center ({:7.1}, {:7.1}, {:7.1})  width ({:5.1}, {:5.1}, {:5.1})",
+            i + 1,
+            pose.center[0],
+            pose.center[1],
+            pose.center[2],
+            pose.width[0],
+            pose.width[1],
+            pose.width[2],
+        );
+    }
+
+    // 3. The generated query (the paper's Fig. 1 artefact).
+    let query = system
+        .store()
+        .get("swipe_right")
+        .and_then(|r| r.query_text)
+        .expect("query stored");
+    println!("\n== generated CEP query ==\n{query}");
+
+    // 4. Visualise the learned windows.
+    println!("== learned windows (frontal projection) ==");
+    print!("{}", viz::ascii(&def, &[], 78, 18));
+
+    // 5. Detect on fresh performances — including a taller user standing
+    // somewhere else.
+    println!("\n== live detection ==");
+    for (label, persona) in [
+        ("same user, new repetition", persona.clone().with_seed(41)),
+        (
+            "taller user, moved + rotated",
+            persona
+                .clone()
+                .with_height(1950.0)
+                .at(600.0, 2700.0)
+                .rotated(0.4)
+                .with_seed(42),
+        ),
+    ] {
+        let mut p = Performer::new(persona, 0);
+        let frames = p.render(&gestures::swipe_right());
+        let detections = system.run_frames(&frames).expect("stream ok");
+        println!(
+            "  {label}: {}",
+            if detections.iter().any(|d| d.gesture == "swipe_right") {
+                "detected"
+            } else {
+                "NOT detected"
+            }
+        );
+        system.engine().reset_runs();
+    }
+
+    // 6. A different movement must stay silent.
+    let mut p = Performer::new(persona.with_seed(43), 0);
+    let frames = p.render(&gestures::circle());
+    let detections = system.run_frames(&frames).expect("stream ok");
+    println!(
+        "  circle (different gesture): {}",
+        if detections.is_empty() { "silent (correct)" } else { "false positive!" }
+    );
+}

@@ -1,0 +1,246 @@
+//! Property-based tests over cross-crate invariants.
+
+use gesto::cep::{parse_expr, parse_query, BinOp, Expr, Pattern, Query};
+use gesto::kinect::{Joint, NoiseModel, Performer, Persona, SkeletonFrame};
+use gesto::learn::merging::resample_to;
+use gesto::learn::sampling::{sample_path, CentroidMode, Strategy as SamplingStrategy};
+use gesto::learn::{Metric, PathPoint, PoseWindow, Threshold};
+use gesto::transform::{TransformConfig, Transformer};
+use proptest::prelude::*;
+
+// ---------- generators ----------
+
+fn arb_value() -> impl proptest::strategy::Strategy<Value = f64> {
+    -1000.0..1000.0f64
+}
+
+/// Keywords of the query language that cannot be column/source names.
+const RESERVED: &[&str] = &[
+    "and", "or", "not", "true", "false", "within", "select", "consume", "matching",
+];
+
+fn ident() -> impl proptest::strategy::Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_filter("reserved word", |s| !RESERVED.contains(&s.as_str()))
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(|v| Expr::Literal(gesto::stream::Value::Float((v * 100.0).round() / 100.0))),
+        ident().prop_map(Expr::Column),
+    ];
+    leaf.prop_recursive(depth, 64, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Add, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Sub, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::bin(BinOp::Mul, a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::lt(a, b)),
+            inner.clone().prop_map(Expr::abs),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_predicate() -> BoxedStrategy<Expr> {
+    // Comparisons only (event predicates are boolean).
+    (arb_expr(2), arb_expr(2))
+        .prop_map(|(a, b)| Expr::lt(a, b))
+        .boxed()
+}
+
+fn arb_pattern() -> BoxedStrategy<Pattern> {
+    let event = (ident(), arb_predicate()).prop_map(|(src, pred)| Pattern::event(src, pred));
+    event
+        .prop_recursive(3, 16, 3, |inner| {
+            (
+                proptest::collection::vec(inner, 1..4),
+                proptest::option::of(1i64..5000),
+            )
+                .prop_map(|(steps, within)| Pattern::sequence(steps, within))
+        })
+        .boxed()
+}
+
+fn arb_path(max_len: usize) -> BoxedStrategy<Vec<PathPoint>> {
+    proptest::collection::vec(
+        (proptest::array::uniform3(-900.0..900.0f64)).prop_map(|c| c.to_vec()),
+        1..max_len,
+    )
+    .prop_map(|feats| {
+        feats
+            .into_iter()
+            .enumerate()
+            .map(|(i, feat)| PathPoint::new(i as i64 * 33, feat))
+            .collect()
+    })
+    .boxed()
+}
+
+// ---------- parser round trips ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn expr_display_parse_roundtrip(e in arb_expr(3)) {
+        let text = e.to_string();
+        let parsed = parse_expr(&text)
+            .unwrap_or_else(|err| panic!("'{text}' must parse: {err}"));
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn query_display_parse_roundtrip(p in arb_pattern(), name in "[a-zA-Z][a-zA-Z0-9_ ]{0,12}") {
+        let q = Query::new(name, p);
+        let text = q.to_query_text();
+        let parsed = parse_query(&text)
+            .unwrap_or_else(|err| panic!("generated query must parse: {err}\n{text}"));
+        prop_assert_eq!(parsed, q);
+    }
+}
+
+// ---------- window algebra ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn union_commutes_and_contains(
+        ca in proptest::array::uniform3(-500.0..500.0f64),
+        wa in proptest::array::uniform3(0.0..200.0f64),
+        cb in proptest::array::uniform3(-500.0..500.0f64),
+        wb in proptest::array::uniform3(0.0..200.0f64),
+    ) {
+        let a = PoseWindow::new(ca.to_vec(), wa.to_vec());
+        let b = PoseWindow::new(cb.to_vec(), wb.to_vec());
+        let u1 = a.union(&b);
+        let u2 = b.union(&a);
+        for d in 0..3 {
+            prop_assert!((u1.center[d] - u2.center[d]).abs() < 1e-9);
+            prop_assert!((u1.width[d] - u2.width[d]).abs() < 1e-9);
+            prop_assert!(u1.min(d) <= a.min(d) + 1e-9);
+            prop_assert!(u1.max(d) >= b.max(d) - 1e-9);
+        }
+        prop_assert!(u1.volume() >= a.volume().max(b.volume()) - 1e-6);
+        // Union intersects both inputs.
+        prop_assert!(u1.intersects(&a) && u1.intersects(&b));
+    }
+
+    #[test]
+    fn intersection_symmetric_and_contained(
+        ca in proptest::array::uniform3(-300.0..300.0f64),
+        wa in proptest::array::uniform3(1.0..300.0f64),
+        cb in proptest::array::uniform3(-300.0..300.0f64),
+        wb in proptest::array::uniform3(1.0..300.0f64),
+    ) {
+        let a = PoseWindow::new(ca.to_vec(), wa.to_vec());
+        let b = PoseWindow::new(cb.to_vec(), wb.to_vec());
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(i.volume() <= a.volume() + 1e-6);
+            prop_assert!(i.volume() <= b.volume() + 1e-6);
+            // Intersection centre lies in both.
+            prop_assert!(a.contains(&i.center) && b.contains(&i.center));
+        }
+    }
+
+    #[test]
+    fn extend_to_makes_containing(
+        c in proptest::array::uniform3(-500.0..500.0f64),
+        w in proptest::array::uniform3(0.0..100.0f64),
+        p in proptest::array::uniform3(-800.0..800.0f64),
+    ) {
+        let mut win = PoseWindow::new(c.to_vec(), w.to_vec());
+        let before = win.clone();
+        win.extend_to(&p);
+        prop_assert!(win.contains(&p));
+        // Extension is monotone: old bounds still inside.
+        for d in 0..3 {
+            prop_assert!(win.min(d) <= before.min(d) + 1e-9);
+            prop_assert!(win.max(d) >= before.max(d) - 1e-9);
+        }
+    }
+}
+
+// ---------- sampling invariants ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sampling_preserves_order_and_start(path in arb_path(80)) {
+        let out = sample_path(&path, SamplingStrategy::default());
+        prop_assert!(!out.is_empty());
+        prop_assert_eq!(&out[0], &path[0]);
+        for w in out.windows(2) {
+            prop_assert!(w[0].ts <= w[1].ts);
+        }
+        prop_assert!(out.len() <= path.len() + 1);
+    }
+
+    #[test]
+    fn sampling_monotone_in_threshold(path in arb_path(60)) {
+        let count = |f: f64| sample_path(&path, SamplingStrategy::DistanceBased {
+            metric: Metric::Euclidean,
+            threshold: Threshold::RelativePathFraction(f),
+            centroid: CentroidMode::Reference,
+        }).len();
+        // Cluster count is monotone in the threshold; the optional end
+        // anchor adds at most one point, so allow +1 slack.
+        let mut prev = usize::MAX;
+        for f in [0.05, 0.15, 0.3, 0.6] {
+            let n = count(f);
+            prop_assert!(n <= prev.saturating_add(1), "fraction {} gave {} > {}+1", f, n, prev);
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn resample_endpoints_fixed(path in arb_path(40), n in 2usize..12) {
+        let out = resample_to(&path, n, Metric::Euclidean);
+        if path.len() >= 2 {
+            prop_assert_eq!(out.len(), n);
+            let eps = 1e-6;
+            for d in 0..3 {
+                prop_assert!((out[0].feat[d] - path[0].feat[d]).abs() < eps);
+                prop_assert!(
+                    (out[n - 1].feat[d] - path[path.len() - 1].feat[d]).abs() < eps
+                );
+            }
+        }
+    }
+}
+
+// ---------- transform invariance ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn transform_cancels_user_placement(
+        height in 1000.0..2200.0f64,
+        x in -1500.0..1500.0f64,
+        z in 1500.0..3500.0f64,
+        yaw in -1.2..1.2f64,
+    ) {
+        let render = |persona: Persona| -> Vec<SkeletonFrame> {
+            let mut perf = Performer::new(persona, 0);
+            let frames = perf.render(&gesto::kinect::gestures::swipe_right());
+            let mut tr = Transformer::new(TransformConfig::default());
+            frames.iter().filter_map(|f| tr.transform_frame(f)).collect()
+        };
+        let reference = render(Persona::reference());
+        let varied = render(
+            Persona::reference()
+                .with_height(height)
+                .at(x, z)
+                .rotated(yaw)
+                .with_noise(NoiseModel::NONE),
+        );
+        prop_assert_eq!(reference.len(), varied.len());
+        for (a, b) in reference.iter().zip(&varied) {
+            let pa = a.joint(Joint::RightHand).unwrap();
+            let pb = b.joint(Joint::RightHand).unwrap();
+            prop_assert!(pa.dist(&pb) < 1e-6, "invariance violated: {:?} vs {:?}", pa, pb);
+        }
+    }
+}
