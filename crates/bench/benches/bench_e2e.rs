@@ -44,7 +44,11 @@ fn bench_detection_stream(c: &mut Criterion) {
     let mut performer = gesto_kinect::Performer::new(persona, 0);
     let mut frames = Vec::new();
     for _ in 0..2 {
-        for spec in [gestures::swipe_right(), gestures::circle(), gestures::push()] {
+        for spec in [
+            gestures::swipe_right(),
+            gestures::circle(),
+            gestures::push(),
+        ] {
             frames.extend(performer.render_padded(&spec, 300, 300));
         }
     }

@@ -27,8 +27,12 @@ fn bench_queries_scaling(c: &mut Criterion) {
     for n in [1usize, 4, 16] {
         let engine = Engine::new(standard_catalog());
         for i in 0..n {
-            let mut def =
-                learn_gesture(&specs[i % specs.len()], 2, i as u64, LearnerConfig::default());
+            let mut def = learn_gesture(
+                &specs[i % specs.len()],
+                2,
+                i as u64,
+                LearnerConfig::default(),
+            );
             def.name = format!("g{i}");
             engine
                 .deploy(generate_query(&def, QueryStyle::TransformedView))

@@ -14,10 +14,7 @@ fn bench_transform_frames(c: &mut Criterion) {
     group.bench_function("frames", |b| {
         b.iter(|| {
             let mut tr = Transformer::new(TransformConfig::default());
-            frames
-                .iter()
-                .filter_map(|f| tr.transform_frame(f))
-                .count()
+            frames.iter().filter_map(|f| tr.transform_frame(f)).count()
         })
     });
     group.finish();

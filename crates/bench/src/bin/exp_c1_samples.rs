@@ -4,8 +4,8 @@
 //! Detection rate and false-positive rate as a function of the number of
 //! training samples, across a persona sweep and a gesture set.
 
-use gesto_bench::{detect, engine_with, pct, perform, persona_sweep, learn_gesture};
 use gesto_bench::Table;
+use gesto_bench::{detect, engine_with, learn_gesture, pct, perform, persona_sweep};
 use gesto_kinect::gestures;
 use gesto_learn::LearnerConfig;
 
@@ -68,8 +68,7 @@ fn main() {
             for spec in &gesture_set {
                 for (pi, (_, persona)) in sweep.iter().enumerate() {
                     for t in 0..TRIALS_PER_PERSONA as u64 {
-                        let seed =
-                            90_000 + (k as u64) * 1000 + set * 131 + (pi as u64) * 10 + t;
+                        let seed = 90_000 + (k as u64) * 1000 + set * 131 + (pi as u64) * 10 + t;
                         let frames = perform(spec, persona, seed);
                         let hits = detect(&engine, &frames);
                         tp_total += 1;

@@ -37,7 +37,10 @@ fn main() {
     let variants = [
         ("distance-based (paper)", learn(Strategy::default(), 50.0)),
         ("every tuple = pose", learn(Strategy::EveryN(1), 50.0)),
-        ("every tuple, tight +/-25mm", learn(Strategy::EveryN(1), 25.0)),
+        (
+            "every tuple, tight +/-25mm",
+            learn(Strategy::EveryN(1), 25.0),
+        ),
     ];
 
     let mut table = Table::new(&[
@@ -94,8 +97,7 @@ fn main() {
             }
             engine.reset_runs();
         }
-        let per_frame_us =
-            start.elapsed().as_secs_f64() * 1e6 / frames_processed.max(1) as f64;
+        let per_frame_us = start.elapsed().as_secs_f64() * 1e6 / frames_processed.max(1) as f64;
 
         table.row(&[
             label.to_string(),

@@ -90,7 +90,10 @@ fn main() {
     println!("gesture set: swipe_right, swipe_half (a PREFIX of swipe_right),");
     println!("swipe_up, raise_right (spatial neighbour of swipe_up), zigzag\n");
 
-    for (label, scale) in [("paper default (x1.2)", 1.2), ("over-generalised (x3.0)", 3.0)] {
+    for (label, scale) in [
+        ("paper default (x1.2)", 1.2),
+        ("over-generalised (x3.0)", 3.0),
+    ] {
         let defs: Vec<GestureDefinition> = specs()
             .iter()
             .map(|spec| {
@@ -98,7 +101,10 @@ fn main() {
                     spec,
                     3,
                     11_000,
-                    LearnerConfig { width_scale: scale, ..LearnerConfig::default() },
+                    LearnerConfig {
+                        width_scale: scale,
+                        ..LearnerConfig::default()
+                    },
                 )
             })
             .collect();

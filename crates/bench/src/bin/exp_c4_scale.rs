@@ -8,9 +8,9 @@ use gesto_bench::{learn_gesture, perform, Table};
 use gesto_cep::Engine;
 use gesto_kinect::{frames_to_tuples, gestures, kinect_schema, NoiseModel, Persona, KINECT_STREAM};
 use gesto_learn::query_gen::{generate_query, QueryStyle};
+use gesto_learn::sampling::{CentroidMode, Strategy};
 use gesto_learn::validate::merge_adjacent_windows;
 use gesto_learn::{LearnerConfig, Metric, Threshold};
-use gesto_learn::sampling::{CentroidMode, Strategy};
 use gesto_stream::Tuple;
 use gesto_transform::standard_catalog;
 
@@ -32,11 +32,18 @@ fn main() {
     // Workload: 10 s of mixed movement.
     let mut frames = Vec::new();
     let mut performer = gesto_kinect::Performer::new(persona.clone(), 0);
-    for spec in [gestures::swipe_right(), gestures::circle(), gestures::push()] {
+    for spec in [
+        gestures::swipe_right(),
+        gestures::circle(),
+        gestures::push(),
+    ] {
         frames.extend(performer.render_padded(&spec, 300, 300));
     }
     let tuples = frames_to_tuples(&frames, &schema);
-    println!("workload: {} frames of mixed movement, replayed repeatedly\n", tuples.len());
+    println!(
+        "workload: {} frames of mixed movement, replayed repeatedly\n",
+        tuples.len()
+    );
 
     // (a) throughput vs number of deployed queries.
     println!("(a) throughput vs deployed queries");

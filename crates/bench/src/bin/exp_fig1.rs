@@ -13,8 +13,11 @@ use gesto_stream::Catalog;
 use gesto_transform::{TransformConfig, Transformer};
 
 /// The window centres printed in the paper's Fig. 1.
-const PAPER_WINDOWS: [[f64; 3]; 3] =
-    [[0.0, 150.0, -120.0], [400.0, 150.0, -420.0], [800.0, 150.0, -120.0]];
+const PAPER_WINDOWS: [[f64; 3]; 3] = [
+    [0.0, 150.0, -120.0],
+    [400.0, 150.0, -420.0],
+    [800.0, 150.0, -120.0],
+];
 
 fn main() {
     println!("E1 / Fig. 1 — swipe_right from the paper's sensor trace");
@@ -24,14 +27,22 @@ fn main() {
     // Learn in the raw torso-relative space of the Fig. 1 query.
     let frames = fig1::frames(0);
     let mut tr = Transformer::new(TransformConfig::torso_only());
-    let transformed: Vec<_> = frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+    let transformed: Vec<_> = frames
+        .iter()
+        .filter_map(|f| tr.transform_frame(f))
+        .collect();
     let mut learner = Learner::new(LearnerConfig::fig1());
-    learner.add_sample_frames(&transformed).expect("trace sample");
+    learner
+        .add_sample_frames(&transformed)
+        .expect("trace sample");
     let def = learner.finalize("swipe_right").expect("finalizable");
 
     // Learned windows vs the paper's idealised ones.
     let mut table = Table::new(&[
-        "pose", "paper center (x,y,z)", "learned center (x,y,z)", "learned half-width",
+        "pose",
+        "paper center (x,y,z)",
+        "learned center (x,y,z)",
+        "learned half-width",
     ]);
     for (i, pose) in def.poses.iter().enumerate() {
         let paper = PAPER_WINDOWS
@@ -41,7 +52,10 @@ fn main() {
         table.row(&[
             format!("{}", i + 1),
             paper,
-            format!("({:.0}, {:.0}, {:.0})", pose.center[0], pose.center[1], pose.center[2]),
+            format!(
+                "({:.0}, {:.0}, {:.0})",
+                pose.center[0], pose.center[1], pose.center[2]
+            ),
             format!(
                 "({:.0}, {:.0}, {:.0})",
                 pose.width[0], pose.width[1], pose.width[2]
@@ -58,7 +72,10 @@ fn main() {
 
     // The generated query, paper format.
     println!("generated query (paper's Fig. 1 dialect):\n");
-    println!("{}", generate_query_text(&def, QueryStyle::RawTorsoRelative));
+    println!(
+        "{}",
+        generate_query_text(&def, QueryStyle::RawTorsoRelative)
+    );
 
     // Detection check on the original trace.
     let catalog = Arc::new(Catalog::new());
@@ -72,7 +89,10 @@ fn main() {
         .unwrap();
     println!(
         "replaying the trace through the engine: {} detection(s) of \"swipe_right\"",
-        detections.iter().filter(|d| d.gesture == "swipe_right").count()
+        detections
+            .iter()
+            .filter(|d| d.gesture == "swipe_right")
+            .count()
     );
 
     // Negative control: reversed movement.

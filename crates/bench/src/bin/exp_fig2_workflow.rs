@@ -72,7 +72,10 @@ fn main() {
                     format!("sample recorded ({} frames)", fs.len())
                 }
                 WorkflowEvent::SampleLearned { count, warnings } => {
-                    format!("merged into model (sample {count}, {} warnings)", warnings.len())
+                    format!(
+                        "merged into model (sample {count}, {} warnings)",
+                        warnings.len()
+                    )
                 }
                 WorkflowEvent::Session(SessionEvent::Finished { samples }) => {
                     format!("two-hand swipe -> finalising ({samples} samples)")
@@ -98,7 +101,9 @@ fn main() {
     for i in 0..5u64 {
         engine.reset_runs();
         let mut p = Performer::new(
-            Persona::reference().with_noise(NoiseModel::realistic()).with_seed(900 + i),
+            Persona::reference()
+                .with_noise(NoiseModel::realistic())
+                .with_seed(900 + i),
             0,
         );
         let tuples = frames_to_tuples(&p.render(&gestures::circle()), &kinect_schema());
@@ -109,13 +114,19 @@ fn main() {
     for i in 0..5u64 {
         engine.reset_runs();
         let mut p = Performer::new(
-            Persona::reference().with_noise(NoiseModel::realistic()).with_seed(950 + i),
+            Persona::reference()
+                .with_noise(NoiseModel::realistic())
+                .with_seed(950 + i),
             0,
         );
         let tuples = frames_to_tuples(&p.render(&gestures::swipe_right()), &kinect_schema());
         let ds = engine.run_batch(KINECT_STREAM, &tuples).unwrap();
         let fired = ds.iter().any(|d| d.gesture == "circle");
-        table.row(&[format!("{}", i + 6), "swipe_right".into(), format!("{fired}")]);
+        table.row(&[
+            format!("{}", i + 6),
+            "swipe_right".into(),
+            format!("{fired}"),
+        ]);
     }
     table.print();
 }

@@ -26,8 +26,10 @@ fn build(config: TransformConfig) -> Engine {
     for seed in 0..4u64 {
         let frames = perform(&gestures::swipe_right(), &persona, seed);
         let mut tr = Transformer::new(config);
-        let transformed: Vec<SkeletonFrame> =
-            frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+        let transformed: Vec<SkeletonFrame> = frames
+            .iter()
+            .filter_map(|f| tr.transform_frame(f))
+            .collect();
         learner.add_sample_frames(&transformed).expect("sample");
     }
     let def = learner.finalize("swipe_right").expect("finalizable");
@@ -38,7 +40,11 @@ fn build(config: TransformConfig) -> Engine {
     register_kinect_t(&catalog, config).unwrap();
     let engine = Engine::new(catalog);
     engine
-        .deploy(generate_query_on(&def, QueryStyle::TransformedView, "kinect_t"))
+        .deploy(generate_query_on(
+            &def,
+            QueryStyle::TransformedView,
+            "kinect_t",
+        ))
         .unwrap();
     engine
 }
@@ -70,11 +76,20 @@ fn main() {
     let base = Persona::reference().with_noise(NoiseModel::realistic());
     let conditions: Vec<(String, Persona)> = vec![
         ("baseline (reference user)".into(), base.clone()),
-        ("translated +1.0 m lateral".into(), base.clone().at(1000.0, 2000.0)),
-        ("translated 1.4 m depth".into(), base.clone().at(0.0, 3400.0)),
+        (
+            "translated +1.0 m lateral".into(),
+            base.clone().at(1000.0, 2000.0),
+        ),
+        (
+            "translated 1.4 m depth".into(),
+            base.clone().at(0.0, 3400.0),
+        ),
         ("rotated -35 deg".into(), base.clone().rotated(-0.61)),
         ("rotated +60 deg".into(), base.clone().rotated(1.05)),
-        ("height 1.10 m (child)".into(), base.clone().with_height(1100.0)),
+        (
+            "height 1.10 m (child)".into(),
+            base.clone().with_height(1100.0),
+        ),
         ("height 1.45 m".into(), base.clone().with_height(1450.0)),
         ("height 2.00 m".into(), base.clone().with_height(2000.0)),
         (

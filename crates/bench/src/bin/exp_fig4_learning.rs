@@ -47,7 +47,11 @@ fn main() {
     println!("\n(b) incremental window merging over 6 samples (+1 deliberate outlier)");
     let mut learner = Learner::new(LearnerConfig::default());
     let mut table = Table::new(&[
-        "sample", "poses", "mean half-width (mm)", "max half-width (mm)", "warnings",
+        "sample",
+        "poses",
+        "mean half-width (mm)",
+        "max half-width (mm)",
+        "warnings",
     ]);
     for seed in 0..6u64 {
         let frames = transform_frames(&perform(&gestures::swipe_right(), &persona, 10 + seed));
@@ -103,7 +107,10 @@ fn main() {
         };
         table.row(&[
             format!("{}", i + 1),
-            format!("({:.0}, {:.0}, {:.0})", w.center[0], w.center[1], w.center[2]),
+            format!(
+                "({:.0}, {:.0}, {:.0})",
+                w.center[0], w.center[1], w.center[2]
+            ),
             format!("({:.0}, {:.0}, {:.0})", w.width[0], w.width[1], w.width[2]),
             within,
         ]);

@@ -20,7 +20,10 @@ pub fn perform(spec: &GestureSpec, persona: &Persona, seed: u64) -> Vec<Skeleton
 /// Applies the standard `kinect_t` transformation to raw frames.
 pub fn transform_frames(frames: &[SkeletonFrame]) -> Vec<SkeletonFrame> {
     let mut tr = Transformer::new(TransformConfig::default());
-    frames.iter().filter_map(|f| tr.transform_frame(f)).collect()
+    frames
+        .iter()
+        .filter_map(|f| tr.transform_frame(f))
+        .collect()
 }
 
 /// Learns a definition from `k` noisy samples of `spec` (seeds
@@ -100,7 +103,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header arity).

@@ -68,7 +68,12 @@ impl Engine {
 
     /// Creates an engine with a custom function registry.
     pub fn with_functions(catalog: Arc<Catalog>, funcs: Arc<FunctionRegistry>) -> Self {
-        Self { catalog, funcs, queries: RwLock::new(HashMap::new()), listeners: RwLock::new(Vec::new()) }
+        Self {
+            catalog,
+            funcs,
+            queries: RwLock::new(HashMap::new()),
+            listeners: RwLock::new(Vec::new()),
+        }
     }
 
     /// The engine's catalog.
@@ -244,7 +249,12 @@ impl Engine {
             let chain: Vec<BoxedOperator> = views.iter().map(|v| (v.factory)()).collect();
             routes.push((source.to_owned(), base, chain));
         }
-        Ok(Deployed { query, routes, nfa, detections: 0 })
+        Ok(Deployed {
+            query,
+            routes,
+            nfa,
+            detections: 0,
+        })
     }
 }
 
@@ -254,7 +264,11 @@ mod tests {
     use gesto_stream::{ops::MapOp, SchemaBuilder, SchemaRef, Value, ViewDef};
 
     fn schema() -> SchemaRef {
-        SchemaBuilder::new("kinect").timestamp("ts").float("x").build().unwrap()
+        SchemaBuilder::new("kinect")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap()
     }
 
     fn tup(ts: i64, x: f64) -> Tuple {
@@ -265,7 +279,11 @@ mod tests {
         let cat = Arc::new(Catalog::new());
         cat.register_stream(schema()).unwrap();
         // kinect_t doubles x.
-        let out = SchemaBuilder::new("kinect_t").timestamp("ts").float("x").build().unwrap();
+        let out = SchemaBuilder::new("kinect_t")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
         let factory_schema = out.clone();
         cat.register_view(ViewDef {
             name: "kinect_t".into(),
@@ -305,7 +323,8 @@ mod tests {
     fn view_chain_applied() {
         let e = engine_with_view();
         // Query over the doubled view: x>18 only true via the view (raw 10).
-        e.deploy_text(r#"SELECT "v" MATCHING kinect_t(x > 18);"#).unwrap();
+        e.deploy_text(r#"SELECT "v" MATCHING kinect_t(x > 18);"#)
+            .unwrap();
         let ds = e.push("kinect", &tup(0, 10.0)).unwrap();
         assert_eq!(ds.len(), 1, "view transformed 10 -> 20 > 18");
         let ds = e.push("kinect", &tup(10, 8.0)).unwrap();
@@ -315,20 +334,25 @@ mod tests {
     #[test]
     fn duplicate_deploy_rejected_replace_allowed() {
         let e = engine_with_view();
-        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#).unwrap();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#)
+            .unwrap();
         assert!(matches!(
             e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 5);"#),
             Err(CepError::DuplicateQuery(_))
         ));
         e.replace(parse_query(r#"SELECT "g" MATCHING kinect(x > 100);"#).unwrap())
             .unwrap();
-        assert!(e.push("kinect", &tup(0, 10.0)).unwrap().is_empty(), "replaced threshold");
+        assert!(
+            e.push("kinect", &tup(0, 10.0)).unwrap().is_empty(),
+            "replaced threshold"
+        );
     }
 
     #[test]
     fn undeploy_stops_detection() {
         let e = engine_with_view();
-        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#).unwrap();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#)
+            .unwrap();
         assert_eq!(e.push("kinect", &tup(0, 10.0)).unwrap().len(), 1);
         let q = e.undeploy("g").unwrap();
         assert_eq!(q.name, "g");
@@ -339,10 +363,13 @@ mod tests {
     #[test]
     fn listeners_invoked() {
         let e = engine_with_view();
-        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#).unwrap();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#)
+            .unwrap();
         let hits = Arc::new(parking_lot::Mutex::new(Vec::<String>::new()));
         let h2 = hits.clone();
-        e.add_listener(Arc::new(move |d: &Detection| h2.lock().push(d.gesture.clone())));
+        e.add_listener(Arc::new(move |d: &Detection| {
+            h2.lock().push(d.gesture.clone())
+        }));
         e.push("kinect", &tup(0, 10.0)).unwrap();
         assert_eq!(hits.lock().as_slice(), &["g".to_string()]);
     }
@@ -350,9 +377,13 @@ mod tests {
     #[test]
     fn multiple_queries_detect_independently() {
         let e = engine_with_view();
-        e.deploy_text(r#"SELECT "hi" MATCHING kinect(x > 9);"#).unwrap();
-        e.deploy_text(r#"SELECT "lo" MATCHING kinect(x < 1);"#).unwrap();
-        let ds = e.run_batch("kinect", &[tup(0, 10.0), tup(10, 0.0)]).unwrap();
+        e.deploy_text(r#"SELECT "hi" MATCHING kinect(x > 9);"#)
+            .unwrap();
+        e.deploy_text(r#"SELECT "lo" MATCHING kinect(x < 1);"#)
+            .unwrap();
+        let ds = e
+            .run_batch("kinect", &[tup(0, 10.0), tup(10, 0.0)])
+            .unwrap();
         let mut names: Vec<_> = ds.iter().map(|d| d.gesture.as_str()).collect();
         names.sort();
         assert_eq!(names, vec!["hi", "lo"]);
@@ -361,14 +392,17 @@ mod tests {
     #[test]
     fn unknown_source_fails_deploy() {
         let e = engine_with_view();
-        let err = e.deploy_text(r#"SELECT "g" MATCHING nosuch(x > 1);"#).unwrap_err();
+        let err = e
+            .deploy_text(r#"SELECT "g" MATCHING nosuch(x > 1);"#)
+            .unwrap_err();
         assert!(matches!(err, CepError::Stream(_)), "{err}");
     }
 
     #[test]
     fn reset_runs_clears_state() {
         let e = engine_with_view();
-        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9) -> kinect(x < 1);"#).unwrap();
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9) -> kinect(x < 1);"#)
+            .unwrap();
         e.push("kinect", &tup(0, 10.0)).unwrap();
         assert_eq!(e.stats("g").unwrap().active_runs, 1);
         e.reset_runs();

@@ -45,8 +45,15 @@ impl fmt::Display for CepError {
             }
             CepError::Compile(m) => write!(f, "compile error: {m}"),
             CepError::UnknownFunction(n) => write!(f, "unknown function '{n}'"),
-            CepError::FunctionArity { name, expected, got } => {
-                write!(f, "function '{name}' expects {expected} arguments, got {got}")
+            CepError::FunctionArity {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "function '{name}' expects {expected} arguments, got {got}"
+                )
             }
             CepError::Eval(m) => write!(f, "evaluation error: {m}"),
             CepError::DuplicateQuery(n) => write!(f, "query '{n}' is already deployed"),
@@ -77,9 +84,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = CepError::Parse { offset: 12, message: "expected ')'".into() };
+        let e = CepError::Parse {
+            offset: 12,
+            message: "expected ')'".into(),
+        };
         assert_eq!(e.to_string(), "parse error at byte 12: expected ')'");
-        assert!(CepError::UnknownFunction("rpy".into()).to_string().contains("rpy"));
+        assert!(CepError::UnknownFunction("rpy".into())
+            .to_string()
+            .contains("rpy"));
         let e: CepError = StreamError::Closed.into();
         assert!(matches!(e, CepError::Stream(_)));
     }

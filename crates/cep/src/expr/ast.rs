@@ -71,7 +71,10 @@ impl BinOp {
 
     /// True for comparison operators.
     pub fn is_comparison(&self) -> bool {
-        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
     }
 
     /// True for `and`/`or`.
@@ -134,12 +137,19 @@ impl Expr {
 
     /// `abs(e)`.
     pub fn abs(e: Expr) -> Expr {
-        Expr::Call { func: "abs".into(), args: vec![e] }
+        Expr::Call {
+            func: "abs".into(),
+            args: vec![e],
+        }
     }
 
     /// Binary helper.
     pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// `lhs and rhs`.
@@ -305,7 +315,10 @@ mod tests {
             Expr::bin(
                 BinOp::Or,
                 Expr::lit(true),
-                Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::col("b")) },
+                Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(Expr::col("b")),
+                },
             ),
         );
         assert_eq!(e.to_string(), "x < 1 and (true or not b)");

@@ -139,7 +139,11 @@ fn eval_logical(
     let a_bool = match &a {
         Value::Null => None,
         Value::Bool(b) => Some(*b),
-        other => return Err(CepError::Eval(format!("non-boolean operand {other} for {op:?}"))),
+        other => {
+            return Err(CepError::Eval(format!(
+                "non-boolean operand {other} for {op:?}"
+            )))
+        }
     };
     // Kleene short circuit: false and X = false; true or X = true.
     match (op, a_bool) {
@@ -151,7 +155,11 @@ fn eval_logical(
     let b_bool = match &b {
         Value::Null => None,
         Value::Bool(b) => Some(*b),
-        other => return Err(CepError::Eval(format!("non-boolean operand {other} for {op:?}"))),
+        other => {
+            return Err(CepError::Eval(format!(
+                "non-boolean operand {other} for {op:?}"
+            )))
+        }
     };
     let out = match op {
         BinOp::And => match (a_bool, b_bool) {
@@ -312,7 +320,13 @@ mod tests {
         let s = schema();
         let t = Tuple::new(
             s,
-            vec![Value::Timestamp(0), Value::Null, Value::Float(1.0), Value::Bool(true), Value::Null],
+            vec![
+                Value::Timestamp(0),
+                Value::Null,
+                Value::Float(1.0),
+                Value::Bool(true),
+                Value::Null,
+            ],
         )
         .unwrap();
         let e = Expr::lt(Expr::col("x"), Expr::lit(50.0));
@@ -349,7 +363,13 @@ mod tests {
         let s = schema();
         let t = Tuple::new(
             s,
-            vec![Value::Timestamp(0), Value::Null, Value::Float(1.0), Value::Bool(true), Value::Null],
+            vec![
+                Value::Timestamp(0),
+                Value::Null,
+                Value::Float(1.0),
+                Value::Bool(true),
+                Value::Null,
+            ],
         )
         .unwrap();
         let reg = FunctionRegistry::with_builtins();
@@ -358,7 +378,11 @@ mod tests {
         let c = compile(&e, t.schema(), &reg).unwrap();
         assert_eq!(c.eval(&t).unwrap(), Value::Bool(false));
         // (x < 1) or true => true
-        let e = Expr::bin(BinOp::Or, Expr::lt(Expr::col("x"), Expr::lit(1.0)), Expr::lit(true));
+        let e = Expr::bin(
+            BinOp::Or,
+            Expr::lt(Expr::col("x"), Expr::lit(1.0)),
+            Expr::lit(true),
+        );
         let c = compile(&e, t.schema(), &reg).unwrap();
         assert_eq!(c.eval(&t).unwrap(), Value::Bool(true));
     }
@@ -404,9 +428,15 @@ mod tests {
     #[test]
     fn negation() {
         let t = tuple(5.0, 0.0);
-        let e = Expr::Unary { op: UnaryOp::Neg, expr: Box::new(Expr::col("x")) };
+        let e = Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(Expr::col("x")),
+        };
         assert_eq!(eval(&e, &t), Value::Float(-5.0));
-        let e = Expr::Unary { op: UnaryOp::Not, expr: Box::new(Expr::col("flag")) };
+        let e = Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(Expr::col("flag")),
+        };
         assert_eq!(eval(&e, &t), Value::Bool(false));
     }
 }

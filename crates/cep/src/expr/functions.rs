@@ -37,7 +37,11 @@ impl Arity {
             let expected = match self {
                 Arity::Exact(n) | Arity::AtLeast(n) => *n,
             };
-            Err(CepError::FunctionArity { name: name.to_owned(), expected, got })
+            Err(CepError::FunctionArity {
+                name: name.to_owned(),
+                expected,
+                got,
+            })
         }
     }
 }
@@ -73,10 +77,7 @@ fn num(name: &str, v: &Value) -> Result<Option<f64>, CepError> {
 }
 
 /// Applies `f` over all-numeric args; any `Null` argument yields `Null`.
-fn numeric_fn(
-    name: &'static str,
-    f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static,
-) -> ScalarFn {
+fn numeric_fn(name: &'static str, f: impl Fn(&[f64]) -> f64 + Send + Sync + 'static) -> ScalarFn {
     Arc::new(move |args: &[Value]| {
         let mut nums = Vec::with_capacity(args.len());
         for a in args {
@@ -92,7 +93,9 @@ fn numeric_fn(
 impl FunctionRegistry {
     /// Creates an empty registry.
     pub fn empty() -> Self {
-        Self { funcs: RwLock::new(HashMap::new()) }
+        Self {
+            funcs: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Creates a registry populated with the built-in functions.
@@ -100,13 +103,23 @@ impl FunctionRegistry {
         let reg = Self::empty();
         reg.register("abs", Arity::Exact(1), numeric_fn("abs", |a| a[0].abs()));
         reg.register("sqrt", Arity::Exact(1), numeric_fn("sqrt", |a| a[0].sqrt()));
-        reg.register("min", Arity::AtLeast(1), numeric_fn("min", |a| {
-            a.iter().copied().fold(f64::INFINITY, f64::min)
-        }));
-        reg.register("max", Arity::AtLeast(1), numeric_fn("max", |a| {
-            a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-        }));
-        reg.register("pow", Arity::Exact(2), numeric_fn("pow", |a| a[0].powf(a[1])));
+        reg.register(
+            "min",
+            Arity::AtLeast(1),
+            numeric_fn("min", |a| a.iter().copied().fold(f64::INFINITY, f64::min)),
+        );
+        reg.register(
+            "max",
+            Arity::AtLeast(1),
+            numeric_fn("max", |a| {
+                a.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            }),
+        );
+        reg.register(
+            "pow",
+            Arity::Exact(2),
+            numeric_fn("pow", |a| a[0].powf(a[1])),
+        );
         reg.register(
             "dist",
             Arity::Exact(6),
@@ -117,11 +130,17 @@ impl FunctionRegistry {
                 (dx * dx + dy * dy + dz * dz).sqrt()
             }),
         );
-        reg.register("hypot2", Arity::Exact(2), numeric_fn("hypot2", |a| a[0].hypot(a[1])));
+        reg.register(
+            "hypot2",
+            Arity::Exact(2),
+            numeric_fn("hypot2", |a| a[0].hypot(a[1])),
+        );
         reg.register(
             "hypot3",
             Arity::Exact(3),
-            numeric_fn("hypot3", |a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()),
+            numeric_fn("hypot3", |a| {
+                (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt()
+            }),
         );
         reg
     }
@@ -194,7 +213,11 @@ mod tests {
         let reg = FunctionRegistry::with_builtins();
         assert!(matches!(
             reg.resolve("abs", 2),
-            Err(CepError::FunctionArity { expected: 1, got: 2, .. })
+            Err(CepError::FunctionArity {
+                expected: 1,
+                got: 2,
+                ..
+            })
         ));
         assert!(reg.resolve("min", 3).is_ok(), "min is variadic");
         assert!(matches!(
@@ -206,7 +229,10 @@ mod tests {
     #[test]
     fn unknown_function() {
         let reg = FunctionRegistry::with_builtins();
-        assert!(matches!(reg.resolve("nope", 0), Err(CepError::UnknownFunction(_))));
+        assert!(matches!(
+            reg.resolve("nope", 0),
+            Err(CepError::UnknownFunction(_))
+        ));
     }
 
     #[test]
@@ -229,6 +255,9 @@ mod tests {
     fn non_numeric_argument_errors() {
         let reg = FunctionRegistry::with_builtins();
         let abs = reg.resolve("abs", 1).unwrap();
-        assert!(matches!(abs(&[Value::Str("x".into())]), Err(CepError::Eval(_))));
+        assert!(matches!(
+            abs(&[Value::Str("x".into())]),
+            Err(CepError::Eval(_))
+        ));
     }
 }

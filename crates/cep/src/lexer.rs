@@ -98,74 +98,125 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CepError> {
                 }
             }
             b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
-                tokens.push(Token { kind: TokenKind::Arrow, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Arrow,
+                    offset: i,
+                });
                 i += 2;
             }
             b'-' => {
-                tokens.push(Token { kind: TokenKind::Minus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             b';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    offset: i,
+                });
                 i += 1;
             }
             b'+' => {
-                tokens.push(Token { kind: TokenKind::Plus, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                tokens.push(Token { kind: TokenKind::Star, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             b'/' => {
-                tokens.push(Token { kind: TokenKind::Slash, offset: i });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             b'<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::Le, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        offset: i,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::Ge, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'=' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Eq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Eq, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Eq,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    tokens.push(Token { kind: TokenKind::Ne, offset: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(CepError::Parse {
@@ -200,7 +251,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CepError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' | b'.' => {
                 let start = i;
@@ -228,13 +282,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CepError> {
                     offset: start,
                     message: format!("invalid number '{text}'"),
                 })?;
-                tokens.push(Token { kind: TokenKind::Number(n), offset: start });
+                tokens.push(Token {
+                    kind: TokenKind::Number(n),
+                    offset: start,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 tokens.push(Token {
@@ -250,7 +305,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CepError> {
             }
         }
     }
-    tokens.push(Token { kind: TokenKind::Eof, offset: src.len() });
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: src.len(),
+    });
     Ok(tokens)
 }
 
@@ -290,44 +348,59 @@ mod tests {
 
     #[test]
     fn arrow_vs_minus_vs_comment() {
-        assert_eq!(kinds("a -> b"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Arrow,
-            TokenKind::Ident("b".into()),
-            TokenKind::Eof
-        ]);
-        assert_eq!(kinds("a - b"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Minus,
-            TokenKind::Ident("b".into()),
-            TokenKind::Eof
-        ]);
-        assert_eq!(kinds("a -- comment\nb"), vec![
-            TokenKind::Ident("a".into()),
-            TokenKind::Ident("b".into()),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("a -> b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("a - b"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Minus,
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert_eq!(
+            kinds("a -- comment\nb"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]
     fn numbers() {
-        assert_eq!(kinds("1 2.5 .5 1e3 2.5e-2"), vec![
-            TokenKind::Number(1.0),
-            TokenKind::Number(2.5),
-            TokenKind::Number(0.5),
-            TokenKind::Number(1000.0),
-            TokenKind::Number(0.025),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("1 2.5 .5 1e3 2.5e-2"),
+            vec![
+                TokenKind::Number(1.0),
+                TokenKind::Number(2.5),
+                TokenKind::Number(0.5),
+                TokenKind::Number(1000.0),
+                TokenKind::Number(0.025),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]
     fn strings_with_escapes() {
-        assert_eq!(kinds(r#""swipe_right" "a\"b""#), vec![
-            TokenKind::Str("swipe_right".into()),
-            TokenKind::Str("a\"b".into()),
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds(r#""swipe_right" "a\"b""#),
+            vec![
+                TokenKind::Str("swipe_right".into()),
+                TokenKind::Str("a\"b".into()),
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]
@@ -338,17 +411,20 @@ mod tests {
 
     #[test]
     fn comparison_operators() {
-        assert_eq!(kinds("< <= > >= = == != <>"), vec![
-            TokenKind::Lt,
-            TokenKind::Le,
-            TokenKind::Gt,
-            TokenKind::Ge,
-            TokenKind::Eq,
-            TokenKind::Eq,
-            TokenKind::Ne,
-            TokenKind::Ne,
-            TokenKind::Eof
-        ]);
+        assert_eq!(
+            kinds("< <= > >= = == != <>"),
+            vec![
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Eq,
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Ne,
+                TokenKind::Eof
+            ]
+        );
     }
 
     #[test]

@@ -65,7 +65,12 @@ impl Detection {
     }
 
     fn from_match(gesture: &str, m: NfaMatch) -> Self {
-        Self { gesture: gesture.to_owned(), ts: m.ts, started_at: m.started_at, events: m.events }
+        Self {
+            gesture: gesture.to_owned(),
+            ts: m.ts,
+            started_at: m.started_at,
+            events: m.events,
+        }
     }
 }
 
@@ -144,7 +149,11 @@ mod tests {
     use gesto_stream::{run_operator, SchemaBuilder};
 
     fn schema() -> SchemaRef {
-        SchemaBuilder::new("k").timestamp("ts").float("x").build().unwrap()
+        SchemaBuilder::new("k")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap()
     }
 
     fn tup(ts: i64, x: f64) -> Tuple {

@@ -168,11 +168,7 @@ impl Nfa {
 
     /// Feeds one tuple from `source`; returns completed matches according
     /// to the select policy.
-    pub fn advance(
-        &mut self,
-        source: &str,
-        tuple: &Tuple,
-    ) -> Result<Vec<NfaMatch>, CepError> {
+    pub fn advance(&mut self, source: &str, tuple: &Tuple) -> Result<Vec<NfaMatch>, CepError> {
         let ts = tuple.timestamp().unwrap_or(0);
         self.prune_expired(ts);
 
@@ -314,7 +310,10 @@ fn collect(
         Pattern::Event(e) => {
             let schema = resolver.schema_of(&e.source)?;
             let predicate = compile(&e.predicate, &schema, funcs)?;
-            steps.push(CompiledStep { source: e.source.clone(), predicate });
+            steps.push(CompiledStep {
+                source: e.source.clone(),
+                predicate,
+            });
             Ok(())
         }
         Pattern::Sequence(s) => {
@@ -331,7 +330,11 @@ fn collect(
             if let (Some(within), Some(from)) = (s.within_ms, first_child_last_leaf) {
                 let to = steps.len() - 1;
                 if to > from {
-                    constraints.push(TimeConstraint { from_leaf: from, to_leaf: to, within_ms: within });
+                    constraints.push(TimeConstraint {
+                        from_leaf: from,
+                        to_leaf: to,
+                        within_ms: within,
+                    });
                 }
             }
             Ok(())
@@ -346,7 +349,11 @@ mod tests {
     use gesto_stream::{SchemaBuilder, Value};
 
     fn schema() -> SchemaRef {
-        SchemaBuilder::new("k").timestamp("ts").float("x").build().unwrap()
+        SchemaBuilder::new("k")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap()
     }
 
     fn tup(ts: i64, x: f64) -> Tuple {
@@ -355,7 +362,12 @@ mod tests {
 
     fn nfa(src: &str) -> Nfa {
         let p = parse_pattern(src).unwrap();
-        Nfa::compile(&p, &SingleSchema(schema()), &FunctionRegistry::with_builtins()).unwrap()
+        Nfa::compile(
+            &p,
+            &SingleSchema(schema()),
+            &FunctionRegistry::with_builtins(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -405,7 +417,11 @@ mod tests {
     fn within_boundary_inclusive() {
         let mut n = nfa("k(x < 1) -> k(x > 9) within 1 seconds");
         n.advance("k", &tup(0, 0.5)).unwrap();
-        assert_eq!(n.advance("k", &tup(1000, 10.0)).unwrap().len(), 1, "exactly at deadline");
+        assert_eq!(
+            n.advance("k", &tup(1000, 10.0)).unwrap().len(),
+            1,
+            "exactly at deadline"
+        );
     }
 
     #[test]
@@ -481,9 +497,15 @@ mod tests {
     #[test]
     fn source_mismatch_is_ignored() {
         let mut n = nfa("a(x < 1) -> b(x > 9)");
-        assert!(n.advance("b", &tup(0, 0.5)).unwrap().is_empty(), "b tuple can't seed a-step");
+        assert!(
+            n.advance("b", &tup(0, 0.5)).unwrap().is_empty(),
+            "b tuple can't seed a-step"
+        );
         n.advance("a", &tup(10, 0.5)).unwrap();
-        assert!(n.advance("a", &tup(20, 10.0)).unwrap().is_empty(), "a tuple can't fill b-step");
+        assert!(
+            n.advance("a", &tup(20, 10.0)).unwrap().is_empty(),
+            "a tuple can't fill b-step"
+        );
         assert_eq!(n.advance("b", &tup(30, 10.0)).unwrap().len(), 1);
     }
 
@@ -520,8 +542,16 @@ mod tests {
         assert_eq!(
             n.constraints(),
             &[
-                TimeConstraint { from_leaf: 0, to_leaf: 1, within_ms: 1000 },
-                TimeConstraint { from_leaf: 1, to_leaf: 2, within_ms: 1000 },
+                TimeConstraint {
+                    from_leaf: 0,
+                    to_leaf: 1,
+                    within_ms: 1000
+                },
+                TimeConstraint {
+                    from_leaf: 1,
+                    to_leaf: 2,
+                    within_ms: 1000
+                },
             ]
         );
     }

@@ -68,7 +68,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> CepError {
-        CepError::Parse { offset: self.peek().offset, message: message.into() }
+        CepError::Parse {
+            offset: self.peek().offset,
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, kind: &TokenKind) -> Result<Token, CepError> {
@@ -97,7 +100,10 @@ impl Parser {
                 self.next();
                 Ok(())
             }
-            other => Err(self.error(format!("expected keyword '{kw}', found {}", other.describe()))),
+            other => Err(self.error(format!(
+                "expected keyword '{kw}', found {}",
+                other.describe()
+            ))),
         }
     }
 
@@ -325,13 +331,19 @@ impl Parser {
             return Ok(match e {
                 Expr::Literal(Value::Float(f)) => Expr::Literal(Value::Float(-f)),
                 Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
-                other => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(other) },
+                other => Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(other),
+                },
             });
         }
         if self.peek_keyword("not") {
             self.next();
             let e = self.unary_expr()?;
-            return Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) });
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(e),
+            });
         }
         self.primary()
     }
@@ -373,7 +385,10 @@ impl Parser {
                         }
                     }
                     self.expect(&TokenKind::RParen)?;
-                    Ok(Expr::Call { func: name.to_ascii_lowercase(), args })
+                    Ok(Expr::Call {
+                        func: name.to_ascii_lowercase(),
+                        args,
+                    })
                 } else {
                     Ok(Expr::Column(name))
                 }
@@ -501,7 +516,13 @@ mod tests {
         let e = parse_expr("dist(a, b, c, d, e, f) < 10").unwrap();
         assert!(e.to_string().starts_with("dist(a, b, c, d, e, f)"));
         let e = parse_expr("now()").unwrap();
-        assert_eq!(e, Expr::Call { func: "now".into(), args: vec![] });
+        assert_eq!(
+            e,
+            Expr::Call {
+                func: "now".into(),
+                args: vec![]
+            }
+        );
     }
 
     #[test]
@@ -521,7 +542,9 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        let q = parse_query(r#"select "g" matching kinect(TRUE) -> kinect(x < 1) WITHIN 1 SECONDS SELECT FIRST CONSUME ALL;"#);
+        let q = parse_query(
+            r#"select "g" matching kinect(TRUE) -> kinect(x < 1) WITHIN 1 SECONDS SELECT FIRST CONSUME ALL;"#,
+        );
         assert!(q.is_ok(), "{q:?}");
     }
 

@@ -107,7 +107,10 @@ pub enum Pattern {
 impl Pattern {
     /// Primitive event pattern.
     pub fn event(source: impl Into<String>, predicate: Expr) -> Pattern {
-        Pattern::Event(EventPattern { source: source.into(), predicate })
+        Pattern::Event(EventPattern {
+            source: source.into(),
+            predicate,
+        })
     }
 
     /// Sequence with the paper's default policies
@@ -223,7 +226,10 @@ pub struct Query {
 impl Query {
     /// Creates a query.
     pub fn new(name: impl Into<String>, pattern: Pattern) -> Self {
-        Self { name: name.into(), pattern }
+        Self {
+            name: name.into(),
+            pattern,
+        }
     }
 
     /// Canonical query text (parsable by [`crate::parse_query`]).

@@ -7,10 +7,10 @@
 //! simulator performs each control gesture a few times and the standard
 //! learning pipeline mines their detection queries.
 
-use gesto_kinect::{gestures, GestureSpec, NoiseModel, Performer, Persona, SkeletonFrame};
-use gesto_learn::{JointSet, LearnError, Learner, LearnerConfig};
-use gesto_learn::query_gen::{generate_query, QueryStyle};
 use gesto_cep::Query;
+use gesto_kinect::{gestures, GestureSpec, NoiseModel, Performer, Persona, SkeletonFrame};
+use gesto_learn::query_gen::{generate_query, QueryStyle};
+use gesto_learn::{JointSet, LearnError, Learner, LearnerConfig};
 use gesto_transform::{TransformConfig, Transformer};
 
 /// Reserved name of the "start recording" control gesture.
@@ -45,8 +45,10 @@ fn learn_control(
         let mut perf = Performer::new(persona, 0);
         let frames = perf.render(spec);
         let mut tr = Transformer::new(TransformConfig::default());
-        let transformed: Vec<SkeletonFrame> =
-            frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+        let transformed: Vec<SkeletonFrame> = frames
+            .iter()
+            .filter_map(|f| tr.transform_frame(f))
+            .collect();
         learner.add_sample_frames(&transformed)?;
     }
     learner.finalize(name)
@@ -101,7 +103,9 @@ mod tests {
 
         // A fresh noisy wave fires the wave control only.
         let mut perf = Performer::new(
-            Persona::reference().with_noise(NoiseModel::realistic()).with_seed(77),
+            Persona::reference()
+                .with_noise(NoiseModel::realistic())
+                .with_seed(77),
             0,
         );
         let tuples = frames_to_tuples(&perf.render(&gestures::wave()), &schema);
@@ -118,7 +122,9 @@ mod tests {
         // And a two-hand swipe fires finish.
         engine.reset_runs();
         let mut perf = Performer::new(
-            Persona::reference().with_noise(NoiseModel::realistic()).with_seed(78),
+            Persona::reference()
+                .with_noise(NoiseModel::realistic())
+                .with_seed(78),
             0,
         );
         let tuples = frames_to_tuples(&perf.render(&gestures::two_hand_swipe()), &schema);

@@ -34,7 +34,10 @@ pub struct MotionConfig {
 
 impl Default for MotionConfig {
     fn default() -> Self {
-        Self { window_ms: 500, threshold_mm: 60.0 }
+        Self {
+            window_ms: 500,
+            threshold_mm: 60.0,
+        }
     }
 }
 
@@ -48,7 +51,10 @@ pub struct MotionDetector {
 impl MotionDetector {
     /// Creates a detector.
     pub fn new(config: MotionConfig) -> Self {
-        Self { config, history: VecDeque::new() }
+        Self {
+            config,
+            history: VecDeque::new(),
+        }
     }
 
     /// Creates a detector with default settings.
@@ -64,8 +70,7 @@ impl MotionDetector {
     /// Feeds one frame, returns the current state.
     pub fn push(&mut self, frame: &SkeletonFrame) -> MotionState {
         let ts = frame.ts;
-        self.history
-            .push_back((ts, frame.joints.to_vec()));
+        self.history.push_back((ts, frame.joints.to_vec()));
         while let Some((t0, _)) = self.history.front() {
             if ts - t0 > self.config.window_ms {
                 self.history.pop_front();
@@ -180,7 +185,10 @@ mod tests {
                 MotionState::Unknown => {}
             }
         }
-        assert!(still > 30, "idle persona is mostly still ({still} still, {moving} moving)");
+        assert!(
+            still > 30,
+            "idle persona is mostly still ({still} still, {moving} moving)"
+        );
         assert_eq!(moving, 0, "jitter below threshold");
     }
 

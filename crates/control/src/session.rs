@@ -103,7 +103,9 @@ impl Session {
         if finish_applies {
             self.buffer.clear();
             self.state = SessionState::Finished;
-            events.push(SessionEvent::Finished { samples: self.samples });
+            events.push(SessionEvent::Finished {
+                samples: self.samples,
+            });
             return events;
         }
 
@@ -154,9 +156,18 @@ mod tests {
         f
     }
 
-    const NO: ControlSignals = ControlSignals { wave: false, finish: false };
-    const WAVE: ControlSignals = ControlSignals { wave: true, finish: false };
-    const FINISH: ControlSignals = ControlSignals { wave: false, finish: true };
+    const NO: ControlSignals = ControlSignals {
+        wave: false,
+        finish: false,
+    };
+    const WAVE: ControlSignals = ControlSignals {
+        wave: true,
+        finish: false,
+    };
+    const FINISH: ControlSignals = ControlSignals {
+        wave: false,
+        finish: true,
+    };
 
     #[test]
     fn full_recording_cycle() {
@@ -260,7 +271,14 @@ mod tests {
             assert!(matches!(ev[0], SessionEvent::SampleRecorded(_)));
         }
         assert_eq!(s.sample_count(), 3);
-        let ev = s.step(&frame(5000), MotionState::Still, ControlSignals { wave: true, finish: false });
+        let ev = s.step(
+            &frame(5000),
+            MotionState::Still,
+            ControlSignals {
+                wave: true,
+                finish: false,
+            },
+        );
         assert_eq!(ev, vec![SessionEvent::RecordingRequested]);
         let ev = s.step(&frame(5033), MotionState::Still, FINISH);
         assert_eq!(ev, vec![SessionEvent::Finished { samples: 3 }]);

@@ -13,7 +13,9 @@ use gesto_cep::{CepError, Engine};
 use gesto_db::GestureStore;
 use gesto_kinect::{frame_to_tuple, kinect_schema, SkeletonFrame, KINECT_STREAM};
 use gesto_learn::query_gen::{generate_query, QueryStyle};
-use gesto_learn::{GestureDefinition, GestureSample, LearnError, Learner, LearnerConfig, MergeWarning};
+use gesto_learn::{
+    GestureDefinition, GestureSample, LearnError, Learner, LearnerConfig, MergeWarning,
+};
 use gesto_stream::SchemaRef;
 use gesto_transform::{TransformConfig, Transformer};
 
@@ -143,7 +145,10 @@ impl Workflow {
     }
 
     /// Feeds one raw camera frame through the whole workflow.
-    pub fn push_frame(&mut self, frame: &SkeletonFrame) -> Result<Vec<WorkflowEvent>, WorkflowError> {
+    pub fn push_frame(
+        &mut self,
+        frame: &SkeletonFrame,
+    ) -> Result<Vec<WorkflowEvent>, WorkflowError> {
         let mut events = Vec::new();
 
         // 1. CEP engine: control gestures + deployed gesture queries.
@@ -154,7 +159,10 @@ impl Workflow {
             match d.gesture.as_str() {
                 WAVE_CONTROL => signals.wave = true,
                 FINISH_CONTROL => signals.finish = true,
-                other => events.push(WorkflowEvent::Detected { name: other.to_owned(), ts: d.ts }),
+                other => events.push(WorkflowEvent::Detected {
+                    name: other.to_owned(),
+                    ts: d.ts,
+                }),
             }
         }
 
@@ -285,7 +293,11 @@ mod tests {
         let rec = store.get("swipe_right").unwrap();
         assert_eq!(rec.samples.len(), 4);
         assert!(rec.definition.is_some());
-        assert!(rec.query_text.as_deref().unwrap_or("").contains("SELECT \"swipe_right\""));
+        assert!(rec
+            .query_text
+            .as_deref()
+            .unwrap_or("")
+            .contains("SELECT \"swipe_right\""));
 
         // Engine now detects the freshly learned gesture live. Human
         // performance variability means a 4-sample model is good but not
@@ -295,7 +307,9 @@ mod tests {
         for seed in [500u64, 501, 502] {
             engine.reset_runs();
             let mut perf = Performer::new(
-                Persona::reference().with_noise(NoiseModel::realistic()).with_seed(seed),
+                Persona::reference()
+                    .with_noise(NoiseModel::realistic())
+                    .with_seed(seed),
                 0,
             );
             let tuples = gesto_kinect::frames_to_tuples(
@@ -307,15 +321,17 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 2, "at least 2 of 3 fresh repetitions detected, got {hits}");
+        assert!(
+            hits >= 2,
+            "at least 2 of 3 fresh repetitions detected, got {hits}"
+        );
     }
 
     #[test]
     fn finalize_without_samples_is_error() {
         let engine = Arc::new(Engine::new(standard_catalog()));
         let store = Arc::new(GestureStore::new());
-        let mut wf =
-            Workflow::new(engine, store, "g", LearnerConfig::default()).unwrap();
+        let mut wf = Workflow::new(engine, store, "g", LearnerConfig::default()).unwrap();
         assert!(matches!(
             wf.finalize(),
             Err(WorkflowError::Learn(LearnError::NoSamples))
@@ -325,7 +341,9 @@ mod tests {
     #[test]
     fn single_sample_session() {
         let (_, store, events) = scripted_session(1);
-        assert!(events.iter().any(|e| matches!(e, WorkflowEvent::GestureDeployed { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, WorkflowEvent::GestureDeployed { .. })));
         assert_eq!(store.get("swipe_right").unwrap().samples.len(), 1);
     }
 }

@@ -24,7 +24,10 @@ pub enum WithinPolicy {
 
 impl Default for WithinPolicy {
     fn default() -> Self {
-        WithinPolicy::Adaptive { slack: 2.5, floor_ms: 1000 }
+        WithinPolicy::Adaptive {
+            slack: 2.5,
+            floor_ms: 1000,
+        }
     }
 }
 

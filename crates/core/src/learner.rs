@@ -49,7 +49,12 @@ impl Learner {
     /// Creates a learner.
     pub fn new(config: LearnerConfig) -> Self {
         let merge = MergeState::new(config.merge);
-        Self { config, merge, warnings: Vec::new(), last_characteristic: Vec::new() }
+        Self {
+            config,
+            merge,
+            warnings: Vec::new(),
+            last_characteristic: Vec::new(),
+        }
     }
 
     /// Creates a learner with the default configuration.
@@ -160,7 +165,10 @@ mod tests {
         let mut perf = Performer::new(persona.with_seed(seed), 0);
         let frames = perf.render(&gestures::swipe_right());
         let mut tr = Transformer::new(TransformConfig::default());
-        frames.iter().filter_map(|f| tr.transform_frame(f)).collect()
+        frames
+            .iter()
+            .filter_map(|f| tr.transform_frame(f))
+            .collect()
     }
 
     #[test]
@@ -175,8 +183,16 @@ mod tests {
         }
         assert_eq!(learner.sample_count(), 3);
         let def = learner.finalize("swipe_right").unwrap();
-        assert!(def.pose_count() >= 3, "swipe has >= 3 poses, got {}", def.pose_count());
-        assert!(def.pose_count() <= 8, "not overfitted: {}", def.pose_count());
+        assert!(
+            def.pose_count() >= 3,
+            "swipe has >= 3 poses, got {}",
+            def.pose_count()
+        );
+        assert!(
+            def.pose_count() <= 8,
+            "not overfitted: {}",
+            def.pose_count()
+        );
         assert_eq!(def.sample_count, 3);
 
         // First pose near the spec start (0, 150, -120), last near the end.
@@ -245,7 +261,10 @@ mod tests {
         );
         // Frames that never track the right hand are as good as empty.
         let frames = vec![SkeletonFrame::empty(0, 1); 10];
-        assert_eq!(learner.add_sample_frames(&frames), Err(LearnError::EmptySample));
+        assert_eq!(
+            learner.add_sample_frames(&frames),
+            Err(LearnError::EmptySample)
+        );
     }
 
     #[test]
@@ -290,11 +309,15 @@ mod tests {
         let mut perf = Performer::new(Persona::reference(), 0);
         let circle_frames = perf.render(&gestures::circle());
         let mut tr = Transformer::new(TransformConfig::default());
-        let circle_t: Vec<SkeletonFrame> =
-            circle_frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+        let circle_t: Vec<SkeletonFrame> = circle_frames
+            .iter()
+            .filter_map(|f| tr.transform_frame(f))
+            .collect();
         let warns = learner.add_sample_frames(&circle_t).unwrap();
         assert!(
-            warns.iter().any(|w| matches!(w, MergeWarning::Outlier { .. })),
+            warns
+                .iter()
+                .any(|w| matches!(w, MergeWarning::Outlier { .. })),
             "circle-as-swipe must warn: {warns:?}"
         );
         assert!(!learner.warnings().is_empty());
@@ -309,8 +332,10 @@ mod tests {
         let mut perf = Performer::new(Persona::reference(), 0);
         let frames = perf.render(&gestures::two_hand_swipe());
         let mut tr = Transformer::new(TransformConfig::default());
-        let t_frames: Vec<SkeletonFrame> =
-            frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+        let t_frames: Vec<SkeletonFrame> = frames
+            .iter()
+            .filter_map(|f| tr.transform_frame(f))
+            .collect();
         learner.add_sample_frames(&t_frames).unwrap();
         let def = learner.finalize("two_hand_swipe").unwrap();
         assert_eq!(def.joints.joints(), &[Joint::RightHand, Joint::LeftHand]);
@@ -318,7 +343,13 @@ mod tests {
         // Right hand moves right (+x), left hand moves left (-x).
         let first = &def.poses[0];
         let last = def.poses.last().unwrap();
-        assert!(last.center[0] > first.center[0] + 300.0, "right hand moved right");
-        assert!(last.center[3] < first.center[3] - 300.0, "left hand moved left");
+        assert!(
+            last.center[0] > first.center[0] + 300.0,
+            "right hand moved right"
+        );
+        assert!(
+            last.center[3] < first.center[3] - 300.0,
+            "left hand moved left"
+        );
     }
 }

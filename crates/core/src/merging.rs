@@ -69,7 +69,11 @@ pub struct MergeConfig {
 
 impl Default for MergeConfig {
     fn default() -> Self {
-        Self { outlier_budget_mm: 220.0, reject_outliers: false, metric: Metric::Euclidean }
+        Self {
+            outlier_budget_mm: 220.0,
+            reject_outliers: false,
+            metric: Metric::Euclidean,
+        }
     }
 }
 
@@ -87,7 +91,12 @@ pub struct MergeState {
 impl MergeState {
     /// Creates an empty merge state.
     pub fn new(config: MergeConfig) -> Self {
-        Self { config, windows: Vec::new(), max_transition_ms: Vec::new(), samples_merged: 0 }
+        Self {
+            config,
+            windows: Vec::new(),
+            max_transition_ms: Vec::new(),
+            samples_merged: 0,
+        }
     }
 
     /// Number of samples merged so far.
@@ -146,12 +155,19 @@ impl MergeState {
         for (pose, p) in aligned.iter().enumerate() {
             let overshoot = self.windows[pose].max_overshoot(&p.feat);
             if overshoot > self.config.outlier_budget_mm {
-                warnings.push(MergeWarning::Outlier { sample: sample_idx, pose, overshoot });
+                warnings.push(MergeWarning::Outlier {
+                    sample: sample_idx,
+                    pose,
+                    overshoot,
+                });
             }
             worst = worst.max(overshoot);
         }
         if self.config.reject_outliers && worst > self.config.outlier_budget_mm {
-            warnings.push(MergeWarning::Rejected { sample: sample_idx, overshoot: worst });
+            warnings.push(MergeWarning::Rejected {
+                sample: sample_idx,
+                overshoot: worst,
+            });
             return warnings;
         }
 
@@ -201,7 +217,11 @@ pub fn resample_to(points: &[PathPoint], n: usize, metric: Metric) -> Vec<PathPo
             seg += 1;
         }
         let span = cum[seg + 1] - cum[seg];
-        let t = if span > 0.0 { ((target - cum[seg]) / span).clamp(0.0, 1.0) } else { 0.0 };
+        let t = if span > 0.0 {
+            ((target - cum[seg]) / span).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let a = &points[seg];
         let b = &points[seg + 1];
         let feat = a
@@ -276,7 +296,10 @@ mod tests {
 
     #[test]
     fn outlier_warning_fires() {
-        let mut m = MergeState::new(MergeConfig { outlier_budget_mm: 100.0, ..Default::default() });
+        let mut m = MergeState::new(MergeConfig {
+            outlier_budget_mm: 100.0,
+            ..Default::default()
+        });
         m.add_sample(&sample(&[(0.0, 0.0), (400.0, 0.0)]));
         let warns = m.add_sample(&sample(&[(0.0, 0.0), (900.0, 0.0)]));
         assert!(
@@ -299,7 +322,9 @@ mod tests {
         });
         m.add_sample(&sample(&[(0.0, 0.0), (400.0, 0.0)]));
         let warns = m.add_sample(&sample(&[(0.0, 0.0), (900.0, 0.0)]));
-        assert!(warns.iter().any(|w| matches!(w, MergeWarning::Rejected { .. })));
+        assert!(warns
+            .iter()
+            .any(|w| matches!(w, MergeWarning::Rejected { .. })));
         assert_eq!(m.sample_count(), 1, "rejected sample not counted");
         assert!(!m.windows()[1].contains(&[900.0, 0.0, 0.0]));
     }
@@ -309,11 +334,21 @@ mod tests {
         let mut m = MergeState::new(MergeConfig::default());
         m.add_sample(&sample(&[(0.0, 0.0), (400.0, 0.0), (800.0, 0.0)]));
         // 5-point second sample along the same line.
-        let warns =
-            m.add_sample(&sample(&[(0.0, 0.0), (200.0, 0.0), (400.0, 0.0), (600.0, 0.0), (800.0, 0.0)]));
-        assert!(warns
-            .iter()
-            .any(|w| matches!(w, MergeWarning::Realigned { got: 5, expected: 3, .. })));
+        let warns = m.add_sample(&sample(&[
+            (0.0, 0.0),
+            (200.0, 0.0),
+            (400.0, 0.0),
+            (600.0, 0.0),
+            (800.0, 0.0),
+        ]));
+        assert!(warns.iter().any(|w| matches!(
+            w,
+            MergeWarning::Realigned {
+                got: 5,
+                expected: 3,
+                ..
+            }
+        )));
         assert_eq!(m.windows().len(), 3, "window count stays fixed");
         // Aligned at 0 / 400 / 800: windows stay tight.
         for w in m.windows() {

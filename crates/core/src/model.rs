@@ -124,7 +124,11 @@ impl GestureSample {
     pub fn from_frames(frames: &[SkeletonFrame], joints: &JointSet) -> Self {
         let points = frames
             .iter()
-            .filter_map(|f| joints.features_from_frame(f).map(|feat| PathPoint::new(f.ts, feat)))
+            .filter_map(|f| {
+                joints
+                    .features_from_frame(f)
+                    .map(|feat| PathPoint::new(f.ts, feat))
+            })
             .collect();
         Self { points }
     }
@@ -215,7 +219,10 @@ impl GestureDefinition {
             ));
         }
         if self.active_dim_count() == 0 {
-            return Err(format!("gesture '{}': all dimensions eliminated", self.name));
+            return Err(format!(
+                "gesture '{}': all dimensions eliminated",
+                self.name
+            ));
         }
         Ok(())
     }
@@ -272,7 +279,10 @@ mod tests {
         let def = GestureDefinition {
             name: "g".into(),
             joints: js.clone(),
-            poses: vec![PoseWindow::point(vec![0.0; 3]), PoseWindow::point(vec![1.0; 3])],
+            poses: vec![
+                PoseWindow::point(vec![0.0; 3]),
+                PoseWindow::point(vec![1.0; 3]),
+            ],
             within_ms: vec![1000],
             active_dims: vec![true, true, false],
             sample_count: 1,

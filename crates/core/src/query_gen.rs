@@ -43,11 +43,7 @@ fn offset_by_center(expr: Expr, center: f64) -> Expr {
 }
 
 /// The range predicate of one pose window.
-pub fn pose_predicate(
-    def: &GestureDefinition,
-    pose: &PoseWindow,
-    style: QueryStyle,
-) -> Expr {
+pub fn pose_predicate(def: &GestureDefinition, pose: &PoseWindow, style: QueryStyle) -> Expr {
     let mut terms = Vec::new();
     for d in 0..def.joints.dims() {
         if !def.active_dims[d] {
@@ -134,7 +130,10 @@ mod tests {
         assert!(text.contains("abs(rHand_x - torso_x - 400) < 50"), "{text}");
         assert!(text.contains("abs(rHand_z - torso_z + 120) < 50"), "{text}");
         assert!(text.contains("abs(rHand_z - torso_z + 420) < 50"), "{text}");
-        assert!(text.contains("within 1 seconds select first consume all"), "{text}");
+        assert!(
+            text.contains("within 1 seconds select first consume all"),
+            "{text}"
+        );
         assert!(text.contains("kinect("), "{text}");
     }
 

@@ -73,8 +73,7 @@ pub fn sample_path(points: &[PathPoint], strategy: Strategy) -> Vec<PathPoint> {
     match strategy {
         Strategy::EveryN(n) => {
             let n = n.max(1);
-            let mut out: Vec<PathPoint> =
-                points.iter().step_by(n).cloned().collect();
+            let mut out: Vec<PathPoint> = points.iter().step_by(n).cloned().collect();
             if let (Some(last_out), Some(last_in)) = (out.last(), points.last()) {
                 if last_out.ts != last_in.ts {
                     out.push(last_in.clone());
@@ -99,9 +98,11 @@ pub fn sample_path(points: &[PathPoint], strategy: Strategy) -> Vec<PathPoint> {
             }
             out
         }
-        Strategy::DistanceBased { metric, threshold, centroid } => {
-            distance_based(points, metric, threshold, centroid)
-        }
+        Strategy::DistanceBased {
+            metric,
+            threshold,
+            centroid,
+        } => distance_based(points, metric, threshold, centroid),
     }
 }
 
@@ -213,7 +214,10 @@ mod tests {
         let coarse = sample_path(&pts, strat(0.5)).len();
         let medium = sample_path(&pts, strat(0.25)).len();
         let fine = sample_path(&pts, strat(0.1)).len();
-        assert!(coarse <= medium && medium <= fine, "{coarse} {medium} {fine}");
+        assert!(
+            coarse <= medium && medium <= fine,
+            "{coarse} {medium} {fine}"
+        );
         assert!(coarse >= 2, "at least start+end");
         assert!(fine <= pts.len());
     }

@@ -56,7 +56,9 @@ impl OverlapReport {
     /// window intersection or along the movement path (the actionable
     /// conflicts).
     pub fn conflicts(&self) -> impl Iterator<Item = &PairOverlap> {
-        self.pairs.iter().filter(|p| p.b_subsumed_in_a || p.b_on_a_path)
+        self.pairs
+            .iter()
+            .filter(|p| p.b_subsumed_in_a || p.b_on_a_path)
     }
 
     /// True when no windows intersect anywhere.
@@ -247,8 +249,16 @@ pub fn eliminate_irrelevant_dims(
         if !def.active_dims[d] {
             continue;
         }
-        let lo = def.poses.iter().map(|p| p.center[d]).fold(f64::MAX, f64::min);
-        let hi = def.poses.iter().map(|p| p.center[d]).fold(f64::MIN, f64::max);
+        let lo = def
+            .poses
+            .iter()
+            .map(|p| p.center[d])
+            .fold(f64::MAX, f64::min);
+        let hi = def
+            .poses
+            .iter()
+            .map(|p| p.center[d])
+            .fold(f64::MIN, f64::max);
         if hi - lo < min_center_range_mm {
             // Keep at least one active dimension.
             let still_active = def.active_dims.iter().filter(|b| **b).count();
@@ -364,7 +374,11 @@ mod tests {
     #[test]
     fn prefix_gesture_is_subsumed() {
         // b = first two poses of a: any a-movement fires b.
-        let a = def("a", &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0], [800.0, 0.0, 0.0]], 60.0);
+        let a = def(
+            "a",
+            &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0], [800.0, 0.0, 0.0]],
+            60.0,
+        );
         let b = def("b", &[[0.0, 0.0, 0.0], [400.0, 0.0, 0.0]], 60.0);
         let p = analyze_pair(&a, &b);
         assert!(p.any_overlap());
@@ -388,11 +402,19 @@ mod tests {
         );
         let b = def(
             "prefix",
-            &[[0.0, 0.0, 0.0], [130.0, 0.0, 0.0], [260.0, 0.0, 0.0], [400.0, 0.0, 0.0]],
+            &[
+                [0.0, 0.0, 0.0],
+                [130.0, 0.0, 0.0],
+                [260.0, 0.0, 0.0],
+                [400.0, 0.0, 0.0],
+            ],
             50.0,
         );
         let p = analyze_pair(&a, &b);
-        assert!(!p.b_subsumed_in_a, "window subsumption misses the finer prefix");
+        assert!(
+            !p.b_subsumed_in_a,
+            "window subsumption misses the finer prefix"
+        );
         assert!(p.b_on_a_path, "path subsumption catches it");
         // The reverse: a's later poses (800) never lie on b's path.
         let q = analyze_pair(&b, &a);
@@ -406,16 +428,25 @@ mod tests {
     fn path_subsumption_respects_order() {
         let a = def("a", &[[0.0, 0.0, 0.0], [800.0, 0.0, 0.0]], 10.0);
         let rev = def("rev", &[[700.0, 0.0, 0.0], [100.0, 0.0, 0.0]], 10.0);
-        assert!(!analyze_pair(&a, &rev).b_on_a_path, "reverse order not on path");
+        assert!(
+            !analyze_pair(&a, &rev).b_on_a_path,
+            "reverse order not on path"
+        );
         let fwd = def("fwd", &[[100.0, 0.0, 0.0], [700.0, 0.0, 0.0]], 10.0);
-        assert!(analyze_pair(&a, &fwd).b_on_a_path, "forward mid-points on path");
+        assert!(
+            analyze_pair(&a, &fwd).b_on_a_path,
+            "forward mid-points on path"
+        );
     }
 
     #[test]
     fn path_subsumption_single_pose_cases() {
         let a = def("a", &[[0.0, 0.0, 0.0]], 50.0);
         let inside = def("i", &[[10.0, 0.0, 0.0]], 100.0);
-        assert!(analyze_pair(&a, &inside).b_on_a_path, "centre inside window");
+        assert!(
+            analyze_pair(&a, &inside).b_on_a_path,
+            "centre inside window"
+        );
         let outside = def("o", &[[500.0, 0.0, 0.0]], 50.0);
         assert!(!analyze_pair(&a, &outside).b_on_a_path);
     }
@@ -484,7 +515,11 @@ mod tests {
         // z constant, x sweeps: z eliminated, x kept.
         let mut d = def(
             "g",
-            &[[0.0, 0.0, -120.0], [400.0, 5.0, -120.0], [800.0, -3.0, -121.0]],
+            &[
+                [0.0, 0.0, -120.0],
+                [400.0, 5.0, -120.0],
+                [800.0, -3.0, -121.0],
+            ],
             50.0,
         );
         let dropped = eliminate_irrelevant_dims(&mut d, 60.0);
@@ -525,6 +560,9 @@ mod tests {
     fn no_separation_for_identical_gestures() {
         let a = def("a", &[[0.0, 0.0, 0.0]], 50.0);
         let b = def("b", &[[0.0, 0.0, 0.0]], 50.0);
-        assert!(suggest_separation(&a, &b).is_none(), "no dimension separates clones");
+        assert!(
+            suggest_separation(&a, &b).is_none(),
+            "no dimension separates clones"
+        );
     }
 }

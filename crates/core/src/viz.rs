@@ -34,7 +34,12 @@ struct Bounds {
 }
 
 fn bounds(def: &GestureDefinition, path: &[PathPoint], proj: Projection) -> Bounds {
-    let mut b = Bounds { min_x: f64::MAX, max_x: f64::MIN, min_y: f64::MAX, max_y: f64::MIN };
+    let mut b = Bounds {
+        min_x: f64::MAX,
+        max_x: f64::MIN,
+        min_y: f64::MAX,
+        max_y: f64::MIN,
+    };
     for p in &def.poses {
         b.min_x = b.min_x.min(p.min(proj.x_dim));
         b.max_x = b.max_x.max(p.max(proj.x_dim));
@@ -138,7 +143,13 @@ pub fn svg(def: &GestureDefinition, path: &[PathPoint], width_px: usize) -> Stri
     if path.len() >= 2 {
         let pts: Vec<String> = path
             .iter()
-            .map(|p| format!("{:.1},{:.1}", sx(p.feat[proj.x_dim]), sy(p.feat[proj.y_dim])))
+            .map(|p| {
+                format!(
+                    "{:.1},{:.1}",
+                    sx(p.feat[proj.x_dim]),
+                    sy(p.feat[proj.y_dim])
+                )
+            })
             .collect();
         let _ = writeln!(
             out,

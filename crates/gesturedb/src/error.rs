@@ -32,7 +32,10 @@ impl fmt::Display for DbError {
         match self {
             DbError::InvalidDefinition(m) => write!(f, "invalid gesture definition: {m}"),
             DbError::Version { found, supported } => {
-                write!(f, "snapshot version {found} unsupported (supported: {supported})")
+                write!(
+                    f,
+                    "snapshot version {found} unsupported (supported: {supported})"
+                )
             }
             DbError::Io(m) => write!(f, "io error: {m}"),
             DbError::Serde(e) => write!(f, "serialisation error: {e}"),
@@ -63,9 +66,17 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(DbError::Io("nope".into()).to_string().contains("nope"));
-        assert!(DbError::Version { found: 2, supported: 1 }.to_string().contains("2"));
-        assert!(DbError::Csv { line: 7, message: "bad".into() }
-            .to_string()
-            .contains("line 7"));
+        assert!(DbError::Version {
+            found: 2,
+            supported: 1
+        }
+        .to_string()
+        .contains("2"));
+        assert!(DbError::Csv {
+            line: 7,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 7"));
     }
 }

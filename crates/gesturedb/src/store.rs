@@ -81,7 +81,10 @@ impl GestureStore {
 
     /// The learned definition of a gesture.
     pub fn definition(&self, name: &str) -> Option<GestureDefinition> {
-        self.inner.read().get(name).and_then(|r| r.definition.clone())
+        self.inner
+            .read()
+            .get(name)
+            .and_then(|r| r.definition.clone())
     }
 
     /// All stored definitions (for cross-checks).
@@ -124,19 +127,24 @@ impl GestureStore {
 
     /// Snapshot for persistence.
     pub fn snapshot(&self) -> StoreSnapshot {
-        StoreSnapshot { version: SNAPSHOT_VERSION, gestures: self.inner.read().clone() }
+        StoreSnapshot {
+            version: SNAPSHOT_VERSION,
+            gestures: self.inner.read().clone(),
+        }
     }
 
     /// Restores from a snapshot (replaces current contents).
     pub fn restore(&self, snapshot: StoreSnapshot) -> Result<(), DbError> {
         if snapshot.version != SNAPSHOT_VERSION {
-            return Err(DbError::Version { found: snapshot.version, supported: SNAPSHOT_VERSION });
+            return Err(DbError::Version {
+                found: snapshot.version,
+                supported: SNAPSHOT_VERSION,
+            });
         }
         for (name, rec) in &snapshot.gestures {
             if let Some(def) = &rec.definition {
-                def.validate().map_err(|e| {
-                    DbError::InvalidDefinition(format!("gesture '{name}': {e}"))
-                })?;
+                def.validate()
+                    .map_err(|e| DbError::InvalidDefinition(format!("gesture '{name}': {e}")))?;
             }
         }
         *self.inner.write() = snapshot.gestures;
@@ -209,7 +217,10 @@ mod tests {
         let store = GestureStore::new();
         let mut bad = def("x");
         bad.within_ms.clear();
-        assert!(matches!(store.put_definition(bad), Err(DbError::InvalidDefinition(_))));
+        assert!(matches!(
+            store.put_definition(bad),
+            Err(DbError::InvalidDefinition(_))
+        ));
         assert!(store.definition("x").is_none());
     }
 
@@ -240,8 +251,14 @@ mod tests {
     #[test]
     fn version_mismatch_rejected() {
         let store = GestureStore::new();
-        let snap = StoreSnapshot { version: 99, gestures: BTreeMap::new() };
-        assert!(matches!(store.restore(snap), Err(DbError::Version { found: 99, .. })));
+        let snap = StoreSnapshot {
+            version: 99,
+            gestures: BTreeMap::new(),
+        };
+        assert!(matches!(
+            store.restore(snap),
+            Err(DbError::Version { found: 99, .. })
+        ));
     }
 
     #[test]
@@ -258,7 +275,10 @@ mod tests {
         let loaded = GestureStore::load(&path).unwrap();
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded.definition("swipe"), Some(def("swipe")));
-        assert_eq!(loaded.get("swipe").unwrap().query_text.as_deref(), Some("Q"));
+        assert_eq!(
+            loaded.get("swipe").unwrap().query_text.as_deref(),
+            Some("Q")
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -52,7 +52,10 @@ pub fn frames(start_ts: i64) -> Vec<SkeletonFrame> {
 
 /// The trace as `kinect` tuples.
 pub fn tuples(start_ts: i64, schema: &SchemaRef) -> Vec<Tuple> {
-    frames(start_ts).iter().map(|f| frame_to_tuple(f, schema)).collect()
+    frames(start_ts)
+        .iter()
+        .map(|f| frame_to_tuple(f, schema))
+        .collect()
 }
 
 /// Right-hand positions relative to the torso (the coordinates the Fig. 1
@@ -104,6 +107,9 @@ mod tests {
         assert_eq!(ts.len(), 19);
         assert_eq!(ts[0].f64("torso_x"), Some(45.21));
         assert_eq!(ts[0].f64("rHand_z"), Some(1822.28));
-        assert!(ts[0].get_by_name("lHand_x").unwrap().is_null(), "untracked joints null");
+        assert!(
+            ts[0].get_by_name("lHand_x").unwrap().is_null(),
+            "untracked joints null"
+        );
     }
 }

@@ -33,12 +33,7 @@ pub struct GestureSpec {
 
 impl GestureSpec {
     /// Single-joint gesture.
-    pub fn single(
-        name: impl Into<String>,
-        joint: Joint,
-        path: PathSpec,
-        duration_ms: i64,
-    ) -> Self {
+    pub fn single(name: impl Into<String>, joint: Joint, path: PathSpec, duration_ms: i64) -> Self {
         Self {
             name: name.into(),
             channels: vec![(joint, path)],

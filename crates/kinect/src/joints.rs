@@ -50,7 +50,10 @@ pub const ALL_JOINTS: [Joint; JOINT_COUNT] = [
 impl Joint {
     /// Canonical index in [`ALL_JOINTS`].
     pub fn index(&self) -> usize {
-        ALL_JOINTS.iter().position(|j| j == self).expect("joint in ALL_JOINTS")
+        ALL_JOINTS
+            .iter()
+            .position(|j| j == self)
+            .expect("joint in ALL_JOINTS")
     }
 
     /// Field-name prefix used in tuple schemas (paper style: `rHand`,
@@ -97,7 +100,11 @@ pub struct SkeletonFrame {
 impl SkeletonFrame {
     /// Creates a frame with all joints missing.
     pub fn empty(ts: i64, player: i64) -> Self {
-        Self { ts, player, joints: [None; JOINT_COUNT] }
+        Self {
+            ts,
+            player,
+            joints: [None; JOINT_COUNT],
+        }
     }
 
     /// Position of a joint.

@@ -50,7 +50,12 @@ impl NoiseModel {
 
     /// Sensor noise only (jitter + sway), perfectly repeatable movement.
     pub fn sensor_only() -> Self {
-        Self { jitter_mm: 4.0, dropout_prob: 0.0, sway_mm: 1.5, ..Self::NONE }
+        Self {
+            jitter_mm: 4.0,
+            dropout_prob: 0.0,
+            sway_mm: 1.5,
+            ..Self::NONE
+        }
     }
 
     /// Typical live conditions: sensor noise plus human performance
@@ -229,9 +234,8 @@ impl Performer {
         } else {
             1.0
         };
-        let duration = ((spec.duration_ms as f64 / (self.persona.tempo * tempo_mult)).round()
-            as i64)
-            .max(33);
+        let duration =
+            ((spec.duration_ms as f64 / (self.persona.tempo * tempo_mult)).round() as i64).max(33);
         let n_in = self.clock.frames_for(lead_in_ms);
         let n_move = self.clock.frames_for(duration).max(2);
         let n_out = self.clock.frames_for(lead_out_ms);
@@ -291,8 +295,16 @@ impl Performer {
             frame.set_joint(j, torso + right * g.x + up * g.y + backward * g.z + sway);
         };
         set_rel(&mut frame, Joint::Torso, Vec3::ZERO);
-        set_rel(&mut frame, Joint::Head, Vec3::new(0.0, rel_h(body.head_h), 0.0));
-        set_rel(&mut frame, Joint::Neck, Vec3::new(0.0, rel_h(body.neck_h), 0.0));
+        set_rel(
+            &mut frame,
+            Joint::Head,
+            Vec3::new(0.0, rel_h(body.head_h), 0.0),
+        );
+        set_rel(
+            &mut frame,
+            Joint::Neck,
+            Vec3::new(0.0, rel_h(body.neck_h), 0.0),
+        );
         set_rel(
             &mut frame,
             Joint::RightShoulder,
@@ -303,16 +315,44 @@ impl Performer {
             Joint::LeftShoulder,
             Vec3::new(-body.shoulder_half_w, rel_h(body.shoulder_h), 0.0),
         );
-        set_rel(&mut frame, Joint::RightHip, Vec3::new(body.hip_half_w, rel_h(body.hip_h), 0.0));
-        set_rel(&mut frame, Joint::LeftHip, Vec3::new(-body.hip_half_w, rel_h(body.hip_h), 0.0));
-        set_rel(&mut frame, Joint::RightKnee, Vec3::new(body.hip_half_w, rel_h(body.knee_h), 0.0));
-        set_rel(&mut frame, Joint::LeftKnee, Vec3::new(-body.hip_half_w, rel_h(body.knee_h), 0.0));
-        set_rel(&mut frame, Joint::RightFoot, Vec3::new(body.hip_half_w, rel_h(body.foot_h), 30.0));
-        set_rel(&mut frame, Joint::LeftFoot, Vec3::new(-body.hip_half_w, rel_h(body.foot_h), 30.0));
+        set_rel(
+            &mut frame,
+            Joint::RightHip,
+            Vec3::new(body.hip_half_w, rel_h(body.hip_h), 0.0),
+        );
+        set_rel(
+            &mut frame,
+            Joint::LeftHip,
+            Vec3::new(-body.hip_half_w, rel_h(body.hip_h), 0.0),
+        );
+        set_rel(
+            &mut frame,
+            Joint::RightKnee,
+            Vec3::new(body.hip_half_w, rel_h(body.knee_h), 0.0),
+        );
+        set_rel(
+            &mut frame,
+            Joint::LeftKnee,
+            Vec3::new(-body.hip_half_w, rel_h(body.knee_h), 0.0),
+        );
+        set_rel(
+            &mut frame,
+            Joint::RightFoot,
+            Vec3::new(body.hip_half_w, rel_h(body.foot_h), 30.0),
+        );
+        set_rel(
+            &mut frame,
+            Joint::LeftFoot,
+            Vec3::new(-body.hip_half_w, rel_h(body.foot_h), 30.0),
+        );
 
         // Hands: rest pose unless a channel drives them.
         let rest_r = Vec3::new(body.shoulder_half_w + 40.0, rel_h(body.hip_h) - 60.0, -70.0);
-        let rest_l = Vec3::new(-(body.shoulder_half_w + 40.0), rel_h(body.hip_h) - 60.0, -70.0);
+        let rest_l = Vec3::new(
+            -(body.shoulder_half_w + 40.0),
+            rel_h(body.hip_h) - 60.0,
+            -70.0,
+        );
         let mut r_hand = torso + right * rest_r.x + up * rest_r.y + backward * rest_r.z + sway;
         let mut l_hand = torso + right * rest_l.x + up * rest_l.y + backward * rest_l.z + sway;
         for (joint, path) in &spec.channels {
@@ -382,7 +422,11 @@ mod tests {
     fn render_produces_30hz_frames() {
         let mut perf = Performer::new(Persona::reference(), 0);
         let frames = perf.render(&swipe_right());
-        assert!(frames.len() >= 25, "900ms at 30Hz ≈ 27 frames, got {}", frames.len());
+        assert!(
+            frames.len() >= 25,
+            "900ms at 30Hz ≈ 27 frames, got {}",
+            frames.len()
+        );
         assert_eq!(frames[0].ts, 0);
         for w in frames.windows(2) {
             let dt = w[1].ts - w[0].ts;
@@ -447,10 +491,7 @@ mod tests {
 
     #[test]
     fn yaw_rotates_movement_direction() {
-        let mut perf = Performer::new(
-            Persona::reference().rotated(std::f64::consts::FRAC_PI_2),
-            0,
-        );
+        let mut perf = Performer::new(Persona::reference().rotated(std::f64::consts::FRAC_PI_2), 0);
         let frames = perf.render(&swipe_right());
         let dx = frames.last().unwrap().joint(Joint::RightHand).unwrap().x
             - frames[0].joint(Joint::RightHand).unwrap().x;

@@ -135,6 +135,9 @@ mod tests {
         assert!(t.get_by_name("rHand_x").unwrap().is_null());
         assert_eq!(t.f64("torso_y"), Some(2.0));
         assert_eq!(joint_from_tuple(&t, Joint::RightHand, ""), None);
-        assert_eq!(joint_from_tuple(&t, Joint::Torso, ""), Some(Vec3::new(1.0, 2.0, 3.0)));
+        assert_eq!(
+            joint_from_tuple(&t, Joint::Torso, ""),
+            Some(Vec3::new(1.0, 2.0, 3.0))
+        );
     }
 }

@@ -79,7 +79,12 @@ impl PathSpec {
             PathSpec::Hold(p) => *p,
             PathSpec::Waypoints(pts) => waypoint_at(pts, u),
             PathSpec::Spline(pts) => spline_at(pts, u),
-            PathSpec::Circle { center, radius, start_angle, turns } => {
+            PathSpec::Circle {
+                center,
+                radius,
+                start_angle,
+                turns,
+            } => {
                 let angle = start_angle + u * turns * std::f64::consts::TAU;
                 Vec3::new(
                     center.x + radius * angle.cos(),
@@ -87,7 +92,11 @@ impl PathSpec {
                     center.z,
                 )
             }
-            PathSpec::Oscillation { center, amplitude, cycles } => {
+            PathSpec::Oscillation {
+                center,
+                amplitude,
+                cycles,
+            } => {
                 let phase = u * cycles * std::f64::consts::TAU;
                 Vec3::new(center.x + amplitude * phase.sin(), center.y, center.z)
             }
@@ -137,7 +146,11 @@ fn waypoint_at(pts: &[Vec3], u: f64) -> Vec3 {
             let mut target = u * total;
             for (i, l) in seg_lens.iter().enumerate() {
                 if target <= *l || i == seg_lens.len() - 1 {
-                    let t = if *l > 0.0 { (target / l).clamp(0.0, 1.0) } else { 0.0 };
+                    let t = if *l > 0.0 {
+                        (target / l).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
                     return pts[i].lerp(&pts[i + 1], t);
                 }
                 target -= l;

@@ -154,7 +154,11 @@ mod tests {
     use crate::schema::SchemaBuilder;
 
     fn base() -> SchemaRef {
-        SchemaBuilder::new("kinect").timestamp("ts").float("x").build().unwrap()
+        SchemaBuilder::new("kinect")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap()
     }
 
     fn view_over(name: &str, input: &str, schema: SchemaRef) -> ViewDef {
@@ -193,16 +197,28 @@ mod tests {
     fn view_requires_existing_input() {
         let cat = Catalog::new();
         let v = view_over("v", "missing", base());
-        assert!(matches!(cat.register_view(v), Err(StreamError::UnknownStream(_))));
+        assert!(matches!(
+            cat.register_view(v),
+            Err(StreamError::UnknownStream(_))
+        ));
     }
 
     #[test]
     fn resolve_walks_view_chain() {
         let cat = Catalog::new();
         cat.register_stream(base()).unwrap();
-        let s = SchemaBuilder::new("kinect_t").timestamp("ts").float("x").build().unwrap();
-        cat.register_view(view_over("kinect_t", "kinect", s.clone())).unwrap();
-        let s2 = SchemaBuilder::new("k2").timestamp("ts").float("x").build().unwrap();
+        let s = SchemaBuilder::new("kinect_t")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
+        cat.register_view(view_over("kinect_t", "kinect", s.clone()))
+            .unwrap();
+        let s2 = SchemaBuilder::new("k2")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
         cat.register_view(view_over("k2", "kinect_t", s2)).unwrap();
 
         let (root, chain) = cat.resolve("k2").unwrap();
@@ -219,8 +235,16 @@ mod tests {
     fn names_sorted_streams_then_views() {
         let cat = Catalog::new();
         cat.register_stream(base()).unwrap();
-        let s = SchemaBuilder::new("kinect_t").timestamp("ts").float("x").build().unwrap();
-        cat.register_view(view_over("kinect_t", "kinect", s)).unwrap();
-        assert_eq!(cat.names(), vec!["kinect".to_string(), "kinect_t".to_string()]);
+        let s = SchemaBuilder::new("kinect_t")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
+        cat.register_view(view_over("kinect_t", "kinect", s))
+            .unwrap();
+        assert_eq!(
+            cat.names(),
+            vec!["kinect".to_string(), "kinect_t".to_string()]
+        );
     }
 }

@@ -50,11 +50,19 @@ impl fmt::Display for StreamError {
             StreamError::UnknownField { schema, field } => {
                 write!(f, "unknown field '{field}' in schema '{schema}'")
             }
-            StreamError::TypeMismatch { schema, field, value } => write!(
+            StreamError::TypeMismatch {
+                schema,
+                field,
+                value,
+            } => write!(
                 f,
                 "type mismatch in '{schema}.{field}': value {value} does not conform"
             ),
-            StreamError::Arity { schema, expected, got } => write!(
+            StreamError::Arity {
+                schema,
+                expected,
+                got,
+            } => write!(
                 f,
                 "arity mismatch for schema '{schema}': expected {expected} values, got {got}"
             ),
@@ -80,9 +88,13 @@ mod tests {
             StreamError::UnknownStream("k".into()).to_string(),
             "unknown stream or view 'k'"
         );
-        assert!(StreamError::Arity { schema: "s".into(), expected: 2, got: 3 }
-            .to_string()
-            .contains("expected 2"));
+        assert!(StreamError::Arity {
+            schema: "s".into(),
+            expected: 2,
+            got: 3
+        }
+        .to_string()
+        .contains("expected 2"));
         assert!(StreamError::Closed.to_string().contains("closed"));
     }
 }

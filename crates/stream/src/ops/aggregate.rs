@@ -116,7 +116,11 @@ impl SlidingAggregate {
             }
             field_indices.push(i);
             for a in aggs {
-                let ty = if *a == AggFn::Count { ValueType::Int } else { ValueType::Float };
+                let ty = if *a == AggFn::Count {
+                    ValueType::Int
+                } else {
+                    ValueType::Float
+                };
                 out_fields.push(Field::new(format!("{f}_{}", a.suffix()), ty));
             }
         }
@@ -185,7 +189,11 @@ mod tests {
     use crate::schema::SchemaBuilder;
 
     fn input() -> (SchemaRef, Vec<Tuple>) {
-        let schema = SchemaBuilder::new("s").timestamp("ts").float("x").build().unwrap();
+        let schema = SchemaBuilder::new("s")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
         let tuples = (0..6)
             .map(|i| {
                 Tuple::new(
@@ -202,7 +210,12 @@ mod tests {
     fn sliding_avg() {
         let (schema, tuples) = input();
         let mut op = SlidingAggregate::new(
-            "agg", &schema, &["x"], &[AggFn::Avg], 3, WindowMode::Sliding,
+            "agg",
+            &schema,
+            &["x"],
+            &[AggFn::Avg],
+            3,
+            WindowMode::Sliding,
         )
         .unwrap();
         let out = run_operator(&mut op, &tuples);
@@ -217,7 +230,12 @@ mod tests {
     fn tumbling_flushes_partial_window() {
         let (schema, tuples) = input();
         let mut op = SlidingAggregate::new(
-            "agg", &schema, &["x"], &[AggFn::Sum, AggFn::Count], 4, WindowMode::Tumbling,
+            "agg",
+            &schema,
+            &["x"],
+            &[AggFn::Sum, AggFn::Count],
+            4,
+            WindowMode::Tumbling,
         )
         .unwrap();
         let out = run_operator(&mut op, &tuples);
@@ -246,7 +264,12 @@ mod tests {
     fn rejects_non_numeric_field() {
         let schema = SchemaBuilder::new("s").str("tag").build().unwrap();
         assert!(SlidingAggregate::new(
-            "agg", &schema, &["tag"], &[AggFn::Avg], 2, WindowMode::Sliding
+            "agg",
+            &schema,
+            &["tag"],
+            &[AggFn::Avg],
+            2,
+            WindowMode::Sliding
         )
         .is_err());
     }

@@ -18,7 +18,11 @@ impl FilterOp {
         schema: SchemaRef,
         pred: impl FnMut(&Tuple) -> bool + Send + 'static,
     ) -> Self {
-        Self { name: name.into(), schema, pred: Box::new(pred) }
+        Self {
+            name: name.into(),
+            schema,
+            pred: Box::new(pred),
+        }
     }
 }
 

@@ -25,7 +25,11 @@ impl MapOp {
         schema: SchemaRef,
         f: impl FnMut(&Tuple) -> Option<Tuple> + Send + 'static,
     ) -> Self {
-        Self { name: name.into(), schema, f: Box::new(f) }
+        Self {
+            name: name.into(),
+            schema,
+            f: Box::new(f),
+        }
     }
 }
 
@@ -62,7 +66,10 @@ mod tests {
             if x < 0.0 {
                 return None;
             }
-            Some(Tuple::new_unchecked(out_schema.clone(), vec![Value::Float(x * 2.0)]))
+            Some(Tuple::new_unchecked(
+                out_schema.clone(),
+                vec![Value::Float(x * 2.0)],
+            ))
         });
         let mk = |x: f64| Tuple::new(schema.clone(), vec![Value::Float(x)]).unwrap();
         let out = run_operator(&mut op, &[mk(1.0), mk(-1.0), mk(3.0)]);

@@ -31,7 +31,11 @@ impl ProjectOp {
             .iter()
             .map(|f| input.require(f))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { name: name.into(), schema, indices })
+        Ok(Self {
+            name: name.into(),
+            schema,
+            indices,
+        })
     }
 }
 
@@ -63,7 +67,12 @@ mod tests {
 
     #[test]
     fn projects_and_reorders() {
-        let schema = SchemaBuilder::new("s").int("a").int("b").int("c").build().unwrap();
+        let schema = SchemaBuilder::new("s")
+            .int("a")
+            .int("b")
+            .int("c")
+            .build()
+            .unwrap();
         let mut op = ProjectOp::new("p", &schema, "p", &["c", "a"]).unwrap();
         let t = Tuple::new(schema, vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap();
         let out = run_operator(&mut op, &[t]);

@@ -18,7 +18,12 @@ pub struct EveryN {
 impl EveryN {
     /// Creates a decimator keeping 1 of every `n` tuples (`n >= 1`).
     pub fn new(name: impl Into<String>, schema: SchemaRef, n: usize) -> Self {
-        Self { name: name.into(), schema, n: n.max(1), count: 0 }
+        Self {
+            name: name.into(),
+            schema,
+            n: n.max(1),
+            count: 0,
+        }
     }
 }
 

@@ -22,7 +22,11 @@ impl CallbackSink {
         schema: SchemaRef,
         f: impl FnMut(&Tuple) + Send + 'static,
     ) -> Self {
-        Self { name: name.into(), schema, f: Box::new(f) }
+        Self {
+            name: name.into(),
+            schema,
+            f: Box::new(f),
+        }
     }
 }
 
@@ -52,7 +56,14 @@ impl CollectSink {
     /// Creates a collector plus the shared handle to read results from.
     pub fn new(name: impl Into<String>, schema: SchemaRef) -> (Self, Arc<Mutex<Vec<Tuple>>>) {
         let out = Arc::new(Mutex::new(Vec::new()));
-        (Self { name: name.into(), schema, out: out.clone() }, out)
+        (
+            Self {
+                name: name.into(),
+                schema,
+                out: out.clone(),
+            },
+            out,
+        )
     }
 }
 

@@ -19,7 +19,10 @@ impl CountWindow {
     /// Creates a window holding at most `capacity` tuples (`capacity >= 1`).
     pub fn new(capacity: usize) -> Self {
         let capacity = capacity.max(1);
-        Self { buf: VecDeque::with_capacity(capacity), capacity }
+        Self {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Pushes a tuple, evicting the oldest when full. Returns the evicted

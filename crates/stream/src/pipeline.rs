@@ -19,7 +19,10 @@ impl Chain {
     /// Creates an empty (identity) chain; it needs at least one operator
     /// before `output_schema` is meaningful.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), ops: Vec::new() }
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
     }
 
     /// Appends an operator stage.
@@ -156,7 +159,9 @@ mod tests {
                     vec![Value::Float(t.f64("x").unwrap() + 1.0)],
                 ))
             }))
-            .then(FilterOp::new("pos", schema.clone(), |t| t.f64("x").unwrap() > 0.0));
+            .then(FilterOp::new("pos", schema.clone(), |t| {
+                t.f64("x").unwrap() > 0.0
+            }));
 
         let mk = |x: f64| Tuple::new(schema.clone(), vec![Value::Float(x)]).unwrap();
         let out = chain.run(&[mk(-2.0), mk(0.0), mk(5.0)]);
@@ -191,9 +196,18 @@ mod tests {
     #[test]
     fn finish_flushes_buffered_stages() {
         use crate::ops::{AggFn, SlidingAggregate, WindowMode};
-        let schema = SchemaBuilder::new("s").timestamp("ts").float("x").build().unwrap();
+        let schema = SchemaBuilder::new("s")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
         let agg = SlidingAggregate::new(
-            "agg", &schema, &["x"], &[AggFn::Sum], 10, WindowMode::Tumbling,
+            "agg",
+            &schema,
+            &["x"],
+            &[AggFn::Sum],
+            10,
+            WindowMode::Tumbling,
         )
         .unwrap();
         let mut chain = Chain::new("c").then(agg);

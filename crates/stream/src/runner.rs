@@ -62,7 +62,12 @@ impl ThreadedRunner {
                 }
             })
             .expect("spawn stream runner thread");
-        Self { input: Some(in_tx), outputs: out_rx, handle: Some(handle), dropped: 0 }
+        Self {
+            input: Some(in_tx),
+            outputs: out_rx,
+            handle: Some(handle),
+            dropped: 0,
+        }
     }
 
     /// Sends a tuple, blocking if the queue is full.

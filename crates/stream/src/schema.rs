@@ -21,7 +21,10 @@ pub struct Field {
 impl Field {
     /// Creates a field declaration.
     pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        Self { name: name.into(), ty }
+        Self {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -66,7 +69,11 @@ impl Schema {
                 )));
             }
         }
-        Ok(Self { name, fields, index })
+        Ok(Self {
+            name,
+            fields,
+            index,
+        })
     }
 
     /// Convenience constructor returning a shared handle.
@@ -117,10 +124,11 @@ impl Schema {
 
     /// Position of a field by name, as a hard error.
     pub fn require(&self, name: &str) -> Result<usize, StreamError> {
-        self.index_of(name).ok_or_else(|| StreamError::UnknownField {
-            schema: self.name.clone(),
-            field: name.to_owned(),
-        })
+        self.index_of(name)
+            .ok_or_else(|| StreamError::UnknownField {
+                schema: self.name.clone(),
+                field: name.to_owned(),
+            })
     }
 
     /// Declared type of a named field.
@@ -130,7 +138,11 @@ impl Schema {
 
     /// Derives a new schema containing `names` (projection), in the given
     /// order, under a new stream name.
-    pub fn project(&self, new_name: impl Into<String>, names: &[&str]) -> Result<Schema, StreamError> {
+    pub fn project(
+        &self,
+        new_name: impl Into<String>,
+        names: &[&str],
+    ) -> Result<Schema, StreamError> {
         let mut fields = Vec::with_capacity(names.len());
         for n in names {
             let i = self.require(n)?;
@@ -175,7 +187,10 @@ pub struct SchemaBuilder {
 impl SchemaBuilder {
     /// Starts a schema with the given stream name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), fields: Vec::new() }
+        Self {
+            name: name.into(),
+            fields: Vec::new(),
+        }
     }
 
     /// Appends a field.
@@ -243,7 +258,10 @@ mod tests {
     fn duplicate_field_rejected() {
         let err = Schema::new(
             "d",
-            vec![Field::new("a", ValueType::Int), Field::new("a", ValueType::Int)],
+            vec![
+                Field::new("a", ValueType::Int),
+                Field::new("a", ValueType::Int),
+            ],
         )
         .unwrap_err();
         assert!(err.to_string().contains("duplicate field 'a'"));
@@ -288,7 +306,10 @@ mod tests {
     #[test]
     fn display_is_readable() {
         let s = sample();
-        assert_eq!(s.to_string(), "s(ts: timestamp, x: float, y: float, tag: str)");
+        assert_eq!(
+            s.to_string(),
+            "s(ts: timestamp, x: float, y: float, tag: str)"
+        );
     }
 
     #[test]

@@ -46,7 +46,13 @@ impl Metered {
     /// Wraps `inner`; returns the wrapper and the shared stats handle.
     pub fn new(inner: BoxedOperator) -> (Self, Arc<OpStats>) {
         let stats = Arc::new(OpStats::default());
-        (Self { inner, stats: stats.clone() }, stats)
+        (
+            Self {
+                inner,
+                stats: stats.clone(),
+            },
+            stats,
+        )
     }
 }
 

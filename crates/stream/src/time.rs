@@ -41,7 +41,10 @@ pub struct FrameClock {
 impl FrameClock {
     /// Standard 30 Hz Kinect clock starting at `start`.
     pub fn kinect(start: StreamTime) -> Self {
-        Self { start, hz: KINECT_HZ }
+        Self {
+            start,
+            hz: KINECT_HZ,
+        }
     }
 
     /// Timestamp of the `n`-th frame.
@@ -104,7 +107,10 @@ mod tests {
 
     #[test]
     fn custom_rate() {
-        let c = FrameClock { start: 100, hz: 10.0 };
+        let c = FrameClock {
+            start: 100,
+            hz: 10.0,
+        };
         assert_eq!(c.frame_ts(1), 200);
         assert_eq!(c.frames_for(500), 5);
     }

@@ -39,7 +39,10 @@ impl Tuple {
                 });
             }
         }
-        Ok(Self { schema, values: values.into() })
+        Ok(Self {
+            schema,
+            values: values.into(),
+        })
     }
 
     /// Creates a tuple without validation.
@@ -49,7 +52,10 @@ impl Tuple {
     /// those inner loops would be redundant work.
     pub fn new_unchecked(schema: SchemaRef, values: Vec<Value>) -> Self {
         debug_assert_eq!(values.len(), schema.len());
-        Self { schema, values: values.into() }
+        Self {
+            schema,
+            values: values.into(),
+        }
     }
 
     /// The tuple's schema.
@@ -102,10 +108,13 @@ impl Tuple {
 
     /// Returns a new tuple with one value replaced (copy-on-write).
     pub fn with_value(&self, i: usize, v: Value) -> Result<Self, StreamError> {
-        let field = self.schema.field(i).ok_or_else(|| StreamError::UnknownField {
-            schema: self.schema.name.clone(),
-            field: format!("#{i}"),
-        })?;
+        let field = self
+            .schema
+            .field(i)
+            .ok_or_else(|| StreamError::UnknownField {
+                schema: self.schema.name.clone(),
+                field: format!("#{i}"),
+            })?;
         if !v.conforms_to(field.ty) {
             return Err(StreamError::TypeMismatch {
                 schema: self.schema.name.clone(),
@@ -115,7 +124,10 @@ impl Tuple {
         }
         let mut values = self.values.to_vec();
         values[i] = v;
-        Ok(Self { schema: self.schema.clone(), values: values.into() })
+        Ok(Self {
+            schema: self.schema.clone(),
+            values: values.into(),
+        })
     }
 
     /// Projects the tuple onto a derived schema (by field name lookup).
@@ -125,7 +137,10 @@ impl Tuple {
             let i = self.schema.require(&f.name)?;
             values.push(self.values[i].clone());
         }
-        Ok(Self { schema: target.clone(), values: values.into() })
+        Ok(Self {
+            schema: target.clone(),
+            values: values.into(),
+        })
     }
 }
 
@@ -144,10 +159,7 @@ impl fmt::Display for Tuple {
 
 /// Builds a tuple from `(name, value)` pairs against a schema, filling
 /// unspecified fields with `Null`.
-pub fn tuple_from_pairs(
-    schema: &SchemaRef,
-    pairs: &[(&str, Value)],
-) -> Result<Tuple, StreamError> {
+pub fn tuple_from_pairs(schema: &SchemaRef, pairs: &[(&str, Value)]) -> Result<Tuple, StreamError> {
     let mut values = vec![Value::Null; schema.len()];
     for (name, v) in pairs {
         let i = schema.require(name)?;
@@ -176,7 +188,12 @@ mod tests {
         let s = schema();
         let t = Tuple::new(
             s.clone(),
-            vec![Value::Timestamp(10), Value::Float(1.5), Value::Int(2), Value::Str("g".into())],
+            vec![
+                Value::Timestamp(10),
+                Value::Float(1.5),
+                Value::Int(2),
+                Value::Str("g".into()),
+            ],
         )
         .unwrap();
         assert_eq!(t.f64("x"), Some(1.5));
@@ -191,7 +208,14 @@ mod tests {
     fn arity_mismatch_rejected() {
         let s = schema();
         let err = Tuple::new(s, vec![Value::Timestamp(1)]).unwrap_err();
-        assert!(matches!(err, StreamError::Arity { expected: 4, got: 1, .. }));
+        assert!(matches!(
+            err,
+            StreamError::Arity {
+                expected: 4,
+                got: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -199,7 +223,12 @@ mod tests {
         let s = schema();
         let err = Tuple::new(
             s,
-            vec![Value::Timestamp(1), Value::Str("no".into()), Value::Null, Value::Null],
+            vec![
+                Value::Timestamp(1),
+                Value::Str("no".into()),
+                Value::Null,
+                Value::Null,
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, StreamError::TypeMismatch { .. }));
@@ -220,14 +249,18 @@ mod tests {
         let t2 = t.with_value(1, Value::Float(9.0)).unwrap();
         assert_eq!(t.f64("x"), None);
         assert_eq!(t2.f64("x"), Some(9.0));
-        assert!(t.with_value(3, Value::Float(1.0)).is_err(), "float into str slot");
+        assert!(
+            t.with_value(3, Value::Float(1.0)).is_err(),
+            "float into str slot"
+        );
         assert!(t.with_value(99, Value::Null).is_err(), "index out of range");
     }
 
     #[test]
     fn project_reorders() {
         let s = schema();
-        let t = tuple_from_pairs(&s, &[("x", Value::Float(1.0)), ("y", Value::Float(2.0))]).unwrap();
+        let t =
+            tuple_from_pairs(&s, &[("x", Value::Float(1.0)), ("y", Value::Float(2.0))]).unwrap();
         let target = Arc::new(s.project("p", &["y", "x"]).unwrap());
         let p = t.project(&target).unwrap();
         assert_eq!(p.values(), &[Value::Float(2.0), Value::Float(1.0)]);
@@ -245,14 +278,21 @@ mod tests {
     #[test]
     fn display_format() {
         let s = schema();
-        let t = tuple_from_pairs(&s, &[("ts", Value::Timestamp(5)), ("name", Value::from("g"))])
-            .unwrap();
+        let t = tuple_from_pairs(
+            &s,
+            &[("ts", Value::Timestamp(5)), ("name", Value::from("g"))],
+        )
+        .unwrap();
         assert_eq!(t.to_string(), "k[@5; null; null; \"g\"]");
     }
 
     #[test]
     fn timestamp_falls_back_to_first_timestamp_field() {
-        let s = SchemaBuilder::new("s2").float("a").timestamp("stamp").build().unwrap();
+        let s = SchemaBuilder::new("s2")
+            .float("a")
+            .timestamp("stamp")
+            .build()
+            .unwrap();
         let t = Tuple::new(s, vec![Value::Float(0.0), Value::Timestamp(42)]).unwrap();
         assert_eq!(t.timestamp(), Some(42));
     }

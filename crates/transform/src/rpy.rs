@@ -148,10 +148,22 @@ mod tests {
 
     #[test]
     fn yaw_cardinal_directions() {
-        assert!((yaw_deg(Vec3::new(0.0, 0.0, -1.0)) - 0.0).abs() < EPS, "forward");
-        assert!((yaw_deg(Vec3::new(1.0, 0.0, 0.0)) - 90.0).abs() < EPS, "right");
-        assert!((yaw_deg(Vec3::new(-1.0, 0.0, 0.0)) + 90.0).abs() < EPS, "left");
-        assert!((yaw_deg(Vec3::new(0.0, 0.0, 1.0)).abs() - 180.0).abs() < EPS, "backward");
+        assert!(
+            (yaw_deg(Vec3::new(0.0, 0.0, -1.0)) - 0.0).abs() < EPS,
+            "forward"
+        );
+        assert!(
+            (yaw_deg(Vec3::new(1.0, 0.0, 0.0)) - 90.0).abs() < EPS,
+            "right"
+        );
+        assert!(
+            (yaw_deg(Vec3::new(-1.0, 0.0, 0.0)) + 90.0).abs() < EPS,
+            "left"
+        );
+        assert!(
+            (yaw_deg(Vec3::new(0.0, 0.0, 1.0)).abs() - 180.0).abs() < EPS,
+            "backward"
+        );
     }
 
     #[test]
@@ -165,10 +177,20 @@ mod tests {
     #[test]
     fn roll_about_forward_axis() {
         let v = Vec3::new(0.0, 0.0, -1.0); // pointing forward
-        assert!((roll_deg(v, Vec3::new(0.0, 1.0, 0.0))).abs() < EPS, "upright");
+        assert!(
+            (roll_deg(v, Vec3::new(0.0, 1.0, 0.0))).abs() < EPS,
+            "upright"
+        );
         let tilted = roll_deg(v, Vec3::new(1.0, 0.0, 0.0));
-        assert!((tilted.abs() - 90.0).abs() < EPS, "sideways reference: {tilted}");
-        assert_eq!(roll_deg(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)), 0.0, "degenerate axis");
+        assert!(
+            (tilted.abs() - 90.0).abs() < EPS,
+            "sideways reference: {tilted}"
+        );
+        assert_eq!(
+            roll_deg(Vec3::ZERO, Vec3::new(0.0, 1.0, 0.0)),
+            0.0,
+            "degenerate axis"
+        );
     }
 
     #[test]

@@ -52,13 +52,20 @@ impl Default for TransformConfig {
 impl TransformConfig {
     /// Paper-pure normalisation: coordinates in forearm units.
     pub fn unit_scale() -> Self {
-        Self { reference_scale: 1.0, ..Self::default() }
+        Self {
+            reference_scale: 1.0,
+            ..Self::default()
+        }
     }
 
     /// Identity-like config that only re-centres on the torso (no
     /// rotation, no scaling) — what the raw Fig. 1 query effectively uses.
     pub fn torso_only() -> Self {
-        Self { align_orientation: false, normalize_scale: false, ..Self::default() }
+        Self {
+            align_orientation: false,
+            normalize_scale: false,
+            ..Self::default()
+        }
     }
 }
 
@@ -73,7 +80,10 @@ pub struct Transformer {
 impl Transformer {
     /// Creates a transformer.
     pub fn new(config: TransformConfig) -> Self {
-        Self { config, smoothed_scale: None }
+        Self {
+            config,
+            smoothed_scale: None,
+        }
     }
 
     /// The active configuration.
@@ -99,7 +109,11 @@ impl Transformer {
         let (right, up, backward) = if self.config.align_orientation {
             self.estimate_basis(frame)
         } else {
-            (Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), Vec3::new(0.0, 0.0, 1.0))
+            (
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(0.0, 1.0, 0.0),
+                Vec3::new(0.0, 0.0, 1.0),
+            )
         };
 
         // Scale estimate from the right forearm.
@@ -188,15 +202,24 @@ mod tests {
         let path = transformed_hand_path(Persona::reference());
         let first = path.first().unwrap();
         let last = path.last().unwrap();
-        assert!(first.dist(&Vec3::new(0.0, 150.0, -120.0)) < 1.0, "{first:?}");
-        assert!(last.dist(&Vec3::new(800.0, 150.0, -120.0)) < 1.0, "{last:?}");
+        assert!(
+            first.dist(&Vec3::new(0.0, 150.0, -120.0)) < 1.0,
+            "{first:?}"
+        );
+        assert!(
+            last.dist(&Vec3::new(800.0, 150.0, -120.0)) < 1.0,
+            "{last:?}"
+        );
     }
 
     #[test]
     fn position_invariance() {
         let base = transformed_hand_path(Persona::reference());
         let moved = transformed_hand_path(Persona::reference().at(-800.0, 3100.0));
-        assert!(max_pointwise_dist(&base, &moved) < 1e-6, "translation must cancel");
+        assert!(
+            max_pointwise_dist(&base, &moved) < 1e-6,
+            "translation must cancel"
+        );
     }
 
     #[test]
@@ -244,7 +267,10 @@ mod tests {
 
     #[test]
     fn ablation_no_orientation_breaks_rotated_users() {
-        let cfg = TransformConfig { align_orientation: false, ..Default::default() };
+        let cfg = TransformConfig {
+            align_orientation: false,
+            ..Default::default()
+        };
         let render = |persona: Persona| {
             let mut perf = Performer::new(persona, 0);
             let frames = perf.render(&gestures::swipe_right());
@@ -280,12 +306,18 @@ mod tests {
         // Camera-aligned fallback: plain offset (no scale estimate yet).
         let hand = out.joint(Joint::RightHand).unwrap();
         assert!(hand.dist(&Vec3::new(200.0, 100.0, -100.0)) < 1e-9);
-        assert!(out.joint(Joint::Head).is_none(), "untracked stays untracked");
+        assert!(
+            out.joint(Joint::Head).is_none(),
+            "untracked stays untracked"
+        );
     }
 
     #[test]
     fn scale_estimate_smooths_and_survives_dropouts() {
-        let mut tr = Transformer::new(TransformConfig { scale_alpha: 0.5, ..Default::default() });
+        let mut tr = Transformer::new(TransformConfig {
+            scale_alpha: 0.5,
+            ..Default::default()
+        });
         let mut f = SkeletonFrame::empty(0, 1);
         f.set_joint(Joint::Torso, Vec3::ZERO);
         f.set_joint(Joint::RightHand, Vec3::new(200.0, 0.0, 0.0));

@@ -7,10 +7,8 @@
 
 use gesto::kinect::{gestures, NoiseModel, Performer, Persona, SkeletonFrame};
 use gesto::learn::query_gen::{generate_query_text, QueryStyle};
-use gesto::learn::{
-    validate, JointSet, Learner, LearnerConfig, Metric, Threshold,
-};
 use gesto::learn::sampling::{CentroidMode, Strategy};
+use gesto::learn::{validate, JointSet, Learner, LearnerConfig, Metric, Threshold};
 use gesto::transform::{TransformConfig, Transformer};
 
 fn samples_of(spec: &gesto::kinect::GestureSpec, n: usize) -> Vec<Vec<SkeletonFrame>> {
@@ -20,12 +18,19 @@ fn samples_of(spec: &gesto::kinect::GestureSpec, n: usize) -> Vec<Vec<SkeletonFr
             let mut p = Performer::new(persona.clone().with_seed(seed as u64), 0);
             let frames = p.render(spec);
             let mut tr = Transformer::new(TransformConfig::default());
-            frames.iter().filter_map(|f| tr.transform_frame(f)).collect()
+            frames
+                .iter()
+                .filter_map(|f| tr.transform_frame(f))
+                .collect()
         })
         .collect()
 }
 
-fn learn_with(config: LearnerConfig, samples: &[Vec<SkeletonFrame>], name: &str) -> gesto::learn::GestureDefinition {
+fn learn_with(
+    config: LearnerConfig,
+    samples: &[Vec<SkeletonFrame>],
+    name: &str,
+) -> gesto::learn::GestureDefinition {
     let mut learner = Learner::new(config);
     for s in samples {
         learner.add_sample_frames(s).expect("sample ok");
@@ -77,7 +82,10 @@ fn main() {
         ("every 8 tuples", Strategy::EveryN(8)),
         ("every 250 ms", Strategy::TimeDelta(250)),
     ] {
-        let config = LearnerConfig { sampling: strategy, ..LearnerConfig::default() };
+        let config = LearnerConfig {
+            sampling: strategy,
+            ..LearnerConfig::default()
+        };
         let def = learn_with(config, &samples, "swipe");
         println!("  {label:<15}: {} poses", def.pose_count());
     }
@@ -86,10 +94,17 @@ fn main() {
     println!("\n== optimisation passes (push gesture) ==");
     let push_samples = samples_of(&gestures::push(), 3);
     let mut def = learn_with(LearnerConfig::default(), &push_samples, "push");
-    println!("  learned        : {} poses, {} predicates", def.pose_count(), def.predicate_count());
+    println!(
+        "  learned        : {} poses, {} predicates",
+        def.pose_count(),
+        def.predicate_count()
+    );
 
     let merges = validate::merge_adjacent_windows(&mut def, 1.6);
-    println!("  window merging : {merges} merges -> {} poses", def.pose_count());
+    println!(
+        "  window merging : {merges} merges -> {} poses",
+        def.pose_count()
+    );
 
     let dropped = validate::eliminate_irrelevant_dims(&mut def, 120.0);
     let names: Vec<String> = dropped.iter().map(|&d| def.joints.dim_name(d)).collect();
@@ -97,12 +112,18 @@ fn main() {
         "  dim elimination: dropped {names:?} -> {} predicates",
         def.predicate_count()
     );
-    println!("\n  optimised query:\n{}", generate_query_text(&def, QueryStyle::TransformedView));
+    println!(
+        "\n  optimised query:\n{}",
+        generate_query_text(&def, QueryStyle::TransformedView)
+    );
 
     // 5. Multi-joint gestures.
     println!("== multi-joint gesture (two-hand swipe, both hands) ==");
     let two_hand = samples_of(&gestures::two_hand_swipe(), 3);
-    let config = LearnerConfig { joints: JointSet::both_hands(), ..LearnerConfig::default() };
+    let config = LearnerConfig {
+        joints: JointSet::both_hands(),
+        ..LearnerConfig::default()
+    };
     let def = learn_with(config, &two_hand, "two_hand_swipe");
     println!(
         "  {} poses over {} dims -> {} predicates per query",

@@ -89,15 +89,24 @@ fn main() {
     println!("  samples stored : {}", record.samples.len());
     println!(
         "  definition     : {} poses",
-        record.definition.as_ref().map(|d| d.pose_count()).unwrap_or(0)
+        record
+            .definition
+            .as_ref()
+            .map(|d| d.pose_count())
+            .unwrap_or(0)
     );
-    println!("\n== generated query ==\n{}", record.query_text.as_deref().unwrap_or("<none>"));
+    println!(
+        "\n== generated query ==\n{}",
+        record.query_text.as_deref().unwrap_or("<none>")
+    );
 
     // Testing phase: a fresh circle fires the new query.
     println!("== testing phase ==");
     engine.reset_runs();
     let mut tester = Performer::new(
-        Persona::reference().with_noise(NoiseModel::realistic()).with_seed(321),
+        Persona::reference()
+            .with_noise(NoiseModel::realistic())
+            .with_seed(321),
         0,
     );
     let tuples = frames_to_tuples(&tester.render(&gestures::circle()), &kinect_schema());

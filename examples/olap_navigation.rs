@@ -23,7 +23,11 @@ struct SalesCube {
 
 impl SalesCube {
     fn new() -> Self {
-        Self { level: 0, levels: vec!["year", "quarter", "month", "day"], pivoted: false }
+        Self {
+            level: 0,
+            levels: vec!["year", "quarter", "month", "day"],
+            pivoted: false,
+        }
     }
 
     fn drill_down(&mut self) {
@@ -41,8 +45,15 @@ impl SalesCube {
     }
 
     fn describe(&self) -> String {
-        let (rows, cols) = if self.pivoted { ("product", "region") } else { ("region", "product") };
-        format!("view: {rows} x {cols} at {} granularity", self.levels[self.level])
+        let (rows, cols) = if self.pivoted {
+            ("product", "region")
+        } else {
+            ("region", "product")
+        };
+        format!(
+            "view: {rows} x {cols} at {} granularity",
+            self.levels[self.level]
+        )
     }
 }
 
@@ -61,8 +72,12 @@ fn main() {
     for (name, spec, op) in &bindings {
         let samples: Vec<_> = (0..3)
             .map(|seed| {
-                let mut p =
-                    Performer::new(persona.clone().with_seed(*name.as_bytes().first().unwrap() as u64 + seed), 0);
+                let mut p = Performer::new(
+                    persona
+                        .clone()
+                        .with_seed(*name.as_bytes().first().unwrap() as u64 + seed),
+                    0,
+                );
                 p.render(spec)
             })
             .collect();
@@ -91,13 +106,7 @@ fn main() {
     println!("\n== gesture-driven analysis session ==");
     let mut cube = SalesCube::new();
     println!("  start           : {}", cube.describe());
-    let script = [
-        "swipe_right",
-        "swipe_right",
-        "circle",
-        "swipe_left",
-        "push",
-    ];
+    let script = ["swipe_right", "swipe_right", "circle", "swipe_left", "push"];
     for (i, gesture_name) in script.iter().enumerate() {
         let spec = bindings
             .iter()
@@ -108,8 +117,7 @@ fn main() {
         let detections = system.run_frames(&p.render(&spec)).expect("stream ok");
         system.engine().reset_runs();
 
-        let detected: Vec<&str> =
-            detections.iter().map(|d| d.gesture.as_str()).collect();
+        let detected: Vec<&str> = detections.iter().map(|d| d.gesture.as_str()).collect();
         for d in &detected {
             match *d {
                 "swipe_right" => cube.drill_down(),
@@ -136,5 +144,8 @@ fn main() {
         stats_before.detections
     );
     system.forget("swipe_right").expect("undeploy");
-    println!("  swipe_right undeployed; engine now runs {} queries", system.engine().len());
+    println!(
+        "  swipe_right undeployed; engine now runs {} queries",
+        system.engine().len()
+    );
 }

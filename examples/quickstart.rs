@@ -22,11 +22,18 @@ fn main() {
         })
         .collect();
     for (i, s) in samples.iter().enumerate() {
-        println!("  sample {}: {} frames ({} ms)", i + 1, s.len(), s.len() * 33);
+        println!(
+            "  sample {}: {} frames ({} ms)",
+            i + 1,
+            s.len(),
+            s.len() * 33
+        );
     }
 
     // 2. Learn + deploy.
-    let def = system.teach("swipe_right", &samples).expect("learning succeeds");
+    let def = system
+        .teach("swipe_right", &samples)
+        .expect("learning succeeds");
     println!(
         "\n== learned {} poses from {} samples ==",
         def.pose_count(),
@@ -92,6 +99,10 @@ fn main() {
     let detections = system.run_frames(&frames).expect("stream ok");
     println!(
         "  circle (different gesture): {}",
-        if detections.is_empty() { "silent (correct)" } else { "false positive!" }
+        if detections.is_empty() {
+            "silent (correct)"
+        } else {
+            "false positive!"
+        }
     );
 }

@@ -135,11 +135,12 @@ impl GestureSystem {
         let mut learner = Learner::new(config);
         for frames in samples {
             let mut tr = Transformer::new(TransformConfig::default());
-            let transformed: Vec<SkeletonFrame> =
-                frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+            let transformed: Vec<SkeletonFrame> = frames
+                .iter()
+                .filter_map(|f| tr.transform_frame(f))
+                .collect();
             learner.add_sample_frames(&transformed)?;
-            let sample =
-                learn::GestureSample::from_frames(&transformed, &learner.config().joints);
+            let sample = learn::GestureSample::from_frames(&transformed, &learner.config().joints);
             self.store.add_sample(name, sample);
         }
         let def = learner.finalize(name)?;

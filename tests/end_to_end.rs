@@ -36,7 +36,10 @@ fn teach_and_detect_one_gesture() {
         hits += n;
         system.engine().reset_runs();
     }
-    assert!(hits >= 3, "at least 3 of 4 repetitions detected, got {hits}");
+    assert!(
+        hits >= 3,
+        "at least 3 of 4 repetitions detected, got {hits}"
+    );
 }
 
 #[test]
@@ -60,7 +63,10 @@ fn detection_is_user_invariant() {
             }
             system.engine().reset_runs();
         }
-        assert!(hits >= 2, "variant {i}: at least 2 of 3 detected, got {hits}");
+        assert!(
+            hits >= 2,
+            "variant {i}: at least 2 of 3 detected, got {hits}"
+        );
     }
 }
 
@@ -95,7 +101,10 @@ fn multiple_repetitions_yield_multiple_detections() {
     }
     let ds = system.run_frames(&frames).unwrap();
     let hits = ds.iter().filter(|d| d.gesture == "push").count();
-    assert!(hits >= 3, "three pushes -> at least 3 detections, got {hits}");
+    assert!(
+        hits >= 3,
+        "three pushes -> at least 3 detections, got {hits}"
+    );
 }
 
 #[test]
@@ -159,7 +168,10 @@ fn tracking_dropouts_do_not_break_detection() {
     let system = GestureSystem::new();
     teach(&system, &gestures::swipe_right(), 4);
     let persona = noisy()
-        .with_noise(NoiseModel { dropout_prob: 0.02, ..NoiseModel::realistic() })
+        .with_noise(NoiseModel {
+            dropout_prob: 0.02,
+            ..NoiseModel::realistic()
+        })
         .with_seed(8);
     let frames = record(&gestures::swipe_right(), &persona, 8);
     let ds = system.run_frames(&frames).unwrap();
@@ -182,7 +194,11 @@ fn detection_reports_duration_and_events() {
             ds.into_iter().find(|d| d.gesture == "swipe_right")
         })
         .expect("at least one repetition detected");
-    assert!(d.duration_ms() > 100, "swipe takes time: {}", d.duration_ms());
+    assert!(
+        d.duration_ms() > 100,
+        "swipe takes time: {}",
+        d.duration_ms()
+    );
     assert!(d.duration_ms() < 3000);
     assert!(d.events.len() >= 3, "one event tuple per pose");
     assert!(d.started_at < d.ts);

@@ -18,7 +18,10 @@ fn learn_fig1() -> gesto::learn::GestureDefinition {
     // Fig. 1 operates on torso-relative raw coordinates (§2, before the
     // kinect_t view of §3.2): transform with translation only.
     let mut tr = Transformer::new(TransformConfig::torso_only());
-    let transformed: Vec<_> = frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+    let transformed: Vec<_> = frames
+        .iter()
+        .filter_map(|f| tr.transform_frame(f))
+        .collect();
     assert_eq!(transformed.len(), 19);
 
     let mut learner = Learner::new(LearnerConfig::fig1());
@@ -45,8 +48,16 @@ fn learned_centres_follow_the_paper_shape() {
     // Paper idealises the windows at x = 0 / 400 / 800. The real trace
     // starts slightly left of the torso and ends slightly beyond 800;
     // the learned sequence must reproduce that left-to-right sweep.
-    assert!(first.center[0] < 100.0, "first pose near the torso: {:?}", first.center);
-    assert!(last.center[0] > 650.0, "last pose far right: {:?}", last.center);
+    assert!(
+        first.center[0] < 100.0,
+        "first pose near the torso: {:?}",
+        first.center
+    );
+    assert!(
+        last.center[0] > 650.0,
+        "last pose far right: {:?}",
+        last.center
+    );
     // Monotone x.
     for w in def.poses.windows(2) {
         assert!(w[1].center[0] > w[0].center[0]);
@@ -67,7 +78,10 @@ fn generated_query_matches_paper_format() {
     assert!(text.starts_with("SELECT \"swipe_right\""), "{text}");
     assert!(text.contains("MATCHING"), "{text}");
     assert!(text.contains("abs(rHand_x - torso_x"), "{text}");
-    assert!(text.contains("within 1 seconds select first consume all"), "{text}");
+    assert!(
+        text.contains("within 1 seconds select first consume all"),
+        "{text}"
+    );
     assert!(parse_query(&text).is_ok(), "generated text parses");
 }
 
@@ -123,7 +137,10 @@ fn trace_roundtrips_through_csv() {
     let js = JointSet::right_hand();
     let frames = fig1::frames(0);
     let mut tr = Transformer::new(TransformConfig::torso_only());
-    let transformed: Vec<_> = frames.iter().filter_map(|f| tr.transform_frame(f)).collect();
+    let transformed: Vec<_> = frames
+        .iter()
+        .filter_map(|f| tr.transform_frame(f))
+        .collect();
     let sample = GestureSample::from_frames(&transformed, &js);
     let names: Vec<String> = (0..3).map(|d| js.dim_name(d)).collect();
     let csv = gesto::db::export_sample(&sample, &names);

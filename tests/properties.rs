@@ -25,7 +25,8 @@ fn ident() -> impl proptest::strategy::Strategy<Value = String> {
 
 fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
     let leaf = prop_oneof![
-        arb_value().prop_map(|v| Expr::Literal(gesto::stream::Value::Float((v * 100.0).round() / 100.0))),
+        arb_value()
+            .prop_map(|v| Expr::Literal(gesto::stream::Value::Float((v * 100.0).round() / 100.0))),
         ident().prop_map(Expr::Column),
     ];
     leaf.prop_recursive(depth, 64, 4, |inner| {

@@ -1,0 +1,57 @@
+//! Fast end-to-end smoke test mirroring `examples/quickstart.rs`:
+//! teach a gesture from three simulated samples, check the stored
+//! artefacts, and detect the gesture on a fresh performance — the whole
+//! stack (simulator → transform → learner → query generation → CEP
+//! engine) in one sub-second test that CI can always afford.
+
+use gesto::kinect::{gestures, NoiseModel, Performer, Persona};
+use gesto::GestureSystem;
+
+#[test]
+fn quickstart_teach_deploy_detect() {
+    let system = GestureSystem::new();
+
+    // Record three samples of a swipe with a noisy simulated user.
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let samples: Vec<_> = (0..3)
+        .map(|seed| {
+            let mut p = Performer::new(persona.clone().with_seed(seed), 0);
+            p.render(&gestures::swipe_right())
+        })
+        .collect();
+
+    // Learn + deploy.
+    let def = system
+        .teach("swipe_right", &samples)
+        .expect("learning succeeds");
+    assert!(def.pose_count() >= 2, "learned a multi-pose pattern");
+    assert_eq!(def.sample_count, 3);
+
+    // The definition, samples and generated query text are all stored.
+    let record = system.store().get("swipe_right").expect("record stored");
+    assert_eq!(record.samples.len(), 3);
+    assert!(record.definition.is_some());
+    let query = record.query_text.expect("query stored");
+    assert!(query.contains("SELECT \"swipe_right\""), "{query}");
+
+    // A fresh repetition of the gesture is detected live.
+    let mut p = Performer::new(persona.clone().with_seed(41), 0);
+    let detections = system
+        .run_frames(&p.render(&gestures::swipe_right()))
+        .expect("stream ok");
+    assert!(
+        detections.iter().any(|d| d.gesture == "swipe_right"),
+        "fresh swipe detected: {detections:?}"
+    );
+    system.engine().reset_runs();
+
+    // A different movement stays silent.
+    let mut p = Performer::new(persona.with_seed(43), 0);
+    let detections = system
+        .run_frames(&p.render(&gestures::circle()))
+        .expect("stream ok");
+    assert!(
+        detections.is_empty(),
+        "circle must not fire swipe_right: {detections:?}"
+    );
+}

@@ -1,0 +1,131 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` with a unified [`channel::Sender`] type
+//! over bounded and unbounded queues, backed by `std::sync::mpsc`.
+
+pub mod channel {
+    //! Multi-producer channels with bounded and unbounded flavours.
+
+    use std::sync::mpsc;
+
+    /// The sending half of a channel.
+    pub struct Sender<T>(Flavor<T>);
+
+    enum Flavor<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(match &self.0 {
+                Flavor::Bounded(s) => Flavor::Bounded(s.clone()),
+                Flavor::Unbounded(s) => Flavor::Unbounded(s.clone()),
+            })
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error of [`Sender::send`]: the receiver disconnected. Returns the
+    /// unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error of [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The (bounded) queue is full. Returns the unsent message.
+        Full(T),
+        /// The receiver disconnected. Returns the unsent message.
+        Disconnected(T),
+    }
+
+    /// Error of [`Receiver::recv`]: the channel is empty and disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates a bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Flavor::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Flavor::Unbounded(tx)), Receiver(rx))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded queue is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Flavor::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                Flavor::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+
+        /// Sends without blocking; fails on a full bounded queue.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                Flavor::Bounded(s) => s.try_send(value).map_err(|e| match e {
+                    mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                    mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+                }),
+                Flavor::Unbounded(s) => s.send(value).map_err(|e| TrySendError::Disconnected(e.0)),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives (or all senders disconnected).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// A blocking iterator over received messages.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+
+        /// A non-blocking iterator draining currently queued messages.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_backpressure() {
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            assert_eq!(rx.recv(), Ok(1));
+        }
+
+        #[test]
+        fn unbounded_never_full() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.try_send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(rx.iter().count(), 100);
+        }
+
+        #[test]
+        fn disconnect_reported() {
+            let (tx, rx) = bounded(1);
+            drop(rx);
+            assert!(matches!(tx.try_send(7), Err(TrySendError::Disconnected(7))));
+            let (tx, rx) = unbounded::<i32>();
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

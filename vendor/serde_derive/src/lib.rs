@@ -1,0 +1,461 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde` shim's `Serialize` /
+//! `Deserialize` traits (a materialised `Content`-tree model, not real
+//! serde's streaming one). Because the registry is unreachable there is
+//! no `syn`/`quote`; the input item is parsed directly from the token
+//! stream and code is emitted as text.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! - structs with named fields, honouring `#[serde(skip)]` (skipped on
+//!   serialize, `Default::default()` on deserialize);
+//! - tuple structs (newtype transparent, larger ones as sequences);
+//! - enums with unit / tuple / struct variants and explicit
+//!   discriminants, using serde's externally-tagged representation.
+//!
+//! Generics and other `#[serde(...)]` attributes are rejected with a
+//! compile error naming this file, so silent misbehaviour is impossible.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated invalid Serialize impl")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated invalid Deserialize impl")
+}
+
+// ------------------------------------------------------------------ parse
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Advances past a leading run of `#[...]` attributes; returns whether any
+/// of them was exactly `#[serde(skip)]` (any other `#[serde(...)]` panics).
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut has_skip = false;
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if inner.first().map(|t| is_ident(t, "serde")).unwrap_or(false) {
+                let TokenTree::Group(args) = &inner[1] else {
+                    panic!("serde_derive shim: malformed #[serde] attribute");
+                };
+                let args: Vec<String> = args.stream().into_iter().map(|t| t.to_string()).collect();
+                if args == ["skip"] {
+                    has_skip = true;
+                } else {
+                    panic!(
+                        "serde_derive shim: unsupported #[serde({})] — only #[serde(skip)] \
+                         is implemented (vendor/serde_derive/src/lib.rs)",
+                        args.join("")
+                    );
+                }
+            }
+        }
+        *i += 2;
+    }
+    has_skip
+}
+
+/// Advances past `pub`, `pub(...)`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!(
+            "serde_derive shim: generic type `{name}` is not supported \
+             (vendor/serde_derive/src/lib.rs)"
+        );
+    }
+
+    match (kind.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct {
+                name,
+                arity: tuple_arity(g.stream()),
+            }
+        }
+        ("struct", _) => Item::UnitStruct { name },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        _ => panic!("serde_derive shim: cannot parse `{kind} {name}`"),
+    }
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while *i < tokens.len() {
+        let tt = &tokens[*i];
+        if is_punct(tt, '<') {
+            angle_depth += 1;
+        } else if is_punct(tt, '>') {
+            angle_depth -= 1;
+        } else if is_punct(tt, ',') && angle_depth == 0 {
+            *i += 1;
+            return;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        let skip = skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        i += 1;
+        assert!(
+            i < tokens.len() && is_punct(&tokens[i], ':'),
+            "serde_derive shim: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/-variant body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut arity = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Each field may carry attributes; the type consumes the rest.
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_type(&tokens, &mut i);
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Explicit discriminant: `= <expr>` up to the separating comma.
+        if i < tokens.len() && is_punct(&tokens[i], '=') {
+            i += 1;
+            while i < tokens.len() && !is_punct(&tokens[i], ',') {
+                i += 1;
+            }
+        }
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn push_map_entries(out: &mut String, fields: &[Field], access: impl Fn(&str) -> String) {
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "map.push((\"{n}\".to_string(), ::serde::Serialize::to_content({a})));\n",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut b =
+                String::from("let mut map: Vec<(String, ::serde::Content)> = Vec::new();\n");
+            push_map_entries(&mut b, fields, |f| format!("&self.{f}"));
+            b.push_str("::serde::Content::Map(map)\n");
+            (name, b)
+        }
+        Item::UnitStruct { name } => (name, "::serde::Content::Null\n".to_string()),
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            "::serde::Serialize::to_content(&self.0)\n".to_string(),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Content::Seq(vec![{}])\n", items.join(", ")),
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut b = String::from("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => b.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_content(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        b.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Content::Map(vec![\
+                             (\"{vn}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from(
+                            "{ let mut map: Vec<(String, ::serde::Content)> = Vec::new();\n",
+                        );
+                        push_map_entries(&mut inner, fields, |f| f.to_string());
+                        inner.push_str("::serde::Content::Map(map) }");
+                        b.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(vec![\
+                             (\"{vn}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            b.push_str("}\n");
+            (name, b)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}}}\n}}\n"
+    )
+}
+
+/// `match ... {{ Some(v) => ..?, None => missing-field error }}` for one field.
+fn field_expr(owner: &str, content: &str, f: &Field) -> String {
+    if f.skip {
+        return "::std::default::Default::default()".to_string();
+    }
+    format!(
+        "match {content}.get(\"{n}\") {{\n\
+         Some(__v) => ::serde::Deserialize::from_content(__v)?,\n\
+         None => return Err(::serde::DeError::new(\
+         \"missing field `{n}` in {owner}\")),\n}}",
+        n = f.name,
+    )
+}
+
+fn named_struct_ctor(path: &str, owner: &str, content: &str, fields: &[Field]) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{}: {}", f.name, field_expr(owner, content, f)))
+        .collect();
+    format!("{path} {{\n{}\n}}", inits.join(",\n"))
+}
+
+fn seq_ctor(path: &str, owner: &str, arity: usize) -> String {
+    let elems: Vec<String> = (0..arity)
+        .map(|i| format!("::serde::Deserialize::from_content(&__seq[{i}])?"))
+        .collect();
+    format!(
+        "{{ let __seq = __v.as_seq().ok_or_else(|| ::serde::DeError::new(\
+         \"expected sequence for {owner}\"))?;\n\
+         if __seq.len() != {arity} {{\n\
+         return Err(::serde::DeError::new(\"wrong tuple length for {owner}\"));\n}}\n\
+         {path}({elems}) }}",
+        elems = elems.join(", "),
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let check = format!(
+                "if content.as_map().is_none() {{\n\
+                 return Err(::serde::DeError::new(\"expected map for struct {name}\"));\n}}\n"
+            );
+            let ctor = named_struct_ctor(name, name, "content", fields);
+            (name, format!("{check}Ok({ctor})\n"))
+        }
+        Item::UnitStruct { name } => (name, format!("Ok({name})\n")),
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_content(content)?))\n"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let ctor = seq_ctor(name, name, *arity).replace("__v.as_seq()", "content.as_seq()");
+            (name, format!("Ok({ctor})\n"))
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n"))
+                    }
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_content(__v)?)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let owner = format!("{name}::{vn}");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({}),\n",
+                            seq_ctor(&owner, &owner, *arity)
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let owner = format!("{name}::{vn}");
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => Ok({}),\n",
+                            named_struct_ctor(&owner, &owner, "__v", fields)
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match content {{\n\
+                 ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::DeError::new(format!(\
+                 \"unknown unit variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __v) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::DeError::new(\
+                 \"expected variant string or single-entry map for enum {name}\")),\n}}\n"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(content: &::serde::Content) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n}}\n"
+    )
+}
