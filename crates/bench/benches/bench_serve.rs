@@ -1,0 +1,79 @@
+//! Criterion: multi-session serving — frame throughput through the
+//! sharded server, and the cost of plan deployment (compile-once vs
+//! per-engine recompilation).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gesto_bench::learn_gesture;
+use gesto_cep::{Engine, QueryPlan};
+use gesto_kinect::{gestures, Performer, Persona, SkeletonFrame};
+use gesto_learn::query_gen::{generate_query, QueryStyle};
+use gesto_learn::LearnerConfig;
+use gesto_serve::{BackpressurePolicy, Server, ServerConfig, SessionId};
+use gesto_transform::standard_catalog;
+
+fn workload(frames: usize) -> Vec<SkeletonFrame> {
+    let mut p = Performer::new(Persona::reference(), 0);
+    let mut out = Vec::with_capacity(frames + 64);
+    while out.len() < frames {
+        out.extend(p.render_padded(&gestures::swipe_right(), 200, 400));
+    }
+    out.truncate(frames);
+    out
+}
+
+fn bench_push_throughput(c: &mut Criterion) {
+    let def = learn_gesture(&gestures::swipe_right(), 3, 0, LearnerConfig::default());
+    let query = generate_query(&def, QueryStyle::TransformedView);
+    let frames = workload(120);
+    const SESSIONS: u64 = 8;
+
+    let mut group = c.benchmark_group("serve/push_batch");
+    group.throughput(Throughput::Elements(SESSIONS * frames.len() as u64));
+    for shards in [1usize, 2] {
+        let server = Server::start(
+            ServerConfig::new()
+                .with_shards(shards)
+                .with_queue_capacity(64)
+                .with_backpressure(BackpressurePolicy::Block),
+        );
+        server.deploy(query.clone()).unwrap();
+        group.bench_function(BenchmarkId::new("shards", shards), |b| {
+            b.iter(|| {
+                for s in 0..SESSIONS {
+                    server.push_batch(SessionId(s), frames.clone()).unwrap();
+                }
+                server.drain().unwrap();
+            })
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_plan_sharing(c: &mut Criterion) {
+    let def = learn_gesture(&gestures::swipe_right(), 3, 0, LearnerConfig::default());
+    let query = generate_query(&def, QueryStyle::TransformedView);
+    let catalog = standard_catalog();
+    let funcs = {
+        let engine = Engine::new(catalog.clone());
+        gesto_transform::register_rpy(engine.functions());
+        engine.functions().clone()
+    };
+
+    let mut group = c.benchmark_group("serve/deploy");
+    // What every session would pay without sharing…
+    group.bench_function("compile_per_session", |b| {
+        b.iter(|| QueryPlan::compile(query.clone(), catalog.as_ref(), &funcs).unwrap())
+    });
+    // …vs the per-session cost with a shared plan.
+    let plan = QueryPlan::compile(query.clone(), catalog.as_ref(), &funcs).unwrap();
+    group.bench_function("instantiate_shared_plan", |b| {
+        b.iter(|| Arc::clone(&plan).instantiate())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_throughput, bench_plan_sharing);
+criterion_main!(benches);

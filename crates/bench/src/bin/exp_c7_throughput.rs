@@ -1,0 +1,265 @@
+//! C7 — multi-session serving throughput: sessions × shards sweep over
+//! `gesto-serve`, verifying the compile-once invariant and detection
+//! correctness at every point, and printing frames/sec.
+//!
+//! ```sh
+//! cargo run --release -p gesto-bench --bin exp_c7_throughput -- \
+//!     --sessions 1,8,64,512 --frames 600 [--shards 1,2,4] [--strict] \
+//!     [--json BENCH_serve.json]
+//! ```
+
+use std::time::Instant;
+
+use gesto_bench::{learn_gesture, Table};
+use gesto_kinect::{gestures, Performer, Persona, SkeletonFrame};
+use gesto_learn::query_gen::{generate_query, QueryStyle};
+use gesto_learn::LearnerConfig;
+use gesto_serve::{BackpressurePolicy, Server, ServerConfig, SessionId};
+
+struct Args {
+    sessions: Vec<usize>,
+    shards: Vec<usize>,
+    frames: usize,
+    batch: usize,
+    strict: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sessions: vec![1, 8, 64, 512],
+        shards: Vec::new(),
+        frames: 600,
+        batch: 60,
+        strict: false,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let list = |s: String| s.split(',').map(|v| v.parse().expect("number")).collect();
+        match a.as_str() {
+            "--sessions" => args.sessions = list(it.next().expect("--sessions N[,N…]")),
+            "--shards" => args.shards = list(it.next().expect("--shards N[,N…]")),
+            "--frames" => args.frames = it.next().expect("--frames N").parse().expect("number"),
+            "--batch" => args.batch = it.next().expect("--batch N").parse().expect("number"),
+            "--strict" => args.strict = true,
+            "--json" => args.json = Some(it.next().expect("--json PATH")),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    if args.shards.is_empty() {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        args.shards = (1..=cores).collect();
+    }
+    args
+}
+
+/// One session's workload: repeated clean swipe performances, `frames`
+/// frames long, timestamps strictly increasing.
+fn workload(frames: usize) -> Vec<SkeletonFrame> {
+    let mut p = Performer::new(Persona::reference(), 0);
+    let mut out = Vec::with_capacity(frames + 64);
+    while out.len() < frames {
+        out.extend(p.render_padded(&gestures::swipe_right(), 200, 400));
+    }
+    out.truncate(frames);
+    out
+}
+
+struct RunResult {
+    sessions: usize,
+    shards: usize,
+    frames_total: u64,
+    detections: u64,
+    elapsed_ms: f64,
+    fps: f64,
+}
+
+fn run(
+    query: &gesto_cep::Query,
+    frames: &[SkeletonFrame],
+    sessions: usize,
+    shards: usize,
+    batch: usize,
+    expected_per_session: Option<u64>,
+) -> RunResult {
+    let server = Server::start(
+        ServerConfig::new()
+            .with_shards(shards)
+            .with_queue_capacity(256)
+            .with_backpressure(BackpressurePolicy::Block),
+    );
+
+    // Compile-once invariant: one gesture deployed to N sessions must
+    // compile exactly one plan, process-wide.
+    let compiles_before = gesto_cep::compiled_plan_count();
+    server.deploy(query.clone()).expect("deploy");
+    let compiled = gesto_cep::compiled_plan_count() - compiles_before;
+    assert_eq!(
+        compiled, 1,
+        "one gesture → one compiled plan (got {compiled})"
+    );
+
+    for s in 0..sessions {
+        server.open_session(SessionId(s as u64)).expect("open");
+    }
+
+    let producers = sessions.min(8);
+    let handle = server.handle();
+    let started = Instant::now();
+    let threads: Vec<_> = (0..producers)
+        .map(|p| {
+            let handle = handle.clone();
+            let frames = frames.to_vec();
+            let mine: Vec<u64> = (0..sessions as u64)
+                .filter(|s| (*s as usize) % producers == p)
+                .collect();
+            std::thread::spawn(move || {
+                // Interleave sessions batch-by-batch, as a gateway
+                // multiplexing many live streams would.
+                for chunk in frames.chunks(batch.max(1)) {
+                    for s in &mine {
+                        handle
+                            .push_batch(SessionId(*s), chunk.to_vec())
+                            .expect("push");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("producer");
+    }
+    server.drain().expect("drain");
+    let elapsed = started.elapsed();
+
+    let m = server.metrics();
+    let frames_total = (sessions * frames.len()) as u64;
+    assert_eq!(m.frames_in(), frames_total, "blocking policy lost frames");
+    assert_eq!(m.sessions(), sessions, "session registry");
+    assert_eq!(m.plans_compiled, 1, "server-side compile counter");
+    if let Some(expected) = expected_per_session {
+        assert_eq!(
+            m.detections(),
+            expected * sessions as u64,
+            "every session must detect the shared gesture identically"
+        );
+    }
+
+    let detections = m.detections();
+    server.shutdown();
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    RunResult {
+        sessions,
+        shards,
+        frames_total,
+        detections,
+        elapsed_ms,
+        fps: frames_total as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("C7 — multi-session serving throughput (gesto-serve)");
+    println!("====================================================\n");
+    println!(
+        "host: {cores} core(s); sweep: sessions {:?} × shards {:?}, {} frames/session, batch {}\n",
+        args.sessions, args.shards, args.frames, args.batch
+    );
+
+    // Teach once, up front: the same learned query is shared by every
+    // run, session and shard.
+    let def = learn_gesture(&gestures::swipe_right(), 3, 0, LearnerConfig::default());
+    let query = generate_query(&def, QueryStyle::TransformedView);
+    let frames = workload(args.frames);
+
+    // Deterministic reference: how often one session's workload detects.
+    let reference = run(&query, &frames, 1, 1, args.batch, None);
+    let per_session = reference.detections;
+    assert!(per_session >= 1, "workload must detect at least once");
+    println!("reference: 1 session × 1 shard → {per_session} detection(s)/session\n");
+
+    let mut table = Table::new(&[
+        "sessions",
+        "shards",
+        "frames",
+        "detections",
+        "elapsed_ms",
+        "frames/sec",
+    ]);
+    let mut results = Vec::new();
+    for &shards in &args.shards {
+        for &sessions in &args.sessions {
+            let r = run(
+                &query,
+                &frames,
+                sessions,
+                shards,
+                args.batch,
+                Some(per_session),
+            );
+            table.row(&[
+                r.sessions.to_string(),
+                r.shards.to_string(),
+                r.frames_total.to_string(),
+                r.detections.to_string(),
+                format!("{:.1}", r.elapsed_ms),
+                format!("{:.0}", r.fps),
+            ]);
+            results.push(r);
+        }
+    }
+    table.print();
+
+    // Multi-shard vs single-shard on the largest workload.
+    let max_sessions = *args.sessions.iter().max().expect("non-empty");
+    let single = results
+        .iter()
+        .find(|r| r.shards == 1 && r.sessions == max_sessions);
+    let multi = results
+        .iter()
+        .filter(|r| r.shards > 1 && r.sessions == max_sessions)
+        .max_by(|a, b| a.fps.total_cmp(&b.fps));
+    match (single, multi) {
+        (Some(s), Some(m)) => {
+            let speedup = m.fps / s.fps;
+            println!(
+                "\n{} sessions: {} shard(s) {:.0} f/s vs 1 shard {:.0} f/s → {speedup:.2}×",
+                max_sessions, m.shards, m.fps, s.fps
+            );
+            if m.fps <= s.fps {
+                let msg = "multi-shard did not beat single-shard";
+                if args.strict && cores > 1 {
+                    panic!("{msg} on a {cores}-core host");
+                }
+                println!("warning: {msg} (cores={cores}; expected on 1-core hosts)");
+            }
+        }
+        _ => println!("\n(sweep has no 1-shard/multi-shard pair to compare)"),
+    }
+
+    if let Some(path) = &args.json {
+        let mut rows = String::new();
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"sessions\": {}, \"shards\": {}, \"frames\": {}, \"detections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}}}",
+                r.sessions, r.shards, r.frames_total, r.detections, r.elapsed_ms, r.fps
+            ));
+        }
+        let json = format!(
+            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+            args.frames, args.batch
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

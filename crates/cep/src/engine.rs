@@ -10,27 +10,18 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gesto_stream::{BoxedOperator, Catalog, Tuple};
+use gesto_stream::{Catalog, Tuple};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::CepError;
 use crate::expr::FunctionRegistry;
 use crate::match_op::Detection;
-use crate::nfa::Nfa;
 use crate::parser::parse_query;
 use crate::pattern::Query;
+use crate::plan::{PlanInstance, QueryPlan};
 
 /// Callback invoked on every detection.
 pub type DetectionListener = Arc<dyn Fn(&Detection) + Send + Sync>;
-
-/// One deployed query with its per-source view chains.
-struct Deployed {
-    query: Query,
-    /// `(source name, base stream, view operator chain base→source)`.
-    routes: Vec<(String, String, Vec<BoxedOperator>)>,
-    nfa: Nfa,
-    detections: u64,
-}
 
 /// Runtime statistics of a deployed query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +42,7 @@ pub struct QueryStats {
 pub struct Engine {
     catalog: Arc<Catalog>,
     funcs: Arc<FunctionRegistry>,
-    queries: RwLock<HashMap<String, Mutex<Deployed>>>,
+    queries: RwLock<HashMap<String, Mutex<PlanInstance>>>,
     listeners: RwLock<Vec<DetectionListener>>,
 }
 
@@ -92,15 +83,27 @@ impl Engine {
         self.listeners.write().push(listener);
     }
 
+    /// Compiles `query` into a shareable plan against this engine's
+    /// catalog and functions (without deploying it).
+    pub fn compile(&self, query: Query) -> Result<Arc<QueryPlan>, CepError> {
+        QueryPlan::compile(query, self.catalog.as_ref(), &self.funcs)
+    }
+
     /// Deploys a parsed query. Fails if a query with the same name is
     /// already deployed.
     pub fn deploy(&self, query: Query) -> Result<(), CepError> {
-        let deployed = self.compile(query)?;
+        self.deploy_plan(self.compile(query)?)
+    }
+
+    /// Deploys an already-compiled plan (no recompilation — the cheap
+    /// path when the same plan is shared across many engines). Fails if a
+    /// query with the same name is already deployed.
+    pub fn deploy_plan(&self, plan: Arc<QueryPlan>) -> Result<(), CepError> {
         let mut queries = self.queries.write();
-        if queries.contains_key(&deployed.query.name) {
-            return Err(CepError::DuplicateQuery(deployed.query.name.clone()));
+        if queries.contains_key(plan.name()) {
+            return Err(CepError::DuplicateQuery(plan.name().to_owned()));
         }
-        queries.insert(deployed.query.name.clone(), Mutex::new(deployed));
+        queries.insert(plan.name().to_owned(), Mutex::new(plan.instantiate()));
         Ok(())
     }
 
@@ -114,18 +117,22 @@ impl Engine {
         self.queries
             .write()
             .remove(name)
-            .map(|d| d.into_inner().query)
+            .map(|d| d.into_inner().plan().query().clone())
             .ok_or_else(|| CepError::UnknownQuery(name.to_owned()))
     }
 
     /// Atomically replaces a deployed query of the same name (deploys if
     /// absent). Partial matches of the old query are discarded.
     pub fn replace(&self, query: Query) -> Result<(), CepError> {
-        let deployed = self.compile(query)?;
+        self.replace_plan(self.compile(query)?);
+        Ok(())
+    }
+
+    /// [`Self::replace`] for an already-compiled plan.
+    pub fn replace_plan(&self, plan: Arc<QueryPlan>) {
         self.queries
             .write()
-            .insert(deployed.query.name.clone(), Mutex::new(deployed));
-        Ok(())
+            .insert(plan.name().to_owned(), Mutex::new(plan.instantiate()));
     }
 
     /// Names of deployed queries (sorted).
@@ -152,13 +159,26 @@ impl Engine {
             .get(name)
             .ok_or_else(|| CepError::UnknownQuery(name.to_owned()))?
             .lock();
-        Ok(QueryStats {
-            name: d.query.name.clone(),
-            detections: d.detections,
-            active_runs: d.nfa.active_runs(),
-            shed_runs: d.nfa.shed_runs(),
-            steps: d.nfa.step_count(),
-        })
+        Ok(d.stats())
+    }
+
+    /// Statistics of every deployed query, sorted by name.
+    pub fn stats_all(&self) -> Vec<QueryStats> {
+        let queries = self.queries.read();
+        let mut out: Vec<QueryStats> = queries.values().map(|d| d.lock().stats()).collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
+    /// The shared plans of every deployed query, sorted by name — the
+    /// hand-off point for moving deployments into another runtime (e.g. a
+    /// multi-session server) without recompiling.
+    pub fn deployed_plans(&self) -> Vec<Arc<QueryPlan>> {
+        let queries = self.queries.read();
+        let mut out: Vec<Arc<QueryPlan>> =
+            queries.values().map(|d| d.lock().plan().clone()).collect();
+        out.sort_by(|a, b| a.name().cmp(b.name()));
+        out
     }
 
     /// Pushes one tuple of base stream `stream` through all deployed
@@ -168,8 +188,7 @@ impl Engine {
         {
             let queries = self.queries.read();
             for entry in queries.values() {
-                let mut d = entry.lock();
-                Self::push_into(&mut d, stream, tuple, &mut detections)?;
+                entry.lock().push(stream, tuple, &mut detections)?;
             }
         }
         if !detections.is_empty() {
@@ -197,64 +216,8 @@ impl Engine {
     pub fn reset_runs(&self) {
         let queries = self.queries.read();
         for entry in queries.values() {
-            entry.lock().nfa.reset();
+            entry.lock().reset();
         }
-    }
-
-    fn push_into(
-        d: &mut Deployed,
-        stream: &str,
-        tuple: &Tuple,
-        detections: &mut Vec<Detection>,
-    ) -> Result<(), CepError> {
-        for (source, base, chain) in &mut d.routes {
-            if base != stream {
-                continue;
-            }
-            // Run the view chain; each stage may emit 0..n tuples.
-            let mut staged = vec![tuple.clone()];
-            for op in chain.iter_mut() {
-                let mut next = Vec::new();
-                {
-                    let mut emit = |t: Tuple| next.push(t);
-                    for t in &staged {
-                        op.process(t, &mut emit);
-                    }
-                }
-                staged = next;
-                if staged.is_empty() {
-                    break;
-                }
-            }
-            for t in &staged {
-                for m in d.nfa.advance(source, t)? {
-                    d.detections += 1;
-                    detections.push(Detection {
-                        gesture: d.query.name.clone(),
-                        ts: m.ts,
-                        started_at: m.started_at,
-                        events: m.events,
-                    });
-                }
-            }
-        }
-        Ok(())
-    }
-
-    fn compile(&self, query: Query) -> Result<Deployed, CepError> {
-        let nfa = Nfa::compile(&query.pattern, self.catalog.as_ref(), &self.funcs)?;
-        let mut routes = Vec::new();
-        for source in query.pattern.sources() {
-            let (base, views) = self.catalog.resolve(source)?;
-            let chain: Vec<BoxedOperator> = views.iter().map(|v| (v.factory)()).collect();
-            routes.push((source.to_owned(), base, chain));
-        }
-        Ok(Deployed {
-            query,
-            routes,
-            nfa,
-            detections: 0,
-        })
     }
 }
 

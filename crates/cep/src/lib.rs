@@ -39,11 +39,15 @@ mod match_op;
 mod nfa;
 mod parser;
 mod pattern;
+mod plan;
 
 pub use engine::{DetectionListener, Engine, QueryStats};
 pub use error::CepError;
 pub use expr::{BinOp, Expr, FunctionRegistry, UnaryOp};
 pub use match_op::{detection_schema, Detection, MatchOp};
-pub use nfa::{Nfa, NfaMatch, SchemaResolver, SingleSchema, TimeConstraint, DEFAULT_MAX_RUNS};
+pub use nfa::{
+    Nfa, NfaMatch, NfaProgram, SchemaResolver, SingleSchema, TimeConstraint, DEFAULT_MAX_RUNS,
+};
 pub use parser::{parse_expr, parse_pattern, parse_query};
 pub use pattern::{ConsumePolicy, EventPattern, Pattern, Query, SelectPolicy, SequencePattern};
+pub use plan::{compiled_plan_count, PlanInstance, QueryPlan, RouteSpec};

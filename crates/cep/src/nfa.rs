@@ -12,6 +12,8 @@
 //! match per completion wave, `consume all` flushes all partial state on
 //! detection so one physical movement produces one detection.
 
+use std::sync::Arc;
+
 use gesto_stream::{SchemaRef, StreamTime, Tuple};
 
 use crate::error::CepError;
@@ -69,12 +71,60 @@ impl NfaMatch {
     }
 }
 
-/// Compiled pattern + run state.
-pub struct Nfa {
+/// The immutable, compiled half of a pattern: leaf steps, time
+/// constraints and policies.
+///
+/// Compiling a pattern is the expensive part (schema resolution,
+/// expression compilation); a program carries no run state, so one
+/// `Arc<NfaProgram>` can back any number of concurrently matching
+/// [`Nfa`] instances — one per user session in a multi-tenant runtime.
+pub struct NfaProgram {
     steps: Vec<CompiledStep>,
     constraints: Vec<TimeConstraint>,
     select: SelectPolicy,
     consume: ConsumePolicy,
+}
+
+impl NfaProgram {
+    /// Compiles `pattern` against the schemas provided by `resolver`,
+    /// resolving scalar functions in `funcs`.
+    pub fn compile(
+        pattern: &Pattern,
+        resolver: &dyn SchemaResolver,
+        funcs: &FunctionRegistry,
+    ) -> Result<Self, CepError> {
+        let mut steps = Vec::new();
+        let mut constraints = Vec::new();
+        collect(pattern, resolver, funcs, &mut steps, &mut constraints)?;
+        if steps.is_empty() {
+            return Err(CepError::Compile("pattern has no event steps".into()));
+        }
+        let (select, consume) = match pattern {
+            Pattern::Sequence(s) => (s.select, s.consume),
+            Pattern::Event(_) => (SelectPolicy::default(), ConsumePolicy::default()),
+        };
+        Ok(Self {
+            steps,
+            constraints,
+            select,
+            consume,
+        })
+    }
+
+    /// Number of leaf steps.
+    pub fn step_count(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The compiled time constraints.
+    pub fn constraints(&self) -> &[TimeConstraint] {
+        &self.constraints
+    }
+}
+
+/// Compiled pattern + run state.
+pub struct Nfa {
+    program: Arc<NfaProgram>,
     runs: Vec<Run>,
     next_run_id: u64,
     max_runs: usize,
@@ -106,33 +156,33 @@ impl SchemaResolver for SingleSchema {
 }
 
 impl Nfa {
-    /// Compiles `pattern` against the schemas provided by `resolver`,
-    /// resolving scalar functions in `funcs`.
+    /// Compiles `pattern` and wraps the program in a fresh runtime; the
+    /// one-shot path used when the program is not shared.
     pub fn compile(
         pattern: &Pattern,
         resolver: &dyn SchemaResolver,
         funcs: &FunctionRegistry,
     ) -> Result<Self, CepError> {
-        let mut steps = Vec::new();
-        let mut constraints = Vec::new();
-        collect(pattern, resolver, funcs, &mut steps, &mut constraints)?;
-        if steps.is_empty() {
-            return Err(CepError::Compile("pattern has no event steps".into()));
-        }
-        let (select, consume) = match pattern {
-            Pattern::Sequence(s) => (s.select, s.consume),
-            Pattern::Event(_) => (SelectPolicy::default(), ConsumePolicy::default()),
-        };
-        Ok(Self {
-            steps,
-            constraints,
-            select,
-            consume,
+        Ok(Self::instantiate(Arc::new(NfaProgram::compile(
+            pattern, resolver, funcs,
+        )?)))
+    }
+
+    /// Creates a fresh runtime (no partial matches) over a shared,
+    /// already-compiled program.
+    pub fn instantiate(program: Arc<NfaProgram>) -> Self {
+        Self {
+            program,
             runs: Vec::new(),
             next_run_id: 0,
             max_runs: DEFAULT_MAX_RUNS,
             shed: 0,
-        })
+        }
+    }
+
+    /// The shared compiled program.
+    pub fn program(&self) -> &Arc<NfaProgram> {
+        &self.program
     }
 
     /// Overrides the partial-match cap.
@@ -143,12 +193,12 @@ impl Nfa {
 
     /// Number of leaf steps.
     pub fn step_count(&self) -> usize {
-        self.steps.len()
+        self.program.steps.len()
     }
 
     /// The compiled time constraints (for inspection/tests).
     pub fn constraints(&self) -> &[TimeConstraint] {
-        &self.constraints
+        &self.program.constraints
     }
 
     /// Live partial matches.
@@ -171,6 +221,16 @@ impl Nfa {
     pub fn advance(&mut self, source: &str, tuple: &Tuple) -> Result<Vec<NfaMatch>, CepError> {
         let ts = tuple.timestamp().unwrap_or(0);
         self.prune_expired(ts);
+        // Split the borrows: the program is read-only while the run set
+        // mutates, so no per-tuple Arc refcount traffic on the hot path.
+        let Self {
+            program,
+            runs,
+            next_run_id,
+            max_runs,
+            shed,
+        } = self;
+        let program: &NfaProgram = program;
 
         let mut completed: Vec<Run> = Vec::new();
 
@@ -179,20 +239,20 @@ impl Nfa {
         // never advance one run twice.
         let mut advanced: Vec<Run> = Vec::new();
         let mut i = 0;
-        while i < self.runs.len() {
-            let run = &self.runs[i];
-            let step = &self.steps[run.next];
+        while i < runs.len() {
+            let run = &runs[i];
+            let step = &program.steps[run.next];
             if step.source == source && step.predicate.eval_bool(tuple)? {
-                let mut run = self.runs.swap_remove(i);
+                let mut run = runs.swap_remove(i);
                 run.completions.push(ts);
                 run.matched.push(tuple.clone());
                 run.next += 1;
-                if self.violates_constraints(&run) {
+                if violates_constraints(program, &run) {
                     // Too slow: the run dies. swap_remove moved an
                     // unprocessed run into slot i, so don't increment.
                     continue;
                 }
-                if run.next == self.steps.len() {
+                if run.next == program.steps.len() {
                     completed.push(run);
                 } else {
                     advanced.push(run);
@@ -201,29 +261,29 @@ impl Nfa {
             }
             i += 1;
         }
-        self.runs.extend(advanced);
+        runs.extend(advanced);
 
         // Seed a new run: this tuple as leaf 0.
-        let step0 = &self.steps[0];
+        let step0 = &program.steps[0];
         if step0.source == source && step0.predicate.eval_bool(tuple)? {
             let run = Run {
                 next: 1,
                 completions: vec![ts],
                 matched: vec![tuple.clone()],
-                id: self.next_run_id,
+                id: *next_run_id,
             };
-            self.next_run_id += 1;
-            if self.steps.len() == 1 {
+            *next_run_id += 1;
+            if program.steps.len() == 1 {
                 completed.push(run);
-            } else if self.runs.len() >= self.max_runs {
+            } else if runs.len() >= *max_runs {
                 // Shed the oldest run to bound memory.
-                if let Some(pos) = self.oldest_run_pos() {
-                    self.runs.swap_remove(pos);
-                    self.shed += 1;
+                if let Some(pos) = oldest_run_pos(runs) {
+                    runs.swap_remove(pos);
+                    *shed += 1;
                 }
-                self.runs.push(run);
+                runs.push(run);
             } else {
-                self.runs.push(run);
+                runs.push(run);
             }
         }
 
@@ -233,7 +293,7 @@ impl Nfa {
 
         // Selection policy.
         completed.sort_by_key(|r| r.id);
-        let selected: Vec<Run> = match self.select {
+        let selected: Vec<Run> = match program.select {
             SelectPolicy::First => completed.into_iter().take(1).collect(),
             SelectPolicy::Last => {
                 let last = completed.pop().expect("non-empty");
@@ -243,8 +303,8 @@ impl Nfa {
         };
 
         // Consumption policy.
-        if self.consume == ConsumePolicy::All {
-            self.runs.clear();
+        if program.consume == ConsumePolicy::All {
+            runs.clear();
         }
 
         Ok(selected
@@ -257,18 +317,10 @@ impl Nfa {
             .collect())
     }
 
-    fn oldest_run_pos(&self) -> Option<usize> {
-        self.runs
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, r)| r.id)
-            .map(|(i, _)| i)
-    }
-
     /// Kills runs whose pending time constraints can no longer be met at
     /// stream time `now`.
     fn prune_expired(&mut self, now: StreamTime) {
-        let constraints = &self.constraints;
+        let constraints = &self.program.constraints;
         self.runs.retain(|run| {
             for c in constraints {
                 if run.next <= c.to_leaf && c.from_leaf < run.completions.len() {
@@ -281,21 +333,29 @@ impl Nfa {
             true
         });
     }
+}
 
-    /// Checks constraints that end at the run's most recently completed
-    /// leaf.
-    fn violates_constraints(&self, run: &Run) -> bool {
-        let last = run.completions.len() - 1;
-        for c in &self.constraints {
-            if c.to_leaf == last
-                && c.from_leaf < run.completions.len()
-                && run.completions[last] - run.completions[c.from_leaf] > c.within_ms
-            {
-                return true;
-            }
+/// Position of the oldest (lowest-id) run.
+fn oldest_run_pos(runs: &[Run]) -> Option<usize> {
+    runs.iter()
+        .enumerate()
+        .min_by_key(|(_, r)| r.id)
+        .map(|(i, _)| i)
+}
+
+/// Checks constraints that end at the run's most recently completed
+/// leaf.
+fn violates_constraints(program: &NfaProgram, run: &Run) -> bool {
+    let last = run.completions.len() - 1;
+    for c in &program.constraints {
+        if c.to_leaf == last
+            && c.from_leaf < run.completions.len()
+            && run.completions[last] - run.completions[c.from_leaf] > c.within_ms
+        {
+            return true;
         }
-        false
     }
+    false
 }
 
 /// Recursively collects leaf steps and time constraints.

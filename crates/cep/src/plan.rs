@@ -1,0 +1,322 @@
+//! Shared compiled query plans.
+//!
+//! The paper's engine compiles a query when it is deployed; in a
+//! multi-tenant runtime thousands of sessions run the *same* gestures, so
+//! compiling per session would dominate. A [`QueryPlan`] is the
+//! compile-once artefact — the parsed [`Query`], its [`NfaProgram`] and
+//! the resolved view-chain routes — shared via `Arc` across any number of
+//! engines or server shards. [`QueryPlan::instantiate`] stamps out the
+//! cheap per-session state (fresh view operators + an empty run set).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gesto_stream::{BoxedOperator, Catalog, Tuple, ViewFactory};
+
+use crate::engine::QueryStats;
+use crate::error::CepError;
+use crate::expr::FunctionRegistry;
+use crate::match_op::Detection;
+use crate::nfa::{Nfa, NfaProgram};
+use crate::pattern::Query;
+
+/// Plans compiled process-wide (monotone). Lets scale experiments assert
+/// the compile-once invariant: deploying one gesture to N sessions must
+/// bump this by 1, not N.
+static COMPILED_PLANS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`QueryPlan`]s compiled by this process so far.
+pub fn compiled_plan_count() -> u64 {
+    COMPILED_PLANS.load(Ordering::Relaxed)
+}
+
+/// One source of a query and how to reach it from its base stream: the
+/// view factories to instantiate, outermost last.
+pub struct RouteSpec {
+    /// Source name as written in the query (stream or view).
+    pub source: String,
+    /// Base stream the source resolves to.
+    pub base: String,
+    /// View operator factories, base→source order.
+    pub factories: Vec<ViewFactory>,
+}
+
+/// A compiled, immutable, shareable query plan.
+pub struct QueryPlan {
+    query: Query,
+    program: Arc<NfaProgram>,
+    routes: Vec<RouteSpec>,
+}
+
+impl QueryPlan {
+    /// Compiles `query` against `catalog`/`funcs`. This is the expensive
+    /// step (schema resolution, predicate compilation, route resolution);
+    /// share the returned `Arc` instead of calling this per session.
+    pub fn compile(
+        query: Query,
+        catalog: &Catalog,
+        funcs: &FunctionRegistry,
+    ) -> Result<Arc<Self>, CepError> {
+        let program = Arc::new(NfaProgram::compile(&query.pattern, catalog, funcs)?);
+        let mut routes = Vec::new();
+        for source in query.pattern.sources() {
+            let (base, views) = catalog.resolve(source)?;
+            routes.push(RouteSpec {
+                source: source.to_owned(),
+                base,
+                factories: views.iter().map(|v| v.factory.clone()).collect(),
+            });
+        }
+        COMPILED_PLANS.fetch_add(1, Ordering::Relaxed);
+        Ok(Arc::new(Self {
+            query,
+            program,
+            routes,
+        }))
+    }
+
+    /// Query (gesture) name.
+    pub fn name(&self) -> &str {
+        &self.query.name
+    }
+
+    /// The parsed query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// The compiled NFA program.
+    pub fn program(&self) -> &Arc<NfaProgram> {
+        &self.program
+    }
+
+    /// The resolved routes.
+    pub fn routes(&self) -> &[RouteSpec] {
+        &self.routes
+    }
+
+    /// Stamps out fresh per-session runtime state over this shared plan:
+    /// new (stateful) view operators and an empty NFA run set. Cheap —
+    /// no parsing, compilation or catalog lookups.
+    pub fn instantiate(self: &Arc<Self>) -> PlanInstance {
+        let chains = self
+            .routes
+            .iter()
+            .map(|r| r.factories.iter().map(|f| f()).collect())
+            .collect();
+        PlanInstance {
+            plan: Arc::clone(self),
+            chains,
+            nfa: Nfa::instantiate(Arc::clone(&self.program)),
+            detections: 0,
+        }
+    }
+}
+
+/// Per-session runtime state of one deployed [`QueryPlan`]: instantiated
+/// view chains, NFA run state and a detection counter.
+pub struct PlanInstance {
+    plan: Arc<QueryPlan>,
+    /// Instantiated view operators, parallel to `plan.routes()`.
+    chains: Vec<Vec<BoxedOperator>>,
+    nfa: Nfa,
+    detections: u64,
+}
+
+impl PlanInstance {
+    /// The shared plan this instance runs.
+    pub fn plan(&self) -> &Arc<QueryPlan> {
+        &self.plan
+    }
+
+    /// Query (gesture) name.
+    pub fn name(&self) -> &str {
+        self.plan.name()
+    }
+
+    /// Detections produced by this instance so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Drops all partial matches.
+    pub fn reset(&mut self) {
+        self.nfa.reset();
+    }
+
+    /// Runtime statistics in the engine's [`QueryStats`] shape.
+    pub fn stats(&self) -> QueryStats {
+        QueryStats {
+            name: self.plan.name().to_owned(),
+            detections: self.detections,
+            active_runs: self.nfa.active_runs(),
+            shed_runs: self.nfa.shed_runs(),
+            steps: self.nfa.step_count(),
+        }
+    }
+
+    /// Pushes one tuple of base stream `stream`, appending any detections
+    /// to `out`.
+    ///
+    /// Hot path: the input tuple is only borrowed — view operators emit
+    /// owned tuples when they rewrite, and a route without views feeds the
+    /// NFA directly, so a non-matching frame costs no allocation.
+    pub fn push(
+        &mut self,
+        stream: &str,
+        tuple: &Tuple,
+        out: &mut Vec<Detection>,
+    ) -> Result<(), CepError> {
+        for (route, chain) in self.plan.routes.iter().zip(self.chains.iter_mut()) {
+            if route.base != stream {
+                continue;
+            }
+            let name = &self.plan.query.name;
+            if chain.is_empty() {
+                Self::advance(
+                    &mut self.nfa,
+                    &mut self.detections,
+                    name,
+                    &route.source,
+                    tuple,
+                    out,
+                )?;
+                continue;
+            }
+            // Run the view chain; each stage may emit 0..n tuples. The
+            // first stage reads the borrowed input directly.
+            let mut staged: Vec<Tuple> = Vec::new();
+            {
+                let (first, rest) = chain.split_first_mut().expect("non-empty chain");
+                {
+                    let mut emit = |t: Tuple| staged.push(t);
+                    first.process(tuple, &mut emit);
+                }
+                for op in rest {
+                    if staged.is_empty() {
+                        break;
+                    }
+                    let mut next = Vec::new();
+                    {
+                        let mut emit = |t: Tuple| next.push(t);
+                        for t in &staged {
+                            op.process(t, &mut emit);
+                        }
+                    }
+                    staged = next;
+                }
+            }
+            for t in &staged {
+                Self::advance(
+                    &mut self.nfa,
+                    &mut self.detections,
+                    name,
+                    &route.source,
+                    t,
+                    out,
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn advance(
+        nfa: &mut Nfa,
+        detections: &mut u64,
+        gesture: &str,
+        source: &str,
+        tuple: &Tuple,
+        out: &mut Vec<Detection>,
+    ) -> Result<(), CepError> {
+        for m in nfa.advance(source, tuple)? {
+            *detections += 1;
+            out.push(Detection {
+                gesture: gesture.to_owned(),
+                ts: m.ts,
+                started_at: m.started_at,
+                events: m.events,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use gesto_stream::{SchemaBuilder, Value};
+
+    fn catalog() -> Catalog {
+        let cat = Catalog::new();
+        cat.register_stream(
+            SchemaBuilder::new("kinect")
+                .timestamp("ts")
+                .float("x")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        cat
+    }
+
+    fn tup(ts: i64, x: f64) -> Tuple {
+        Tuple::new(
+            SchemaBuilder::new("kinect")
+                .timestamp("ts")
+                .float("x")
+                .build()
+                .unwrap(),
+            vec![Value::Timestamp(ts), Value::Float(x)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_plan_many_independent_instances() {
+        let cat = catalog();
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(r#"SELECT "g" MATCHING kinect(x < 1) -> kinect(x > 9);"#).unwrap();
+        let plan = QueryPlan::compile(q, &cat, &funcs).unwrap();
+        let mut a = plan.instantiate();
+        let mut b = plan.instantiate();
+        // Instantiation shares, never recompiles: both instances point at
+        // the very same plan and program allocations. (The process-global
+        // compiled_plan_count() is asserted in single-threaded binaries —
+        // exp_c7_throughput — where no parallel test can perturb it.)
+        assert!(Arc::ptr_eq(a.plan(), &plan), "instance a shares the plan");
+        assert!(Arc::ptr_eq(b.plan(), &plan), "instance b shares the plan");
+        assert!(
+            Arc::ptr_eq(a.plan().program(), plan.program()),
+            "NFA program is shared, not recompiled"
+        );
+
+        // Session a is half-way through the pattern; session b saw nothing.
+        let mut out = Vec::new();
+        a.push("kinect", &tup(0, 0.5), &mut out).unwrap();
+        assert_eq!(a.stats().active_runs, 1);
+        assert_eq!(b.stats().active_runs, 0, "run state is per instance");
+
+        // Completing in a does not fire in b.
+        a.push("kinect", &tup(10, 10.0), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].gesture, "g");
+        assert_eq!(a.detections(), 1);
+        b.push("kinect", &tup(10, 10.0), &mut out).unwrap();
+        assert_eq!(b.detections(), 0, "b never saw the first step");
+    }
+
+    #[test]
+    fn instance_reset_drops_runs() {
+        let cat = catalog();
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(r#"SELECT "g" MATCHING kinect(x < 1) -> kinect(x > 9);"#).unwrap();
+        let plan = QueryPlan::compile(q, &cat, &funcs).unwrap();
+        let mut i = plan.instantiate();
+        let mut out = Vec::new();
+        i.push("kinect", &tup(0, 0.5), &mut out).unwrap();
+        assert_eq!(i.stats().active_runs, 1);
+        i.reset();
+        assert_eq!(i.stats().active_runs, 0);
+    }
+}

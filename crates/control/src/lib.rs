@@ -12,9 +12,11 @@
 mod control_gestures;
 mod motion;
 mod session;
+mod teach;
 mod workflow;
 
 pub use control_gestures::{control_queries, is_control_name, FINISH_CONTROL, WAVE_CONTROL};
 pub use motion::{MotionConfig, MotionDetector, MotionState};
 pub use session::{ControlSignals, Session, SessionEvent, SessionState};
+pub use teach::learn_into_store;
 pub use workflow::{Workflow, WorkflowError, WorkflowEvent};

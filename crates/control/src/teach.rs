@@ -1,0 +1,45 @@
+//! The shared teach pipeline: raw samples → transformed samples →
+//! learned definition → generated query, with all artefacts recorded in
+//! a [`GestureStore`].
+//!
+//! Both the single-user `GestureSystem` facade and the multi-session
+//! `gesto-serve` handle run exactly this pipeline; only the final
+//! deployment step differs (engine replace vs shard broadcast), so that
+//! step stays with the caller.
+
+use gesto_cep::Query;
+use gesto_db::GestureStore;
+use gesto_kinect::SkeletonFrame;
+use gesto_learn::query_gen::{generate_query, QueryStyle};
+use gesto_learn::{GestureDefinition, GestureSample, LearnError, Learner, LearnerConfig};
+use gesto_transform::{TransformConfig, Transformer};
+
+/// Learns a gesture from raw camera-frame samples (applying the
+/// `kinect_t` transformation per sample), stores the samples, definition
+/// and generated query text in `store`, and returns the definition plus
+/// the ready-to-deploy query.
+pub fn learn_into_store(
+    store: &GestureStore,
+    name: &str,
+    samples: &[Vec<SkeletonFrame>],
+    config: LearnerConfig,
+) -> Result<(GestureDefinition, Query), LearnError> {
+    let mut learner = Learner::new(config);
+    for frames in samples {
+        let mut tr = Transformer::new(TransformConfig::default());
+        let transformed: Vec<SkeletonFrame> = frames
+            .iter()
+            .filter_map(|f| tr.transform_frame(f))
+            .collect();
+        learner.add_sample_frames(&transformed)?;
+        let sample = GestureSample::from_frames(&transformed, &learner.config().joints);
+        store.add_sample(name, sample);
+    }
+    let def = learner.finalize(name)?;
+    let query = generate_query(&def, QueryStyle::TransformedView);
+    store
+        .put_definition(def.clone())
+        .map_err(|e| LearnError::Invalid(e.to_string()))?;
+    store.put_query_text(name, query.to_query_text());
+    Ok((def, query))
+}

@@ -1,0 +1,77 @@
+//! Server configuration.
+
+/// What `push_batch` does when a shard's ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressurePolicy {
+    /// Block the caller until the shard catches up. No frame is ever
+    /// lost; producer threads absorb the slowdown.
+    #[default]
+    Block,
+    /// Enqueue the new batch and shed the oldest still-queued batch on
+    /// that shard. Latency stays bounded; stale frames are sacrificed
+    /// first (the right trade for live gesture streams).
+    DropOldest,
+    /// Refuse the batch with [`crate::ServeError::QueueFull`]; the caller
+    /// decides whether to retry, thin out or drop.
+    Reject,
+}
+
+/// Configuration of a [`crate::Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker shards (detection threads). `0` means one per available
+    /// CPU core.
+    pub shards: usize,
+    /// Maximum queued frame batches per shard before the backpressure
+    /// policy kicks in (a soft bound under concurrent producers).
+    pub queue_capacity: usize,
+    /// Full-queue behaviour.
+    pub backpressure: BackpressurePolicy,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            shards: 0,
+            queue_capacity: 1024,
+            backpressure: BackpressurePolicy::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the shard count (`0` = one per CPU core).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the per-shard queue capacity (minimum 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the full-queue behaviour.
+    pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
+        self.backpressure = policy;
+        self
+    }
+
+    /// Resolved shard count: the configured value, or one shard per
+    /// available CPU core when unset.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}

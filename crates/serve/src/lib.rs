@@ -1,0 +1,248 @@
+//! # gesto-serve — a sharded multi-session detection runtime
+//!
+//! The paper's engine detects gestures for *one* user on *one* Kinect
+//! stream; this crate is the multi-tenant runtime on the road to serving
+//! millions of users: a [`Server`] owns a pool of worker shards, each a
+//! thread with a FIFO job queue, and routes every session (one live
+//! skeleton stream) to a fixed shard so per-session NFA state stays
+//! single-threaded and lock-free.
+//!
+//! The key economy is **compile once, share everywhere**: a gesture
+//! taught or deployed through the [`ServerHandle`] is parsed and compiled
+//! into one `Arc<QueryPlan>` and broadcast to all shards, which stamp out
+//! cheap per-session instances — deploying one gesture to 10 000 sessions
+//! costs one compilation, not 10 000 (the runtime query-exchange of
+//! §4 of the paper, made multi-tenant).
+//!
+//! Ingestion is batched ([`ServerHandle::push_batch`]) over bounded
+//! per-shard queues with a configurable [`BackpressurePolicy`] (block /
+//! drop-oldest / reject). Detections fan out to [`DetectionSink`]s with
+//! their [`SessionId`]; per-shard and per-gesture counters plus p50/p99
+//! push latency are aggregated by [`ServerHandle::metrics`]. Shards drain
+//! gracefully: [`ServerHandle::drain`], [`ServerHandle::close_session`]
+//! and [`Server::shutdown`] all process queued frames before returning.
+//!
+//! ```
+//! use gesto_serve::{Server, ServerConfig, SessionId};
+//! use gesto_kinect::{gestures, Performer, Persona};
+//!
+//! let server = Server::start(ServerConfig::new().with_shards(2));
+//! let handle = server.handle();
+//!
+//! // Teach once…
+//! let samples: Vec<_> = (0..3)
+//!     .map(|seed| {
+//!         let mut p = Performer::new(Persona::reference().with_seed(seed), 0);
+//!         p.render(&gestures::swipe_right())
+//!     })
+//!     .collect();
+//! handle.teach("swipe_right", &samples).unwrap();
+//!
+//! // …detect on many concurrent sessions.
+//! for user in 0..4u64 {
+//!     let mut p = Performer::new(Persona::reference().with_seed(100 + user), 0);
+//!     let frames = p.render(&gestures::swipe_right());
+//!     handle.push_batch(SessionId(user), frames).unwrap();
+//! }
+//! handle.drain().unwrap();
+//! assert!(handle.metrics().detections() >= 4);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod config;
+mod error;
+mod metrics;
+mod server;
+mod session;
+mod shard;
+
+pub use config::{BackpressurePolicy, ServerConfig};
+pub use error::ServeError;
+pub use metrics::{LatencySummary, ServerMetrics, ShardMetrics, ShardSnapshot};
+pub use server::{DetectionSink, Server, ServerHandle};
+pub use session::SessionId;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use crossbeam::channel::bounded;
+    use gesto_kinect::{gestures, Performer, Persona};
+    use parking_lot::Mutex;
+
+    use super::*;
+
+    fn swipe_frames(seed: u64) -> Vec<gesto_kinect::SkeletonFrame> {
+        let mut p = Performer::new(Persona::reference().with_seed(seed), 0);
+        p.render(&gestures::swipe_right())
+    }
+
+    fn server_with_swipe(config: ServerConfig) -> Server {
+        let server = Server::start(config);
+        let samples: Vec<_> = (0..3).map(swipe_frames).collect();
+        server.teach("swipe_right", &samples).unwrap();
+        server
+    }
+
+    #[test]
+    fn teach_once_detect_on_many_sessions() {
+        let server = server_with_swipe(ServerConfig::new().with_shards(2));
+        let hits: Arc<Mutex<Vec<(SessionId, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = hits.clone();
+        server.on_detection(Arc::new(move |s, d| {
+            sink.lock().push((s, d.gesture.clone()));
+        }));
+
+        for user in 0..6u64 {
+            server
+                .push_batch(SessionId(user), swipe_frames(50 + user))
+                .unwrap();
+        }
+        server.drain().unwrap();
+
+        let hits = hits.lock();
+        let mut sessions: Vec<u64> = hits.iter().map(|(s, _)| s.0).collect();
+        sessions.sort_unstable();
+        sessions.dedup();
+        assert_eq!(sessions, vec![0, 1, 2, 3, 4, 5], "every session detected");
+        assert!(hits.iter().all(|(_, g)| g == "swipe_right"));
+        assert_eq!(server.session_count(), 6);
+        assert_eq!(server.metrics().plans_compiled, 1, "compile-once");
+        server.shutdown();
+    }
+
+    #[test]
+    fn deploy_undeploy_midstream() {
+        let server = Server::start(ServerConfig::new().with_shards(1));
+        server
+            .deploy_text(r#"SELECT "hi" MATCHING kinect(head_y > 100000);"#)
+            .unwrap();
+        assert_eq!(server.deployed(), vec!["hi"]);
+        server.push_batch(SessionId(1), swipe_frames(1)).unwrap();
+        server.drain().unwrap();
+        server.undeploy("hi").unwrap();
+        assert!(server.deployed().is_empty());
+        assert!(matches!(
+            server.undeploy("hi"),
+            Err(ServeError::Cep(gesto_cep::CepError::UnknownQuery(_)))
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn reject_policy_reports_queue_full() {
+        let server = server_with_swipe(
+            ServerConfig::new()
+                .with_shards(1)
+                .with_queue_capacity(2)
+                .with_backpressure(BackpressurePolicy::Reject),
+        );
+        // Clog the shard: a rendezvous barrier blocks the worker until we
+        // receive, so queued batches pile up deterministically.
+        let (hold_tx, hold_rx) = bounded::<()>(0);
+        server.barrier_for_test(hold_tx);
+        server.push_batch(SessionId(0), swipe_frames(1)).unwrap();
+        server.push_batch(SessionId(0), swipe_frames(2)).unwrap();
+        let err = server.push_batch(SessionId(0), swipe_frames(3));
+        assert!(
+            matches!(err, Err(ServeError::QueueFull { shard: 0 })),
+            "{err:?}"
+        );
+        hold_rx.recv().unwrap(); // release the worker
+        server.drain().unwrap();
+        assert_eq!(
+            server.metrics().frames_in(),
+            2 * swipe_frames(1).len() as u64
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn drop_oldest_policy_sheds_head_of_queue() {
+        let server = Server::start(
+            ServerConfig::new()
+                .with_shards(1)
+                .with_queue_capacity(2)
+                .with_backpressure(BackpressurePolicy::DropOldest),
+        );
+        // Single-event query marking which batches survive: each batch
+        // carries a distinct, instantly matching first frame timestamp.
+        server
+            .deploy_text(r#"SELECT "any" MATCHING kinect(head_y > -100000);"#)
+            .unwrap();
+        let ts_seen: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = ts_seen.clone();
+        server.on_detection(Arc::new(move |_s, d| sink.lock().push(d.ts)));
+
+        let (hold_tx, hold_rx) = bounded::<()>(0);
+        server.barrier_for_test(hold_tx);
+        // Batches B0..B3 of one frame each, with distinct timestamps.
+        let base = swipe_frames(1);
+        for (i, f) in base.iter().take(4).enumerate() {
+            let mut f = f.clone();
+            f.ts = 1_000_000 + i as i64;
+            server.push_batch(SessionId(0), vec![f]).unwrap();
+        }
+        // cap=2: B2 and B3 each requested one oldest-batch shed.
+        hold_rx.recv().unwrap();
+        server.drain().unwrap();
+
+        let seen = ts_seen.lock().clone();
+        assert_eq!(seen, vec![1_000_002, 1_000_003], "oldest two batches shed");
+        let m = server.metrics();
+        assert_eq!(m.shed_frames(), 2);
+        assert_eq!(m.frames_in(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn blocking_policy_loses_nothing() {
+        let server = server_with_swipe(
+            ServerConfig::new()
+                .with_shards(1)
+                .with_queue_capacity(1)
+                .with_backpressure(BackpressurePolicy::Block),
+        );
+        let frames = swipe_frames(7);
+        let total: usize = 20 * frames.len();
+        for _ in 0..20 {
+            server.push_batch(SessionId(3), frames.clone()).unwrap();
+        }
+        server.close_session(SessionId(3)).unwrap();
+        let m = server.metrics();
+        assert_eq!(m.frames_in(), total as u64, "no frame lost while blocking");
+        assert_eq!(m.shed_frames(), 0);
+        assert_eq!(server.session_count(), 0, "session closed");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rejects_further_pushes() {
+        let server = server_with_swipe(ServerConfig::new().with_shards(1));
+        let handle = server.handle();
+        server.shutdown();
+        assert!(matches!(
+            handle.push_batch(SessionId(0), swipe_frames(0)),
+            Err(ServeError::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn sessions_route_stably_across_shards() {
+        let server = server_with_swipe(ServerConfig::new().with_shards(3));
+        for user in 0..9u64 {
+            server
+                .push_batch(SessionId(user), swipe_frames(user))
+                .unwrap();
+        }
+        server.drain().unwrap();
+        let m = server.metrics();
+        let per_shard: Vec<usize> = m.shards.iter().map(|s| s.sessions).collect();
+        assert_eq!(per_shard, vec![3, 3, 3], "modulo routing balances ids");
+        assert!(m.shards.iter().all(|s| s.latency.samples > 0));
+        server.shutdown();
+    }
+}

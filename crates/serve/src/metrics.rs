@@ -1,0 +1,220 @@
+//! Per-shard and aggregated server metrics.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+/// How many recent push latencies each shard retains for percentile
+/// estimation.
+const LATENCY_WINDOW: usize = 1024;
+
+/// Sliding window of recent latencies (microseconds).
+#[derive(Default)]
+pub(crate) struct LatencyRecorder {
+    ring: Mutex<LatencyRing>,
+}
+
+#[derive(Default)]
+struct LatencyRing {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyRecorder {
+    pub(crate) fn record(&self, micros: u64) {
+        let mut ring = self.ring.lock();
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(micros);
+        } else {
+            let i = ring.next;
+            ring.samples[i] = micros;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    pub(crate) fn summary(&self) -> LatencySummary {
+        let ring = self.ring.lock();
+        if ring.samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut sorted = ring.samples.clone();
+        sorted.sort_unstable();
+        // Nearest-rank percentile: idx = ⌈q·N⌉ − 1.
+        let pick = |q: f64| {
+            let idx = (q * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        LatencySummary {
+            samples: sorted.len(),
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            max_us: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Percentiles over a shard's recent batch-push latencies
+/// (enqueue → fully processed), in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Latencies in the window.
+    pub samples: usize,
+    /// Median latency.
+    pub p50_us: u64,
+    /// 99th-percentile latency.
+    pub p99_us: u64,
+    /// Worst latency in the window.
+    pub max_us: u64,
+}
+
+/// Live counters of one shard, shared between the worker thread and the
+/// server front-end (lock-free on the hot path except the per-gesture map
+/// and the latency ring, which are touched per batch, not per frame).
+#[derive(Default)]
+pub struct ShardMetrics {
+    pub(crate) frames_in: AtomicU64,
+    pub(crate) batches_in: AtomicU64,
+    pub(crate) detections: AtomicU64,
+    pub(crate) shed_frames: AtomicU64,
+    pub(crate) shed_batches: AtomicU64,
+    pub(crate) push_errors: AtomicU64,
+    pub(crate) sink_panics: AtomicU64,
+    pub(crate) sessions: AtomicUsize,
+    pub(crate) per_gesture: Mutex<HashMap<String, u64>>,
+    pub(crate) latency: LatencyRecorder,
+}
+
+impl ShardMetrics {
+    pub(crate) fn record_detections(&self, gesture_counts: &HashMap<String, u64>, total: u64) {
+        self.detections.fetch_add(total, Ordering::Relaxed);
+        let mut map = self.per_gesture.lock();
+        for (g, n) in gesture_counts {
+            *map.entry(g.clone()).or_insert(0) += n;
+        }
+    }
+
+    /// `queue_depth` is read from the shard's queue gate (the one live
+    /// counter backpressure also uses) and passed in by the server.
+    pub(crate) fn snapshot(&self, shard: usize, queue_depth: usize) -> ShardSnapshot {
+        ShardSnapshot {
+            shard,
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            batches_in: self.batches_in.load(Ordering::Relaxed),
+            detections: self.detections.load(Ordering::Relaxed),
+            shed_frames: self.shed_frames.load(Ordering::Relaxed),
+            shed_batches: self.shed_batches.load(Ordering::Relaxed),
+            push_errors: self.push_errors.load(Ordering::Relaxed),
+            sink_panics: self.sink_panics.load(Ordering::Relaxed),
+            queue_depth,
+            sessions: self.sessions.load(Ordering::Relaxed),
+            latency: self.latency.summary(),
+        }
+    }
+}
+
+/// Point-in-time counters of one shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Frames processed.
+    pub frames_in: u64,
+    /// Batches processed.
+    pub batches_in: u64,
+    /// Detections produced.
+    pub detections: u64,
+    /// Frames lost to the drop-oldest policy.
+    pub shed_frames: u64,
+    /// Batches lost to the drop-oldest policy.
+    pub shed_batches: u64,
+    /// Tuples that failed predicate evaluation.
+    pub push_errors: u64,
+    /// Detection-sink invocations that panicked (caught; the shard
+    /// keeps running).
+    pub sink_panics: u64,
+    /// Batches currently queued.
+    pub queue_depth: usize,
+    /// Sessions resident on this shard.
+    pub sessions: usize,
+    /// Recent push-latency percentiles.
+    pub latency: LatencySummary,
+}
+
+/// Aggregated view over all shards.
+#[derive(Debug, Clone, Default)]
+pub struct ServerMetrics {
+    /// Per-shard snapshots, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Detections per gesture, merged across shards.
+    pub per_gesture: BTreeMap<String, u64>,
+    /// Plans compiled *by this server* (never per session — the
+    /// compile-once invariant). Plans moved in pre-compiled via
+    /// `deploy_plan` (e.g. from `GestureSystem::into_server`) are not
+    /// counted; use `deployed()` for the live gesture count.
+    pub plans_compiled: u64,
+}
+
+impl ServerMetrics {
+    /// Total frames processed across shards.
+    pub fn frames_in(&self) -> u64 {
+        self.shards.iter().map(|s| s.frames_in).sum()
+    }
+
+    /// Total detections across shards.
+    pub fn detections(&self) -> u64 {
+        self.shards.iter().map(|s| s.detections).sum()
+    }
+
+    /// Total frames shed across shards.
+    pub fn shed_frames(&self) -> u64 {
+        self.shards.iter().map(|s| s.shed_frames).sum()
+    }
+
+    /// Total live sessions across shards.
+    pub fn sessions(&self) -> usize {
+        self.shards.iter().map(|s| s.sessions).sum()
+    }
+
+    /// Total queued batches across shards.
+    pub fn queue_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles() {
+        let rec = LatencyRecorder::default();
+        for us in 1..=100 {
+            rec.record(us);
+        }
+        let s = rec.summary();
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.p50_us, 50);
+        assert_eq!(s.p99_us, 99);
+        assert_eq!(s.max_us, 100);
+    }
+
+    #[test]
+    fn latency_window_wraps() {
+        let rec = LatencyRecorder::default();
+        for us in 0..(LATENCY_WINDOW as u64 + 10) {
+            rec.record(us);
+        }
+        let s = rec.summary();
+        assert_eq!(s.samples, LATENCY_WINDOW);
+        assert_eq!(s.max_us, LATENCY_WINDOW as u64 + 9);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        assert_eq!(
+            LatencyRecorder::default().summary(),
+            LatencySummary::default()
+        );
+    }
+}

@@ -1,0 +1,397 @@
+//! The multi-session detection server and its clonable handle.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, unbounded, Sender};
+use gesto_cep::{parse_query, Detection, FunctionRegistry, Query, QueryPlan};
+use gesto_db::GestureStore;
+use gesto_kinect::{kinect_schema, SkeletonFrame, KINECT_STREAM};
+use gesto_learn::{GestureDefinition, LearnerConfig};
+use gesto_stream::{Catalog, SchemaRef};
+use gesto_transform::{register_rpy, standard_catalog};
+use parking_lot::RwLock;
+
+use crate::config::{BackpressurePolicy, ServerConfig};
+use crate::error::ServeError;
+use crate::metrics::{ServerMetrics, ShardMetrics};
+use crate::session::SessionId;
+use crate::shard::{Batch, Control, Job, QueueGate, ShardWorker};
+
+/// Callback invoked for every detection of every session.
+pub type DetectionSink = Arc<dyn Fn(SessionId, &Detection) + Send + Sync>;
+
+/// Producer-side link to one shard.
+struct ShardLink {
+    tx: Sender<Job>,
+    gate: Arc<QueueGate>,
+    metrics: Arc<ShardMetrics>,
+}
+
+/// State shared between the [`Server`] and every [`ServerHandle`].
+struct ServerCore {
+    config: ServerConfig,
+    catalog: Arc<Catalog>,
+    funcs: Arc<FunctionRegistry>,
+    store: Arc<GestureStore>,
+    schema: SchemaRef,
+    shards: Vec<ShardLink>,
+    /// Authoritative deployed set (the shards mirror it).
+    plans: RwLock<HashMap<String, Arc<QueryPlan>>>,
+    listeners: Arc<RwLock<Vec<DetectionSink>>>,
+    plans_compiled: AtomicU64,
+    closed: AtomicBool,
+}
+
+/// A sharded, multi-threaded detection runtime serving many concurrent
+/// skeleton streams over shared, compile-once query plans.
+///
+/// Owns the worker threads; all operations are also available on the
+/// clonable, `Send` [`ServerHandle`] (via [`Server::handle`] or deref).
+pub struct Server {
+    handle: ServerHandle,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Clonable, thread-safe handle to a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    core: Arc<ServerCore>,
+}
+
+impl Server {
+    /// Starts a server with the standard Kinect catalog (`kinect` stream +
+    /// `kinect_t` view), the RPY functions and a fresh gesture store.
+    pub fn start(config: ServerConfig) -> Self {
+        let catalog = standard_catalog();
+        let funcs = Arc::new(FunctionRegistry::with_builtins());
+        register_rpy(&funcs);
+        Self::with_parts(config, catalog, funcs, Arc::new(GestureStore::new()))
+    }
+
+    /// Starts a server over existing parts — the upgrade path from a
+    /// single-user `GestureSystem` (catalog, functions and store carry
+    /// over; use [`ServerHandle::deploy_plan`] to move live queries in
+    /// without recompiling).
+    pub fn with_parts(
+        config: ServerConfig,
+        catalog: Arc<Catalog>,
+        funcs: Arc<FunctionRegistry>,
+        store: Arc<GestureStore>,
+    ) -> Self {
+        let shard_count = config.effective_shards();
+        let listeners: Arc<RwLock<Vec<DetectionSink>>> = Arc::new(RwLock::new(Vec::new()));
+        let schema = kinect_schema();
+
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut workers = Vec::with_capacity(shard_count);
+        for shard_id in 0..shard_count {
+            let (tx, rx) = unbounded::<Job>();
+            let gate = Arc::new(QueueGate::default());
+            let metrics = Arc::new(ShardMetrics::default());
+            let worker = ShardWorker::new(
+                rx,
+                schema.clone(),
+                KINECT_STREAM.to_owned(),
+                metrics.clone(),
+                gate.clone(),
+                listeners.clone(),
+            );
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gesto-shard-{shard_id}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn shard worker"),
+            );
+            shards.push(ShardLink { tx, gate, metrics });
+        }
+
+        let core = Arc::new(ServerCore {
+            config,
+            catalog,
+            funcs,
+            store,
+            schema,
+            shards,
+            plans: RwLock::new(HashMap::new()),
+            listeners,
+            plans_compiled: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        });
+        Server {
+            handle: ServerHandle { core },
+            workers,
+        }
+    }
+
+    /// A clonable handle for producers and control planes on other
+    /// threads.
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Drains all shards, stops the worker threads and joins them.
+    /// Queued frames are fully processed first.
+    pub fn shutdown(mut self) {
+        let _ = self.handle.drain();
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        self.handle.core.closed.store(true, Ordering::Release);
+        for link in &self.handle.core.shards {
+            let _ = link.tx.send(Job::Control(Control::Shutdown));
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.workers.is_empty() {
+            self.stop_workers();
+        }
+    }
+}
+
+impl std::ops::Deref for Server {
+    type Target = ServerHandle;
+
+    fn deref(&self) -> &ServerHandle {
+        &self.handle
+    }
+}
+
+impl ServerHandle {
+    // ----- ingestion -------------------------------------------------
+
+    /// Enqueues a batch of raw camera frames for `session`, applying the
+    /// configured backpressure policy if the session's shard is behind.
+    ///
+    /// Frames of one session are processed in push order on a single
+    /// shard; the call returns once the batch is queued (detections are
+    /// delivered through [`Self::on_detection`] sinks and metrics).
+    pub fn push_batch(
+        &self,
+        session: SessionId,
+        frames: Vec<SkeletonFrame>,
+    ) -> Result<(), ServeError> {
+        if self.core.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        let shard = session.shard(self.core.shards.len());
+        let link = &self.core.shards[shard];
+        let cap = self.core.config.queue_capacity;
+        match self.core.config.backpressure {
+            BackpressurePolicy::Block => link.gate.wait_below(cap),
+            BackpressurePolicy::Reject => {
+                if link.gate.depth.load(Ordering::Acquire) >= cap {
+                    return Err(ServeError::QueueFull { shard });
+                }
+            }
+            BackpressurePolicy::DropOldest => {
+                if link.gate.depth.load(Ordering::Acquire) >= cap {
+                    link.gate.shed_requests.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+        link.gate.depth.fetch_add(1, Ordering::AcqRel);
+        link.tx
+            .send(Job::Batch(Batch {
+                session,
+                frames,
+                enqueued: Instant::now(),
+            }))
+            .map_err(|_| {
+                link.gate.depth.fetch_sub(1, Ordering::AcqRel);
+                ServeError::Shutdown
+            })
+    }
+
+    /// Creates session state eagerly (otherwise it is created on the
+    /// session's first batch).
+    pub fn open_session(&self, session: SessionId) -> Result<(), ServeError> {
+        self.control(
+            session.shard(self.core.shards.len()),
+            Control::Open(session),
+        )
+    }
+
+    /// Closes a session, discarding its NFA/view state. Blocks until all
+    /// of the session's previously queued frames have been processed —
+    /// under the blocking policy a close loses nothing.
+    pub fn close_session(&self, session: SessionId) -> Result<(), ServeError> {
+        let shard = session.shard(self.core.shards.len());
+        let (ack_tx, ack_rx) = bounded(1);
+        self.control(shard, Control::Close(session, Some(ack_tx)))?;
+        ack_rx.recv().map_err(|_| ServeError::Shutdown)
+    }
+
+    /// Blocks until every job queued on every shard so far has been
+    /// processed.
+    pub fn drain(&self) -> Result<(), ServeError> {
+        let mut acks = Vec::with_capacity(self.core.shards.len());
+        for shard in 0..self.core.shards.len() {
+            let (ack_tx, ack_rx) = bounded(1);
+            self.control(shard, Control::Barrier(ack_tx))?;
+            acks.push(ack_rx);
+        }
+        for ack in acks {
+            ack.recv().map_err(|_| ServeError::Shutdown)?;
+        }
+        Ok(())
+    }
+
+    // ----- control plane ---------------------------------------------
+
+    /// Learns a gesture from raw camera-frame samples (the same pipeline
+    /// as `GestureSystem::teach`), stores the artefacts, compiles the
+    /// query **once** and deploys the shared plan to every shard — all
+    /// while sessions keep streaming.
+    pub fn teach(
+        &self,
+        name: &str,
+        samples: &[Vec<SkeletonFrame>],
+    ) -> Result<GestureDefinition, ServeError> {
+        self.teach_with(name, samples, LearnerConfig::default())
+    }
+
+    /// [`Self::teach`] with a custom learner configuration.
+    pub fn teach_with(
+        &self,
+        name: &str,
+        samples: &[Vec<SkeletonFrame>],
+        config: LearnerConfig,
+    ) -> Result<GestureDefinition, ServeError> {
+        let (def, query) =
+            gesto_control::learn_into_store(&self.core.store, name, samples, config)?;
+        self.deploy(query)?;
+        Ok(def)
+    }
+
+    /// Compiles `query` once and deploys (or replaces) it on every shard
+    /// and every live session.
+    pub fn deploy(&self, query: Query) -> Result<(), ServeError> {
+        let plan = QueryPlan::compile(query, self.core.catalog.as_ref(), &self.core.funcs)?;
+        self.core.plans_compiled.fetch_add(1, Ordering::Relaxed);
+        self.deploy_plan(plan)
+    }
+
+    /// Parses, compiles and deploys query text.
+    pub fn deploy_text(&self, text: &str) -> Result<(), ServeError> {
+        self.deploy(parse_query(text)?)
+    }
+
+    /// Broadcasts an already-compiled plan to every shard — the zero-
+    /// compile path for plans shared with another runtime (e.g. moved in
+    /// from a `GestureSystem`'s engine).
+    pub fn deploy_plan(&self, plan: Arc<QueryPlan>) -> Result<(), ServeError> {
+        // Hold the registry lock across the broadcast so concurrent
+        // deploy/undeploy calls serialise: every shard sees control
+        // messages in the same order as the registry updates.
+        let mut plans = self.core.plans.write();
+        plans.insert(plan.name().to_owned(), plan.clone());
+        for shard in 0..self.core.shards.len() {
+            self.control(shard, Control::Deploy(plan.clone()))?;
+        }
+        Ok(())
+    }
+
+    /// Removes a deployed gesture from every shard and session.
+    pub fn undeploy(&self, name: &str) -> Result<(), ServeError> {
+        let mut plans = self.core.plans.write();
+        if plans.remove(name).is_none() {
+            return Err(ServeError::Cep(gesto_cep::CepError::UnknownQuery(
+                name.to_owned(),
+            )));
+        }
+        for shard in 0..self.core.shards.len() {
+            self.control(shard, Control::Undeploy(name.to_owned()))?;
+        }
+        Ok(())
+    }
+
+    /// Names of deployed gestures (sorted).
+    pub fn deployed(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.core.plans.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Registers a detection sink invoked (on shard threads) for every
+    /// detection of every session.
+    pub fn on_detection(&self, sink: DetectionSink) {
+        self.core.listeners.write().push(sink);
+    }
+
+    // ----- observability ---------------------------------------------
+
+    /// Aggregated metrics across all shards.
+    pub fn metrics(&self) -> ServerMetrics {
+        let mut per_gesture: BTreeMap<String, u64> = BTreeMap::new();
+        let mut shards = Vec::with_capacity(self.core.shards.len());
+        for (i, link) in self.core.shards.iter().enumerate() {
+            shards.push(
+                link.metrics
+                    .snapshot(i, link.gate.depth.load(Ordering::Acquire)),
+            );
+            for (g, n) in link.metrics.per_gesture.lock().iter() {
+                *per_gesture.entry(g.clone()).or_insert(0) += n;
+            }
+        }
+        ServerMetrics {
+            shards,
+            per_gesture,
+            plans_compiled: self.core.plans_compiled.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Live sessions across all shards.
+    pub fn session_count(&self) -> usize {
+        self.core
+            .shards
+            .iter()
+            .map(|l| l.metrics.sessions.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Number of worker shards.
+    pub fn shard_count(&self) -> usize {
+        self.core.shards.len()
+    }
+
+    /// The server's gesture store (definitions, samples, query texts).
+    pub fn store(&self) -> &Arc<GestureStore> {
+        &self.core.store
+    }
+
+    /// The server's stream/view catalog.
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.core.catalog
+    }
+
+    /// The kinect input schema frames are converted with.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.core.schema
+    }
+
+    fn control(&self, shard: usize, c: Control) -> Result<(), ServeError> {
+        self.core.shards[shard]
+            .tx
+            .send(Job::Control(c))
+            .map_err(|_| ServeError::Shutdown)
+    }
+
+    /// Test hook: parks shard 0 on a rendezvous ack so tests can fill its
+    /// queue deterministically (the worker blocks in `ack.send` until the
+    /// test receives).
+    #[cfg(test)]
+    pub(crate) fn barrier_for_test(&self, ack: Sender<()>) {
+        self.control(0, Control::Barrier(ack)).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! Session identifiers.
+
+use std::fmt;
+
+/// Identifies one live skeleton stream (one user/device connection).
+///
+/// The id doubles as the routing key: session `s` lives on shard
+/// `s.0 % shards`, so a session's frames are always processed by the same
+/// worker thread in push order — which is what keeps per-session NFA
+/// state single-threaded and lock-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl SessionId {
+    /// Shard index this session routes to given `shards` workers.
+    pub fn shard(&self, shards: usize) -> usize {
+        (self.0 % shards.max(1) as u64) as usize
+    }
+}
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+impl From<u64> for SessionId {
+    fn from(v: u64) -> Self {
+        SessionId(v)
+    }
+}

@@ -1,0 +1,323 @@
+//! Shard worker: one thread owning the NFA/view state of its sessions.
+//!
+//! A shard receives all jobs over one FIFO channel, so data and control
+//! interleave deterministically: frames pushed before a `Close` or
+//! `Barrier` are fully processed before it takes effect, and a `Deploy`
+//! applies exactly at its position in the stream. Session state never
+//! leaves the worker thread — per-tuple matching takes no locks.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use gesto_cep::{Detection, PlanInstance, QueryPlan};
+use gesto_kinect::{frame_to_tuple, SkeletonFrame};
+use gesto_stream::SchemaRef;
+use parking_lot::RwLock;
+
+use crate::metrics::ShardMetrics;
+use crate::server::DetectionSink;
+use crate::session::SessionId;
+
+/// A unit of work on a shard's queue.
+pub(crate) enum Job {
+    /// Frames of one session.
+    Batch(Batch),
+    /// Control-plane message (bypasses the backpressure gate).
+    Control(Control),
+}
+
+pub(crate) struct Batch {
+    pub session: SessionId,
+    pub frames: Vec<SkeletonFrame>,
+    pub enqueued: Instant,
+}
+
+pub(crate) enum Control {
+    /// Deploy or replace a shared plan (partial matches of a replaced
+    /// plan are discarded, mirroring `Engine::replace`).
+    Deploy(Arc<QueryPlan>),
+    /// Remove a plan (and its per-session instances).
+    Undeploy(String),
+    /// Ensure session state exists.
+    Open(SessionId),
+    /// Drop session state; ack after all previously queued frames of the
+    /// session have been processed (FIFO guarantees that).
+    Close(SessionId, Option<Sender<()>>),
+    /// Ack once every previously queued job is done.
+    Barrier(Sender<()>),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Producer-side view of a shard's queue: depth gate for backpressure
+/// plus the shed handshake of the drop-oldest policy.
+pub(crate) struct QueueGate {
+    /// Batches currently queued.
+    pub depth: AtomicUsize,
+    /// Oldest-batch drop requests not yet honoured by the worker.
+    pub shed_requests: AtomicUsize,
+    /// Cleared when the worker exits — by shutdown *or* by panic (a
+    /// drop guard in [`ShardWorker::run`] guarantees it), so blocked
+    /// producers can never be stranded by a dead worker.
+    open: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Default for QueueGate {
+    fn default() -> Self {
+        Self {
+            depth: AtomicUsize::new(0),
+            shed_requests: AtomicUsize::new(0),
+            open: AtomicBool::new(true),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+impl QueueGate {
+    /// Blocks until the queue depth falls below `cap` or the worker is
+    /// gone. Returns immediately once the gate is closed — the caller's
+    /// subsequent `send` then reports the disconnection as an error.
+    pub fn wait_below(&self, cap: usize) {
+        while self.open.load(Ordering::Acquire) && self.depth.load(Ordering::Acquire) >= cap {
+            let guard = self.lock.lock().expect("gate mutex");
+            // Re-check under the lock to avoid missing a notify.
+            if !self.open.load(Ordering::Acquire) || self.depth.load(Ordering::Acquire) < cap {
+                break;
+            }
+            let (_guard, _timeout) = self
+                .cv
+                .wait_timeout(guard, Duration::from_millis(50))
+                .expect("gate mutex");
+        }
+    }
+
+    pub fn notify(&self) {
+        let _guard = self.lock.lock().expect("gate mutex");
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        self.open.store(false, Ordering::Release);
+        self.notify();
+    }
+}
+
+/// Closes the gate when the worker exits, however it exits.
+struct GateGuard(Arc<QueueGate>);
+
+impl Drop for GateGuard {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// State owned by one session on this shard: one runtime instance per
+/// deployed plan, in deployment order.
+pub(crate) struct SessionRuntime {
+    instances: Vec<PlanInstance>,
+}
+
+impl SessionRuntime {
+    fn new(plans: &[Arc<QueryPlan>]) -> Self {
+        Self {
+            instances: plans.iter().map(|p| p.instantiate()).collect(),
+        }
+    }
+}
+
+pub(crate) struct ShardWorker {
+    pub rx: Receiver<Job>,
+    pub schema: SchemaRef,
+    pub stream: String,
+    pub metrics: Arc<ShardMetrics>,
+    pub gate: Arc<QueueGate>,
+    pub listeners: Arc<RwLock<Vec<DetectionSink>>>,
+    pub plans: Vec<Arc<QueryPlan>>,
+    pub sessions: HashMap<SessionId, SessionRuntime>,
+}
+
+impl ShardWorker {
+    pub fn new(
+        rx: Receiver<Job>,
+        schema: SchemaRef,
+        stream: String,
+        metrics: Arc<ShardMetrics>,
+        gate: Arc<QueueGate>,
+        listeners: Arc<RwLock<Vec<DetectionSink>>>,
+    ) -> Self {
+        Self {
+            rx,
+            schema,
+            stream,
+            metrics,
+            gate,
+            listeners,
+            plans: Vec::new(),
+            sessions: HashMap::new(),
+        }
+    }
+
+    /// The worker loop. Exits on `Shutdown` or when every sender is gone.
+    pub fn run(mut self) {
+        let _gate_guard = GateGuard(self.gate.clone());
+        while let Ok(job) = self.rx.recv() {
+            match job {
+                Job::Batch(batch) => {
+                    let remaining = self.gate.depth.fetch_sub(1, Ordering::AcqRel) - 1;
+                    self.gate.notify();
+                    // Drop-oldest handshake: a producer that found the
+                    // queue full asked for one queued batch to be shed;
+                    // the batch at the head of the FIFO is the oldest.
+                    // Only honour the request while a newer batch is
+                    // still queued — if the queue drained in the
+                    // meantime, this batch IS the newest, and the
+                    // congestion the request reacted to is gone.
+                    if remaining > 0 && take_one(&self.gate.shed_requests) {
+                        self.metrics
+                            .shed_frames
+                            .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
+                        self.metrics.shed_batches.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if remaining == 0 {
+                        // Queue drained: any unhonoured shed requests are
+                        // stale; void them so they can't drop batches of
+                        // a later, uncongested burst.
+                        self.gate.shed_requests.store(0, Ordering::Release);
+                    }
+                    self.process(batch);
+                }
+                Job::Control(c) => {
+                    if self.control(c) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, batch: Batch) {
+        let runtime = match self.sessions.entry(batch.session) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.metrics.sessions.fetch_add(1, Ordering::Relaxed);
+                e.insert(SessionRuntime::new(&self.plans))
+            }
+        };
+
+        let mut detections: Vec<Detection> = Vec::new();
+        let mut errors = 0u64;
+        for frame in &batch.frames {
+            let tuple = frame_to_tuple(frame, &self.schema);
+            for inst in &mut runtime.instances {
+                if inst.push(&self.stream, &tuple, &mut detections).is_err() {
+                    errors += 1;
+                }
+            }
+        }
+
+        self.metrics
+            .frames_in
+            .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
+        self.metrics.batches_in.fetch_add(1, Ordering::Relaxed);
+        if errors > 0 {
+            self.metrics
+                .push_errors
+                .fetch_add(errors, Ordering::Relaxed);
+        }
+
+        if !detections.is_empty() {
+            let mut per_gesture: HashMap<String, u64> = HashMap::new();
+            for d in &detections {
+                *per_gesture.entry(d.gesture.clone()).or_insert(0) += 1;
+            }
+            self.metrics
+                .record_detections(&per_gesture, detections.len() as u64);
+            let listeners = self.listeners.read();
+            for d in &detections {
+                for l in listeners.iter() {
+                    // A panicking user sink must not take the shard (and
+                    // every session on it) down with it.
+                    if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        l(batch.session, d)
+                    }))
+                    .is_err()
+                    {
+                        self.metrics.sink_panics.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        self.metrics
+            .latency
+            .record(batch.enqueued.elapsed().as_micros() as u64);
+    }
+
+    /// Handles one control message; returns `true` to stop the worker.
+    fn control(&mut self, c: Control) -> bool {
+        match c {
+            Control::Deploy(plan) => {
+                for slot in self.sessions.values_mut() {
+                    let instances = &mut slot.instances;
+                    match instances.iter_mut().find(|i| i.name() == plan.name()) {
+                        Some(i) => *i = plan.instantiate(),
+                        None => instances.push(plan.instantiate()),
+                    }
+                }
+                match self.plans.iter_mut().find(|p| p.name() == plan.name()) {
+                    Some(p) => *p = plan,
+                    None => self.plans.push(plan),
+                }
+            }
+            Control::Undeploy(name) => {
+                self.plans.retain(|p| p.name() != name);
+                for slot in self.sessions.values_mut() {
+                    slot.instances.retain(|i| i.name() != name);
+                }
+            }
+            Control::Open(session) => {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.sessions.entry(session) {
+                    self.metrics.sessions.fetch_add(1, Ordering::Relaxed);
+                    e.insert(SessionRuntime::new(&self.plans));
+                }
+            }
+            Control::Close(session, ack) => {
+                if self.sessions.remove(&session).is_some() {
+                    self.metrics.sessions.fetch_sub(1, Ordering::Relaxed);
+                }
+                if let Some(ack) = ack {
+                    let _ = ack.send(());
+                }
+            }
+            Control::Barrier(ack) => {
+                let _ = ack.send(());
+            }
+            Control::Shutdown => return true,
+        }
+        false
+    }
+}
+
+/// Atomically takes one pending request if any; returns whether it did.
+fn take_one(counter: &AtomicUsize) -> bool {
+    let mut current = counter.load(Ordering::Acquire);
+    while current > 0 {
+        match counter.compare_exchange_weak(
+            current,
+            current - 1,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => return true,
+            Err(actual) => current = actual,
+        }
+    }
+    false
+}

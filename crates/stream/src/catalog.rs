@@ -51,6 +51,10 @@ pub struct Catalog {
 struct CatalogInner {
     streams: HashMap<String, SchemaRef>,
     views: HashMap<String, ViewDef>,
+    /// Memoised [`Catalog::resolve`] results, keyed by source name.
+    /// Cleared whenever the stream/view topology changes; shared across
+    /// every engine and server shard deploying over this catalog.
+    resolved: HashMap<String, (String, Vec<ViewDef>)>,
 }
 
 impl Catalog {
@@ -67,6 +71,7 @@ impl Catalog {
             return Err(StreamError::DuplicateStream(name));
         }
         inner.streams.insert(name, schema);
+        inner.resolved.clear();
         Ok(())
     }
 
@@ -80,6 +85,7 @@ impl Catalog {
             return Err(StreamError::UnknownStream(view.input));
         }
         inner.views.insert(view.name.clone(), view);
+        inner.resolved.clear();
         Ok(())
     }
 
@@ -112,27 +118,41 @@ impl Catalog {
     /// `("kinect", [kinect_t])`; instantiating the factories in order turns
     /// base tuples into view tuples.
     pub fn resolve(&self, name: &str) -> Result<(String, Vec<ViewDef>), StreamError> {
-        let inner = self.inner.read();
-        let mut chain = Vec::new();
-        let mut current = name.to_owned();
-        loop {
-            if inner.streams.contains_key(&current) {
-                chain.reverse();
-                return Ok((current, chain));
-            }
-            match inner.views.get(&current) {
-                Some(v) => {
-                    if chain.len() > inner.views.len() {
-                        return Err(StreamError::Pipeline(format!(
-                            "view cycle detected while resolving '{name}'"
-                        )));
-                    }
-                    chain.push(v.clone());
-                    current = v.input.clone();
-                }
-                None => return Err(StreamError::UnknownStream(current)),
-            }
+        if let Some(hit) = self.inner.read().resolved.get(name) {
+            return Ok(hit.clone());
         }
+        let result = {
+            let inner = self.inner.read();
+            let mut chain = Vec::new();
+            let mut current = name.to_owned();
+            loop {
+                if inner.streams.contains_key(&current) {
+                    chain.reverse();
+                    break (current, chain);
+                }
+                match inner.views.get(&current) {
+                    Some(v) => {
+                        if chain.len() > inner.views.len() {
+                            return Err(StreamError::Pipeline(format!(
+                                "view cycle detected while resolving '{name}'"
+                            )));
+                        }
+                        chain.push(v.clone());
+                        current = v.input.clone();
+                    }
+                    None => return Err(StreamError::UnknownStream(current)),
+                }
+            }
+        };
+        // The topology is add-only and names are unique, so a successful
+        // resolution can never be invalidated by later registrations —
+        // caching it is race-free even though the walk ran under an
+        // earlier read lock.
+        self.inner
+            .write()
+            .resolved
+            .insert(name.to_owned(), result.clone());
+        Ok(result)
     }
 
     /// All registered stream and view names (streams first, then views).
@@ -229,6 +249,41 @@ mod tests {
         let (root, chain) = cat.resolve("kinect").unwrap();
         assert_eq!(root, "kinect");
         assert!(chain.is_empty());
+    }
+
+    #[test]
+    fn resolve_cache_survives_registration() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let s = SchemaBuilder::new("kinect_t")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
+        cat.register_view(view_over("kinect_t", "kinect", s.clone()))
+            .unwrap();
+
+        // Warm the cache, then register more topology on top.
+        let (root, chain) = cat.resolve("kinect_t").unwrap();
+        assert_eq!((root.as_str(), chain.len()), ("kinect", 1));
+        let s2 = SchemaBuilder::new("k2")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
+        cat.register_view(view_over("k2", "kinect_t", s2)).unwrap();
+
+        // Both the pre-existing and the new name resolve correctly.
+        let (root, chain) = cat.resolve("kinect_t").unwrap();
+        assert_eq!((root.as_str(), chain.len()), ("kinect", 1));
+        let (root, chain) = cat.resolve("k2").unwrap();
+        assert_eq!((root.as_str(), chain.len()), ("kinect", 2));
+        // Cached entries are stable across repeated lookups.
+        let (root2, chain2) = cat.resolve("k2").unwrap();
+        assert_eq!(root, root2);
+        assert_eq!(chain.len(), chain2.len());
+        // Unknown names still fail (and are not cached as successes).
+        assert!(cat.resolve("nope").is_err());
     }
 
     #[test]

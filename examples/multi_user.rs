@@ -1,0 +1,90 @@
+//! Multi-user serving: teach a gesture once, detect it live on many
+//! concurrent sessions over a sharded server.
+//!
+//! ```sh
+//! cargo run --example multi_user
+//! ```
+
+use std::sync::Arc;
+
+use gesto::kinect::{gestures, NoiseModel, Performer, Persona};
+use gesto::serve::{ServerConfig, SessionId};
+use gesto::GestureSystem;
+use parking_lot::Mutex;
+
+fn main() {
+    // Start on the single-user system from the quickstart…
+    let system = GestureSystem::new();
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let samples: Vec<_> = (0..3)
+        .map(|seed| {
+            let mut p = Performer::new(persona.clone().with_seed(seed), 0);
+            p.render(&gestures::swipe_right())
+        })
+        .collect();
+    system.teach("swipe_right", &samples).expect("teach");
+
+    // …and upgrade it to a sharded multi-session server. The deployed
+    // query moves in as a shared compiled plan — no recompilation.
+    let server = system
+        .into_server(ServerConfig::new().with_shards(2))
+        .expect("into_server");
+    let handle = server.handle();
+
+    let hits: Arc<Mutex<Vec<(SessionId, String)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = hits.clone();
+    handle.on_detection(Arc::new(move |session, d| {
+        sink.lock().push((session, d.gesture.clone()));
+    }));
+
+    // Eight users of different builds and tempi stream concurrently;
+    // half perform the swipe, half perform a circle (a non-match).
+    let producers: Vec<_> = (0..8u64)
+        .map(|user| {
+            let h = handle.clone();
+            std::thread::spawn(move || {
+                let persona = if user % 2 == 0 {
+                    Persona::reference().with_seed(1000 + user)
+                } else {
+                    Persona::reference()
+                        .with_noise(NoiseModel::realistic())
+                        .with_seed(100 + user)
+                };
+                let mut p = Performer::new(persona, 0);
+                let frames = if user < 4 {
+                    p.render(&gestures::swipe_right())
+                } else {
+                    p.render(&gestures::circle())
+                };
+                h.push_batch(SessionId(user), frames).expect("push");
+            })
+        })
+        .collect();
+    for p in producers {
+        p.join().unwrap();
+    }
+    handle.drain().expect("drain");
+
+    let hits = hits.lock();
+    println!("sessions: {}", handle.session_count());
+    for user in 0..8u64 {
+        let n = hits.iter().filter(|(s, _)| s.0 == user).count();
+        let movement = if user < 4 { "swipe_right" } else { "circle" };
+        println!("  session-{user} performed {movement:<11} → {n} detection(s)");
+    }
+
+    let m = handle.metrics();
+    println!(
+        "totals: {} frames, {} detections, {} plans compiled",
+        m.frames_in(),
+        m.detections(),
+        m.plans_compiled
+    );
+    for s in &m.shards {
+        println!(
+            "  shard {}: {} sessions, {} frames, p50 {}µs p99 {}µs",
+            s.shard, s.sessions, s.frames_in, s.latency.p50_us, s.latency.p99_us
+        );
+    }
+    server.shutdown();
+}

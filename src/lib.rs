@@ -20,7 +20,11 @@
 //!   query generation (§3.3);
 //! - [`db`] — the gesture database;
 //! - [`control`] — motion detection, control gestures and the
-//!   interactive session workflow (§3.1).
+//!   interactive session workflow (§3.1);
+//! - [`serve`] — the sharded multi-session serving runtime: worker
+//!   shards, compile-once shared query plans, batched ingestion with
+//!   backpressure, per-shard metrics ([`GestureSystem::into_server`] is
+//!   the upgrade path from one user to thousands of sessions).
 //!
 //! ## Quickstart
 //!
@@ -59,16 +63,16 @@ pub use gesto_control as control;
 pub use gesto_db as db;
 pub use gesto_kinect as kinect;
 pub use gesto_learn as learn;
+pub use gesto_serve as serve;
 pub use gesto_stream as stream;
 pub use gesto_transform as transform;
 
-use cep::{CepError, Detection, Engine};
+use cep::{CepError, Detection, Engine, QueryStats};
 use db::GestureStore;
 use kinect::{frame_to_tuple, kinect_schema, SkeletonFrame, KINECT_STREAM};
-use learn::query_gen::{generate_query, QueryStyle};
-use learn::{GestureDefinition, LearnError, Learner, LearnerConfig};
+use learn::{GestureDefinition, LearnError, LearnerConfig};
+use serve::{Server, ServerConfig};
 use stream::{Catalog, SchemaRef};
-use transform::{TransformConfig, Transformer};
 
 /// One-stop system object: catalog + CEP engine + gesture store, with the
 /// `kinect` stream, the `kinect_t` view and the RPY operators registered.
@@ -132,23 +136,7 @@ impl GestureSystem {
         samples: &[Vec<SkeletonFrame>],
         config: LearnerConfig,
     ) -> Result<GestureDefinition, TeachError> {
-        let mut learner = Learner::new(config);
-        for frames in samples {
-            let mut tr = Transformer::new(TransformConfig::default());
-            let transformed: Vec<SkeletonFrame> = frames
-                .iter()
-                .filter_map(|f| tr.transform_frame(f))
-                .collect();
-            learner.add_sample_frames(&transformed)?;
-            let sample = learn::GestureSample::from_frames(&transformed, &learner.config().joints);
-            self.store.add_sample(name, sample);
-        }
-        let def = learner.finalize(name)?;
-        let query = generate_query(&def, QueryStyle::TransformedView);
-        self.store
-            .put_definition(def.clone())
-            .map_err(|e| TeachError::Learn(LearnError::Invalid(e.to_string())))?;
-        self.store.put_query_text(name, query.to_query_text());
+        let (def, query) = control::learn_into_store(&self.store, name, samples, config)?;
         self.engine.replace(query)?;
         Ok(def)
     }
@@ -173,6 +161,35 @@ impl GestureSystem {
             out.extend(self.push_frame(f)?);
         }
         Ok(out)
+    }
+
+    /// Runtime statistics of every deployed gesture query, sorted by
+    /// name — engine observability without reaching through [`Self::engine`].
+    pub fn stats(&self) -> Vec<QueryStats> {
+        self.engine.stats_all()
+    }
+
+    /// Names of the deployed gesture queries (sorted).
+    pub fn deployed(&self) -> Vec<String> {
+        self.engine.deployed()
+    }
+
+    /// Upgrades this single-user system into a sharded multi-session
+    /// [`Server`]: the catalog, function registry and gesture store carry
+    /// over, and every currently deployed query moves in as a shared
+    /// plan **without recompiling**.
+    pub fn into_server(self, config: ServerConfig) -> Result<Server, serve::ServeError> {
+        let plans = self.engine.deployed_plans();
+        let server = Server::with_parts(
+            config,
+            self.catalog,
+            self.engine.functions().clone(),
+            self.store,
+        );
+        for plan in plans {
+            server.deploy_plan(plan)?;
+        }
+        Ok(server)
     }
 }
 
