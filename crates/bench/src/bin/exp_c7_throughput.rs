@@ -21,6 +21,7 @@ struct Args {
     shards: Vec<usize>,
     frames: usize,
     batch: usize,
+    gestures: usize,
     strict: bool,
     json: Option<String>,
 }
@@ -31,6 +32,7 @@ fn parse_args() -> Args {
         shards: Vec::new(),
         frames: 600,
         batch: 60,
+        gestures: 1,
         strict: false,
         json: None,
     };
@@ -42,6 +44,9 @@ fn parse_args() -> Args {
             "--shards" => args.shards = list(it.next().expect("--shards N[,N…]")),
             "--frames" => args.frames = it.next().expect("--frames N").parse().expect("number"),
             "--batch" => args.batch = it.next().expect("--batch N").parse().expect("number"),
+            "--gestures" => {
+                args.gestures = it.next().expect("--gestures N").parse().expect("number")
+            }
             "--strict" => args.strict = true,
             "--json" => args.json = Some(it.next().expect("--json PATH")),
             other => panic!("unknown argument '{other}'"),
@@ -78,7 +83,7 @@ struct RunResult {
 }
 
 fn run(
-    query: &gesto_cep::Query,
+    queries: &[gesto_cep::Query],
     frames: &[SkeletonFrame],
     sessions: usize,
     shards: usize,
@@ -92,13 +97,16 @@ fn run(
             .with_backpressure(BackpressurePolicy::Block),
     );
 
-    // Compile-once invariant: one gesture deployed to N sessions must
-    // compile exactly one plan, process-wide.
+    // Compile-once invariant: G gestures deployed to N sessions must
+    // compile exactly G plans, process-wide.
     let compiles_before = gesto_cep::compiled_plan_count();
-    server.deploy(query.clone()).expect("deploy");
+    for query in queries {
+        server.deploy(query.clone()).expect("deploy");
+    }
     let compiled = gesto_cep::compiled_plan_count() - compiles_before;
     assert_eq!(
-        compiled, 1,
+        compiled,
+        queries.len() as u64,
         "one gesture → one compiled plan (got {compiled})"
     );
 
@@ -139,7 +147,11 @@ fn run(
     let frames_total = (sessions * frames.len()) as u64;
     assert_eq!(m.frames_in(), frames_total, "blocking policy lost frames");
     assert_eq!(m.sessions(), sessions, "session registry");
-    assert_eq!(m.plans_compiled, 1, "server-side compile counter");
+    assert_eq!(
+        m.plans_compiled,
+        queries.len() as u64,
+        "server-side compile counter"
+    );
     if let Some(expected) = expected_per_session {
         assert_eq!(
             m.detections(),
@@ -169,20 +181,34 @@ fn main() {
     println!("C7 — multi-session serving throughput (gesto-serve)");
     println!("====================================================\n");
     println!(
-        "host: {cores} core(s); sweep: sessions {:?} × shards {:?}, {} frames/session, batch {}\n",
-        args.sessions, args.shards, args.frames, args.batch
+        "host: {cores} core(s); sweep: sessions {:?} × shards {:?}, {} frames/session, batch {}, {} gesture(s)\n",
+        args.sessions, args.shards, args.frames, args.batch, args.gestures
     );
 
-    // Teach once, up front: the same learned query is shared by every
-    // run, session and shard.
+    // Teach once, up front: the same learned queries are shared by every
+    // run, session and shard. With --gestures N the plan is deployed
+    // under N distinct names — the transform-once path means added
+    // gestures only add NFA work, not transformation work.
     let def = learn_gesture(&gestures::swipe_right(), 3, 0, LearnerConfig::default());
-    let query = generate_query(&def, QueryStyle::TransformedView);
+    let base = generate_query(&def, QueryStyle::TransformedView);
+    let queries: Vec<gesto_cep::Query> = (0..args.gestures.max(1))
+        .map(|i| {
+            let mut q = base.clone();
+            if i > 0 {
+                q.name = format!("{}_{i}", q.name);
+            }
+            q
+        })
+        .collect();
     let frames = workload(args.frames);
 
     // Deterministic reference: how often one session's workload detects.
-    let reference = run(&query, &frames, 1, 1, args.batch, None);
+    let reference = run(&queries, &frames, 1, 1, args.batch, None);
     let per_session = reference.detections;
-    assert!(per_session >= 1, "workload must detect at least once");
+    assert!(
+        per_session >= queries.len() as u64,
+        "workload must detect at least once per gesture"
+    );
     println!("reference: 1 session × 1 shard → {per_session} detection(s)/session\n");
 
     let mut table = Table::new(&[
@@ -197,7 +223,7 @@ fn main() {
     for &shards in &args.shards {
         for &sessions in &args.sessions {
             let r = run(
-                &query,
+                &queries,
                 &frames,
                 sessions,
                 shards,
@@ -256,8 +282,8 @@ fn main() {
             ));
         }
         let json = format!(
-            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
-            args.frames, args.batch
+            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+            args.frames, args.batch, args.gestures
         );
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");

@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use gesto_stream::{Catalog, Tuple};
+use gesto_stream::{Catalog, SharedViews, Tuple};
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::CepError;
@@ -22,6 +22,9 @@ use crate::plan::{PlanInstance, QueryPlan};
 
 /// Callback invoked on every detection.
 pub type DetectionListener = Arc<dyn Fn(&Detection) + Send + Sync>;
+
+/// The deployed-query registry type.
+type QueryMap = HashMap<String, Mutex<PlanInstance>>;
 
 /// Runtime statistics of a deployed query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,9 +42,16 @@ pub struct QueryStats {
 }
 
 /// The CEP engine.
+///
+/// The engine is one logical session: it owns a [`SharedViews`] runtime,
+/// so every registered view is evaluated **once per pushed tuple** and
+/// its output is shared by reference across all deployed query routes
+/// (the transform-once data path). Lock order is `views` → `queries`
+/// everywhere.
 pub struct Engine {
     catalog: Arc<Catalog>,
     funcs: Arc<FunctionRegistry>,
+    views: Mutex<SharedViews>,
     queries: RwLock<HashMap<String, Mutex<PlanInstance>>>,
     listeners: RwLock<Vec<DetectionListener>>,
 }
@@ -49,22 +59,39 @@ pub struct Engine {
 impl Engine {
     /// Creates an engine over `catalog` with the built-in functions.
     pub fn new(catalog: Arc<Catalog>) -> Self {
+        Self::with_functions(catalog, Arc::new(FunctionRegistry::with_builtins()))
+    }
+
+    /// Creates an engine with a custom function registry.
+    pub fn with_functions(catalog: Arc<Catalog>, funcs: Arc<FunctionRegistry>) -> Self {
+        let views = Mutex::new(SharedViews::new(&catalog));
         Self {
             catalog,
-            funcs: Arc::new(FunctionRegistry::with_builtins()),
+            funcs,
+            views,
             queries: RwLock::new(HashMap::new()),
             listeners: RwLock::new(Vec::new()),
         }
     }
 
-    /// Creates an engine with a custom function registry.
-    pub fn with_functions(catalog: Arc<Catalog>, funcs: Arc<FunctionRegistry>) -> Self {
-        Self {
-            catalog,
-            funcs,
-            queries: RwLock::new(HashMap::new()),
-            listeners: RwLock::new(Vec::new()),
+    /// Re-syncs the shared view runtime with the catalog and the set of
+    /// deployed queries: instantiates views registered since the last
+    /// deploy and marks exactly the views referenced by some route (plus
+    /// their inputs) as needed. Called under the deploy locks.
+    fn sync_views(views: &mut SharedViews, catalog: &Catalog, queries: &QueryMap) {
+        views.refresh(catalog);
+        let mut needed: Vec<String> = Vec::new();
+        for entry in queries.values() {
+            let inst = entry.lock();
+            for route in inst.plan().routes() {
+                for v in &route.views {
+                    if !needed.contains(v) {
+                        needed.push(v.clone());
+                    }
+                }
+            }
         }
+        views.set_needed(needed.iter().map(String::as_str));
     }
 
     /// The engine's catalog.
@@ -99,11 +126,13 @@ impl Engine {
     /// path when the same plan is shared across many engines). Fails if a
     /// query with the same name is already deployed.
     pub fn deploy_plan(&self, plan: Arc<QueryPlan>) -> Result<(), CepError> {
+        let mut views = self.views.lock();
         let mut queries = self.queries.write();
         if queries.contains_key(plan.name()) {
             return Err(CepError::DuplicateQuery(plan.name().to_owned()));
         }
         queries.insert(plan.name().to_owned(), Mutex::new(plan.instantiate()));
+        Self::sync_views(&mut views, &self.catalog, &queries);
         Ok(())
     }
 
@@ -114,11 +143,14 @@ impl Engine {
 
     /// Removes a deployed query.
     pub fn undeploy(&self, name: &str) -> Result<Query, CepError> {
-        self.queries
-            .write()
+        let mut views = self.views.lock();
+        let mut queries = self.queries.write();
+        let removed = queries
             .remove(name)
             .map(|d| d.into_inner().plan().query().clone())
-            .ok_or_else(|| CepError::UnknownQuery(name.to_owned()))
+            .ok_or_else(|| CepError::UnknownQuery(name.to_owned()))?;
+        Self::sync_views(&mut views, &self.catalog, &queries);
+        Ok(removed)
     }
 
     /// Atomically replaces a deployed query of the same name (deploys if
@@ -130,9 +162,10 @@ impl Engine {
 
     /// [`Self::replace`] for an already-compiled plan.
     pub fn replace_plan(&self, plan: Arc<QueryPlan>) {
-        self.queries
-            .write()
-            .insert(plan.name().to_owned(), Mutex::new(plan.instantiate()));
+        let mut views = self.views.lock();
+        let mut queries = self.queries.write();
+        queries.insert(plan.name().to_owned(), Mutex::new(plan.instantiate()));
+        Self::sync_views(&mut views, &self.catalog, &queries);
     }
 
     /// Names of deployed queries (sorted).
@@ -183,32 +216,71 @@ impl Engine {
 
     /// Pushes one tuple of base stream `stream` through all deployed
     /// queries; returns all detections (listeners are also invoked).
+    ///
+    /// Views are evaluated once for the tuple and shared across every
+    /// deployed query (transform-once).
     pub fn push(&self, stream: &str, tuple: &Tuple) -> Result<Vec<Detection>, CepError> {
-        let mut detections = Vec::new();
-        {
+        self.push_batch(stream, std::slice::from_ref(tuple))
+    }
+
+    /// Pushes a batch of tuples of one stream; returns all detections.
+    ///
+    /// Amortises route dispatch across the batch: the view runtime, the
+    /// query registry and every instance lock are acquired once for the
+    /// whole batch, not once per tuple.
+    pub fn push_batch(&self, stream: &str, tuples: &[Tuple]) -> Result<Vec<Detection>, CepError> {
+        let mut out = Vec::new();
+        self.push_batch_into(stream, tuples, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::push_batch`] into a caller-owned buffer (the allocation-
+    /// free variant for hot loops that reuse a detections scratch).
+    /// Detections are appended; the buffer is not cleared.
+    ///
+    /// Listeners fire after the batch completes, with no engine locks
+    /// held — a listener may safely call back into the engine (stats,
+    /// push, deploy). On error, detections already appended to `out`
+    /// have been reported to listeners.
+    pub fn push_batch_into(
+        &self,
+        stream: &str,
+        tuples: &[Tuple],
+        out: &mut Vec<Detection>,
+    ) -> Result<(), CepError> {
+        let fresh = out.len();
+        let result = {
+            let mut views = self.views.lock();
             let queries = self.queries.read();
-            for entry in queries.values() {
-                entry.lock().push(stream, tuple, &mut detections)?;
-            }
-        }
-        if !detections.is_empty() {
+            let mut instances: Vec<_> = queries.values().map(|m| m.lock()).collect();
+            let mut run = || -> Result<(), CepError> {
+                for tuple in tuples {
+                    views.begin_frame(stream, tuple);
+                    for inst in instances.iter_mut() {
+                        inst.push_shared(stream, tuple, &views, out)?;
+                    }
+                }
+                Ok(())
+            };
+            run()
+        };
+        // All locks are released before listeners run, so listeners can
+        // re-enter the engine without self-deadlocking.
+        if out.len() > fresh {
             let listeners = self.listeners.read();
-            for det in &detections {
+            for det in &out[fresh..] {
                 for l in listeners.iter() {
                     l(det);
                 }
             }
         }
-        Ok(detections)
+        result
     }
 
     /// Pushes a batch of tuples of one stream; returns all detections.
+    /// Alias of [`Self::push_batch`], kept for the seed API.
     pub fn run_batch(&self, stream: &str, tuples: &[Tuple]) -> Result<Vec<Detection>, CepError> {
-        let mut out = Vec::new();
-        for t in tuples {
-            out.extend(self.push(stream, t)?);
-        }
-        Ok(out)
+        self.push_batch(stream, tuples)
     }
 
     /// Resets all partial matches of all queries (e.g. between test
@@ -338,6 +410,24 @@ mod tests {
     }
 
     #[test]
+    fn listener_may_reenter_the_engine() {
+        // Listeners run with no engine locks held: a monitoring sink
+        // that calls back into the engine must not self-deadlock.
+        let e = Arc::new(engine_with_view());
+        e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9);"#)
+            .unwrap();
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::<u64>::new()));
+        let e2 = Arc::downgrade(&e);
+        let s2 = seen.clone();
+        e.add_listener(Arc::new(move |d: &Detection| {
+            let engine = e2.upgrade().expect("engine alive");
+            s2.lock().push(engine.stats(&d.gesture).unwrap().detections);
+        }));
+        e.push("kinect", &tup(0, 10.0)).unwrap();
+        assert_eq!(seen.lock().as_slice(), &[1]);
+    }
+
+    #[test]
     fn multiple_queries_detect_independently() {
         let e = engine_with_view();
         e.deploy_text(r#"SELECT "hi" MATCHING kinect(x > 9);"#)
@@ -350,6 +440,85 @@ mod tests {
         let mut names: Vec<_> = ds.iter().map(|d| d.gesture.as_str()).collect();
         names.sort();
         assert_eq!(names, vec!["hi", "lo"]);
+    }
+
+    #[test]
+    fn view_evaluated_once_per_tuple_across_queries() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cat = Arc::new(Catalog::new());
+        cat.register_stream(schema()).unwrap();
+        let out = SchemaBuilder::new("kinect_t")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
+        let calls = Arc::new(AtomicU64::new(0));
+        let factory_schema = out.clone();
+        let factory_calls = calls.clone();
+        cat.register_view(ViewDef {
+            name: "kinect_t".into(),
+            input: "kinect".into(),
+            schema: out,
+            factory: Arc::new(move || {
+                let s = factory_schema.clone();
+                let calls = factory_calls.clone();
+                Box::new(MapOp::new("double", s.clone(), move |t: &Tuple| {
+                    calls.fetch_add(1, Ordering::Relaxed);
+                    Some(Tuple::new_unchecked(
+                        s.clone(),
+                        vec![
+                            t.get_by_name("ts").unwrap().clone(),
+                            Value::Float(t.f64("x").unwrap() * 2.0),
+                        ],
+                    ))
+                }))
+            }),
+        })
+        .unwrap();
+        let e = Engine::new(cat);
+        // Three queries over the same view: the transform must still run
+        // exactly once per pushed tuple.
+        e.deploy_text(r#"SELECT "a" MATCHING kinect_t(x > 18);"#)
+            .unwrap();
+        e.deploy_text(r#"SELECT "b" MATCHING kinect_t(x > 10);"#)
+            .unwrap();
+        e.deploy_text(r#"SELECT "c" MATCHING kinect_t(x < 0);"#)
+            .unwrap();
+        let ds = e.push("kinect", &tup(0, 10.0)).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "transform-once");
+        let mut names: Vec<_> = ds.iter().map(|d| d.gesture.as_str()).collect();
+        names.sort();
+        assert_eq!(names, vec!["a", "b"]);
+        e.push("kinect", &tup(10, -1.0)).unwrap();
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn push_batch_matches_per_tuple_push() {
+        let a = engine_with_view();
+        let b = engine_with_view();
+        for e in [&a, &b] {
+            e.deploy_text(r#"SELECT "g" MATCHING kinect(x > 9) -> kinect(x < 1);"#)
+                .unwrap();
+            e.deploy_text(r#"SELECT "v" MATCHING kinect_t(x > 18);"#)
+                .unwrap();
+        }
+        let tuples: Vec<Tuple> = [(0, 10.0), (50, 0.5), (100, 9.5), (150, 0.2)]
+            .iter()
+            .map(|&(ts, x)| tup(ts, x))
+            .collect();
+        let batched = a.push_batch("kinect", &tuples).unwrap();
+        let mut single = Vec::new();
+        for t in &tuples {
+            single.extend(b.push("kinect", t).unwrap());
+        }
+        let key = |d: &Detection| (d.gesture.clone(), d.ts, d.started_at);
+        let mut bk: Vec<_> = batched.iter().map(key).collect();
+        let mut sk: Vec<_> = single.iter().map(key).collect();
+        bk.sort();
+        sk.sort();
+        assert_eq!(bk, sk);
+        assert!(!bk.is_empty());
     }
 
     #[test]

@@ -26,6 +26,35 @@ pub enum CompiledExpr {
     Binary(BinOp, Box<CompiledExpr>, Box<CompiledExpr>),
     /// Bound function call.
     Call(Arc<str>, ScalarFn, Vec<CompiledExpr>),
+    /// Fused window check `abs(input ± center) < width` — the shape of
+    /// every learned pose predicate. Evaluated as three slot reads and
+    /// two float ops when the inputs are `Float`s; `Null` propagates,
+    /// and any other value delegates to the bit-equivalent `fallback`
+    /// tree (the unfused original).
+    Band {
+        /// The column (or column difference) being windowed.
+        input: BandInput,
+        /// True when the centre offset is added (`+ |c|` for negative
+        /// centres, matching the paper's print style).
+        add: bool,
+        /// Centre offset literal.
+        center: f64,
+        /// Window half-width literal.
+        width: f64,
+        /// The original tree, for exact semantics on non-`Float` input.
+        fallback: Box<CompiledExpr>,
+    },
+    /// Flattened left-to-right Kleene conjunction (`a and b and …`):
+    /// false short-circuits, `Null` is sticky-unknown.
+    AndAll(Vec<CompiledExpr>),
+}
+
+/// The windowed quantity of a [`CompiledExpr::Band`].
+pub enum BandInput {
+    /// A single column.
+    Col(usize),
+    /// Difference of two columns (raw torso-relative style).
+    Diff(usize, usize),
 }
 
 impl std::fmt::Debug for CompiledExpr {
@@ -36,12 +65,42 @@ impl std::fmt::Debug for CompiledExpr {
             CompiledExpr::Unary(op, e) => write!(f, "Unary({op:?}, {e:?})"),
             CompiledExpr::Binary(op, l, r) => write!(f, "Binary({op:?}, {l:?}, {r:?})"),
             CompiledExpr::Call(name, _, args) => write!(f, "Call({name}, {args:?})"),
+            CompiledExpr::Band {
+                input,
+                add,
+                center,
+                width,
+                ..
+            } => {
+                let sign = if *add { '+' } else { '-' };
+                match input {
+                    BandInput::Col(i) => {
+                        write!(f, "Band(abs(col{i} {sign} {center}) < {width})")
+                    }
+                    BandInput::Diff(a, b) => {
+                        write!(f, "Band(abs(col{a} - col{b} {sign} {center}) < {width})")
+                    }
+                }
+            }
+            CompiledExpr::AndAll(terms) => write!(f, "AndAll({terms:?})"),
         }
     }
 }
 
-/// Compiles `expr` against `schema`, resolving functions in `funcs`.
+/// Compiles `expr` against `schema`, resolving functions in `funcs`,
+/// then fuses the hot shapes (window bands, conjunction chains) so the
+/// per-tuple evaluation of learned gesture predicates is a handful of
+/// slot reads instead of a tree walk.
 pub fn compile(
+    expr: &Expr,
+    schema: &SchemaRef,
+    funcs: &FunctionRegistry,
+) -> Result<CompiledExpr, CepError> {
+    Ok(optimize(compile_tree(expr, schema, funcs)?))
+}
+
+/// The plain structural compilation (no fusion).
+fn compile_tree(
     expr: &Expr,
     schema: &SchemaRef,
     funcs: &FunctionRegistry,
@@ -59,21 +118,107 @@ pub fn compile(
         Expr::Literal(v) => Ok(CompiledExpr::Literal(v.clone())),
         Expr::Unary { op, expr } => Ok(CompiledExpr::Unary(
             *op,
-            Box::new(compile(expr, schema, funcs)?),
+            Box::new(compile_tree(expr, schema, funcs)?),
         )),
         Expr::Binary { op, lhs, rhs } => Ok(CompiledExpr::Binary(
             *op,
-            Box::new(compile(lhs, schema, funcs)?),
-            Box::new(compile(rhs, schema, funcs)?),
+            Box::new(compile_tree(lhs, schema, funcs)?),
+            Box::new(compile_tree(rhs, schema, funcs)?),
         )),
         Expr::Call { func, args } => {
             let f = funcs.resolve(func, args.len())?;
             let compiled = args
                 .iter()
-                .map(|a| compile(a, schema, funcs))
+                .map(|a| compile_tree(a, schema, funcs))
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(CompiledExpr::Call(Arc::from(func.as_str()), f, compiled))
         }
+    }
+}
+
+/// Rewrites a compiled tree into its fused form. Pure strength
+/// reduction: every rewrite preserves evaluation order, three-valued
+/// logic, and error behaviour exactly (bands keep the original tree as
+/// their fallback for non-`Float` inputs).
+fn optimize(expr: CompiledExpr) -> CompiledExpr {
+    match expr {
+        CompiledExpr::Binary(BinOp::And, l, r) => {
+            let mut terms = Vec::new();
+            flatten_and(*l, &mut terms);
+            flatten_and(*r, &mut terms);
+            CompiledExpr::AndAll(terms)
+        }
+        CompiledExpr::Binary(BinOp::Lt, l, r) => fuse_band(*l, *r),
+        CompiledExpr::Binary(op, l, r) => {
+            CompiledExpr::Binary(op, Box::new(optimize(*l)), Box::new(optimize(*r)))
+        }
+        CompiledExpr::Unary(op, e) => CompiledExpr::Unary(op, Box::new(optimize(*e))),
+        CompiledExpr::Call(name, f, args) => {
+            CompiledExpr::Call(name, f, args.into_iter().map(optimize).collect())
+        }
+        leaf => leaf,
+    }
+}
+
+/// Flattens a (left-associative) `and` chain into conjunction terms.
+fn flatten_and(expr: CompiledExpr, out: &mut Vec<CompiledExpr>) {
+    match expr {
+        CompiledExpr::Binary(BinOp::And, l, r) => {
+            flatten_and(*l, out);
+            flatten_and(*r, out);
+        }
+        other => out.push(optimize(other)),
+    }
+}
+
+/// Fuses `abs(col ± c) < w` / `abs(colA - colB ± c) < w` (with the
+/// *built-in* `abs` and `Float` literals) into a [`CompiledExpr::Band`];
+/// anything else recompiles as a plain `Lt`.
+fn fuse_band(lhs: CompiledExpr, rhs: CompiledExpr) -> CompiledExpr {
+    let plain = |l: CompiledExpr, r: CompiledExpr| {
+        CompiledExpr::Binary(BinOp::Lt, Box::new(optimize(l)), Box::new(optimize(r)))
+    };
+    let width = match &rhs {
+        CompiledExpr::Literal(Value::Float(w)) => *w,
+        _ => return plain(lhs, rhs),
+    };
+    let is_builtin_abs = |f: &ScalarFn| Arc::ptr_eq(f, crate::expr::functions::builtin_abs());
+    let fused = match &lhs {
+        CompiledExpr::Call(_, f, args) if is_builtin_abs(f) && args.len() == 1 => match &args[0] {
+            CompiledExpr::Binary(op @ (BinOp::Sub | BinOp::Add), inner, c) => {
+                let center = match &**c {
+                    CompiledExpr::Literal(Value::Float(c)) => *c,
+                    _ => return plain(lhs, rhs),
+                };
+                let input = match &**inner {
+                    CompiledExpr::Column(i) => BandInput::Col(*i),
+                    CompiledExpr::Binary(BinOp::Sub, a, b) => match (&**a, &**b) {
+                        (CompiledExpr::Column(a), CompiledExpr::Column(b)) => {
+                            BandInput::Diff(*a, *b)
+                        }
+                        _ => return plain(lhs, rhs),
+                    },
+                    _ => return plain(lhs, rhs),
+                };
+                Some((input, *op == BinOp::Add, center))
+            }
+            _ => None,
+        },
+        _ => None,
+    };
+    match fused {
+        Some((input, add, center)) => CompiledExpr::Band {
+            input,
+            add,
+            center,
+            width,
+            fallback: Box::new(CompiledExpr::Binary(
+                BinOp::Lt,
+                Box::new(lhs),
+                Box::new(rhs),
+            )),
+        },
+        None => plain(lhs, rhs),
     }
 }
 
@@ -102,6 +247,51 @@ impl CompiledExpr {
                     vals.push(a.eval(tuple)?);
                 }
                 f(&vals)
+            }
+            CompiledExpr::Band {
+                input,
+                add,
+                center,
+                width,
+                fallback,
+            } => {
+                let vals = tuple.values();
+                let x = match input {
+                    BandInput::Col(i) => match &vals[*i] {
+                        Value::Float(x) => *x,
+                        Value::Null => return Ok(Value::Null),
+                        _ => return fallback.eval(tuple),
+                    },
+                    BandInput::Diff(a, b) => match (&vals[*a], &vals[*b]) {
+                        (Value::Float(x), Value::Float(y)) => x - y,
+                        (Value::Null, _) | (_, Value::Null) => return Ok(Value::Null),
+                        _ => return fallback.eval(tuple),
+                    },
+                };
+                let r = if *add { x + center } else { x - center }.abs();
+                // Same comparison kernel as the tree (incl. the NaN
+                // error path).
+                eval_comparison(BinOp::Lt, Value::Float(r), Value::Float(*width))
+            }
+            CompiledExpr::AndAll(terms) => {
+                let mut saw_null = false;
+                for t in terms {
+                    match t.eval(tuple)? {
+                        Value::Bool(false) => return Ok(Value::Bool(false)),
+                        Value::Bool(true) => {}
+                        Value::Null => saw_null = true,
+                        other => {
+                            return Err(CepError::Eval(format!(
+                                "non-boolean operand {other} for And"
+                            )))
+                        }
+                    }
+                }
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(true)
+                })
             }
         }
     }
@@ -385,6 +575,83 @@ mod tests {
         );
         let c = compile(&e, t.schema(), &reg).unwrap();
         assert_eq!(c.eval(&t).unwrap(), Value::Bool(true));
+    }
+
+    fn band_expr(center: f64, width: f64) -> Expr {
+        Expr::lt(
+            Expr::abs(Expr::bin(BinOp::Sub, Expr::col("x"), Expr::lit(center))),
+            Expr::lit(width),
+        )
+    }
+
+    #[test]
+    fn learned_shape_fuses_into_band() {
+        let reg = FunctionRegistry::with_builtins();
+        let e = Expr::and(band_expr(400.0, 50.0), band_expr(150.0, 40.0));
+        let c = compile(&e, &schema(), &reg).unwrap();
+        let dbg = format!("{c:?}");
+        assert!(dbg.starts_with("AndAll"), "{dbg}");
+        assert_eq!(dbg.matches("Band(").count(), 2, "{dbg}");
+        // Negative centre prints as `+ |c|` and still fuses.
+        let neg = Expr::lt(
+            Expr::abs(Expr::bin(BinOp::Add, Expr::col("x"), Expr::lit(120.0))),
+            Expr::lit(50.0),
+        );
+        let c = compile(&neg, &schema(), &reg).unwrap();
+        assert!(format!("{c:?}").contains("Band"), "{c:?}");
+        let t = tuple(-100.0, 0.0);
+        assert_eq!(c.eval(&t).unwrap(), Value::Bool(true), "abs(-100+120)<50");
+    }
+
+    #[test]
+    fn band_matches_tree_on_every_value_kind() {
+        // Int-in-float-slot, Null, and plain Float must all agree with
+        // the unfused tree bit for bit.
+        let reg = FunctionRegistry::with_builtins();
+        let s = schema();
+        let e = band_expr(10.0, 5.0);
+        let fused = compile(&e, &s, &reg).unwrap();
+        assert!(format!("{fused:?}").contains("Band"));
+        let tree = compile_tree(&e, &s, &reg).unwrap();
+        for x in [
+            Value::Float(12.0),
+            Value::Float(100.0),
+            Value::Float(f64::NAN),
+            Value::Int(11),
+            Value::Null,
+        ] {
+            let t = Tuple::new(
+                s.clone(),
+                vec![
+                    Value::Timestamp(0),
+                    x.clone(),
+                    Value::Float(0.0),
+                    Value::Bool(true),
+                    Value::Null,
+                ],
+            )
+            .unwrap();
+            match (fused.eval(&t), tree.eval(&t)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "value {x}"),
+                (Err(a), Err(b)) => assert_eq!(a.to_string(), b.to_string(), "value {x}"),
+                (a, b) => panic!("divergence on {x}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn overridden_abs_is_not_fused() {
+        let reg = FunctionRegistry::with_builtins();
+        // A user-redefined `abs` must keep its (weird) semantics.
+        reg.register(
+            "abs",
+            crate::expr::functions::Arity::Exact(1),
+            Arc::new(|_| Ok(Value::Float(0.0))),
+        );
+        let c = compile(&band_expr(400.0, 50.0), &schema(), &reg).unwrap();
+        assert!(!format!("{c:?}").contains("Band"), "{c:?}");
+        let t = tuple(9999.0, 0.0);
+        assert_eq!(c.eval(&t).unwrap(), Value::Bool(true), "0.0 < 50");
     }
 
     #[test]

@@ -90,6 +90,16 @@ fn numeric_fn(name: &'static str, f: impl Fn(&[f64]) -> f64 + Send + Sync + 'sta
     })
 }
 
+/// The canonical built-in `abs` — a single process-wide `Arc` so the
+/// expression optimiser can prove (by pointer identity) that a compiled
+/// call really is the built-in and may be fused into the band fast path.
+/// A registry where the user replaced `abs` yields a different `Arc` and
+/// is never fused.
+pub(crate) fn builtin_abs() -> &'static ScalarFn {
+    static ABS: std::sync::OnceLock<ScalarFn> = std::sync::OnceLock::new();
+    ABS.get_or_init(|| numeric_fn("abs", |a| a[0].abs()))
+}
+
 impl FunctionRegistry {
     /// Creates an empty registry.
     pub fn empty() -> Self {
@@ -101,7 +111,7 @@ impl FunctionRegistry {
     /// Creates a registry populated with the built-in functions.
     pub fn with_builtins() -> Self {
         let reg = Self::empty();
-        reg.register("abs", Arity::Exact(1), numeric_fn("abs", |a| a[0].abs()));
+        reg.register("abs", Arity::Exact(1), builtin_abs().clone());
         reg.register("sqrt", Arity::Exact(1), numeric_fn("sqrt", |a| a[0].sqrt()));
         reg.register(
             "min",

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gesto_stream::{BoxedOperator, Catalog, Tuple, ViewFactory};
+use gesto_stream::{BoxedOperator, Catalog, SharedViews, Tuple, ViewFactory};
 
 use crate::engine::QueryStats;
 use crate::error::CepError;
@@ -39,6 +39,10 @@ pub struct RouteSpec {
     pub base: String,
     /// View operator factories, base→source order.
     pub factories: Vec<ViewFactory>,
+    /// Names of the views in `factories`, base→source order. The shared
+    /// data path resolves these to [`SharedViews`] slots instead of
+    /// instantiating the factories per route.
+    pub views: Vec<String>,
 }
 
 /// A compiled, immutable, shareable query plan.
@@ -65,6 +69,7 @@ impl QueryPlan {
                 source: source.to_owned(),
                 base,
                 factories: views.iter().map(|v| v.factory.clone()).collect(),
+                views: views.iter().map(|v| v.name.clone()).collect(),
             });
         }
         COMPILED_PLANS.fetch_add(1, Ordering::Relaxed);
@@ -96,29 +101,46 @@ impl QueryPlan {
     }
 
     /// Stamps out fresh per-session runtime state over this shared plan:
-    /// new (stateful) view operators and an empty NFA run set. Cheap —
-    /// no parsing, compilation or catalog lookups.
+    /// an empty NFA run set (private view chains are built lazily, only
+    /// if the instance is pushed through the legacy per-route path).
+    /// Cheap — no parsing, compilation or catalog lookups.
     pub fn instantiate(self: &Arc<Self>) -> PlanInstance {
-        let chains = self
-            .routes
-            .iter()
-            .map(|r| r.factories.iter().map(|f| f()).collect())
-            .collect();
         PlanInstance {
             plan: Arc::clone(self),
-            chains,
+            chains: None,
+            bindings: None,
             nfa: Nfa::instantiate(Arc::clone(&self.program)),
             detections: 0,
         }
     }
 }
 
-/// Per-session runtime state of one deployed [`QueryPlan`]: instantiated
-/// view chains, NFA run state and a detection counter.
+/// How one route of a [`PlanInstance`] reads its tuples on the shared
+/// (transform-once) data path.
+enum RouteBinding {
+    /// The route's source is the base stream itself.
+    Direct,
+    /// The route reads the output of a [`SharedViews`] slot.
+    Shared(usize),
+    /// The source view is unknown to the session's `SharedViews` (e.g. a
+    /// plan compiled against a different catalog); this route falls back
+    /// to a private operator chain.
+    Private,
+}
+
+/// Per-session runtime state of one deployed [`QueryPlan`]: NFA run
+/// state, a detection counter, and (only on the legacy per-route path)
+/// private view chains.
 pub struct PlanInstance {
     plan: Arc<QueryPlan>,
-    /// Instantiated view operators, parallel to `plan.routes()`.
-    chains: Vec<Vec<BoxedOperator>>,
+    /// Private view operators, parallel to `plan.routes()`. Built lazily
+    /// by the legacy [`Self::push`] path; instances driven through
+    /// [`Self::push_shared`] never pay for them.
+    chains: Option<Vec<Vec<BoxedOperator>>>,
+    /// Route → shared-view binding, resolved once on the first
+    /// [`Self::push_shared`] call (slots are stable: [`SharedViews`]
+    /// only ever appends).
+    bindings: Option<Vec<RouteBinding>>,
     nfa: Nfa,
     detections: u64,
 }
@@ -156,7 +178,10 @@ impl PlanInstance {
     }
 
     /// Pushes one tuple of base stream `stream`, appending any detections
-    /// to `out`.
+    /// to `out` — the **legacy per-route path**: every route runs its own
+    /// private view chain. Kept as the reference semantics (the
+    /// equivalence tests pin [`Self::push_shared`] against it) and as the
+    /// fallback when no [`SharedViews`] is available.
     ///
     /// Hot path: the input tuple is only borrowed — view operators emit
     /// owned tuples when they rewrite, and a route without views feeds the
@@ -167,57 +192,122 @@ impl PlanInstance {
         tuple: &Tuple,
         out: &mut Vec<Detection>,
     ) -> Result<(), CepError> {
-        for (route, chain) in self.plan.routes.iter().zip(self.chains.iter_mut()) {
+        let Self {
+            plan,
+            chains,
+            nfa,
+            detections,
+            ..
+        } = self;
+        let chains = chains.get_or_insert_with(|| Self::instantiate_chains(plan));
+        for (route, chain) in plan.routes.iter().zip(chains.iter_mut()) {
             if route.base != stream {
                 continue;
             }
-            let name = &self.plan.query.name;
+            let name = &plan.query.name;
             if chain.is_empty() {
-                Self::advance(
-                    &mut self.nfa,
-                    &mut self.detections,
-                    name,
-                    &route.source,
-                    tuple,
-                    out,
-                )?;
+                Self::advance(nfa, detections, name, &route.source, tuple, out)?;
                 continue;
             }
-            // Run the view chain; each stage may emit 0..n tuples. The
-            // first stage reads the borrowed input directly.
-            let mut staged: Vec<Tuple> = Vec::new();
-            {
-                let (first, rest) = chain.split_first_mut().expect("non-empty chain");
-                {
-                    let mut emit = |t: Tuple| staged.push(t);
-                    first.process(tuple, &mut emit);
-                }
-                for op in rest {
-                    if staged.is_empty() {
-                        break;
-                    }
-                    let mut next = Vec::new();
-                    {
-                        let mut emit = |t: Tuple| next.push(t);
-                        for t in &staged {
-                            op.process(t, &mut emit);
-                        }
-                    }
-                    staged = next;
-                }
-            }
+            let mut staged = Vec::new();
+            Self::run_chain(chain, tuple, &mut staged);
             for t in &staged {
-                Self::advance(
-                    &mut self.nfa,
-                    &mut self.detections,
-                    name,
-                    &route.source,
-                    t,
-                    out,
-                )?;
+                Self::advance(nfa, detections, name, &route.source, t, out)?;
             }
         }
         Ok(())
+    }
+
+    /// Pushes one tuple of base stream `stream` on the **shared data
+    /// path**: view outputs come from `views` (already evaluated once for
+    /// this frame via [`SharedViews::begin_frame`]) instead of private
+    /// per-route chains, so N deployed plans share one transformation.
+    ///
+    /// Bindings are resolved on the first call and assume the same
+    /// `views` instance (per-session state) on every subsequent call.
+    pub fn push_shared(
+        &mut self,
+        stream: &str,
+        tuple: &Tuple,
+        views: &SharedViews,
+        out: &mut Vec<Detection>,
+    ) -> Result<(), CepError> {
+        let Self {
+            plan,
+            chains,
+            bindings,
+            nfa,
+            detections,
+        } = self;
+        let bindings = bindings.get_or_insert_with(|| {
+            plan.routes
+                .iter()
+                .map(|r| match r.views.last() {
+                    None => RouteBinding::Direct,
+                    Some(outermost) => match views.slot_of(outermost) {
+                        Some(slot) => RouteBinding::Shared(slot),
+                        None => RouteBinding::Private,
+                    },
+                })
+                .collect()
+        });
+        for (i, (route, binding)) in plan.routes.iter().zip(bindings.iter()).enumerate() {
+            if route.base != stream {
+                continue;
+            }
+            let name = &plan.query.name;
+            match binding {
+                RouteBinding::Direct => {
+                    Self::advance(nfa, detections, name, &route.source, tuple, out)?;
+                }
+                RouteBinding::Shared(slot) => {
+                    for t in views.outputs(*slot) {
+                        Self::advance(nfa, detections, name, &route.source, t, out)?;
+                    }
+                }
+                RouteBinding::Private => {
+                    let chains = chains.get_or_insert_with(|| Self::instantiate_chains(plan));
+                    let mut staged = Vec::new();
+                    Self::run_chain(&mut chains[i], tuple, &mut staged);
+                    for t in &staged {
+                        Self::advance(nfa, detections, name, &route.source, t, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Instantiates one private operator chain per route.
+    fn instantiate_chains(plan: &QueryPlan) -> Vec<Vec<BoxedOperator>> {
+        plan.routes
+            .iter()
+            .map(|r| r.factories.iter().map(|f| f()).collect())
+            .collect()
+    }
+
+    /// Runs a non-empty view chain over one input tuple; each stage may
+    /// emit 0..n tuples. The first stage reads the borrowed input
+    /// directly.
+    fn run_chain(chain: &mut [BoxedOperator], tuple: &Tuple, staged: &mut Vec<Tuple>) {
+        let (first, rest) = chain.split_first_mut().expect("non-empty chain");
+        {
+            let mut emit = |t: Tuple| staged.push(t);
+            first.process(tuple, &mut emit);
+        }
+        for op in rest {
+            if staged.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            {
+                let mut emit = |t: Tuple| next.push(t);
+                for t in staged.iter() {
+                    op.process(t, &mut emit);
+                }
+            }
+            *staged = next;
+        }
     }
 
     fn advance(

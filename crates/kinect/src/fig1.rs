@@ -8,7 +8,7 @@
 use gesto_stream::{FrameClock, SchemaRef, Tuple};
 
 use crate::joints::{Joint, SkeletonFrame};
-use crate::stream::frame_to_tuple;
+use crate::stream::KinectSlots;
 use crate::vec3::Vec3;
 
 /// `(torso, right hand)` per frame, in paper order.
@@ -50,11 +50,13 @@ pub fn frames(start_ts: i64) -> Vec<SkeletonFrame> {
         .collect()
 }
 
-/// The trace as `kinect` tuples.
+/// The trace as `kinect` tuples (one slot-table resolution for the whole
+/// trace — the same [`KinectSlots`] helper the live stream path uses).
 pub fn tuples(start_ts: i64, schema: &SchemaRef) -> Vec<Tuple> {
+    let slots = KinectSlots::resolve(schema, "");
     frames(start_ts)
         .iter()
-        .map(|f| frame_to_tuple(f, schema))
+        .map(|f| slots.tuple(f, schema))
         .collect()
 }
 

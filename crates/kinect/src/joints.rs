@@ -48,12 +48,10 @@ pub const ALL_JOINTS: [Joint; JOINT_COUNT] = [
 ];
 
 impl Joint {
-    /// Canonical index in [`ALL_JOINTS`].
+    /// Canonical index in [`ALL_JOINTS`] — the discriminant, since the
+    /// enum is declared in canonical order (asserted by a test).
     pub fn index(&self) -> usize {
-        ALL_JOINTS
-            .iter()
-            .position(|j| j == self)
-            .expect("joint in ALL_JOINTS")
+        *self as usize
     }
 
     /// Field-name prefix used in tuple schemas (paper style: `rHand`,

@@ -1,10 +1,14 @@
 //! Converting skeleton frames to stream tuples (the `kinect` stream).
+//!
+//! The hot path never looks fields up by name: [`KinectSlots`] resolves
+//! the kinect tuple layout to positional slot indices once, and every
+//! frame↔tuple conversion in the workspace goes through it.
 
 use std::sync::Arc;
 
 use gesto_stream::{Field, Schema, SchemaRef, Tuple, Value, ValueType};
 
-use crate::joints::{Joint, SkeletonFrame, ALL_JOINTS};
+use crate::joints::{Joint, SkeletonFrame, ALL_JOINTS, JOINT_COUNT};
 use crate::vec3::Vec3;
 
 /// Name of the raw sensor stream.
@@ -33,56 +37,167 @@ pub fn schema_named(name: &str, field_suffix: &str) -> SchemaRef {
     Arc::new(Schema::new(name, fields).expect("static kinect schema"))
 }
 
+/// Slot indices of a kinect-layout tuple, resolved once per schema.
+///
+/// Every per-joint loop that used to do per-field name lookups
+/// (`tuple_to_frame`, `joint_from_tuple`, the Fig. 1 trace tuples, the
+/// `kinect_t` view operator) shares this table; after [`Self::resolve`]
+/// all reads and writes are plain slice indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KinectSlots {
+    player: Option<usize>,
+    ts: Option<usize>,
+    /// `(x, y, z)` value slots per joint, [`Joint::index`]-ordered;
+    /// `None` when the schema lacks any of the three coordinate fields.
+    joints: [Option<[usize; 3]>; JOINT_COUNT],
+}
+
+impl KinectSlots {
+    /// Resolves the slot table against `schema` with an optional field
+    /// suffix (e.g. `""` for `kinect`/`kinect_t`). Fields the schema
+    /// lacks resolve to `None` and read back as untracked joints.
+    pub fn resolve(schema: &Schema, field_suffix: &str) -> Self {
+        let mut joints = [None; JOINT_COUNT];
+        for (k, j) in ALL_JOINTS.iter().enumerate() {
+            let p = j.prefix();
+            let x = schema.index_of(&format!("{p}_x{field_suffix}"));
+            let y = schema.index_of(&format!("{p}_y{field_suffix}"));
+            let z = schema.index_of(&format!("{p}_z{field_suffix}"));
+            if let (Some(x), Some(y), Some(z)) = (x, y, z) {
+                joints[k] = Some([x, y, z]);
+            }
+        }
+        // Same timestamp resolution as `Tuple::timestamp`: the field
+        // named `ts`, else the first `Timestamp`-typed field.
+        let ts = schema.index_of("ts").or_else(|| {
+            schema
+                .fields()
+                .iter()
+                .position(|f| f.ty == ValueType::Timestamp)
+        });
+        Self {
+            player: schema.index_of("player"),
+            ts,
+            joints,
+        }
+    }
+
+    /// The canonical layout produced by [`schema_named`]: `player`, `ts`,
+    /// then `x/y/z` per joint in [`ALL_JOINTS`] order. No lookups at all.
+    pub fn canonical() -> Self {
+        let mut joints = [None; JOINT_COUNT];
+        for (k, slot) in joints.iter_mut().enumerate() {
+            let base = 2 + 3 * k;
+            *slot = Some([base, base + 1, base + 2]);
+        }
+        Self {
+            player: Some(0),
+            ts: Some(1),
+            joints,
+        }
+    }
+
+    /// Reads one joint position; `None` when untracked or unresolved.
+    pub fn joint(&self, tuple: &Tuple, joint: Joint) -> Option<Vec3> {
+        let [x, y, z] = self.joints[joint.index()]?;
+        let v = tuple.values();
+        Some(Vec3::new(
+            v.get(x)?.as_f64()?,
+            v.get(y)?.as_f64()?,
+            v.get(z)?.as_f64()?,
+        ))
+    }
+
+    /// Fills `frame` from `tuple` (timestamp, player, all joints) without
+    /// allocating.
+    pub fn read_frame(&self, tuple: &Tuple, frame: &mut SkeletonFrame) {
+        let v = tuple.values();
+        frame.ts = self
+            .ts
+            .and_then(|i| v.get(i))
+            .and_then(Value::as_i64)
+            .unwrap_or(0);
+        frame.player = self
+            .player
+            .and_then(|i| v.get(i))
+            .and_then(Value::as_i64)
+            .unwrap_or(1);
+        for (k, slot) in self.joints.iter().enumerate() {
+            frame.joints[k] = slot.and_then(|[x, y, z]| {
+                Some(Vec3::new(
+                    v.get(x)?.as_f64()?,
+                    v.get(y)?.as_f64()?,
+                    v.get(z)?.as_f64()?,
+                ))
+            });
+        }
+    }
+
+    /// Converts `tuple` into a fresh frame.
+    pub fn frame(&self, tuple: &Tuple) -> SkeletonFrame {
+        let mut f = SkeletonFrame::empty(0, 1);
+        self.read_frame(tuple, &mut f);
+        f
+    }
+
+    /// Converts `frame` into a tuple of `schema` (whose layout this table
+    /// was resolved against). Missing joints and unresolved fields become
+    /// `Null`s; one allocation for the value vector, no name lookups.
+    pub fn tuple(&self, frame: &SkeletonFrame, schema: &SchemaRef) -> Tuple {
+        let mut values = vec![Value::Null; schema.len()];
+        if let Some(i) = self.player {
+            values[i] = Value::Int(frame.player);
+        }
+        if let Some(i) = self.ts {
+            values[i] = Value::Timestamp(frame.ts);
+        }
+        for (k, slot) in self.joints.iter().enumerate() {
+            if let (Some([x, y, z]), Some(p)) = (slot, frame.joints[k]) {
+                values[*x] = Value::Float(p.x);
+                values[*y] = Value::Float(p.y);
+                values[*z] = Value::Float(p.z);
+            }
+        }
+        Tuple::new_unchecked(schema.clone(), values)
+    }
+}
+
 /// Converts one skeleton frame into a tuple of `schema` (which must have
 /// the kinect layout). Missing joints become `Null`s.
 pub fn frame_to_tuple(frame: &SkeletonFrame, schema: &SchemaRef) -> Tuple {
-    let mut values = Vec::with_capacity(schema.len());
-    values.push(Value::Int(frame.player));
-    values.push(Value::Timestamp(frame.ts));
-    for j in ALL_JOINTS {
-        match frame.joint(j) {
-            Some(p) => {
-                values.push(Value::Float(p.x));
-                values.push(Value::Float(p.y));
-                values.push(Value::Float(p.z));
-            }
-            None => {
-                values.push(Value::Null);
-                values.push(Value::Null);
-                values.push(Value::Null);
-            }
-        }
-    }
-    Tuple::new_unchecked(schema.clone(), values)
+    KinectSlots::canonical().tuple(frame, schema)
 }
 
 /// Converts a frame sequence into tuples.
 pub fn frames_to_tuples(frames: &[SkeletonFrame], schema: &SchemaRef) -> Vec<Tuple> {
-    frames.iter().map(|f| frame_to_tuple(f, schema)).collect()
+    let slots = KinectSlots::canonical();
+    frames.iter().map(|f| slots.tuple(f, schema)).collect()
 }
 
 /// Reads a joint position back out of a kinect-layout tuple (with an
 /// optional field suffix). `None` when any coordinate is missing.
+///
+/// Convenience wrapper that resolves the slot table per call; hot loops
+/// should resolve a [`KinectSlots`] once instead.
 pub fn joint_from_tuple(tuple: &Tuple, joint: Joint, field_suffix: &str) -> Option<Vec3> {
     let p = joint.prefix();
-    let x = tuple.f64(&format!("{p}_x{field_suffix}"))?;
-    let y = tuple.f64(&format!("{p}_y{field_suffix}"))?;
-    let z = tuple.f64(&format!("{p}_z{field_suffix}"))?;
-    Some(Vec3::new(x, y, z))
+    let slot = |axis: &str| {
+        tuple
+            .schema()
+            .index_of(&format!("{p}_{axis}{field_suffix}"))
+    };
+    let (x, y, z) = (slot("x")?, slot("y")?, slot("z")?);
+    let v = tuple.values();
+    Some(Vec3::new(
+        v.get(x)?.as_f64()?,
+        v.get(y)?.as_f64()?,
+        v.get(z)?.as_f64()?,
+    ))
 }
 
 /// Converts a kinect-layout tuple back into a skeleton frame.
 pub fn tuple_to_frame(tuple: &Tuple, field_suffix: &str) -> SkeletonFrame {
-    let mut frame = SkeletonFrame::empty(
-        tuple.timestamp().unwrap_or(0),
-        tuple.i64("player").unwrap_or(1),
-    );
-    for j in ALL_JOINTS {
-        if let Some(p) = joint_from_tuple(tuple, j, field_suffix) {
-            frame.set_joint(j, p);
-        }
-    }
-    frame
+    KinectSlots::resolve(tuple.schema(), field_suffix).frame(tuple)
 }
 
 #[cfg(test)]
@@ -110,6 +225,14 @@ mod tests {
     }
 
     #[test]
+    fn canonical_slots_match_resolved() {
+        assert_eq!(
+            KinectSlots::canonical(),
+            KinectSlots::resolve(&kinect_schema(), "")
+        );
+    }
+
+    #[test]
     fn frame_tuple_roundtrip() {
         let mut perf = Performer::new(Persona::reference(), 0);
         let frames = perf.render(&swipe_right());
@@ -127,6 +250,20 @@ mod tests {
     }
 
     #[test]
+    fn slots_read_frame_reuses_scratch() {
+        let mut perf = Performer::new(Persona::reference(), 0);
+        let frames = perf.render(&swipe_right());
+        let schema = kinect_schema();
+        let slots = KinectSlots::resolve(&schema, "");
+        let mut scratch = SkeletonFrame::empty(0, 0);
+        for f in &frames {
+            let t = frame_to_tuple(f, &schema);
+            slots.read_frame(&t, &mut scratch);
+            assert_eq!(&scratch, f);
+        }
+    }
+
+    #[test]
     fn dropout_becomes_null() {
         let mut f = SkeletonFrame::empty(5, 1);
         f.set_joint(Joint::Torso, Vec3::new(1.0, 2.0, 3.0));
@@ -139,5 +276,61 @@ mod tests {
             joint_from_tuple(&t, Joint::Torso, ""),
             Some(Vec3::new(1.0, 2.0, 3.0))
         );
+        let slots = KinectSlots::resolve(&schema, "");
+        assert_eq!(slots.joint(&t, Joint::RightHand), None);
+        assert_eq!(
+            slots.joint(&t, Joint::Torso),
+            Some(Vec3::new(1.0, 2.0, 3.0))
+        );
+    }
+
+    #[test]
+    fn timestamp_falls_back_to_first_timestamp_field() {
+        // Seed behaviour (`Tuple::timestamp`): no field named `ts` →
+        // the first Timestamp-typed field carries the frame time.
+        let schema = Arc::new(
+            Schema::new(
+                "odd",
+                vec![
+                    Field::new("rHand_x", ValueType::Float),
+                    Field::new("stamp", ValueType::Timestamp),
+                ],
+            )
+            .unwrap(),
+        );
+        let t = Tuple::new(
+            schema.clone(),
+            vec![Value::Float(1.0), Value::Timestamp(42)],
+        )
+        .unwrap();
+        assert_eq!(tuple_to_frame(&t, "").ts, 42);
+    }
+
+    #[test]
+    fn unresolved_fields_stay_untracked() {
+        // A schema with only the right hand: every other joint reads
+        // back as a dropout, and writing skips the missing slots.
+        let schema = Arc::new(
+            Schema::new(
+                "partial",
+                vec![
+                    Field::new("ts", ValueType::Timestamp),
+                    Field::new("rHand_x", ValueType::Float),
+                    Field::new("rHand_y", ValueType::Float),
+                    Field::new("rHand_z", ValueType::Float),
+                ],
+            )
+            .unwrap(),
+        );
+        let slots = KinectSlots::resolve(&schema, "");
+        let mut f = SkeletonFrame::empty(7, 2);
+        f.set_joint(Joint::RightHand, Vec3::new(1.0, 2.0, 3.0));
+        f.set_joint(Joint::Torso, Vec3::new(9.0, 9.0, 9.0));
+        let t = slots.tuple(&f, &schema);
+        assert_eq!(t.timestamp(), Some(7));
+        let back = slots.frame(&t);
+        assert_eq!(back.player, 1, "missing player defaults");
+        assert_eq!(back.joint(Joint::RightHand), Some(Vec3::new(1.0, 2.0, 3.0)));
+        assert_eq!(back.joint(Joint::Torso), None);
     }
 }

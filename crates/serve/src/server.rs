@@ -94,6 +94,7 @@ impl Server {
             let metrics = Arc::new(ShardMetrics::default());
             let worker = ShardWorker::new(
                 rx,
+                catalog.clone(),
                 schema.clone(),
                 KINECT_STREAM.to_owned(),
                 metrics.clone(),

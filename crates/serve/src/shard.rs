@@ -5,6 +5,12 @@
 //! `Barrier` are fully processed before it takes effect, and a `Deploy`
 //! applies exactly at its position in the stream. Session state never
 //! leaves the worker thread — per-tuple matching takes no locks.
+//!
+//! Data path per frame: one [`frame_to_tuple`] conversion, one shared
+//! view evaluation ([`SharedViews::begin_frame`]), then every deployed
+//! plan instance reads the shared view outputs by reference
+//! ([`PlanInstance::push_shared`]) — deploying more gestures does not
+//! re-run the coordinate transformation.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -14,7 +20,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, Sender};
 use gesto_cep::{Detection, PlanInstance, QueryPlan};
 use gesto_kinect::{frame_to_tuple, SkeletonFrame};
-use gesto_stream::SchemaRef;
+use gesto_stream::{Catalog, SchemaRef, SharedViews};
 use parking_lot::RwLock;
 
 use crate::metrics::ShardMetrics;
@@ -117,22 +123,44 @@ impl Drop for GateGuard {
     }
 }
 
-/// State owned by one session on this shard: one runtime instance per
-/// deployed plan, in deployment order.
+/// State owned by one session on this shard: a shared view runtime (each
+/// view evaluated once per frame) plus one runtime instance per deployed
+/// plan, in deployment order.
 pub(crate) struct SessionRuntime {
+    views: SharedViews,
     instances: Vec<PlanInstance>,
 }
 
 impl SessionRuntime {
-    fn new(plans: &[Arc<QueryPlan>]) -> Self {
+    fn new(catalog: &Catalog, plans: &[Arc<QueryPlan>]) -> Self {
+        let mut views = SharedViews::new(catalog);
+        Self::sync_needed(&mut views, plans);
         Self {
+            views,
             instances: plans.iter().map(|p| p.instantiate()).collect(),
         }
+    }
+
+    /// Marks exactly the views referenced by the deployed plans' routes
+    /// as needed (stale views stop being evaluated after an undeploy).
+    fn sync_needed(views: &mut SharedViews, plans: &[Arc<QueryPlan>]) {
+        let mut needed: Vec<&str> = Vec::new();
+        for plan in plans {
+            for route in plan.routes() {
+                for v in &route.views {
+                    if !needed.contains(&v.as_str()) {
+                        needed.push(v);
+                    }
+                }
+            }
+        }
+        views.set_needed(needed);
     }
 }
 
 pub(crate) struct ShardWorker {
     pub rx: Receiver<Job>,
+    pub catalog: Arc<Catalog>,
     pub schema: SchemaRef,
     pub stream: String,
     pub metrics: Arc<ShardMetrics>,
@@ -140,11 +168,14 @@ pub(crate) struct ShardWorker {
     pub listeners: Arc<RwLock<Vec<DetectionSink>>>,
     pub plans: Vec<Arc<QueryPlan>>,
     pub sessions: HashMap<SessionId, SessionRuntime>,
+    /// Detections scratch, reused across batches.
+    detections: Vec<Detection>,
 }
 
 impl ShardWorker {
     pub fn new(
         rx: Receiver<Job>,
+        catalog: Arc<Catalog>,
         schema: SchemaRef,
         stream: String,
         metrics: Arc<ShardMetrics>,
@@ -153,6 +184,7 @@ impl ShardWorker {
     ) -> Self {
         Self {
             rx,
+            catalog,
             schema,
             stream,
             metrics,
@@ -160,6 +192,7 @@ impl ShardWorker {
             listeners,
             plans: Vec::new(),
             sessions: HashMap::new(),
+            detections: Vec::new(),
         }
     }
 
@@ -203,44 +236,55 @@ impl ShardWorker {
     }
 
     fn process(&mut self, batch: Batch) {
-        let runtime = match self.sessions.entry(batch.session) {
+        let Self {
+            sessions,
+            catalog,
+            schema,
+            stream,
+            metrics,
+            plans,
+            detections,
+            ..
+        } = self;
+        let runtime = match sessions.entry(batch.session) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
-                self.metrics.sessions.fetch_add(1, Ordering::Relaxed);
-                e.insert(SessionRuntime::new(&self.plans))
+                metrics.sessions.fetch_add(1, Ordering::Relaxed);
+                e.insert(SessionRuntime::new(catalog, plans))
             }
         };
 
-        let mut detections: Vec<Detection> = Vec::new();
+        detections.clear();
         let mut errors = 0u64;
+        let SessionRuntime { views, instances } = runtime;
         for frame in &batch.frames {
-            let tuple = frame_to_tuple(frame, &self.schema);
-            for inst in &mut runtime.instances {
-                if inst.push(&self.stream, &tuple, &mut detections).is_err() {
+            // Transform-once: one tuple conversion and one shared view
+            // evaluation per frame, fanned out to every deployed plan.
+            let tuple = frame_to_tuple(frame, schema);
+            views.begin_frame(stream, &tuple);
+            for inst in instances.iter_mut() {
+                if inst.push_shared(stream, &tuple, views, detections).is_err() {
                     errors += 1;
                 }
             }
         }
 
-        self.metrics
+        metrics
             .frames_in
             .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
-        self.metrics.batches_in.fetch_add(1, Ordering::Relaxed);
+        metrics.batches_in.fetch_add(1, Ordering::Relaxed);
         if errors > 0 {
-            self.metrics
-                .push_errors
-                .fetch_add(errors, Ordering::Relaxed);
+            metrics.push_errors.fetch_add(errors, Ordering::Relaxed);
         }
 
         if !detections.is_empty() {
             let mut per_gesture: HashMap<String, u64> = HashMap::new();
-            for d in &detections {
+            for d in detections.iter() {
                 *per_gesture.entry(d.gesture.clone()).or_insert(0) += 1;
             }
-            self.metrics
-                .record_detections(&per_gesture, detections.len() as u64);
+            metrics.record_detections(&per_gesture, detections.len() as u64);
             let listeners = self.listeners.read();
-            for d in &detections {
+            for d in detections.iter() {
                 for l in listeners.iter() {
                     // A panicking user sink must not take the shard (and
                     // every session on it) down with it.
@@ -249,13 +293,13 @@ impl ShardWorker {
                     }))
                     .is_err()
                     {
-                        self.metrics.sink_panics.fetch_add(1, Ordering::Relaxed);
+                        metrics.sink_panics.fetch_add(1, Ordering::Relaxed);
                     }
                 }
             }
         }
 
-        self.metrics
+        metrics
             .latency
             .record(batch.enqueued.elapsed().as_micros() as u64);
     }
@@ -264,28 +308,34 @@ impl ShardWorker {
     fn control(&mut self, c: Control) -> bool {
         match c {
             Control::Deploy(plan) => {
+                match self.plans.iter_mut().find(|p| p.name() == plan.name()) {
+                    Some(p) => *p = plan.clone(),
+                    None => self.plans.push(plan.clone()),
+                }
                 for slot in self.sessions.values_mut() {
                     let instances = &mut slot.instances;
                     match instances.iter_mut().find(|i| i.name() == plan.name()) {
                         Some(i) => *i = plan.instantiate(),
                         None => instances.push(plan.instantiate()),
                     }
-                }
-                match self.plans.iter_mut().find(|p| p.name() == plan.name()) {
-                    Some(p) => *p = plan,
-                    None => self.plans.push(plan),
+                    // The plan may reference views registered after the
+                    // session started; instantiate them and re-mark the
+                    // needed set.
+                    slot.views.refresh(&self.catalog);
+                    SessionRuntime::sync_needed(&mut slot.views, &self.plans);
                 }
             }
             Control::Undeploy(name) => {
                 self.plans.retain(|p| p.name() != name);
                 for slot in self.sessions.values_mut() {
                     slot.instances.retain(|i| i.name() != name);
+                    SessionRuntime::sync_needed(&mut slot.views, &self.plans);
                 }
             }
             Control::Open(session) => {
                 if let std::collections::hash_map::Entry::Vacant(e) = self.sessions.entry(session) {
                     self.metrics.sessions.fetch_add(1, Ordering::Relaxed);
-                    e.insert(SessionRuntime::new(&self.plans));
+                    e.insert(SessionRuntime::new(&self.catalog, &self.plans));
                 }
             }
             Control::Close(session, ack) => {

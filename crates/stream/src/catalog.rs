@@ -155,6 +155,15 @@ impl Catalog {
         Ok(result)
     }
 
+    /// All registered view definitions, sorted by name (the deterministic
+    /// enumeration [`crate::SharedViews`] derives its slot numbering
+    /// from).
+    pub fn view_defs(&self) -> Vec<ViewDef> {
+        let mut out: Vec<ViewDef> = self.inner.read().views.values().cloned().collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+
     /// All registered stream and view names (streams first, then views).
     pub fn names(&self) -> Vec<String> {
         let inner = self.inner.read();

@@ -31,6 +31,7 @@ pub mod ops;
 mod pipeline;
 mod runner;
 mod schema;
+mod shared;
 mod stats;
 pub mod time;
 mod tuple;
@@ -42,6 +43,7 @@ pub use operator::{run_operator, BoxedOperator, Emit, Operator};
 pub use pipeline::Chain;
 pub use runner::ThreadedRunner;
 pub use schema::{Field, Schema, SchemaBuilder, SchemaRef};
+pub use shared::SharedViews;
 pub use stats::{Metered, OpStats};
 pub use time::{FrameClock, StreamTime, KINECT_FRAME_MS, KINECT_HZ};
 pub use tuple::{tuple_from_pairs, Tuple};

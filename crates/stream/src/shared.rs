@@ -1,0 +1,355 @@
+//! Transform-once shared view evaluation.
+//!
+//! The classic engine instantiates one view-operator chain per deployed
+//! query route, so a stream with N queries over the `kinect_t` view runs
+//! the coordinate transformation N times per frame. [`SharedViews`] is
+//! the per-session antidote: it instantiates every registered view
+//! exactly once, evaluates each *needed* view exactly once per frame in
+//! dependency order, and hands the output tuples out by reference so any
+//! number of query routes share them.
+//!
+//! A `SharedViews` is per-session state (view operators may be stateful,
+//! e.g. the transformer's smoothed scale estimate); the slot numbering is
+//! deterministic for a given catalog, and append-only under
+//! [`SharedViews::refresh`], so slot indices cached by consumers stay
+//! valid across catalog growth.
+//!
+//! View state is **stream-scoped**: an operator lives as long as the
+//! session, persisting across query deploy/undeploy (a query deployed
+//! mid-stream reads the already-warmed view). This deliberately differs
+//! from the per-route model, where every deployed route restarted its
+//! own operator copy cold. A view nobody needs is not fed at all; if a
+//! later deploy needs it again, it resumes from its last evaluated
+//! frame's state.
+
+use std::collections::HashMap;
+
+use crate::catalog::Catalog;
+use crate::operator::BoxedOperator;
+use crate::tuple::Tuple;
+
+/// Where a view reads its input tuples from.
+enum Input {
+    /// A base stream, matched against the pushed stream name.
+    Stream(String),
+    /// Another view, by slot (always a lower slot: dependency order).
+    View(usize),
+}
+
+/// One instantiated view and its per-frame output buffer.
+struct ViewState {
+    name: String,
+    input: Input,
+    op: BoxedOperator,
+    /// Output tuples of the current frame (reused across frames).
+    out: Vec<Tuple>,
+    /// True when the view ran this frame (its input chain was rooted at
+    /// the pushed stream), even if it emitted nothing.
+    live: bool,
+    /// True when some consumer references this view (directly or as the
+    /// input of a needed view); others are skipped entirely.
+    needed: bool,
+}
+
+/// Per-session, evaluate-once runtime over a catalog's views.
+pub struct SharedViews {
+    /// Views in dependency order: a view's input slot is always lower
+    /// than its own.
+    states: Vec<ViewState>,
+    slots: HashMap<String, usize>,
+}
+
+impl SharedViews {
+    /// Instantiates one operator per view registered in `catalog`.
+    /// All views start out *not needed*; see [`Self::set_needed`].
+    pub fn new(catalog: &Catalog) -> Self {
+        let mut sv = Self {
+            states: Vec::new(),
+            slots: HashMap::new(),
+        };
+        sv.refresh(catalog);
+        sv
+    }
+
+    /// Instantiates views registered in `catalog` since construction (the
+    /// catalog is add-only, so this only ever appends slots — existing
+    /// operators keep their state and existing slot indices stay valid).
+    pub fn refresh(&mut self, catalog: &Catalog) {
+        let mut pending: Vec<_> = catalog
+            .view_defs()
+            .into_iter()
+            .filter(|v| !self.slots.contains_key(&v.name))
+            .collect();
+        // Deterministic slot numbering: sorted by name, then placed in
+        // dependency order (an input must be a stream or an already
+        // placed view; Catalog::register_view guarantees convergence).
+        pending.sort_by(|a, b| a.name.cmp(&b.name));
+        loop {
+            let before = pending.len();
+            pending.retain(|def| {
+                let input = if let Some(&j) = self.slots.get(&def.input) {
+                    Input::View(j)
+                } else if catalog.is_stream(&def.input) {
+                    Input::Stream(def.input.clone())
+                } else {
+                    return true; // input view not placed yet
+                };
+                self.slots.insert(def.name.clone(), self.states.len());
+                self.states.push(ViewState {
+                    name: def.name.clone(),
+                    input,
+                    op: (def.factory)(),
+                    out: Vec::new(),
+                    live: false,
+                    needed: false,
+                });
+                false
+            });
+            if pending.is_empty() || pending.len() == before {
+                break;
+            }
+        }
+        debug_assert!(pending.is_empty(), "catalog views must be acyclic");
+    }
+
+    /// Number of instantiated views.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when no views are instantiated.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Slot of a view by name.
+    pub fn slot_of(&self, name: &str) -> Option<usize> {
+        self.slots.get(name).copied()
+    }
+
+    /// Marks exactly the given views — plus their transitive view inputs
+    /// — as needed; every other view is skipped by [`Self::begin_frame`].
+    /// Unknown names are ignored (the caller's plan then falls back to
+    /// its own chains).
+    pub fn set_needed<'a>(&mut self, names: impl IntoIterator<Item = &'a str>) {
+        for s in &mut self.states {
+            s.needed = false;
+        }
+        for n in names {
+            if let Some(i) = self.slot_of(n) {
+                self.mark_needed(i);
+            }
+        }
+    }
+
+    fn mark_needed(&mut self, i: usize) {
+        if self.states[i].needed {
+            return;
+        }
+        self.states[i].needed = true;
+        if let Input::View(j) = self.states[i].input {
+            self.mark_needed(j);
+        }
+    }
+
+    /// True when the view in `slot` is currently marked needed.
+    pub fn is_needed(&self, slot: usize) -> bool {
+        self.states[slot].needed
+    }
+
+    /// Evaluates every needed view whose chain is rooted at `stream`,
+    /// exactly once, in dependency order. Outputs are read with
+    /// [`Self::outputs`] until the next `begin_frame`.
+    pub fn begin_frame(&mut self, stream: &str, tuple: &Tuple) {
+        for i in 0..self.states.len() {
+            let (done, rest) = self.states.split_at_mut(i);
+            let st = &mut rest[0];
+            st.out.clear();
+            st.live = false;
+            if !st.needed {
+                continue;
+            }
+            let out = &mut st.out;
+            match &st.input {
+                Input::Stream(s) => {
+                    if s.as_str() != stream {
+                        continue;
+                    }
+                    st.op.process(tuple, &mut |t| out.push(t));
+                }
+                Input::View(j) => {
+                    let up = &done[*j];
+                    if !up.live {
+                        continue;
+                    }
+                    for t in &up.out {
+                        st.op.process(t, &mut |t| out.push(t));
+                    }
+                }
+            }
+            st.live = true;
+        }
+    }
+
+    /// Output tuples of the view in `slot` for the current frame (empty
+    /// when the view did not run or emitted nothing).
+    pub fn outputs(&self, slot: usize) -> &[Tuple] {
+        &self.states[slot].out
+    }
+
+    /// Names of the instantiated views, in slot order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.states.iter().map(|s| s.name.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+    use crate::catalog::ViewDef;
+    use crate::ops::MapOp;
+    use crate::schema::{SchemaBuilder, SchemaRef};
+    use crate::value::Value;
+
+    fn base() -> SchemaRef {
+        SchemaBuilder::new("kinect")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap()
+    }
+
+    /// A view that multiplies `x` and counts its invocations.
+    fn counted_view(name: &str, input: &str, factor: f64, counter: Arc<AtomicU64>) -> ViewDef {
+        let schema = SchemaBuilder::new(name)
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
+        let out = schema.clone();
+        ViewDef {
+            name: name.into(),
+            input: input.into(),
+            schema: schema.clone(),
+            factory: Arc::new(move || {
+                let out = out.clone();
+                let counter = counter.clone();
+                Box::new(MapOp::new("mul", out.clone(), move |t: &Tuple| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    Some(Tuple::new_unchecked(
+                        out.clone(),
+                        vec![
+                            t.get(0).unwrap().clone(),
+                            Value::Float(t.f64("x").unwrap() * factor),
+                        ],
+                    ))
+                }))
+            }),
+        }
+    }
+
+    fn tup(ts: i64, x: f64) -> Tuple {
+        Tuple::new(base(), vec![Value::Timestamp(ts), Value::Float(x)]).unwrap()
+    }
+
+    #[test]
+    fn evaluates_each_needed_view_once_per_frame() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let calls = Arc::new(AtomicU64::new(0));
+        cat.register_view(counted_view("v2", "kinect", 2.0, calls.clone()))
+            .unwrap();
+
+        let mut sv = SharedViews::new(&cat);
+        let slot = sv.slot_of("v2").unwrap();
+        sv.set_needed(["v2"]);
+        sv.begin_frame("kinect", &tup(0, 3.0));
+        assert_eq!(sv.outputs(slot)[0].f64("x"), Some(6.0));
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "one eval per frame");
+
+        // Reading twice costs nothing; next frame re-evaluates once.
+        assert_eq!(sv.outputs(slot).len(), 1);
+        sv.begin_frame("kinect", &tup(1, 5.0));
+        assert_eq!(sv.outputs(slot)[0].f64("x"), Some(10.0));
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn chained_views_evaluate_in_dependency_order() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let c1 = Arc::new(AtomicU64::new(0));
+        let c2 = Arc::new(AtomicU64::new(0));
+        cat.register_view(counted_view("v2", "kinect", 2.0, c1.clone()))
+            .unwrap();
+        cat.register_view(counted_view("v4", "v2", 2.0, c2.clone()))
+            .unwrap();
+
+        let mut sv = SharedViews::new(&cat);
+        // Needing only the outer view pulls in its input transitively.
+        sv.set_needed(["v4"]);
+        assert!(sv.is_needed(sv.slot_of("v2").unwrap()));
+        sv.begin_frame("kinect", &tup(0, 1.0));
+        assert_eq!(sv.outputs(sv.slot_of("v4").unwrap())[0].f64("x"), Some(4.0));
+        assert_eq!(c1.load(Ordering::Relaxed), 1);
+        assert_eq!(c2.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unneeded_views_are_skipped() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let calls = Arc::new(AtomicU64::new(0));
+        cat.register_view(counted_view("v2", "kinect", 2.0, calls.clone()))
+            .unwrap();
+        let mut sv = SharedViews::new(&cat);
+        sv.begin_frame("kinect", &tup(0, 1.0));
+        assert_eq!(calls.load(Ordering::Relaxed), 0, "not needed, not run");
+        assert!(sv.outputs(sv.slot_of("v2").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn other_stream_does_not_feed_views() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        cat.register_stream(
+            SchemaBuilder::new("other")
+                .timestamp("ts")
+                .float("x")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let calls = Arc::new(AtomicU64::new(0));
+        cat.register_view(counted_view("v2", "kinect", 2.0, calls.clone()))
+            .unwrap();
+        let mut sv = SharedViews::new(&cat);
+        sv.set_needed(["v2"]);
+        sv.begin_frame("other", &tup(0, 1.0));
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+        assert!(sv.outputs(sv.slot_of("v2").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn refresh_appends_and_keeps_slots_stable() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let c = Arc::new(AtomicU64::new(0));
+        cat.register_view(counted_view("v2", "kinect", 2.0, c.clone()))
+            .unwrap();
+        let mut sv = SharedViews::new(&cat);
+        let v2 = sv.slot_of("v2").unwrap();
+
+        cat.register_view(counted_view("v4", "v2", 2.0, c.clone()))
+            .unwrap();
+        sv.refresh(&cat);
+        assert_eq!(sv.slot_of("v2"), Some(v2), "existing slot unchanged");
+        assert_eq!(sv.len(), 2);
+        sv.set_needed(["v4"]);
+        sv.begin_frame("kinect", &tup(0, 1.0));
+        assert_eq!(sv.outputs(sv.slot_of("v4").unwrap())[0].f64("x"), Some(4.0));
+    }
+}

@@ -1,14 +1,16 @@
 //! Registering the `kinect_t` view in a stream catalog.
 //!
 //! "We defined a `kinect_t` view letting AnduIN calculate all coordinates
-//! on-the-fly" (§3.2). Here the view is a [`MapOp`] holding a stateful
-//! [`Transformer`]; the CEP engine instantiates one per deployed query
-//! route.
+//! on-the-fly" (§3.2). The view is a [`KinectTOp`]: a slot-compiled
+//! operator holding a stateful [`Transformer`]. Field positions are
+//! resolved once (via [`KinectSlots`]), so the per-frame work is pure
+//! slice indexing — no name lookups, no intermediate tuple, and the only
+//! allocation is the output tuple's value vector.
 
 use std::sync::Arc;
 
-use gesto_kinect::{frame_to_tuple, schema_named, tuple_to_frame, KINECT_STREAM};
-use gesto_stream::{ops::MapOp, Catalog, SchemaRef, StreamError, Tuple, ViewDef};
+use gesto_kinect::{schema_named, KinectSlots, SkeletonFrame, KINECT_STREAM};
+use gesto_stream::{Catalog, Emit, Operator, SchemaRef, StreamError, Tuple, ViewDef};
 
 use crate::transform::{TransformConfig, Transformer};
 
@@ -20,6 +22,68 @@ pub fn kinect_t_schema() -> SchemaRef {
     schema_named(KINECT_T, "")
 }
 
+/// The `kinect_t` view operator: reads joints out of the input tuple by
+/// slot, applies the user-invariant [`Transformer`], and writes the
+/// transformed joints into an output tuple by slot.
+pub struct KinectTOp {
+    out_schema: SchemaRef,
+    out_slots: KinectSlots,
+    /// Input slot table, re-resolved only when the input schema instance
+    /// changes (same `Arc` ⇒ same layout).
+    in_slots: Option<(SchemaRef, KinectSlots)>,
+    transformer: Transformer,
+    /// Reusable frame scratch (read target + transform output live on the
+    /// stack; this avoids re-zeroing the read target every frame).
+    scratch: SkeletonFrame,
+}
+
+impl KinectTOp {
+    /// Creates the operator emitting tuples of `out_schema` (which must
+    /// have the kinect layout, e.g. [`kinect_t_schema`]).
+    pub fn new(config: TransformConfig, out_schema: SchemaRef) -> Self {
+        let out_slots = KinectSlots::resolve(&out_schema, "");
+        Self {
+            out_schema,
+            out_slots,
+            in_slots: None,
+            transformer: Transformer::new(config),
+            scratch: SkeletonFrame::empty(0, 0),
+        }
+    }
+}
+
+impl Operator for KinectTOp {
+    fn name(&self) -> &str {
+        KINECT_T
+    }
+
+    fn output_schema(&self) -> SchemaRef {
+        self.out_schema.clone()
+    }
+
+    fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+        let Self {
+            out_schema,
+            out_slots,
+            in_slots,
+            transformer,
+            scratch,
+        } = self;
+        let cached = matches!(&*in_slots, Some((schema, _)) if Arc::ptr_eq(schema, tuple.schema()));
+        if !cached {
+            *in_slots = Some((
+                tuple.schema().clone(),
+                KinectSlots::resolve(tuple.schema(), ""),
+            ));
+        }
+        let (_, slots) = in_slots.as_ref().expect("resolved");
+        slots.read_frame(tuple, scratch);
+        if let Some(transformed) = transformer.transform_frame(scratch) {
+            emit(out_slots.tuple(&transformed, out_schema));
+        }
+    }
+}
+
 /// Registers the `kinect_t` view over the raw `kinect` stream.
 pub fn register_kinect_t(catalog: &Catalog, config: TransformConfig) -> Result<(), StreamError> {
     let schema = kinect_t_schema();
@@ -28,16 +92,7 @@ pub fn register_kinect_t(catalog: &Catalog, config: TransformConfig) -> Result<(
         name: KINECT_T.into(),
         input: KINECT_STREAM.into(),
         schema,
-        factory: Arc::new(move || {
-            let out = factory_schema.clone();
-            let mut transformer = Transformer::new(config);
-            Box::new(MapOp::new("kinect_t", out.clone(), move |t: &Tuple| {
-                let frame = tuple_to_frame(t, "");
-                transformer
-                    .transform_frame(&frame)
-                    .map(|f| frame_to_tuple(&f, &out))
-            }))
-        }),
+        factory: Arc::new(move || Box::new(KinectTOp::new(config, factory_schema.clone()))),
     })
 }
 
@@ -103,8 +158,39 @@ mod tests {
         let mut op = (view.factory)();
         let schema = kinect_schema();
         let empty = gesto_kinect::SkeletonFrame::empty(0, 1);
-        let t = frame_to_tuple(&empty, &schema);
+        let t = gesto_kinect::frame_to_tuple(&empty, &schema);
         let out = gesto_stream::run_operator(op.as_mut(), &[t]);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn slot_compiled_view_matches_frame_roundtrip_path() {
+        // The slot-compiled operator must be bit-identical to the seed's
+        // tuple→frame→transform→frame→tuple path.
+        use gesto_kinect::{frame_to_tuple, tuple_to_frame, NoiseModel};
+        let schema = kinect_schema();
+        let out_schema = kinect_t_schema();
+        let mut op = KinectTOp::new(TransformConfig::default(), out_schema.clone());
+        let mut reference = crate::Transformer::new(TransformConfig::default());
+        let mut perf = Performer::new(
+            Persona::reference()
+                .with_noise(NoiseModel::realistic())
+                .with_seed(3),
+            0,
+        );
+        for frame in perf.render(&gestures::swipe_right()) {
+            let t = frame_to_tuple(&frame, &schema);
+            let got = gesto_stream::run_operator(&mut op, std::slice::from_ref(&t));
+            let expect = reference
+                .transform_frame(&tuple_to_frame(&t, ""))
+                .map(|f| frame_to_tuple(&f, &out_schema));
+            match expect {
+                None => assert!(got.is_empty()),
+                Some(e) => {
+                    assert_eq!(got.len(), 1);
+                    assert_eq!(got[0].values(), e.values(), "bit-identical values");
+                }
+            }
+        }
     }
 }

@@ -69,7 +69,7 @@ pub use gesto_transform as transform;
 
 use cep::{CepError, Detection, Engine, QueryStats};
 use db::GestureStore;
-use kinect::{frame_to_tuple, kinect_schema, SkeletonFrame, KINECT_STREAM};
+use kinect::{frame_to_tuple, frames_to_tuples, kinect_schema, SkeletonFrame, KINECT_STREAM};
 use learn::{GestureDefinition, LearnError, LearnerConfig};
 use serve::{Server, ServerConfig};
 use stream::{Catalog, SchemaRef};
@@ -154,13 +154,12 @@ impl GestureSystem {
         self.engine.push(KINECT_STREAM, &tuple)
     }
 
-    /// Pushes a frame batch; returns all detections.
+    /// Pushes a frame batch; returns all detections. Batched end to end:
+    /// one tuple conversion per frame, one shared view evaluation per
+    /// tuple, engine locks amortised over the whole batch.
     pub fn run_frames(&self, frames: &[SkeletonFrame]) -> Result<Vec<Detection>, CepError> {
-        let mut out = Vec::new();
-        for f in frames {
-            out.extend(self.push_frame(f)?);
-        }
-        Ok(out)
+        let tuples = frames_to_tuples(frames, &self.schema);
+        self.engine.push_batch(KINECT_STREAM, &tuples)
     }
 
     /// Runtime statistics of every deployed gesture query, sorted by

@@ -1,0 +1,238 @@
+//! Equivalence of the transform-once data path with the seed's
+//! per-route path.
+//!
+//! The refactored spine (shared view evaluation + slot-compiled
+//! `kinect_t` + `Engine::push_batch` + shared-path shard workers) must
+//! produce **bit-identical detections** to the seed semantics, where
+//! every deployed query route ran its own private `Transformer` chain.
+//! The legacy semantics are still reachable through
+//! [`PlanInstance::push`], which this test uses as the reference.
+//!
+//! The check sweeps randomised scenarios: different gesture sets (learned
+//! transformed-view queries, raw-stream queries, hand-written sequences),
+//! personas (height, position, rotation, sensor noise) and session
+//! counts, through both the engine and the sharded server.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use gesto::cep::{parse_query, Detection, Engine, PlanInstance, QueryPlan};
+use gesto::kinect::{
+    frames_to_tuples, gestures, kinect_schema, GestureSpec, NoiseModel, Performer, Persona,
+    SkeletonFrame, KINECT_STREAM,
+};
+use gesto::learn::query_gen::{generate_query, QueryStyle};
+use gesto::learn::{Learner, LearnerConfig};
+use gesto::serve::{BackpressurePolicy, Server, ServerConfig, SessionId};
+use gesto::stream::Tuple;
+use gesto::transform::{register_rpy, standard_catalog, TransformConfig, Transformer};
+use parking_lot::Mutex;
+
+/// Learns a gesture definition from 3 noisy samples (the bench helper,
+/// inlined: gesto-bench is not a dependency of the facade).
+fn learn(spec: &GestureSpec, seed_base: u64) -> gesto::learn::GestureDefinition {
+    let persona = Persona::reference().with_noise(NoiseModel::realistic());
+    let mut learner = Learner::new(LearnerConfig::default());
+    for i in 0..3u64 {
+        let mut p = Performer::new(persona.clone().with_seed(seed_base + i), 0);
+        let frames = p.render(spec);
+        let mut tr = Transformer::new(TransformConfig::default());
+        let transformed: Vec<SkeletonFrame> = frames
+            .iter()
+            .filter_map(|f| tr.transform_frame(f))
+            .collect();
+        learner.add_sample_frames(&transformed).expect("sample");
+    }
+    learner.finalize(&spec.name).expect("finalizable")
+}
+
+/// The pool of queries scenarios draw from: learned queries over the
+/// transformed view and the raw stream, plus hand-written patterns over
+/// both sources.
+fn query_pool() -> Vec<gesto::cep::Query> {
+    let swipe = learn(&gestures::swipe_right(), 0);
+    let circle = learn(&gestures::circle(), 100);
+    let mut queries = vec![
+        generate_query(&swipe, QueryStyle::TransformedView),
+        generate_query(&circle, QueryStyle::TransformedView),
+        generate_query(&swipe, QueryStyle::RawTorsoRelative),
+        parse_query(
+            r#"SELECT "hand_high_t"
+               MATCHING kinect_t(rHand_y > 100) -> kinect_t(rHand_y < 0)
+               within 2 seconds select first consume all;"#,
+        )
+        .unwrap(),
+        parse_query(
+            r#"SELECT "raw_sweep"
+               MATCHING kinect(rHand_x - torso_x < -50) -> kinect(rHand_x - torso_x > 300)
+               within 2 seconds;"#,
+        )
+        .unwrap(),
+    ];
+    // Learned queries share the definition name; disambiguate the raw
+    // variant so sets can contain both.
+    queries[2].name = "swipe_right_raw".into();
+    queries
+}
+
+/// One scenario's frame workload: a few performances by a randomised
+/// persona, including non-gesture idle movement (the circle performance
+/// doubles as noise for the swipe queries and vice versa).
+fn workload(seed: u64) -> Vec<SkeletonFrame> {
+    let heights = [1250.0, 1500.0, 1741.0, 1950.0];
+    let persona = Persona::reference()
+        .with_height(heights[(seed % 4) as usize])
+        .at(
+            -600.0 + 300.0 * (seed % 5) as f64,
+            2000.0 + 150.0 * (seed % 3) as f64,
+        )
+        .rotated(-0.9 + 0.45 * (seed % 5) as f64)
+        .with_noise(if seed.is_multiple_of(2) {
+            NoiseModel::realistic()
+        } else {
+            NoiseModel::sensor_only()
+        })
+        .with_seed(seed);
+    let mut p = Performer::new(persona, 0);
+    let mut frames = p.render_padded(&gestures::swipe_right(), 100, 300);
+    frames.extend(p.render_padded(&gestures::circle(), 150, 250));
+    frames.extend(p.render_padded(&gestures::swipe_right(), 50, 200));
+    frames
+}
+
+/// Reference semantics: the seed's per-route path. Every plan instance
+/// runs its own private view chains (one `Transformer` per route).
+fn reference_detections(plans: &[Arc<QueryPlan>], tuples: &[Tuple]) -> Vec<Detection> {
+    let mut instances: Vec<PlanInstance> = plans.iter().map(|p| p.instantiate()).collect();
+    let mut out = Vec::new();
+    for t in tuples {
+        for inst in &mut instances {
+            inst.push(KINECT_STREAM, t, &mut out).expect("legacy push");
+        }
+    }
+    out
+}
+
+/// Canonical sort + full-fidelity comparison key. Events are kept as
+/// value strings so a mismatch prints something readable.
+fn canonical(mut ds: Vec<Detection>) -> Vec<(String, i64, i64, Vec<String>)> {
+    ds.sort_by(|a, b| (&a.gesture, a.ts, a.started_at).cmp(&(&b.gesture, b.ts, b.started_at)));
+    ds.into_iter()
+        .map(|d| {
+            let events = d
+                .events
+                .iter()
+                .map(|t| format!("{}:{:?}", t.schema().name, t.values()))
+                .collect();
+            (d.gesture, d.ts, d.started_at, events)
+        })
+        .collect()
+}
+
+#[test]
+fn engine_shared_path_matches_seed_per_route_path() {
+    let pool = query_pool();
+    let schema = kinect_schema();
+    let mut non_empty = 0usize;
+    for seed in 0..8u64 {
+        // Random subset of the pool (always non-empty).
+        let mask = (seed * 2 + 1) % 31;
+        let set: Vec<_> = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, q)| q.clone())
+            .collect();
+        assert!(!set.is_empty());
+
+        let catalog = standard_catalog();
+        let engine = Engine::new(catalog);
+        register_rpy(engine.functions());
+        let plans: Vec<_> = set
+            .iter()
+            .map(|q| engine.compile(q.clone()).expect("compiles"))
+            .collect();
+        for p in &plans {
+            engine.deploy_plan(p.clone()).expect("deploys");
+        }
+
+        let tuples = frames_to_tuples(&workload(seed), &schema);
+        let expect = canonical(reference_detections(&plans, &tuples));
+        let got = canonical(engine.push_batch(KINECT_STREAM, &tuples).expect("push"));
+        assert_eq!(got, expect, "seed {seed}: shared path diverged");
+        non_empty += usize::from(!expect.is_empty());
+
+        // Stats must agree with the reference detections too.
+        let mut per_gesture: HashMap<&str, u64> = HashMap::new();
+        for (g, ..) in &expect {
+            *per_gesture.entry(g.as_str()).or_insert(0) += 1;
+        }
+        for s in engine.stats_all() {
+            assert_eq!(
+                s.detections,
+                per_gesture.get(s.name.as_str()).copied().unwrap_or(0),
+                "seed {seed}: stats for {}",
+                s.name
+            );
+        }
+    }
+    assert!(non_empty >= 4, "sweep must actually detect gestures");
+}
+
+#[test]
+fn server_sessions_match_seed_per_route_path() {
+    let pool = query_pool();
+    let schema = kinect_schema();
+    let set = &pool[..4];
+
+    let catalog = standard_catalog();
+    let funcs = {
+        let e = Engine::new(catalog.clone());
+        register_rpy(e.functions());
+        e.functions().clone()
+    };
+    let plans: Vec<_> = set
+        .iter()
+        .map(|q| QueryPlan::compile(q.clone(), catalog.as_ref(), &funcs).expect("compiles"))
+        .collect();
+
+    let server = Server::with_parts(
+        ServerConfig::new()
+            .with_shards(2)
+            .with_backpressure(BackpressurePolicy::Block),
+        catalog,
+        funcs,
+        Arc::new(gesto::db::GestureStore::new()),
+    );
+    for p in &plans {
+        server.deploy_plan(p.clone()).expect("deploys");
+    }
+    let hits: Arc<Mutex<HashMap<SessionId, Vec<Detection>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sink_hits = hits.clone();
+    server.on_detection(Arc::new(move |session, d: &Detection| {
+        sink_hits.lock().entry(session).or_default().push(d.clone());
+    }));
+
+    const SESSIONS: u64 = 6;
+    for s in 0..SESSIONS {
+        // Two sessions share each workload seed → identical expectations
+        // on different shards.
+        let frames = workload(s / 2);
+        for chunk in frames.chunks(32) {
+            server
+                .push_batch(SessionId(s), chunk.to_vec())
+                .expect("push");
+        }
+    }
+    server.drain().expect("drain");
+
+    let mut hits = hits.lock();
+    for s in 0..SESSIONS {
+        let tuples = frames_to_tuples(&workload(s / 2), &schema);
+        let expect = canonical(reference_detections(&plans, &tuples));
+        let got = canonical(hits.remove(&SessionId(s)).unwrap_or_default());
+        assert_eq!(got, expect, "session {s} diverged from per-route path");
+        assert!(!expect.is_empty(), "session {s} must detect something");
+    }
+    server.shutdown();
+}
