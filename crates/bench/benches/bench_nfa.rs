@@ -1,70 +1,334 @@
-//! Criterion: NFA match-operator throughput (C4 companion).
+//! NFA stepping A/B: per-tuple [`Nfa::advance`] vs batched
+//! [`Nfa::advance_batch_into`] at 1/4/16 deployed gestures, plus
+//! allocation-count assertions (via a counting global allocator) proving
+//! the batched hot loop performs **zero** heap allocations at steady
+//! state — both when nothing matches and under seed/expire churn.
+//!
+//! ```sh
+//! cargo bench -p gesto-bench --bench bench_nfa -- --json BENCH_nfa.json
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use gesto_bench::{learn_gesture, perform};
-use gesto_cep::Engine;
-use gesto_kinect::{frames_to_tuples, gestures, kinect_schema, NoiseModel, Persona, KINECT_STREAM};
-use gesto_learn::query_gen::{generate_query, QueryStyle};
-use gesto_learn::LearnerConfig;
-use gesto_transform::standard_catalog;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
-fn workload() -> Vec<gesto_stream::Tuple> {
-    let persona = Persona::reference().with_noise(NoiseModel::realistic());
-    let frames = perform(&gestures::swipe_right(), &persona, 1);
-    frames_to_tuples(&frames, &kinect_schema())
+use gesto_cep::{parse_pattern, FunctionRegistry, MatchScratch, Nfa, SingleSchema};
+use gesto_stream::{SchemaBuilder, SchemaRef, Tuple, Value};
+
+/// Counts every heap allocation (alloc/realloc/alloc_zeroed) so the
+/// bench can assert the hot loop's no-allocation contract.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
 }
 
-fn bench_queries_scaling(c: &mut Criterion) {
-    let tuples = workload();
-    let specs = [
-        gestures::swipe_right(),
-        gestures::swipe_up(),
-        gestures::push(),
-        gestures::circle(),
-    ];
-    let mut group = c.benchmark_group("nfa/deployed_queries");
-    group.throughput(Throughput::Elements(tuples.len() as u64));
-    for n in [1usize, 4, 16] {
-        let engine = Engine::new(standard_catalog());
-        for i in 0..n {
-            let mut def = learn_gesture(
-                &specs[i % specs.len()],
-                2,
-                i as u64,
-                LearnerConfig::default(),
-            );
-            def.name = format!("g{i}");
-            engine
-                .deploy(generate_query(&def, QueryStyle::TransformedView))
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+const SOURCE: &str = "kinect_t";
+
+fn schema() -> SchemaRef {
+    SchemaBuilder::new(SOURCE)
+        .timestamp("ts")
+        .float("x")
+        .float("y")
+        .float("z")
+        .build()
+        .unwrap()
+}
+
+/// Pose centre of gesture `g`, step `k`, coordinate offset `k + axis`.
+fn centre(g: usize, k: usize) -> f64 {
+    ((11 + g * 13 + k * 29) % 90) as f64
+}
+
+/// A learned-shape 3-step gesture: each step a conjunction of three
+/// window bands, consecutive steps within 1 second. Gesture `g` gets its
+/// own pose centres so deployed gestures do not fire in lockstep.
+fn gesture_pattern(g: usize) -> String {
+    let step = |k: usize| {
+        format!(
+            "{SOURCE}(abs(x - {}) < 12 and abs(y - {}) < 12 and abs(z - {}) < 12)",
+            centre(g, k),
+            centre(g, k + 1),
+            centre(g, k + 2)
+        )
+    };
+    format!(
+        "{} -> {} -> {} within 1 seconds select first consume all",
+        step(0),
+        step(1),
+        step(2)
+    )
+}
+
+fn compile_gestures(n: usize) -> Vec<Nfa> {
+    let funcs = FunctionRegistry::with_builtins();
+    let resolver = SingleSchema(schema());
+    (0..n)
+        .map(|i| {
+            Nfa::compile(
+                &parse_pattern(&gesture_pattern(i)).unwrap(),
+                &resolver,
+                &funcs,
+            )
+            .unwrap()
+        })
+        .collect()
+}
+
+/// A pseudo-random 30 fps pose stream over the band range — seeding and
+/// advancing runs constantly — with a deliberate performance of one
+/// gesture (cycling through the deployed set) every 40 frames, so the
+/// stream also completes matches.
+fn workload(frames: usize) -> Vec<Tuple> {
+    let s = schema();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 100) as f64
+    };
+    (0..frames)
+        .map(|i| {
+            let (x, y, z) = if i % 40 < 3 {
+                // Pose k of a deliberate performance of gesture g.
+                let (g, k) = ((i / 40) % 16, i % 40);
+                (centre(g, k), centre(g, k + 1), centre(g, k + 2))
+            } else {
+                (next(), next(), next())
+            };
+            Tuple::new_unchecked(
+                s.clone(),
+                vec![
+                    Value::Timestamp(i as i64 * 33),
+                    Value::Float(x),
+                    Value::Float(y),
+                    Value::Float(z),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// A stream that matches no step of any gesture (poses far outside every
+/// band): the pure no-match steady state.
+fn idle_workload(frames: usize) -> Vec<Tuple> {
+    let s = schema();
+    (0..frames)
+        .map(|i| {
+            Tuple::new_unchecked(
+                s.clone(),
+                vec![
+                    Value::Timestamp(i as i64 * 33),
+                    Value::Float(500.0),
+                    Value::Float(500.0),
+                    Value::Float(500.0),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Mean ns/iter of `f` over an adaptive iteration count (~0.4 s).
+fn measure(mut f: impl FnMut()) -> f64 {
+    // Warmup sizes the loop and warms caches/buffers.
+    let warm = Instant::now();
+    let mut warm_iters = 0u32;
+    while warm.elapsed().as_millis() < 60 || warm_iters == 0 {
+        f();
+        warm_iters += 1;
+    }
+    let per_iter = warm.elapsed().as_nanos() / u128::from(warm_iters);
+    let iters = (400_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / f64::from(iters)
+}
+
+struct AbResult {
+    gestures: usize,
+    per_tuple_fps: f64,
+    batched_fps: f64,
+    speedup: f64,
+    matches: u64,
+}
+
+/// Per-tuple vs batched stepping of `n` gestures over the same stream.
+fn ab_advance(n: usize, tuples: &[Tuple]) -> AbResult {
+    let frames = tuples.len() as f64;
+
+    // Per-tuple path: every tuple steps every NFA, interleaved — the
+    // shape of the seed engine loop.
+    let mut nfas = compile_gestures(n);
+    let mut matches = 0u64;
+    let per_tuple_ns = measure(|| {
+        matches = 0;
+        for t in tuples {
+            for nfa in nfas.iter_mut() {
+                matches += nfa.advance(SOURCE, t).unwrap().len() as u64;
+            }
+        }
+        for nfa in nfas.iter_mut() {
+            nfa.reset();
+        }
+    });
+
+    // Batched path: every NFA steps the whole batch in one call — the
+    // shape of `PlanInstance::push_batch_shared`.
+    let mut nfas = compile_gestures(n);
+    let mut scratch = MatchScratch::new();
+    let mut batched_matches = 0u64;
+    let batched_ns = measure(|| {
+        batched_matches = 0;
+        for nfa in nfas.iter_mut() {
+            nfa.advance_batch_into(SOURCE, tuples, &mut scratch)
+                .unwrap();
+            batched_matches += scratch.len() as u64;
+            scratch.clear();
+            nfa.reset();
+        }
+    });
+
+    assert_eq!(matches, batched_matches, "paths must agree on detections");
+    AbResult {
+        gestures: n,
+        per_tuple_fps: frames / (per_tuple_ns / 1e9),
+        batched_fps: frames / (batched_ns / 1e9),
+        speedup: per_tuple_ns / batched_ns,
+        matches,
+    }
+}
+
+/// Asserts the batched hot loop allocates nothing at steady state.
+fn assert_zero_allocations() {
+    // (a) Pure no-match: nothing ever seeds.
+    let tuples = idle_workload(512);
+    let mut nfas = compile_gestures(4);
+    let mut scratch = MatchScratch::new();
+    for nfa in nfas.iter_mut() {
+        nfa.advance_batch_into(SOURCE, &tuples, &mut scratch)
+            .unwrap();
+    }
+    let before = allocations();
+    for _ in 0..16 {
+        for nfa in nfas.iter_mut() {
+            nfa.advance_batch_into(SOURCE, &tuples, &mut scratch)
                 .unwrap();
         }
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                engine.run_batch(KINECT_STREAM, &tuples).unwrap();
-                engine.reset_runs();
-            })
-        });
     }
-    group.finish();
+    let no_match_allocs = allocations() - before;
+    assert_eq!(scratch.len(), 0, "idle stream must not match");
+    assert_eq!(
+        no_match_allocs, 0,
+        "no-match steady state must not allocate"
+    );
+    println!("alloc-check: no-match steady state      0 allocations ✓");
+
+    // (b) Seed/expire/complete churn: after one warmup pass the slab,
+    // arena and scratch capacities are in place — steady state stays
+    // allocation-free even while runs seed, expire and complete.
+    let tuples = workload(512);
+    let mut nfas = compile_gestures(4);
+    let mut matches = 0u64;
+    for _ in 0..2 {
+        matches = 0;
+        for nfa in nfas.iter_mut() {
+            nfa.advance_batch_into(SOURCE, &tuples, &mut scratch)
+                .unwrap();
+            matches += scratch.len() as u64;
+            scratch.clear();
+            nfa.reset();
+        }
+    }
+    let before = allocations();
+    for _ in 0..16 {
+        for nfa in nfas.iter_mut() {
+            nfa.advance_batch_into(SOURCE, &tuples, &mut scratch)
+                .unwrap();
+            scratch.clear();
+            nfa.reset();
+        }
+    }
+    let churn_allocs = allocations() - before;
+    assert!(matches > 0, "churn workload must complete matches");
+    assert_eq!(
+        churn_allocs, 0,
+        "seed/expire/complete steady state must not allocate"
+    );
+    println!("alloc-check: seed/expire/match churn    0 allocations ✓ ({matches} matches/pass)");
 }
 
-fn bench_single_query_detection(c: &mut Criterion) {
-    let tuples = workload();
-    let def = learn_gesture(&gestures::swipe_right(), 3, 50, LearnerConfig::default());
-    let engine = Engine::new(standard_catalog());
-    engine
-        .deploy(generate_query(&def, QueryStyle::TransformedView))
-        .unwrap();
-    let mut group = c.benchmark_group("nfa/single_query");
-    group.throughput(Throughput::Elements(tuples.len() as u64));
-    group.bench_function("swipe_detection", |b| {
-        b.iter(|| {
-            engine.run_batch(KINECT_STREAM, &tuples).unwrap();
-            engine.reset_runs();
-        })
-    });
-    group.finish();
-}
+fn main() {
+    let mut json: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        // `cargo bench -- <filter>` style args are ignored.
+        if a == "--json" {
+            json = Some(it.next().expect("--json PATH"));
+        }
+    }
 
-criterion_group!(benches, bench_queries_scaling, bench_single_query_detection);
-criterion_main!(benches);
+    println!("NFA stepping — per-tuple vs batched advance");
+    println!("===========================================\n");
+    assert_zero_allocations();
+    println!();
+
+    let tuples = workload(512);
+    let mut results = Vec::new();
+    println!(
+        "{:>9} {:>16} {:>16} {:>9} {:>9}",
+        "gestures", "per-tuple f/s", "batched f/s", "speedup", "matches"
+    );
+    for n in [1usize, 4, 16] {
+        let r = ab_advance(n, &tuples);
+        println!(
+            "{:>9} {:>16.0} {:>16.0} {:>8.2}x {:>9}",
+            r.gestures, r.per_tuple_fps, r.batched_fps, r.speedup, r.matches
+        );
+        results.push(r);
+    }
+
+    if let Some(path) = json {
+        let mut rows = String::new();
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"gestures\": {}, \"per_tuple_frames_per_sec\": {:.0}, \"batched_frames_per_sec\": {:.0}, \"speedup\": {:.2}, \"matches_per_pass\": {}}}",
+                r.gestures, r.per_tuple_fps, r.batched_fps, r.speedup, r.matches
+            ));
+        }
+        let json_text = format!(
+            "{{\n  \"experiment\": \"bench_nfa\",\n  \"frames\": {},\n  \"zero_alloc_steady_state\": true,\n  \"results\": [\n{rows}\n  ]\n}}\n",
+            tuples.len()
+        );
+        std::fs::write(&path, json_text).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

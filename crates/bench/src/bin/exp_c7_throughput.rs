@@ -5,7 +5,7 @@
 //! ```sh
 //! cargo run --release -p gesto-bench --bin exp_c7_throughput -- \
 //!     --sessions 1,8,64,512 --frames 600 [--shards 1,2,4] [--strict] \
-//!     [--json BENCH_serve.json]
+//!     [--no-warmup] [--json BENCH_serve.json]
 //! ```
 
 use std::time::Instant;
@@ -23,6 +23,7 @@ struct Args {
     batch: usize,
     gestures: usize,
     strict: bool,
+    warmup: bool,
     json: Option<String>,
 }
 
@@ -34,6 +35,7 @@ fn parse_args() -> Args {
         batch: 60,
         gestures: 1,
         strict: false,
+        warmup: true,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -48,6 +50,7 @@ fn parse_args() -> Args {
                 args.gestures = it.next().expect("--gestures N").parse().expect("number")
             }
             "--strict" => args.strict = true,
+            "--no-warmup" => args.warmup = false,
             "--json" => args.json = Some(it.next().expect("--json PATH")),
             other => panic!("unknown argument '{other}'"),
         }
@@ -222,6 +225,13 @@ fn main() {
     let mut results = Vec::new();
     for &shards in &args.shards {
         for &sessions in &args.sessions {
+            // Warmup pass: a full unmeasured run per sweep point so the
+            // reported number is steady state (threads, allocator and
+            // page tables warm), not cold-start. Disable with
+            // --no-warmup.
+            if args.warmup {
+                let _ = run(&queries, &frames, sessions, shards, args.batch, None);
+            }
             let r = run(
                 &queries,
                 &frames,
@@ -282,8 +292,11 @@ fn main() {
             ));
         }
         let json = format!(
-            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
-            args.frames, args.batch, args.gestures
+            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"warmup_runs\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+            args.frames,
+            args.batch,
+            args.gestures,
+            u32::from(args.warmup)
         );
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");

@@ -236,7 +236,9 @@ impl Engine {
 
     /// [`Self::push_batch`] into a caller-owned buffer (the allocation-
     /// free variant for hot loops that reuse a detections scratch).
-    /// Detections are appended; the buffer is not cleared.
+    /// Detections are appended; the buffer is not cleared. Within one
+    /// batch, detections are grouped per query (each query's NFA steps
+    /// the whole batch in one call) and stream-ordered within a query.
     ///
     /// Listeners fire after the batch completes, with no engine locks
     /// held — a listener may safely call back into the engine (stats,
@@ -253,12 +255,13 @@ impl Engine {
             let mut views = self.views.lock();
             let queries = self.queries.read();
             let mut instances: Vec<_> = queries.values().map(|m| m.lock()).collect();
+            // Transform-once, step-batched: every needed view runs once
+            // over the whole batch, then each deployed plan advances its
+            // NFA batch-at-a-time over the shared outputs.
+            views.begin_batch(stream, tuples);
             let mut run = || -> Result<(), CepError> {
-                for tuple in tuples {
-                    views.begin_frame(stream, tuple);
-                    for inst in instances.iter_mut() {
-                        inst.push_shared(stream, tuple, &views, out)?;
-                    }
+                for inst in instances.iter_mut() {
+                    inst.push_batch_shared(stream, tuples, &views, out)?;
                 }
                 Ok(())
             };

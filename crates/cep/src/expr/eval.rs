@@ -5,6 +5,12 @@
 //! no name lookups on the hot path. Logic is three-valued: comparisons and
 //! predicates over `Null` yield `Null`, and a pattern step only fires when
 //! its predicate evaluates to *true* (unknown ≠ true).
+//!
+//! After structural compilation an optimiser pass fuses the hot shapes —
+//! window bands `abs(x ± c) < w`, plain comparisons `x op c`, `dist()`
+//! over float columns, and `and`/`or` chains — into flat variants that
+//! evaluate as a handful of slot reads, with the original tree kept as a
+//! bit-equivalent fallback for non-`Float` inputs.
 
 use std::sync::Arc;
 
@@ -27,13 +33,13 @@ pub enum CompiledExpr {
     /// Bound function call.
     Call(Arc<str>, ScalarFn, Vec<CompiledExpr>),
     /// Fused window check `abs(input ± center) < width` — the shape of
-    /// every learned pose predicate. Evaluated as three slot reads and
-    /// two float ops when the inputs are `Float`s; `Null` propagates,
-    /// and any other value delegates to the bit-equivalent `fallback`
-    /// tree (the unfused original).
+    /// every learned pose predicate. Evaluated as a few slot reads and
+    /// float ops when the inputs are `Float`s; `Null` propagates, and
+    /// any other value delegates to the bit-equivalent `fallback` tree
+    /// (the unfused original).
     Band {
-        /// The column (or column difference) being windowed.
-        input: BandInput,
+        /// The quantity being windowed.
+        input: FusedInput,
         /// True when the centre offset is added (`+ |c|` for negative
         /// centres, matching the paper's print style).
         add: bool,
@@ -44,17 +50,105 @@ pub enum CompiledExpr {
         /// The original tree, for exact semantics on non-`Float` input.
         fallback: Box<CompiledExpr>,
     },
+    /// Fused plain comparison `input op rhs` (e.g. `rHand_y > 100`,
+    /// `rHand_x - torso_x < -50`, `dist(...) < 80`). Same contract as
+    /// [`Self::Band`]: float fast path, `Null` propagates, anything else
+    /// delegates to the bit-equivalent `fallback` tree.
+    Cmp {
+        /// The compared quantity.
+        input: FusedInput,
+        /// The comparison operator (a comparison, never logical).
+        op: BinOp,
+        /// Right-hand literal.
+        rhs: f64,
+        /// The original tree, for exact semantics on non-`Float` input.
+        fallback: Box<CompiledExpr>,
+    },
     /// Flattened left-to-right Kleene conjunction (`a and b and …`):
     /// false short-circuits, `Null` is sticky-unknown.
     AndAll(Vec<CompiledExpr>),
+    /// Flattened left-to-right Kleene disjunction (`a or b or …`):
+    /// true short-circuits, `Null` is sticky-unknown.
+    OrAll(Vec<CompiledExpr>),
 }
 
-/// The windowed quantity of a [`CompiledExpr::Band`].
-pub enum BandInput {
+/// The fused float quantity of a [`CompiledExpr::Band`] or
+/// [`CompiledExpr::Cmp`].
+pub enum FusedInput {
     /// A single column.
     Col(usize),
     /// Difference of two columns (raw torso-relative style).
     Diff(usize, usize),
+    /// Built-in `dist(x1,y1,z1, x2,y2,z2)` over six columns of the joint
+    /// block (Euclidean distance between two 3-D points).
+    Dist([usize; 6]),
+}
+
+/// Outcome of reading a [`FusedInput`] from a tuple.
+enum FusedVal {
+    /// All involved slots were `Float`s.
+    Float(f64),
+    /// `Null` propagates (exactly where the original tree would yield
+    /// `Null`).
+    Null,
+    /// Some slot held another value kind: delegate to the fallback tree.
+    Other,
+}
+
+impl FusedInput {
+    /// Reads the fused quantity from a tuple's value slots, mirroring
+    /// the original tree's `Null` ordering exactly (see the per-variant
+    /// comments); any non-`Float`, non-`Null` value defers to the
+    /// caller's fallback, which replays the exact tree semantics.
+    #[inline]
+    fn read(&self, vals: &[Value]) -> FusedVal {
+        match self {
+            FusedInput::Col(i) => match &vals[*i] {
+                Value::Float(x) => FusedVal::Float(*x),
+                Value::Null => FusedVal::Null,
+                _ => FusedVal::Other,
+            },
+            // Binary arithmetic checks Null on either side before the
+            // numeric check, so (Str, Null) is Null, not an error.
+            FusedInput::Diff(a, b) => match (&vals[*a], &vals[*b]) {
+                (Value::Float(x), Value::Float(y)) => FusedVal::Float(x - y),
+                (Value::Null, _) | (_, Value::Null) => FusedVal::Null,
+                _ => FusedVal::Other,
+            },
+            // `numeric_fn` scans arguments left to right: the first Null
+            // yields Null, but only if everything before it was numeric
+            // (a preceding non-Float defers to the fallback, which then
+            // errors or coerces exactly like the tree).
+            FusedInput::Dist(cols) => {
+                let mut a = [0.0f64; 6];
+                for (slot, c) in a.iter_mut().zip(cols) {
+                    match &vals[*c] {
+                        Value::Float(x) => *slot = *x,
+                        Value::Null => return FusedVal::Null,
+                        _ => return FusedVal::Other,
+                    }
+                }
+                let dx = a[0] - a[3];
+                let dy = a[1] - a[4];
+                let dz = a[2] - a[5];
+                FusedVal::Float((dx * dx + dy * dy + dz * dz).sqrt())
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FusedInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusedInput::Col(i) => write!(f, "col{i}"),
+            FusedInput::Diff(a, b) => write!(f, "col{a} - col{b}"),
+            FusedInput::Dist(c) => write!(
+                f,
+                "dist(col{},col{},col{},col{},col{},col{})",
+                c[0], c[1], c[2], c[3], c[4], c[5]
+            ),
+        }
+    }
 }
 
 impl std::fmt::Debug for CompiledExpr {
@@ -73,24 +167,22 @@ impl std::fmt::Debug for CompiledExpr {
                 ..
             } => {
                 let sign = if *add { '+' } else { '-' };
-                match input {
-                    BandInput::Col(i) => {
-                        write!(f, "Band(abs(col{i} {sign} {center}) < {width})")
-                    }
-                    BandInput::Diff(a, b) => {
-                        write!(f, "Band(abs(col{a} - col{b} {sign} {center}) < {width})")
-                    }
-                }
+                write!(f, "Band(abs({input:?} {sign} {center}) < {width})")
+            }
+            CompiledExpr::Cmp { input, op, rhs, .. } => {
+                write!(f, "Cmp({input:?} {op:?} {rhs})")
             }
             CompiledExpr::AndAll(terms) => write!(f, "AndAll({terms:?})"),
+            CompiledExpr::OrAll(terms) => write!(f, "OrAll({terms:?})"),
         }
     }
 }
 
 /// Compiles `expr` against `schema`, resolving functions in `funcs`,
-/// then fuses the hot shapes (window bands, conjunction chains) so the
-/// per-tuple evaluation of learned gesture predicates is a handful of
-/// slot reads instead of a tree walk.
+/// then fuses the hot shapes (window bands, plain comparisons, `dist`
+/// distances, conjunction/disjunction chains) so the per-tuple
+/// evaluation of learned gesture predicates is a handful of slot reads
+/// instead of a tree walk.
 pub fn compile(
     expr: &Expr,
     schema: &SchemaRef,
@@ -138,8 +230,8 @@ fn compile_tree(
 
 /// Rewrites a compiled tree into its fused form. Pure strength
 /// reduction: every rewrite preserves evaluation order, three-valued
-/// logic, and error behaviour exactly (bands keep the original tree as
-/// their fallback for non-`Float` inputs).
+/// logic, and error behaviour exactly (fused nodes keep the original
+/// tree as their fallback for non-`Float` values).
 fn optimize(expr: CompiledExpr) -> CompiledExpr {
     match expr {
         CompiledExpr::Binary(BinOp::And, l, r) => {
@@ -148,7 +240,13 @@ fn optimize(expr: CompiledExpr) -> CompiledExpr {
             flatten_and(*r, &mut terms);
             CompiledExpr::AndAll(terms)
         }
-        CompiledExpr::Binary(BinOp::Lt, l, r) => fuse_band(*l, *r),
+        CompiledExpr::Binary(BinOp::Or, l, r) => {
+            let mut terms = Vec::new();
+            flatten_or(*l, &mut terms);
+            flatten_or(*r, &mut terms);
+            CompiledExpr::OrAll(terms)
+        }
+        CompiledExpr::Binary(op, l, r) if op.is_comparison() => fuse_comparison(op, *l, *r),
         CompiledExpr::Binary(op, l, r) => {
             CompiledExpr::Binary(op, Box::new(optimize(*l)), Box::new(optimize(*r)))
         }
@@ -171,54 +269,101 @@ fn flatten_and(expr: CompiledExpr, out: &mut Vec<CompiledExpr>) {
     }
 }
 
-/// Fuses `abs(col ± c) < w` / `abs(colA - colB ± c) < w` (with the
-/// *built-in* `abs` and `Float` literals) into a [`CompiledExpr::Band`];
-/// anything else recompiles as a plain `Lt`.
-fn fuse_band(lhs: CompiledExpr, rhs: CompiledExpr) -> CompiledExpr {
-    let plain = |l: CompiledExpr, r: CompiledExpr| {
-        CompiledExpr::Binary(BinOp::Lt, Box::new(optimize(l)), Box::new(optimize(r)))
-    };
-    let width = match &rhs {
-        CompiledExpr::Literal(Value::Float(w)) => *w,
-        _ => return plain(lhs, rhs),
-    };
-    let is_builtin_abs = |f: &ScalarFn| Arc::ptr_eq(f, crate::expr::functions::builtin_abs());
-    let fused = match &lhs {
-        CompiledExpr::Call(_, f, args) if is_builtin_abs(f) && args.len() == 1 => match &args[0] {
-            CompiledExpr::Binary(op @ (BinOp::Sub | BinOp::Add), inner, c) => {
-                let center = match &**c {
-                    CompiledExpr::Literal(Value::Float(c)) => *c,
-                    _ => return plain(lhs, rhs),
-                };
-                let input = match &**inner {
-                    CompiledExpr::Column(i) => BandInput::Col(*i),
-                    CompiledExpr::Binary(BinOp::Sub, a, b) => match (&**a, &**b) {
-                        (CompiledExpr::Column(a), CompiledExpr::Column(b)) => {
-                            BandInput::Diff(*a, *b)
-                        }
-                        _ => return plain(lhs, rhs),
-                    },
-                    _ => return plain(lhs, rhs),
-                };
-                Some((input, *op == BinOp::Add, center))
-            }
+/// Flattens a (left-associative) `or` chain into disjunction terms.
+fn flatten_or(expr: CompiledExpr, out: &mut Vec<CompiledExpr>) {
+    match expr {
+        CompiledExpr::Binary(BinOp::Or, l, r) => {
+            flatten_or(*l, out);
+            flatten_or(*r, out);
+        }
+        other => out.push(optimize(other)),
+    }
+}
+
+/// True when the compiled call really is the process-wide built-in `f`
+/// (a user-overridden registration yields a different `Arc` and is never
+/// fused).
+fn is_builtin(f: &ScalarFn, builtin: &'static ScalarFn) -> bool {
+    Arc::ptr_eq(f, builtin)
+}
+
+/// Fuses a slot-readable float quantity: a column, a column difference,
+/// or a built-in `dist` over six columns.
+fn fuse_input(e: &CompiledExpr) -> Option<FusedInput> {
+    match e {
+        CompiledExpr::Column(i) => Some(FusedInput::Col(*i)),
+        CompiledExpr::Binary(BinOp::Sub, a, b) => match (&**a, &**b) {
+            (CompiledExpr::Column(a), CompiledExpr::Column(b)) => Some(FusedInput::Diff(*a, *b)),
             _ => None,
         },
+        CompiledExpr::Call(_, f, args)
+            if is_builtin(f, crate::expr::functions::builtin_dist()) && args.len() == 6 =>
+        {
+            let mut cols = [0usize; 6];
+            for (slot, a) in cols.iter_mut().zip(args) {
+                match a {
+                    CompiledExpr::Column(i) => *slot = *i,
+                    _ => return None,
+                }
+            }
+            Some(FusedInput::Dist(cols))
+        }
+        _ => None,
+    }
+}
+
+/// Fuses a comparison: the band shape `abs(input ± c) < w` (for `<`),
+/// else the plain shape `input op float-literal`; anything else
+/// recompiles as a plain `Binary`.
+fn fuse_comparison(op: BinOp, lhs: CompiledExpr, rhs: CompiledExpr) -> CompiledExpr {
+    let plain = |op: BinOp, l: CompiledExpr, r: CompiledExpr| {
+        CompiledExpr::Binary(op, Box::new(optimize(l)), Box::new(optimize(r)))
+    };
+    let rhs_lit = match &rhs {
+        CompiledExpr::Literal(Value::Float(w)) => Some(*w),
         _ => None,
     };
-    match fused {
-        Some((input, add, center)) => CompiledExpr::Band {
+    let Some(rhs_lit) = rhs_lit else {
+        return plain(op, lhs, rhs);
+    };
+
+    // Band: `abs(input ± c) < w` with the *built-in* abs.
+    if op == BinOp::Lt {
+        if let CompiledExpr::Call(_, f, args) = &lhs {
+            if is_builtin(f, crate::expr::functions::builtin_abs()) && args.len() == 1 {
+                if let CompiledExpr::Binary(inner_op @ (BinOp::Sub | BinOp::Add), inner, c) =
+                    &args[0]
+                {
+                    if let (Some(input), CompiledExpr::Literal(Value::Float(center))) =
+                        (fuse_input(inner), &**c)
+                    {
+                        let (add, center) = (*inner_op == BinOp::Add, *center);
+                        return CompiledExpr::Band {
+                            input,
+                            add,
+                            center,
+                            width: rhs_lit,
+                            fallback: Box::new(CompiledExpr::Binary(
+                                op,
+                                Box::new(lhs),
+                                Box::new(rhs),
+                            )),
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    // Plain comparison: `input op c`.
+    match fuse_input(&lhs) {
+        Some(input) => CompiledExpr::Cmp {
             input,
-            add,
-            center,
-            width,
-            fallback: Box::new(CompiledExpr::Binary(
-                BinOp::Lt,
-                Box::new(lhs),
-                Box::new(rhs),
-            )),
+            op,
+            rhs: rhs_lit,
+            fallback: Box::new(CompiledExpr::Binary(op, Box::new(lhs), Box::new(rhs))),
         },
-        None => plain(lhs, rhs),
+        None => plain(op, lhs, rhs),
     }
 }
 
@@ -255,24 +400,26 @@ impl CompiledExpr {
                 width,
                 fallback,
             } => {
-                let vals = tuple.values();
-                let x = match input {
-                    BandInput::Col(i) => match &vals[*i] {
-                        Value::Float(x) => *x,
-                        Value::Null => return Ok(Value::Null),
-                        _ => return fallback.eval(tuple),
-                    },
-                    BandInput::Diff(a, b) => match (&vals[*a], &vals[*b]) {
-                        (Value::Float(x), Value::Float(y)) => x - y,
-                        (Value::Null, _) | (_, Value::Null) => return Ok(Value::Null),
-                        _ => return fallback.eval(tuple),
-                    },
+                let x = match input.read(tuple.values()) {
+                    FusedVal::Float(x) => x,
+                    FusedVal::Null => return Ok(Value::Null),
+                    FusedVal::Other => return fallback.eval(tuple),
                 };
                 let r = if *add { x + center } else { x - center }.abs();
                 // Same comparison kernel as the tree (incl. the NaN
                 // error path).
                 eval_comparison(BinOp::Lt, Value::Float(r), Value::Float(*width))
             }
+            CompiledExpr::Cmp {
+                input,
+                op,
+                rhs,
+                fallback,
+            } => match input.read(tuple.values()) {
+                FusedVal::Float(x) => eval_comparison(*op, Value::Float(x), Value::Float(*rhs)),
+                FusedVal::Null => Ok(Value::Null),
+                FusedVal::Other => fallback.eval(tuple),
+            },
             CompiledExpr::AndAll(terms) => {
                 let mut saw_null = false;
                 for t in terms {
@@ -291,6 +438,26 @@ impl CompiledExpr {
                     Value::Null
                 } else {
                     Value::Bool(true)
+                })
+            }
+            CompiledExpr::OrAll(terms) => {
+                let mut saw_null = false;
+                for t in terms {
+                    match t.eval(tuple)? {
+                        Value::Bool(true) => return Ok(Value::Bool(true)),
+                        Value::Bool(false) => {}
+                        Value::Null => saw_null = true,
+                        other => {
+                            return Err(CepError::Eval(format!(
+                                "non-boolean operand {other} for Or"
+                            )))
+                        }
+                    }
+                }
+                Ok(if saw_null {
+                    Value::Null
+                } else {
+                    Value::Bool(false)
                 })
             }
         }
@@ -637,6 +804,215 @@ mod tests {
                 (a, b) => panic!("divergence on {x}: {a:?} vs {b:?}"),
             }
         }
+    }
+
+    #[test]
+    fn plain_comparisons_fuse_into_cmp() {
+        let reg = FunctionRegistry::with_builtins();
+        for (e, expect) in [
+            (Expr::lt(Expr::col("x"), Expr::lit(5.0)), true),
+            (Expr::bin(BinOp::Ge, Expr::col("x"), Expr::lit(5.0)), false),
+            (
+                // diff shape: x - y > -10
+                Expr::bin(
+                    BinOp::Gt,
+                    Expr::bin(BinOp::Sub, Expr::col("x"), Expr::col("y")),
+                    Expr::lit(-10.0),
+                ),
+                true,
+            ),
+        ] {
+            let c = compile(&e, &schema(), &reg).unwrap();
+            assert!(format!("{c:?}").starts_with("Cmp"), "{c:?}");
+            assert_eq!(c.eval(&tuple(1.0, 2.0)).unwrap(), Value::Bool(expect));
+        }
+        // Non-float literal: not fused.
+        let c = compile(
+            &Expr::bin(BinOp::Eq, Expr::col("tag"), Expr::lit("t")),
+            &schema(),
+            &reg,
+        )
+        .unwrap();
+        assert!(!format!("{c:?}").starts_with("Cmp"), "{c:?}");
+    }
+
+    #[test]
+    fn cmp_matches_tree_on_every_value_kind() {
+        let reg = FunctionRegistry::with_builtins();
+        let s = schema();
+        for op in [
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ] {
+            let e = Expr::bin(op, Expr::col("x"), Expr::lit(10.0));
+            let fused = compile(&e, &s, &reg).unwrap();
+            assert!(format!("{fused:?}").starts_with("Cmp"), "{fused:?}");
+            let tree = compile_tree(&e, &s, &reg).unwrap();
+            for x in [
+                Value::Float(9.0),
+                Value::Float(10.0),
+                Value::Float(11.0),
+                Value::Float(f64::NAN),
+                Value::Int(10),
+                Value::Null,
+            ] {
+                let t = Tuple::new(
+                    s.clone(),
+                    vec![
+                        Value::Timestamp(0),
+                        x.clone(),
+                        Value::Float(0.0),
+                        Value::Bool(true),
+                        Value::Null,
+                    ],
+                )
+                .unwrap();
+                match (fused.eval(&t), tree.eval(&t)) {
+                    (Ok(a), Ok(b)) => assert_eq!(a, b, "{op:?} on {x}"),
+                    (Err(a), Err(b)) => {
+                        assert_eq!(a.to_string(), b.to_string(), "{op:?} on {x}")
+                    }
+                    (a, b) => panic!("divergence for {op:?} on {x}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    fn dist_schema() -> SchemaRef {
+        SchemaBuilder::new("k")
+            .timestamp("ts")
+            .float("ax")
+            .float("ay")
+            .float("az")
+            .float("bx")
+            .float("by")
+            .float("bz")
+            .build()
+            .unwrap()
+    }
+
+    fn dist_expr() -> Expr {
+        Expr::Call {
+            func: "dist".into(),
+            args: ["ax", "ay", "az", "bx", "by", "bz"]
+                .iter()
+                .map(|c| Expr::col(*c))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn dist_over_columns_fuses() {
+        let reg = FunctionRegistry::with_builtins();
+        let e = Expr::lt(dist_expr(), Expr::lit(6.0));
+        let c = compile(&e, &dist_schema(), &reg).unwrap();
+        assert!(format!("{c:?}").starts_with("Cmp(dist("), "{c:?}");
+        let t = Tuple::new(
+            dist_schema(),
+            vec![
+                Value::Timestamp(0),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(3.0),
+                Value::Float(4.0),
+                Value::Float(0.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.eval(&t).unwrap(), Value::Bool(true), "5 < 6");
+
+        // Null joint propagates to unknown, exactly like the tree.
+        let tree = compile_tree(&e, &dist_schema(), &reg).unwrap();
+        let t = Tuple::new(
+            dist_schema(),
+            vec![
+                Value::Timestamp(0),
+                Value::Float(0.0),
+                Value::Null,
+                Value::Float(0.0),
+                Value::Float(3.0),
+                Value::Float(4.0),
+                Value::Float(0.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(c.eval(&t).unwrap(), Value::Null);
+        assert_eq!(tree.eval(&t).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn overridden_dist_is_not_fused() {
+        let reg = FunctionRegistry::with_builtins();
+        reg.register(
+            "dist",
+            crate::expr::functions::Arity::Exact(6),
+            Arc::new(|_| Ok(Value::Float(0.0))),
+        );
+        let e = Expr::lt(dist_expr(), Expr::lit(6.0));
+        let c = compile(&e, &dist_schema(), &reg).unwrap();
+        assert!(!format!("{c:?}").contains("dist(col"), "{c:?}");
+    }
+
+    #[test]
+    fn or_chain_flattens_and_short_circuits() {
+        let reg = FunctionRegistry::with_builtins();
+        let e = Expr::bin(
+            BinOp::Or,
+            Expr::bin(
+                BinOp::Or,
+                Expr::lt(Expr::col("x"), Expr::lit(0.0)),
+                Expr::lt(Expr::col("y"), Expr::lit(0.0)),
+            ),
+            Expr::lit(true),
+        );
+        let c = compile(&e, &schema(), &reg).unwrap();
+        let dbg = format!("{c:?}");
+        assert!(dbg.starts_with("OrAll"), "{dbg}");
+        assert_eq!(dbg.matches("Cmp").count(), 2, "terms fused too: {dbg}");
+        assert_eq!(c.eval(&tuple(5.0, 5.0)).unwrap(), Value::Bool(true));
+
+        // true short-circuits past an erroring tail.
+        let e = Expr::bin(
+            BinOp::Or,
+            Expr::lit(true),
+            Expr::bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64)),
+        );
+        let c = compile(&e, &schema(), &reg).unwrap();
+        assert!(format!("{c:?}").starts_with("OrAll"));
+        assert_eq!(c.eval(&tuple(0.0, 0.0)).unwrap(), Value::Bool(true));
+
+        // Null is sticky-unknown: null or false = null, null or true = true.
+        let s = schema();
+        let null_t = Tuple::new(
+            s.clone(),
+            vec![
+                Value::Timestamp(0),
+                Value::Null,
+                Value::Float(1.0),
+                Value::Bool(true),
+                Value::Null,
+            ],
+        )
+        .unwrap();
+        let e = Expr::bin(
+            BinOp::Or,
+            Expr::lt(Expr::col("x"), Expr::lit(1.0)),
+            Expr::lit(false),
+        );
+        let c = compile(&e, &s, &reg).unwrap();
+        assert_eq!(c.eval(&null_t).unwrap(), Value::Null);
+        let e = Expr::bin(
+            BinOp::Or,
+            Expr::lt(Expr::col("x"), Expr::lit(1.0)),
+            Expr::lit(true),
+        );
+        let c = compile(&e, &s, &reg).unwrap();
+        assert_eq!(c.eval(&null_t).unwrap(), Value::Bool(true));
     }
 
     #[test]

@@ -100,6 +100,22 @@ pub(crate) fn builtin_abs() -> &'static ScalarFn {
     ABS.get_or_init(|| numeric_fn("abs", |a| a[0].abs()))
 }
 
+/// The canonical built-in `dist` (Euclidean distance between two 3-D
+/// points) — a single process-wide `Arc` for the same reason as
+/// [`builtin_abs`]: the optimiser fuses `dist(...)` over float columns
+/// only when the compiled call is pointer-identical to this built-in.
+pub(crate) fn builtin_dist() -> &'static ScalarFn {
+    static DIST: std::sync::OnceLock<ScalarFn> = std::sync::OnceLock::new();
+    DIST.get_or_init(|| {
+        numeric_fn("dist", |a| {
+            let dx = a[0] - a[3];
+            let dy = a[1] - a[4];
+            let dz = a[2] - a[5];
+            (dx * dx + dy * dy + dz * dz).sqrt()
+        })
+    })
+}
+
 impl FunctionRegistry {
     /// Creates an empty registry.
     pub fn empty() -> Self {
@@ -130,16 +146,7 @@ impl FunctionRegistry {
             Arity::Exact(2),
             numeric_fn("pow", |a| a[0].powf(a[1])),
         );
-        reg.register(
-            "dist",
-            Arity::Exact(6),
-            numeric_fn("dist", |a| {
-                let dx = a[0] - a[3];
-                let dy = a[1] - a[4];
-                let dz = a[2] - a[5];
-                (dx * dx + dy * dy + dz * dz).sqrt()
-            }),
-        );
+        reg.register("dist", Arity::Exact(6), builtin_dist().clone());
         reg.register(
             "hypot2",
             Arity::Exact(2),

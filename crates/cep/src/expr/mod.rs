@@ -5,5 +5,5 @@ mod eval;
 mod functions;
 
 pub use ast::{BinOp, Expr, UnaryOp};
-pub use eval::{compile, BandInput, CompiledExpr};
+pub use eval::{compile, CompiledExpr, FusedInput};
 pub use functions::{Arity, FunctionRegistry, ScalarFn};

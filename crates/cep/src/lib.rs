@@ -46,7 +46,8 @@ pub use error::CepError;
 pub use expr::{BinOp, Expr, FunctionRegistry, UnaryOp};
 pub use match_op::{detection_schema, Detection, MatchOp};
 pub use nfa::{
-    Nfa, NfaMatch, NfaProgram, SchemaResolver, SingleSchema, TimeConstraint, DEFAULT_MAX_RUNS,
+    MatchScratch, MatchView, Nfa, NfaMatch, NfaProgram, NfaRuntime, SchemaResolver, SingleSchema,
+    TimeConstraint, DEFAULT_MAX_RUNS,
 };
 pub use parser::{parse_expr, parse_pattern, parse_query};
 pub use pattern::{ConsumePolicy, EventPattern, Pattern, Query, SelectPolicy, SequencePattern};

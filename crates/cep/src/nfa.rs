@@ -11,6 +11,34 @@
 //! Policies follow §2/§3.3.4 of the paper: `select first` reports one
 //! match per completion wave, `consume all` flushes all partial state on
 //! detection so one physical movement produces one detection.
+//!
+//! # Hot-loop layout
+//!
+//! The stepping core is [`NfaRuntime::advance_batch_into`], engineered
+//! for zero heap allocations on the no-match steady state:
+//!
+//! * **Event arena** — a tuple that matches any step is interned once
+//!   into an append-only arena (`arena` + `arena_ts`), shared by every
+//!   run it seeds or advances. Seeding N runs from one tuple no longer
+//!   clones it N times; runs refer to events by `u32` arena index. The
+//!   arena is cleared whenever the run set empties (every `consume all`
+//!   detection does this) and mark-compacted if churn ever makes it
+//!   outgrow the live run set.
+//! * **Run slab** — run metadata lives in a dense `Vec<Run>`; the arena
+//!   indices of run *i*'s matched events live at
+//!   `run_events[i*stride ..]` with `stride = step_count`. Removing a
+//!   run swap-removes both, so steady-state stepping never allocates.
+//! * **Hoisted checks** — source routing is resolved once per batch
+//!   (`step_live`), each step predicate is evaluated at most once per
+//!   tuple (`step_memo`), and time-constraint expiry is a single
+//!   `ts > min_deadline` comparison per tuple (each run caches its
+//!   earliest pending deadline; the full prune scan only runs when the
+//!   cheap check fires).
+//! * **Caller-owned matches** — completed matches are written into a
+//!   reusable [`MatchScratch`] instead of a fresh `Vec<NfaMatch>`.
+//!
+//! The legacy single-tuple [`NfaRuntime::advance`] delegates to the
+//! batched core, so there is exactly one stepping implementation.
 
 use std::sync::Arc;
 
@@ -40,17 +68,33 @@ pub struct TimeConstraint {
     pub within_ms: StreamTime,
 }
 
-/// A partial match.
-#[derive(Debug, Clone)]
+/// No pending time constraint: the run can never expire.
+const NO_DEADLINE: StreamTime = StreamTime::MAX;
+
+/// A partial match. Event tuples live in the runtime's shared arena; the
+/// arena indices of this run's matched events live in the parallel
+/// `run_events` slab (fixed stride, same position as the run itself).
+#[derive(Debug, Clone, Copy)]
 struct Run {
-    /// Index of the next leaf to match.
-    next: usize,
-    /// Completion timestamp per completed leaf.
-    completions: Vec<StreamTime>,
-    /// The tuple that matched each completed leaf.
-    matched: Vec<Tuple>,
+    /// Index of the next leaf to match == number of completed leaves.
+    next: u32,
+    /// Serial of the tuple that last advanced this run (a tuple may
+    /// advance a run by at most one step).
+    touched: u64,
+    /// Earliest `completion(from) + within` over the constraints still
+    /// pending for this run ([`NO_DEADLINE`] when none apply).
+    deadline: StreamTime,
     /// Monotone run id (seeding order).
     id: u64,
+}
+
+/// A completed run parked between the advance scan and the selection
+/// wave. Its events are a `stride`-long block in `completed_events`.
+#[derive(Clone, Copy)]
+struct CompletedRun {
+    id: u64,
+    /// Offset of the event block in the per-tuple `completed_events`.
+    ev_start: u32,
 }
 
 /// A completed match.
@@ -60,8 +104,10 @@ pub struct NfaMatch {
     pub ts: StreamTime,
     /// Stream time of the first event.
     pub started_at: StreamTime,
-    /// One tuple per leaf step, in order.
-    pub events: Vec<Tuple>,
+    /// One tuple per leaf step, in order. Shared, not deep-copied:
+    /// cloning an `NfaMatch` (or a detection built from it) bumps one
+    /// refcount instead of cloning every event tuple.
+    pub events: Arc<[Tuple]>,
 }
 
 impl NfaMatch {
@@ -71,13 +117,94 @@ impl NfaMatch {
     }
 }
 
+/// A completed match viewed inside a [`MatchScratch`] (events borrowed
+/// from the scratch, nothing owned).
+#[derive(Debug, Clone, Copy)]
+pub struct MatchView<'a> {
+    /// Stream time of the final event.
+    pub ts: StreamTime,
+    /// Stream time of the first event.
+    pub started_at: StreamTime,
+    /// One tuple per leaf step, in order.
+    pub events: &'a [Tuple],
+}
+
+/// Flat span of one match inside a [`MatchScratch`].
+#[derive(Debug, Clone, Copy)]
+struct MatchSpan {
+    ts: StreamTime,
+    started_at: StreamTime,
+    start: u32,
+    len: u32,
+}
+
+/// Caller-owned storage for completed matches.
+///
+/// [`NfaRuntime::advance_batch_into`] appends matches here instead of
+/// allocating a fresh vector per call; reusing one scratch across
+/// batches makes the steady-state hot loop allocation-free. Matched
+/// event tuples are stored in one flat vector, spanned per match.
+#[derive(Debug, Default)]
+pub struct MatchScratch {
+    events: Vec<Tuple>,
+    spans: Vec<MatchSpan>,
+}
+
+impl MatchScratch {
+    /// An empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all matches (keeps capacity).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.spans.clear();
+    }
+
+    /// Number of matches currently held.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True when no matches are held.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Iterates the held matches in completion order.
+    pub fn matches(&self) -> impl Iterator<Item = MatchView<'_>> {
+        self.spans.iter().map(|s| MatchView {
+            ts: s.ts,
+            started_at: s.started_at,
+            events: &self.events[s.start as usize..(s.start + s.len) as usize],
+        })
+    }
+
+    /// Opens a new span; events are then appended via `push_event`.
+    fn begin_match(&mut self, ts: StreamTime, started_at: StreamTime) {
+        self.spans.push(MatchSpan {
+            ts,
+            started_at,
+            start: self.events.len() as u32,
+            len: 0,
+        });
+    }
+
+    fn push_event(&mut self, t: &Tuple) {
+        self.events.push(t.clone());
+        self.spans.last_mut().expect("open span").len += 1;
+    }
+}
+
 /// The immutable, compiled half of a pattern: leaf steps, time
 /// constraints and policies.
 ///
 /// Compiling a pattern is the expensive part (schema resolution,
 /// expression compilation); a program carries no run state, so one
 /// `Arc<NfaProgram>` can back any number of concurrently matching
-/// [`Nfa`] instances — one per user session in a multi-tenant runtime.
+/// [`NfaRuntime`] instances — one per user session in a multi-tenant
+/// runtime.
 pub struct NfaProgram {
     steps: Vec<CompiledStep>,
     constraints: Vec<TimeConstraint>,
@@ -122,14 +249,41 @@ impl NfaProgram {
     }
 }
 
+/// Compiled pattern + run state (the historical name of [`NfaRuntime`],
+/// kept for the seed API).
+pub type Nfa = NfaRuntime;
+
 /// Compiled pattern + run state.
-pub struct Nfa {
+pub struct NfaRuntime {
     program: Arc<NfaProgram>,
+    /// Dense run metadata; run *i*'s event indices are the block
+    /// `run_events[i*stride .. i*stride + stride]` (first `next` valid).
     runs: Vec<Run>,
+    run_events: Vec<u32>,
+    /// Shared append-only event storage: every tuple that matched a step
+    /// this "generation", interned once, plus its timestamp.
+    arena: Vec<Tuple>,
+    arena_ts: Vec<StreamTime>,
+    /// Earliest deadline over all runs (conservative: may be stale-low
+    /// after a run is removed, which only costs an extra prune scan).
+    min_deadline: StreamTime,
     next_run_id: u64,
+    /// Serial of the tuple currently being processed.
+    tuple_serial: u64,
     max_runs: usize,
     /// Total runs discarded due to the `max_runs` cap.
     shed: u64,
+    /// Per-batch: does `steps[i].source` match the batch's source?
+    step_live: Vec<bool>,
+    /// Per-tuple predicate memo: 0 unevaluated, 1 false, 2 true.
+    step_memo: Vec<u8>,
+    /// Per-tuple completed-run drain (reused across tuples).
+    completed: Vec<CompletedRun>,
+    completed_events: Vec<u32>,
+    /// Arena mark/remap scratch for compaction.
+    remap: Vec<u32>,
+    /// Scratch backing the legacy [`Self::advance`] wrapper.
+    legacy_scratch: MatchScratch,
 }
 
 /// Per-leaf schema resolution used at compile time: maps a source name to
@@ -155,7 +309,7 @@ impl SchemaResolver for SingleSchema {
     }
 }
 
-impl Nfa {
+impl NfaRuntime {
     /// Compiles `pattern` and wraps the program in a fresh runtime; the
     /// one-shot path used when the program is not shared.
     pub fn compile(
@@ -171,12 +325,24 @@ impl Nfa {
     /// Creates a fresh runtime (no partial matches) over a shared,
     /// already-compiled program.
     pub fn instantiate(program: Arc<NfaProgram>) -> Self {
+        let steps = program.steps.len();
         Self {
             program,
             runs: Vec::new(),
+            run_events: Vec::new(),
+            arena: Vec::new(),
+            arena_ts: Vec::new(),
+            min_deadline: NO_DEADLINE,
             next_run_id: 0,
+            tuple_serial: 0,
             max_runs: DEFAULT_MAX_RUNS,
             shed: 0,
+            step_live: vec![false; steps],
+            step_memo: vec![0; steps],
+            completed: Vec::new(),
+            completed_events: Vec::new(),
+            remap: Vec::new(),
+            legacy_scratch: MatchScratch::new(),
         }
     }
 
@@ -211,128 +377,363 @@ impl Nfa {
         self.shed
     }
 
+    /// Tuples currently interned in the shared event arena (inspection:
+    /// the arena must track the live run set, not the stream length).
+    pub fn arena_len(&self) -> usize {
+        self.arena.len()
+    }
+
     /// Drops all partial matches.
     pub fn reset(&mut self) {
         self.runs.clear();
+        self.run_events.clear();
+        self.arena.clear();
+        self.arena_ts.clear();
+        self.min_deadline = NO_DEADLINE;
     }
 
     /// Feeds one tuple from `source`; returns completed matches according
     /// to the select policy.
+    ///
+    /// Legacy single-tuple entry point: delegates to
+    /// [`Self::advance_batch_into`] (the only stepping implementation)
+    /// and materialises the scratch into owned [`NfaMatch`]es.
     pub fn advance(&mut self, source: &str, tuple: &Tuple) -> Result<Vec<NfaMatch>, CepError> {
-        let ts = tuple.timestamp().unwrap_or(0);
-        self.prune_expired(ts);
-        // Split the borrows: the program is read-only while the run set
-        // mutates, so no per-tuple Arc refcount traffic on the hot path.
+        let mut scratch = std::mem::take(&mut self.legacy_scratch);
+        scratch.clear();
+        let result = self.advance_batch_into(source, std::slice::from_ref(tuple), &mut scratch);
+        let out = result.map(|()| {
+            scratch
+                .matches()
+                .map(|m| NfaMatch {
+                    ts: m.ts,
+                    started_at: m.started_at,
+                    events: m.events.iter().cloned().collect(),
+                })
+                .collect()
+        });
+        self.legacy_scratch = scratch;
+        out
+    }
+
+    /// Feeds a batch of tuples from one `source`, appending completed
+    /// matches to `out` in stream order.
+    ///
+    /// This is the hot loop: source routing is resolved once per batch,
+    /// each step predicate is evaluated at most once per tuple, and the
+    /// time-constraint expiry check is one comparison per tuple in the
+    /// common case. A batch in which nothing matches performs **zero**
+    /// heap allocations (after the runtime's buffers have warmed up).
+    ///
+    /// Semantics are identical to calling [`Self::advance`] once per
+    /// tuple: selection and consumption policies apply per completion
+    /// wave (per tuple), not per batch.
+    pub fn advance_batch_into(
+        &mut self,
+        source: &str,
+        tuples: &[Tuple],
+        out: &mut MatchScratch,
+    ) -> Result<(), CepError> {
+        self.maybe_compact();
         let Self {
             program,
             runs,
+            run_events,
+            arena,
+            arena_ts,
+            min_deadline,
             next_run_id,
+            tuple_serial,
             max_runs,
             shed,
+            step_live,
+            step_memo,
+            completed,
+            completed_events,
+            ..
         } = self;
         let program: &NfaProgram = program;
+        let stride = program.steps.len();
 
-        let mut completed: Vec<Run> = Vec::new();
+        // Hoisted across the batch: which steps listen to this source.
+        for (live, step) in step_live.iter_mut().zip(&program.steps) {
+            *live = step.source == source;
+        }
+        let any_live = step_live.iter().any(|&b| b);
 
-        // Advance existing runs (each run by at most one step per tuple).
-        // Advanced runs are parked in a side vector so the same tuple can
-        // never advance one run twice.
-        let mut advanced: Vec<Run> = Vec::new();
-        let mut i = 0;
-        while i < runs.len() {
-            let run = &runs[i];
-            let step = &program.steps[run.next];
-            if step.source == source && step.predicate.eval_bool(tuple)? {
-                let mut run = runs.swap_remove(i);
-                run.completions.push(ts);
-                run.matched.push(tuple.clone());
-                run.next += 1;
-                if violates_constraints(program, &run) {
-                    // Too slow: the run dies. swap_remove moved an
-                    // unprocessed run into slot i, so don't increment.
-                    continue;
-                }
-                if run.next == program.steps.len() {
-                    completed.push(run);
-                } else {
-                    advanced.push(run);
-                }
+        for tuple in tuples {
+            let ts = tuple.timestamp().unwrap_or(0);
+
+            // Expiry: one comparison unless some run can actually be
+            // dead at `ts` (then a full scan prunes and recomputes).
+            if ts > *min_deadline {
+                prune_expired(runs, run_events, stride, ts, min_deadline);
+            }
+            if !any_live {
                 continue;
             }
-            i += 1;
-        }
-        runs.extend(advanced);
 
-        // Seed a new run: this tuple as leaf 0.
-        let step0 = &program.steps[0];
-        if step0.source == source && step0.predicate.eval_bool(tuple)? {
-            let run = Run {
-                next: 1,
-                completions: vec![ts],
-                matched: vec![tuple.clone()],
-                id: *next_run_id,
-            };
-            *next_run_id += 1;
-            if program.steps.len() == 1 {
-                completed.push(run);
-            } else if runs.len() >= *max_runs {
-                // Shed the oldest run to bound memory.
-                if let Some(pos) = oldest_run_pos(runs) {
-                    runs.swap_remove(pos);
-                    *shed += 1;
+            *tuple_serial += 1;
+            let serial = *tuple_serial;
+            step_memo.fill(0);
+            // Interned lazily, once per tuple, however many runs it
+            // seeds or advances.
+            let mut arena_idx = u32::MAX;
+            completed.clear();
+            completed_events.clear();
+
+            // Advance existing runs in place (each run by at most one
+            // step per tuple, guarded by `touched`).
+            let mut i = 0;
+            while i < runs.len() {
+                let run = runs[i];
+                if run.touched == serial {
+                    i += 1;
+                    continue;
                 }
-                runs.push(run);
-            } else {
-                runs.push(run);
+                let step = run.next as usize;
+                if !step_live[step]
+                    || !eval_memo(&program.steps[step].predicate, tuple, step_memo, step)?
+                {
+                    i += 1;
+                    continue;
+                }
+                if arena_idx == u32::MAX {
+                    arena_idx = intern(arena, arena_ts, tuple, ts);
+                }
+                let block = i * stride;
+                run_events[block + step] = arena_idx;
+                let run = &mut runs[i];
+                run.next += 1;
+                run.touched = serial;
+                if violates_constraints(program, arena_ts, &run_events[block..block + stride], run)
+                {
+                    // Too slow: the run dies. swap_remove moves an
+                    // unprocessed (or already-touched) run into slot i,
+                    // so don't increment.
+                    remove_run(runs, run_events, stride, i);
+                    continue;
+                }
+                if run.next as usize == stride {
+                    completed.push(CompletedRun {
+                        id: run.id,
+                        ev_start: completed_events.len() as u32,
+                    });
+                    completed_events.extend_from_slice(&run_events[block..block + stride]);
+                    remove_run(runs, run_events, stride, i);
+                    continue;
+                }
+                let dl = deadline_of(program, arena_ts, &run_events[block..block + stride], run);
+                runs[i].deadline = dl;
+                *min_deadline = (*min_deadline).min(dl);
+                i += 1;
             }
-        }
 
-        if completed.is_empty() {
-            return Ok(Vec::new());
-        }
-
-        // Selection policy.
-        completed.sort_by_key(|r| r.id);
-        let selected: Vec<Run> = match program.select {
-            SelectPolicy::First => completed.into_iter().take(1).collect(),
-            SelectPolicy::Last => {
-                let last = completed.pop().expect("non-empty");
-                vec![last]
-            }
-            SelectPolicy::All => completed,
-        };
-
-        // Consumption policy.
-        if program.consume == ConsumePolicy::All {
-            runs.clear();
-        }
-
-        Ok(selected
-            .into_iter()
-            .map(|r| NfaMatch {
-                ts: *r.completions.last().expect("completed run"),
-                started_at: r.completions[0],
-                events: r.matched,
-            })
-            .collect())
-    }
-
-    /// Kills runs whose pending time constraints can no longer be met at
-    /// stream time `now`.
-    fn prune_expired(&mut self, now: StreamTime) {
-        let constraints = &self.program.constraints;
-        self.runs.retain(|run| {
-            for c in constraints {
-                if run.next <= c.to_leaf && c.from_leaf < run.completions.len() {
-                    let deadline = run.completions[c.from_leaf] + c.within_ms;
-                    if now > deadline {
-                        return false;
+            // Seed a new run: this tuple as leaf 0.
+            if step_live[0] && eval_memo(&program.steps[0].predicate, tuple, step_memo, 0)? {
+                if arena_idx == u32::MAX {
+                    arena_idx = intern(arena, arena_ts, tuple, ts);
+                }
+                let id = *next_run_id;
+                *next_run_id += 1;
+                if stride == 1 {
+                    completed.push(CompletedRun {
+                        id,
+                        ev_start: completed_events.len() as u32,
+                    });
+                    completed_events.push(arena_idx);
+                } else {
+                    if runs.len() >= *max_runs {
+                        // Shed the oldest run to bound memory.
+                        if let Some(pos) = oldest_run_pos(runs) {
+                            remove_run(runs, run_events, stride, pos);
+                            *shed += 1;
+                        }
                     }
+                    let run = Run {
+                        next: 1,
+                        touched: serial,
+                        deadline: NO_DEADLINE,
+                        id,
+                    };
+                    let block = run_events.len();
+                    run_events.resize(block + stride, 0);
+                    run_events[block] = arena_idx;
+                    let dl =
+                        deadline_of(program, arena_ts, &run_events[block..block + stride], &run);
+                    runs.push(Run {
+                        deadline: dl,
+                        ..run
+                    });
+                    *min_deadline = (*min_deadline).min(dl);
                 }
             }
-            true
-        });
+
+            if completed.is_empty() {
+                continue;
+            }
+
+            // Selection policy (per completion wave). `sort_unstable` is
+            // in-place: no allocation on the match path either.
+            completed.sort_unstable_by_key(|r| r.id);
+            let selected: &[CompletedRun] = match program.select {
+                SelectPolicy::First => &completed[..1],
+                SelectPolicy::Last => &completed[completed.len() - 1..],
+                SelectPolicy::All => completed.as_slice(),
+            };
+            for c in selected {
+                let ev = &completed_events[c.ev_start as usize..c.ev_start as usize + stride];
+                let started_at = arena_ts[ev[0] as usize];
+                let ts = arena_ts[ev[stride - 1] as usize];
+                out.begin_match(ts, started_at);
+                for &e in ev {
+                    out.push_event(&arena[e as usize]);
+                }
+            }
+
+            // Consumption policy.
+            if program.consume == ConsumePolicy::All {
+                runs.clear();
+                run_events.clear();
+                *min_deadline = NO_DEADLINE;
+            }
+            if runs.is_empty() {
+                // No run references the arena any more: recycle it.
+                arena.clear();
+                arena_ts.clear();
+            }
+        }
+        Ok(())
     }
+
+    /// Reclaims the event arena when churn (long-lived runs next to
+    /// expired ones) lets it outgrow the live run set. Rare and
+    /// amortised; the common recycle point is the run set emptying.
+    fn maybe_compact(&mut self) {
+        if self.runs.is_empty() {
+            if !self.arena.is_empty() {
+                self.arena.clear();
+                self.arena_ts.clear();
+            }
+            return;
+        }
+        let stride = self.program.steps.len();
+        let live: usize = self.runs.iter().map(|r| r.next as usize).sum();
+        if self.arena.len() < 1024 || self.arena.len() < live.saturating_mul(4) {
+            return;
+        }
+        // Mark…
+        self.remap.clear();
+        self.remap.resize(self.arena.len(), u32::MAX);
+        for (i, run) in self.runs.iter().enumerate() {
+            for k in 0..run.next as usize {
+                self.remap[self.run_events[i * stride + k] as usize] = 0;
+            }
+        }
+        // …compact in place (stable, so new index <= old index)…
+        let mut w = 0usize;
+        for r in 0..self.arena.len() {
+            if self.remap[r] != u32::MAX {
+                self.arena.swap(w, r);
+                self.arena_ts.swap(w, r);
+                self.remap[r] = w as u32;
+                w += 1;
+            }
+        }
+        self.arena.truncate(w);
+        self.arena_ts.truncate(w);
+        // …and rewrite the run slab through the remap table.
+        for (i, run) in self.runs.iter().enumerate() {
+            for k in 0..run.next as usize {
+                let e = &mut self.run_events[i * stride + k];
+                *e = self.remap[*e as usize];
+            }
+        }
+    }
+}
+
+/// Evaluates step `i`'s predicate against `tuple` at most once per tuple
+/// (`memo` is reset by the caller when the tuple changes).
+#[inline]
+fn eval_memo(
+    predicate: &CompiledExpr,
+    tuple: &Tuple,
+    memo: &mut [u8],
+    i: usize,
+) -> Result<bool, CepError> {
+    match memo[i] {
+        1 => Ok(false),
+        2 => Ok(true),
+        _ => {
+            let r = predicate.eval_bool(tuple)?;
+            memo[i] = if r { 2 } else { 1 };
+            Ok(r)
+        }
+    }
+}
+
+/// Interns a matched tuple into the shared arena, returning its index.
+#[inline]
+fn intern(
+    arena: &mut Vec<Tuple>,
+    arena_ts: &mut Vec<StreamTime>,
+    t: &Tuple,
+    ts: StreamTime,
+) -> u32 {
+    let idx = arena.len() as u32;
+    arena.push(t.clone());
+    arena_ts.push(ts);
+    idx
+}
+
+/// Removes run `i`, keeping metadata and event slab dense.
+#[inline]
+fn remove_run(runs: &mut Vec<Run>, run_events: &mut Vec<u32>, stride: usize, i: usize) {
+    runs.swap_remove(i);
+    let last = runs.len(); // index of the block that moved into slot i
+    run_events.copy_within(last * stride..(last + 1) * stride, i * stride);
+    run_events.truncate(last * stride);
+}
+
+/// Kills runs whose pending time constraints can no longer be met at
+/// stream time `now`, and recomputes the exact earliest deadline.
+fn prune_expired(
+    runs: &mut Vec<Run>,
+    run_events: &mut Vec<u32>,
+    stride: usize,
+    now: StreamTime,
+    min_deadline: &mut StreamTime,
+) {
+    let mut min = NO_DEADLINE;
+    let mut i = 0;
+    while i < runs.len() {
+        let dl = runs[i].deadline;
+        if now > dl {
+            remove_run(runs, run_events, stride, i);
+            continue;
+        }
+        min = min.min(dl);
+        i += 1;
+    }
+    *min_deadline = min;
+}
+
+/// Earliest `completion(from) + within` over the constraints whose
+/// `to_leaf` this run has not completed yet.
+fn deadline_of(
+    program: &NfaProgram,
+    arena_ts: &[StreamTime],
+    events: &[u32],
+    run: &Run,
+) -> StreamTime {
+    let next = run.next as usize;
+    let mut dl = NO_DEADLINE;
+    for c in &program.constraints {
+        if next <= c.to_leaf && c.from_leaf < next {
+            dl = dl.min(arena_ts[events[c.from_leaf] as usize] + c.within_ms);
+        }
+    }
+    dl
 }
 
 /// Position of the oldest (lowest-id) run.
@@ -345,12 +746,19 @@ fn oldest_run_pos(runs: &[Run]) -> Option<usize> {
 
 /// Checks constraints that end at the run's most recently completed
 /// leaf.
-fn violates_constraints(program: &NfaProgram, run: &Run) -> bool {
-    let last = run.completions.len() - 1;
+fn violates_constraints(
+    program: &NfaProgram,
+    arena_ts: &[StreamTime],
+    events: &[u32],
+    run: &Run,
+) -> bool {
+    let completed = run.next as usize;
+    let last = completed - 1;
     for c in &program.constraints {
         if c.to_leaf == last
-            && c.from_leaf < run.completions.len()
-            && run.completions[last] - run.completions[c.from_leaf] > c.within_ms
+            && c.from_leaf < completed
+            && arena_ts[events[last] as usize] - arena_ts[events[c.from_leaf] as usize]
+                > c.within_ms
         {
             return true;
         }
@@ -623,5 +1031,73 @@ mod tests {
         assert_eq!(n.active_runs(), 1);
         n.reset();
         assert_eq!(n.active_runs(), 0);
+    }
+
+    #[test]
+    fn batched_advance_equals_per_tuple_advance() {
+        let src = "(k(x < 1) -> k(x > 9) within 1 seconds) -> k(x < 1) within 1 seconds";
+        let stream: Vec<Tuple> = (0..200)
+            .map(|i| tup(i * 37, ((i * 7919) % 23) as f64 - 5.0))
+            .collect();
+
+        let mut single = nfa(src).with_max_runs(3);
+        let mut per_tuple = Vec::new();
+        for t in &stream {
+            per_tuple.extend(single.advance("k", t).unwrap());
+        }
+
+        let mut batched = nfa(src).with_max_runs(3);
+        let mut scratch = MatchScratch::new();
+        for chunk in stream.chunks(17) {
+            batched
+                .advance_batch_into("k", chunk, &mut scratch)
+                .unwrap();
+        }
+
+        let a: Vec<_> = per_tuple
+            .iter()
+            .map(|m| (m.ts, m.started_at, m.events.len()))
+            .collect();
+        let b: Vec<_> = scratch
+            .matches()
+            .map(|m| (m.ts, m.started_at, m.events.len()))
+            .collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "workload must produce matches");
+        assert_eq!(single.active_runs(), batched.active_runs());
+        assert_eq!(single.shed_runs(), batched.shed_runs());
+    }
+
+    #[test]
+    fn arena_recycles_when_runs_drain() {
+        // consume all: every detection empties the run set, which must
+        // recycle the shared arena instead of growing it forever.
+        let mut n = nfa("k(x < 1) -> k(x > 9)");
+        for round in 0..50 {
+            let base = round * 100;
+            n.advance("k", &tup(base, 0.5)).unwrap();
+            assert_eq!(n.advance("k", &tup(base + 10, 10.0)).unwrap().len(), 1);
+            assert_eq!(n.arena_len(), 0, "arena recycled after the wave");
+        }
+    }
+
+    #[test]
+    fn arena_compacts_under_churn() {
+        // select all / consume none with a long-lived run pinned at step
+        // 1 while thousands of seeds expire: compaction must keep the
+        // arena near the live set, not the stream length.
+        let mut n = nfa("k(x < 1) -> k(x > 9) within 1 seconds select all consume none");
+        let mut scratch = MatchScratch::new();
+        for i in 0..20_000i64 {
+            let t = tup(i * 10, 0.5); // seeds every tuple; expires after 1 s
+            n.advance_batch_into("k", std::slice::from_ref(&t), &mut scratch)
+                .unwrap();
+        }
+        assert!(
+            n.arena_len() <= 4 * (n.active_runs() + 1).max(256),
+            "arena {} vs {} runs",
+            n.arena_len(),
+            n.active_runs()
+        );
     }
 }

@@ -17,7 +17,7 @@ use crate::engine::QueryStats;
 use crate::error::CepError;
 use crate::expr::FunctionRegistry;
 use crate::match_op::Detection;
-use crate::nfa::{Nfa, NfaProgram};
+use crate::nfa::{MatchScratch, Nfa, NfaProgram};
 use crate::pattern::Query;
 
 /// Plans compiled process-wide (monotone). Lets scale experiments assert
@@ -110,6 +110,8 @@ impl QueryPlan {
             chains: None,
             bindings: None,
             nfa: Nfa::instantiate(Arc::clone(&self.program)),
+            scratch: MatchScratch::new(),
+            staged: Vec::new(),
             detections: 0,
         }
     }
@@ -142,6 +144,11 @@ pub struct PlanInstance {
     /// only ever appends).
     bindings: Option<Vec<RouteBinding>>,
     nfa: Nfa,
+    /// Reusable match output of the batched NFA core: the steady-state
+    /// no-match path allocates nothing.
+    scratch: MatchScratch,
+    /// Reusable private-chain output buffer.
+    staged: Vec<Tuple>,
     detections: u64,
 }
 
@@ -196,6 +203,8 @@ impl PlanInstance {
             plan,
             chains,
             nfa,
+            scratch,
+            staged,
             detections,
             ..
         } = self;
@@ -206,14 +215,20 @@ impl PlanInstance {
             }
             let name = &plan.query.name;
             if chain.is_empty() {
-                Self::advance(nfa, detections, name, &route.source, tuple, out)?;
+                advance_batch(
+                    nfa,
+                    scratch,
+                    detections,
+                    name,
+                    &route.source,
+                    std::slice::from_ref(tuple),
+                    out,
+                )?;
                 continue;
             }
-            let mut staged = Vec::new();
-            Self::run_chain(chain, tuple, &mut staged);
-            for t in &staged {
-                Self::advance(nfa, detections, name, &route.source, t, out)?;
-            }
+            staged.clear();
+            Self::run_chain(chain, tuple, staged);
+            advance_batch(nfa, scratch, detections, name, &route.source, staged, out)?;
         }
         Ok(())
     }
@@ -232,11 +247,56 @@ impl PlanInstance {
         views: &SharedViews,
         out: &mut Vec<Detection>,
     ) -> Result<(), CepError> {
+        self.push_frame_shared(stream, std::slice::from_ref(tuple), views, None, out)
+    }
+
+    /// Pushes a whole batch of base-stream tuples on the shared data
+    /// path, stepping the NFA **batch-at-a-time**: `views` must have been
+    /// prepared with [`SharedViews::begin_batch`] over the same `tuples`.
+    ///
+    /// Single-source plans (every learned gesture) advance their run set
+    /// over the entire batch in one call — the run-set scan, source
+    /// routing and time-constraint checks are hoisted out of the
+    /// per-tuple loop, and a batch with no completed match allocates
+    /// nothing. Multi-source plans fall back to frame-at-a-time stepping
+    /// to preserve the cross-source interleaving of events.
+    pub fn push_batch_shared(
+        &mut self,
+        stream: &str,
+        tuples: &[Tuple],
+        views: &SharedViews,
+        out: &mut Vec<Detection>,
+    ) -> Result<(), CepError> {
+        if self.plan.routes.len() == 1 {
+            // Whole-batch fast path: one route means every step reads
+            // the same source, so batch order == interleaved order.
+            return self.push_frame_shared(stream, tuples, views, None, out);
+        }
+        for f in 0..tuples.len() {
+            self.push_frame_shared(stream, tuples, views, Some(f), out)?;
+        }
+        Ok(())
+    }
+
+    /// Shared-path stepping core. With `frame: None` every route
+    /// consumes the whole batch (callers guarantee this is
+    /// order-equivalent, i.e. a single route); with `frame: Some(f)`
+    /// only frame `f`'s slice of the batch is consumed.
+    fn push_frame_shared(
+        &mut self,
+        stream: &str,
+        tuples: &[Tuple],
+        views: &SharedViews,
+        frame: Option<usize>,
+        out: &mut Vec<Detection>,
+    ) -> Result<(), CepError> {
         let Self {
             plan,
             chains,
             bindings,
             nfa,
+            scratch,
+            staged,
             detections,
         } = self;
         let bindings = bindings.get_or_insert_with(|| {
@@ -258,19 +318,32 @@ impl PlanInstance {
             let name = &plan.query.name;
             match binding {
                 RouteBinding::Direct => {
-                    Self::advance(nfa, detections, name, &route.source, tuple, out)?;
+                    let batch = match frame {
+                        None => tuples,
+                        Some(f) => &tuples[f..f + 1],
+                    };
+                    advance_batch(nfa, scratch, detections, name, &route.source, batch, out)?;
                 }
                 RouteBinding::Shared(slot) => {
-                    for t in views.outputs(*slot) {
-                        Self::advance(nfa, detections, name, &route.source, t, out)?;
-                    }
+                    let batch = match frame {
+                        None => views.outputs(*slot),
+                        Some(f) => views.frame_outputs(*slot, f),
+                    };
+                    advance_batch(nfa, scratch, detections, name, &route.source, batch, out)?;
                 }
                 RouteBinding::Private => {
+                    // Cold fallback (plan compiled against a foreign
+                    // catalog): chains run tuple-at-a-time, since a
+                    // multi-stage chain rewrites its staging buffer.
                     let chains = chains.get_or_insert_with(|| Self::instantiate_chains(plan));
-                    let mut staged = Vec::new();
-                    Self::run_chain(&mut chains[i], tuple, &mut staged);
-                    for t in &staged {
-                        Self::advance(nfa, detections, name, &route.source, t, out)?;
+                    let inputs = match frame {
+                        None => tuples,
+                        Some(f) => &tuples[f..f + 1],
+                    };
+                    for tuple in inputs {
+                        staged.clear();
+                        Self::run_chain(&mut chains[i], tuple, staged);
+                        advance_batch(nfa, scratch, detections, name, &route.source, staged, out)?;
                     }
                 }
             }
@@ -309,26 +382,42 @@ impl PlanInstance {
             *staged = next;
         }
     }
+}
 
-    fn advance(
-        nfa: &mut Nfa,
-        detections: &mut u64,
-        gesture: &str,
-        source: &str,
-        tuple: &Tuple,
-        out: &mut Vec<Detection>,
-    ) -> Result<(), CepError> {
-        for m in nfa.advance(source, tuple)? {
+/// Steps the NFA over a batch and converts any completed matches into
+/// [`Detection`]s. All plan-level paths funnel through this one call, so
+/// there is exactly one stepping implementation; the no-match steady
+/// state touches the reusable `scratch` only (no allocation).
+fn advance_batch(
+    nfa: &mut Nfa,
+    scratch: &mut MatchScratch,
+    detections: &mut u64,
+    gesture: &str,
+    source: &str,
+    tuples: &[Tuple],
+    out: &mut Vec<Detection>,
+) -> Result<(), CepError> {
+    if tuples.is_empty() {
+        return Ok(());
+    }
+    // Drain the scratch even when stepping errors mid-batch: matches
+    // completed by earlier tuples of the batch are still delivered
+    // (exactly like the per-tuple reference path), and a stale scratch
+    // can never leak duplicates into a later call.
+    let result = nfa.advance_batch_into(source, tuples, scratch);
+    if !scratch.is_empty() {
+        for m in scratch.matches() {
             *detections += 1;
             out.push(Detection {
                 gesture: gesture.to_owned(),
                 ts: m.ts,
                 started_at: m.started_at,
-                events: m.events,
+                events: m.events.iter().cloned().collect(),
             });
         }
-        Ok(())
+        scratch.clear();
     }
+    result
 }
 
 #[cfg(test)]

@@ -6,11 +6,13 @@
 //! applies exactly at its position in the stream. Session state never
 //! leaves the worker thread — per-tuple matching takes no locks.
 //!
-//! Data path per frame: one [`frame_to_tuple`] conversion, one shared
-//! view evaluation ([`SharedViews::begin_frame`]), then every deployed
-//! plan instance reads the shared view outputs by reference
-//! ([`PlanInstance::push_shared`]) — deploying more gestures does not
-//! re-run the coordinate transformation.
+//! Data path per batch: one [`frame_to_tuple`] conversion per frame
+//! into a reused scratch, one shared view evaluation for the whole
+//! batch ([`SharedViews::begin_batch`]), then every deployed plan
+//! instance steps its NFA batch-at-a-time over the shared view outputs
+//! ([`PlanInstance::push_batch_shared`]) — deploying more gestures does
+//! not re-run the coordinate transformation, and matching a batch that
+//! detects nothing allocates nothing.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -20,7 +22,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{Receiver, Sender};
 use gesto_cep::{Detection, PlanInstance, QueryPlan};
 use gesto_kinect::{frame_to_tuple, SkeletonFrame};
-use gesto_stream::{Catalog, SchemaRef, SharedViews};
+use gesto_stream::{Catalog, SchemaRef, SharedViews, Tuple};
 use parking_lot::RwLock;
 
 use crate::metrics::ShardMetrics;
@@ -170,6 +172,8 @@ pub(crate) struct ShardWorker {
     pub sessions: HashMap<SessionId, SessionRuntime>,
     /// Detections scratch, reused across batches.
     detections: Vec<Detection>,
+    /// Frame→tuple conversion scratch, reused across batches.
+    tuples: Vec<Tuple>,
 }
 
 impl ShardWorker {
@@ -193,6 +197,7 @@ impl ShardWorker {
             plans: Vec::new(),
             sessions: HashMap::new(),
             detections: Vec::new(),
+            tuples: Vec::new(),
         }
     }
 
@@ -244,6 +249,7 @@ impl ShardWorker {
             metrics,
             plans,
             detections,
+            tuples,
             ..
         } = self;
         let runtime = match sessions.entry(batch.session) {
@@ -257,15 +263,18 @@ impl ShardWorker {
         detections.clear();
         let mut errors = 0u64;
         let SessionRuntime { views, instances } = runtime;
-        for frame in &batch.frames {
-            // Transform-once: one tuple conversion and one shared view
-            // evaluation per frame, fanned out to every deployed plan.
-            let tuple = frame_to_tuple(frame, schema);
-            views.begin_frame(stream, &tuple);
-            for inst in instances.iter_mut() {
-                if inst.push_shared(stream, &tuple, views, detections).is_err() {
-                    errors += 1;
-                }
+        // Transform-once, step-batched: one tuple conversion per frame,
+        // one shared view evaluation per batch, then every deployed plan
+        // steps its NFA over the whole batch in one call.
+        tuples.clear();
+        tuples.extend(batch.frames.iter().map(|f| frame_to_tuple(f, schema)));
+        views.begin_batch(stream, tuples);
+        for inst in instances.iter_mut() {
+            if inst
+                .push_batch_shared(stream, tuples, views, detections)
+                .is_err()
+            {
+                errors += 1;
             }
         }
 

@@ -36,14 +36,19 @@ enum Input {
     View(usize),
 }
 
-/// One instantiated view and its per-frame output buffer.
+/// One instantiated view and its per-batch output buffer.
 struct ViewState {
     name: String,
     input: Input,
     op: BoxedOperator,
-    /// Output tuples of the current frame (reused across frames).
+    /// Output tuples of the current batch, all frames concatenated in
+    /// order (buffer reused across batches).
     out: Vec<Tuple>,
-    /// True when the view ran this frame (its input chain was rooted at
+    /// Frame boundaries into `out`: frame `f`'s outputs are
+    /// `out[offsets[f] .. offsets[f+1]]`. Empty when the view did not
+    /// run this batch.
+    offsets: Vec<u32>,
+    /// True when the view ran this batch (its input chain was rooted at
     /// the pushed stream), even if it emitted nothing.
     live: bool,
     /// True when some consumer references this view (directly or as the
@@ -100,6 +105,7 @@ impl SharedViews {
                     input,
                     op: (def.factory)(),
                     out: Vec::new(),
+                    offsets: Vec::new(),
                     live: false,
                     needed: false,
                 });
@@ -157,33 +163,59 @@ impl SharedViews {
         self.states[slot].needed
     }
 
-    /// Evaluates every needed view whose chain is rooted at `stream`,
-    /// exactly once, in dependency order. Outputs are read with
-    /// [`Self::outputs`] until the next `begin_frame`.
+    /// Evaluates every needed view for one frame; equivalent to
+    /// [`Self::begin_batch`] with a one-tuple batch.
     pub fn begin_frame(&mut self, stream: &str, tuple: &Tuple) {
+        self.begin_batch(stream, std::slice::from_ref(tuple));
+    }
+
+    /// Evaluates every needed view whose chain is rooted at `stream`
+    /// over a whole batch of frames, exactly once per view, in
+    /// dependency order. Until the next `begin_batch`, a view's
+    /// concatenated batch output is read with [`Self::outputs`] and one
+    /// frame's slice of it with [`Self::frame_outputs`].
+    ///
+    /// Each view operator still sees the tuples in frame order, so the
+    /// outputs are identical to `tuples.len()` successive
+    /// [`Self::begin_frame`] calls — but downstream consumers (the NFA
+    /// hot loop) get one contiguous slice per batch instead of one
+    /// callback per frame.
+    pub fn begin_batch(&mut self, stream: &str, tuples: &[Tuple]) {
         for i in 0..self.states.len() {
             let (done, rest) = self.states.split_at_mut(i);
             let st = &mut rest[0];
             st.out.clear();
+            st.offsets.clear();
             st.live = false;
             if !st.needed {
                 continue;
             }
             let out = &mut st.out;
+            let offsets = &mut st.offsets;
+            let op = &mut st.op;
             match &st.input {
                 Input::Stream(s) => {
                     if s.as_str() != stream {
                         continue;
                     }
-                    st.op.process(tuple, &mut |t| out.push(t));
+                    offsets.push(0);
+                    for tuple in tuples {
+                        op.process(tuple, &mut |t| out.push(t));
+                        offsets.push(out.len() as u32);
+                    }
                 }
                 Input::View(j) => {
                     let up = &done[*j];
                     if !up.live {
                         continue;
                     }
-                    for t in &up.out {
-                        st.op.process(t, &mut |t| out.push(t));
+                    offsets.push(0);
+                    for f in 0..tuples.len() {
+                        let (a, b) = (up.offsets[f] as usize, up.offsets[f + 1] as usize);
+                        for t in &up.out[a..b] {
+                            op.process(t, &mut |t| out.push(t));
+                        }
+                        offsets.push(out.len() as u32);
                     }
                 }
             }
@@ -191,10 +223,21 @@ impl SharedViews {
         }
     }
 
-    /// Output tuples of the view in `slot` for the current frame (empty
-    /// when the view did not run or emitted nothing).
+    /// Output tuples of the view in `slot` for the current batch, all
+    /// frames concatenated (empty when the view did not run or emitted
+    /// nothing).
     pub fn outputs(&self, slot: usize) -> &[Tuple] {
         &self.states[slot].out
+    }
+
+    /// Output tuples of the view in `slot` for frame `frame` of the
+    /// current batch (empty when the view did not run).
+    pub fn frame_outputs(&self, slot: usize, frame: usize) -> &[Tuple] {
+        let st = &self.states[slot];
+        if !st.live {
+            return &[];
+        }
+        &st.out[st.offsets[frame] as usize..st.offsets[frame + 1] as usize]
     }
 
     /// Names of the instantiated views, in slot order.
