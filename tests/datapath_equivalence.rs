@@ -129,6 +129,157 @@ fn canonical(mut ds: Vec<Detection>) -> Vec<(String, i64, i64, Vec<String>)> {
         .collect()
 }
 
+/// Tiny deterministic PRNG (xorshift64*) so the property sweep needs no
+/// external crate.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x2545F4914F6CDD1D) | 1)
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+    fn f64(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A random pattern in the learned-gesture dialect: 1–4 band steps,
+/// optional (possibly nested) `within` constraints, random
+/// select/consume policies.
+fn random_pattern(rng: &mut Rng) -> String {
+    let steps = 1 + rng.below(4) as usize;
+    let step = |rng: &mut Rng| {
+        let c = rng.below(100) as f64;
+        let w = 5.0 + rng.below(30) as f64;
+        format!("k(abs(x - {c}) < {w})")
+    };
+    if steps == 1 {
+        return step(rng);
+    }
+    let mut body = if steps >= 3 && rng.below(2) == 0 {
+        // Nested inner sequence with its own budget.
+        let within = 1 + rng.below(2);
+        let mut s = format!("({} -> {} within {within} seconds)", step(rng), step(rng));
+        for _ in 2..steps {
+            s.push_str(&format!(" -> {}", step(rng)));
+        }
+        s
+    } else {
+        let mut s = step(rng);
+        for _ in 1..steps {
+            s.push_str(&format!(" -> {}", step(rng)));
+        }
+        s
+    };
+    if rng.below(2) == 0 {
+        body.push_str(&format!(" within {} seconds", 1 + rng.below(2)));
+    }
+    let select = ["first", "last", "all"][rng.below(3) as usize];
+    let consume = ["all", "none"][rng.below(2) as usize];
+    format!("{body} select {select} consume {consume}")
+}
+
+#[test]
+fn batched_nfa_advance_matches_single_tuple_advance() {
+    use gesto::cep::{parse_pattern, FunctionRegistry, MatchScratch, Nfa, SingleSchema};
+    use gesto::stream::{SchemaBuilder, Value};
+
+    let schema = SchemaBuilder::new("k")
+        .timestamp("ts")
+        .float("x")
+        .build()
+        .unwrap();
+    let tup = |ts: i64, x: f64| {
+        Tuple::new(schema.clone(), vec![Value::Timestamp(ts), Value::Float(x)]).unwrap()
+    };
+    let canonical_match = |ts: i64, started_at: i64, events: &[Tuple]| {
+        let ev: Vec<String> = events.iter().map(|t| format!("{:?}", t.values())).collect();
+        (ts, started_at, ev)
+    };
+
+    let mut produced = 0usize;
+    let mut shed_hit = false;
+    let mut expiry_hit = false;
+    for seed in 0..40u64 {
+        let mut rng = Rng::new(seed + 1);
+        // A random gesture set: every pattern steps the same stream.
+        for _ in 0..(1 + rng.below(3)) {
+            let text = random_pattern(&mut rng);
+            let pattern = parse_pattern(&text).expect("generated pattern parses");
+            let funcs = FunctionRegistry::with_builtins();
+            let max_runs = [1usize, 2, 4, 1024][rng.below(4) as usize];
+            let mut single = Nfa::compile(&pattern, &SingleSchema(schema.clone()), &funcs)
+                .unwrap()
+                .with_max_runs(max_runs);
+            let mut batched = Nfa::compile(&pattern, &SingleSchema(schema.clone()), &funcs)
+                .unwrap()
+                .with_max_runs(max_runs);
+
+            // Random workload: mostly increasing timestamps with gaps
+            // long enough to expire `within` budgets.
+            let mut ts = 0i64;
+            let tuples: Vec<Tuple> = (0..300)
+                .map(|_| {
+                    ts += rng.below(400) as i64;
+                    tup(ts, rng.f64() * 110.0)
+                })
+                .collect();
+
+            // Reference: the legacy single-tuple entry point.
+            let mut expect = Vec::new();
+            for t in &tuples {
+                for m in single.advance("k", t).unwrap() {
+                    expect.push(canonical_match(m.ts, m.started_at, &m.events));
+                }
+            }
+
+            // Batched: random batch splits over the same stream.
+            let mut got = Vec::new();
+            let mut scratch = MatchScratch::new();
+            let mut rest = tuples.as_slice();
+            while !rest.is_empty() {
+                let n = (1 + rng.below(64) as usize).min(rest.len());
+                let (chunk, tail) = rest.split_at(n);
+                batched
+                    .advance_batch_into("k", chunk, &mut scratch)
+                    .unwrap();
+                rest = tail;
+            }
+            for m in scratch.matches() {
+                got.push(canonical_match(m.ts, m.started_at, m.events));
+            }
+
+            assert_eq!(got, expect, "seed {seed} pattern `{text}` diverged");
+            assert_eq!(
+                single.active_runs(),
+                batched.active_runs(),
+                "seed {seed} pattern `{text}`: run state diverged"
+            );
+            assert_eq!(
+                single.shed_runs(),
+                batched.shed_runs(),
+                "seed {seed} pattern `{text}`: shed count diverged"
+            );
+            produced += expect.len();
+            shed_hit |= single.shed_runs() > 0;
+            expiry_hit |= !single.constraints().is_empty();
+        }
+    }
+    assert!(produced > 100, "sweep must actually match ({produced})");
+    assert!(shed_hit, "sweep must exercise max_runs shedding");
+    assert!(expiry_hit, "sweep must exercise time constraints");
+}
+
 #[test]
 fn engine_shared_path_matches_seed_per_route_path() {
     let pool = query_pool();
