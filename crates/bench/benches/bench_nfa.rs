@@ -1,8 +1,11 @@
-//! NFA stepping A/B: per-tuple [`Nfa::advance`] vs batched
-//! [`Nfa::advance_batch_into`] at 1/4/16 deployed gestures, plus
-//! allocation-count assertions (via a counting global allocator) proving
-//! the batched hot loop performs **zero** heap allocations at steady
-//! state — both when nothing matches and under seed/expire churn.
+//! NFA stepping A/B/C: per-tuple [`Nfa::advance`] vs batched
+//! [`Nfa::advance_batch_into`] vs columnar
+//! [`Nfa::advance_block_into`] (batched + vectorized predicate
+//! pre-pass) at 1/4/16 deployed gestures, plus allocation-count
+//! assertions (via a counting global allocator) proving the batched hot
+//! loop performs **zero** heap allocations at steady state — when
+//! nothing matches, under seed/expire churn, and with the columnar
+//! block build + predicate pre-pass in the loop.
 //!
 //! ```sh
 //! cargo bench -p gesto-bench --bench bench_nfa -- --json BENCH_nfa.json
@@ -13,7 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use gesto_cep::{parse_pattern, FunctionRegistry, MatchScratch, Nfa, SingleSchema};
-use gesto_stream::{SchemaBuilder, SchemaRef, Tuple, Value};
+use gesto_stream::{ColumnBlock, SchemaBuilder, SchemaRef, Tuple, Value};
 
 /// Counts every heap allocation (alloc/realloc/alloc_zeroed) so the
 /// bench can assert the hot loop's no-allocation contract.
@@ -174,11 +177,14 @@ struct AbResult {
     gestures: usize,
     per_tuple_fps: f64,
     batched_fps: f64,
+    block_fps: f64,
     speedup: f64,
+    block_speedup: f64,
     matches: u64,
 }
 
-/// Per-tuple vs batched stepping of `n` gestures over the same stream.
+/// Per-tuple vs batched vs columnar stepping of `n` gestures over the
+/// same stream.
 fn ab_advance(n: usize, tuples: &[Tuple]) -> AbResult {
     let frames = tuples.len() as f64;
 
@@ -199,7 +205,7 @@ fn ab_advance(n: usize, tuples: &[Tuple]) -> AbResult {
     });
 
     // Batched path: every NFA steps the whole batch in one call — the
-    // shape of `PlanInstance::push_batch_shared`.
+    // shape of `PlanInstance::push_batch_shared` without blocks.
     let mut nfas = compile_gestures(n);
     let mut scratch = MatchScratch::new();
     let mut batched_matches = 0u64;
@@ -214,12 +220,32 @@ fn ab_advance(n: usize, tuples: &[Tuple]) -> AbResult {
         }
     });
 
+    // Columnar path: one block build per batch (amortised across every
+    // deployed gesture) + the vectorized predicate pre-pass.
+    let mut nfas = compile_gestures(n);
+    let mut block = ColumnBlock::new();
+    let mut block_matches = 0u64;
+    let block_ns = measure(|| {
+        block_matches = 0;
+        block.fill_from_tuples(tuples);
+        for nfa in nfas.iter_mut() {
+            nfa.advance_block_into(SOURCE, tuples, Some(&block), &mut scratch)
+                .unwrap();
+            block_matches += scratch.len() as u64;
+            scratch.clear();
+            nfa.reset();
+        }
+    });
+
     assert_eq!(matches, batched_matches, "paths must agree on detections");
+    assert_eq!(matches, block_matches, "block path must agree too");
     AbResult {
         gestures: n,
         per_tuple_fps: frames / (per_tuple_ns / 1e9),
         batched_fps: frames / (batched_ns / 1e9),
+        block_fps: frames / (block_ns / 1e9),
         speedup: per_tuple_ns / batched_ns,
+        block_speedup: per_tuple_ns / block_ns,
         matches,
     }
 }
@@ -281,6 +307,82 @@ fn assert_zero_allocations() {
         "seed/expire/complete steady state must not allocate"
     );
     println!("alloc-check: seed/expire/match churn    0 allocations ✓ ({matches} matches/pass)");
+
+    // (c) Columnar path: the per-batch block build and the predicate
+    // pre-pass (per-(step, tuple) bitmasks + pooled kernel scratch in
+    // the MatchScratch) must also be allocation-free once warm.
+    let mut nfas = compile_gestures(4);
+    let mut block = ColumnBlock::new();
+    let mut block_matches = 0u64;
+    for _ in 0..2 {
+        block_matches = 0;
+        block.fill_from_tuples(&tuples);
+        for nfa in nfas.iter_mut() {
+            nfa.advance_block_into(SOURCE, &tuples, Some(&block), &mut scratch)
+                .unwrap();
+            block_matches += scratch.len() as u64;
+            scratch.clear();
+            nfa.reset();
+        }
+    }
+    let before = allocations();
+    for _ in 0..16 {
+        block.fill_from_tuples(&tuples);
+        for nfa in nfas.iter_mut() {
+            nfa.advance_block_into(SOURCE, &tuples, Some(&block), &mut scratch)
+                .unwrap();
+            scratch.clear();
+            nfa.reset();
+        }
+    }
+    let block_allocs = allocations() - before;
+    assert_eq!(block_matches, matches, "block path must agree on matches");
+    assert_eq!(
+        block_allocs, 0,
+        "columnar pre-pass steady state must not allocate"
+    );
+    println!("alloc-check: block build + pre-pass     0 allocations ✓");
+
+    // (d) The dist() kernel's six-lane read must stay allocation-free
+    // too (it seeds every tuple here, shedding at the run cap).
+    let mut dist_nfa = Nfa::compile(
+        &parse_pattern(&format!(
+            "{SOURCE}(dist(x, y, z, x, y, z) < 1) -> {SOURCE}(x > 9000)"
+        ))
+        .unwrap(),
+        &SingleSchema(schema()),
+        &FunctionRegistry::with_builtins(),
+    )
+    .unwrap()
+    .with_max_runs(64);
+    // Longer warmup: this workload cycles the event arena through
+    // mark-compaction (every ~2 batches), so the compaction scratch
+    // only reaches its high-water capacity after a few cycles.
+    for _ in 0..8 {
+        block.fill_from_tuples(&tuples);
+        dist_nfa
+            .advance_block_into(SOURCE, &tuples, Some(&block), &mut scratch)
+            .unwrap();
+        scratch.clear();
+    }
+    let before = allocations();
+    for _ in 0..16 {
+        block.fill_from_tuples(&tuples);
+        dist_nfa
+            .advance_block_into(SOURCE, &tuples, Some(&block), &mut scratch)
+            .unwrap();
+        scratch.clear();
+    }
+    let dist_allocs = allocations() - before;
+    assert!(
+        dist_nfa.shed_runs() > 0,
+        "dist workload must exercise the cap"
+    );
+    assert_eq!(
+        dist_allocs, 0,
+        "dist kernels must not allocate at steady state"
+    );
+    println!("alloc-check: dist kernel pre-pass       0 allocations ✓");
 }
 
 fn main() {
@@ -301,14 +403,20 @@ fn main() {
     let tuples = workload(512);
     let mut results = Vec::new();
     println!(
-        "{:>9} {:>16} {:>16} {:>9} {:>9}",
-        "gestures", "per-tuple f/s", "batched f/s", "speedup", "matches"
+        "{:>9} {:>16} {:>16} {:>16} {:>9} {:>9} {:>9}",
+        "gestures", "per-tuple f/s", "batched f/s", "block f/s", "speedup", "blk-spdup", "matches"
     );
     for n in [1usize, 4, 16] {
         let r = ab_advance(n, &tuples);
         println!(
-            "{:>9} {:>16.0} {:>16.0} {:>8.2}x {:>9}",
-            r.gestures, r.per_tuple_fps, r.batched_fps, r.speedup, r.matches
+            "{:>9} {:>16.0} {:>16.0} {:>16.0} {:>8.2}x {:>8.2}x {:>9}",
+            r.gestures,
+            r.per_tuple_fps,
+            r.batched_fps,
+            r.block_fps,
+            r.speedup,
+            r.block_speedup,
+            r.matches
         );
         results.push(r);
     }
@@ -320,8 +428,8 @@ fn main() {
                 rows.push_str(",\n");
             }
             rows.push_str(&format!(
-                "    {{\"gestures\": {}, \"per_tuple_frames_per_sec\": {:.0}, \"batched_frames_per_sec\": {:.0}, \"speedup\": {:.2}, \"matches_per_pass\": {}}}",
-                r.gestures, r.per_tuple_fps, r.batched_fps, r.speedup, r.matches
+                "    {{\"gestures\": {}, \"per_tuple_frames_per_sec\": {:.0}, \"batched_frames_per_sec\": {:.0}, \"block_frames_per_sec\": {:.0}, \"speedup\": {:.2}, \"block_speedup\": {:.2}, \"matches_per_pass\": {}}}",
+                r.gestures, r.per_tuple_fps, r.batched_fps, r.block_fps, r.speedup, r.block_speedup, r.matches
             ));
         }
         let json_text = format!(

@@ -5,8 +5,13 @@
 //! ```sh
 //! cargo run --release -p gesto-bench --bin exp_c7_throughput -- \
 //!     --sessions 1,8,64,512 --frames 600 [--shards 1,2,4] [--strict] \
-//!     [--no-warmup] [--json BENCH_serve.json]
+//!     [--no-warmup] [--block | --no-block] [--json BENCH_serve.json]
 //! ```
+//!
+//! By default every sweep point is measured twice — once on the
+//! columnar data path (frame→block conversion + vectorized predicate
+//! pre-pass) and once on the scalar path — and both numbers land in the
+//! output. `--block` / `--no-block` restrict the sweep to one mode.
 
 use std::time::Instant;
 
@@ -24,6 +29,10 @@ struct Args {
     gestures: usize,
     strict: bool,
     warmup: bool,
+    /// Measure the columnar data path.
+    block: bool,
+    /// Measure the scalar data path.
+    scalar: bool,
     json: Option<String>,
 }
 
@@ -36,6 +45,8 @@ fn parse_args() -> Args {
         gestures: 1,
         strict: false,
         warmup: true,
+        block: true,
+        scalar: true,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -51,10 +62,16 @@ fn parse_args() -> Args {
             }
             "--strict" => args.strict = true,
             "--no-warmup" => args.warmup = false,
+            "--block" => args.scalar = false,
+            "--no-block" => args.block = false,
             "--json" => args.json = Some(it.next().expect("--json PATH")),
             other => panic!("unknown argument '{other}'"),
         }
     }
+    assert!(
+        args.block || args.scalar,
+        "--block and --no-block are mutually exclusive"
+    );
     if args.shards.is_empty() {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -83,6 +100,9 @@ struct RunResult {
     detections: u64,
     elapsed_ms: f64,
     fps: f64,
+    /// Scalar-path frames/sec of the same sweep point (`None` when only
+    /// one mode was measured).
+    fps_no_block: Option<f64>,
 }
 
 fn run(
@@ -91,13 +111,15 @@ fn run(
     sessions: usize,
     shards: usize,
     batch: usize,
+    columnar: bool,
     expected_per_session: Option<u64>,
 ) -> RunResult {
     let server = Server::start(
         ServerConfig::new()
             .with_shards(shards)
             .with_queue_capacity(256)
-            .with_backpressure(BackpressurePolicy::Block),
+            .with_backpressure(BackpressurePolicy::Block)
+            .with_columnar(columnar),
     );
 
     // Compile-once invariant: G gestures deployed to N sessions must
@@ -173,6 +195,7 @@ fn run(
         detections,
         elapsed_ms,
         fps: frames_total as f64 / elapsed.as_secs_f64(),
+        fps_no_block: None,
     }
 }
 
@@ -205,8 +228,14 @@ fn main() {
         .collect();
     let frames = workload(args.frames);
 
+    // The primary mode (reported as `frames/sec`): columnar unless
+    // `--no-block` restricted the sweep to the scalar path.
+    let primary_columnar = args.block;
+
     // Deterministic reference: how often one session's workload detects.
-    let reference = run(&queries, &frames, 1, 1, args.batch, None);
+    // The columnar and scalar paths are bit-identical (enforced by
+    // `datapath_equivalence`), so one reference covers both modes.
+    let reference = run(&queries, &frames, 1, 1, args.batch, primary_columnar, None);
     let per_session = reference.detections;
     assert!(
         per_session >= queries.len() as u64,
@@ -221,6 +250,7 @@ fn main() {
         "detections",
         "elapsed_ms",
         "frames/sec",
+        "no-block f/s",
     ]);
     let mut results = Vec::new();
     for &shards in &args.shards {
@@ -230,16 +260,39 @@ fn main() {
             // page tables warm), not cold-start. Disable with
             // --no-warmup.
             if args.warmup {
-                let _ = run(&queries, &frames, sessions, shards, args.batch, None);
+                let _ = run(
+                    &queries,
+                    &frames,
+                    sessions,
+                    shards,
+                    args.batch,
+                    primary_columnar,
+                    None,
+                );
             }
-            let r = run(
+            let mut r = run(
                 &queries,
                 &frames,
                 sessions,
                 shards,
                 args.batch,
+                primary_columnar,
                 Some(per_session),
             );
+            // A/B: the same point on the scalar path (detections are
+            // asserted identical), recorded alongside.
+            if args.block && args.scalar {
+                let scalar_run = run(
+                    &queries,
+                    &frames,
+                    sessions,
+                    shards,
+                    args.batch,
+                    false,
+                    Some(per_session),
+                );
+                r.fps_no_block = Some(scalar_run.fps);
+            }
             table.row(&[
                 r.sessions.to_string(),
                 r.shards.to_string(),
@@ -247,6 +300,8 @@ fn main() {
                 r.detections.to_string(),
                 format!("{:.1}", r.elapsed_ms),
                 format!("{:.0}", r.fps),
+                r.fps_no_block
+                    .map_or_else(|| "-".into(), |f| format!("{f:.0}")),
             ]);
             results.push(r);
         }
@@ -286,17 +341,21 @@ fn main() {
             if i > 0 {
                 rows.push_str(",\n");
             }
+            let no_block = r.fps_no_block.map_or(String::new(), |f| {
+                format!(", \"frames_per_sec_no_block\": {f:.0}")
+            });
             rows.push_str(&format!(
-                "    {{\"sessions\": {}, \"shards\": {}, \"frames\": {}, \"detections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}}}",
+                "    {{\"sessions\": {}, \"shards\": {}, \"frames\": {}, \"detections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}{no_block}}}",
                 r.sessions, r.shards, r.frames_total, r.detections, r.elapsed_ms, r.fps
             ));
         }
         let json = format!(
-            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"warmup_runs\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"warmup_runs\": {},\n  \"columnar\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
             args.frames,
             args.batch,
             args.gestures,
-            u32::from(args.warmup)
+            u32::from(args.warmup),
+            primary_columnar
         );
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");

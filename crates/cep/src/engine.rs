@@ -76,11 +76,14 @@ impl Engine {
 
     /// Re-syncs the shared view runtime with the catalog and the set of
     /// deployed queries: instantiates views registered since the last
-    /// deploy and marks exactly the views referenced by some route (plus
-    /// their inputs) as needed. Called under the deploy locks.
+    /// deploy, marks exactly the views referenced by some route (plus
+    /// their inputs) as needed, and declares the float columns the
+    /// deployed predicates read so the per-batch columnar blocks only
+    /// materialise those lanes. Called under the deploy locks.
     fn sync_views(views: &mut SharedViews, catalog: &Catalog, queries: &QueryMap) {
         views.refresh(catalog);
         let mut needed: Vec<String> = Vec::new();
+        let mut plans = Vec::with_capacity(queries.len());
         for entry in queries.values() {
             let inst = entry.lock();
             for route in inst.plan().routes() {
@@ -90,8 +93,10 @@ impl Engine {
                     }
                 }
             }
+            plans.push(inst.plan().clone());
         }
         views.set_needed(needed.iter().map(String::as_str));
+        crate::plan::sync_block_columns(views, plans.iter());
     }
 
     /// The engine's catalog.

@@ -1,0 +1,751 @@
+//! Vectorized (batch) evaluation of fused predicates over a
+//! [`ColumnBlock`].
+//!
+//! The scalar [`CompiledExpr::eval`] walks enum-tagged `Value` slices one
+//! tuple at a time. For the fused hot shapes — [`CompiledExpr::Band`],
+//! [`CompiledExpr::Cmp`] (including `dist()` inputs) and their
+//! `AndAll`/`OrAll` folds — this module evaluates a whole batch in one
+//! pass over the block's contiguous `f64` lanes, producing per-row
+//! bitmasks. The loops are chunked (64 rows per mask word) and
+//! branch-free so stable rustc autovectorizes them; no nightly
+//! `std::simd` is involved.
+//!
+//! # Contract with the scalar oracle
+//!
+//! [`CompiledExpr::eval_block`] never errors and never guesses: for every
+//! row whose `known` bit it sets, the scalar evaluation of the same
+//! predicate over the same tuple is guaranteed to return `Ok` with
+//! exactly the value the masks encode (`truth` ⇔ `Bool(true)`, `null` ⇔
+//! `Null`, otherwise `Bool(false)`). Rows the kernels cannot decide
+//! — non-float cells (`Int` widening, foreign-schema rows), `NaN`
+//! quantities whose scalar comparison would error, or expression shapes
+//! outside the fused set — are simply left unknown, and the caller
+//! replays them through the scalar path, which then yields the exact
+//! seed semantics including errors. The scalar evaluator therefore
+//! remains the bit-equivalence oracle *and* the fallback.
+
+use gesto_stream::{BitMask, ColumnBlock, Value};
+
+use crate::expr::ast::BinOp;
+use crate::expr::eval::{CompiledExpr, FusedInput};
+
+/// Per-row results of one block evaluation, as bitmasks.
+///
+/// Bits are only meaningful where `known` is set; `truth` and `null` are
+/// always subsets of `known` and disjoint from each other (known and
+/// neither ⇒ the scalar result is `Bool(false)`).
+#[derive(Debug, Default)]
+pub struct BlockMasks {
+    /// Scalar evaluation would yield `Bool(true)`.
+    pub truth: BitMask,
+    /// Scalar evaluation would yield `Null` (three-valued unknown — not
+    /// a match, but distinct from `false` under `and`/`or` folding).
+    pub null: BitMask,
+    /// The kernel decided this row; unset rows must take the scalar
+    /// path.
+    pub known: BitMask,
+}
+
+impl BlockMasks {
+    /// Resets to `rows` rows, everything unknown. Capacity-preserving.
+    pub fn reset(&mut self, rows: usize) {
+        self.truth.reset(rows);
+        self.null.reset(rows);
+        self.known.reset(rows);
+    }
+}
+
+/// Pooled scratch buffers for block evaluation.
+///
+/// Kernel recursion (e.g. `AndAll` over `Band` terms) needs temporary
+/// value lanes and masks; taking them from this pool instead of
+/// allocating keeps the steady-state hot loop allocation-free (the pool
+/// warms up on the first batch and is reused afterwards).
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    vals: Vec<Vec<f64>>,
+    bits: Vec<BitMask>,
+    masks: Vec<BlockMasks>,
+}
+
+impl EvalScratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn take_vals(&mut self) -> Vec<f64> {
+        self.vals.pop().unwrap_or_default()
+    }
+
+    fn give_vals(&mut self, v: Vec<f64>) {
+        self.vals.push(v);
+    }
+
+    fn take_bits(&mut self) -> BitMask {
+        self.bits.pop().unwrap_or_default()
+    }
+
+    fn give_bits(&mut self, b: BitMask) {
+        self.bits.push(b);
+    }
+
+    fn take_masks(&mut self) -> BlockMasks {
+        self.masks.pop().unwrap_or_default()
+    }
+
+    fn give_masks(&mut self, m: BlockMasks) {
+        self.masks.push(m);
+    }
+}
+
+/// Reads a fused float quantity ([`FusedInput`]) over a whole block:
+/// `vals[r]` receives the quantity for row `r`, `null` marks rows whose
+/// scalar read yields `Null`, and `float` marks rows where every
+/// involved cell was a plain float (so `vals[r]` is exact — possibly
+/// `NaN`/`±inf`, which comparisons handle separately). Rows in neither
+/// mask held some other value kind and must take the scalar fallback.
+///
+/// Returns `false` when a referenced column has no float lane (non-float
+/// column type): the caller then leaves every row unknown.
+pub fn eval_fused_block(
+    input: &FusedInput,
+    block: &ColumnBlock,
+    vals: &mut Vec<f64>,
+    null: &mut BitMask,
+    float: &mut BitMask,
+) -> bool {
+    let rows = block.rows();
+    vals.clear();
+    null.reset(rows);
+    float.reset(rows);
+    match input {
+        FusedInput::Col(i) => {
+            let Some(lane) = block.lane(*i) else {
+                return false;
+            };
+            vals.extend_from_slice(lane.values());
+            null.copy_from(lane.null());
+            float.set_all();
+            for ((f, n), o) in float
+                .words_mut()
+                .iter_mut()
+                .zip(lane.null().words())
+                .zip(lane.other().words())
+            {
+                *f &= !(n | o);
+            }
+            true
+        }
+        // Binary arithmetic checks `Null` on either side before the
+        // numeric check (see `FusedInput::read`), so the null mask is
+        // the plain union, independent of `other` cells.
+        FusedInput::Diff(a, b) => {
+            let (Some(la), Some(lb)) = (block.lane(*a), block.lane(*b)) else {
+                return false;
+            };
+            let (xa, xb) = (la.values(), lb.values());
+            vals.extend(xa.iter().zip(xb).map(|(x, y)| x - y));
+            float.set_all();
+            for i in 0..null.words().len() {
+                let n = la.null().words()[i] | lb.null().words()[i];
+                null.words_mut()[i] |= n;
+                float.words_mut()[i] &= !(n | la.other().words()[i] | lb.other().words()[i]);
+            }
+            true
+        }
+        // `dist()` scans its six arguments left to right: the *first*
+        // non-float cell decides between `Null` and fallback, exactly
+        // like the scalar read.
+        FusedInput::Dist(cols) => {
+            // Fixed-size lane table: this runs per batch inside the
+            // zero-allocation hot loop.
+            let mut lanes = [None; 6];
+            for (slot, c) in lanes.iter_mut().zip(cols) {
+                match block.lane(*c) {
+                    Some(l) => *slot = Some(l),
+                    None => return false,
+                }
+            }
+            let lanes = lanes.map(|l| l.expect("all six lanes resolved"));
+            // `pending[r]`: every lane scanned so far was a plain float.
+            float.set_all(); // reused as the running `pending` mask
+            for lane in &lanes {
+                for i in 0..null.words().len() {
+                    let pending = float.words()[i];
+                    null.words_mut()[i] |= pending & lane.null().words()[i];
+                    float.words_mut()[i] =
+                        pending & !(lane.null().words()[i] | lane.other().words()[i]);
+                }
+            }
+            let (ax, ay, az) = (lanes[0].values(), lanes[1].values(), lanes[2].values());
+            let (bx, by, bz) = (lanes[3].values(), lanes[4].values(), lanes[5].values());
+            vals.extend((0..rows).map(|r| {
+                // Same expression, same order as the scalar kernel.
+                let dx = ax[r] - bx[r];
+                let dy = ay[r] - by[r];
+                let dz = az[r] - bz[r];
+                (dx * dx + dy * dy + dz * dz).sqrt()
+            }));
+            true
+        }
+    }
+}
+
+/// Comparison kernel: `out.truth[r] = vals[r] op rhs` for every row
+/// where all inputs were floats and the quantity is not `NaN` (a `NaN`
+/// ordering comparison errors on the scalar path, so those rows stay
+/// unknown); `null` rows are known-`Null`.
+fn compare_into(
+    vals: &[f64],
+    op: BinOp,
+    rhs: f64,
+    float: &BitMask,
+    null: &BitMask,
+    out: &mut BlockMasks,
+) {
+    let rows = vals.len();
+    out.reset(rows);
+    macro_rules! cmp_words {
+        ($op:tt) => {
+            for w in 0..out.known.words().len() {
+                let start = w * 64;
+                let chunk = &vals[start..rows.min(start + 64)];
+                let mut cmp = 0u64;
+                let mut nan = 0u64;
+                for (b, &x) in chunk.iter().enumerate() {
+                    cmp |= ((x $op rhs) as u64) << b;
+                    nan |= ((x != x) as u64) << b;
+                }
+                let f = float.words()[w] & !nan;
+                let n = null.words()[w];
+                out.truth.words_mut()[w] = cmp & f;
+                out.null.words_mut()[w] = n;
+                out.known.words_mut()[w] = f | n;
+            }
+        };
+    }
+    match op {
+        BinOp::Lt => cmp_words!(<),
+        BinOp::Le => cmp_words!(<=),
+        BinOp::Gt => cmp_words!(>),
+        BinOp::Ge => cmp_words!(>=),
+        BinOp::Eq => cmp_words!(==),
+        BinOp::Ne => cmp_words!(!=),
+        // Not a comparison: leave everything unknown (never produced by
+        // the fuser; defensive).
+        _ => {}
+    }
+}
+
+/// Single-pass transform-and-compare straight over a column lane — the
+/// `Col` fast path of `Band`/`Cmp`: no copy into scratch, the mapped
+/// quantity (`|x ± c|` for bands, identity for plain comparisons) is
+/// compared in the same chunked loop that packs the result bits.
+fn lane_compare_into(
+    xs: &[f64],
+    op: BinOp,
+    rhs: f64,
+    map: impl Fn(f64) -> f64 + Copy,
+    null: &BitMask,
+    other: &BitMask,
+    out: &mut BlockMasks,
+) {
+    let rows = xs.len();
+    out.reset(rows);
+    macro_rules! cmp_words {
+        ($op:tt) => {
+            for w in 0..out.known.words().len() {
+                let start = w * 64;
+                let chunk = &xs[start..rows.min(start + 64)];
+                let mut cmp = 0u64;
+                let mut nan = 0u64;
+                for (b, &x) in chunk.iter().enumerate() {
+                    let y = map(x);
+                    cmp |= ((y $op rhs) as u64) << b;
+                    nan |= ((y != y) as u64) << b;
+                }
+                let n = null.words()[w];
+                let f = !(n | other.words()[w]) & !nan;
+                out.truth.words_mut()[w] = cmp & f;
+                out.null.words_mut()[w] = n;
+                out.known.words_mut()[w] = f | n;
+            }
+        };
+    }
+    match op {
+        BinOp::Lt => cmp_words!(<),
+        BinOp::Le => cmp_words!(<=),
+        BinOp::Gt => cmp_words!(>),
+        BinOp::Ge => cmp_words!(>=),
+        BinOp::Eq => cmp_words!(==),
+        BinOp::Ne => cmp_words!(!=),
+        _ => return,
+    }
+    // `!(n | o)` sets bits past the row count; re-establish the
+    // mask invariant (bits past the length are zero).
+    out.truth.mask_tail_words();
+    out.known.mask_tail_words();
+}
+
+impl CompiledExpr {
+    /// Evaluates this predicate over every row of `block` at once,
+    /// writing the per-row results into `out` (see [`BlockMasks`] and
+    /// the module docs for the exactness contract). `scratch` pools the
+    /// temporary lanes/masks so warm steady-state calls allocate
+    /// nothing.
+    ///
+    /// Expression shapes outside the fused set — and rows the kernels
+    /// cannot decide exactly — are left with their `known` bit unset;
+    /// callers replay those through the scalar [`Self::eval`].
+    pub fn eval_block(&self, block: &ColumnBlock, out: &mut BlockMasks, scratch: &mut EvalScratch) {
+        let rows = block.rows();
+        out.reset(rows);
+        match self {
+            CompiledExpr::Band {
+                input,
+                add,
+                center,
+                width,
+                ..
+            } => {
+                if center.is_nan() || width.is_nan() {
+                    return; // scalar comparison may error: stay unknown
+                }
+                let (add, center) = (*add, *center);
+                if let FusedInput::Col(i) = input {
+                    // Single-pass fast path straight over the lane.
+                    if let Some(lane) = block.lane(*i) {
+                        lane_compare_into(
+                            lane.values(),
+                            BinOp::Lt,
+                            *width,
+                            move |x| (if add { x + center } else { x - center }).abs(),
+                            lane.null(),
+                            lane.other(),
+                            out,
+                        );
+                    }
+                    return;
+                }
+                let mut vals = scratch.take_vals();
+                let mut null = scratch.take_bits();
+                let mut float = scratch.take_bits();
+                if eval_fused_block(input, block, &mut vals, &mut null, &mut float) {
+                    for x in vals.iter_mut() {
+                        *x = if add { *x + center } else { *x - center }.abs();
+                    }
+                    compare_into(&vals, BinOp::Lt, *width, &float, &null, out);
+                }
+                scratch.give_bits(float);
+                scratch.give_bits(null);
+                scratch.give_vals(vals);
+            }
+            CompiledExpr::Cmp { input, op, rhs, .. } => {
+                if rhs.is_nan() {
+                    return;
+                }
+                if let FusedInput::Col(i) = input {
+                    if let Some(lane) = block.lane(*i) {
+                        lane_compare_into(
+                            lane.values(),
+                            *op,
+                            *rhs,
+                            |x| x,
+                            lane.null(),
+                            lane.other(),
+                            out,
+                        );
+                    }
+                    return;
+                }
+                let mut vals = scratch.take_vals();
+                let mut null = scratch.take_bits();
+                let mut float = scratch.take_bits();
+                if eval_fused_block(input, block, &mut vals, &mut null, &mut float) {
+                    compare_into(&vals, *op, *rhs, &float, &null, out);
+                }
+                scratch.give_bits(float);
+                scratch.give_bits(null);
+                scratch.give_vals(vals);
+            }
+            // Kleene conjunction, folded word-wise. A row stays `alive`
+            // while no term decided it `false`; an unknown term on a
+            // live row makes the whole row unknown (the scalar walk
+            // might error there), while rows already decided false
+            // short-circuit past later terms exactly like the scalar
+            // evaluator.
+            CompiledExpr::AndAll(terms) => {
+                let mut term = scratch.take_masks();
+                let mut alive = scratch.take_bits();
+                let mut dead_false = scratch.take_bits();
+                alive.reset(rows);
+                alive.set_all();
+                dead_false.reset(rows);
+                out.known.set_all();
+                for t in terms {
+                    t.eval_block(block, &mut term, scratch);
+                    for w in 0..alive.words().len() {
+                        let a = alive.words()[w];
+                        let tk = term.known.words()[w];
+                        let t_false = tk & !term.truth.words()[w] & !term.null.words()[w];
+                        out.known.words_mut()[w] &= !(a & !tk);
+                        dead_false.words_mut()[w] |= a & t_false;
+                        out.null.words_mut()[w] |= a & term.null.words()[w];
+                        alive.words_mut()[w] = a & tk & !t_false;
+                    }
+                    if !alive.any() {
+                        break; // every row decided false or went unknown
+                    }
+                }
+                for w in 0..out.known.words().len() {
+                    let k = out.known.words()[w];
+                    let f = dead_false.words()[w];
+                    let n = out.null.words()[w];
+                    out.null.words_mut()[w] = k & !f & n;
+                    out.truth.words_mut()[w] = k & !f & !n;
+                }
+                scratch.give_bits(dead_false);
+                scratch.give_bits(alive);
+                scratch.give_masks(term);
+            }
+            // Kleene disjunction: `true` short-circuits, `Null` is
+            // sticky-unknown.
+            CompiledExpr::OrAll(terms) => {
+                let mut term = scratch.take_masks();
+                let mut alive = scratch.take_bits();
+                let mut dead_true = scratch.take_bits();
+                alive.reset(rows);
+                alive.set_all();
+                dead_true.reset(rows);
+                out.known.set_all();
+                for t in terms {
+                    t.eval_block(block, &mut term, scratch);
+                    for w in 0..alive.words().len() {
+                        let a = alive.words()[w];
+                        let tk = term.known.words()[w];
+                        let t_true = tk & term.truth.words()[w];
+                        out.known.words_mut()[w] &= !(a & !tk);
+                        dead_true.words_mut()[w] |= a & t_true;
+                        out.null.words_mut()[w] |= a & term.null.words()[w];
+                        alive.words_mut()[w] = a & tk & !t_true;
+                    }
+                    if !alive.any() {
+                        break;
+                    }
+                }
+                for w in 0..out.known.words().len() {
+                    let k = out.known.words()[w];
+                    let t = dead_true.words()[w];
+                    let n = out.null.words()[w];
+                    out.truth.words_mut()[w] = k & t;
+                    out.null.words_mut()[w] = k & !t & n;
+                }
+                scratch.give_bits(dead_true);
+                scratch.give_bits(alive);
+                scratch.give_masks(term);
+            }
+            CompiledExpr::Literal(v) => match v {
+                Value::Bool(b) => {
+                    out.known.set_all();
+                    if *b {
+                        out.truth.set_all();
+                    }
+                }
+                Value::Null => {
+                    out.known.set_all();
+                    out.null.set_all();
+                }
+                // A non-boolean literal in predicate position: standalone
+                // it is simply "no match", but inside `and`/`or` the
+                // scalar walk errors — stay unknown either way.
+                _ => {}
+            },
+            // Column reads, unfused binaries, unary ops, calls: no
+            // kernel; the scalar path handles every row.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ast::Expr;
+    use crate::expr::eval::compile;
+    use crate::expr::functions::FunctionRegistry;
+    use gesto_stream::{SchemaBuilder, SchemaRef, Tuple};
+
+    fn schema() -> SchemaRef {
+        SchemaBuilder::new("k")
+            .timestamp("ts")
+            .float("x")
+            .float("y")
+            .float("ax")
+            .float("ay")
+            .float("az")
+            .float("bx")
+            .float("by")
+            .float("bz")
+            .str("tag")
+            .build()
+            .unwrap()
+    }
+
+    /// Cross-checks `eval_block` against the scalar oracle on every row:
+    /// known rows must agree exactly; unknown rows carry no claim.
+    fn assert_matches_oracle(expr: &CompiledExpr, tuples: &[Tuple]) {
+        let mut block = ColumnBlock::new();
+        block.fill_from_tuples(tuples);
+        let mut masks = BlockMasks::default();
+        let mut scratch = EvalScratch::new();
+        expr.eval_block(&block, &mut masks, &mut scratch);
+        for (r, t) in tuples.iter().enumerate() {
+            if !masks.known.get(r) {
+                continue;
+            }
+            let scalar = expr
+                .eval(t)
+                .unwrap_or_else(|e| panic!("row {r}: known row errored scalar: {e}"));
+            let expect = match (masks.truth.get(r), masks.null.get(r)) {
+                (true, false) => Value::Bool(true),
+                (false, true) => Value::Null,
+                (false, false) => Value::Bool(false),
+                (true, true) => panic!("row {r}: truth and null both set"),
+            };
+            assert_eq!(scalar, expect, "row {r} of {expr:?}");
+        }
+    }
+
+    fn rows(xs: &[Value]) -> Vec<Tuple> {
+        let s = schema();
+        xs.iter()
+            .map(|x| {
+                let mut vals = vec![Value::Float(1.0); s.len()];
+                vals[0] = Value::Timestamp(0);
+                vals[1] = x.clone();
+                vals[s.len() - 1] = Value::Str("t".into());
+                Tuple::new_unchecked(s.clone(), vals)
+            })
+            .collect()
+    }
+
+    fn mixed_values() -> Vec<Value> {
+        vec![
+            Value::Float(5.0),
+            Value::Float(10.0),
+            Value::Float(15.0),
+            Value::Null,
+            Value::Int(10),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(-0.0),
+        ]
+    }
+
+    #[test]
+    fn band_kernel_decides_floats_and_nulls_defers_rest() {
+        let reg = FunctionRegistry::with_builtins();
+        let e = Expr::lt(
+            Expr::abs(Expr::bin(BinOp::Sub, Expr::col("x"), Expr::lit(10.0))),
+            Expr::lit(4.0),
+        );
+        let c = compile(&e, &schema(), &reg).unwrap();
+        assert!(format!("{c:?}").contains("Band"), "{c:?}");
+        let tuples = rows(&mixed_values());
+        let mut block = ColumnBlock::new();
+        block.fill_from_tuples(&tuples);
+        let mut masks = BlockMasks::default();
+        let mut scratch = EvalScratch::new();
+        c.eval_block(&block, &mut masks, &mut scratch);
+        // Floats and Null decided; Int (other) and NaN deferred.
+        assert!(masks.known.get(0) && !masks.truth.get(0), "|5-10|=5 ≥ 4");
+        assert!(masks.truth.get(1), "|10-10|=0 < 4");
+        assert!(masks.null.get(3) && masks.known.get(3));
+        assert!(!masks.known.get(4), "Int cell defers to fallback");
+        assert!(!masks.known.get(5), "NaN would error scalar: unknown");
+        assert!(
+            masks.known.get(6) && !masks.truth.get(6),
+            "inf is decidable"
+        );
+        assert_matches_oracle(&c, &tuples);
+    }
+
+    #[test]
+    fn cmp_kernels_match_oracle_for_every_op() {
+        let reg = FunctionRegistry::with_builtins();
+        let tuples = rows(&mixed_values());
+        for op in [
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ] {
+            let e = Expr::bin(op, Expr::col("x"), Expr::lit(10.0));
+            let c = compile(&e, &schema(), &reg).unwrap();
+            assert!(format!("{c:?}").starts_with("Cmp"), "{c:?}");
+            assert_matches_oracle(&c, &tuples);
+        }
+        // Diff shape.
+        let e = Expr::bin(
+            BinOp::Gt,
+            Expr::bin(BinOp::Sub, Expr::col("x"), Expr::col("y")),
+            Expr::lit(2.0),
+        );
+        assert_matches_oracle(&compile(&e, &schema(), &reg).unwrap(), &tuples);
+    }
+
+    #[test]
+    fn dist_kernel_first_nonfloat_decides() {
+        let reg = FunctionRegistry::with_builtins();
+        let e = Expr::lt(
+            Expr::Call {
+                func: "dist".into(),
+                args: ["ax", "ay", "az", "bx", "by", "bz"]
+                    .iter()
+                    .map(|c| Expr::col(*c))
+                    .collect(),
+            },
+            Expr::lit(6.0),
+        );
+        let c = compile(&e, &schema(), &reg).unwrap();
+        assert!(format!("{c:?}").starts_with("Cmp(dist("), "{c:?}");
+
+        let s = schema();
+        let mk = |cells: [Value; 6]| {
+            let mut vals = vec![Value::Float(0.0); s.len()];
+            vals[0] = Value::Timestamp(0);
+            vals[s.len() - 1] = Value::Str("t".into());
+            for (i, v) in cells.into_iter().enumerate() {
+                vals[3 + i] = v;
+            }
+            Tuple::new_unchecked(s.clone(), vals)
+        };
+        let f = Value::Float(1.0);
+        let tuples = vec![
+            // all floats: 5 < 6
+            mk([
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(0.0),
+                Value::Float(3.0),
+                Value::Float(4.0),
+                Value::Float(0.0),
+            ]),
+            // Null before the Int: known Null.
+            mk([
+                f.clone(),
+                Value::Null,
+                Value::Int(3),
+                f.clone(),
+                f.clone(),
+                f.clone(),
+            ]),
+            // Int before the Null: scalar defers to fallback → unknown.
+            mk([
+                f.clone(),
+                Value::Int(3),
+                Value::Null,
+                f.clone(),
+                f.clone(),
+                f.clone(),
+            ]),
+        ];
+        let mut block = ColumnBlock::new();
+        block.fill_from_tuples(&tuples);
+        let mut masks = BlockMasks::default();
+        let mut scratch = EvalScratch::new();
+        c.eval_block(&block, &mut masks, &mut scratch);
+        assert!(masks.truth.get(0));
+        assert!(masks.null.get(1) && masks.known.get(1));
+        assert!(!masks.known.get(2), "Other before Null defers");
+        assert_matches_oracle(&c, &tuples);
+    }
+
+    #[test]
+    fn and_or_folding_matches_oracle() {
+        let reg = FunctionRegistry::with_builtins();
+        let band = |col: &str, c: f64, w: f64| {
+            Expr::lt(
+                Expr::abs(Expr::bin(BinOp::Sub, Expr::col(col), Expr::lit(c))),
+                Expr::lit(w),
+            )
+        };
+        let tuples = rows(&mixed_values());
+        // x-band and y-band: y is always 1.0 here, so the second term
+        // exercises both pass and fail.
+        for second_w in [5.0, 0.1] {
+            let e = Expr::and(band("x", 10.0, 6.0), band("y", 1.0, second_w));
+            let c = compile(&e, &schema(), &reg).unwrap();
+            assert!(format!("{c:?}").starts_with("AndAll"), "{c:?}");
+            assert_matches_oracle(&c, &tuples);
+        }
+        let e = Expr::bin(
+            BinOp::Or,
+            band("x", 10.0, 1.0),
+            Expr::bin(BinOp::Or, band("x", 5.0, 1.0), Expr::lit(false)),
+        );
+        let c = compile(&e, &schema(), &reg).unwrap();
+        assert!(format!("{c:?}").starts_with("OrAll"), "{c:?}");
+        assert_matches_oracle(&c, &tuples);
+
+        // Null is sticky through And: null term + true term ⇒ Null.
+        let e = Expr::and(band("x", 10.0, 6.0), Expr::lit(true));
+        assert_matches_oracle(&compile(&e, &schema(), &reg).unwrap(), &tuples);
+    }
+
+    #[test]
+    fn false_short_circuit_hides_later_unknown_terms() {
+        // Scalar: `false and <erroring>` returns false without touching
+        // the second term. The kernel must decide those rows, and only
+        // defer rows whose walk actually reaches the undecidable term.
+        let reg = FunctionRegistry::with_builtins();
+        let e = Expr::and(
+            Expr::lt(Expr::col("x"), Expr::lit(10.0)),
+            // `tag < 1.0` errors whenever evaluated: no kernel for it.
+            Expr::lt(Expr::col("tag"), Expr::lit(1.0)),
+        );
+        let c = compile(&e, &schema(), &reg).unwrap();
+        let tuples = rows(&[Value::Float(50.0), Value::Float(5.0)]);
+        let mut block = ColumnBlock::new();
+        block.fill_from_tuples(&tuples);
+        let mut masks = BlockMasks::default();
+        let mut scratch = EvalScratch::new();
+        c.eval_block(&block, &mut masks, &mut scratch);
+        assert!(
+            masks.known.get(0) && !masks.truth.get(0),
+            "50 < 10 is false: short-circuits past the bad term"
+        );
+        assert!(!masks.known.get(1), "5 < 10 walks into the bad term");
+        assert_matches_oracle(&c, &tuples);
+    }
+
+    #[test]
+    fn unfused_shapes_stay_unknown() {
+        let reg = FunctionRegistry::with_builtins();
+        // Non-literal rhs: not fused, no kernel.
+        let e = Expr::lt(Expr::col("x"), Expr::col("y"));
+        let c = compile(&e, &schema(), &reg).unwrap();
+        let tuples = rows(&[Value::Float(1.0)]);
+        let mut block = ColumnBlock::new();
+        block.fill_from_tuples(&tuples);
+        let mut masks = BlockMasks::default();
+        let mut scratch = EvalScratch::new();
+        c.eval_block(&block, &mut masks, &mut scratch);
+        assert!(!masks.known.any());
+    }
+
+    #[test]
+    fn empty_block_yields_empty_masks() {
+        let reg = FunctionRegistry::with_builtins();
+        let e = Expr::lt(Expr::col("x"), Expr::lit(1.0));
+        let c = compile(&e, &schema(), &reg).unwrap();
+        let block = ColumnBlock::new();
+        let mut masks = BlockMasks::default();
+        let mut scratch = EvalScratch::new();
+        c.eval_block(&block, &mut masks, &mut scratch);
+        assert_eq!(masks.known.len(), 0);
+    }
+}

@@ -96,6 +96,16 @@ enum FusedVal {
 }
 
 impl FusedInput {
+    /// Appends the column indices this fused quantity reads (the float
+    /// lanes a block kernel will touch).
+    pub(crate) fn push_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            FusedInput::Col(i) => out.push(*i),
+            FusedInput::Diff(a, b) => out.extend([*a, *b]),
+            FusedInput::Dist(cols) => out.extend(cols.iter().copied()),
+        }
+    }
+
     /// Reads the fused quantity from a tuple's value slots, mirroring
     /// the original tree's `Null` ordering exactly (see the per-variant
     /// comments); any non-`Float`, non-`Null` value defers to the
@@ -368,6 +378,25 @@ fn fuse_comparison(op: BinOp, lhs: CompiledExpr, rhs: CompiledExpr) -> CompiledE
 }
 
 impl CompiledExpr {
+    /// Appends the column indices the *block kernels* would read for
+    /// this expression — exactly the fused inputs of `Band`/`Cmp` nodes
+    /// (recursively through `AndAll`/`OrAll`). Lanes outside this set
+    /// are never touched by [`Self::eval_block`], so a block that only
+    /// materialises these columns serves the kernels fully.
+    pub fn collect_block_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            CompiledExpr::Band { input, .. } | CompiledExpr::Cmp { input, .. } => {
+                input.push_columns(out)
+            }
+            CompiledExpr::AndAll(terms) | CompiledExpr::OrAll(terms) => {
+                for t in terms {
+                    t.collect_block_columns(out);
+                }
+            }
+            _ => {}
+        }
+    }
+
     /// Evaluates against a tuple.
     pub fn eval(&self, tuple: &Tuple) -> Result<Value, CepError> {
         match self {

@@ -1,9 +1,11 @@
 //! Expressions: AST, scalar functions, compilation and evaluation.
 
 mod ast;
+mod block;
 mod eval;
 mod functions;
 
 pub use ast::{BinOp, Expr, UnaryOp};
+pub use block::{eval_fused_block, BlockMasks, EvalScratch};
 pub use eval::{compile, CompiledExpr, FusedInput};
 pub use functions::{Arity, FunctionRegistry, ScalarFn};

@@ -51,4 +51,4 @@ pub use nfa::{
 };
 pub use parser::{parse_expr, parse_pattern, parse_query};
 pub use pattern::{ConsumePolicy, EventPattern, Pattern, Query, SelectPolicy, SequencePattern};
-pub use plan::{compiled_plan_count, PlanInstance, QueryPlan, RouteSpec};
+pub use plan::{compiled_plan_count, sync_block_columns, PlanInstance, QueryPlan, RouteSpec};

@@ -30,22 +30,34 @@
 //!   run swap-removes both, so steady-state stepping never allocates.
 //! * **Hoisted checks** — source routing is resolved once per batch
 //!   (`step_live`), each step predicate is evaluated at most once per
-//!   tuple (`step_memo`), and time-constraint expiry is a single
-//!   `ts > min_deadline` comparison per tuple (each run caches its
-//!   earliest pending deadline; the full prune scan only runs when the
-//!   cheap check fires).
+//!   tuple (the per-tuple memo in [`MatchScratch`]), and time-constraint
+//!   expiry is a single `ts > min_deadline` comparison per tuple (each
+//!   run caches its earliest pending deadline; the full prune scan only
+//!   runs when the cheap check fires).
+//! * **Vectorized predicate pre-pass** — when the caller supplies a
+//!   [`ColumnBlock`] covering the batch
+//!   ([`NfaRuntime::advance_block_into`]), each *hot* step predicate
+//!   (the seed step, plus every step some run currently waits at) is
+//!   evaluated once over the whole block by the branch-free batch
+//!   kernels into per-(step, tuple) bitmasks; the stepping loop then
+//!   tests bits instead of walking `Value` slices. Rows the kernels
+//!   cannot decide exactly (non-float cells, `NaN` comparisons, unfused
+//!   shapes) fall back to the lazy scalar memo, so semantics — including
+//!   error behaviour — are bit-identical to the scalar path.
 //! * **Caller-owned matches** — completed matches are written into a
-//!   reusable [`MatchScratch`] instead of a fresh `Vec<NfaMatch>`.
+//!   reusable [`MatchScratch`] instead of a fresh `Vec<NfaMatch>`; the
+//!   scratch also owns the memo table and pre-pass masks, cleared
+//!   capacity-preservingly per batch rather than reallocated.
 //!
 //! The legacy single-tuple [`NfaRuntime::advance`] delegates to the
 //! batched core, so there is exactly one stepping implementation.
 
 use std::sync::Arc;
 
-use gesto_stream::{SchemaRef, StreamTime, Tuple};
+use gesto_stream::{ColumnBlock, SchemaRef, StreamTime, Tuple};
 
 use crate::error::CepError;
-use crate::expr::{compile, CompiledExpr, FunctionRegistry};
+use crate::expr::{compile, BlockMasks, CompiledExpr, EvalScratch, FunctionRegistry};
 use crate::pattern::{ConsumePolicy, Pattern, SelectPolicy};
 
 /// Default cap on simultaneously tracked partial matches.
@@ -138,16 +150,33 @@ struct MatchSpan {
     len: u32,
 }
 
-/// Caller-owned storage for completed matches.
+/// Caller-owned storage for completed matches, plus the reusable
+/// predicate-evaluation scratch of the batched hot loop.
 ///
 /// [`NfaRuntime::advance_batch_into`] appends matches here instead of
 /// allocating a fresh vector per call; reusing one scratch across
 /// batches makes the steady-state hot loop allocation-free. Matched
 /// event tuples are stored in one flat vector, spanned per match.
+///
+/// The scratch also owns the per-tuple predicate memo and the pre-pass
+/// bitmasks of [`NfaRuntime::advance_block_into`]. They are sized per
+/// batch with capacity-preserving clears (never reallocated once warm),
+/// and one scratch may serve any number of runtimes — the buffers grow
+/// to the largest pattern seen and stay there.
 #[derive(Debug, Default)]
 pub struct MatchScratch {
     events: Vec<Tuple>,
     spans: Vec<MatchSpan>,
+    /// Per-tuple predicate memo: 0 unevaluated, 1 false, 2 true
+    /// (step-indexed; refilled per tuple).
+    memo: Vec<u8>,
+    /// Pre-pass masks per step (only the first `step_count` entries are
+    /// used by a given runtime; entries only ever grow).
+    pre: Vec<BlockMasks>,
+    /// Whether `pre[s]` is valid for the current batch.
+    pre_hot: Vec<bool>,
+    /// Pooled buffers for the batch kernels.
+    eval: EvalScratch,
 }
 
 impl MatchScratch {
@@ -247,6 +276,20 @@ impl NfaProgram {
     pub fn constraints(&self) -> &[TimeConstraint] {
         &self.constraints
     }
+
+    /// The column indices the block kernels read for steps listening to
+    /// `source` (sorted, deduplicated) — exactly the float lanes a
+    /// [`ColumnBlock`] must materialise for the predicate pre-pass to
+    /// fire; anything else would fall back to the scalar path anyway.
+    pub fn columns_read(&self, source: &str) -> Vec<usize> {
+        let mut cols = Vec::new();
+        for step in self.steps.iter().filter(|s| s.source == source) {
+            step.predicate.collect_block_columns(&mut cols);
+        }
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
 }
 
 /// Compiled pattern + run state (the historical name of [`NfaRuntime`],
@@ -275,8 +318,6 @@ pub struct NfaRuntime {
     shed: u64,
     /// Per-batch: does `steps[i].source` match the batch's source?
     step_live: Vec<bool>,
-    /// Per-tuple predicate memo: 0 unevaluated, 1 false, 2 true.
-    step_memo: Vec<u8>,
     /// Per-tuple completed-run drain (reused across tuples).
     completed: Vec<CompletedRun>,
     completed_events: Vec<u32>,
@@ -338,7 +379,6 @@ impl NfaRuntime {
             max_runs: DEFAULT_MAX_RUNS,
             shed: 0,
             step_live: vec![false; steps],
-            step_memo: vec![0; steps],
             completed: Vec::new(),
             completed_events: Vec::new(),
             remap: Vec::new(),
@@ -417,21 +457,42 @@ impl NfaRuntime {
     }
 
     /// Feeds a batch of tuples from one `source`, appending completed
-    /// matches to `out` in stream order.
-    ///
-    /// This is the hot loop: source routing is resolved once per batch,
-    /// each step predicate is evaluated at most once per tuple, and the
-    /// time-constraint expiry check is one comparison per tuple in the
-    /// common case. A batch in which nothing matches performs **zero**
-    /// heap allocations (after the runtime's buffers have warmed up).
-    ///
-    /// Semantics are identical to calling [`Self::advance`] once per
-    /// tuple: selection and consumption policies apply per completion
-    /// wave (per tuple), not per batch.
+    /// matches to `out` in stream order. Scalar-only entry point:
+    /// equivalent to [`Self::advance_block_into`] with no block.
     pub fn advance_batch_into(
         &mut self,
         source: &str,
         tuples: &[Tuple],
+        out: &mut MatchScratch,
+    ) -> Result<(), CepError> {
+        self.advance_block_into(source, tuples, None, out)
+    }
+
+    /// Feeds a batch of tuples from one `source`, appending completed
+    /// matches to `out` in stream order; `block`, when given, must be
+    /// the columnar view of exactly `tuples` (same rows, same order —
+    /// a row-count mismatch disables it).
+    ///
+    /// This is the hot loop: source routing is resolved once per batch,
+    /// hot step predicates are pre-evaluated over the whole block by the
+    /// vectorized batch kernels (per-(step, tuple) bitmasks, bit-tested
+    /// in the stepping loop), every other predicate evaluation is
+    /// memoised per tuple, and the time-constraint expiry check is one
+    /// comparison per tuple in the common case. A batch in which nothing
+    /// matches performs **zero** heap allocations (after the runtime's
+    /// and scratch's buffers have warmed up).
+    ///
+    /// Semantics are identical to calling [`Self::advance`] once per
+    /// tuple — bit-identical matches, stats and shed counts, with or
+    /// without the block: rows the kernels cannot decide exactly fall
+    /// back to the scalar evaluator, which also preserves the exact
+    /// error behaviour (a predicate that would error scalar-side is
+    /// never short-circuited by the pre-pass).
+    pub fn advance_block_into(
+        &mut self,
+        source: &str,
+        tuples: &[Tuple],
+        block: Option<&ColumnBlock>,
         out: &mut MatchScratch,
     ) -> Result<(), CepError> {
         self.maybe_compact();
@@ -447,7 +508,6 @@ impl NfaRuntime {
             max_runs,
             shed,
             step_live,
-            step_memo,
             completed,
             completed_events,
             ..
@@ -461,7 +521,41 @@ impl NfaRuntime {
         }
         let any_live = step_live.iter().any(|&b| b);
 
-        for tuple in tuples {
+        // Size the scratch's memo/mask tables for this pattern
+        // (capacity-preserving: no allocation once warm).
+        out.memo.clear();
+        out.memo.resize(stride, 0);
+        if out.pre.len() < stride {
+            out.pre.resize_with(stride, BlockMasks::default);
+        }
+        if out.pre_hot.len() < stride {
+            out.pre_hot.resize(stride, false);
+        }
+        out.pre_hot[..stride].fill(false);
+
+        // Predicate pre-pass: evaluate each *hot* step's predicate once
+        // over the whole block. Hot steps are the seed step plus every
+        // step some run currently waits at — a step first reached in
+        // the middle of this batch falls back to the lazy per-tuple
+        // memo below (still at most one evaluation per tuple).
+        if let Some(b) = block.filter(|b| b.rows() == tuples.len() && !tuples.is_empty()) {
+            if any_live {
+                out.pre_hot[0] = step_live[0];
+                for run in runs.iter() {
+                    let s = run.next as usize;
+                    out.pre_hot[s] = step_live[s];
+                }
+                for s in 0..stride {
+                    if out.pre_hot[s] {
+                        program.steps[s]
+                            .predicate
+                            .eval_block(b, &mut out.pre[s], &mut out.eval);
+                    }
+                }
+            }
+        }
+
+        for (row, tuple) in tuples.iter().enumerate() {
             let ts = tuple.timestamp().unwrap_or(0);
 
             // Expiry: one comparison unless some run can actually be
@@ -475,7 +569,7 @@ impl NfaRuntime {
 
             *tuple_serial += 1;
             let serial = *tuple_serial;
-            step_memo.fill(0);
+            out.memo.fill(0);
             // Interned lazily, once per tuple, however many runs it
             // seeds or advances.
             let mut arena_idx = u32::MAX;
@@ -493,7 +587,15 @@ impl NfaRuntime {
                 }
                 let step = run.next as usize;
                 if !step_live[step]
-                    || !eval_memo(&program.steps[step].predicate, tuple, step_memo, step)?
+                    || !step_hit(
+                        &out.pre,
+                        &out.pre_hot,
+                        &program.steps[step].predicate,
+                        tuple,
+                        &mut out.memo,
+                        step,
+                        row,
+                    )?
                 {
                     i += 1;
                     continue;
@@ -530,7 +632,17 @@ impl NfaRuntime {
             }
 
             // Seed a new run: this tuple as leaf 0.
-            if step_live[0] && eval_memo(&program.steps[0].predicate, tuple, step_memo, 0)? {
+            if step_live[0]
+                && step_hit(
+                    &out.pre,
+                    &out.pre_hot,
+                    &program.steps[0].predicate,
+                    tuple,
+                    &mut out.memo,
+                    0,
+                    row,
+                )?
+            {
                 if arena_idx == u32::MAX {
                     arena_idx = intern(arena, arena_ts, tuple, ts);
                 }
@@ -650,6 +762,26 @@ impl NfaRuntime {
             }
         }
     }
+}
+
+/// Answers "does step `step`'s predicate match tuple `row`?" — from the
+/// pre-pass bitmask when the batch kernels decided that (step, row), and
+/// from the lazily memoised scalar evaluation otherwise (preserving the
+/// exact scalar semantics, including errors, for undecided rows).
+#[inline]
+fn step_hit(
+    pre: &[BlockMasks],
+    pre_hot: &[bool],
+    predicate: &CompiledExpr,
+    tuple: &Tuple,
+    memo: &mut [u8],
+    step: usize,
+    row: usize,
+) -> Result<bool, CepError> {
+    if pre_hot[step] && pre[step].known.get(row) {
+        return Ok(pre[step].truth.get(row));
+    }
+    eval_memo(predicate, tuple, memo, step)
 }
 
 /// Evaluates step `i`'s predicate against `tuple` at most once per tuple
@@ -1066,6 +1198,66 @@ mod tests {
         assert!(!a.is_empty(), "workload must produce matches");
         assert_eq!(single.active_runs(), batched.active_runs());
         assert_eq!(single.shed_runs(), batched.shed_runs());
+    }
+
+    #[test]
+    fn block_advance_with_pre_pass_equals_scalar_advance() {
+        let src = "(k(x < 1) -> k(x > 9) within 1 seconds) -> k(x < 1) within 1 seconds";
+        // One shared schema Arc so the block's float lanes are used (a
+        // per-tuple Arc would force the fallback path everywhere).
+        let s = schema();
+        let stream: Vec<Tuple> = (0..200)
+            .map(|i| {
+                Tuple::new(
+                    s.clone(),
+                    vec![
+                        Value::Timestamp(i * 37),
+                        Value::Float(((i * 7919) % 23) as f64 - 5.0),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+
+        let mut scalar = nfa(src).with_max_runs(3);
+        let mut scalar_out = MatchScratch::new();
+        let mut blocked = nfa(src).with_max_runs(3);
+        let mut blocked_out = MatchScratch::new();
+        let mut block = ColumnBlock::new();
+        for chunk in stream.chunks(17) {
+            scalar
+                .advance_batch_into("k", chunk, &mut scalar_out)
+                .unwrap();
+            block.fill_from_tuples(chunk);
+            blocked
+                .advance_block_into("k", chunk, Some(&block), &mut blocked_out)
+                .unwrap();
+        }
+        let key = |m: &MatchView<'_>| (m.ts, m.started_at, m.events.len());
+        let a: Vec<_> = scalar_out.matches().map(|m| key(&m)).collect();
+        let b: Vec<_> = blocked_out.matches().map(|m| key(&m)).collect();
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "workload must produce matches");
+        assert_eq!(scalar.active_runs(), blocked.active_runs());
+        assert_eq!(scalar.shed_runs(), blocked.shed_runs());
+    }
+
+    #[test]
+    fn mismatched_block_rows_are_ignored() {
+        // A block that does not cover the batch must be disabled, not
+        // misread.
+        let s = schema();
+        let t = |ts: i64, x: f64| {
+            Tuple::new(s.clone(), vec![Value::Timestamp(ts), Value::Float(x)]).unwrap()
+        };
+        let mut n = nfa("k(x < 1) -> k(x > 9)");
+        let mut out = MatchScratch::new();
+        let mut block = ColumnBlock::new();
+        block.fill_from_tuples(&[t(0, 0.5)]); // 1 row
+        let batch = [t(0, 0.5), t(10, 10.0)]; // 2 tuples
+        n.advance_block_into("k", &batch, Some(&block), &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1, "scalar fallback still matches");
     }
 
     #[test]

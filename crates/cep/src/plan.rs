@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use gesto_stream::{BoxedOperator, Catalog, SharedViews, Tuple, ViewFactory};
+use gesto_stream::{BoxedOperator, Catalog, ColumnBlock, SharedViews, Tuple, ViewFactory};
 
 use crate::engine::QueryStats;
 use crate::error::CepError;
@@ -222,13 +222,23 @@ impl PlanInstance {
                     name,
                     &route.source,
                     std::slice::from_ref(tuple),
+                    None,
                     out,
                 )?;
                 continue;
             }
             staged.clear();
             Self::run_chain(chain, tuple, staged);
-            advance_batch(nfa, scratch, detections, name, &route.source, staged, out)?;
+            advance_batch(
+                nfa,
+                scratch,
+                detections,
+                name,
+                &route.source,
+                staged,
+                None,
+                out,
+            )?;
         }
         Ok(())
     }
@@ -318,18 +328,40 @@ impl PlanInstance {
             let name = &plan.query.name;
             match binding {
                 RouteBinding::Direct => {
-                    let batch = match frame {
-                        None => tuples,
-                        Some(f) => &tuples[f..f + 1],
+                    // Whole-batch stepping reads the columnar view of
+                    // the base stream built by `begin_batch` (the NFA's
+                    // predicate pre-pass runs over its float lanes);
+                    // per-frame stepping stays scalar.
+                    let (batch, block) = match frame {
+                        None => (tuples, views.base_block()),
+                        Some(f) => (&tuples[f..f + 1], None),
                     };
-                    advance_batch(nfa, scratch, detections, name, &route.source, batch, out)?;
+                    advance_batch(
+                        nfa,
+                        scratch,
+                        detections,
+                        name,
+                        &route.source,
+                        batch,
+                        block,
+                        out,
+                    )?;
                 }
                 RouteBinding::Shared(slot) => {
-                    let batch = match frame {
-                        None => views.outputs(*slot),
-                        Some(f) => views.frame_outputs(*slot, f),
+                    let (batch, block) = match frame {
+                        None => (views.outputs(*slot), views.view_block(*slot)),
+                        Some(f) => (views.frame_outputs(*slot, f), None),
                     };
-                    advance_batch(nfa, scratch, detections, name, &route.source, batch, out)?;
+                    advance_batch(
+                        nfa,
+                        scratch,
+                        detections,
+                        name,
+                        &route.source,
+                        batch,
+                        block,
+                        out,
+                    )?;
                 }
                 RouteBinding::Private => {
                     // Cold fallback (plan compiled against a foreign
@@ -343,7 +375,16 @@ impl PlanInstance {
                     for tuple in inputs {
                         staged.clear();
                         Self::run_chain(&mut chains[i], tuple, staged);
-                        advance_batch(nfa, scratch, detections, name, &route.source, staged, out)?;
+                        advance_batch(
+                            nfa,
+                            scratch,
+                            detections,
+                            name,
+                            &route.source,
+                            staged,
+                            None,
+                            out,
+                        )?;
                     }
                 }
             }
@@ -384,10 +425,37 @@ impl PlanInstance {
     }
 }
 
+/// Declares, per deployed plan, which float columns the NFA block
+/// kernels read from each shared view's block (and from the base-stream
+/// block), so [`SharedViews`] materialises exactly those lanes per
+/// batch instead of the full joint block. Called by the engine/server
+/// deploy syncs, after `set_needed`; purely an optimisation — a lane
+/// outside the declared set reads back as absent and the kernels fall
+/// back to the scalar path, so a stale declaration can cost speed but
+/// never correctness.
+pub fn sync_block_columns<'a>(
+    views: &mut SharedViews,
+    plans: impl IntoIterator<Item = &'a Arc<QueryPlan>>,
+) {
+    views.clear_block_columns();
+    for plan in plans {
+        for route in plan.routes() {
+            let cols = plan.program().columns_read(&route.source);
+            match route.views.last() {
+                None => views.add_base_block_columns(&cols),
+                Some(outermost) => views.add_view_block_columns(outermost, &cols),
+            }
+        }
+    }
+}
+
 /// Steps the NFA over a batch and converts any completed matches into
 /// [`Detection`]s. All plan-level paths funnel through this one call, so
 /// there is exactly one stepping implementation; the no-match steady
-/// state touches the reusable `scratch` only (no allocation).
+/// state touches the reusable `scratch` only (no allocation). `block`,
+/// when present, is the columnar view of `tuples` enabling the NFA's
+/// vectorized predicate pre-pass.
+#[allow(clippy::too_many_arguments)]
 fn advance_batch(
     nfa: &mut Nfa,
     scratch: &mut MatchScratch,
@@ -395,6 +463,7 @@ fn advance_batch(
     gesture: &str,
     source: &str,
     tuples: &[Tuple],
+    block: Option<&ColumnBlock>,
     out: &mut Vec<Detection>,
 ) -> Result<(), CepError> {
     if tuples.is_empty() {
@@ -404,7 +473,7 @@ fn advance_batch(
     // completed by earlier tuples of the batch are still delivered
     // (exactly like the per-tuple reference path), and a stale scratch
     // can never leak duplicates into a later call.
-    let result = nfa.advance_batch_into(source, tuples, scratch);
+    let result = nfa.advance_block_into(source, tuples, block, scratch);
     if !scratch.is_empty() {
         for m in scratch.matches() {
             *detections += 1;

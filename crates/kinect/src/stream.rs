@@ -6,7 +6,7 @@
 
 use std::sync::Arc;
 
-use gesto_stream::{Field, Schema, SchemaRef, Tuple, Value, ValueType};
+use gesto_stream::{ColumnBlock, Field, Schema, SchemaRef, Tuple, Value, ValueType};
 
 use crate::joints::{Joint, SkeletonFrame, ALL_JOINTS, JOINT_COUNT};
 use crate::vec3::Vec3;
@@ -160,6 +160,36 @@ impl KinectSlots {
         }
         Tuple::new_unchecked(schema.clone(), values)
     }
+
+    /// Converts a batch of frames straight into a [`ColumnBlock`] laid
+    /// out for `schema` — the columnar twin of [`Self::tuple`] with no
+    /// per-frame `Vec<Value>` round-trip: tracked joints write three
+    /// `f64` lane cells each, untracked joints and unresolved fields
+    /// stay `Null` in the validity bitmap. `cols` restricts which float
+    /// columns are materialised (sorted, deduplicated; `None` builds
+    /// all) — consumers declare the columns their predicates read, so a
+    /// gesture over one joint pays for 3 lanes, not 45. Bit-identical
+    /// to building the tuples first and calling
+    /// [`ColumnBlock::fill_from_tuples_filtered`] (the non-float
+    /// `player`/`ts` columns have no lanes either way).
+    pub fn write_block(
+        &self,
+        frames: &[SkeletonFrame],
+        schema: &SchemaRef,
+        cols: Option<&[usize]>,
+        block: &mut ColumnBlock,
+    ) {
+        block.begin_filtered(schema, frames.len(), cols);
+        for (r, frame) in frames.iter().enumerate() {
+            for (k, slot) in self.joints.iter().enumerate() {
+                if let (Some([x, y, z]), Some(p)) = (slot, frame.joints[k]) {
+                    block.write_float(*x, r, p.x);
+                    block.write_float(*y, r, p.y);
+                    block.write_float(*z, r, p.z);
+                }
+            }
+        }
+    }
 }
 
 /// Converts one skeleton frame into a tuple of `schema` (which must have
@@ -282,6 +312,57 @@ mod tests {
             slots.joint(&t, Joint::Torso),
             Some(Vec3::new(1.0, 2.0, 3.0))
         );
+    }
+
+    #[test]
+    fn write_block_matches_tuple_round_trip() {
+        // The frame→block fast path must be bit-identical to frame→tuple
+        // →fill_from_tuples, including dropout Nulls.
+        let mut perf = Performer::new(Persona::reference(), 0);
+        let mut frames = perf.render(&swipe_right());
+        frames[3].joints[Joint::RightHand.index()] = None; // dropout
+        let schema = kinect_schema();
+        let slots = KinectSlots::resolve(&schema, "");
+
+        // Both unfiltered and filtered to the right hand's columns.
+        let rhand: Vec<usize> = ["rHand_x", "rHand_y", "rHand_z"]
+            .iter()
+            .map(|n| schema.index_of(n).unwrap())
+            .collect();
+        for cols in [None, Some(rhand.as_slice())] {
+            let mut direct = ColumnBlock::new();
+            slots.write_block(&frames, &schema, cols, &mut direct);
+
+            let tuples: Vec<Tuple> = frames.iter().map(|f| slots.tuple(f, &schema)).collect();
+            let mut via_tuples = ColumnBlock::new();
+            via_tuples.fill_from_tuples_filtered(&tuples, cols);
+
+            assert_eq!(direct.rows(), via_tuples.rows());
+            for c in 0..schema.len() {
+                match (direct.lane(c), via_tuples.lane(c)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.null(), b.null(), "col {c} null mask");
+                        assert_eq!(a.other(), b.other(), "col {c} other mask");
+                        for r in 0..direct.rows() {
+                            if !a.null().get(r) {
+                                assert_eq!(
+                                    a.values()[r].to_bits(),
+                                    b.values()[r].to_bits(),
+                                    "col {c} row {r}"
+                                );
+                            }
+                        }
+                    }
+                    other => panic!("lane presence diverged on col {c}: {other:?}"),
+                }
+            }
+            if cols.is_some() {
+                assert!(direct.lane(rhand[0]).is_some());
+                let torso = schema.index_of("torso_x").unwrap();
+                assert!(direct.lane(torso).is_none(), "filtered lane absent");
+            }
+        }
     }
 
     #[test]

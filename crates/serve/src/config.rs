@@ -27,6 +27,12 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Full-queue behaviour.
     pub backpressure: BackpressurePolicy,
+    /// Columnar data path: build one structure-of-arrays block per
+    /// batch (straight from the skeleton frames) and run the NFA's
+    /// vectorized predicate pre-pass over its float lanes. Disable to
+    /// A/B against the scalar tuple-at-a-time evaluation; detections
+    /// are bit-identical either way.
+    pub columnar: bool,
 }
 
 impl Default for ServerConfig {
@@ -35,6 +41,7 @@ impl Default for ServerConfig {
             shards: 0,
             queue_capacity: 1024,
             backpressure: BackpressurePolicy::default(),
+            columnar: true,
         }
     }
 }
@@ -60,6 +67,12 @@ impl ServerConfig {
     /// Sets the full-queue behaviour.
     pub fn with_backpressure(mut self, policy: BackpressurePolicy) -> Self {
         self.backpressure = policy;
+        self
+    }
+
+    /// Enables or disables the columnar batch path (enabled by default).
+    pub fn with_columnar(mut self, on: bool) -> Self {
+        self.columnar = on;
         self
     }
 

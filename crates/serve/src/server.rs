@@ -100,6 +100,7 @@ impl Server {
                 metrics.clone(),
                 gate.clone(),
                 listeners.clone(),
+                config.columnar,
             );
             workers.push(
                 std::thread::Builder::new()

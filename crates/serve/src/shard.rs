@@ -6,13 +6,17 @@
 //! applies exactly at its position in the stream. Session state never
 //! leaves the worker thread — per-tuple matching takes no locks.
 //!
-//! Data path per batch: one [`frame_to_tuple`] conversion per frame
-//! into a reused scratch, one shared view evaluation for the whole
-//! batch ([`SharedViews::begin_batch`]), then every deployed plan
+//! Data path per batch: one frame→tuple conversion per frame into a
+//! reused scratch plus (on the default columnar path) one frame→block
+//! conversion of the whole batch straight from the skeleton frames
+//! ([`KinectSlots::write_block`] — no per-frame `Vec<Value>` round-trip
+//! for the float lanes), one shared view evaluation for the whole batch
+//! ([`SharedViews::begin_batch_prefilled`]), then every deployed plan
 //! instance steps its NFA batch-at-a-time over the shared view outputs
-//! ([`PlanInstance::push_batch_shared`]) — deploying more gestures does
-//! not re-run the coordinate transformation, and matching a batch that
-//! detects nothing allocates nothing.
+//! and their columnar blocks ([`PlanInstance::push_batch_shared`]) —
+//! deploying more gestures does not re-run the coordinate
+//! transformation, and matching a batch that detects nothing allocates
+//! nothing.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -21,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, Sender};
 use gesto_cep::{Detection, PlanInstance, QueryPlan};
-use gesto_kinect::{frame_to_tuple, SkeletonFrame};
+use gesto_kinect::{KinectSlots, SkeletonFrame};
 use gesto_stream::{Catalog, SchemaRef, SharedViews, Tuple};
 use parking_lot::RwLock;
 
@@ -134,8 +138,9 @@ pub(crate) struct SessionRuntime {
 }
 
 impl SessionRuntime {
-    fn new(catalog: &Catalog, plans: &[Arc<QueryPlan>]) -> Self {
+    fn new(catalog: &Catalog, plans: &[Arc<QueryPlan>], columnar: bool) -> Self {
         let mut views = SharedViews::new(catalog);
+        views.set_columnar(columnar);
         Self::sync_needed(&mut views, plans);
         Self {
             views,
@@ -144,7 +149,9 @@ impl SessionRuntime {
     }
 
     /// Marks exactly the views referenced by the deployed plans' routes
-    /// as needed (stale views stop being evaluated after an undeploy).
+    /// as needed (stale views stop being evaluated after an undeploy)
+    /// and declares the float columns the deployed predicates read, so
+    /// the per-batch columnar blocks only materialise those lanes.
     fn sync_needed(views: &mut SharedViews, plans: &[Arc<QueryPlan>]) {
         let mut needed: Vec<&str> = Vec::new();
         for plan in plans {
@@ -157,6 +164,7 @@ impl SessionRuntime {
             }
         }
         views.set_needed(needed);
+        gesto_cep::sync_block_columns(views, plans);
     }
 }
 
@@ -170,6 +178,11 @@ pub(crate) struct ShardWorker {
     pub listeners: Arc<RwLock<Vec<DetectionSink>>>,
     pub plans: Vec<Arc<QueryPlan>>,
     pub sessions: HashMap<SessionId, SessionRuntime>,
+    /// Columnar data path enabled (from the server config).
+    columnar: bool,
+    /// Kinect slot table resolved once against the ingest schema, shared
+    /// by the frame→tuple and frame→block conversions.
+    slots: KinectSlots,
     /// Detections scratch, reused across batches.
     detections: Vec<Detection>,
     /// Frame→tuple conversion scratch, reused across batches.
@@ -177,6 +190,7 @@ pub(crate) struct ShardWorker {
 }
 
 impl ShardWorker {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         rx: Receiver<Job>,
         catalog: Arc<Catalog>,
@@ -185,7 +199,9 @@ impl ShardWorker {
         metrics: Arc<ShardMetrics>,
         gate: Arc<QueueGate>,
         listeners: Arc<RwLock<Vec<DetectionSink>>>,
+        columnar: bool,
     ) -> Self {
+        let slots = KinectSlots::resolve(&schema, "");
         Self {
             rx,
             catalog,
@@ -196,6 +212,8 @@ impl ShardWorker {
             listeners,
             plans: Vec::new(),
             sessions: HashMap::new(),
+            columnar,
+            slots,
             detections: Vec::new(),
             tuples: Vec::new(),
         }
@@ -248,6 +266,8 @@ impl ShardWorker {
             stream,
             metrics,
             plans,
+            columnar,
+            slots,
             detections,
             tuples,
             ..
@@ -256,19 +276,32 @@ impl ShardWorker {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => {
                 metrics.sessions.fetch_add(1, Ordering::Relaxed);
-                e.insert(SessionRuntime::new(catalog, plans))
+                e.insert(SessionRuntime::new(catalog, plans, *columnar))
             }
         };
 
         detections.clear();
         let mut errors = 0u64;
         let SessionRuntime { views, instances } = runtime;
-        // Transform-once, step-batched: one tuple conversion per frame,
-        // one shared view evaluation per batch, then every deployed plan
-        // steps its NFA over the whole batch in one call.
+        // Transform-once, step-batched: one tuple conversion per frame
+        // (and, on the columnar path, one frame→block conversion of the
+        // whole batch straight from the skeleton frames), one shared
+        // view evaluation per batch, then every deployed plan steps its
+        // NFA over the whole batch in one call.
         tuples.clear();
-        tuples.extend(batch.frames.iter().map(|f| frame_to_tuple(f, schema)));
-        views.begin_batch(stream, tuples);
+        tuples.extend(batch.frames.iter().map(|f| slots.tuple(f, schema)));
+        if *columnar && views.base_wanted() {
+            // Some deployed query reads the raw stream: build its block
+            // straight from the frames (cheaper than going through the
+            // tuples), restricted to the lanes deployed predicates
+            // declared, and let begin_batch keep it.
+            views.fill_base_with(|cols, block| {
+                slots.write_block(&batch.frames, schema, cols, block)
+            });
+            views.begin_batch_prefilled(stream, tuples);
+        } else {
+            views.begin_batch(stream, tuples);
+        }
         for inst in instances.iter_mut() {
             if inst
                 .push_batch_shared(stream, tuples, views, detections)
@@ -344,7 +377,11 @@ impl ShardWorker {
             Control::Open(session) => {
                 if let std::collections::hash_map::Entry::Vacant(e) = self.sessions.entry(session) {
                     self.metrics.sessions.fetch_add(1, Ordering::Relaxed);
-                    e.insert(SessionRuntime::new(&self.catalog, &self.plans));
+                    e.insert(SessionRuntime::new(
+                        &self.catalog,
+                        &self.plans,
+                        self.columnar,
+                    ));
                 }
             }
             Control::Close(session, ack) => {

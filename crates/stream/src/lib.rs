@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod block;
 mod catalog;
 mod error;
 mod operator;
@@ -37,6 +38,7 @@ pub mod time;
 mod tuple;
 mod value;
 
+pub use block::{BitMask, ColumnBlock, FloatLane};
 pub use catalog::{Catalog, ViewDef, ViewFactory};
 pub use error::StreamError;
 pub use operator::{run_operator, BoxedOperator, Emit, Operator};

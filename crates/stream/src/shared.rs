@@ -24,6 +24,7 @@
 
 use std::collections::HashMap;
 
+use crate::block::ColumnBlock;
 use crate::catalog::Catalog;
 use crate::operator::BoxedOperator;
 use crate::tuple::Tuple;
@@ -54,6 +55,14 @@ struct ViewState {
     /// True when some consumer references this view (directly or as the
     /// input of a needed view); others are skipped entirely.
     needed: bool,
+    /// Columnar view of `out`, rebuilt per batch when the columnar data
+    /// path is enabled (the NFA's batch kernels read float lanes from
+    /// here instead of matching on `Value` slices per tuple).
+    block: ColumnBlock,
+    /// Column filter for `block`: `None` builds every float lane,
+    /// `Some(cols)` (sorted, deduplicated; possibly empty) builds only
+    /// the lanes some consumer declared it reads.
+    block_cols: Option<Vec<usize>>,
 }
 
 /// Per-session, evaluate-once runtime over a catalog's views.
@@ -62,6 +71,15 @@ pub struct SharedViews {
     /// than its own.
     states: Vec<ViewState>,
     slots: HashMap<String, usize>,
+    /// Columnar view of the base-stream batch itself (for query routes
+    /// that read the raw stream directly).
+    base: ColumnBlock,
+    /// Column filter for the base block (same contract as the per-view
+    /// filters).
+    base_cols: Option<Vec<usize>>,
+    /// When false, no blocks are built and the block accessors return
+    /// `None` — consumers then run the scalar path (the A/B toggle).
+    columnar: bool,
 }
 
 impl SharedViews {
@@ -71,6 +89,9 @@ impl SharedViews {
         let mut sv = Self {
             states: Vec::new(),
             slots: HashMap::new(),
+            base: ColumnBlock::new(),
+            base_cols: None,
+            columnar: true,
         };
         sv.refresh(catalog);
         sv
@@ -108,6 +129,8 @@ impl SharedViews {
                     offsets: Vec::new(),
                     live: false,
                     needed: false,
+                    block: ColumnBlock::new(),
+                    block_cols: None,
                 });
                 false
             });
@@ -180,7 +203,44 @@ impl SharedViews {
     /// [`Self::begin_frame`] calls — but downstream consumers (the NFA
     /// hot loop) get one contiguous slice per batch instead of one
     /// callback per frame.
+    ///
+    /// When the columnar path is enabled (the default, see
+    /// [`Self::set_columnar`]), this also builds a [`ColumnBlock`] per
+    /// batch: one for the base-stream tuples and one per live view's
+    /// outputs, read back via [`Self::base_block`] / [`Self::view_block`].
     pub fn begin_batch(&mut self, stream: &str, tuples: &[Tuple]) {
+        if self.columnar && self.base_wanted() {
+            self.base
+                .fill_from_tuples_filtered(tuples, self.base_cols.as_deref());
+        }
+        self.run_views(stream, tuples);
+    }
+
+    /// [`Self::begin_batch`] for callers that already built the
+    /// base-stream block by a cheaper route (e.g.
+    /// `gesto_kinect::KinectSlots::write_block` straight from skeleton
+    /// frames, skipping the per-frame `Vec<Value>` round-trip): fill
+    /// [`Self::base_block_mut`] for exactly these `tuples` first, then
+    /// call this. Falls back to rebuilding the base from the tuples if
+    /// the prepared block's row count does not match.
+    pub fn begin_batch_prefilled(&mut self, stream: &str, tuples: &[Tuple]) {
+        if self.columnar && self.base_wanted() && self.base.rows() != tuples.len() {
+            self.base
+                .fill_from_tuples_filtered(tuples, self.base_cols.as_deref());
+        }
+        self.run_views(stream, tuples);
+    }
+
+    /// True when some consumer reads the base-stream block at all —
+    /// callers with a cheaper base-block source (the kinect frame path)
+    /// can skip building it entirely when nothing reads it.
+    pub fn base_wanted(&self) -> bool {
+        self.columnar && self.base_cols.as_ref().is_none_or(|c| !c.is_empty())
+    }
+
+    /// Evaluates every needed view over the batch (see
+    /// [`Self::begin_batch`]) and rebuilds each live view's block.
+    fn run_views(&mut self, stream: &str, tuples: &[Tuple]) {
         for i in 0..self.states.len() {
             let (done, rest) = self.states.split_at_mut(i);
             let st = &mut rest[0];
@@ -220,7 +280,84 @@ impl SharedViews {
                 }
             }
             st.live = true;
+            if self.columnar && st.block_cols.as_ref().is_none_or(|c| !c.is_empty()) {
+                st.block
+                    .fill_from_tuples_filtered(&st.out, st.block_cols.as_deref());
+            } else {
+                st.block.clear();
+            }
         }
+    }
+
+    /// Resets every block-column filter to "build nothing" — the first
+    /// step of a deploy-time sync, which then re-declares the columns
+    /// each deployed consumer actually reads via
+    /// [`Self::add_view_block_columns`] / [`Self::add_base_block_columns`].
+    /// (A fresh `SharedViews` has no filters at all: every float lane is
+    /// built, the safe default for direct users.)
+    pub fn clear_block_columns(&mut self) {
+        self.base_cols = Some(Vec::new());
+        for st in &mut self.states {
+            st.block_cols = Some(Vec::new());
+        }
+    }
+
+    /// Declares that some consumer reads the given float columns of the
+    /// view `name`'s block (union with previous declarations; unknown
+    /// names are ignored — those consumers fall back to private chains
+    /// anyway).
+    pub fn add_view_block_columns(&mut self, name: &str, cols: &[usize]) {
+        if let Some(&slot) = self.slots.get(name) {
+            union_cols(&mut self.states[slot].block_cols, cols);
+        }
+    }
+
+    /// Declares that some consumer reads the given float columns of the
+    /// base-stream block (union with previous declarations).
+    pub fn add_base_block_columns(&mut self, cols: &[usize]) {
+        union_cols(&mut self.base_cols, cols);
+    }
+
+    /// Enables or disables the columnar batch path (enabled by default).
+    /// With it off, [`Self::begin_batch`] builds no blocks and the block
+    /// accessors return `None`, so consumers take the scalar path — the
+    /// A/B switch used by the throughput experiments.
+    pub fn set_columnar(&mut self, on: bool) {
+        self.columnar = on;
+    }
+
+    /// Whether the columnar batch path is enabled.
+    pub fn columnar(&self) -> bool {
+        self.columnar
+    }
+
+    /// Columnar view of the current batch's base-stream tuples (`None`
+    /// when the columnar path is disabled).
+    pub fn base_block(&self) -> Option<&ColumnBlock> {
+        self.columnar.then_some(&self.base)
+    }
+
+    /// Mutable base block, for callers that can fill it straight from
+    /// sensor frames before [`Self::begin_batch_prefilled`].
+    pub fn base_block_mut(&mut self) -> &mut ColumnBlock {
+        &mut self.base
+    }
+
+    /// Hands a caller-provided filler the base block *and* the declared
+    /// base column filter together (the borrow-friendly form of
+    /// [`Self::base_block_mut`]): the filler must materialise exactly
+    /// the filtered lanes — e.g. `KinectSlots::write_block` — before
+    /// [`Self::begin_batch_prefilled`].
+    pub fn fill_base_with(&mut self, fill: impl FnOnce(Option<&[usize]>, &mut ColumnBlock)) {
+        fill(self.base_cols.as_deref(), &mut self.base);
+    }
+
+    /// Columnar view of the current batch outputs of the view in `slot`
+    /// (`None` when the columnar path is disabled or the view did not
+    /// run this batch).
+    pub fn view_block(&self, slot: usize) -> Option<&ColumnBlock> {
+        let st = &self.states[slot];
+        (self.columnar && st.live).then_some(&st.block)
     }
 
     /// Output tuples of the view in `slot` for the current batch, all
@@ -243,6 +380,16 @@ impl SharedViews {
     /// Names of the instantiated views, in slot order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.states.iter().map(|s| s.name.as_str())
+    }
+}
+
+/// Unions `cols` into a sorted, deduplicated column filter. A `None`
+/// filter means "all columns" and absorbs any addition.
+fn union_cols(filter: &mut Option<Vec<usize>>, cols: &[usize]) {
+    if let Some(f) = filter {
+        f.extend_from_slice(cols);
+        f.sort_unstable();
+        f.dedup();
     }
 }
 
@@ -374,6 +521,61 @@ mod tests {
         sv.begin_frame("other", &tup(0, 1.0));
         assert_eq!(calls.load(Ordering::Relaxed), 0);
         assert!(sv.outputs(sv.slot_of("v2").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn blocks_built_for_base_and_live_views() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let c = Arc::new(AtomicU64::new(0));
+        cat.register_view(counted_view("v2", "kinect", 2.0, c))
+            .unwrap();
+        let mut sv = SharedViews::new(&cat);
+        let slot = sv.slot_of("v2").unwrap();
+        sv.set_needed(["v2"]);
+        let s = base();
+        let tup = |ts: i64, x: f64| {
+            Tuple::new(s.clone(), vec![Value::Timestamp(ts), Value::Float(x)]).unwrap()
+        };
+        sv.begin_batch("kinect", &[tup(0, 3.0), tup(1, 5.0)]);
+
+        let base_block = sv.base_block().expect("columnar on by default");
+        assert_eq!(base_block.rows(), 2);
+        assert_eq!(base_block.lane(1).unwrap().values(), &[3.0, 5.0]);
+        let vb = sv.view_block(slot).expect("view ran");
+        assert_eq!(vb.lane(1).unwrap().values(), &[6.0, 10.0]);
+
+        // Toggle off: scalar path only.
+        sv.set_columnar(false);
+        sv.begin_batch("kinect", &[tup(2, 1.0)]);
+        assert!(sv.base_block().is_none());
+        assert!(sv.view_block(slot).is_none());
+        assert_eq!(sv.outputs(slot).len(), 1, "scalar outputs unaffected");
+    }
+
+    #[test]
+    fn prefilled_base_is_kept_and_mismatch_rebuilds() {
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let mut sv = SharedViews::new(&cat);
+        let s = base();
+        let tup = |ts: i64, x: f64| {
+            Tuple::new(s.clone(), vec![Value::Timestamp(ts), Value::Float(x)]).unwrap()
+        };
+        let tuples = [tup(0, 7.0)];
+        // Simulate a caller writing the base block directly.
+        sv.base_block_mut().fill_from_tuples(&tuples);
+        sv.begin_batch_prefilled("kinect", &tuples);
+        assert_eq!(sv.base_block().unwrap().lane(1).unwrap().values(), &[7.0]);
+
+        // A stale prepared block (wrong row count) is rebuilt.
+        let more = [tup(1, 1.0), tup(2, 2.0)];
+        sv.begin_batch_prefilled("kinect", &more);
+        assert_eq!(sv.base_block().unwrap().rows(), 2);
+        assert_eq!(
+            sv.base_block().unwrap().lane(1).unwrap().values(),
+            &[1.0, 2.0]
+        );
     }
 
     #[test]

@@ -280,6 +280,261 @@ fn batched_nfa_advance_matches_single_tuple_advance() {
     assert!(expiry_hit, "sweep must exercise time constraints");
 }
 
+/// A random value for a float-typed slot, heavy on the block kernels'
+/// fallback lanes: `Null`s (validity bitmap), `Int`s widening into the
+/// float slot and `NaN`/`±inf` floats (deferred to the scalar path next
+/// to plain floats).
+fn messy_value(rng: &mut Rng) -> gesto::stream::Value {
+    use gesto::stream::Value;
+    match rng.below(10) {
+        0 | 1 => Value::Null,
+        2 => Value::Int(rng.below(110) as i64),
+        3 => Value::Float(f64::NAN),
+        4 => Value::Float(f64::INFINITY * if rng.below(2) == 0 { 1.0 } else { -1.0 }),
+        _ => Value::Float(rng.f64() * 110.0),
+    }
+}
+
+/// Pins the block kernels bit-identical to the scalar oracle on
+/// NaN/Null-heavy data: for every row a kernel claims to know, the
+/// scalar evaluation must return `Ok` with exactly the value the masks
+/// encode; rows whose scalar evaluation errors (NaN comparisons,
+/// incomparable types) must never be claimed.
+#[test]
+fn block_kernels_match_scalar_oracle_on_nan_null_heavy_rows() {
+    use gesto::cep::expr::{compile, BlockMasks, EvalScratch};
+    use gesto::cep::{parse_expr, FunctionRegistry};
+    use gesto::stream::{ColumnBlock, SchemaBuilder, Value};
+
+    let schema = SchemaBuilder::new("k")
+        .timestamp("ts")
+        .float("x")
+        .float("y")
+        .float("ax")
+        .float("ay")
+        .float("az")
+        .float("bx")
+        .float("by")
+        .float("bz")
+        .build()
+        .unwrap();
+    let funcs = FunctionRegistry::with_builtins();
+    let exprs = [
+        "abs(x - 40) < 25",
+        "x > 55",
+        "x - y <= 10",
+        "x = 40",
+        "x != 40",
+        "dist(ax, ay, az, bx, by, bz) < 60",
+        "abs(x - 40) < 25 and abs(y - 40) < 25",
+        "abs(x - 40) < 25 and dist(ax, ay, az, bx, by, bz) < 60 and y >= 10",
+        "x < 10 or y < 10 or x > 100",
+        "(abs(x - 40) < 25 and y < 50) or x > 100",
+    ]
+    .map(|text| compile(&parse_expr(text).unwrap(), &schema, &funcs).unwrap());
+
+    let mut known_rows = 0usize;
+    let mut fallback_rows = 0usize;
+    let mut null_rows = 0usize;
+    let mut error_rows = 0usize;
+    let mut block = ColumnBlock::new();
+    let mut masks = BlockMasks::default();
+    let mut scratch = EvalScratch::new();
+    for seed in 0..30u64 {
+        let mut rng = Rng::new(seed + 0xB10C);
+        let tuples: Vec<Tuple> = (0..97)
+            .map(|i| {
+                let mut vals = vec![gesto::stream::Value::Timestamp(i)];
+                vals.extend((1..schema.len()).map(|_| messy_value(&mut rng)));
+                Tuple::new(schema.clone(), vals).unwrap()
+            })
+            .collect();
+        block.fill_from_tuples(&tuples);
+        for expr in &exprs {
+            expr.eval_block(&block, &mut masks, &mut scratch);
+            for (r, t) in tuples.iter().enumerate() {
+                let scalar = expr.eval(t);
+                if !masks.known.get(r) {
+                    fallback_rows += 1;
+                    error_rows += usize::from(scalar.is_err());
+                    continue;
+                }
+                known_rows += 1;
+                let expect = match (masks.truth.get(r), masks.null.get(r)) {
+                    (true, false) => Value::Bool(true),
+                    (false, true) => {
+                        null_rows += 1;
+                        Value::Null
+                    }
+                    (false, false) => Value::Bool(false),
+                    (true, true) => panic!("row {r}: truth and null both set"),
+                };
+                match scalar {
+                    Ok(v) => assert_eq!(v, expect, "seed {seed} row {r} of {expr:?}"),
+                    Err(e) => panic!("seed {seed} row {r}: kernel claimed an erroring row: {e}"),
+                }
+            }
+        }
+    }
+    assert!(known_rows > 10_000, "kernels must decide the float bulk");
+    assert!(fallback_rows > 1_000, "sweep must exercise fallback lanes");
+    assert!(null_rows > 500, "sweep must exercise known-Null rows");
+    assert!(error_rows > 100, "sweep must hit scalar error paths");
+}
+
+/// The NFA stepping with block + pre-pass must be bit-identical to the
+/// single-tuple reference on Null/Int-heavy frames (the fallback lanes),
+/// across random patterns, batch splits, shedding and expiry.
+#[test]
+fn block_nfa_advance_matches_single_tuple_advance_on_null_heavy_frames() {
+    use gesto::cep::{parse_pattern, FunctionRegistry, MatchScratch, Nfa, SingleSchema};
+    use gesto::stream::{ColumnBlock, SchemaBuilder, Value};
+
+    let schema = SchemaBuilder::new("k")
+        .timestamp("ts")
+        .float("x")
+        .build()
+        .unwrap();
+    let canonical_match = |ts: i64, started_at: i64, events: &[Tuple]| {
+        let ev: Vec<String> = events.iter().map(|t| format!("{:?}", t.values())).collect();
+        (ts, started_at, ev)
+    };
+
+    let mut produced = 0usize;
+    for seed in 0..25u64 {
+        let mut rng = Rng::new(seed + 0xF00D);
+        let text = random_pattern(&mut rng);
+        let pattern = parse_pattern(&text).expect("generated pattern parses");
+        let funcs = FunctionRegistry::with_builtins();
+        let max_runs = [2usize, 4, 1024][rng.below(3) as usize];
+        let mut single = Nfa::compile(&pattern, &SingleSchema(schema.clone()), &funcs)
+            .unwrap()
+            .with_max_runs(max_runs);
+        let mut blocked = Nfa::compile(&pattern, &SingleSchema(schema.clone()), &funcs)
+            .unwrap()
+            .with_max_runs(max_runs);
+
+        // Null/Int-heavy workload — no NaN/±inf here, so the scalar
+        // reference never errors and full streams compare.
+        let mut ts = 0i64;
+        let tuples: Vec<Tuple> = (0..300)
+            .map(|_| {
+                ts += rng.below(400) as i64;
+                let x = match rng.below(5) {
+                    0 => Value::Null,
+                    1 => Value::Int(rng.below(110) as i64),
+                    _ => Value::Float(rng.f64() * 110.0),
+                };
+                Tuple::new(schema.clone(), vec![Value::Timestamp(ts), x]).unwrap()
+            })
+            .collect();
+
+        let mut expect = Vec::new();
+        for t in &tuples {
+            for m in single.advance("k", t).unwrap() {
+                expect.push(canonical_match(m.ts, m.started_at, &m.events));
+            }
+        }
+
+        let mut got = Vec::new();
+        let mut scratch = MatchScratch::new();
+        let mut block = ColumnBlock::new();
+        let mut rest = tuples.as_slice();
+        while !rest.is_empty() {
+            let n = (1 + rng.below(64) as usize).min(rest.len());
+            let (chunk, tail) = rest.split_at(n);
+            block.fill_from_tuples(chunk);
+            blocked
+                .advance_block_into("k", chunk, Some(&block), &mut scratch)
+                .unwrap();
+            rest = tail;
+        }
+        for m in scratch.matches() {
+            got.push(canonical_match(m.ts, m.started_at, m.events));
+        }
+
+        assert_eq!(got, expect, "seed {seed} pattern `{text}` diverged");
+        assert_eq!(single.active_runs(), blocked.active_runs(), "seed {seed}");
+        assert_eq!(single.shed_runs(), blocked.shed_runs(), "seed {seed}");
+        produced += expect.len();
+    }
+    assert!(produced > 50, "sweep must actually match ({produced})");
+}
+
+/// NaN frames make ordering predicates *error* on the scalar path; the
+/// pre-pass must neither swallow nor reorder those errors: the block
+/// path errors on exactly the same stream prefix, with the same message
+/// and the same matches delivered before the failure.
+#[test]
+fn block_nfa_preserves_scalar_error_behaviour_on_nan_frames() {
+    use gesto::cep::{parse_pattern, FunctionRegistry, MatchScratch, Nfa, SingleSchema};
+    use gesto::stream::{ColumnBlock, SchemaBuilder, Value};
+
+    let schema = SchemaBuilder::new("k")
+        .timestamp("ts")
+        .float("x")
+        .build()
+        .unwrap();
+
+    let mut errors_hit = 0usize;
+    for seed in 0..12u64 {
+        let mut rng = Rng::new(seed + 0xA11);
+        let text = random_pattern(&mut rng);
+        let pattern = parse_pattern(&text).expect("generated pattern parses");
+        let funcs = FunctionRegistry::with_builtins();
+        let mut single = Nfa::compile(&pattern, &SingleSchema(schema.clone()), &funcs).unwrap();
+        let mut blocked = Nfa::compile(&pattern, &SingleSchema(schema.clone()), &funcs).unwrap();
+
+        let mut ts = 0i64;
+        let tuples: Vec<Tuple> = (0..120)
+            .map(|_| {
+                ts += rng.below(300) as i64;
+                let x = if rng.below(12) == 0 {
+                    Value::Float(f64::NAN)
+                } else {
+                    Value::Float(rng.f64() * 110.0)
+                };
+                Tuple::new(schema.clone(), vec![Value::Timestamp(ts), x]).unwrap()
+            })
+            .collect();
+
+        // Reference: per-tuple advance until the first error.
+        let mut expect_matches = 0usize;
+        let mut expect_err: Option<(usize, String)> = None;
+        for (i, t) in tuples.iter().enumerate() {
+            match single.advance("k", t) {
+                Ok(ms) => expect_matches += ms.len(),
+                Err(e) => {
+                    expect_err = Some((i, e.to_string()));
+                    break;
+                }
+            }
+        }
+
+        // Block path: one batch over the whole stream. The batched core
+        // steps tuple-by-tuple, so it must fail at the same tuple with
+        // the earlier matches already in the scratch.
+        let mut scratch = MatchScratch::new();
+        let mut block = ColumnBlock::new();
+        block.fill_from_tuples(&tuples);
+        let got = blocked.advance_block_into("k", &tuples, Some(&block), &mut scratch);
+        match (&expect_err, got) {
+            (Some((_, msg)), Err(e)) => {
+                assert_eq!(&e.to_string(), msg, "seed {seed}: different error");
+                errors_hit += 1;
+            }
+            (None, Ok(())) => {}
+            (a, b) => panic!("seed {seed}: error behaviour diverged: {a:?} vs {b:?}"),
+        }
+        assert_eq!(
+            scratch.len(),
+            expect_matches,
+            "seed {seed}: matches before the failure diverged"
+        );
+    }
+    assert!(errors_hit >= 3, "sweep must hit NaN errors ({errors_hit})");
+}
+
 #[test]
 fn engine_shared_path_matches_seed_per_route_path() {
     let pool = query_pool();
