@@ -1,4 +1,4 @@
-//! C3 — the overlap problem (§3.3.2/§3.3.3): "scaling [windows] too much
+//! C3 — the overlap problem (§3.3.2/§3.3.3): "scaling \[windows\] too much
 //! introduces the overlapping problem, i.e., patterns of different
 //! gestures detect the same movement."
 //!

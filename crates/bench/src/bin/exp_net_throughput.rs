@@ -1,0 +1,315 @@
+//! Net — TCP-edge throughput and latency: real sockets, real client
+//! *processes*, swept up to ≥10 000 concurrent connections.
+//!
+//! ```sh
+//! cargo run --release -p gesto-bench --bin exp_net_throughput -- \
+//!     [--conns 64,1024,10000] [--frames 540,135,27] [--batch 27] \
+//!     [--json BENCH_net.json]
+//! ```
+//!
+//! The server half runs in this process: a `gesto-serve` engine behind
+//! a [`NetServer`]. The client half is
+//! this same binary re-executed with `--client` — separate OS
+//! processes, each multiplexing a slice of the connection count over
+//! the `GSW1` wire protocol, so the measured path includes the real
+//! kernel socket stack. Children connect everything first, report
+//! `READY`, and only start streaming when the parent says `GO`; the
+//! measured window is GO → last child exit.
+//!
+//! Reported per sweep point: ingest frames/sec over the wire, the
+//! server's frame-received→detection-pushed latency histogram
+//! (p50/p90/p99/max), and the peak concurrent-connection count.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use gesto_bench::Table;
+use gesto_kinect::{gestures, Performer, Persona, SkeletonFrame};
+use gesto_serve::net::{NetClient, NetConfig, NetServer};
+use gesto_serve::{BackpressurePolicy, Server, ServerConfig};
+
+/// Connections per client child process; sweep points larger than this
+/// fan out over several children.
+const CONNS_PER_CHILD: usize = 2500;
+
+fn workload(frames: usize) -> Vec<SkeletonFrame> {
+    let mut p = Performer::new(Persona::reference(), 0);
+    let mut out = Vec::with_capacity(frames + 64);
+    while out.len() < frames {
+        out.extend(p.render_padded(&gestures::swipe_right(), 200, 400));
+    }
+    out.truncate(frames);
+    out
+}
+
+// ----- client child ----------------------------------------------------
+
+/// `exp_net_throughput --client <addr> <conns> <frames> <batch>`:
+/// connect, report READY, await GO, stream, report RESULT.
+fn client_main(args: &[String]) {
+    let addr = &args[0];
+    let conns: usize = args[1].parse().expect("conns");
+    let frames: usize = args[2].parse().expect("frames");
+    let batch: usize = args[3].parse().expect("batch");
+
+    // Throughput clients skip event payloads (flags = 0): detections
+    // still stream back (counted server-side), just without tuples.
+    let mut clients: Vec<NetClient> = (0..conns)
+        .map(|_| NetClient::connect_with_flags(addr.as_str(), 0).expect("connect"))
+        .collect();
+    println!("READY");
+    std::io::stdout().flush().expect("flush");
+    let mut line = String::new();
+    std::io::stdin().read_line(&mut line).expect("GO");
+
+    let frames = workload(frames);
+    for chunk in frames.chunks(batch.max(1)) {
+        for (session, client) in clients.iter_mut().enumerate() {
+            client.send_batch(session as u64, chunk).expect("send");
+        }
+    }
+    let mut detections = 0u64;
+    let mut credit_waits = 0u64;
+    for client in clients {
+        credit_waits += client.credit_waits();
+        detections += client.bye().expect("bye").len() as u64;
+    }
+    println!("RESULT detections={detections} credit_waits={credit_waits}");
+}
+
+// ----- server / orchestrator ------------------------------------------
+
+struct PointResult {
+    conns: usize,
+    frames_total: u64,
+    peak_active: u64,
+    elapsed_ms: f64,
+    fps: f64,
+    detections: u64,
+    credit_waits: u64,
+    lat_count: u64,
+    lat_p50_us: u64,
+    lat_p90_us: u64,
+    lat_p99_us: u64,
+    lat_max_us: u64,
+    lat_buckets: Vec<u64>,
+}
+
+fn run_point(exe: &std::path::Path, conns: usize, frames: usize, batch: usize) -> PointResult {
+    let server = Server::start(
+        ServerConfig::new()
+            .with_shards(1)
+            .with_queue_capacity(256)
+            .with_backpressure(BackpressurePolicy::Block),
+    );
+    let samples: Vec<_> = (0..3)
+        .map(|seed| {
+            let mut p = Performer::new(Persona::reference().with_seed(seed), 0);
+            p.render(&gestures::swipe_right())
+        })
+        .collect();
+    server.teach("swipe_right", &samples).expect("teach");
+    let net = NetServer::start(
+        server.handle(),
+        NetConfig::new().with_max_connections(conns + 64),
+    )
+    .expect("net server");
+    let addr = net.local_addr().to_string();
+
+    // Fan the connection count out over child client processes.
+    let children_n = conns.div_ceil(CONNS_PER_CHILD);
+    let mut spawned: Vec<(Child, BufReader<std::process::ChildStdout>)> = (0..children_n)
+        .map(|i| {
+            let share = (conns / children_n) + usize::from(i < conns % children_n);
+            let mut child = Command::new(exe)
+                .args([
+                    "--client",
+                    &addr,
+                    &share.to_string(),
+                    &frames.to_string(),
+                    &batch.to_string(),
+                ])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn client");
+            let stdout = BufReader::new(child.stdout.take().expect("child stdout"));
+            (child, stdout)
+        })
+        .collect();
+
+    // Barrier: every child has its full connection slice open.
+    for (_, stdout) in &mut spawned {
+        let mut line = String::new();
+        stdout.read_line(&mut line).expect("READY");
+        assert_eq!(line.trim(), "READY", "client child failed to connect");
+    }
+    let peak_active = net.metrics().connections_active();
+
+    let started = Instant::now();
+    for (child, _) in &mut spawned {
+        child
+            .stdin
+            .as_mut()
+            .expect("child stdin")
+            .write_all(b"GO\n")
+            .expect("GO");
+    }
+    let mut detections = 0u64;
+    let mut credit_waits = 0u64;
+    for (mut child, mut stdout) in spawned {
+        let mut line = String::new();
+        while stdout.read_line(&mut line).expect("RESULT") > 0 {
+            if let Some(rest) = line.trim().strip_prefix("RESULT ") {
+                for kv in rest.split_whitespace() {
+                    let (k, v) = kv.split_once('=').expect("k=v");
+                    let v: u64 = v.parse().expect("number");
+                    match k {
+                        "detections" => detections += v,
+                        "credit_waits" => credit_waits += v,
+                        _ => {}
+                    }
+                }
+            }
+            line.clear();
+        }
+        assert!(
+            child.wait().expect("child").success(),
+            "client child failed"
+        );
+    }
+    let elapsed = started.elapsed();
+
+    let m = net.metrics();
+    let frames_total = (conns * frames) as u64;
+    assert_eq!(m.frames_received(), frames_total, "edge lost frames");
+    assert_eq!(m.connections_accepted(), conns as u64);
+    assert_eq!(
+        detections,
+        m.detections_sent(),
+        "every pushed detection reached a client"
+    );
+    let lat = m.latency();
+    let result = PointResult {
+        conns,
+        frames_total,
+        peak_active,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        fps: frames_total as f64 / elapsed.as_secs_f64(),
+        detections,
+        credit_waits,
+        lat_count: lat.count(),
+        lat_p50_us: lat.quantile_us(0.50),
+        lat_p90_us: lat.quantile_us(0.90),
+        lat_p99_us: lat.quantile_us(0.99),
+        lat_max_us: lat.max_us(),
+        lat_buckets: lat.buckets().to_vec(),
+    };
+    net.shutdown();
+    server.shutdown();
+    result
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--client") {
+        client_main(&argv[2..]);
+        return;
+    }
+
+    let mut conns: Vec<usize> = vec![64, 1024, 10_000];
+    let mut frames: Vec<usize> = vec![540, 135, 27];
+    let mut batch = 27usize;
+    let mut json: Option<String> = None;
+    let mut it = argv.into_iter().skip(1);
+    while let Some(a) = it.next() {
+        let list = |s: String| -> Vec<usize> {
+            s.split(',').map(|v| v.parse().expect("number")).collect()
+        };
+        match a.as_str() {
+            "--conns" => conns = list(it.next().expect("--conns N[,N…]")),
+            "--frames" => frames = list(it.next().expect("--frames N[,N…]")),
+            "--batch" => batch = it.next().expect("--batch N").parse().expect("number"),
+            "--json" => json = Some(it.next().expect("--json PATH")),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    assert_eq!(
+        conns.len(),
+        frames.len(),
+        "--conns and --frames lists must pair up"
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let exe = std::env::current_exe().expect("current_exe");
+
+    println!("Net — TCP-edge throughput over real client processes");
+    println!("====================================================\n");
+    println!(
+        "host: {cores} core(s); sweep: conns {conns:?} × frames/conn {frames:?}, batch {batch}\n"
+    );
+
+    let mut table = Table::new(&[
+        "conns",
+        "frames",
+        "peak act",
+        "elapsed_ms",
+        "frames/sec",
+        "detections",
+        "lat p50 µs",
+        "lat p99 µs",
+    ]);
+    let mut results = Vec::new();
+    for (&c, &f) in conns.iter().zip(&frames) {
+        let r = run_point(&exe, c, f, batch);
+        table.row(&[
+            r.conns.to_string(),
+            r.frames_total.to_string(),
+            r.peak_active.to_string(),
+            format!("{:.1}", r.elapsed_ms),
+            format!("{:.0}", r.fps),
+            r.detections.to_string(),
+            r.lat_p50_us.to_string(),
+            r.lat_p99_us.to_string(),
+        ]);
+        results.push(r);
+    }
+    table.print();
+
+    if let Some(path) = &json {
+        let mut rows = String::new();
+        for (i, r) in results.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            let buckets = r
+                .lat_buckets
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
+            rows.push_str(&format!(
+                "    {{\"connections\": {}, \"frames\": {}, \"peak_active_connections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}, \"detections\": {}, \"credit_waits\": {}, \"latency\": {{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"pow2_us_buckets\": [{buckets}]}}}}",
+                r.conns,
+                r.frames_total,
+                r.peak_active,
+                r.elapsed_ms,
+                r.fps,
+                r.detections,
+                r.credit_waits,
+                r.lat_count,
+                r.lat_p50_us,
+                r.lat_p90_us,
+                r.lat_p99_us,
+                r.lat_max_us,
+            ));
+        }
+        let json = format!(
+            "{{\n  \"experiment\": \"exp_net_throughput\",\n  \"host_cores\": {cores},\n  \"batch\": {batch},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+}

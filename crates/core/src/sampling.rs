@@ -4,7 +4,7 @@
 //! first tuple becomes the initial cluster centroid and reference; a new
 //! window (cluster) starts whenever a point's distance from the current
 //! reference exceeds `max_dist`. This is the density-based-clustering
-//! relative of the paper (it cites DBSCAN [2]): consecutive points closer
+//! relative of the paper (it cites DBSCAN \[2\]): consecutive points closer
 //! than the threshold collapse into one cluster.
 
 use serde::{Deserialize, Serialize};

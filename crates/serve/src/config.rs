@@ -17,6 +17,17 @@ pub enum BackpressurePolicy {
 }
 
 /// Configuration of a [`crate::Server`].
+///
+/// ```
+/// use gesto_serve::{BackpressurePolicy, ServerConfig};
+///
+/// let config = ServerConfig::new()
+///     .with_shards(4)
+///     .with_queue_capacity(256)
+///     .with_backpressure(BackpressurePolicy::DropOldest)
+///     .with_columnar_min_batch(8);
+/// assert_eq!(config.effective_shards(), 4);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker shards (detection threads). `0` means one per available
@@ -33,6 +44,18 @@ pub struct ServerConfig {
     /// A/B against the scalar tuple-at-a-time evaluation; detections
     /// are bit-identical either way.
     pub columnar: bool,
+    /// Minimum batch size (frames per push) for the columnar path.
+    ///
+    /// The block kernels pay a fixed mask-setup cost per batch, so tiny
+    /// batches lose to scalar evaluation (`BENCH_predicate.json`:
+    /// ~0.2–0.5× at batch 1, ~2.7–5.6× at batch 16). The shard worker
+    /// therefore picks scalar vs columnar **per pushed batch**: a batch
+    /// shorter than this threshold steps the NFA tuple-at-a-time, a
+    /// batch at or above it builds the block and runs the vectorized
+    /// pre-pass. Detections are bit-identical either way. See
+    /// `docs/ARCHITECTURE.md` ("Adaptive scalar-vs-columnar choice")
+    /// for how the default was picked.
+    pub columnar_min_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -42,6 +65,7 @@ impl Default for ServerConfig {
             queue_capacity: 1024,
             backpressure: BackpressurePolicy::default(),
             columnar: true,
+            columnar_min_batch: 8,
         }
     }
 }
@@ -71,8 +95,19 @@ impl ServerConfig {
     }
 
     /// Enables or disables the columnar batch path (enabled by default).
+    ///
+    /// Even when enabled, batches shorter than
+    /// [`Self::with_columnar_min_batch`] stay on the scalar path — the
+    /// choice is made per pushed batch, not per server.
     pub fn with_columnar(mut self, on: bool) -> Self {
         self.columnar = on;
+        self
+    }
+
+    /// Sets the minimum batch size for the columnar path (`0` makes
+    /// every batch columnar, matching the pre-adaptive behaviour).
+    pub fn with_columnar_min_batch(mut self, frames: usize) -> Self {
+        self.columnar_min_batch = frames;
         self
     }
 

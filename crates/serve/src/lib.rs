@@ -22,6 +22,12 @@
 //! gracefully: [`ServerHandle::drain`], [`ServerHandle::close_session`]
 //! and [`Server::shutdown`] all process queued frames before returning.
 //!
+//! The [`net`] module puts this runtime on the wire: a non-blocking TCP
+//! front-end ([`net::NetServer`]) speaking the documented columnar
+//! `GSW1` protocol (`docs/PROTOCOL.md`), with credit-based flow control
+//! mapped onto the backpressure policies and detections streamed back
+//! per session; [`net::NetClient`] is the matching blocking client.
+//!
 //! ```
 //! use gesto_serve::{Server, ServerConfig, SessionId};
 //! use gesto_kinect::{gestures, Performer, Persona};
@@ -49,12 +55,13 @@
 //! server.shutdown();
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod config;
 mod error;
 mod metrics;
+pub mod net;
 mod server;
 mod session;
 mod shard;
@@ -62,7 +69,7 @@ mod shard;
 pub use config::{BackpressurePolicy, ServerConfig};
 pub use error::ServeError;
 pub use metrics::{LatencySummary, ServerMetrics, ShardMetrics, ShardSnapshot};
-pub use server::{DetectionSink, Server, ServerHandle};
+pub use server::{DetectionSink, OfferOutcome, Server, ServerHandle};
 pub use session::SessionId;
 
 #[cfg(test)]

@@ -1,0 +1,282 @@
+//! A blocking `GSW1` client handle.
+//!
+//! [`NetClient`] is the reference client for the protocol in
+//! `docs/PROTOCOL.md`: it speaks the handshake, respects the server's
+//! credit window (blocking in [`NetClient::send_batch`] when credit
+//! runs out — that is the backpressure reaching the producer), and
+//! collects streamed detections. It is deliberately simple and
+//! synchronous: one per producer thread; the tests and the
+//! `exp_net_throughput` bench drive thousands of them.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use gesto_kinect::SkeletonFrame;
+
+use super::wire::{self, ErrorCode, Message, WireDetection};
+
+/// A blocking client connection to a [`NetServer`](super::NetServer).
+///
+/// ```no_run
+/// use gesto_serve::net::NetClient;
+///
+/// let mut client = NetClient::connect("127.0.0.1:7313").unwrap();
+/// client.open_session(7).unwrap();
+/// // client.send_batch(7, &frames).unwrap();
+/// for d in client.bye().unwrap() {
+///     println!("session {} detected {} at {}", d.session, d.gesture, d.ts);
+/// }
+/// ```
+pub struct NetClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    scratch: Vec<u8>,
+    credits: u64,
+    credit_waits: u64,
+    rejected_batches: u64,
+    server_flags: u16,
+    detections: VecDeque<WireDetection>,
+    closed_sessions: Vec<u64>,
+    last_pong: Option<u64>,
+    next_ping: u64,
+}
+
+impl NetClient {
+    /// Connects and completes the handshake, requesting
+    /// [`wire::FLAG_WANT_EVENTS`] (detections carry matched tuples).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
+        Self::connect_with_flags(addr, wire::FLAG_WANT_EVENTS)
+    }
+
+    /// Connects with explicit hello `flags` (`wire::FLAG_*`).
+    pub fn connect_with_flags(addr: impl ToSocketAddrs, flags: u16) -> io::Result<NetClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = NetClient {
+            stream,
+            rbuf: Vec::with_capacity(4096),
+            scratch: Vec::with_capacity(4096),
+            credits: 0,
+            credit_waits: 0,
+            rejected_batches: 0,
+            server_flags: 0,
+            detections: VecDeque::new(),
+            closed_sessions: Vec::new(),
+            last_pong: None,
+            next_ping: 1,
+        };
+        client.send_message(&Message::Hello {
+            version: wire::VERSION,
+            flags,
+        })?;
+        // The HelloAck is always the server's first message.
+        match client.read_message()? {
+            Message::HelloAck {
+                flags: granted,
+                credits,
+                ..
+            } => {
+                client.server_flags = granted;
+                client.credits = u64::from(credits);
+            }
+            other => {
+                return Err(io::Error::other(format!(
+                    "expected HelloAck, got {other:?}"
+                )))
+            }
+        }
+        Ok(client)
+    }
+
+    /// Flags the server granted during the handshake.
+    pub fn server_flags(&self) -> u16 {
+        self.server_flags
+    }
+
+    /// Frames this client may currently send without waiting.
+    pub fn credits(&self) -> u64 {
+        self.credits
+    }
+
+    /// Times [`Self::send_batch`] had to block waiting for a credit
+    /// grant — the client-visible face of server backpressure.
+    pub fn credit_waits(&self) -> u64 {
+        self.credit_waits
+    }
+
+    /// Batches the server refused with `QueueFull` (rejecting
+    /// backpressure policy); those frames were dropped.
+    pub fn rejected_batches(&self) -> u64 {
+        self.rejected_batches
+    }
+
+    /// Eagerly opens a session (otherwise the first batch opens it).
+    pub fn open_session(&mut self, session: u64) -> io::Result<()> {
+        self.send_message(&Message::OpenSession { session })
+    }
+
+    /// Sends one batch of frames on `session`, blocking for a credit
+    /// grant first if the window is exhausted. Batches must hold at
+    /// most [`wire::MAX_BATCH_FRAMES`] frames.
+    pub fn send_batch(&mut self, session: u64, frames: &[SkeletonFrame]) -> io::Result<()> {
+        self.pump()?;
+        if (frames.len() as u64) > self.credits {
+            self.credit_waits += 1;
+            while (frames.len() as u64) > self.credits {
+                let msg = self.read_message()?;
+                self.absorb(msg)?;
+            }
+        }
+        self.credits -= frames.len() as u64;
+        self.scratch.clear();
+        wire::encode_frame_batch(session, frames, &mut self.scratch);
+        let bytes = std::mem::take(&mut self.scratch);
+        let res = self.stream.write_all(&bytes);
+        self.scratch = bytes;
+        res
+    }
+
+    /// Closes `session`, blocking until the server confirms every
+    /// queued frame of the session was processed (detections arriving
+    /// meanwhile are collected for [`Self::take_detections`]).
+    pub fn close_session(&mut self, session: u64) -> io::Result<()> {
+        self.send_message(&Message::CloseSession { session })?;
+        while !self.closed_sessions.contains(&session) {
+            let msg = self.read_message()?;
+            self.absorb(msg)?;
+        }
+        self.closed_sessions.retain(|&s| s != session);
+        Ok(())
+    }
+
+    /// Round-trips a liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        let token = self.next_ping;
+        self.next_ping += 1;
+        self.send_message(&Message::Ping { token })?;
+        while self.last_pong != Some(token) {
+            let msg = self.read_message()?;
+            self.absorb(msg)?;
+        }
+        Ok(())
+    }
+
+    /// Drains any detections the server has pushed so far without
+    /// blocking.
+    pub fn take_detections(&mut self) -> io::Result<Vec<WireDetection>> {
+        self.pump()?;
+        Ok(self.detections.drain(..).collect())
+    }
+
+    /// Ends the conversation cleanly: the server closes all remaining
+    /// sessions (processing their queued frames), streams the final
+    /// detections and hangs up. Returns every detection not yet taken.
+    pub fn bye(mut self) -> io::Result<Vec<WireDetection>> {
+        self.send_message(&Message::Bye)?;
+        loop {
+            match self.read_message() {
+                Ok(msg) => self.absorb(msg)?,
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(self.detections.into_iter().collect())
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn send_message(&mut self, msg: &Message) -> io::Result<()> {
+        self.scratch.clear();
+        wire::encode(msg, &mut self.scratch);
+        let bytes = std::mem::take(&mut self.scratch);
+        let res = self.stream.write_all(&bytes);
+        self.scratch = bytes;
+        res
+    }
+
+    /// Reads whatever is available without blocking and absorbs it.
+    fn pump(&mut self) -> io::Result<()> {
+        self.stream.set_nonblocking(true)?;
+        let mut chunk = [0u8; 16 * 1024];
+        let read_result = loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break Err(io::Error::from(io::ErrorKind::UnexpectedEof)),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => break Err(e),
+            }
+        };
+        self.stream.set_nonblocking(false)?;
+        read_result?;
+        while let Some(msg) = self.try_decode()? {
+            self.absorb(msg)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until one complete message arrives.
+    fn read_message(&mut self) -> io::Result<Message> {
+        loop {
+            if let Some(msg) = self.try_decode()? {
+                return Ok(msg);
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Err(io::Error::from(io::ErrorKind::UnexpectedEof)),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn try_decode(&mut self) -> io::Result<Option<Message>> {
+        match wire::decode(&self.rbuf) {
+            Ok(None) => Ok(None),
+            Ok(Some((msg, consumed))) => {
+                self.rbuf.drain(..consumed);
+                Ok(Some(msg))
+            }
+            Err(e) => Err(io::Error::other(format!("protocol error: {e}"))),
+        }
+    }
+
+    /// Applies a server message to client state.
+    fn absorb(&mut self, msg: Message) -> io::Result<()> {
+        match msg {
+            Message::Credit { frames } => {
+                self.credits += u64::from(frames);
+                Ok(())
+            }
+            Message::Detection(d) => {
+                self.detections.push_back(d);
+                Ok(())
+            }
+            Message::SessionClosed { session } => {
+                self.closed_sessions.push(session);
+                Ok(())
+            }
+            Message::Pong { token } => {
+                self.last_pong = Some(token);
+                Ok(())
+            }
+            Message::Error {
+                code: ErrorCode::QueueFull,
+                ..
+            } => {
+                // Non-fatal: that batch was dropped (rejecting policy).
+                self.rejected_batches += 1;
+                Ok(())
+            }
+            Message::Error { code, detail } => {
+                Err(io::Error::other(format!("server error: {code}: {detail}")))
+            }
+            Message::HelloAck { .. } => Err(io::Error::other("unexpected second HelloAck")),
+            other => Err(io::Error::other(format!(
+                "unexpected client-to-server message from server: {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Per-connection state: the read-side state machine owned by an I/O
+//! thread, and the [`Outbox`] shared with detection-sink threads.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{Receiver, Sender};
+use gesto_kinect::SkeletonFrame;
+use parking_lot::Mutex;
+
+use super::metrics::NetMetricsInner;
+use super::wire;
+
+/// Outbound bytes a connection's outbox may buffer before the
+/// connection is condemned as a slow detection consumer.
+pub(crate) const MAX_OUTBOX_BYTES: usize = 4 << 20;
+
+/// Serialised write side of one connection, shared between its I/O
+/// thread and the shard threads delivering detections.
+///
+/// Writes go straight to the (non-blocking) socket while it accepts
+/// them — a detection produced on a shard thread reaches the wire
+/// without waiting for the event loop — and spill into a buffer when
+/// the socket is full; the I/O thread flushes the spill on writability.
+/// The buffer mutex is the write serialisation point.
+pub(crate) struct Outbox {
+    stream: Arc<TcpStream>,
+    buf: Mutex<SpillBuf>,
+    /// Buffered bytes are waiting for a flush (maintained under the
+    /// mutex; read lock-free by the event loop's scan).
+    pending: AtomicBool,
+    /// The connection is beyond saving (outbox overflow or socket
+    /// error); the I/O thread reaps it on its next pass.
+    dead: AtomicBool,
+    metrics: Arc<NetMetricsInner>,
+    /// Wakes the I/O loop when the outbox spills or dies (sent at most
+    /// once per transition; the loop re-arms write interest).
+    dirty: Sender<u64>,
+    /// This connection's poller token, sent on `dirty`.
+    id: u64,
+}
+
+#[derive(Default)]
+struct SpillBuf {
+    bytes: VecDeque<u8>,
+}
+
+impl Outbox {
+    pub(crate) fn new(
+        stream: Arc<TcpStream>,
+        metrics: Arc<NetMetricsInner>,
+        dirty: Sender<u64>,
+        id: u64,
+    ) -> Self {
+        Outbox {
+            stream,
+            buf: Mutex::new(SpillBuf::default()),
+            pending: AtomicBool::new(false),
+            dead: AtomicBool::new(false),
+            metrics,
+            dirty,
+            id,
+        }
+    }
+
+    fn notify(&self) {
+        let _ = self.dirty.send(self.id);
+    }
+
+    /// Queues `bytes` (a whole number of protocol messages) for the
+    /// peer, writing through to the socket when possible.
+    pub(crate) fn send(&self, bytes: &[u8]) {
+        if self.dead.load(Ordering::Acquire) {
+            return;
+        }
+        let mut buf = self.buf.lock();
+        let mut offset = 0;
+        if buf.bytes.is_empty() {
+            // Fast path: write directly; only the remainder spills.
+            loop {
+                match (&*self.stream).write(&bytes[offset..]) {
+                    Ok(0) => break,
+                    Ok(n) => {
+                        self.metrics.bytes_out(n as u64);
+                        offset += n;
+                        if offset == bytes.len() {
+                            return;
+                        }
+                    }
+                    Err(e) if super::poll::would_block(&e) => break,
+                    Err(_) => {
+                        self.dead.store(true, Ordering::Release);
+                        self.notify();
+                        return;
+                    }
+                }
+            }
+        }
+        if buf.bytes.len() + (bytes.len() - offset) > MAX_OUTBOX_BYTES {
+            // The peer is not reading its detections; shedding part of
+            // a message would desynchronise framing, so the connection
+            // is condemned instead.
+            self.metrics.slow_consumer_drop();
+            self.dead.store(true, Ordering::Release);
+            self.notify();
+            return;
+        }
+        buf.bytes.extend(&bytes[offset..]);
+        if !self.pending.swap(true, Ordering::AcqRel) {
+            self.notify();
+        }
+    }
+
+    /// Flushes spilled bytes; returns `true` when the spill is empty
+    /// again.
+    pub(crate) fn flush(&self) -> bool {
+        if self.dead.load(Ordering::Acquire) {
+            return true;
+        }
+        let mut buf = self.buf.lock();
+        while !buf.bytes.is_empty() {
+            let (head, _) = buf.bytes.as_slices();
+            match (&*self.stream).write(head) {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.metrics.bytes_out(n as u64);
+                    buf.bytes.drain(..n);
+                }
+                Err(e) if super::poll::would_block(&e) => break,
+                Err(_) => {
+                    // The flushing I/O thread observes `dead` directly;
+                    // no notification needed.
+                    self.dead.store(true, Ordering::Release);
+                    buf.bytes.clear();
+                    break;
+                }
+            }
+        }
+        let empty = buf.bytes.is_empty();
+        self.pending.store(!empty, Ordering::Release);
+        empty
+    }
+
+    /// Buffered bytes are waiting for [`Self::flush`].
+    pub(crate) fn has_pending(&self) -> bool {
+        self.pending.load(Ordering::Acquire)
+    }
+
+    /// The connection hit a fatal write-side condition.
+    pub(crate) fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::Acquire)
+    }
+
+    /// Marks the connection for reaping.
+    pub(crate) fn kill(&self) {
+        self.dead.store(true, Ordering::Release);
+    }
+}
+
+/// What the read loop decided to do with a connection after a pass.
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum ReadOutcome {
+    /// Keep the connection registered.
+    Continue,
+    /// Peer closed or errored; drop the connection.
+    Closed,
+}
+
+/// A client session bound on this connection.
+pub(crate) struct SessionBinding {
+    /// Engine-side session id (globally unique across connections).
+    pub global: u64,
+}
+
+/// Read-side state of one client connection (owned by one I/O thread).
+pub(crate) struct Conn {
+    /// Poller token / connection id.
+    pub id: u64,
+    pub stream: Arc<TcpStream>,
+    pub outbox: Arc<Outbox>,
+    /// Accumulated unparsed inbound bytes.
+    pub rbuf: Vec<u8>,
+    /// Protocol state: false until a valid `Hello` was processed.
+    pub greeted: bool,
+    /// Negotiated hello flags (`wire::FLAG_*`).
+    pub flags: u16,
+    /// Remaining frames the client may send (server-side mirror of the
+    /// client's credit).
+    pub credits: i64,
+    /// Frames accepted since the last credit grant; granted back in
+    /// chunks to amortise `Credit` messages.
+    pub credit_debt: u32,
+    /// Client session id → engine binding.
+    pub sessions: HashMap<u64, SessionBinding>,
+    /// Batches accepted from the wire but not yet placed on a shard
+    /// queue (the shard was full under the blocking policy). While
+    /// non-empty the connection's read interest is off: no new input,
+    /// no credit — backpressure reaches the client.
+    pub parked: VecDeque<(u64, Vec<SkeletonFrame>)>,
+    /// In-flight session closes: (client session id, engine session
+    /// id, shard ack).
+    pub closing: Vec<(u64, u64, Receiver<()>)>,
+    /// A `Bye` arrived: close remaining sessions, flush, disconnect.
+    pub draining: bool,
+    /// Read interest currently disabled in the poller (parked state).
+    pub paused: bool,
+}
+
+impl Conn {
+    pub(crate) fn new(id: u64, stream: Arc<TcpStream>, outbox: Arc<Outbox>) -> Self {
+        Conn {
+            id,
+            stream,
+            outbox,
+            rbuf: Vec::with_capacity(4096),
+            greeted: false,
+            flags: 0,
+            credits: 0,
+            credit_debt: 0,
+            sessions: HashMap::new(),
+            parked: VecDeque::new(),
+            closing: Vec::new(),
+            draining: false,
+            paused: false,
+        }
+    }
+
+    /// Reads every currently available byte into `rbuf` (bounded per
+    /// pass for fairness across connections).
+    pub(crate) fn fill(&mut self, metrics: &NetMetricsInner) -> ReadOutcome {
+        const MAX_PER_PASS: usize = 256 * 1024;
+        let mut read_this_pass = 0usize;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match (&*self.stream).read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => {
+                    metrics.bytes_in(n as u64);
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    read_this_pass += n;
+                    if read_this_pass >= MAX_PER_PASS {
+                        return ReadOutcome::Continue;
+                    }
+                }
+                Err(e) if super::poll::would_block(&e) => return ReadOutcome::Continue,
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+
+    /// Pops the next complete message off `rbuf`, if any.
+    pub(crate) fn next_message(&mut self) -> Result<Option<wire::Message>, wire::NetWireError> {
+        match wire::decode(&self.rbuf)? {
+            None => Ok(None),
+            Some((msg, consumed)) => {
+                self.rbuf.drain(..consumed);
+                Ok(Some(msg))
+            }
+        }
+    }
+
+    /// Sends one message through the outbox.
+    pub(crate) fn send(&self, msg: &wire::Message, scratch: &mut Vec<u8>) {
+        scratch.clear();
+        wire::encode(msg, scratch);
+        self.outbox.send(scratch);
+    }
+}

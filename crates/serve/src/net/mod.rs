@@ -1,0 +1,820 @@
+//! The TCP ingestion edge: a non-blocking network front-end for the
+//! sharded detection [`Server`](crate::Server).
+//!
+//! One I/O thread runs a readiness loop (epoll on Linux, a portable
+//! fallback elsewhere — see `poll`) over a non-blocking listener and
+//! every client connection. Clients speak the versioned little-endian
+//! `GSW1` protocol specified in `docs/PROTOCOL.md` and implemented in
+//! [`wire`]: columnar frame batches in, detections with session
+//! attribution out, flow-controlled by credit grants.
+//!
+//! The decode path is allocation-lean by design: a wire batch decodes
+//! straight into `SkeletonFrame` rows whose per-joint lanes mirror the
+//! engine's `ColumnBlock` layout, and is handed to the existing shard
+//! pipeline via the non-blocking `offer_batch` — no per-frame
+//! `Vec<Value>` materialisation between socket and NFA (see
+//! `docs/ARCHITECTURE.md` for the full walk of the data path).
+//!
+//! **Backpressure** is end-to-end: a full shard queue under the
+//! blocking policy parks the offending connection's batches, disables
+//! its read interest and withholds credit — the client's credit window
+//! dries up and *it* stops sending, while every other connection keeps
+//! streaming. The rejecting policy surfaces as protocol `QueueFull`
+//! error frames instead; drop-oldest stays invisible to the wire.
+//!
+//! Detections take the reverse path with minimal latency: shard
+//! threads encode and write them into the connection's outbox
+//! *directly* (flushing the socket inline when it has room), so a
+//! detection does not wait for an event-loop tick.
+//!
+//! ```no_run
+//! use gesto_serve::net::{NetClient, NetConfig, NetServer};
+//! use gesto_serve::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::new());
+//! let net = NetServer::start(server.handle(), NetConfig::new()).unwrap();
+//!
+//! let mut client = NetClient::connect(net.local_addr()).unwrap();
+//! client.open_session(1).unwrap();
+//! // client.send_batch(1, &frames).unwrap();
+//! let detections = client.bye().unwrap();
+//! # drop(detections);
+//! net.shutdown();
+//! server.shutdown();
+//! ```
+
+pub mod client;
+mod conn;
+mod metrics;
+mod poll;
+pub mod wire;
+
+pub use self::client::NetClient;
+pub use self::metrics::{LatencyHistogram, NetMetrics, LATENCY_BUCKETS};
+
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use self::conn::{Conn, Outbox, ReadOutcome, SessionBinding};
+use self::metrics::NetMetricsInner;
+use self::poll::{would_block, Event, Interest, Poller};
+use self::wire::{ErrorCode, Message, WireDetection};
+use crate::server::OfferOutcome;
+use crate::{ServeError, ServerHandle, SessionId};
+
+/// Poller token reserved for the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+
+/// First engine-side session id handed to network sessions; keeps them
+/// visually distinct from low in-process ids in metrics and logs.
+const NET_SESSION_BASE: u64 = 1 << 32;
+
+/// Configuration of the TCP edge ([`NetServer::start`]).
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Listen address, e.g. `"0.0.0.0:7313"`. Port 0 picks a free port
+    /// (read it back with [`NetServer::local_addr`]).
+    pub addr: String,
+    /// Credit window per connection, in frames (§4 of
+    /// `docs/PROTOCOL.md`): the number of frames a client may have in
+    /// flight before it must wait for a grant.
+    pub initial_credits: u32,
+    /// Connections beyond this are accepted and immediately dropped.
+    pub max_connections: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            initial_credits: 4096,
+            max_connections: 16384,
+        }
+    }
+}
+
+impl NetConfig {
+    /// Defaults: loopback on an ephemeral port, a 4096-frame credit
+    /// window, at most 16384 connections.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the listen address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> Self {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Sets the per-connection credit window, in frames.
+    pub fn with_initial_credits(mut self, frames: u32) -> Self {
+        self.initial_credits = frames.max(1);
+        self
+    }
+
+    /// Sets the connection cap.
+    pub fn with_max_connections(mut self, conns: usize) -> Self {
+        self.max_connections = conns.max(1);
+        self
+    }
+}
+
+/// Route from an engine session back to the connection that owns it.
+struct SessionRoute {
+    /// The client-chosen id detections are attributed to (§5).
+    client_session: u64,
+    outbox: Arc<Outbox>,
+    /// The connection negotiated [`wire::FLAG_WANT_EVENTS`].
+    want_events: bool,
+    /// Microseconds (since server epoch) of the last accepted wire
+    /// batch — the "frame received" end of the latency histogram.
+    last_rx_us: AtomicU64,
+}
+
+type Registry = Arc<Mutex<HashMap<u64, Arc<SessionRoute>>>>;
+
+/// The running TCP edge: owns the listener and the I/O thread.
+///
+/// Start one over a [`ServerHandle`]; it registers a detection sink on
+/// the engine and serves the `GSW1` protocol until [`Self::shutdown`]
+/// (or drop). See the [module docs](self) for the data path.
+pub struct NetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+    metrics: NetMetrics,
+}
+
+impl NetServer {
+    /// Binds `config.addr` and spawns the I/O thread serving `handle`'s
+    /// engine over TCP.
+    pub fn start(handle: ServerHandle, config: NetConfig) -> io::Result<NetServer> {
+        poll::raise_nofile_limit();
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let mut poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+
+        let inner: Arc<NetMetricsInner> = Arc::new(NetMetricsInner::default());
+        let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
+        let epoch = Instant::now();
+        install_detection_sink(&handle, &registry, &inner, epoch);
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let (dirty_tx, dirty_rx) = unbounded::<u64>();
+        let io = IoLoop {
+            listener,
+            poller,
+            conns: HashMap::new(),
+            attention: HashSet::new(),
+            next_conn: TOKEN_LISTENER + 1,
+            next_session: NET_SESSION_BASE,
+            dirty_tx,
+            dirty_rx,
+            registry,
+            handle,
+            config,
+            metrics: inner.clone(),
+            epoch,
+            events: Vec::with_capacity(256),
+            scratch: Vec::with_capacity(512),
+            stop: stop.clone(),
+        };
+        let thread = std::thread::Builder::new()
+            .name("gesto-net".to_owned())
+            .spawn(move || io.run())?;
+        Ok(NetServer {
+            local_addr,
+            stop,
+            thread: Some(thread),
+            metrics: NetMetrics { inner },
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The edge's metric counters and latency histogram.
+    pub fn metrics(&self) -> NetMetrics {
+        self.metrics.clone()
+    }
+
+    /// Stops the I/O thread, closing every connection (each receives a
+    /// best-effort `Error(Shutdown)` frame first). The engine behind
+    /// the edge keeps running.
+    pub fn shutdown(mut self) {
+        self.stop_thread();
+    }
+
+    fn stop_thread(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_thread();
+    }
+}
+
+/// Registers the engine-side sink that routes detections back onto
+/// client connections (runs on shard threads).
+fn install_detection_sink(
+    handle: &ServerHandle,
+    registry: &Registry,
+    inner: &Arc<NetMetricsInner>,
+    epoch: Instant,
+) {
+    let registry = registry.clone();
+    let inner = inner.clone();
+    handle.on_detection(Arc::new(move |sid, det| {
+        let route = registry.lock().get(&sid.0).cloned();
+        let Some(route) = route else { return };
+        let events = if route.want_events {
+            det.events.iter().map(|t| t.values().to_vec()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut buf = Vec::with_capacity(64);
+        wire::encode(
+            &Message::Detection(WireDetection {
+                session: route.client_session,
+                ts: det.ts,
+                started_at: det.started_at,
+                gesture: det.gesture.clone(),
+                events,
+            }),
+            &mut buf,
+        );
+        route.outbox.send(&buf);
+        inner.detections_sent.fetch_add(1, Ordering::Relaxed);
+        let now = epoch.elapsed().as_micros() as u64;
+        let rx = route.last_rx_us.load(Ordering::Acquire);
+        if now >= rx {
+            inner.latency.record(now - rx);
+        }
+    }));
+}
+
+/// Why a connection is being torn down.
+enum Close {
+    /// Clean close (peer hangup, completed `Bye`).
+    Quiet,
+    /// Protocol violation: send this error first, then close.
+    Fault(ErrorCode, &'static str),
+}
+
+/// The single-threaded event loop behind [`NetServer`].
+struct IoLoop {
+    listener: TcpListener,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    /// Connections needing per-tick service (parked batches, pending
+    /// close acks, draining flushes).
+    attention: HashSet<u64>,
+    next_conn: u64,
+    next_session: u64,
+    dirty_tx: Sender<u64>,
+    dirty_rx: Receiver<u64>,
+    registry: Registry,
+    handle: ServerHandle,
+    config: NetConfig,
+    metrics: Arc<NetMetricsInner>,
+    epoch: Instant,
+    events: Vec<Event>,
+    scratch: Vec<u8>,
+    stop: Arc<AtomicBool>,
+}
+
+impl IoLoop {
+    fn run(mut self) {
+        loop {
+            if self.stop.load(Ordering::Acquire) {
+                self.shutdown_all();
+                return;
+            }
+            self.events.clear();
+            let timeout_ms = if self.attention.is_empty() { 10 } else { 1 };
+            let mut events = std::mem::take(&mut self.events);
+            if self.poller.wait(&mut events, timeout_ms).is_err() {
+                // Transient poller failure: behave like a timeout.
+                events.clear();
+            }
+            for ev in &events {
+                if ev.token == TOKEN_LISTENER {
+                    self.accept_ready();
+                } else {
+                    self.on_conn_event(ev.token, ev.readable, ev.writable);
+                }
+            }
+            self.events = events;
+            // Outboxes that spilled (or died) since the last tick.
+            let dirty: Vec<u64> = self.dirty_rx.try_iter().collect();
+            for id in dirty {
+                self.on_dirty(id);
+            }
+            let ids: Vec<u64> = self.attention.iter().copied().collect();
+            for id in ids {
+                self.service(id);
+            }
+        }
+    }
+
+    // ----- accept -----------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => self.accept_one(stream),
+                Err(e) if would_block(&e) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn accept_one(&mut self, stream: TcpStream) {
+        if self.conns.len() >= self.config.max_connections {
+            return; // Dropped: the cap is the last line of defence.
+        }
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        let id = self.next_conn;
+        self.next_conn += 1;
+        let stream = Arc::new(stream);
+        if self
+            .poller
+            .add(stream.as_raw_fd(), id, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        let outbox = Arc::new(Outbox::new(
+            stream.clone(),
+            self.metrics.clone(),
+            self.dirty_tx.clone(),
+            id,
+        ));
+        self.conns.insert(id, Conn::new(id, stream, outbox));
+        self.metrics
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ----- per-connection events --------------------------------------
+
+    fn on_conn_event(&mut self, id: u64, readable: bool, writable: bool) {
+        let Some(mut conn) = self.conns.remove(&id) else {
+            return;
+        };
+        let mut close = None;
+        if writable && conn.outbox.flush() && !conn.outbox.is_dead() {
+            // Spill drained; drop write interest.
+            let interest = Interest {
+                read: !conn.paused,
+                write: false,
+            };
+            let _ = self.poller.modify(conn.stream.as_raw_fd(), id, interest);
+        }
+        if conn.outbox.is_dead() {
+            close = Some(Close::Quiet);
+        }
+        if close.is_none() && readable && !conn.paused {
+            close = self.drain_readable(&mut conn);
+        }
+        self.finish_conn(conn, close);
+    }
+
+    /// Reads and processes every available message on `conn`.
+    fn drain_readable(&mut self, conn: &mut Conn) -> Option<Close> {
+        let closed = conn.fill(&self.metrics) == ReadOutcome::Closed;
+        loop {
+            if conn.paused {
+                // A parked batch mid-buffer: stop decoding, keep bytes.
+                break;
+            }
+            match conn.next_message() {
+                Ok(Some(msg)) => {
+                    if let Some(close) = self.on_message(conn, msg) {
+                        return Some(close);
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return Some(Close::Fault(ErrorCode::Malformed, "undecodable message"));
+                }
+            }
+        }
+        self.maybe_grant_credit(conn);
+        if closed {
+            Some(Close::Quiet)
+        } else {
+            None
+        }
+    }
+
+    fn on_message(&mut self, conn: &mut Conn, msg: Message) -> Option<Close> {
+        if !conn.greeted {
+            return match msg {
+                Message::Hello { version, flags } => self.on_hello(conn, version, flags),
+                _ => Some(Close::Fault(
+                    ErrorCode::Malformed,
+                    "first message must be Hello",
+                )),
+            };
+        }
+        match msg {
+            Message::Hello { .. } => Some(Close::Fault(ErrorCode::Malformed, "duplicate Hello")),
+            Message::OpenSession { session } => {
+                self.bind_session(conn, session);
+                None
+            }
+            Message::FrameBatch { session, frames } => self.on_frame_batch(conn, session, frames),
+            Message::CloseSession { session } => {
+                self.begin_close(conn, session);
+                None
+            }
+            Message::Ping { token } => {
+                conn.send(&Message::Pong { token }, &mut self.scratch);
+                None
+            }
+            Message::Bye => {
+                conn.draining = true;
+                let bound: Vec<u64> = conn.sessions.keys().copied().collect();
+                for sid in bound {
+                    self.begin_close(conn, sid);
+                }
+                self.attention.insert(conn.id);
+                None
+            }
+            // Server→client messages have no business arriving here.
+            Message::HelloAck { .. }
+            | Message::Credit { .. }
+            | Message::Detection(_)
+            | Message::Error { .. }
+            | Message::Pong { .. }
+            | Message::SessionClosed { .. } => Some(Close::Fault(
+                ErrorCode::Malformed,
+                "server-to-client message from client",
+            )),
+        }
+    }
+
+    fn on_hello(&mut self, conn: &mut Conn, version: u16, flags: u16) -> Option<Close> {
+        if version < 1 {
+            return Some(Close::Fault(
+                ErrorCode::UnsupportedVersion,
+                "client version 0",
+            ));
+        }
+        conn.greeted = true;
+        conn.flags = flags & wire::SUPPORTED_FLAGS;
+        conn.credits = i64::from(self.config.initial_credits);
+        conn.send(
+            &Message::HelloAck {
+                version: version.min(wire::VERSION),
+                flags: conn.flags,
+                credits: self.config.initial_credits,
+            },
+            &mut self.scratch,
+        );
+        None
+    }
+
+    fn on_frame_batch(
+        &mut self,
+        conn: &mut Conn,
+        session: u64,
+        frames: Vec<gesto_kinect::SkeletonFrame>,
+    ) -> Option<Close> {
+        let n = frames.len() as i64;
+        if n > conn.credits {
+            self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            return Some(Close::Fault(
+                ErrorCode::CreditExceeded,
+                "batch exceeds remaining credit",
+            ));
+        }
+        conn.credits -= n;
+        conn.credit_debt += n as u32;
+        let global = self.bind_session(conn, session);
+        if let Some(route) = self.registry.lock().get(&global) {
+            route
+                .last_rx_us
+                .store(self.epoch.elapsed().as_micros() as u64, Ordering::Release);
+        }
+        self.metrics
+            .frames_received
+            .fetch_add(n as u64, Ordering::Relaxed);
+        self.metrics
+            .batches_received
+            .fetch_add(1, Ordering::Relaxed);
+        if !conn.parked.is_empty() {
+            // FIFO per connection: behind an already-parked batch.
+            conn.parked.push_back((global, frames));
+            return None;
+        }
+        self.offer(conn, global, frames)
+    }
+
+    /// Hands a batch to the engine, translating shard backpressure into
+    /// connection state (park/pause) or protocol errors.
+    fn offer(
+        &mut self,
+        conn: &mut Conn,
+        global: u64,
+        frames: Vec<gesto_kinect::SkeletonFrame>,
+    ) -> Option<Close> {
+        match self.handle.offer_batch(SessionId(global), frames) {
+            Ok(OfferOutcome::Queued) => None,
+            Ok(OfferOutcome::Full(frames)) => {
+                conn.parked.push_back((global, frames));
+                self.metrics.batches_parked.fetch_add(1, Ordering::Relaxed);
+                self.pause(conn);
+                self.attention.insert(conn.id);
+                None
+            }
+            Err(ServeError::QueueFull { .. }) => {
+                self.metrics
+                    .batches_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.send(
+                    &Message::Error {
+                        code: ErrorCode::QueueFull,
+                        detail: "shard queue full, batch dropped".to_owned(),
+                    },
+                    &mut self.scratch,
+                );
+                None
+            }
+            Err(_) => Some(Close::Fault(ErrorCode::Shutdown, "engine shut down")),
+        }
+    }
+
+    /// Resolves (or creates) the engine session bound to a client id.
+    fn bind_session(&mut self, conn: &mut Conn, client_sid: u64) -> u64 {
+        if let Some(b) = conn.sessions.get(&client_sid) {
+            return b.global;
+        }
+        let global = self.next_session;
+        self.next_session += 1;
+        let _ = self.handle.open_session(SessionId(global));
+        let route = Arc::new(SessionRoute {
+            client_session: client_sid,
+            outbox: conn.outbox.clone(),
+            want_events: conn.flags & wire::FLAG_WANT_EVENTS != 0,
+            last_rx_us: AtomicU64::new(self.epoch.elapsed().as_micros() as u64),
+        });
+        self.registry.lock().insert(global, route);
+        conn.sessions.insert(client_sid, SessionBinding { global });
+        self.metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
+        global
+    }
+
+    /// Starts an asynchronous session close; the ack is collected by
+    /// [`Self::service`], which then sends `SessionClosed`.
+    fn begin_close(&mut self, conn: &mut Conn, client_sid: u64) {
+        let Some(binding) = conn.sessions.remove(&client_sid) else {
+            // Unknown session: idempotent close.
+            conn.send(
+                &Message::SessionClosed {
+                    session: client_sid,
+                },
+                &mut self.scratch,
+            );
+            return;
+        };
+        match self.handle.close_session_begin(SessionId(binding.global)) {
+            Ok(ack) => {
+                conn.closing.push((client_sid, binding.global, ack));
+                self.attention.insert(conn.id);
+            }
+            Err(_) => {
+                self.registry.lock().remove(&binding.global);
+                conn.send(
+                    &Message::SessionClosed {
+                        session: client_sid,
+                    },
+                    &mut self.scratch,
+                );
+            }
+        }
+    }
+
+    // ----- flow control ----------------------------------------------
+
+    fn pause(&mut self, conn: &mut Conn) {
+        if conn.paused {
+            return;
+        }
+        conn.paused = true;
+        let interest = Interest {
+            read: false,
+            write: conn.outbox.has_pending(),
+        };
+        let _ = self
+            .poller
+            .modify(conn.stream.as_raw_fd(), conn.id, interest);
+    }
+
+    fn resume(&mut self, conn: &mut Conn) {
+        if !conn.paused {
+            return;
+        }
+        conn.paused = false;
+        let interest = Interest {
+            read: true,
+            write: conn.outbox.has_pending(),
+        };
+        let _ = self
+            .poller
+            .modify(conn.stream.as_raw_fd(), conn.id, interest);
+    }
+
+    /// Grants accumulated credit back once a quarter of the window is
+    /// owed — but never while backpressure holds the connection parked
+    /// (that is the whole mechanism: no credit, no new frames).
+    fn maybe_grant_credit(&mut self, conn: &mut Conn) {
+        if conn.paused || !conn.parked.is_empty() || conn.draining {
+            return;
+        }
+        let threshold = (self.config.initial_credits / 4).max(1);
+        if conn.credit_debt >= threshold {
+            let grant = conn.credit_debt;
+            conn.credit_debt = 0;
+            conn.credits += i64::from(grant);
+            conn.send(&Message::Credit { frames: grant }, &mut self.scratch);
+        }
+    }
+
+    // ----- per-tick service ------------------------------------------
+
+    /// Outbox transitioned to "has spill" or died since last tick.
+    fn on_dirty(&mut self, id: u64) {
+        let Some(conn) = self.conns.get(&id) else {
+            return;
+        };
+        if conn.outbox.is_dead() {
+            let conn = self.conns.remove(&id).expect("present");
+            self.teardown(conn);
+            return;
+        }
+        let interest = Interest {
+            read: !conn.paused,
+            write: true,
+        };
+        let _ = self.poller.modify(conn.stream.as_raw_fd(), id, interest);
+    }
+
+    /// Services a connection on the attention list: retries parked
+    /// batches, collects close acks, completes drains.
+    fn service(&mut self, id: u64) {
+        let Some(mut conn) = self.conns.remove(&id) else {
+            self.attention.remove(&id);
+            return;
+        };
+        let mut close = None;
+
+        // Parked batches: retry in order; stop at the first still-full.
+        while let Some((global, frames)) = conn.parked.pop_front() {
+            match self.handle.offer_batch(SessionId(global), frames) {
+                Ok(OfferOutcome::Queued) => continue,
+                Ok(OfferOutcome::Full(frames)) => {
+                    conn.parked.push_front((global, frames));
+                    break;
+                }
+                Err(ServeError::QueueFull { .. }) => {
+                    self.metrics
+                        .batches_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+                Err(_) => {
+                    close = Some(Close::Fault(ErrorCode::Shutdown, "engine shut down"));
+                    break;
+                }
+            }
+        }
+        if close.is_none() && conn.parked.is_empty() && conn.paused {
+            self.resume(&mut conn);
+            // Resuming may leave complete messages already buffered.
+            close = self.drain_readable(&mut conn);
+        }
+
+        // Close acks.
+        if close.is_none() {
+            let mut still = Vec::new();
+            for (client_sid, global, ack) in std::mem::take(&mut conn.closing) {
+                if ack.try_iter().next().is_some() {
+                    self.registry.lock().remove(&global);
+                    conn.send(
+                        &Message::SessionClosed {
+                            session: client_sid,
+                        },
+                        &mut self.scratch,
+                    );
+                } else {
+                    still.push((client_sid, global, ack));
+                }
+            }
+            conn.closing = still;
+        }
+
+        // Drain completion: Bye processed, all sessions closed, outbox
+        // flushed — the connection ends cleanly.
+        if close.is_none()
+            && conn.draining
+            && conn.closing.is_empty()
+            && conn.parked.is_empty()
+            && !conn.outbox.has_pending()
+        {
+            close = Some(Close::Quiet);
+        }
+
+        let needs_attention = !conn.parked.is_empty()
+            || !conn.closing.is_empty()
+            || (conn.draining && conn.outbox.has_pending());
+        if close.is_none() && !needs_attention {
+            self.attention.remove(&id);
+        }
+        self.finish_conn(conn, close);
+    }
+
+    // ----- teardown ---------------------------------------------------
+
+    fn finish_conn(&mut self, conn: Conn, close: Option<Close>) {
+        match close {
+            None => {
+                self.conns.insert(conn.id, conn);
+            }
+            Some(Close::Quiet) => self.teardown(conn),
+            Some(Close::Fault(code, detail)) => {
+                conn.send(
+                    &Message::Error {
+                        code,
+                        detail: detail.to_owned(),
+                    },
+                    &mut self.scratch,
+                );
+                self.teardown(conn);
+            }
+        }
+    }
+
+    fn teardown(&mut self, mut conn: Conn) {
+        let _ = self.poller.remove(conn.stream.as_raw_fd());
+        conn.outbox.kill();
+        for (_, binding) in conn.sessions.drain() {
+            self.registry.lock().remove(&binding.global);
+            let _ = self.handle.close_session_begin(SessionId(binding.global));
+        }
+        for (_, global, _) in conn.closing.drain(..) {
+            self.registry.lock().remove(&global);
+        }
+        self.attention.remove(&conn.id);
+        self.metrics
+            .connections_closed
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .connections_active
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn shutdown_all(&mut self) {
+        let ids: Vec<u64> = self.conns.keys().copied().collect();
+        for id in ids {
+            if let Some(conn) = self.conns.remove(&id) {
+                conn.send(
+                    &Message::Error {
+                        code: ErrorCode::Shutdown,
+                        detail: "server shutting down".to_owned(),
+                    },
+                    &mut self.scratch,
+                );
+                conn.outbox.flush();
+                self.teardown(conn);
+            }
+        }
+    }
+}

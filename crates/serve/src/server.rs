@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gesto_cep::{parse_query, Detection, FunctionRegistry, Query, QueryPlan};
 use gesto_db::GestureStore;
 use gesto_kinect::{kinect_schema, SkeletonFrame, KINECT_STREAM};
@@ -23,6 +23,20 @@ use crate::shard::{Batch, Control, Job, QueueGate, ShardWorker};
 
 /// Callback invoked for every detection of every session.
 pub type DetectionSink = Arc<dyn Fn(SessionId, &Detection) + Send + Sync>;
+
+/// Outcome of a non-blocking [`ServerHandle::offer_batch`].
+#[derive(Debug)]
+pub enum OfferOutcome {
+    /// The batch was queued on the session's shard.
+    Queued,
+    /// The session's shard queue is at capacity under the
+    /// [`BackpressurePolicy::Block`] policy. The frames are handed back
+    /// unchanged so the caller can retry later without cloning — the
+    /// network edge parks them and stops granting the connection
+    /// credit, turning shard-side backpressure into protocol-level
+    /// backpressure.
+    Full(Vec<SkeletonFrame>),
+}
 
 /// Producer-side link to one shard.
 struct ShardLink {
@@ -51,6 +65,26 @@ struct ServerCore {
 ///
 /// Owns the worker threads; all operations are also available on the
 /// clonable, `Send` [`ServerHandle`] (via [`Server::handle`] or deref).
+///
+/// ```
+/// use gesto_kinect::{gestures, Performer, Persona};
+/// use gesto_serve::{Server, ServerConfig, SessionId};
+///
+/// let server = Server::start(ServerConfig::new().with_shards(2));
+/// let samples: Vec<_> = (0..3)
+///     .map(|seed| {
+///         Performer::new(Persona::reference().with_seed(seed), 0)
+///             .render(&gestures::swipe_right())
+///     })
+///     .collect();
+/// server.teach("swipe_right", &samples).unwrap();
+///
+/// let frames = Performer::new(Persona::reference(), 0).render(&gestures::swipe_right());
+/// server.push_batch(SessionId(7), frames).unwrap();
+/// server.drain().unwrap();
+/// assert!(server.metrics().detections() > 0);
+/// server.shutdown();
+/// ```
 pub struct Server {
     handle: ServerHandle,
     workers: Vec<JoinHandle<()>>,
@@ -101,6 +135,7 @@ impl Server {
                 gate.clone(),
                 listeners.clone(),
                 config.columnar,
+                config.columnar_min_batch,
             );
             workers.push(
                 std::thread::Builder::new()
@@ -215,6 +250,58 @@ impl ServerHandle {
             })
     }
 
+    /// Non-blocking [`Self::push_batch`]: never parks the calling
+    /// thread, whatever the backpressure policy.
+    ///
+    /// Under [`BackpressurePolicy::Block`] a full shard queue returns
+    /// [`OfferOutcome::Full`] with the frames handed back instead of
+    /// blocking; the other policies behave exactly as in `push_batch`
+    /// (drop-oldest sheds, reject errors with
+    /// [`ServeError::QueueFull`]). This is the entry point event-loop
+    /// callers (the TCP edge in [`crate::net`]) use, since they must
+    /// not stall every other connection while one shard is behind.
+    pub fn offer_batch(
+        &self,
+        session: SessionId,
+        frames: Vec<SkeletonFrame>,
+    ) -> Result<OfferOutcome, ServeError> {
+        if self.core.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Shutdown);
+        }
+        let shard = session.shard(self.core.shards.len());
+        let link = &self.core.shards[shard];
+        let cap = self.core.config.queue_capacity;
+        match self.core.config.backpressure {
+            BackpressurePolicy::Block => {
+                if link.gate.depth.load(Ordering::Acquire) >= cap {
+                    return Ok(OfferOutcome::Full(frames));
+                }
+            }
+            BackpressurePolicy::Reject => {
+                if link.gate.depth.load(Ordering::Acquire) >= cap {
+                    return Err(ServeError::QueueFull { shard });
+                }
+            }
+            BackpressurePolicy::DropOldest => {
+                if link.gate.depth.load(Ordering::Acquire) >= cap {
+                    link.gate.shed_requests.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        }
+        link.gate.depth.fetch_add(1, Ordering::AcqRel);
+        link.tx
+            .send(Job::Batch(Batch {
+                session,
+                frames,
+                enqueued: Instant::now(),
+            }))
+            .map(|()| OfferOutcome::Queued)
+            .map_err(|_| {
+                link.gate.depth.fetch_sub(1, Ordering::AcqRel);
+                ServeError::Shutdown
+            })
+    }
+
     /// Creates session state eagerly (otherwise it is created on the
     /// session's first batch).
     pub fn open_session(&self, session: SessionId) -> Result<(), ServeError> {
@@ -228,10 +315,23 @@ impl ServerHandle {
     /// of the session's previously queued frames have been processed —
     /// under the blocking policy a close loses nothing.
     pub fn close_session(&self, session: SessionId) -> Result<(), ServeError> {
+        self.close_session_begin(session)?
+            .recv()
+            .map_err(|_| ServeError::Shutdown)
+    }
+
+    /// Starts closing a session without waiting: the returned receiver
+    /// yields once the shard has processed all of the session's queued
+    /// frames and dropped its state. Event-loop callers (the TCP edge)
+    /// poll it instead of blocking.
+    pub(crate) fn close_session_begin(
+        &self,
+        session: SessionId,
+    ) -> Result<Receiver<()>, ServeError> {
         let shard = session.shard(self.core.shards.len());
         let (ack_tx, ack_rx) = bounded(1);
         self.control(shard, Control::Close(session, Some(ack_tx)))?;
-        ack_rx.recv().map_err(|_| ServeError::Shutdown)
+        Ok(ack_rx)
     }
 
     /// Blocks until every job queued on every shard so far has been

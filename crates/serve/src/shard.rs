@@ -180,6 +180,10 @@ pub(crate) struct ShardWorker {
     pub sessions: HashMap<SessionId, SessionRuntime>,
     /// Columnar data path enabled (from the server config).
     columnar: bool,
+    /// Minimum frames per batch for the columnar path; shorter batches
+    /// step scalar (the per-push adaptive choice — see
+    /// `ServerConfig::columnar_min_batch`).
+    columnar_min_batch: usize,
     /// Kinect slot table resolved once against the ingest schema, shared
     /// by the frame→tuple and frame→block conversions.
     slots: KinectSlots,
@@ -200,6 +204,7 @@ impl ShardWorker {
         gate: Arc<QueueGate>,
         listeners: Arc<RwLock<Vec<DetectionSink>>>,
         columnar: bool,
+        columnar_min_batch: usize,
     ) -> Self {
         let slots = KinectSlots::resolve(&schema, "");
         Self {
@@ -213,6 +218,7 @@ impl ShardWorker {
             plans: Vec::new(),
             sessions: HashMap::new(),
             columnar,
+            columnar_min_batch,
             slots,
             detections: Vec::new(),
             tuples: Vec::new(),
@@ -267,6 +273,7 @@ impl ShardWorker {
             metrics,
             plans,
             columnar,
+            columnar_min_batch,
             slots,
             detections,
             tuples,
@@ -290,7 +297,13 @@ impl ShardWorker {
         // NFA over the whole batch in one call.
         tuples.clear();
         tuples.extend(batch.frames.iter().map(|f| slots.tuple(f, schema)));
-        if *columnar && views.base_wanted() {
+        // Adaptive scalar-vs-columnar choice, made per pushed batch: the
+        // block kernels' fixed setup cost loses on tiny batches (batch 1
+        // runs ~0.2–0.5× scalar, batch 16 ~2.7–5.6×,
+        // `BENCH_predicate.json`), so short batches step scalar even on a
+        // columnar server. Detections are bit-identical either way.
+        views.set_columnar(*columnar && batch.frames.len() >= *columnar_min_batch);
+        if views.columnar() && views.base_wanted() {
             // Some deployed query reads the raw stream: build its block
             // straight from the frames (cheaper than going through the
             // tuples), restricted to the lanes deployed predicates

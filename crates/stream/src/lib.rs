@@ -37,6 +37,7 @@ mod stats;
 pub mod time;
 mod tuple;
 mod value;
+pub mod wire;
 
 pub use block::{BitMask, ColumnBlock, FloatLane};
 pub use catalog::{Catalog, ViewDef, ViewFactory};

@@ -1,0 +1,259 @@
+//! Little-endian wire encoding of scalar [`Value`]s.
+//!
+//! The network edge (`gesto-serve`'s wire protocol, `docs/PROTOCOL.md`)
+//! ships matched event tuples back to clients as sequences of tagged
+//! scalar values. This module is the single, normative implementation of
+//! that scalar encoding: one tag byte followed by a fixed- or
+//! length-prefixed payload, every multi-byte integer and float
+//! little-endian. Floats are transported as raw IEEE-754 bit patterns
+//! ([`f64::to_bits`]), so a value survives the round trip **bit for
+//! bit** — including `NaN` payloads and signed zeros — which is what
+//! lets the end-to-end tests pin network detections bit-identical to
+//! in-process ones.
+//!
+//! | Tag | Value | Payload |
+//! |-----|-------|---------|
+//! | `0x00` | `Null` | — |
+//! | `0x01` | `Int(i)` | `i64` LE |
+//! | `0x02` | `Float(f)` | `u64` LE (`f64::to_bits`) |
+//! | `0x03` | `Str(s)` | `u32` LE byte length, then UTF-8 bytes |
+//! | `0x04` | `Bool(b)` | `u8` (`0` or `1`) |
+//! | `0x05` | `Timestamp(t)` | `i64` LE |
+//!
+//! ```
+//! use gesto_stream::{wire, Value};
+//!
+//! let mut buf = Vec::new();
+//! wire::write_value(&mut buf, &Value::Float(f64::NAN));
+//! let mut pos = 0;
+//! let back = wire::read_value(&buf, &mut pos).unwrap();
+//! assert!(matches!(back, Value::Float(f) if f.is_nan()));
+//! assert_eq!(pos, buf.len());
+//! ```
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Maximum encoded string length accepted by [`read_value`] (a decode
+/// guard against corrupt or hostile length prefixes, not an encode
+/// limit).
+pub const MAX_STR_LEN: usize = 1 << 20;
+
+/// Decoding failure: the buffer does not hold a well-formed value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended inside a value.
+    Truncated,
+    /// An unknown tag byte.
+    BadTag(u8),
+    /// A boolean payload other than `0`/`1`.
+    BadBool(u8),
+    /// A string length prefix above [`MAX_STR_LEN`].
+    StrTooLong(usize),
+    /// String bytes were not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => f.write_str("wire value truncated"),
+            WireError::BadTag(t) => write!(f, "unknown wire value tag 0x{t:02x}"),
+            WireError::BadBool(b) => write!(f, "invalid wire bool byte 0x{b:02x}"),
+            WireError::StrTooLong(n) => write!(f, "wire string length {n} exceeds {MAX_STR_LEN}"),
+            WireError::BadUtf8 => f.write_str("wire string is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Appends `v` to `buf` in the tagged little-endian encoding.
+pub fn write_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0x00),
+        Value::Int(i) => {
+            buf.push(0x01);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(0x02);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(0x03);
+            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            buf.extend_from_slice(s.as_bytes());
+        }
+        Value::Bool(b) => {
+            buf.push(0x04);
+            buf.push(u8::from(*b));
+        }
+        Value::Timestamp(t) => {
+            buf.push(0x05);
+            buf.extend_from_slice(&t.to_le_bytes());
+        }
+    }
+}
+
+/// Reads one value from `buf` at `*pos`, advancing `*pos` past it.
+///
+/// On error `*pos` is unspecified; the caller should discard the frame.
+pub fn read_value(buf: &[u8], pos: &mut usize) -> Result<Value, WireError> {
+    let tag = *buf.get(*pos).ok_or(WireError::Truncated)?;
+    *pos += 1;
+    match tag {
+        0x00 => Ok(Value::Null),
+        0x01 => Ok(Value::Int(i64::from_le_bytes(take(buf, pos)?))),
+        0x02 => Ok(Value::Float(f64::from_bits(u64::from_le_bytes(take(
+            buf, pos,
+        )?)))),
+        0x03 => {
+            let len = u32::from_le_bytes(take(buf, pos)?) as usize;
+            if len > MAX_STR_LEN {
+                return Err(WireError::StrTooLong(len));
+            }
+            let end = pos.checked_add(len).ok_or(WireError::Truncated)?;
+            let bytes = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+            let s = std::str::from_utf8(bytes).map_err(|_| WireError::BadUtf8)?;
+            *pos = end;
+            Ok(Value::Str(s.to_owned()))
+        }
+        0x04 => {
+            let b = *buf.get(*pos).ok_or(WireError::Truncated)?;
+            *pos += 1;
+            match b {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                other => Err(WireError::BadBool(other)),
+            }
+        }
+        0x05 => Ok(Value::Timestamp(i64::from_le_bytes(take(buf, pos)?))),
+        other => Err(WireError::BadTag(other)),
+    }
+}
+
+/// Reads `N` bytes at `*pos` as a fixed-size array, advancing `*pos`.
+fn take<const N: usize>(buf: &[u8], pos: &mut usize) -> Result<[u8; N], WireError> {
+    let end = pos.checked_add(N).ok_or(WireError::Truncated)?;
+    let slice = buf.get(*pos..end).ok_or(WireError::Truncated)?;
+    *pos = end;
+    Ok(slice.try_into().expect("length checked"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) -> Value {
+        let mut buf = Vec::new();
+        write_value(&mut buf, &v);
+        let mut pos = 0;
+        let back = read_value(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len(), "decoder consumed the whole encoding");
+        back
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        for v in [
+            Value::Null,
+            Value::Int(-42),
+            Value::Int(i64::MAX),
+            Value::Float(3.5),
+            Value::Str("héllo".into()),
+            Value::Str(String::new()),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Timestamp(1_234_567),
+        ] {
+            assert_eq!(roundtrip(v.clone()), v);
+        }
+    }
+
+    #[test]
+    fn floats_survive_bit_for_bit() {
+        for bits in [
+            0x7ff8_0000_0000_0001u64, // NaN with payload
+            f64::NAN.to_bits(),
+            (-0.0f64).to_bits(),
+            f64::INFINITY.to_bits(),
+            1.0f64.to_bits(),
+        ] {
+            let v = Value::Float(f64::from_bits(bits));
+            let mut buf = Vec::new();
+            write_value(&mut buf, &v);
+            let mut pos = 0;
+            match read_value(&buf, &mut pos).unwrap() {
+                Value::Float(f) => assert_eq!(f.to_bits(), bits),
+                other => panic!("wrong variant: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn concatenated_values_decode_in_sequence() {
+        let vals = [Value::Int(1), Value::Null, Value::Str("x".into())];
+        let mut buf = Vec::new();
+        for v in &vals {
+            write_value(&mut buf, v);
+        }
+        let mut pos = 0;
+        for v in &vals {
+            assert_eq!(&read_value(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_an_error_at_every_prefix() {
+        let mut buf = Vec::new();
+        write_value(&mut buf, &Value::Str("abcdef".into()));
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(
+                read_value(&buf[..cut], &mut pos),
+                Err(WireError::Truncated),
+                "prefix of {cut} bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_bytes_are_rejected() {
+        let mut pos = 0;
+        assert_eq!(read_value(&[0xff], &mut pos), Err(WireError::BadTag(0xff)));
+        let mut pos = 0;
+        assert_eq!(
+            read_value(&[0x04, 0x02], &mut pos),
+            Err(WireError::BadBool(0x02))
+        );
+        // Hostile length prefix: 0xffff_ffff-byte string.
+        let mut pos = 0;
+        assert_eq!(
+            read_value(&[0x03, 0xff, 0xff, 0xff, 0xff], &mut pos),
+            Err(WireError::StrTooLong(0xffff_ffff))
+        );
+        // Non-UTF-8 string bytes.
+        let mut pos = 0;
+        assert_eq!(
+            read_value(&[0x03, 0x01, 0x00, 0x00, 0x00, 0xc0], &mut pos),
+            Err(WireError::BadUtf8)
+        );
+    }
+
+    #[test]
+    fn layout_matches_the_spec() {
+        // docs/PROTOCOL.md §6 (scalar value encoding) — golden bytes.
+        let mut buf = Vec::new();
+        write_value(&mut buf, &Value::Int(1));
+        assert_eq!(buf, [0x01, 1, 0, 0, 0, 0, 0, 0, 0]);
+        buf.clear();
+        write_value(&mut buf, &Value::Str("ab".into()));
+        assert_eq!(buf, [0x03, 2, 0, 0, 0, b'a', b'b']);
+        buf.clear();
+        write_value(&mut buf, &Value::Timestamp(-1));
+        assert_eq!(buf, [0x05, 255, 255, 255, 255, 255, 255, 255, 255]);
+    }
+}
