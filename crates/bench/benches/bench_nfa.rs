@@ -4,8 +4,10 @@
 //! pre-pass) at 1/4/16 deployed gestures, plus allocation-count
 //! assertions (via a counting global allocator) proving the batched hot
 //! loop performs **zero** heap allocations at steady state — when
-//! nothing matches, under seed/expire churn, and with the columnar
-//! block build + predicate pre-pass in the loop.
+//! nothing matches, under seed/expire churn, with the columnar
+//! block build + predicate pre-pass in the loop, and with the kernel
+//! stage timer sampling every batch (the telemetry overhead guard,
+//! also timed as an on/off A/B leg).
 //!
 //! ```sh
 //! cargo bench -p gesto-bench --bench bench_nfa -- --json BENCH_nfa.json
@@ -383,6 +385,65 @@ fn assert_zero_allocations() {
         "dist kernels must not allocate at steady state"
     );
     println!("alloc-check: dist kernel pre-pass       0 allocations ✓");
+
+    // (e) The kernel stage timer must never be a heap path: with
+    // sampling fully off and at its most aggressive (every batch),
+    // steady state stays allocation-free — the timer is two clock
+    // reads and a histogram bucket increment, all atomics.
+    let mut nfas = compile_gestures(4);
+    for every in [0u32, 1] {
+        gesto_cep::metrics::KERNEL_SAMPLER.set_every(every);
+        for _ in 0..2 {
+            block.fill_from_tuples(&tuples);
+            for nfa in nfas.iter_mut() {
+                nfa.advance_block_into(SOURCE, &tuples, Some(&block), &mut scratch)
+                    .unwrap();
+                scratch.clear();
+                nfa.reset();
+            }
+        }
+        let before = allocations();
+        for _ in 0..16 {
+            block.fill_from_tuples(&tuples);
+            for nfa in nfas.iter_mut() {
+                nfa.advance_block_into(SOURCE, &tuples, Some(&block), &mut scratch)
+                    .unwrap();
+                scratch.clear();
+                nfa.reset();
+            }
+        }
+        let timer_allocs = allocations() - before;
+        assert_eq!(
+            timer_allocs, 0,
+            "stage-timer sampling (every={every}) must not allocate"
+        );
+    }
+    gesto_cep::metrics::KERNEL_SAMPLER.set_every(64);
+    println!("alloc-check: stage timer off/every=1    0 allocations ✓");
+}
+
+/// Times the columnar path with the kernel stage timer disabled vs
+/// sampling every batch: the observability overhead guard.
+fn ab_stage_timer(tuples: &[Tuple]) -> (f64, f64) {
+    let frames = tuples.len() as f64;
+    let mut nfas = compile_gestures(4);
+    let mut scratch = MatchScratch::new();
+    let mut block = ColumnBlock::new();
+    let pass = |nfas: &mut Vec<Nfa>, block: &mut ColumnBlock, scratch: &mut MatchScratch| {
+        block.fill_from_tuples(tuples);
+        for nfa in nfas.iter_mut() {
+            nfa.advance_block_into(SOURCE, tuples, Some(block), scratch)
+                .unwrap();
+            scratch.clear();
+            nfa.reset();
+        }
+    };
+    gesto_cep::metrics::KERNEL_SAMPLER.set_every(0);
+    let off_ns = measure(|| pass(&mut nfas, &mut block, &mut scratch));
+    gesto_cep::metrics::KERNEL_SAMPLER.set_every(1);
+    let on_ns = measure(|| pass(&mut nfas, &mut block, &mut scratch));
+    gesto_cep::metrics::KERNEL_SAMPLER.set_every(64);
+    (frames / (off_ns / 1e9), frames / (on_ns / 1e9))
 }
 
 fn main() {
@@ -421,6 +482,13 @@ fn main() {
         results.push(r);
     }
 
+    let (timer_off_fps, timer_on_fps) = ab_stage_timer(&tuples);
+    let timer_overhead_pct = (timer_off_fps / timer_on_fps - 1.0) * 100.0;
+    println!(
+        "\nstage-timer A/B (4 gestures, block path): off {timer_off_fps:.0} f/s, \
+         every-batch {timer_on_fps:.0} f/s ({timer_overhead_pct:+.2}% overhead)"
+    );
+
     if let Some(path) = json {
         let mut rows = String::new();
         for (i, r) in results.iter().enumerate() {
@@ -433,7 +501,7 @@ fn main() {
             ));
         }
         let json_text = format!(
-            "{{\n  \"experiment\": \"bench_nfa\",\n  \"frames\": {},\n  \"zero_alloc_steady_state\": true,\n  \"results\": [\n{rows}\n  ]\n}}\n",
+            "{{\n  \"experiment\": \"bench_nfa\",\n  \"frames\": {},\n  \"zero_alloc_steady_state\": true,\n  \"stage_timer_off_frames_per_sec\": {timer_off_fps:.0},\n  \"stage_timer_on_frames_per_sec\": {timer_on_fps:.0},\n  \"stage_timer_overhead_pct\": {timer_overhead_pct:.2},\n  \"results\": [\n{rows}\n  ]\n}}\n",
             tuples.len()
         );
         std::fs::write(&path, json_text).expect("write json");

@@ -5,7 +5,8 @@
 //! ```sh
 //! cargo run --release -p gesto-bench --bin exp_c7_throughput -- \
 //!     --sessions 1,8,64,512 --frames 600 [--shards 1,2,4] [--strict] \
-//!     [--no-warmup] [--block | --no-block] [--json BENCH_serve.json]
+//!     [--no-warmup] [--block | --no-block] [--stage-sample N] \
+//!     [--json BENCH_serve.json]
 //! ```
 //!
 //! By default every sweep point is measured twice — once on the
@@ -33,6 +34,9 @@ struct Args {
     block: bool,
     /// Measure the scalar data path.
     scalar: bool,
+    /// Stage-timer sampling period handed to the server (0 = timers
+    /// off). Lets the telemetry overhead be A/B'd on one machine.
+    stage_sample: u32,
     json: Option<String>,
 }
 
@@ -47,6 +51,7 @@ fn parse_args() -> Args {
         warmup: true,
         block: true,
         scalar: true,
+        stage_sample: 64,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -64,6 +69,13 @@ fn parse_args() -> Args {
             "--no-warmup" => args.warmup = false,
             "--block" => args.scalar = false,
             "--no-block" => args.block = false,
+            "--stage-sample" => {
+                args.stage_sample = it
+                    .next()
+                    .expect("--stage-sample N")
+                    .parse()
+                    .expect("number")
+            }
             "--json" => args.json = Some(it.next().expect("--json PATH")),
             other => panic!("unknown argument '{other}'"),
         }
@@ -105,6 +117,7 @@ struct RunResult {
     fps_no_block: Option<f64>,
 }
 
+#[allow(clippy::too_many_arguments)] // bench harness: flat knobs read better than a config struct here
 fn run(
     queries: &[gesto_cep::Query],
     frames: &[SkeletonFrame],
@@ -112,6 +125,7 @@ fn run(
     shards: usize,
     batch: usize,
     columnar: bool,
+    stage_sample: u32,
     expected_per_session: Option<u64>,
 ) -> RunResult {
     let server = Server::start(
@@ -119,7 +133,8 @@ fn run(
             .with_shards(shards)
             .with_queue_capacity(256)
             .with_backpressure(BackpressurePolicy::Block)
-            .with_columnar(columnar),
+            .with_columnar(columnar)
+            .with_stage_sample_every(stage_sample),
     );
 
     // Compile-once invariant: G gestures deployed to N sessions must
@@ -235,7 +250,16 @@ fn main() {
     // Deterministic reference: how often one session's workload detects.
     // The columnar and scalar paths are bit-identical (enforced by
     // `datapath_equivalence`), so one reference covers both modes.
-    let reference = run(&queries, &frames, 1, 1, args.batch, primary_columnar, None);
+    let reference = run(
+        &queries,
+        &frames,
+        1,
+        1,
+        args.batch,
+        primary_columnar,
+        args.stage_sample,
+        None,
+    );
     let per_session = reference.detections;
     assert!(
         per_session >= queries.len() as u64,
@@ -267,6 +291,7 @@ fn main() {
                     shards,
                     args.batch,
                     primary_columnar,
+                    args.stage_sample,
                     None,
                 );
             }
@@ -277,6 +302,7 @@ fn main() {
                 shards,
                 args.batch,
                 primary_columnar,
+                args.stage_sample,
                 Some(per_session),
             );
             // A/B: the same point on the scalar path (detections are
@@ -289,6 +315,7 @@ fn main() {
                     shards,
                     args.batch,
                     false,
+                    args.stage_sample,
                     Some(per_session),
                 );
                 r.fps_no_block = Some(scalar_run.fps);
@@ -350,12 +377,13 @@ fn main() {
             ));
         }
         let json = format!(
-            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"warmup_runs\": {},\n  \"columnar\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"warmup_runs\": {},\n  \"columnar\": {},\n  \"stage_sample_every\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
             args.frames,
             args.batch,
             args.gestures,
             u32::from(args.warmup),
-            primary_columnar
+            primary_columnar,
+            args.stage_sample
         );
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");

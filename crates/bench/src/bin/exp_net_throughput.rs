@@ -94,6 +94,43 @@ struct PointResult {
     lat_p99_us: u64,
     lat_max_us: u64,
     lat_buckets: Vec<u64>,
+    /// Flat `series name → value` snapshot of the server's metric
+    /// registry at the end of the point (counters/gauges verbatim,
+    /// histograms as `_count`/`_sum`), embedded in the JSON report.
+    registry: Vec<(String, f64)>,
+}
+
+/// Flattens a registry into sorted `(series, value)` pairs.
+fn registry_snapshot(reg: &gesto_telemetry::Registry) -> Vec<(String, f64)> {
+    use gesto_telemetry::SampleValue;
+    let mut out = Vec::new();
+    for s in reg.gather() {
+        let series = if s.labels.is_empty() {
+            s.name.clone()
+        } else {
+            let labels: Vec<String> = s
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{v}\""))
+                .collect();
+            format!("{}{{{}}}", s.name, labels.join(","))
+        };
+        match s.value {
+            SampleValue::Counter(v) => out.push((series, v as f64)),
+            SampleValue::Gauge(v) => out.push((series, v)),
+            SampleValue::Histogram(h) => {
+                out.push((format!("{series}_count"), h.count as f64));
+                out.push((format!("{series}_sum"), h.sum as f64));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+/// Minimal JSON string escaping for series names (quotes in labels).
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn run_point(exe: &std::path::Path, conns: usize, frames: usize, batch: usize) -> PointResult {
@@ -200,11 +237,12 @@ fn run_point(exe: &std::path::Path, conns: usize, frames: usize, batch: usize) -
         detections,
         credit_waits,
         lat_count: lat.count(),
-        lat_p50_us: lat.quantile_us(0.50),
-        lat_p90_us: lat.quantile_us(0.90),
-        lat_p99_us: lat.quantile_us(0.99),
-        lat_max_us: lat.max_us(),
+        lat_p50_us: lat.quantile(0.50),
+        lat_p90_us: lat.quantile(0.90),
+        lat_p99_us: lat.quantile(0.99),
+        lat_max_us: lat.max(),
         lat_buckets: lat.buckets().to_vec(),
+        registry: registry_snapshot(&server.handle().registry()),
     };
     net.shutdown();
     server.shutdown();
@@ -290,8 +328,14 @@ fn main() {
                 .map(u64::to_string)
                 .collect::<Vec<_>>()
                 .join(", ");
+            let registry = r
+                .registry
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+                .collect::<Vec<_>>()
+                .join(", ");
             rows.push_str(&format!(
-                "    {{\"connections\": {}, \"frames\": {}, \"peak_active_connections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}, \"detections\": {}, \"credit_waits\": {}, \"latency\": {{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"pow2_us_buckets\": [{buckets}]}}}}",
+                "    {{\"connections\": {}, \"frames\": {}, \"peak_active_connections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}, \"detections\": {}, \"credit_waits\": {}, \"latency\": {{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"pow2_us_buckets\": [{buckets}]}}, \"registry\": {{{registry}}}}}",
                 r.conns,
                 r.frames_total,
                 r.peak_active,

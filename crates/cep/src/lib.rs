@@ -36,6 +36,7 @@ pub mod expr;
 pub mod fixtures;
 mod lexer;
 mod match_op;
+pub mod metrics;
 mod nfa;
 mod parser;
 mod pattern;

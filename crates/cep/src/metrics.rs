@@ -1,0 +1,53 @@
+//! Process-global telemetry statics for the NFA runtime and the
+//! predicate kernel.
+//!
+//! The NFA hot path has no natural place to thread a registry handle
+//! through — runtimes are created per (session, query) deep inside the
+//! shard workers — so the counters live here as `const`-initialised
+//! statics and `gesto-serve` exports them by `'static` reference
+//! ([`gesto_telemetry::Registry::register_counter_ref`] and friends).
+//! Updates are relaxed atomic adds; nothing here allocates or locks.
+//!
+//! Because the statics are process-global they aggregate across every
+//! engine and runtime in the process. That is the operational view an
+//! operator wants from `/metrics`; per-query breakdowns remain available
+//! through [`crate::Engine::stats_all`].
+
+use gesto_telemetry::{Counter, Gauge, Histogram, SharedSampler};
+
+/// Live NFA runs across all runtimes in the process.
+pub static NFA_RUNS_ACTIVE: Gauge = Gauge::new();
+
+/// Runs seeded (started) by a step-1 match.
+pub static NFA_RUNS_SEEDED_TOTAL: Counter = Counter::new();
+
+/// Runs discarded because their `within` window expired.
+pub static NFA_RUNS_EXPIRED_TOTAL: Counter = Counter::new();
+
+/// Runs shed by the `max_runs` overload guard.
+pub static NFA_RUNS_SHED_TOTAL: Counter = Counter::new();
+
+/// Completed pattern matches (detections) emitted.
+pub static NFA_MATCHES_TOTAL: Counter = Counter::new();
+
+/// Event-arena compactions performed by the NFA runtimes.
+pub static NFA_ARENA_COMPACTIONS_TOTAL: Counter = Counter::new();
+
+/// Predicate-kernel block evaluations (one per step per block).
+pub static KERNEL_BLOCK_EVALS_TOTAL: Counter = Counter::new();
+
+/// Rows presented to the vectorized predicate kernel.
+pub static KERNEL_BLOCK_ROWS_TOTAL: Counter = Counter::new();
+
+/// Rows the kernel could not decide vectorized and deferred to the
+/// scalar evaluator (missing columns, unsupported expressions).
+pub static KERNEL_SCALAR_FALLBACK_TOTAL: Counter = Counter::new();
+
+/// Sampled duration of the per-block predicate pre-pass, in
+/// nanoseconds. Exported by `gesto-serve` into the shared
+/// `gesto_stage_duration_ns{stage="kernel"}` family.
+pub static KERNEL_STAGE_NS: Histogram = Histogram::new();
+
+/// 1-in-N sampler gating [`KERNEL_STAGE_NS`] timing so the steady-state
+/// pre-pass pays one atomic add, not two clock reads.
+pub static KERNEL_SAMPLER: SharedSampler = SharedSampler::new(64);

@@ -425,6 +425,7 @@ impl NfaRuntime {
 
     /// Drops all partial matches.
     pub fn reset(&mut self) {
+        crate::metrics::NFA_RUNS_ACTIVE.add(-(self.runs.len() as i64));
         self.runs.clear();
         self.run_events.clear();
         self.arena.clear();
@@ -495,6 +496,29 @@ impl NfaRuntime {
         block: Option<&ColumnBlock>,
         out: &mut MatchScratch,
     ) -> Result<(), CepError> {
+        // Telemetry rides on deltas of state the stepping loop already
+        // maintains, so the loop itself stays untouched: net run-count
+        // change feeds the active gauge, and the monotonic id/shed/match
+        // counters feed their totals. All relaxed atomics, no allocation.
+        let runs_before = self.runs.len();
+        let seeded_before = self.next_run_id;
+        let shed_before = self.shed;
+        let matches_before = out.len();
+        let result = self.advance_block_core(source, tuples, block, out);
+        crate::metrics::NFA_RUNS_ACTIVE.add(self.runs.len() as i64 - runs_before as i64);
+        crate::metrics::NFA_RUNS_SEEDED_TOTAL.add(self.next_run_id - seeded_before);
+        crate::metrics::NFA_RUNS_SHED_TOTAL.add(self.shed - shed_before);
+        crate::metrics::NFA_MATCHES_TOTAL.add((out.len() - matches_before) as u64);
+        result
+    }
+
+    fn advance_block_core(
+        &mut self,
+        source: &str,
+        tuples: &[Tuple],
+        block: Option<&ColumnBlock>,
+        out: &mut MatchScratch,
+    ) -> Result<(), CepError> {
         self.maybe_compact();
         let Self {
             program,
@@ -545,12 +569,25 @@ impl NfaRuntime {
                     let s = run.next as usize;
                     out.pre_hot[s] = step_live[s];
                 }
+                let kernel_t0 = crate::metrics::KERNEL_SAMPLER
+                    .sample()
+                    .then(std::time::Instant::now);
+                let rows = tuples.len() as u64;
                 for s in 0..stride {
                     if out.pre_hot[s] {
                         program.steps[s]
                             .predicate
                             .eval_block(b, &mut out.pre[s], &mut out.eval);
+                        crate::metrics::KERNEL_BLOCK_EVALS_TOTAL.inc();
+                        crate::metrics::KERNEL_BLOCK_ROWS_TOTAL.add(rows);
+                        // Rows the kernels left undecided take the
+                        // scalar path in `step_hit`.
+                        crate::metrics::KERNEL_SCALAR_FALLBACK_TOTAL
+                            .add(rows.saturating_sub(out.pre[s].known.count() as u64));
                     }
+                }
+                if let Some(t0) = kernel_t0 {
+                    crate::metrics::KERNEL_STAGE_NS.record(t0.elapsed().as_nanos() as u64);
                 }
             }
         }
@@ -614,6 +651,7 @@ impl NfaRuntime {
                     // unprocessed (or already-touched) run into slot i,
                     // so don't increment.
                     remove_run(runs, run_events, stride, i);
+                    crate::metrics::NFA_RUNS_EXPIRED_TOTAL.inc();
                     continue;
                 }
                 if run.next as usize == stride {
@@ -734,6 +772,7 @@ impl NfaRuntime {
         if self.arena.len() < 1024 || self.arena.len() < live.saturating_mul(4) {
             return;
         }
+        crate::metrics::NFA_ARENA_COMPACTIONS_TOTAL.inc();
         // Mark…
         self.remap.clear();
         self.remap.resize(self.arena.len(), u32::MAX);
@@ -761,6 +800,14 @@ impl NfaRuntime {
                 *e = self.remap[*e as usize];
             }
         }
+    }
+}
+
+impl Drop for NfaRuntime {
+    fn drop(&mut self) {
+        // Keep the process-global active-runs gauge honest when a
+        // session (and its runtimes) is torn down mid-pattern.
+        crate::metrics::NFA_RUNS_ACTIVE.add(-(self.runs.len() as i64));
     }
 }
 
@@ -837,15 +884,20 @@ fn prune_expired(
     min_deadline: &mut StreamTime,
 ) {
     let mut min = NO_DEADLINE;
+    let mut expired = 0u64;
     let mut i = 0;
     while i < runs.len() {
         let dl = runs[i].deadline;
         if now > dl {
             remove_run(runs, run_events, stride, i);
+            expired += 1;
             continue;
         }
         min = min.min(dl);
         i += 1;
+    }
+    if expired > 0 {
+        crate::metrics::NFA_RUNS_EXPIRED_TOTAL.add(expired);
     }
     *min_deadline = min;
 }

@@ -56,6 +56,13 @@ pub struct ServerConfig {
     /// `docs/ARCHITECTURE.md` ("Adaptive scalar-vs-columnar choice")
     /// for how the default was picked.
     pub columnar_min_batch: usize,
+    /// Pipeline stage timers sample one batch in this many per shard
+    /// (wire decode → transform → views → NFA → sink durations exported
+    /// as `gesto_stage_duration_ns`). `0` disables stage timing; `1`
+    /// times every batch. The default (64) keeps the steady-state cost
+    /// of a timed pipeline to one integer decrement per stage per
+    /// batch.
+    pub stage_sample_every: u32,
 }
 
 impl Default for ServerConfig {
@@ -66,6 +73,7 @@ impl Default for ServerConfig {
             backpressure: BackpressurePolicy::default(),
             columnar: true,
             columnar_min_batch: 8,
+            stage_sample_every: 64,
         }
     }
 }
@@ -108,6 +116,13 @@ impl ServerConfig {
     /// every batch columnar, matching the pre-adaptive behaviour).
     pub fn with_columnar_min_batch(mut self, frames: usize) -> Self {
         self.columnar_min_batch = frames;
+        self
+    }
+
+    /// Sets the 1-in-N sampling rate of the pipeline stage timers
+    /// (`0` disables stage timing, `1` times every batch).
+    pub fn with_stage_sample_every(mut self, every: u32) -> Self {
+        self.stage_sample_every = every;
         self
     }
 

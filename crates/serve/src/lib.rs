@@ -65,6 +65,7 @@ pub mod net;
 mod server;
 mod session;
 mod shard;
+mod telemetry;
 
 pub use config::{BackpressurePolicy, ServerConfig};
 pub use error::ServeError;

@@ -3,74 +3,43 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+use gesto_telemetry::Histogram;
 use parking_lot::Mutex;
 
-/// How many recent push latencies each shard retains for percentile
-/// estimation.
-const LATENCY_WINDOW: usize = 1024;
-
-/// Sliding window of recent latencies (microseconds).
-#[derive(Default)]
-pub(crate) struct LatencyRecorder {
-    ring: Mutex<LatencyRing>,
-}
-
-#[derive(Default)]
-struct LatencyRing {
-    samples: Vec<u64>,
-    next: usize,
-}
-
-impl LatencyRecorder {
-    pub(crate) fn record(&self, micros: u64) {
-        let mut ring = self.ring.lock();
-        if ring.samples.len() < LATENCY_WINDOW {
-            ring.samples.push(micros);
-        } else {
-            let i = ring.next;
-            ring.samples[i] = micros;
-        }
-        ring.next = (ring.next + 1) % LATENCY_WINDOW;
-    }
-
-    pub(crate) fn summary(&self) -> LatencySummary {
-        let ring = self.ring.lock();
-        if ring.samples.is_empty() {
-            return LatencySummary::default();
-        }
-        let mut sorted = ring.samples.clone();
-        sorted.sort_unstable();
-        // Nearest-rank percentile: idx = ⌈q·N⌉ − 1.
-        let pick = |q: f64| {
-            let idx = (q * sorted.len() as f64).ceil() as usize;
-            sorted[idx.clamp(1, sorted.len()) - 1]
-        };
-        LatencySummary {
-            samples: sorted.len(),
-            p50_us: pick(0.50),
-            p99_us: pick(0.99),
-            max_us: *sorted.last().expect("non-empty"),
-        }
-    }
-}
-
-/// Percentiles over a shard's recent batch-push latencies
-/// (enqueue → fully processed), in microseconds.
+/// Percentiles over a shard's batch-push latencies (enqueue → fully
+/// processed), in microseconds.
+///
+/// Backed by the shared power-of-two histogram, so the percentiles are
+/// bucket ceilings (the next power of two at or above the true value)
+/// rather than exact order statistics — and recording is one relaxed
+/// atomic add instead of the old mutex-guarded 1024-entry ring that
+/// `summary()` cloned and sorted on every call.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LatencySummary {
-    /// Latencies in the window.
+    /// Latencies recorded (all-time, not a sliding window).
     pub samples: usize,
-    /// Median latency.
+    /// Median latency (power-of-two bucket ceiling).
     pub p50_us: u64,
-    /// 99th-percentile latency.
+    /// 99th-percentile latency (power-of-two bucket ceiling).
     pub p99_us: u64,
-    /// Worst latency in the window.
+    /// Worst latency observed (exact).
     pub max_us: u64,
 }
 
+impl LatencySummary {
+    pub(crate) fn from_histogram(h: &Histogram) -> Self {
+        LatencySummary {
+            samples: h.count() as usize,
+            p50_us: h.quantile(0.50),
+            p99_us: h.quantile(0.99),
+            max_us: h.max(),
+        }
+    }
+}
+
 /// Live counters of one shard, shared between the worker thread and the
-/// server front-end (lock-free on the hot path except the per-gesture map
-/// and the latency ring, which are touched per batch, not per frame).
+/// server front-end (lock-free on the hot path except the per-gesture
+/// map, which is touched per batch, not per frame).
 #[derive(Default)]
 pub struct ShardMetrics {
     pub(crate) frames_in: AtomicU64,
@@ -80,9 +49,15 @@ pub struct ShardMetrics {
     pub(crate) shed_batches: AtomicU64,
     pub(crate) push_errors: AtomicU64,
     pub(crate) sink_panics: AtomicU64,
+    /// Batches that took the columnar path (block built + kernel
+    /// pre-pass).
+    pub(crate) columnar_batches: AtomicU64,
+    /// Batches that skipped block building (columnar enabled but the
+    /// batch was under `columnar_min_batch`).
+    pub(crate) block_skips: AtomicU64,
     pub(crate) sessions: AtomicUsize,
     pub(crate) per_gesture: Mutex<HashMap<String, u64>>,
-    pub(crate) latency: LatencyRecorder,
+    pub(crate) latency: Histogram,
 }
 
 impl ShardMetrics {
@@ -106,9 +81,11 @@ impl ShardMetrics {
             shed_batches: self.shed_batches.load(Ordering::Relaxed),
             push_errors: self.push_errors.load(Ordering::Relaxed),
             sink_panics: self.sink_panics.load(Ordering::Relaxed),
+            columnar_batches: self.columnar_batches.load(Ordering::Relaxed),
+            block_skips: self.block_skips.load(Ordering::Relaxed),
             queue_depth,
             sessions: self.sessions.load(Ordering::Relaxed),
-            latency: self.latency.summary(),
+            latency: LatencySummary::from_histogram(&self.latency),
         }
     }
 }
@@ -133,11 +110,15 @@ pub struct ShardSnapshot {
     /// Detection-sink invocations that panicked (caught; the shard
     /// keeps running).
     pub sink_panics: u64,
+    /// Batches that took the columnar (block + kernel pre-pass) path.
+    pub columnar_batches: u64,
+    /// Batches that skipped block building (under `columnar_min_batch`).
+    pub block_skips: u64,
     /// Batches currently queued.
     pub queue_depth: usize,
     /// Sessions resident on this shard.
     pub sessions: usize,
-    /// Recent push-latency percentiles.
+    /// Push-latency percentiles.
     pub latency: LatencySummary,
 }
 
@@ -187,33 +168,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn latency_percentiles() {
-        let rec = LatencyRecorder::default();
-        for us in 1..=100 {
-            rec.record(us);
+    fn latency_percentiles_are_bucket_ceilings() {
+        let h = Histogram::new();
+        for us in 1..=100u64 {
+            h.record(us);
         }
-        let s = rec.summary();
+        let s = LatencySummary::from_histogram(&h);
         assert_eq!(s.samples, 100);
-        assert_eq!(s.p50_us, 50);
-        assert_eq!(s.p99_us, 99);
+        // 1..=100 µs: the median (50) lands in bucket [32,64) → 64;
+        // p99 (99) lands in [64,128) → 128; max is exact.
+        assert_eq!(s.p50_us, 64);
+        assert_eq!(s.p99_us, 128);
         assert_eq!(s.max_us, 100);
     }
 
     #[test]
-    fn latency_window_wraps() {
-        let rec = LatencyRecorder::default();
-        for us in 0..(LATENCY_WINDOW as u64 + 10) {
-            rec.record(us);
+    fn latency_has_no_window() {
+        let h = Histogram::new();
+        for us in 0..2048u64 {
+            h.record(us);
         }
-        let s = rec.summary();
-        assert_eq!(s.samples, LATENCY_WINDOW);
-        assert_eq!(s.max_us, LATENCY_WINDOW as u64 + 9);
+        let s = LatencySummary::from_histogram(&h);
+        assert_eq!(s.samples, 2048);
+        assert_eq!(s.max_us, 2047);
     }
 
     #[test]
     fn empty_summary_is_zero() {
         assert_eq!(
-            LatencyRecorder::default().summary(),
+            LatencySummary::from_histogram(&Histogram::new()),
             LatencySummary::default()
         );
     }

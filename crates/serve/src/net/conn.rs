@@ -6,6 +6,7 @@ use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crossbeam::channel::{Receiver, Sender};
 use gesto_kinect::SkeletonFrame;
@@ -207,6 +208,12 @@ pub(crate) struct Conn {
     pub draining: bool,
     /// Read interest currently disabled in the poller (parked state).
     pub paused: bool,
+    /// First bytes looked like an HTTP request: the connection serves
+    /// one plaintext scrape (`/metrics`, `/healthz`) and closes.
+    pub http: bool,
+    /// Last moment bytes arrived from the peer (drives the idle
+    /// sweep; see `NetConfig::idle_timeout_ms`).
+    pub last_activity: Instant,
 }
 
 impl Conn {
@@ -225,6 +232,8 @@ impl Conn {
             closing: Vec::new(),
             draining: false,
             paused: false,
+            http: false,
+            last_activity: Instant::now(),
         }
     }
 
@@ -239,6 +248,7 @@ impl Conn {
                 Ok(0) => return ReadOutcome::Closed,
                 Ok(n) => {
                     metrics.bytes_in(n as u64);
+                    self.last_activity = Instant::now();
                     self.rbuf.extend_from_slice(&chunk[..n]);
                     read_this_pass += n;
                     if read_this_pass >= MAX_PER_PASS {

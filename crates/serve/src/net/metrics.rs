@@ -1,82 +1,20 @@
-//! Network-edge metrics: counters plus a lock-free power-of-two
-//! latency histogram for the frame-received → detection-pushed path.
+//! Network-edge metrics: counters plus the shared lock-free
+//! power-of-two latency histogram for the frame-received →
+//! detection-pushed path.
+//!
+//! The histogram type itself lives in `gesto-telemetry` (it started
+//! here and was promoted when the unified registry arrived); the old
+//! names are re-exported for compatibility. The counters below are
+//! exported into the server's registry as the `gesto_net_*` families by
+//! a collector registered in [`crate::net::NetServer::start`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Number of power-of-two buckets in [`LatencyHistogram`]: bucket `i`
-/// covers `[2^i, 2^(i+1))` microseconds (bucket 0 covers `[0, 2)`),
-/// topping out above half an hour.
-pub const LATENCY_BUCKETS: usize = 32;
-
-/// Lock-free histogram of microsecond latencies with power-of-two
-/// buckets. Cheap enough to sit on the detection hot path: one atomic
-/// increment per sample.
-#[derive(Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; LATENCY_BUCKETS],
-    count: AtomicU64,
-    sum_us: AtomicU64,
-    max_us: AtomicU64,
-}
-
-impl LatencyHistogram {
-    /// Records one latency sample.
-    pub fn record(&self, us: u64) {
-        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Total number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
-    }
-
-    /// Mean latency in microseconds (0 when empty).
-    pub fn mean_us(&self) -> f64 {
-        let n = self.count();
-        if n == 0 {
-            0.0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) as f64 / n as f64
-        }
-    }
-
-    /// Largest recorded sample in microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Upper-bound estimate (bucket ceiling) of the given quantile
-    /// (`0.0..=1.0`), or 0 when empty.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        let target = ((total as f64 * q).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                return 1u64 << (i + 1);
-            }
-        }
-        self.max_us()
-    }
-
-    /// Raw bucket counts (bucket `i` = samples in `[2^i, 2^(i+1))` µs).
-    pub fn buckets(&self) -> [u64; LATENCY_BUCKETS] {
-        let mut out = [0u64; LATENCY_BUCKETS];
-        for (o, b) in out.iter_mut().zip(&self.buckets) {
-            *o = b.load(Ordering::Relaxed);
-        }
-        out
-    }
-}
+/// The shared power-of-two histogram (records microseconds here).
+pub use gesto_telemetry::Histogram as LatencyHistogram;
+/// Number of power-of-two buckets in [`LatencyHistogram`].
+pub use gesto_telemetry::HISTOGRAM_BUCKETS as LATENCY_BUCKETS;
 
 /// Shared counters behind [`NetMetrics`]. Internal to the crate; the
 /// public snapshot view is [`NetMetrics`].
@@ -93,6 +31,9 @@ pub(crate) struct NetMetricsInner {
     pub(crate) detections_sent: AtomicU64,
     pub(crate) protocol_errors: AtomicU64,
     pub(crate) slow_consumer_drops: AtomicU64,
+    pub(crate) idle_closed: AtomicU64,
+    pub(crate) credit_stalls: AtomicU64,
+    pub(crate) http_requests: AtomicU64,
     pub(crate) bytes_in: AtomicU64,
     pub(crate) bytes_out: AtomicU64,
     pub(crate) latency: LatencyHistogram,
@@ -179,6 +120,25 @@ impl NetMetrics {
         self.inner.slow_consumer_drops.load(Ordering::Relaxed)
     }
 
+    /// Connections closed by the idle timeout
+    /// ([`crate::net::NetConfig::idle_timeout_ms`]).
+    pub fn idle_closed(&self) -> u64 {
+        self.inner.idle_closed.load(Ordering::Relaxed)
+    }
+
+    /// Times a connection's reads were paused because it ran out of
+    /// credit with batches parked (shard backpressure surfacing at the
+    /// wire).
+    pub fn credit_stalls(&self) -> u64 {
+        self.inner.credit_stalls.load(Ordering::Relaxed)
+    }
+
+    /// HTTP requests served off the multiplexed port (`/metrics`,
+    /// `/healthz`, and rejected paths/methods).
+    pub fn http_requests(&self) -> u64 {
+        self.inner.http_requests.load(Ordering::Relaxed)
+    }
+
     /// Total bytes read off client sockets.
     pub fn bytes_in(&self) -> u64 {
         self.inner.bytes_in.load(Ordering::Relaxed)
@@ -189,52 +149,11 @@ impl NetMetrics {
         self.inner.bytes_out.load(Ordering::Relaxed)
     }
 
-    /// Histogram of frame-received → detection-pushed latency: the time
-    /// from the last wire batch accepted on a session to a detection
-    /// for that session entering the socket outbox.
+    /// Histogram of frame-received → detection-pushed latency in
+    /// microseconds: the time from the last wire batch accepted on a
+    /// session to a detection for that session entering the socket
+    /// outbox.
     pub fn latency(&self) -> &LatencyHistogram {
         &self.inner.latency
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn histogram_buckets_by_power_of_two() {
-        let h = LatencyHistogram::default();
-        h.record(0);
-        h.record(1); // bucket 0: [0, 2)
-        h.record(2);
-        h.record(3); // bucket 1: [2, 4)
-        h.record(1024); // bucket 10
-        let b = h.buckets();
-        assert_eq!(b[0], 2);
-        assert_eq!(b[1], 2);
-        assert_eq!(b[10], 1);
-        assert_eq!(h.count(), 5);
-        assert_eq!(h.max_us(), 1024);
-    }
-
-    #[test]
-    fn quantiles_are_bucket_ceilings() {
-        let h = LatencyHistogram::default();
-        for _ in 0..99 {
-            h.record(3); // bucket 1, ceiling 4
-        }
-        h.record(1_000_000); // bucket 19, ceiling 2^20
-        assert_eq!(h.quantile_us(0.5), 4);
-        assert_eq!(h.quantile_us(0.99), 4);
-        assert_eq!(h.quantile_us(1.0), 1 << 20);
-        assert!(h.mean_us() > 3.0);
-    }
-
-    #[test]
-    fn empty_histogram_is_zeroes() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.quantile_us(0.5), 0);
-        assert_eq!(h.mean_us(), 0.0);
     }
 }

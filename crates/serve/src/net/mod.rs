@@ -27,6 +27,15 @@
 //! *directly* (flushing the socket inline when it has room), so a
 //! detection does not wait for an event-loop tick.
 //!
+//! The same port doubles as the **observability endpoint**: a
+//! connection whose first bytes spell an HTTP method instead of a
+//! `GSW1` envelope is served `GET /metrics` (Prometheus text format
+//! 0.0.4, rendered from the engine's [`crate::ServerHandle::registry`])
+//! or `GET /healthz`, then closed — no extra thread, no extra port,
+//! no HTTP dependency. Connections that send nothing for
+//! [`NetConfig::idle_timeout_ms`] are reaped and counted as
+//! `gesto_net_idle_closed_total`.
+//!
 //! ```no_run
 //! use gesto_serve::net::{NetClient, NetConfig, NetServer};
 //! use gesto_serve::{Server, ServerConfig};
@@ -59,7 +68,7 @@ use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -78,6 +87,31 @@ const TOKEN_LISTENER: u64 = 0;
 /// visually distinct from low in-process ids in metrics and logs.
 const NET_SESSION_BASE: u64 = 1 << 32;
 
+/// Maximum buffered bytes while waiting for the end of an HTTP request
+/// head; longer requests are dropped.
+const HTTP_MAX_REQUEST: usize = 8 * 1024;
+
+/// Does the buffered prefix spell an HTTP request rather than a `GSW1`
+/// envelope? A `GSW1` stream opens with a little-endian `u32` payload
+/// length that is always small; ASCII method names decode to lengths
+/// in the hundreds of millions, so four bytes disambiguate. Fewer than
+/// four buffered bytes stay undecided (the frame decoder treats them
+/// as an incomplete envelope and waits, so no commitment is made).
+fn looks_like_http(buf: &[u8]) -> bool {
+    if buf.len() < 4 {
+        return false;
+    }
+    matches!(
+        &buf[..4],
+        b"GET " | b"HEAD" | b"POST" | b"PUT " | b"DELE" | b"OPTI" | b"PATC" | b"TRAC"
+    )
+}
+
+/// Index just past the `\r\n\r\n` terminating an HTTP request head.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
 /// Configuration of the TCP edge ([`NetServer::start`]).
 #[derive(Debug, Clone)]
 pub struct NetConfig {
@@ -90,6 +124,11 @@ pub struct NetConfig {
     pub initial_credits: u32,
     /// Connections beyond this are accepted and immediately dropped.
     pub max_connections: usize,
+    /// Close a connection after this many milliseconds without inbound
+    /// bytes (`0` disables the sweep). Idle closes are counted as
+    /// `gesto_net_idle_closed_total`. Connections held paused by shard
+    /// backpressure are exempt — they are stalled, not dead.
+    pub idle_timeout_ms: u64,
 }
 
 impl Default for NetConfig {
@@ -98,13 +137,14 @@ impl Default for NetConfig {
             addr: "127.0.0.1:0".to_owned(),
             initial_credits: 4096,
             max_connections: 16384,
+            idle_timeout_ms: 300_000,
         }
     }
 }
 
 impl NetConfig {
     /// Defaults: loopback on an ephemeral port, a 4096-frame credit
-    /// window, at most 16384 connections.
+    /// window, at most 16384 connections, a five-minute idle timeout.
     pub fn new() -> Self {
         Self::default()
     }
@@ -124,6 +164,12 @@ impl NetConfig {
     /// Sets the connection cap.
     pub fn with_max_connections(mut self, conns: usize) -> Self {
         self.max_connections = conns.max(1);
+        self
+    }
+
+    /// Sets the idle timeout in milliseconds (`0` disables it).
+    pub fn with_idle_timeout_ms(mut self, ms: u64) -> Self {
+        self.idle_timeout_ms = ms;
         self
     }
 }
@@ -170,9 +216,15 @@ impl NetServer {
         let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
         let epoch = Instant::now();
         install_detection_sink(&handle, &registry, &inner, epoch);
+        let scrape = handle.registry();
+        install_net_collector(&scrape, &inner);
+        let decode_stage = handle.telemetry().stages.decode.clone();
+        let decode_sampler = handle.telemetry().sampler();
 
         let stop = Arc::new(AtomicBool::new(false));
         let (dirty_tx, dirty_rx) = unbounded::<u64>();
+        let idle_timeout =
+            (config.idle_timeout_ms > 0).then(|| Duration::from_millis(config.idle_timeout_ms));
         let io = IoLoop {
             listener,
             poller,
@@ -190,6 +242,11 @@ impl NetServer {
             events: Vec::with_capacity(256),
             scratch: Vec::with_capacity(512),
             stop: stop.clone(),
+            scrape,
+            decode_stage,
+            decode_sampler,
+            idle_timeout,
+            idle_sweep_at: Instant::now(),
         };
         let thread = std::thread::Builder::new()
             .name("gesto-net".to_owned())
@@ -231,6 +288,123 @@ impl Drop for NetServer {
     fn drop(&mut self) {
         self.stop_thread();
     }
+}
+
+/// Exports the edge's counters into the engine's scrape registry as
+/// the `gesto_net_*` families, read live at scrape time. Registered
+/// once per [`NetServer::start`]; start at most one edge per engine or
+/// the families will carry duplicate series.
+fn install_net_collector(scrape: &Arc<gesto_telemetry::Registry>, inner: &Arc<NetMetricsInner>) {
+    let m = inner.clone();
+    scrape.register_collector(move |set| {
+        let c = |set: &mut gesto_telemetry::SampleSet, name: &str, help: &str, v: &AtomicU64| {
+            set.counter(name, help, &[], v.load(Ordering::Relaxed));
+        };
+        c(
+            set,
+            "gesto_net_connections_accepted_total",
+            "TCP connections accepted by the network edge",
+            &m.connections_accepted,
+        );
+        c(
+            set,
+            "gesto_net_connections_closed_total",
+            "TCP connections fully torn down",
+            &m.connections_closed,
+        );
+        set.gauge(
+            "gesto_net_connections_active",
+            "Connections currently registered with the event loop",
+            &[],
+            m.connections_active.load(Ordering::Relaxed) as f64,
+        );
+        c(
+            set,
+            "gesto_net_sessions_opened_total",
+            "Engine sessions opened over the wire",
+            &m.sessions_opened,
+        );
+        c(
+            set,
+            "gesto_net_frames_received_total",
+            "Skeleton frames decoded off the wire and accepted",
+            &m.frames_received,
+        );
+        c(
+            set,
+            "gesto_net_batches_received_total",
+            "Frame batches decoded off the wire and accepted",
+            &m.batches_received,
+        );
+        c(
+            set,
+            "gesto_net_batches_parked_total",
+            "Batches parked on their connection by shard backpressure",
+            &m.batches_parked,
+        );
+        c(
+            set,
+            "gesto_net_batches_rejected_total",
+            "Batches refused with a QueueFull error frame",
+            &m.batches_rejected,
+        );
+        c(
+            set,
+            "gesto_net_detections_sent_total",
+            "Detection messages pushed onto client connections",
+            &m.detections_sent,
+        );
+        c(
+            set,
+            "gesto_net_protocol_errors_total",
+            "Malformed or out-of-contract client messages",
+            &m.protocol_errors,
+        );
+        c(
+            set,
+            "gesto_net_slow_consumer_drops_total",
+            "Connections condemned because their detection outbox overflowed",
+            &m.slow_consumer_drops,
+        );
+        c(
+            set,
+            "gesto_net_idle_closed_total",
+            "Connections closed by the idle timeout",
+            &m.idle_closed,
+        );
+        c(
+            set,
+            "gesto_net_credit_stalls_total",
+            "Times a connection's reads were paused by shard backpressure \
+             (its credit window left to dry up)",
+            &m.credit_stalls,
+        );
+        c(
+            set,
+            "gesto_net_http_requests_total",
+            "HTTP requests served off the multiplexed port",
+            &m.http_requests,
+        );
+        c(
+            set,
+            "gesto_net_bytes_in_total",
+            "Bytes read off client sockets",
+            &m.bytes_in,
+        );
+        c(
+            set,
+            "gesto_net_bytes_out_total",
+            "Bytes written to client sockets",
+            &m.bytes_out,
+        );
+        set.histogram(
+            "gesto_net_e2e_latency_us",
+            "Last accepted wire batch to detection entering the socket outbox, \
+             per session, in microseconds",
+            &[],
+            m.latency.snapshot(),
+        );
+    });
 }
 
 /// Registers the engine-side sink that routes detections back onto
@@ -300,6 +474,16 @@ struct IoLoop {
     events: Vec<Event>,
     scratch: Vec<u8>,
     stop: Arc<AtomicBool>,
+    /// The engine's metric registry, rendered for `GET /metrics`.
+    scrape: Arc<gesto_telemetry::Registry>,
+    /// `gesto_stage_duration_ns{stage="decode"}` — wire decode time.
+    decode_stage: Arc<gesto_telemetry::Histogram>,
+    /// 1-in-N countdown gating the decode stage timer.
+    decode_sampler: gesto_telemetry::Sampler,
+    /// `None` disables the idle sweep.
+    idle_timeout: Option<Duration>,
+    /// Next moment the idle sweep runs.
+    idle_sweep_at: Instant,
 }
 
 impl IoLoop {
@@ -333,6 +517,47 @@ impl IoLoop {
             for id in ids {
                 self.service(id);
             }
+            if let Some(timeout) = self.idle_timeout {
+                let now = Instant::now();
+                if now >= self.idle_sweep_at {
+                    self.sweep_idle(now, timeout);
+                    let interval =
+                        (timeout / 4).clamp(Duration::from_millis(10), Duration::from_secs(1));
+                    self.idle_sweep_at = now + interval;
+                }
+            }
+        }
+    }
+
+    /// Closes connections that have sent nothing for the configured
+    /// idle timeout. Paused/parked connections are exempt (they are
+    /// held by backpressure, not absent), as are those mid-close or
+    /// mid-drain.
+    fn sweep_idle(&mut self, now: Instant, timeout: Duration) {
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                !c.paused
+                    && !c.draining
+                    && c.parked.is_empty()
+                    && c.closing.is_empty()
+                    && now.duration_since(c.last_activity) >= timeout
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        for id in idle {
+            let Some(conn) = self.conns.remove(&id) else {
+                continue;
+            };
+            self.metrics.idle_closed.fetch_add(1, Ordering::Relaxed);
+            let close = if conn.http {
+                // Mid-request HTTP peer: no GSW1 error frame.
+                Close::Quiet
+            } else {
+                Close::Fault(ErrorCode::Shutdown, "connection idle timeout")
+            };
+            self.finish_conn(conn, Some(close));
         }
     }
 
@@ -408,13 +633,21 @@ impl IoLoop {
     /// Reads and processes every available message on `conn`.
     fn drain_readable(&mut self, conn: &mut Conn) -> Option<Close> {
         let closed = conn.fill(&self.metrics) == ReadOutcome::Closed;
+        if conn.http || (!conn.greeted && looks_like_http(&conn.rbuf)) {
+            conn.http = true;
+            return self.serve_http(conn, closed);
+        }
         loop {
             if conn.paused {
                 // A parked batch mid-buffer: stop decoding, keep bytes.
                 break;
             }
+            let decode_t0 = self.decode_sampler.sample().then(Instant::now);
             match conn.next_message() {
                 Ok(Some(msg)) => {
+                    if let Some(t0) = decode_t0 {
+                        self.decode_stage.record(t0.elapsed().as_nanos() as u64);
+                    }
                     if let Some(close) = self.on_message(conn, msg) {
                         return Some(close);
                     }
@@ -432,6 +665,64 @@ impl IoLoop {
         } else {
             None
         }
+    }
+
+    /// Serves one plaintext HTTP request (`/metrics`, `/healthz`) on a
+    /// connection whose first bytes were an HTTP method, then drains
+    /// and closes it through the normal completion path.
+    fn serve_http(&mut self, conn: &mut Conn, closed: bool) -> Option<Close> {
+        if conn.draining {
+            // Response already queued; nothing further to read.
+            return None;
+        }
+        let Some(end) = find_header_end(&conn.rbuf) else {
+            if closed || conn.rbuf.len() > HTTP_MAX_REQUEST {
+                return Some(Close::Quiet);
+            }
+            return None;
+        };
+        self.metrics.http_requests.fetch_add(1, Ordering::Relaxed);
+        let head = String::from_utf8_lossy(&conn.rbuf[..end]).into_owned();
+        let mut parts = head.split_whitespace();
+        let method = parts.next().unwrap_or("");
+        let path = parts.next().unwrap_or("");
+        let (status, content_type, body) = match (method, path) {
+            ("GET" | "HEAD", "/metrics") => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                self.scrape.render(),
+            ),
+            ("GET" | "HEAD", "/healthz") => {
+                ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned())
+            }
+            ("GET" | "HEAD", _) => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n".to_owned(),
+            ),
+            _ => (
+                "405 Method Not Allowed",
+                "text/plain; charset=utf-8",
+                "only GET and HEAD\n".to_owned(),
+            ),
+        };
+        let mut resp = Vec::with_capacity(160 + body.len());
+        resp.extend_from_slice(
+            format!(
+                "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n",
+                body.len(),
+            )
+            .as_bytes(),
+        );
+        if method != "HEAD" {
+            resp.extend_from_slice(body.as_bytes());
+        }
+        conn.outbox.send(&resp);
+        conn.rbuf.clear();
+        conn.draining = true;
+        self.attention.insert(conn.id);
+        None
     }
 
     fn on_message(&mut self, conn: &mut Conn, msg: Message) -> Option<Close> {
@@ -629,6 +920,7 @@ impl IoLoop {
             return;
         }
         conn.paused = true;
+        self.metrics.credit_stalls.fetch_add(1, Ordering::Relaxed);
         let interest = Interest {
             read: false,
             write: conn.outbox.has_pending(),

@@ -1,7 +1,7 @@
 //! The multi-session detection server and its clonable handle.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -20,6 +20,7 @@ use crate::error::ServeError;
 use crate::metrics::{ServerMetrics, ShardMetrics};
 use crate::session::SessionId;
 use crate::shard::{Batch, Control, Job, QueueGate, ShardWorker};
+use crate::telemetry::ServerTelemetry;
 
 /// Callback invoked for every detection of every session.
 pub type DetectionSink = Arc<dyn Fn(SessionId, &Detection) + Send + Sync>;
@@ -56,7 +57,9 @@ struct ServerCore {
     /// Authoritative deployed set (the shards mirror it).
     plans: RwLock<HashMap<String, Arc<QueryPlan>>>,
     listeners: Arc<RwLock<Vec<DetectionSink>>>,
-    plans_compiled: AtomicU64,
+    /// The scrape surface: registry + owned instruments (stage timers,
+    /// plans-compiled counter).
+    telemetry: Arc<ServerTelemetry>,
     closed: AtomicBool,
 }
 
@@ -119,6 +122,7 @@ impl Server {
         let shard_count = config.effective_shards();
         let listeners: Arc<RwLock<Vec<DetectionSink>>> = Arc::new(RwLock::new(Vec::new()));
         let schema = kinect_schema();
+        let telemetry = Arc::new(ServerTelemetry::new(&config));
 
         let mut shards = Vec::with_capacity(shard_count);
         let mut workers = Vec::with_capacity(shard_count);
@@ -136,6 +140,7 @@ impl Server {
                 listeners.clone(),
                 config.columnar,
                 config.columnar_min_batch,
+                telemetry.clone(),
             );
             workers.push(
                 std::thread::Builder::new()
@@ -145,6 +150,12 @@ impl Server {
             );
             shards.push(ShardLink { tx, gate, metrics });
         }
+        telemetry.register_shards(
+            shards
+                .iter()
+                .map(|l| (l.metrics.clone(), l.gate.clone()))
+                .collect(),
+        );
 
         let core = Arc::new(ServerCore {
             config,
@@ -155,7 +166,7 @@ impl Server {
             shards,
             plans: RwLock::new(HashMap::new()),
             listeners,
-            plans_compiled: AtomicU64::new(0),
+            telemetry,
             closed: AtomicBool::new(false),
         });
         Server {
@@ -380,7 +391,7 @@ impl ServerHandle {
     /// and every live session.
     pub fn deploy(&self, query: Query) -> Result<(), ServeError> {
         let plan = QueryPlan::compile(query, self.core.catalog.as_ref(), &self.core.funcs)?;
-        self.core.plans_compiled.fetch_add(1, Ordering::Relaxed);
+        self.core.telemetry.plans_compiled.inc();
         self.deploy_plan(plan)
     }
 
@@ -449,8 +460,21 @@ impl ServerHandle {
         ServerMetrics {
             shards,
             per_gesture,
-            plans_compiled: self.core.plans_compiled.load(Ordering::Relaxed),
+            plans_compiled: self.core.telemetry.plans_compiled.get(),
         }
+    }
+
+    /// The server's metric registry — the scrape surface behind
+    /// `GET /metrics` on the network edge, also renderable directly via
+    /// [`gesto_telemetry::Registry::render`]. Covers shard, NFA, kernel
+    /// and block-build metrics; the [`crate::net::NetServer`] adds its
+    /// connection/wire families when started on this handle.
+    pub fn registry(&self) -> Arc<gesto_telemetry::Registry> {
+        self.core.telemetry.registry()
+    }
+
+    pub(crate) fn telemetry(&self) -> &Arc<ServerTelemetry> {
+        &self.core.telemetry
     }
 
     /// Live sessions across all shards.

@@ -29,9 +29,12 @@ use gesto_kinect::{KinectSlots, SkeletonFrame};
 use gesto_stream::{Catalog, SchemaRef, SharedViews, Tuple};
 use parking_lot::RwLock;
 
+use gesto_telemetry::Sampler;
+
 use crate::metrics::ShardMetrics;
 use crate::server::DetectionSink;
 use crate::session::SessionId;
+use crate::telemetry::ServerTelemetry;
 
 /// A unit of work on a shard's queue.
 pub(crate) enum Job {
@@ -191,6 +194,11 @@ pub(crate) struct ShardWorker {
     detections: Vec<Detection>,
     /// Frame→tuple conversion scratch, reused across batches.
     tuples: Vec<Tuple>,
+    /// Stage-duration histograms (`gesto_stage_duration_ns{stage=…}`).
+    telemetry: Arc<ServerTelemetry>,
+    /// 1-in-N decision for timing this batch's stages (single-owner:
+    /// a plain integer countdown, no atomics).
+    stage_sampler: Sampler,
 }
 
 impl ShardWorker {
@@ -205,8 +213,10 @@ impl ShardWorker {
         listeners: Arc<RwLock<Vec<DetectionSink>>>,
         columnar: bool,
         columnar_min_batch: usize,
+        telemetry: Arc<ServerTelemetry>,
     ) -> Self {
         let slots = KinectSlots::resolve(&schema, "");
+        let stage_sampler = telemetry.sampler();
         Self {
             rx,
             catalog,
@@ -222,6 +232,8 @@ impl ShardWorker {
             slots,
             detections: Vec::new(),
             tuples: Vec::new(),
+            telemetry,
+            stage_sampler,
         }
     }
 
@@ -277,6 +289,8 @@ impl ShardWorker {
             slots,
             detections,
             tuples,
+            telemetry,
+            stage_sampler,
             ..
         } = self;
         let runtime = match sessions.entry(batch.session) {
@@ -290,11 +304,17 @@ impl ShardWorker {
         detections.clear();
         let mut errors = 0u64;
         let SessionRuntime { views, instances } = runtime;
+        // 1-in-N stage timing: a sampled batch takes one Instant
+        // reading per stage boundary; an unsampled batch (the steady
+        // state) pays a single integer decrement and no clock reads.
+        let stages = &telemetry.stages;
+        let timed = stage_sampler.sample();
         // Transform-once, step-batched: one tuple conversion per frame
         // (and, on the columnar path, one frame→block conversion of the
         // whole batch straight from the skeleton frames), one shared
         // view evaluation per batch, then every deployed plan steps its
         // NFA over the whole batch in one call.
+        let mark = timed.then(Instant::now);
         tuples.clear();
         tuples.extend(batch.frames.iter().map(|f| slots.tuple(f, schema)));
         // Adaptive scalar-vs-columnar choice, made per pushed batch: the
@@ -302,8 +322,17 @@ impl ShardWorker {
         // runs ~0.2–0.5× scalar, batch 16 ~2.7–5.6×,
         // `BENCH_predicate.json`), so short batches step scalar even on a
         // columnar server. Detections are bit-identical either way.
-        views.set_columnar(*columnar && batch.frames.len() >= *columnar_min_batch);
-        if views.columnar() && views.base_wanted() {
+        let take_columnar = *columnar && batch.frames.len() >= *columnar_min_batch;
+        if *columnar {
+            if take_columnar {
+                metrics.columnar_batches.fetch_add(1, Ordering::Relaxed);
+            } else {
+                metrics.block_skips.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        views.set_columnar(take_columnar);
+        let prefill = views.columnar() && views.base_wanted();
+        if prefill {
             // Some deployed query reads the raw stream: build its block
             // straight from the frames (cheaper than going through the
             // tuples), restricted to the lanes deployed predicates
@@ -311,10 +340,20 @@ impl ShardWorker {
             views.fill_base_with(|cols, block| {
                 slots.write_block(&batch.frames, schema, cols, block)
             });
+        }
+        if let Some(t0) = mark {
+            stages.transform.record(t0.elapsed().as_nanos() as u64);
+        }
+        let mark = timed.then(Instant::now);
+        if prefill {
             views.begin_batch_prefilled(stream, tuples);
         } else {
             views.begin_batch(stream, tuples);
         }
+        if let Some(t0) = mark {
+            stages.views.record(t0.elapsed().as_nanos() as u64);
+        }
+        let mark = timed.then(Instant::now);
         for inst in instances.iter_mut() {
             if inst
                 .push_batch_shared(stream, tuples, views, detections)
@@ -322,6 +361,9 @@ impl ShardWorker {
             {
                 errors += 1;
             }
+        }
+        if let Some(t0) = mark {
+            stages.nfa.record(t0.elapsed().as_nanos() as u64);
         }
 
         metrics
@@ -332,6 +374,7 @@ impl ShardWorker {
             metrics.push_errors.fetch_add(errors, Ordering::Relaxed);
         }
 
+        let mark = timed.then(Instant::now);
         if !detections.is_empty() {
             let mut per_gesture: HashMap<String, u64> = HashMap::new();
             for d in detections.iter() {
@@ -352,6 +395,9 @@ impl ShardWorker {
                     }
                 }
             }
+        }
+        if let Some(t0) = mark {
+            stages.sink.record(t0.elapsed().as_nanos() as u64);
         }
 
         metrics

@@ -1,0 +1,290 @@
+//! The server's scrape surface: one [`Registry`] per [`crate::Server`]
+//! wiring every metric island into the unified catalog that
+//! `GET /metrics` renders (see `docs/OBSERVABILITY.md` for the full
+//! list of names).
+//!
+//! Three styles of wiring meet here:
+//!
+//! * **Owned instruments** — the pipeline stage histograms
+//!   (`gesto_stage_duration_ns{stage=…}`) and the plans-compiled
+//!   counter are created in the registry and updated through `Arc`s.
+//! * **`'static` refs** — the process-global statics of `gesto-cep`
+//!   (NFA run accounting, predicate-kernel counters) and `gesto-stream`
+//!   (block-build counters) are exported by reference; those crates
+//!   never see a registry.
+//! * **Collectors** — per-shard counters and the network edge's
+//!   [`crate::net::NetMetrics`] are snapshots of live structures, read
+//!   at scrape time by closures registered here.
+//!
+//! The cep/stream statics are process-global, so with two servers in
+//! one process each registry reports the *process* totals for those
+//! families (the ref registration is idempotent per registry); the
+//! shard and net families stay per-server.
+
+use std::sync::Arc;
+
+use gesto_telemetry::{Histogram, Registry, Sampler};
+
+use crate::config::ServerConfig;
+use crate::metrics::ShardMetrics;
+use crate::shard::QueueGate;
+
+/// Owned per-stage duration histograms, exported as
+/// `gesto_stage_duration_ns{stage=…}`. The kernel pre-pass joins the
+/// same family through `gesto_cep::metrics::KERNEL_STAGE_NS` with
+/// `stage="kernel"`.
+pub(crate) struct Stages {
+    /// Wire decode: GSW1 frame-batch payload → skeleton frames (on the
+    /// I/O loop).
+    pub decode: Arc<Histogram>,
+    /// Frame→tuple (and frame→block) conversion (on the shard).
+    pub transform: Arc<Histogram>,
+    /// Shared view evaluation over the batch.
+    pub views: Arc<Histogram>,
+    /// NFA advance across all deployed plans.
+    pub nfa: Arc<Histogram>,
+    /// Detection write-back: per-gesture accounting + sink fan-out.
+    pub sink: Arc<Histogram>,
+}
+
+const STAGE_NAME: &str = "gesto_stage_duration_ns";
+const STAGE_HELP: &str = "Sampled duration of one pipeline stage for one batch, in nanoseconds \
+     (1-in-N sampled; see ServerConfig::stage_sample_every)";
+
+/// Per-server telemetry: the registry plus the owned instruments the
+/// pipeline updates.
+pub(crate) struct ServerTelemetry {
+    registry: Arc<Registry>,
+    pub stages: Stages,
+    /// Stage-timer sampling rate (0 = disabled), handed to each shard
+    /// worker's private `Sampler`.
+    pub stage_sample_every: u32,
+    /// `gesto_plans_compiled_total` (the compile-once invariant's
+    /// observable face).
+    pub plans_compiled: Arc<gesto_telemetry::Counter>,
+}
+
+impl ServerTelemetry {
+    pub fn new(config: &ServerConfig) -> Self {
+        let registry = Arc::new(Registry::new());
+
+        let stage = |s: &str| registry.histogram(STAGE_NAME, STAGE_HELP, &[("stage", s)]);
+        let stages = Stages {
+            decode: stage("decode"),
+            transform: stage("transform"),
+            views: stage("views"),
+            nfa: stage("nfa"),
+            sink: stage("sink"),
+        };
+        registry.register_histogram_ref(
+            STAGE_NAME,
+            STAGE_HELP,
+            &[("stage", "kernel")],
+            &gesto_cep::metrics::KERNEL_STAGE_NS,
+        );
+        // The kernel timer lives inside gesto-cep and samples through
+        // its own process-global sampler; align it with the server's
+        // configured rate.
+        gesto_cep::metrics::KERNEL_SAMPLER.set_every(config.stage_sample_every);
+
+        let plans_compiled = registry.counter(
+            "gesto_plans_compiled_total",
+            "Query plans compiled by this server (compile-once: plans deployed \
+             pre-compiled are not counted)",
+            &[],
+        );
+
+        // NFA run accounting (process-global statics in gesto-cep).
+        registry.register_gauge_ref(
+            "gesto_nfa_runs_active",
+            "Live (partial-match) NFA runs across all sessions",
+            &[],
+            &gesto_cep::metrics::NFA_RUNS_ACTIVE,
+        );
+        registry.register_counter_ref(
+            "gesto_nfa_runs_seeded_total",
+            "NFA runs started by a first-step match",
+            &[],
+            &gesto_cep::metrics::NFA_RUNS_SEEDED_TOTAL,
+        );
+        registry.register_counter_ref(
+            "gesto_nfa_runs_expired_total",
+            "NFA runs discarded because a within-window expired",
+            &[],
+            &gesto_cep::metrics::NFA_RUNS_EXPIRED_TOTAL,
+        );
+        registry.register_counter_ref(
+            "gesto_nfa_runs_shed_total",
+            "NFA runs shed by the max_runs overload guard",
+            &[],
+            &gesto_cep::metrics::NFA_RUNS_SHED_TOTAL,
+        );
+        registry.register_counter_ref(
+            "gesto_nfa_matches_total",
+            "Completed pattern matches emitted by the NFA",
+            &[],
+            &gesto_cep::metrics::NFA_MATCHES_TOTAL,
+        );
+        registry.register_counter_ref(
+            "gesto_nfa_arena_compactions_total",
+            "Event-arena compactions performed by NFA runtimes",
+            &[],
+            &gesto_cep::metrics::NFA_ARENA_COMPACTIONS_TOTAL,
+        );
+
+        // Predicate kernel (vectorized pre-pass) counters.
+        registry.register_counter_ref(
+            "gesto_kernel_block_evals_total",
+            "Vectorized predicate evaluations (one per hot step per block)",
+            &[],
+            &gesto_cep::metrics::KERNEL_BLOCK_EVALS_TOTAL,
+        );
+        registry.register_counter_ref(
+            "gesto_kernel_block_rows_total",
+            "Rows presented to the vectorized predicate kernel",
+            &[],
+            &gesto_cep::metrics::KERNEL_BLOCK_ROWS_TOTAL,
+        );
+        registry.register_counter_ref(
+            "gesto_kernel_scalar_fallback_total",
+            "Rows the kernel left undecided and deferred to the scalar evaluator",
+            &[],
+            &gesto_cep::metrics::KERNEL_SCALAR_FALLBACK_TOTAL,
+        );
+
+        // Columnar block builders (gesto-stream).
+        registry.register_counter_ref(
+            "gesto_blocks_built_total",
+            "Columnar frame blocks materialised",
+            &[],
+            &gesto_stream::metrics::BLOCKS_BUILT_TOTAL,
+        );
+        registry.register_counter_ref(
+            "gesto_block_rows_built_total",
+            "Rows materialised across all built blocks",
+            &[],
+            &gesto_stream::metrics::BLOCK_ROWS_BUILT_TOTAL,
+        );
+
+        ServerTelemetry {
+            registry,
+            stages,
+            stage_sample_every: config.stage_sample_every,
+            plans_compiled,
+        }
+    }
+
+    /// The scrape surface (what `GET /metrics` renders).
+    pub fn registry(&self) -> Arc<Registry> {
+        self.registry.clone()
+    }
+
+    /// A fresh stage-timer sampler for one shard worker (single-owner,
+    /// no atomics on the hot path).
+    pub fn sampler(&self) -> Sampler {
+        Sampler::new(self.stage_sample_every)
+    }
+
+    /// Registers the per-shard scrape collector. Called once by the
+    /// server after the shard links exist; the collector captures only
+    /// the metrics/gate `Arc`s (not the server core), so shutdown has
+    /// no reference cycle to break.
+    pub fn register_shards(&self, shards: Vec<(Arc<ShardMetrics>, Arc<QueueGate>)>) {
+        use std::sync::atomic::Ordering;
+
+        self.registry.register_collector(move |set| {
+            let mut per_gesture: std::collections::BTreeMap<String, u64> =
+                std::collections::BTreeMap::new();
+            for (i, (m, gate)) in shards.iter().enumerate() {
+                let shard = i.to_string();
+                let labels = [("shard", shard.as_str())];
+                let c = |set: &mut gesto_telemetry::SampleSet, name: &str, help: &str, v: u64| {
+                    set.counter(name, help, &labels, v)
+                };
+                c(
+                    set,
+                    "gesto_shard_frames_total",
+                    "Frames processed by the shard",
+                    m.frames_in.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_batches_total",
+                    "Batches processed by the shard",
+                    m.batches_in.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_detections_total",
+                    "Detections produced by the shard",
+                    m.detections.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_shed_frames_total",
+                    "Frames lost to the drop-oldest policy",
+                    m.shed_frames.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_shed_batches_total",
+                    "Batches lost to the drop-oldest policy",
+                    m.shed_batches.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_push_errors_total",
+                    "Tuples that failed predicate evaluation",
+                    m.push_errors.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_sink_panics_total",
+                    "Detection-sink invocations that panicked (caught)",
+                    m.sink_panics.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_columnar_batches_total",
+                    "Batches that took the columnar (block + kernel pre-pass) path",
+                    m.columnar_batches.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_block_skips_total",
+                    "Batches that skipped block building (under columnar_min_batch)",
+                    m.block_skips.load(Ordering::Relaxed),
+                );
+                set.gauge(
+                    "gesto_shard_sessions",
+                    "Sessions resident on the shard",
+                    &labels,
+                    m.sessions.load(Ordering::Relaxed) as f64,
+                );
+                set.gauge(
+                    "gesto_shard_queue_depth",
+                    "Batches currently queued on the shard",
+                    &labels,
+                    gate.depth.load(Ordering::Acquire) as f64,
+                );
+                set.histogram(
+                    "gesto_shard_push_latency_us",
+                    "Batch latency from enqueue to fully processed, in microseconds",
+                    &labels,
+                    m.latency.snapshot(),
+                );
+                for (g, n) in m.per_gesture.lock().iter() {
+                    *per_gesture.entry(g.clone()).or_insert(0) += n;
+                }
+            }
+            for (g, n) in &per_gesture {
+                set.counter(
+                    "gesto_detections_total",
+                    "Detections per gesture, across all shards",
+                    &[("gesture", g.as_str())],
+                    *n,
+                );
+            }
+        });
+    }
+}

@@ -272,6 +272,8 @@ impl ColumnBlock {
     /// columns are materialised; writes to skipped lanes are ignored
     /// and those lanes read back as absent.
     pub fn begin_filtered(&mut self, schema: &SchemaRef, rows: usize, cols: Option<&[usize]>) {
+        crate::metrics::BLOCKS_BUILT_TOTAL.inc();
+        crate::metrics::BLOCK_ROWS_BUILT_TOTAL.add(rows as u64);
         self.ensure_layout(schema);
         self.rows = rows;
         for (c, slot) in self.lane_of.iter().enumerate() {

@@ -27,6 +27,7 @@
 mod block;
 mod catalog;
 mod error;
+pub mod metrics;
 mod operator;
 pub mod ops;
 mod pipeline;

@@ -1,0 +1,16 @@
+//! Process-global telemetry statics for the columnar substrate.
+//!
+//! Like `gesto_cep::metrics`, these are `const`-initialised statics
+//! updated with relaxed atomic adds from the hot path and exported by
+//! `'static` reference from `gesto-serve`'s registry — the block
+//! builders are shared by every session and have no registry handle to
+//! thread through.
+
+use gesto_telemetry::Counter;
+
+/// Columnar frame blocks materialised ([`crate::ColumnBlock::begin`] /
+/// `begin_filtered` calls).
+pub static BLOCKS_BUILT_TOTAL: Counter = Counter::new();
+
+/// Rows materialised across all built blocks.
+pub static BLOCK_ROWS_BUILT_TOTAL: Counter = Counter::new();

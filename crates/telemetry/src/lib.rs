@@ -1,0 +1,53 @@
+//! # gesto-telemetry — the runtime's unified metrics layer
+//!
+//! Before this crate, the runtime had three disjoint metric islands —
+//! per-shard push-latency rings in `gesto-serve`, network-edge counters
+//! in its `net` module, and per-query NFA stats in `gesto-cep` — none
+//! of which an operator could scrape. This crate is the shared
+//! substrate they all feed now:
+//!
+//! * **Instruments** ([`Counter`], [`Gauge`], [`Histogram`]) —
+//!   allocation-free, lock-free atomics, cheap enough for the hot path
+//!   (one relaxed RMW per update). All are `const`-constructible, so
+//!   hot-path crates can expose process-global statics without lazy
+//!   initialisation, and a registry can export them by reference.
+//! * **[`Registry`]** — owns named, labelled metric families and
+//!   scrape-time [collectors](Registry::register_collector); the only
+//!   lock in the crate sits here and is taken at registration and
+//!   scrape time, never per sample.
+//! * **Text exposition** ([`Registry::render`] / [`encode_text`]) —
+//!   the Prometheus text format 0.0.4 (`# HELP`/`# TYPE`, label
+//!   escaping, cumulative `_bucket{le=…}`/`_sum`/`_count` histogram
+//!   series), pinned by the `exposition_conformance` golden tests.
+//! * **Sampling** ([`Sampler`], [`SharedSampler`]) — 1-in-N decisions
+//!   for stage timers, so steady-state instrumentation stays
+//!   allocation-free and cheap (the serve pipeline samples its
+//!   wire-decode → transform → views → NFA → sink stage timings with
+//!   these).
+//!
+//! ```
+//! use gesto_telemetry::Registry;
+//!
+//! let registry = Registry::new();
+//! let frames = registry.counter(
+//!     "gesto_net_frames_received_total",
+//!     "Skeleton frames decoded off the wire",
+//!     &[],
+//! );
+//! frames.add(3);
+//! let text = registry.render();
+//! assert!(text.contains("gesto_net_frames_received_total 3"));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod encode;
+mod instruments;
+mod registry;
+mod sampler;
+
+pub use encode::encode_text;
+pub use instruments::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{MetricKind, Registry, Sample, SampleSet, SampleValue};
+pub use sampler::{Sampler, SharedSampler};

@@ -1,0 +1,141 @@
+//! 1-in-N sampling decisions for stage timers.
+//!
+//! Taking two `Instant::now()` readings per pipeline stage per batch is
+//! cheap but not free; doing it for one batch in N keeps the histograms
+//! statistically useful while the steady state pays a single branch on
+//! a local counter. Two flavours: [`Sampler`] for a value owned by one
+//! thread (a shard worker, the I/O loop), [`SharedSampler`] for
+//! process-global statics shared across threads.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Single-owner countdown sampler: `sample()` returns `true` on the
+/// first call and then once every `every` calls.
+///
+/// Not thread-safe by design — each worker owns its own, so the hot
+/// path is a plain integer decrement with no atomics at all.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    every: u32,
+    tick: u32,
+}
+
+impl Sampler {
+    /// A sampler that fires once every `every` calls (first call
+    /// included). `every == 0` disables sampling entirely; `every == 1`
+    /// samples every call.
+    pub const fn new(every: u32) -> Self {
+        Sampler { every, tick: 0 }
+    }
+
+    /// Should this iteration be timed?
+    #[inline]
+    pub fn sample(&mut self) -> bool {
+        if self.every == 0 {
+            return false;
+        }
+        if self.tick == 0 {
+            self.tick = self.every - 1;
+            true
+        } else {
+            self.tick -= 1;
+            false
+        }
+    }
+}
+
+/// Shared 1-in-N sampler for process-global instrumentation (e.g. the
+/// predicate-kernel stage timer in `gesto-cep`, which has no per-worker
+/// state to hang a [`Sampler`] on).
+///
+/// One relaxed `fetch_add` per decision. The modulo makes every Nth
+/// global call sample regardless of which thread lands on it.
+#[derive(Debug)]
+pub struct SharedSampler {
+    every: AtomicU32,
+    tick: AtomicU32,
+}
+
+impl SharedSampler {
+    /// A shared sampler firing once every `every` calls; `every == 0`
+    /// disables it.
+    pub const fn new(every: u32) -> Self {
+        SharedSampler {
+            every: AtomicU32::new(every),
+            tick: AtomicU32::new(0),
+        }
+    }
+
+    /// Reconfigures the sampling period (0 disables). Takes effect for
+    /// subsequent decisions on all threads.
+    pub fn set_every(&self, every: u32) {
+        self.every.store(every, Ordering::Relaxed);
+    }
+
+    /// Current sampling period (0 = disabled).
+    pub fn every(&self) -> u32 {
+        self.every.load(Ordering::Relaxed)
+    }
+
+    /// Should this iteration be timed?
+    #[inline]
+    pub fn sample(&self) -> bool {
+        let every = self.every.load(Ordering::Relaxed);
+        if every == 0 {
+            return false;
+        }
+        self.tick
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_fires_first_then_every_n() {
+        let mut s = Sampler::new(4);
+        let fired: Vec<bool> = (0..9).map(|_| s.sample()).collect();
+        assert_eq!(
+            fired,
+            [true, false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn sampler_every_one_always_fires() {
+        let mut s = Sampler::new(1);
+        assert!((0..5).all(|_| s.sample()));
+    }
+
+    #[test]
+    fn sampler_zero_disables() {
+        let mut s = Sampler::new(0);
+        assert!((0..5).all(|_| !s.sample()));
+    }
+
+    #[test]
+    fn shared_sampler_rate_holds_across_threads() {
+        static S: SharedSampler = SharedSampler::new(8);
+        let hits: u32 = (0..4)
+            .map(|_| std::thread::spawn(|| (0..2000).filter(|_| S.sample()).count() as u32))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .sum();
+        // 8000 total decisions at 1-in-8 = exactly 1000 (fetch_add makes
+        // the global sequence exact even when interleaved).
+        assert_eq!(hits, 1000);
+    }
+
+    #[test]
+    fn shared_sampler_set_every() {
+        let s = SharedSampler::new(0);
+        assert!(!s.sample());
+        s.set_every(1);
+        assert!(s.sample());
+        assert_eq!(s.every(), 1);
+    }
+}

@@ -76,7 +76,7 @@ fn main() {
         m.frames_received(),
         m.bytes_in(),
         m.detections_sent(),
-        m.latency().quantile_us(0.99),
+        m.latency().quantile(0.99),
     );
     assert!(
         detections.iter().all(|d| d.session == 1),
