@@ -79,6 +79,10 @@ fn shapes() -> Vec<(&'static str, &'static str)> {
     vec![
         ("band", "abs(x - 50) < 12"),
         ("cmp", "x > 50"),
+        // Two-lane difference shapes: the single-pass kernel reads both
+        // lanes at once instead of materialising `x - y` per row.
+        ("diff", "x - y > 20"),
+        ("diff_band", "abs(x - y - 10) < 12"),
         ("dist", "dist(ax, ay, az, bx, by, bz) < 40"),
         (
             "and_all",

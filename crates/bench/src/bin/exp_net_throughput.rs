@@ -24,7 +24,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::process::{Child, Command, Stdio};
 use std::time::Instant;
 
-use gesto_bench::Table;
+use gesto_bench::{json_escape, registry_snapshot, Table};
 use gesto_kinect::{gestures, Performer, Persona, SkeletonFrame};
 use gesto_serve::net::{NetClient, NetConfig, NetServer};
 use gesto_serve::{BackpressurePolicy, Server, ServerConfig};
@@ -98,39 +98,6 @@ struct PointResult {
     /// registry at the end of the point (counters/gauges verbatim,
     /// histograms as `_count`/`_sum`), embedded in the JSON report.
     registry: Vec<(String, f64)>,
-}
-
-/// Flattens a registry into sorted `(series, value)` pairs.
-fn registry_snapshot(reg: &gesto_telemetry::Registry) -> Vec<(String, f64)> {
-    use gesto_telemetry::SampleValue;
-    let mut out = Vec::new();
-    for s in reg.gather() {
-        let series = if s.labels.is_empty() {
-            s.name.clone()
-        } else {
-            let labels: Vec<String> = s
-                .labels
-                .iter()
-                .map(|(k, v)| format!("{k}=\"{v}\""))
-                .collect();
-            format!("{}{{{}}}", s.name, labels.join(","))
-        };
-        match s.value {
-            SampleValue::Counter(v) => out.push((series, v as f64)),
-            SampleValue::Gauge(v) => out.push((series, v)),
-            SampleValue::Histogram(h) => {
-                out.push((format!("{series}_count"), h.count as f64));
-                out.push((format!("{series}_sum"), h.sum as f64));
-            }
-        }
-    }
-    out.sort_by(|a, b| a.0.cmp(&b.0));
-    out
-}
-
-/// Minimal JSON string escaping for series names (quotes in labels).
-fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn run_point(exe: &std::path::Path, conns: usize, frames: usize, batch: usize) -> PointResult {

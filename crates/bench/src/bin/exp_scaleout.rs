@@ -1,0 +1,440 @@
+//! Scale-out headline — shards × sessions sweep over `gesto-serve` with
+//! a core-pinning A/B, exact conservation and a contention audit at
+//! every sweep point, plus a skewed-population leg recording how frames
+//! spread across shards under the splitmix64 session routing hash.
+//!
+//! ```sh
+//! cargo run --release -p gesto-bench --bin exp_scaleout -- \
+//!     [--sessions 4,16,64] [--shards 1,2,4] [--frames 400] [--batch 60] \
+//!     [--skew-heavy 8] [--no-warmup] [--json BENCH_scaleout.json]
+//! ```
+//!
+//! Every sweep point asserts:
+//! - **compile-once**: G gestures → exactly G compiled plans,
+//!   process-wide, independent of session and shard count;
+//! - **conservation**: the blocking backpressure policy loses no frame,
+//!   and every session detects the shared gesture exactly as often as
+//!   the 1-session/1-shard reference run;
+//! - **contention audit**: `gesto_shard_contention_total` stays 0 —
+//!   shard workers never wait on a shared structure on the steady state;
+//! - **honest pinning**: pinned runs on a multi-core host report each
+//!   shard's placement core, and core 0 stays free for net I/O; on a
+//!   1-core host the policy pins nothing and the run degrades cleanly.
+//!
+//! The ≥2.5× scaling headline applies only on hosts with ≥ 4 cores; on
+//! smaller hosts (including 1-core CI boxes) the sweep still runs and
+//! every equivalence/conservation assert still bites, but the
+//! throughput comparison is informational. `host_cores` is recorded in
+//! the JSON so a committed result is never mistaken for a multi-core
+//! measurement.
+
+use std::time::Instant;
+
+use gesto_bench::{json_escape, learn_gesture, registry_snapshot, Table};
+use gesto_kinect::{gestures, Performer, Persona, SkeletonFrame};
+use gesto_learn::query_gen::{generate_query, QueryStyle};
+use gesto_learn::LearnerConfig;
+use gesto_serve::affinity::{host_cores, placement};
+use gesto_serve::{BackpressurePolicy, Server, ServerConfig, SessionId};
+
+struct Args {
+    sessions: Vec<usize>,
+    shards: Vec<usize>,
+    frames: usize,
+    batch: usize,
+    /// The skewed leg's heavy session carries this many times the frames
+    /// of a regular session (0 disables the leg).
+    skew_heavy: usize,
+    warmup: bool,
+    json: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sessions: vec![4, 16, 64],
+        shards: vec![1, 2, 4],
+        frames: 400,
+        batch: 60,
+        skew_heavy: 8,
+        warmup: true,
+        json: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let list = |s: String| s.split(',').map(|v| v.parse().expect("number")).collect();
+        match a.as_str() {
+            "--sessions" => args.sessions = list(it.next().expect("--sessions N[,N…]")),
+            "--shards" => args.shards = list(it.next().expect("--shards N[,N…]")),
+            "--frames" => args.frames = it.next().expect("--frames N").parse().expect("number"),
+            "--batch" => args.batch = it.next().expect("--batch N").parse().expect("number"),
+            "--skew-heavy" => {
+                args.skew_heavy = it.next().expect("--skew-heavy N").parse().expect("number")
+            }
+            "--no-warmup" => args.warmup = false,
+            "--json" => args.json = Some(it.next().expect("--json PATH")),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    args
+}
+
+/// One session's workload: repeated clean swipe performances,
+/// timestamps strictly increasing.
+fn workload(frames: usize) -> Vec<SkeletonFrame> {
+    let mut p = Performer::new(Persona::reference(), 0);
+    let mut out = Vec::with_capacity(frames + 64);
+    while out.len() < frames {
+        out.extend(p.render_padded(&gestures::swipe_right(), 200, 400));
+    }
+    out.truncate(frames);
+    out
+}
+
+struct Point {
+    sessions: usize,
+    shards: usize,
+    frames_total: u64,
+    detections: u64,
+    elapsed_ms: f64,
+    fps: f64,
+    /// Same point with shard workers pinned under the placement policy.
+    fps_pinned: f64,
+    /// `gesto_shard_pinned_core` per shard of the pinned run.
+    pinned_cores: Vec<i64>,
+    /// Full registry snapshot of the unpinned run at the end of the
+    /// point (flat `series → value`; see [`registry_snapshot`]).
+    registry: Vec<(String, f64)>,
+}
+
+struct SkewPoint {
+    shards: usize,
+    sessions: usize,
+    heavy_factor: usize,
+    frames_total: u64,
+    detections: u64,
+    fps: f64,
+    /// `frames_in` per shard — the routing hash's observable spread.
+    shard_frames: Vec<u64>,
+}
+
+struct RunOut {
+    detections: u64,
+    frames_total: u64,
+    elapsed_ms: f64,
+    fps: f64,
+    pinned_cores: Vec<i64>,
+    shard_frames: Vec<u64>,
+    registry: Vec<(String, f64)>,
+}
+
+/// One measured server run. `frames_of(s)` supplies session `s`'s
+/// workload (shared slices — uniform legs pass the same one for all).
+fn run<'a>(
+    queries: &[gesto_cep::Query],
+    frames_of: &(dyn Fn(usize) -> &'a [SkeletonFrame] + Sync),
+    sessions: usize,
+    shards: usize,
+    batch: usize,
+    pin: bool,
+) -> RunOut {
+    let server = Server::start(
+        ServerConfig::new()
+            .with_shards(shards)
+            .with_pin_shards(pin)
+            .with_queue_capacity(256)
+            .with_backpressure(BackpressurePolicy::Block),
+    );
+
+    // Compile-once invariant: G gestures deployed to N sessions on S
+    // shards must compile exactly G plans, process-wide.
+    let compiles_before = gesto_cep::compiled_plan_count();
+    for query in queries {
+        server.deploy(query.clone()).expect("deploy");
+    }
+    let compiled = gesto_cep::compiled_plan_count() - compiles_before;
+    assert_eq!(
+        compiled,
+        queries.len() as u64,
+        "one gesture → one compiled plan (got {compiled})"
+    );
+
+    for s in 0..sessions {
+        server.open_session(SessionId(s as u64)).expect("open");
+    }
+
+    let frames_total: u64 = (0..sessions).map(|s| frames_of(s).len() as u64).sum();
+    let producers = sessions.min(8);
+    let handle = server.handle();
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for p in 0..producers {
+            let handle = handle.clone();
+            let mine: Vec<usize> = (0..sessions).filter(|s| s % producers == p).collect();
+            scope.spawn(move || {
+                // Interleave sessions batch-by-batch, as a gateway
+                // multiplexing many live streams would. Sessions of
+                // different lengths simply finish at different times.
+                let mut offset = 0usize;
+                loop {
+                    let mut pushed = false;
+                    for &s in &mine {
+                        let frames = frames_of(s);
+                        if offset < frames.len() {
+                            let end = (offset + batch.max(1)).min(frames.len());
+                            handle
+                                .push_batch(SessionId(s as u64), frames[offset..end].to_vec())
+                                .expect("push");
+                            pushed = true;
+                        }
+                    }
+                    if !pushed {
+                        break;
+                    }
+                    offset += batch.max(1);
+                }
+            });
+        }
+    });
+    server.drain().expect("drain");
+    let elapsed = started.elapsed();
+
+    let m = server.metrics();
+    assert_eq!(m.frames_in(), frames_total, "blocking policy lost frames");
+    assert_eq!(m.shed_frames(), 0, "blocking policy must not shed");
+    assert_eq!(m.sessions(), sessions, "session registry");
+    assert_eq!(
+        m.contention(),
+        0,
+        "contention audit: shard workers waited on a shared structure"
+    );
+
+    // Honest pinning report: on a multi-core host every pinned shard
+    // lands on its placement core and core 0 stays free for net I/O; on
+    // a 1-core host the policy pins nothing (workers report -1).
+    let cores = host_cores();
+    let pinned_cores: Vec<i64> = m.shards.iter().map(|s| s.pinned_core).collect();
+    if pin {
+        for (i, &core) in pinned_cores.iter().enumerate() {
+            match placement(i, cores) {
+                Some(expect) => {
+                    assert_eq!(core, expect as i64, "shard {i} missed its placement core");
+                    assert_ne!(core, 0, "shard {i} stole the net I/O core");
+                }
+                None => assert_eq!(core, -1, "shard {i} pinned on a 1-core host"),
+            }
+        }
+    } else {
+        assert!(
+            pinned_cores.iter().all(|&c| c == -1),
+            "unpinned run reported a pinned core"
+        );
+    }
+
+    let out = RunOut {
+        detections: m.detections(),
+        frames_total,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        fps: frames_total as f64 / elapsed.as_secs_f64(),
+        pinned_cores,
+        shard_frames: m.shards.iter().map(|s| s.frames_in).collect(),
+        registry: registry_snapshot(&server.handle().registry()),
+    };
+    server.shutdown();
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = host_cores();
+    println!("Scale-out — shards × sessions sweep with pinning A/B (gesto-serve)");
+    println!("===================================================================\n");
+    println!(
+        "host: {cores} core(s); sweep: sessions {:?} × shards {:?}, {} frames/session, batch {}\n",
+        args.sessions, args.shards, args.frames, args.batch
+    );
+
+    let def = learn_gesture(&gestures::swipe_right(), 3, 0, LearnerConfig::default());
+    let queries = vec![generate_query(&def, QueryStyle::TransformedView)];
+    let frames = workload(args.frames);
+    let uniform = |_s: usize| frames.as_slice();
+
+    // Deterministic reference: one session on one shard. Every sweep
+    // point below must reproduce exactly this many detections per
+    // session — sharding and pinning are pure partitioning of work.
+    let reference = run(&queries, &uniform, 1, 1, args.batch, false);
+    let per_session = reference.detections;
+    assert!(per_session > 0, "workload must detect the gesture");
+    println!("reference: 1 session × 1 shard → {per_session} detection(s)/session\n");
+
+    let mut table = Table::new(&[
+        "sessions",
+        "shards",
+        "frames",
+        "detections",
+        "elapsed_ms",
+        "frames/sec",
+        "pinned f/s",
+        "cores",
+    ]);
+    let mut points = Vec::new();
+    for &shards in &args.shards {
+        for &sessions in &args.sessions {
+            if args.warmup {
+                let _ = run(&queries, &uniform, sessions, shards, args.batch, false);
+            }
+            let base = run(&queries, &uniform, sessions, shards, args.batch, false);
+            let pinned = run(&queries, &uniform, sessions, shards, args.batch, true);
+            for r in [&base, &pinned] {
+                assert_eq!(
+                    r.detections,
+                    per_session * sessions as u64,
+                    "{sessions}×{shards}: detections not conserved"
+                );
+            }
+            let p = Point {
+                sessions,
+                shards,
+                frames_total: base.frames_total,
+                detections: base.detections,
+                elapsed_ms: base.elapsed_ms,
+                fps: base.fps,
+                fps_pinned: pinned.fps,
+                pinned_cores: pinned.pinned_cores,
+                registry: base.registry,
+            };
+            table.row(&[
+                p.sessions.to_string(),
+                p.shards.to_string(),
+                p.frames_total.to_string(),
+                p.detections.to_string(),
+                format!("{:.1}", p.elapsed_ms),
+                format!("{:.0}", p.fps),
+                format!("{:.0}", p.fps_pinned),
+                format!("{:?}", p.pinned_cores),
+            ]);
+            points.push(p);
+        }
+    }
+    table.print();
+
+    // Headline: best multi-shard configuration vs 1 shard on the largest
+    // session population (either pinning mode may win).
+    let max_sessions = *args.sessions.iter().max().expect("non-empty");
+    let best_fps = |p: &Point| p.fps.max(p.fps_pinned);
+    let single = points
+        .iter()
+        .find(|p| p.shards == 1 && p.sessions == max_sessions);
+    let multi = points
+        .iter()
+        .filter(|p| p.shards > 1 && p.sessions == max_sessions)
+        .max_by(|a, b| best_fps(a).total_cmp(&best_fps(b)));
+    let mut speedup = None;
+    if let (Some(s), Some(m)) = (single, multi) {
+        let x = best_fps(m) / best_fps(s);
+        speedup = Some((m.shards, x));
+        println!(
+            "\n{max_sessions} sessions: {} shards {:.0} f/s vs 1 shard {:.0} f/s → {x:.2}×",
+            m.shards,
+            best_fps(m),
+            best_fps(s)
+        );
+        if cores >= 4 && m.shards >= 4 {
+            assert!(
+                x >= 2.5,
+                "a {cores}-core host must scale ≥ 2.5× at {} shards (got {x:.2}×)",
+                m.shards
+            );
+            assert!(
+                best_fps(m) > best_fps(s),
+                "multi-shard regressed on a multi-core host"
+            );
+        } else if cores > 1 {
+            assert!(
+                best_fps(m) >= best_fps(s) * 0.95,
+                "multi-shard regressed on a {cores}-core host"
+            );
+            println!("(scaling headline needs ≥ 4 cores; {cores} available — informational)");
+        } else {
+            println!("(1-core host: throughput comparison is informational only)");
+        }
+    }
+
+    // Skewed populations: one heavy session next to light ones. The
+    // routing hash spreads sessions, not frames, so the heavy session's
+    // shard carries visibly more — recorded, not hidden.
+    let mut skew_points = Vec::new();
+    if args.skew_heavy > 1 {
+        println!("\nskewed populations (session 0 × {}):", args.skew_heavy);
+        let heavy = workload(args.frames * args.skew_heavy);
+        let sessions = max_sessions.max(2);
+        let skewed = |s: usize| {
+            if s == 0 {
+                heavy.as_slice()
+            } else {
+                frames.as_slice()
+            }
+        };
+        let baseline = run(&queries, &skewed, sessions, 1, args.batch, false);
+        for &shards in args.shards.iter().filter(|&&s| s > 1) {
+            let r = run(&queries, &skewed, sessions, shards, args.batch, false);
+            assert_eq!(
+                r.detections, baseline.detections,
+                "skew leg: {shards} shards lost/duplicated detections"
+            );
+            println!(
+                "  {shards} shards: {:.0} f/s, per-shard frames {:?}",
+                r.fps, r.shard_frames
+            );
+            skew_points.push(SkewPoint {
+                shards,
+                sessions,
+                heavy_factor: args.skew_heavy,
+                frames_total: r.frames_total,
+                detections: r.detections,
+                fps: r.fps,
+                shard_frames: r.shard_frames,
+            });
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let mut rows = String::new();
+        for (i, p) in points.iter().enumerate() {
+            if i > 0 {
+                rows.push_str(",\n");
+            }
+            let registry = p
+                .registry
+                .iter()
+                .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            rows.push_str(&format!(
+                "    {{\"sessions\": {}, \"shards\": {}, \"frames\": {}, \"detections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}, \"frames_per_sec_pinned\": {:.0}, \"pinned_cores\": {:?}, \"registry\": {{{registry}}}}}",
+                p.sessions, p.shards, p.frames_total, p.detections, p.elapsed_ms, p.fps, p.fps_pinned, p.pinned_cores
+            ));
+        }
+        let mut skew_rows = String::new();
+        for (i, p) in skew_points.iter().enumerate() {
+            if i > 0 {
+                skew_rows.push_str(",\n");
+            }
+            skew_rows.push_str(&format!(
+                "    {{\"shards\": {}, \"sessions\": {}, \"heavy_factor\": {}, \"frames\": {}, \"detections\": {}, \"frames_per_sec\": {:.0}, \"shard_frames\": {:?}}}",
+                p.shards, p.sessions, p.heavy_factor, p.frames_total, p.detections, p.fps, p.shard_frames
+            ));
+        }
+        let headline = speedup.map_or(String::new(), |(shards, x)| {
+            format!("\n  \"best_multi_shard\": {shards},\n  \"speedup_vs_single_shard\": {x:.2},")
+        });
+        let json = format!(
+            "{{\n  \"experiment\": \"exp_scaleout\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"warmup_runs\": {},\n  \"detections_per_session\": {per_session},{headline}\n  \"results\": [\n{rows}\n  ],\n  \"skew\": [\n{skew_rows}\n  ]\n}}\n",
+            args.frames,
+            args.batch,
+            u32::from(args.warmup),
+        );
+        std::fs::write(path, json).expect("write json");
+        println!("\nwrote {path}");
+    }
+    println!("\nconservation, compile-once and contention audits held at every point ✓");
+}

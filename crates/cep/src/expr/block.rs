@@ -24,7 +24,7 @@
 //! seed semantics including errors. The scalar evaluator therefore
 //! remains the bit-equivalence oracle *and* the fallback.
 
-use gesto_stream::{BitMask, ColumnBlock, Value};
+use gesto_stream::{BitMask, ColumnBlock, FloatLane, Value};
 
 use crate::expr::ast::BinOp;
 use crate::expr::eval::{CompiledExpr, FusedInput};
@@ -288,6 +288,66 @@ fn lane_compare_into(
     out.known.mask_tail_words();
 }
 
+/// Single-pass two-lane kernel — the `Diff` fast path of `Band`/`Cmp`:
+/// the difference `la[r] - lb[r]` is mapped (`|d ± c|` for bands,
+/// identity for plain comparisons) and compared in the same chunked
+/// loop that packs the result bits. No difference lane is materialised
+/// and the row range is scanned once, where the scratch path copied
+/// `la - lb` into a temporary and re-scanned it (plus its masks) in
+/// [`compare_into`].
+///
+/// Mask semantics match [`eval_fused_block`]'s `Diff` arm exactly:
+/// `Null` on either side wins over a non-float cell on the other (the
+/// scalar read checks `Null` first), any `other` cell defers the row,
+/// and a `NaN` difference stays unknown because its scalar comparison
+/// would error.
+fn diff_compare_into(
+    la: &FloatLane,
+    lb: &FloatLane,
+    op: BinOp,
+    rhs: f64,
+    map: impl Fn(f64) -> f64 + Copy,
+    out: &mut BlockMasks,
+) {
+    let (xa, xb) = (la.values(), lb.values());
+    let rows = xa.len();
+    out.reset(rows);
+    macro_rules! cmp_words {
+        ($op:tt) => {
+            for w in 0..out.known.words().len() {
+                let start = w * 64;
+                let end = rows.min(start + 64);
+                let (ca, cb) = (&xa[start..end], &xb[start..end]);
+                let mut cmp = 0u64;
+                let mut nan = 0u64;
+                for (b, (&x, &y)) in ca.iter().zip(cb).enumerate() {
+                    let d = map(x - y);
+                    cmp |= ((d $op rhs) as u64) << b;
+                    nan |= ((d != d) as u64) << b;
+                }
+                let n = la.null().words()[w] | lb.null().words()[w];
+                let f = !(n | la.other().words()[w] | lb.other().words()[w]) & !nan;
+                out.truth.words_mut()[w] = cmp & f;
+                out.null.words_mut()[w] = n;
+                out.known.words_mut()[w] = f | n;
+            }
+        };
+    }
+    match op {
+        BinOp::Lt => cmp_words!(<),
+        BinOp::Le => cmp_words!(<=),
+        BinOp::Gt => cmp_words!(>),
+        BinOp::Ge => cmp_words!(>=),
+        BinOp::Eq => cmp_words!(==),
+        BinOp::Ne => cmp_words!(!=),
+        _ => return,
+    }
+    // `!(n | o)` sets bits past the row count; re-establish the
+    // mask invariant (bits past the length are zero).
+    out.truth.mask_tail_words();
+    out.known.mask_tail_words();
+}
+
 impl CompiledExpr {
     /// Evaluates this predicate over every row of `block` at once,
     /// writing the per-row results into `out` (see [`BlockMasks`] and
@@ -313,20 +373,37 @@ impl CompiledExpr {
                     return; // scalar comparison may error: stay unknown
                 }
                 let (add, center) = (*add, *center);
-                if let FusedInput::Col(i) = input {
+                match input {
                     // Single-pass fast path straight over the lane.
-                    if let Some(lane) = block.lane(*i) {
-                        lane_compare_into(
-                            lane.values(),
-                            BinOp::Lt,
-                            *width,
-                            move |x| (if add { x + center } else { x - center }).abs(),
-                            lane.null(),
-                            lane.other(),
-                            out,
-                        );
+                    FusedInput::Col(i) => {
+                        if let Some(lane) = block.lane(*i) {
+                            lane_compare_into(
+                                lane.values(),
+                                BinOp::Lt,
+                                *width,
+                                move |x| (if add { x + center } else { x - center }).abs(),
+                                lane.null(),
+                                lane.other(),
+                                out,
+                            );
+                        }
+                        return;
                     }
-                    return;
+                    // Single-pass fast path over both lanes at once.
+                    FusedInput::Diff(a, b) => {
+                        if let (Some(la), Some(lb)) = (block.lane(*a), block.lane(*b)) {
+                            diff_compare_into(
+                                la,
+                                lb,
+                                BinOp::Lt,
+                                *width,
+                                move |d| (if add { d + center } else { d - center }).abs(),
+                                out,
+                            );
+                        }
+                        return;
+                    }
+                    FusedInput::Dist(_) => {}
                 }
                 let mut vals = scratch.take_vals();
                 let mut null = scratch.take_bits();
@@ -345,19 +422,28 @@ impl CompiledExpr {
                 if rhs.is_nan() {
                     return;
                 }
-                if let FusedInput::Col(i) = input {
-                    if let Some(lane) = block.lane(*i) {
-                        lane_compare_into(
-                            lane.values(),
-                            *op,
-                            *rhs,
-                            |x| x,
-                            lane.null(),
-                            lane.other(),
-                            out,
-                        );
+                match input {
+                    FusedInput::Col(i) => {
+                        if let Some(lane) = block.lane(*i) {
+                            lane_compare_into(
+                                lane.values(),
+                                *op,
+                                *rhs,
+                                |x| x,
+                                lane.null(),
+                                lane.other(),
+                                out,
+                            );
+                        }
+                        return;
                     }
-                    return;
+                    FusedInput::Diff(a, b) => {
+                        if let (Some(la), Some(lb)) = (block.lane(*a), block.lane(*b)) {
+                            diff_compare_into(la, lb, *op, *rhs, |d| d, out);
+                        }
+                        return;
+                    }
+                    FusedInput::Dist(_) => {}
                 }
                 let mut vals = scratch.take_vals();
                 let mut null = scratch.take_bits();
@@ -595,6 +681,78 @@ mod tests {
             Expr::lit(2.0),
         );
         assert_matches_oracle(&compile(&e, &schema(), &reg).unwrap(), &tuples);
+    }
+
+    #[test]
+    fn diff_kernel_single_pass_matches_oracle() {
+        let reg = FunctionRegistry::with_builtins();
+        let s = schema();
+        // Mixed cells on *both* lanes: Null/Int on either side, a NaN
+        // difference produced by two plain floats (inf - inf), and a
+        // NaN cell itself.
+        let pairs = [
+            (Value::Float(5.0), Value::Float(1.0)),
+            (Value::Float(1.0), Value::Float(5.0)),
+            (Value::Null, Value::Int(3)),
+            (Value::Int(3), Value::Null),
+            (Value::Int(3), Value::Float(1.0)),
+            (Value::Float(f64::INFINITY), Value::Float(f64::INFINITY)),
+            (Value::Float(f64::NAN), Value::Float(0.0)),
+            (Value::Float(-0.0), Value::Float(0.0)),
+        ];
+        let tuples: Vec<Tuple> = pairs
+            .iter()
+            .map(|(x, y)| {
+                let mut vals = vec![Value::Float(1.0); s.len()];
+                vals[0] = Value::Timestamp(0);
+                vals[1] = x.clone();
+                vals[2] = y.clone();
+                vals[s.len() - 1] = Value::Str("t".into());
+                Tuple::new_unchecked(s.clone(), vals)
+            })
+            .collect();
+        let diff = || Expr::bin(BinOp::Sub, Expr::col("x"), Expr::col("y"));
+        for op in [
+            BinOp::Lt,
+            BinOp::Le,
+            BinOp::Gt,
+            BinOp::Ge,
+            BinOp::Eq,
+            BinOp::Ne,
+        ] {
+            let c = compile(&Expr::bin(op, diff(), Expr::lit(2.0)), &s, &reg).unwrap();
+            // The fused input renders as `colA - colB`.
+            assert!(format!("{c:?}").contains("col1 - col2"), "{c:?}");
+            assert_matches_oracle(&c, &tuples);
+        }
+
+        // Pin the Gt kernel's decisions row by row.
+        let c = compile(&Expr::bin(BinOp::Gt, diff(), Expr::lit(2.0)), &s, &reg).unwrap();
+        let mut block = ColumnBlock::new();
+        block.fill_from_tuples(&tuples);
+        let mut masks = BlockMasks::default();
+        let mut scratch = EvalScratch::new();
+        c.eval_block(&block, &mut masks, &mut scratch);
+        assert!(masks.truth.get(0), "5 - 1 = 4 > 2");
+        assert!(masks.known.get(1) && !masks.truth.get(1), "1 - 5 = -4 ≤ 2");
+        assert!(
+            masks.null.get(2) && masks.null.get(3),
+            "Null on either side is known-Null (checked before the Int)"
+        );
+        assert!(!masks.known.get(4), "Int cell defers to fallback");
+        assert!(!masks.known.get(5), "inf - inf is NaN: would error scalar");
+        assert!(!masks.known.get(6), "NaN cell: would error scalar");
+        assert!(masks.known.get(7) && !masks.truth.get(7), "-0.0 - 0.0 ≤ 2");
+
+        // Band over a difference: |x - y - 2| < 1 takes the same
+        // two-lane single pass.
+        let band = Expr::lt(
+            Expr::abs(Expr::bin(BinOp::Sub, diff(), Expr::lit(2.0))),
+            Expr::lit(1.0),
+        );
+        let c = compile(&band, &s, &reg).unwrap();
+        assert!(format!("{c:?}").contains("Band"), "{c:?}");
+        assert_matches_oracle(&c, &tuples);
     }
 
     #[test]

@@ -13,35 +13,42 @@
 //! operator wants from `/metrics`; per-query breakdowns remain available
 //! through [`crate::Engine::stats_all`].
 
-use gesto_telemetry::{Counter, Gauge, Histogram, SharedSampler};
+use gesto_telemetry::{Histogram, ShardedCounter, ShardedGauge, SharedSampler};
 
 /// Live NFA runs across all runtimes in the process.
-pub static NFA_RUNS_ACTIVE: Gauge = Gauge::new();
+///
+/// All the counters and gauges in this module are the *sharded*
+/// instrument variants: every shard worker bumps them on every batch,
+/// and with plain single-atomic instruments those updates would
+/// false-share one cache line across all cores (measurable once shard
+/// workers are pinned to distinct cores). Sharded instruments pay the
+/// fan-in at scrape time instead.
+pub static NFA_RUNS_ACTIVE: ShardedGauge = ShardedGauge::new();
 
 /// Runs seeded (started) by a step-1 match.
-pub static NFA_RUNS_SEEDED_TOTAL: Counter = Counter::new();
+pub static NFA_RUNS_SEEDED_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Runs discarded because their `within` window expired.
-pub static NFA_RUNS_EXPIRED_TOTAL: Counter = Counter::new();
+pub static NFA_RUNS_EXPIRED_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Runs shed by the `max_runs` overload guard.
-pub static NFA_RUNS_SHED_TOTAL: Counter = Counter::new();
+pub static NFA_RUNS_SHED_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Completed pattern matches (detections) emitted.
-pub static NFA_MATCHES_TOTAL: Counter = Counter::new();
+pub static NFA_MATCHES_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Event-arena compactions performed by the NFA runtimes.
-pub static NFA_ARENA_COMPACTIONS_TOTAL: Counter = Counter::new();
+pub static NFA_ARENA_COMPACTIONS_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Predicate-kernel block evaluations (one per step per block).
-pub static KERNEL_BLOCK_EVALS_TOTAL: Counter = Counter::new();
+pub static KERNEL_BLOCK_EVALS_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Rows presented to the vectorized predicate kernel.
-pub static KERNEL_BLOCK_ROWS_TOTAL: Counter = Counter::new();
+pub static KERNEL_BLOCK_ROWS_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Rows the kernel could not decide vectorized and deferred to the
 /// scalar evaluator (missing columns, unsupported expressions).
-pub static KERNEL_SCALAR_FALLBACK_TOTAL: Counter = Counter::new();
+pub static KERNEL_SCALAR_FALLBACK_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Sampled duration of the per-block predicate pre-pass, in
 /// nanoseconds. Exported by `gesto-serve` into the shared

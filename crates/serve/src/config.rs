@@ -56,6 +56,15 @@ pub struct ServerConfig {
     /// `docs/ARCHITECTURE.md` ("Adaptive scalar-vs-columnar choice")
     /// for how the default was picked.
     pub columnar_min_batch: usize,
+    /// Pin each shard worker to a dedicated CPU core (Linux only;
+    /// ignored elsewhere and on single-core hosts).
+    ///
+    /// The placement policy ([`crate::affinity::placement`]) reserves
+    /// core 0 for the network I/O thread(s) and spreads shards over the
+    /// remaining cores, so a shard never time-shares with wire decode.
+    /// Which core each shard landed on (or `-1` for unpinned) is
+    /// exported as `gesto_shard_pinned_core{shard}`.
+    pub pin_shards: bool,
     /// Pipeline stage timers sample one batch in this many per shard
     /// (wire decode → transform → views → NFA → sink durations exported
     /// as `gesto_stage_duration_ns`). `0` disables stage timing; `1`
@@ -73,6 +82,7 @@ impl Default for ServerConfig {
             backpressure: BackpressurePolicy::default(),
             columnar: true,
             columnar_min_batch: 8,
+            pin_shards: false,
             stage_sample_every: 64,
         }
     }
@@ -116,6 +126,13 @@ impl ServerConfig {
     /// every batch columnar, matching the pre-adaptive behaviour).
     pub fn with_columnar_min_batch(mut self, frames: usize) -> Self {
         self.columnar_min_batch = frames;
+        self
+    }
+
+    /// Enables core pinning for shard workers (off by default; no-op on
+    /// non-Linux targets and single-core hosts).
+    pub fn with_pin_shards(mut self, on: bool) -> Self {
+        self.pin_shards = on;
         self
     }
 

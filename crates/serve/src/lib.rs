@@ -58,6 +58,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod affinity;
 mod config;
 mod error;
 mod metrics;
@@ -249,7 +250,21 @@ mod tests {
         server.drain().unwrap();
         let m = server.metrics();
         let per_shard: Vec<usize> = m.shards.iter().map(|s| s.sessions).collect();
-        assert_eq!(per_shard, vec![3, 3, 3], "modulo routing balances ids");
+        assert_eq!(per_shard.iter().sum::<usize>(), 9, "every session resident");
+        // Hashed routing spreads even 9 sequential ids over all 3 shards
+        // (exact placement is pinned by the splitmix64 hash).
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "hashed routing uses every shard: {per_shard:?}"
+        );
+        // Routing is stable: re-pushing the same ids adds no sessions.
+        for user in 0..9u64 {
+            server
+                .push_batch(SessionId(user), swipe_frames(user))
+                .unwrap();
+        }
+        server.drain().unwrap();
+        assert_eq!(server.metrics().sessions(), 9);
         assert!(m.shards.iter().all(|s| s.latency.samples > 0));
         server.shutdown();
     }

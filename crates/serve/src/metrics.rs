@@ -1,7 +1,7 @@
 //! Per-shard and aggregated server metrics.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 use gesto_telemetry::Histogram;
 use parking_lot::Mutex;
@@ -40,7 +40,12 @@ impl LatencySummary {
 /// Live counters of one shard, shared between the worker thread and the
 /// server front-end (lock-free on the hot path except the per-gesture
 /// map, which is touched per batch, not per frame).
-#[derive(Default)]
+///
+/// 128-byte aligned so two shards' metric structs never share a cache
+/// line (or a spatial-prefetcher line pair): each worker hammers its own
+/// counters every batch, and with core-pinned shards cross-core false
+/// sharing here would show up directly in the scale-out curve.
+#[repr(align(128))]
 pub struct ShardMetrics {
     pub(crate) frames_in: AtomicU64,
     pub(crate) batches_in: AtomicU64,
@@ -56,14 +61,51 @@ pub struct ShardMetrics {
     /// batch was under `columnar_min_batch`).
     pub(crate) block_skips: AtomicU64,
     pub(crate) sessions: AtomicUsize,
+    /// CPU core this shard's worker is pinned to, or `-1` when
+    /// unpinned. Written once at worker start-up.
+    pub(crate) pinned_core: AtomicI64,
+    /// Times the worker found a shared structure (detection-listener
+    /// list, per-gesture map) already held and had to wait. Stays 0 on
+    /// the steady state — the contention audit's observable face.
+    pub(crate) contention: AtomicU64,
     pub(crate) per_gesture: Mutex<HashMap<String, u64>>,
     pub(crate) latency: Histogram,
+}
+
+impl Default for ShardMetrics {
+    fn default() -> Self {
+        ShardMetrics {
+            frames_in: AtomicU64::new(0),
+            batches_in: AtomicU64::new(0),
+            detections: AtomicU64::new(0),
+            shed_frames: AtomicU64::new(0),
+            shed_batches: AtomicU64::new(0),
+            push_errors: AtomicU64::new(0),
+            sink_panics: AtomicU64::new(0),
+            columnar_batches: AtomicU64::new(0),
+            block_skips: AtomicU64::new(0),
+            sessions: AtomicUsize::new(0),
+            pinned_core: AtomicI64::new(-1),
+            contention: AtomicU64::new(0),
+            per_gesture: Mutex::new(HashMap::new()),
+            latency: Histogram::new(),
+        }
+    }
 }
 
 impl ShardMetrics {
     pub(crate) fn record_detections(&self, gesture_counts: &HashMap<String, u64>, total: u64) {
         self.detections.fetch_add(total, Ordering::Relaxed);
-        let mut map = self.per_gesture.lock();
+        // Uncontended on the steady state (only scrapes and
+        // `ServerHandle::metrics` read this map); count the times it is
+        // not, so the contention audit has a live witness.
+        let mut map = match self.per_gesture.try_lock() {
+            Some(map) => map,
+            None => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                self.per_gesture.lock()
+            }
+        };
         for (g, n) in gesture_counts {
             *map.entry(g.clone()).or_insert(0) += n;
         }
@@ -85,6 +127,8 @@ impl ShardMetrics {
             block_skips: self.block_skips.load(Ordering::Relaxed),
             queue_depth,
             sessions: self.sessions.load(Ordering::Relaxed),
+            pinned_core: self.pinned_core.load(Ordering::Relaxed),
+            contention: self.contention.load(Ordering::Relaxed),
             latency: LatencySummary::from_histogram(&self.latency),
         }
     }
@@ -118,6 +162,11 @@ pub struct ShardSnapshot {
     pub queue_depth: usize,
     /// Sessions resident on this shard.
     pub sessions: usize,
+    /// CPU core the worker is pinned to (`-1` = unpinned).
+    pub pinned_core: i64,
+    /// Times the worker had to wait on a shared structure (0 on the
+    /// steady state; see `gesto_shard_contention_total`).
+    pub contention: u64,
     /// Push-latency percentiles.
     pub latency: LatencySummary,
 }
@@ -160,6 +209,12 @@ impl ServerMetrics {
     /// Total queued batches across shards.
     pub fn queue_depth(&self) -> usize {
         self.shards.iter().map(|s| s.queue_depth).sum()
+    }
+
+    /// Total shard-worker contention events (waits on shared structures)
+    /// across shards. 0 on the steady state.
+    pub fn contention(&self) -> u64 {
+        self.shards.iter().map(|s| s.contention).sum()
     }
 }
 

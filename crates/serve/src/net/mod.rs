@@ -1,10 +1,14 @@
 //! The TCP ingestion edge: a non-blocking network front-end for the
 //! sharded detection [`Server`](crate::Server).
 //!
-//! One I/O thread runs a readiness loop (epoll on Linux, a portable
-//! fallback elsewhere — see `poll`) over a non-blocking listener and
-//! every client connection. Clients speak the versioned little-endian
-//! `GSW1` protocol specified in `docs/PROTOCOL.md` and implemented in
+//! [`NetConfig::io_threads`] I/O threads (default one) each run a
+//! readiness loop (epoll on Linux, a portable fallback elsewhere — see
+//! `poll`) over a non-blocking listener and the client connections the
+//! kernel assigned to it. With more than one thread the listeners
+//! share the port via `SO_REUSEPORT`, so accepting and wire decode
+//! scale past a single core while each connection still lives on
+//! exactly one loop. Clients speak the versioned little-endian `GSW1`
+//! protocol specified in `docs/PROTOCOL.md` and implemented in
 //! [`wire`]: columnar frame batches in, detections with session
 //! attribution out, flow-controlled by credit grants.
 //!
@@ -129,6 +133,14 @@ pub struct NetConfig {
     /// `gesto_net_idle_closed_total`. Connections held paused by shard
     /// backpressure are exempt — they are stalled, not dead.
     pub idle_timeout_ms: u64,
+    /// I/O threads serving the edge (default 1). With more than one,
+    /// every thread runs its own listener bound with `SO_REUSEPORT` and
+    /// its own epoll loop, so the kernel load-balances connections and
+    /// wire decode scales past a single core. Platforms without the
+    /// raw-syscall backend clamp to one thread. A connection lives on
+    /// exactly one loop for its lifetime; engine session ids are drawn
+    /// from one shared allocator, so shard routing is unaffected.
+    pub io_threads: usize,
 }
 
 impl Default for NetConfig {
@@ -138,6 +150,7 @@ impl Default for NetConfig {
             initial_credits: 4096,
             max_connections: 16384,
             idle_timeout_ms: 300_000,
+            io_threads: 1,
         }
     }
 }
@@ -172,6 +185,12 @@ impl NetConfig {
         self.idle_timeout_ms = ms;
         self
     }
+
+    /// Sets the number of I/O threads (`SO_REUSEPORT` listener shards).
+    pub fn with_io_threads(mut self, threads: usize) -> Self {
+        self.io_threads = threads.max(1);
+        self
+    }
 }
 
 /// Route from an engine session back to the connection that owns it.
@@ -196,65 +215,106 @@ type Registry = Arc<Mutex<HashMap<u64, Arc<SessionRoute>>>>;
 pub struct NetServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
     metrics: NetMetrics,
 }
 
+/// Binds the edge's listening sockets. One thread gets a plain bind;
+/// more get per-thread `SO_REUSEPORT` listeners sharing the port (the
+/// first bind resolves port 0, the rest reuse the resolved address).
+/// Platforms without [`poll::bind_reuseport`] fall back to a single
+/// listener — the edge then runs one I/O thread.
+fn bind_listeners(addr: &str, threads: usize) -> io::Result<Vec<TcpListener>> {
+    let single = |addr: &str| -> io::Result<Vec<TcpListener>> {
+        let l = TcpListener::bind(addr)?;
+        l.set_nonblocking(true)?;
+        Ok(vec![l])
+    };
+    if threads <= 1 {
+        return single(addr);
+    }
+    use std::net::ToSocketAddrs;
+    let target = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "unresolvable listen address")
+    })?;
+    let first = match poll::bind_reuseport(target) {
+        Ok(l) => l,
+        // No SO_REUSEPORT on this platform: serve single-threaded.
+        Err(e) if e.kind() == io::ErrorKind::Unsupported => return single(addr),
+        Err(e) => return Err(e),
+    };
+    let resolved = first.local_addr()?;
+    let mut listeners = vec![first];
+    for _ in 1..threads {
+        listeners.push(poll::bind_reuseport(resolved)?);
+    }
+    for l in &listeners {
+        l.set_nonblocking(true)?;
+    }
+    Ok(listeners)
+}
+
 impl NetServer {
-    /// Binds `config.addr` and spawns the I/O thread serving `handle`'s
-    /// engine over TCP.
+    /// Binds `config.addr` and spawns [`NetConfig::io_threads`] I/O
+    /// threads serving `handle`'s engine over TCP.
     pub fn start(handle: ServerHandle, config: NetConfig) -> io::Result<NetServer> {
         poll::raise_nofile_limit();
-        let listener = TcpListener::bind(&config.addr)?;
-        listener.set_nonblocking(true)?;
-        let local_addr = listener.local_addr()?;
+        let listeners = bind_listeners(&config.addr, config.io_threads.max(1))?;
+        let local_addr = listeners[0].local_addr()?;
 
-        let mut poller = Poller::new()?;
-        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
-
+        // Shared across every I/O thread: metrics, the session-route
+        // registry the detection sink consults, and the engine session
+        // id allocator (ids must stay unique edge-wide).
         let inner: Arc<NetMetricsInner> = Arc::new(NetMetricsInner::default());
         let registry: Registry = Arc::new(Mutex::new(HashMap::new()));
         let epoch = Instant::now();
         install_detection_sink(&handle, &registry, &inner, epoch);
         let scrape = handle.registry();
-        install_net_collector(&scrape, &inner);
+        install_net_collector(&scrape, &inner, listeners.len());
         let decode_stage = handle.telemetry().stages.decode.clone();
-        let decode_sampler = handle.telemetry().sampler();
+        let session_ids = Arc::new(AtomicU64::new(NET_SESSION_BASE));
 
         let stop = Arc::new(AtomicBool::new(false));
-        let (dirty_tx, dirty_rx) = unbounded::<u64>();
         let idle_timeout =
             (config.idle_timeout_ms > 0).then(|| Duration::from_millis(config.idle_timeout_ms));
-        let io = IoLoop {
-            listener,
-            poller,
-            conns: HashMap::new(),
-            attention: HashSet::new(),
-            next_conn: TOKEN_LISTENER + 1,
-            next_session: NET_SESSION_BASE,
-            dirty_tx,
-            dirty_rx,
-            registry,
-            handle,
-            config,
-            metrics: inner.clone(),
-            epoch,
-            events: Vec::with_capacity(256),
-            scratch: Vec::with_capacity(512),
-            stop: stop.clone(),
-            scrape,
-            decode_stage,
-            decode_sampler,
-            idle_timeout,
-            idle_sweep_at: Instant::now(),
-        };
-        let thread = std::thread::Builder::new()
-            .name("gesto-net".to_owned())
-            .spawn(move || io.run())?;
+        let mut threads = Vec::with_capacity(listeners.len());
+        for (t, listener) in listeners.into_iter().enumerate() {
+            let mut poller = Poller::new()?;
+            poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+            let (dirty_tx, dirty_rx) = unbounded::<u64>();
+            let io = IoLoop {
+                listener,
+                poller,
+                conns: HashMap::new(),
+                attention: HashSet::new(),
+                next_conn: TOKEN_LISTENER + 1,
+                session_ids: session_ids.clone(),
+                dirty_tx,
+                dirty_rx,
+                registry: registry.clone(),
+                handle: handle.clone(),
+                config: config.clone(),
+                metrics: inner.clone(),
+                epoch,
+                events: Vec::with_capacity(256),
+                scratch: Vec::with_capacity(512),
+                stop: stop.clone(),
+                scrape: scrape.clone(),
+                decode_stage: decode_stage.clone(),
+                decode_sampler: handle.telemetry().sampler(),
+                idle_timeout,
+                idle_sweep_at: Instant::now(),
+            };
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("gesto-net-{t}"))
+                    .spawn(move || io.run())?,
+            );
+        }
         Ok(NetServer {
             local_addr,
             stop,
-            thread: Some(thread),
+            threads,
             metrics: NetMetrics { inner },
         })
     }
@@ -278,7 +338,7 @@ impl NetServer {
 
     fn stop_thread(&mut self) {
         self.stop.store(true, Ordering::Release);
-        if let Some(t) = self.thread.take() {
+        for t in self.threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -294,9 +354,19 @@ impl Drop for NetServer {
 /// the `gesto_net_*` families, read live at scrape time. Registered
 /// once per [`NetServer::start`]; start at most one edge per engine or
 /// the families will carry duplicate series.
-fn install_net_collector(scrape: &Arc<gesto_telemetry::Registry>, inner: &Arc<NetMetricsInner>) {
+fn install_net_collector(
+    scrape: &Arc<gesto_telemetry::Registry>,
+    inner: &Arc<NetMetricsInner>,
+    io_threads: usize,
+) {
     let m = inner.clone();
     scrape.register_collector(move |set| {
+        set.gauge(
+            "gesto_net_io_threads",
+            "I/O threads serving the edge (>1 means SO_REUSEPORT listener sharding)",
+            &[],
+            io_threads as f64,
+        );
         let c = |set: &mut gesto_telemetry::SampleSet, name: &str, help: &str, v: &AtomicU64| {
             set.counter(name, help, &[], v.load(Ordering::Relaxed));
         };
@@ -463,7 +533,9 @@ struct IoLoop {
     /// close acks, draining flushes).
     attention: HashSet<u64>,
     next_conn: u64,
-    next_session: u64,
+    /// Edge-wide engine session id allocator, shared by every I/O
+    /// thread (connection tokens are loop-local; session ids are not).
+    session_ids: Arc<AtomicU64>,
     dirty_tx: Sender<u64>,
     dirty_rx: Receiver<u64>,
     registry: Registry,
@@ -868,8 +940,7 @@ impl IoLoop {
         if let Some(b) = conn.sessions.get(&client_sid) {
             return b.global;
         }
-        let global = self.next_session;
-        self.next_session += 1;
+        let global = self.session_ids.fetch_add(1, Ordering::Relaxed);
         let _ = self.handle.open_session(SessionId(global));
         let route = Arc::new(SessionRoute {
             client_session: client_sid,

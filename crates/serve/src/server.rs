@@ -124,12 +124,20 @@ impl Server {
         let schema = kinect_schema();
         let telemetry = Arc::new(ServerTelemetry::new(&config));
 
+        // Shard→core placement: only when pinning is on and the host has
+        // cores to spread over (core 0 is left to the net I/O threads).
+        let host_cores = crate::affinity::host_cores();
+
         let mut shards = Vec::with_capacity(shard_count);
         let mut workers = Vec::with_capacity(shard_count);
         for shard_id in 0..shard_count {
             let (tx, rx) = unbounded::<Job>();
             let gate = Arc::new(QueueGate::default());
             let metrics = Arc::new(ShardMetrics::default());
+            let pin_core = config
+                .pin_shards
+                .then(|| crate::affinity::placement(shard_id, host_cores))
+                .flatten();
             let worker = ShardWorker::new(
                 rx,
                 catalog.clone(),
@@ -141,6 +149,7 @@ impl Server {
                 config.columnar,
                 config.columnar_min_batch,
                 telemetry.clone(),
+                pin_core,
             );
             workers.push(
                 std::thread::Builder::new()

@@ -5,16 +5,41 @@ use std::fmt;
 /// Identifies one live skeleton stream (one user/device connection).
 ///
 /// The id doubles as the routing key: session `s` lives on shard
-/// `s.0 % shards`, so a session's frames are always processed by the same
-/// worker thread in push order — which is what keeps per-session NFA
-/// state single-threaded and lock-free.
+/// `splitmix64(s.0) % shards`, so a session's frames are always
+/// processed by the same worker thread in push order — which is what
+/// keeps per-session NFA state single-threaded and lock-free.
+///
+/// Routing hashes the id rather than taking it modulo directly because
+/// real id populations are anything but uniform: sequential allocation
+/// (the network edge hands out consecutive ids), stride patterns
+/// (`user_id * 16`), or ids already carrying a shard number in their low
+/// bits would all pile onto a subset of shards under plain modulo. The
+/// splitmix64 finaliser is a full-avalanche bijection, so any distinct
+/// id population spreads near-uniformly — see
+/// `shard_routing_spreads_adversarial_populations`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SessionId(pub u64);
 
+/// The splitmix64 finaliser: a cheap (3 multiplies/xor-shifts) bijection
+/// on `u64` with full avalanche — every input bit affects every output
+/// bit with probability ~1/2.
+#[inline]
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl SessionId {
     /// Shard index this session routes to given `shards` workers.
+    ///
+    /// Deterministic for the life of the process (same id + same shard
+    /// count → same shard), so detections stay bit-identical across
+    /// shard counts: routing only selects *which* single-threaded
+    /// worker owns the session, never how its frames are evaluated.
     pub fn shard(&self, shards: usize) -> usize {
-        (self.0 % shards.max(1) as u64) as usize
+        (splitmix64(self.0) % shards.max(1) as u64) as usize
     }
 }
 
@@ -27,5 +52,62 @@ impl fmt::Display for SessionId {
 impl From<u64> for SessionId {
     fn from(v: u64) -> Self {
         SessionId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Max per-shard deviation from a perfectly even spread, as a
+    /// fraction of the expected per-shard count.
+    fn max_skew(ids: impl Iterator<Item = u64>, shards: usize) -> f64 {
+        let mut counts = vec![0usize; shards];
+        let mut n = 0usize;
+        for id in ids {
+            counts[SessionId(id).shard(shards)] += 1;
+            n += 1;
+        }
+        let expected = n as f64 / shards as f64;
+        counts
+            .iter()
+            .map(|&c| (c as f64 - expected).abs() / expected)
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn shard_routing_spreads_adversarial_populations() {
+        // Populations that plain modulo routes pathologically: strided
+        // ids (mod 8 would put `i * 8` entirely on shard 0) and ids with
+        // constant low bits. Sequential ids are the common benign case.
+        for shards in [2usize, 4, 8] {
+            let n = 4096u64;
+            let sequential = 0..n;
+            let strided = (0..n).map(|i| i * 8);
+            let high_entropy_low_zero = (0..n).map(|i| splitmix64(i) << 16);
+            for (name, skew) in [
+                ("sequential", max_skew(sequential.clone(), shards)),
+                ("strided", max_skew(strided, shards)),
+                ("low-zero", max_skew(high_entropy_low_zero, shards)),
+            ] {
+                assert!(
+                    skew < 0.25,
+                    "{name} ids skew {skew:.3} across {shards} shards"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_routing_is_deterministic_and_in_range() {
+        for id in [0u64, 1, 42, u64::MAX] {
+            for shards in [1usize, 2, 4, 8, 7] {
+                let s = SessionId(id).shard(shards);
+                assert!(s < shards);
+                assert_eq!(s, SessionId(id).shard(shards));
+            }
+            // Degenerate shard count clamps to one shard.
+            assert_eq!(SessionId(id).shard(0), 0);
+        }
     }
 }

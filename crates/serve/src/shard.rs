@@ -69,6 +69,12 @@ pub(crate) enum Control {
 
 /// Producer-side view of a shard's queue: depth gate for backpressure
 /// plus the shed handshake of the drop-oldest policy.
+///
+/// 128-byte aligned so two shards' gates never share a cache line:
+/// `depth` is hit by producers and the worker on every batch, and with
+/// core-pinned shards false sharing between neighbouring gates would
+/// couple otherwise independent shards.
+#[repr(align(128))]
 pub(crate) struct QueueGate {
     /// Batches currently queued.
     pub depth: AtomicUsize,
@@ -199,6 +205,9 @@ pub(crate) struct ShardWorker {
     /// 1-in-N decision for timing this batch's stages (single-owner:
     /// a plain integer countdown, no atomics).
     stage_sampler: Sampler,
+    /// Core to pin this worker to at start-up (`None` = unpinned; see
+    /// `crate::affinity::placement`).
+    pin_core: Option<usize>,
 }
 
 impl ShardWorker {
@@ -214,6 +223,7 @@ impl ShardWorker {
         columnar: bool,
         columnar_min_batch: usize,
         telemetry: Arc<ServerTelemetry>,
+        pin_core: Option<usize>,
     ) -> Self {
         let slots = KinectSlots::resolve(&schema, "");
         let stage_sampler = telemetry.sampler();
@@ -234,12 +244,24 @@ impl ShardWorker {
             tuples: Vec::new(),
             telemetry,
             stage_sampler,
+            pin_core,
         }
     }
 
     /// The worker loop. Exits on `Shutdown` or when every sender is gone.
     pub fn run(mut self) {
         let _gate_guard = GateGuard(self.gate.clone());
+        // Pin before touching any session state so the NFA slabs and
+        // view scratch are first faulted in from the core that will use
+        // them. Failure (non-Linux, restricted cpuset) degrades to an
+        // unpinned worker; `gesto_shard_pinned_core` stays -1.
+        if let Some(cpu) = self.pin_core {
+            if crate::affinity::pin_current_thread(cpu) {
+                self.metrics
+                    .pinned_core
+                    .store(cpu as i64, Ordering::Relaxed);
+            }
+        }
         while let Ok(job) = self.rx.recv() {
             match job {
                 Job::Batch(batch) => {
@@ -381,7 +403,18 @@ impl ShardWorker {
                 *per_gesture.entry(d.gesture.clone()).or_insert(0) += 1;
             }
             metrics.record_detections(&per_gesture, detections.len() as u64);
-            let listeners = self.listeners.read();
+            // Writers (subscribe/unsubscribe, deploy-time) are rare, so
+            // this read lock is uncontended on the steady state; when it
+            // is not, count the wait — `gesto_shard_contention_total`
+            // staying 0 is the audited no-blocking claim of the hot
+            // path.
+            let listeners = match self.listeners.try_read() {
+                Some(guard) => guard,
+                None => {
+                    metrics.contention.fetch_add(1, Ordering::Relaxed);
+                    self.listeners.read()
+                }
+            };
             for d in detections.iter() {
                 for l in listeners.iter() {
                     // A panicking user sink must not take the shard (and

@@ -94,38 +94,39 @@ impl ServerTelemetry {
             &[],
         );
 
-        // NFA run accounting (process-global statics in gesto-cep).
-        registry.register_gauge_ref(
+        // NFA run accounting (process-global statics in gesto-cep;
+        // sharded instruments, summed at scrape time).
+        registry.register_sharded_gauge_ref(
             "gesto_nfa_runs_active",
             "Live (partial-match) NFA runs across all sessions",
             &[],
             &gesto_cep::metrics::NFA_RUNS_ACTIVE,
         );
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_nfa_runs_seeded_total",
             "NFA runs started by a first-step match",
             &[],
             &gesto_cep::metrics::NFA_RUNS_SEEDED_TOTAL,
         );
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_nfa_runs_expired_total",
             "NFA runs discarded because a within-window expired",
             &[],
             &gesto_cep::metrics::NFA_RUNS_EXPIRED_TOTAL,
         );
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_nfa_runs_shed_total",
             "NFA runs shed by the max_runs overload guard",
             &[],
             &gesto_cep::metrics::NFA_RUNS_SHED_TOTAL,
         );
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_nfa_matches_total",
             "Completed pattern matches emitted by the NFA",
             &[],
             &gesto_cep::metrics::NFA_MATCHES_TOTAL,
         );
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_nfa_arena_compactions_total",
             "Event-arena compactions performed by NFA runtimes",
             &[],
@@ -133,19 +134,19 @@ impl ServerTelemetry {
         );
 
         // Predicate kernel (vectorized pre-pass) counters.
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_kernel_block_evals_total",
             "Vectorized predicate evaluations (one per hot step per block)",
             &[],
             &gesto_cep::metrics::KERNEL_BLOCK_EVALS_TOTAL,
         );
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_kernel_block_rows_total",
             "Rows presented to the vectorized predicate kernel",
             &[],
             &gesto_cep::metrics::KERNEL_BLOCK_ROWS_TOTAL,
         );
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_kernel_scalar_fallback_total",
             "Rows the kernel left undecided and deferred to the scalar evaluator",
             &[],
@@ -153,13 +154,13 @@ impl ServerTelemetry {
         );
 
         // Columnar block builders (gesto-stream).
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_blocks_built_total",
             "Columnar frame blocks materialised",
             &[],
             &gesto_stream::metrics::BLOCKS_BUILT_TOTAL,
         );
-        registry.register_counter_ref(
+        registry.register_sharded_counter_ref(
             "gesto_block_rows_built_total",
             "Rows materialised across all built blocks",
             &[],
@@ -254,6 +255,19 @@ impl ServerTelemetry {
                     "gesto_shard_block_skips_total",
                     "Batches that skipped block building (under columnar_min_batch)",
                     m.block_skips.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_contention_total",
+                    "Times the shard worker had to wait on a shared structure \
+                     (0 on the steady state)",
+                    m.contention.load(Ordering::Relaxed),
+                );
+                set.gauge(
+                    "gesto_shard_pinned_core",
+                    "CPU core the shard worker is pinned to (-1 = unpinned)",
+                    &labels,
+                    m.pinned_core.load(Ordering::Relaxed) as f64,
                 );
                 set.gauge(
                     "gesto_shard_sessions",

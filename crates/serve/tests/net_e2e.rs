@@ -224,6 +224,44 @@ fn protocol_basics_ping_idempotent_close_and_concurrent_clients() {
 }
 
 #[test]
+fn sharded_io_threads_serve_concurrent_clients() {
+    // Two SO_REUSEPORT listener shards (clamped to one on platforms
+    // without the raw-syscall backend — the test is then the plain
+    // single-loop path, still valid). Four concurrent clients must all
+    // be served, with edge-wide unique engine sessions: every client
+    // gets exactly its own detections back.
+    let server = Server::start(ServerConfig::new().with_shards(2));
+    teach_swipe(&server);
+    let net = NetServer::start(server.handle(), NetConfig::new().with_io_threads(2)).unwrap();
+    let addr = net.local_addr();
+
+    let workers: Vec<_> = (0..4u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).unwrap();
+                let frames = swipe_frames(500 + i);
+                for chunk in frames.chunks(CHUNK) {
+                    client.send_batch(i, chunk).unwrap();
+                }
+                client.bye().unwrap()
+            })
+        })
+        .collect();
+    for (i, w) in workers.into_iter().enumerate() {
+        let detections = w.join().unwrap();
+        assert!(!detections.is_empty(), "client {i} saw no detections");
+        assert!(
+            detections.iter().all(|d| d.session == i as u64),
+            "client {i} received another client's detections"
+        );
+    }
+    assert_eq!(net.metrics().sessions_opened(), 4);
+
+    net.shutdown();
+    server.shutdown();
+}
+
+#[test]
 fn malformed_bytes_get_an_error_frame_then_disconnect() {
     use std::io::{Read, Write};
 

@@ -7,9 +7,8 @@
 //! deployed query chain.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::error::StreamError;
 use crate::operator::BoxedOperator;
@@ -41,98 +40,51 @@ impl std::fmt::Debug for ViewDef {
     }
 }
 
-/// Thread-safe registry of base streams and views.
+/// One immutable published state of the catalog: the stream/view maps
+/// plus the *fully precomputed* resolve table (every registered name
+/// maps to its `(base_stream, views_outermost_last)` chain).
+///
+/// Built under the registration lock, then published wholesale; readers
+/// never see a partially updated state and never compute a resolution
+/// themselves.
 #[derive(Default)]
-pub struct Catalog {
-    inner: RwLock<CatalogInner>,
-}
-
-#[derive(Default)]
-struct CatalogInner {
+struct CatalogSnapshot {
     streams: HashMap<String, SchemaRef>,
     views: HashMap<String, ViewDef>,
-    /// Memoised [`Catalog::resolve`] results, keyed by source name.
-    /// Cleared whenever the stream/view topology changes; shared across
-    /// every engine and server shard deploying over this catalog.
     resolved: HashMap<String, (String, Vec<ViewDef>)>,
 }
 
-impl Catalog {
-    /// Creates an empty catalog.
-    pub fn new() -> Self {
-        Self::default()
+impl CatalogSnapshot {
+    fn clone_topology(&self) -> CatalogSnapshot {
+        CatalogSnapshot {
+            streams: self.streams.clone(),
+            views: self.views.clone(),
+            resolved: HashMap::new(),
+        }
     }
 
-    /// Registers a base stream schema.
-    pub fn register_stream(&self, schema: SchemaRef) -> Result<(), StreamError> {
-        let mut inner = self.inner.write();
-        let name = schema.name.clone();
-        if inner.streams.contains_key(&name) || inner.views.contains_key(&name) {
-            return Err(StreamError::DuplicateStream(name));
+    /// Recomputes the full resolve table. The topology is a DAG by
+    /// construction (`register_view` demands the input already exist,
+    /// and names are unique), so every walk terminates; the length
+    /// guard is purely defensive.
+    fn rebuild_resolved(&mut self) -> Result<(), StreamError> {
+        self.resolved = HashMap::with_capacity(self.streams.len() + self.views.len());
+        for name in self.streams.keys() {
+            self.resolved
+                .insert(name.clone(), (name.clone(), Vec::new()));
         }
-        inner.streams.insert(name, schema);
-        inner.resolved.clear();
-        Ok(())
-    }
-
-    /// Registers a derived view. The input must already exist.
-    pub fn register_view(&self, view: ViewDef) -> Result<(), StreamError> {
-        let mut inner = self.inner.write();
-        if inner.streams.contains_key(&view.name) || inner.views.contains_key(&view.name) {
-            return Err(StreamError::DuplicateStream(view.name));
-        }
-        if !inner.streams.contains_key(&view.input) && !inner.views.contains_key(&view.input) {
-            return Err(StreamError::UnknownStream(view.input));
-        }
-        inner.views.insert(view.name.clone(), view);
-        inner.resolved.clear();
-        Ok(())
-    }
-
-    /// Schema of a stream or view by name.
-    pub fn schema_of(&self, name: &str) -> Result<SchemaRef, StreamError> {
-        let inner = self.inner.read();
-        if let Some(s) = inner.streams.get(name) {
-            return Ok(s.clone());
-        }
-        if let Some(v) = inner.views.get(name) {
-            return Ok(v.schema.clone());
-        }
-        Err(StreamError::UnknownStream(name.to_owned()))
-    }
-
-    /// True when `name` is a registered base stream.
-    pub fn is_stream(&self, name: &str) -> bool {
-        self.inner.read().streams.contains_key(name)
-    }
-
-    /// Looks up a view definition.
-    pub fn view(&self, name: &str) -> Option<ViewDef> {
-        self.inner.read().views.get(name).cloned()
-    }
-
-    /// Resolves the chain of view definitions from `name` down to its base
-    /// stream: returns `(base_stream, views_outermost_last)`.
-    ///
-    /// E.g. for `kinect_t` over `kinect` this returns
-    /// `("kinect", [kinect_t])`; instantiating the factories in order turns
-    /// base tuples into view tuples.
-    pub fn resolve(&self, name: &str) -> Result<(String, Vec<ViewDef>), StreamError> {
-        if let Some(hit) = self.inner.read().resolved.get(name) {
-            return Ok(hit.clone());
-        }
-        let result = {
-            let inner = self.inner.read();
+        for name in self.views.keys() {
             let mut chain = Vec::new();
-            let mut current = name.to_owned();
+            let mut current = name.clone();
             loop {
-                if inner.streams.contains_key(&current) {
+                if self.streams.contains_key(&current) {
                     chain.reverse();
-                    break (current, chain);
+                    self.resolved.insert(name.clone(), (current, chain));
+                    break;
                 }
-                match inner.views.get(&current) {
+                match self.views.get(&current) {
                     Some(v) => {
-                        if chain.len() > inner.views.len() {
+                        if chain.len() > self.views.len() {
                             return Err(StreamError::Pipeline(format!(
                                 "view cycle detected while resolving '{name}'"
                             )));
@@ -143,33 +95,168 @@ impl Catalog {
                     None => return Err(StreamError::UnknownStream(current)),
                 }
             }
-        };
-        // The topology is add-only and names are unique, so a successful
-        // resolution can never be invalidated by later registrations —
-        // caching it is race-free even though the walk ran under an
-        // earlier read lock.
-        self.inner
-            .write()
+        }
+        Ok(())
+    }
+}
+
+/// Thread-safe registry of base streams and views.
+///
+/// Built for a multi-core steady state: every read path (`resolve`,
+/// `schema_of`, `view`, …) is **lock-free** — a single `Acquire` load of
+/// the current `CatalogSnapshot` pointer, no reference counting, no
+/// read lock for shard workers to contend on. Registrations serialise
+/// on a `Mutex`, rebuild the snapshot (including the complete resolve
+/// table), and publish it with one `Release` store.
+///
+/// Superseded snapshots are retained until the catalog drops rather
+/// than reference-counted: registrations are rare, snapshots are small
+/// (the maps hold `Arc`'d schemas and factories), and retention is what
+/// lets readers dereference the current pointer without any
+/// synchronisation beyond the load.
+pub struct Catalog {
+    /// The currently published snapshot. Readers `Acquire`-load and
+    /// dereference; writers `Release`-store after pushing the new box
+    /// into `history`.
+    current: AtomicPtr<CatalogSnapshot>,
+    /// Registration lock + owner of every snapshot ever published (the
+    /// heap allocations behind `current` and any stale readers).
+    ///
+    /// The boxing is load-bearing despite `clippy::vec_box`: `current`
+    /// points **into** these allocations, so snapshots must have stable
+    /// addresses across `Vec` growth.
+    #[allow(clippy::vec_box)]
+    history: Mutex<Vec<Box<CatalogSnapshot>>>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        let first = Box::new(CatalogSnapshot::default());
+        let ptr = &*first as *const CatalogSnapshot as *mut CatalogSnapshot;
+        Catalog {
+            current: AtomicPtr::new(ptr),
+            history: Mutex::new(vec![first]),
+        }
+    }
+
+    /// The current snapshot (one `Acquire` load, no lock).
+    fn snapshot(&self) -> &CatalogSnapshot {
+        // SAFETY: `current` always points into a `Box` owned by
+        // `history`, which only grows and is dropped with `self`; the
+        // returned borrow cannot outlive `&self`. The `Release` store
+        // in `publish` pairs with this `Acquire` load, so the
+        // dereferenced snapshot is fully initialised.
+        unsafe { &*self.current.load(Ordering::Acquire) }
+    }
+
+    /// Publishes `snap` as the new current snapshot. Caller holds the
+    /// `history` lock.
+    #[allow(clippy::vec_box)] // see `history`: addresses must be stable
+    fn publish(
+        history: &mut Vec<Box<CatalogSnapshot>>,
+        current: &AtomicPtr<CatalogSnapshot>,
+        snap: CatalogSnapshot,
+    ) {
+        let boxed = Box::new(snap);
+        let ptr = &*boxed as *const CatalogSnapshot as *mut CatalogSnapshot;
+        history.push(boxed);
+        current.store(ptr, Ordering::Release);
+    }
+
+    /// Registers a base stream schema.
+    pub fn register_stream(&self, schema: SchemaRef) -> Result<(), StreamError> {
+        let mut history = self.history.lock().unwrap();
+        let cur = self.snapshot();
+        let name = schema.name.clone();
+        if cur.streams.contains_key(&name) || cur.views.contains_key(&name) {
+            return Err(StreamError::DuplicateStream(name));
+        }
+        let mut next = cur.clone_topology();
+        next.streams.insert(name, schema);
+        next.rebuild_resolved()?;
+        Self::publish(&mut history, &self.current, next);
+        Ok(())
+    }
+
+    /// Registers a derived view. The input must already exist.
+    pub fn register_view(&self, view: ViewDef) -> Result<(), StreamError> {
+        let mut history = self.history.lock().unwrap();
+        let cur = self.snapshot();
+        if cur.streams.contains_key(&view.name) || cur.views.contains_key(&view.name) {
+            return Err(StreamError::DuplicateStream(view.name));
+        }
+        if !cur.streams.contains_key(&view.input) && !cur.views.contains_key(&view.input) {
+            return Err(StreamError::UnknownStream(view.input));
+        }
+        let mut next = cur.clone_topology();
+        next.views.insert(view.name.clone(), view);
+        next.rebuild_resolved()?;
+        Self::publish(&mut history, &self.current, next);
+        Ok(())
+    }
+
+    /// Schema of a stream or view by name.
+    pub fn schema_of(&self, name: &str) -> Result<SchemaRef, StreamError> {
+        let snap = self.snapshot();
+        if let Some(s) = snap.streams.get(name) {
+            return Ok(s.clone());
+        }
+        if let Some(v) = snap.views.get(name) {
+            return Ok(v.schema.clone());
+        }
+        Err(StreamError::UnknownStream(name.to_owned()))
+    }
+
+    /// True when `name` is a registered base stream.
+    pub fn is_stream(&self, name: &str) -> bool {
+        self.snapshot().streams.contains_key(name)
+    }
+
+    /// Looks up a view definition.
+    pub fn view(&self, name: &str) -> Option<ViewDef> {
+        self.snapshot().views.get(name).cloned()
+    }
+
+    /// Resolves the chain of view definitions from `name` down to its base
+    /// stream: returns `(base_stream, views_outermost_last)`.
+    ///
+    /// E.g. for `kinect_t` over `kinect` this returns
+    /// `("kinect", [kinect_t])`; instantiating the factories in order turns
+    /// base tuples into view tuples.
+    ///
+    /// Lock-free: the resolve table is precomputed at registration time,
+    /// so the steady state (every `deploy`, every session instantiation)
+    /// is a hash lookup in the current snapshot.
+    pub fn resolve(&self, name: &str) -> Result<(String, Vec<ViewDef>), StreamError> {
+        self.snapshot()
             .resolved
-            .insert(name.to_owned(), result.clone());
-        Ok(result)
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StreamError::UnknownStream(name.to_owned()))
     }
 
     /// All registered view definitions, sorted by name (the deterministic
     /// enumeration [`crate::SharedViews`] derives its slot numbering
     /// from).
     pub fn view_defs(&self) -> Vec<ViewDef> {
-        let mut out: Vec<ViewDef> = self.inner.read().views.values().cloned().collect();
+        let mut out: Vec<ViewDef> = self.snapshot().views.values().cloned().collect();
         out.sort_by(|a, b| a.name.cmp(&b.name));
         out
     }
 
     /// All registered stream and view names (streams first, then views).
     pub fn names(&self) -> Vec<String> {
-        let inner = self.inner.read();
-        let mut out: Vec<String> = inner.streams.keys().cloned().collect();
+        let snap = self.snapshot();
+        let mut out: Vec<String> = snap.streams.keys().cloned().collect();
         out.sort();
-        let mut views: Vec<String> = inner.views.keys().cloned().collect();
+        let mut views: Vec<String> = snap.views.keys().cloned().collect();
         views.sort();
         out.extend(views);
         out

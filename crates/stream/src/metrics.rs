@@ -6,11 +6,15 @@
 //! builders are shared by every session and have no registry handle to
 //! thread through.
 
-use gesto_telemetry::Counter;
+use gesto_telemetry::ShardedCounter;
 
 /// Columnar frame blocks materialised ([`crate::ColumnBlock::begin`] /
 /// `begin_filtered` calls).
-pub static BLOCKS_BUILT_TOTAL: Counter = Counter::new();
+///
+/// Sharded variants: every shard worker builds blocks on every batch,
+/// so a single-atomic counter would false-share one cache line across
+/// all pinned cores (see `gesto_cep::metrics`).
+pub static BLOCKS_BUILT_TOTAL: ShardedCounter = ShardedCounter::new();
 
 /// Rows materialised across all built blocks.
-pub static BLOCK_ROWS_BUILT_TOTAL: Counter = Counter::new();
+pub static BLOCK_ROWS_BUILT_TOTAL: ShardedCounter = ShardedCounter::new();

@@ -1,5 +1,6 @@
 //! The push-based operator abstraction.
 
+use crate::block::ColumnBlock;
 use crate::schema::SchemaRef;
 use crate::tuple::Tuple;
 
@@ -25,6 +26,32 @@ pub trait Operator: Send {
     ///
     /// The default implementation emits nothing.
     fn finish(&mut self, _emit: &mut Emit<'_>) {}
+
+    /// Batch-boundary hint from block-building callers (see
+    /// [`Self::fill_block`]): when `on`, the operator may record
+    /// per-emission state during the following `process` calls so the
+    /// batch's float lanes can be written straight from source data.
+    /// Called once before each batch. The default ignores it.
+    fn begin_block_capture(&mut self, _on: bool) {}
+
+    /// Writes the float lanes of `block` for exactly the tuples in
+    /// `out` — this operator's emissions since the last
+    /// `begin_block_capture(true)` — restricted to the `cols` column
+    /// filter (same contract as
+    /// [`ColumnBlock::fill_from_tuples_filtered`]).
+    ///
+    /// Returning `true` asserts the written block is **bit-identical**
+    /// to rebuilding the lanes from `out`; operators that cannot write
+    /// lanes directly return `false` (the default) and the caller
+    /// performs that rebuild itself.
+    fn fill_block(
+        &mut self,
+        _out: &[Tuple],
+        _cols: Option<&[usize]>,
+        _block: &mut ColumnBlock,
+    ) -> bool {
+        false
+    }
 }
 
 /// A boxed operator, the unit the pipeline wires together.

@@ -250,6 +250,8 @@ impl SharedViews {
             if !st.needed {
                 continue;
             }
+            let build_block = self.columnar && st.block_cols.as_ref().is_none_or(|c| !c.is_empty());
+            st.op.begin_block_capture(build_block);
             let out = &mut st.out;
             let offsets = &mut st.offsets;
             let op = &mut st.op;
@@ -280,9 +282,18 @@ impl SharedViews {
                 }
             }
             st.live = true;
-            if self.columnar && st.block_cols.as_ref().is_none_or(|c| !c.is_empty()) {
-                st.block
-                    .fill_from_tuples_filtered(&st.out, st.block_cols.as_deref());
+            if build_block {
+                // Operators that can write their lanes straight from
+                // source data (e.g. `KinectTOp` from transformed
+                // skeleton frames) skip the tuple round-trip; everyone
+                // else gets the generic rebuild.
+                if !st
+                    .op
+                    .fill_block(&st.out, st.block_cols.as_deref(), &mut st.block)
+                {
+                    st.block
+                        .fill_from_tuples_filtered(&st.out, st.block_cols.as_deref());
+                }
             } else {
                 st.block.clear();
             }
@@ -576,6 +587,87 @@ mod tests {
             sv.base_block().unwrap().lane(1).unwrap().values(),
             &[1.0, 2.0]
         );
+    }
+
+    #[test]
+    fn operator_fill_block_overrides_tuple_rebuild() {
+        use crate::operator::{Emit, Operator};
+
+        /// Pass-through operator whose `fill_block` writes a sentinel
+        /// value into every lane cell — so the test can tell whether
+        /// the direct path or the tuple rebuild produced the block.
+        struct SentinelOp {
+            schema: SchemaRef,
+            capturing: bool,
+        }
+        impl Operator for SentinelOp {
+            fn name(&self) -> &str {
+                "sentinel"
+            }
+            fn output_schema(&self) -> SchemaRef {
+                self.schema.clone()
+            }
+            fn process(&mut self, tuple: &Tuple, emit: &mut Emit<'_>) {
+                emit(tuple.clone());
+            }
+            fn begin_block_capture(&mut self, on: bool) {
+                self.capturing = on;
+            }
+            fn fill_block(
+                &mut self,
+                out: &[Tuple],
+                cols: Option<&[usize]>,
+                block: &mut ColumnBlock,
+            ) -> bool {
+                if !self.capturing {
+                    return false;
+                }
+                block.begin_filtered(&self.schema, out.len(), cols);
+                for r in 0..out.len() {
+                    block.write_float(1, r, 99.0);
+                }
+                true
+            }
+        }
+
+        let cat = Catalog::new();
+        cat.register_stream(base()).unwrap();
+        let schema = base();
+        let op_schema = SchemaBuilder::new("v")
+            .timestamp("ts")
+            .float("x")
+            .build()
+            .unwrap();
+        cat.register_view(ViewDef {
+            name: "v".into(),
+            input: "kinect".into(),
+            schema: op_schema.clone(),
+            factory: Arc::new(move || {
+                Box::new(SentinelOp {
+                    schema: op_schema.clone(),
+                    capturing: false,
+                })
+            }),
+        })
+        .unwrap();
+
+        let mut sv = SharedViews::new(&cat);
+        let slot = sv.slot_of("v").unwrap();
+        sv.set_needed(["v"]);
+        let t = Tuple::new(schema, vec![Value::Timestamp(0), Value::Float(3.0)]).unwrap();
+        sv.begin_batch("kinect", std::slice::from_ref(&t));
+        // The sentinel — not the tuple's 3.0 — proves fill_block won.
+        assert_eq!(
+            sv.view_block(slot).unwrap().lane(1).unwrap().values(),
+            &[99.0]
+        );
+        // Scalar outputs are untouched by the block path.
+        assert_eq!(sv.outputs(slot)[0].f64("x"), Some(3.0));
+
+        // Columnar off: no capture hint, no blocks.
+        sv.set_columnar(false);
+        sv.begin_batch("kinect", std::slice::from_ref(&t));
+        assert!(sv.view_block(slot).is_none());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Hot-path instruments: lock-free counters, gauges and the shared
 //! power-of-two histogram.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 /// A monotonically increasing counter (one relaxed atomic add per
 /// update).
@@ -77,6 +77,123 @@ impl Gauge {
     #[inline]
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of independent cache-line-padded slots in a [`ShardedCounter`]
+/// or [`ShardedGauge`]. Each updating thread hashes to one slot, so up
+/// to this many cores can update the same instrument without a single
+/// cache line ping-ponging between them.
+pub const SHARDED_SLOTS: usize = 16;
+
+/// One cache-line-isolated counter slot. 128-byte alignment covers the
+/// spatial-prefetcher pair-line granularity on common x86 parts.
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct PaddedU64(AtomicU64);
+
+/// One cache-line-isolated gauge slot (see [`PaddedU64`]).
+#[repr(align(128))]
+#[derive(Debug, Default)]
+struct PaddedI64(AtomicI64);
+
+/// Slot indices are handed out once per thread from this sequence, so
+/// long-lived workers (shard threads, I/O threads) land on distinct
+/// slots and stay there for their lifetime.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % SHARDED_SLOTS;
+}
+
+#[inline]
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|s| *s)
+}
+
+/// A [`Counter`] split across [`SHARDED_SLOTS`] cache-line-padded
+/// atomics: updates hit a per-thread slot, reads sum all slots.
+///
+/// This is the multi-core variant of the process-global statics. With a
+/// plain `Counter`, every shard worker bumping e.g.
+/// `gesto_nfa_matches_total` contends on one cache line, and that false
+/// sharing taxes the hot path exactly when the server scales past one
+/// core. Updates here are still one relaxed RMW; only `get()` (scrape
+/// time) pays for the fan-in.
+#[derive(Debug, Default)]
+pub struct ShardedCounter {
+    slots: [PaddedU64; SHARDED_SLOTS],
+}
+
+impl ShardedCounter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        ShardedCounter {
+            slots: [const { PaddedU64(AtomicU64::new(0)) }; SHARDED_SLOTS],
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.slots[thread_slot()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value: the sum over all slots. Relaxed per-slot loads, so
+    /// a concurrent reader sees a value that was true at *some* moment —
+    /// fine for scrapes and steady-state assertions.
+    pub fn get(&self) -> u64 {
+        self.slots.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A [`Gauge`] split across [`SHARDED_SLOTS`] cache-line-padded atomics
+/// (see [`ShardedCounter`] for why). Supports only relative updates —
+/// `set()` would need cross-slot coordination, and the hot-path users
+/// (NFA run accounting) are inc/dec shaped.
+#[derive(Debug, Default)]
+pub struct ShardedGauge {
+    slots: [PaddedI64; SHARDED_SLOTS],
+}
+
+impl ShardedGauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        ShardedGauge {
+            slots: [const { PaddedI64(AtomicI64::new(0)) }; SHARDED_SLOTS],
+        }
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if n != 0 {
+            self.slots[thread_slot()].0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtracts one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value: the sum over all slots (relaxed; see
+    /// [`ShardedCounter::get`]).
+    pub fn get(&self) -> i64 {
+        self.slots.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
     }
 }
 
@@ -285,6 +402,54 @@ mod tests {
         assert_eq!(h.buckets().iter().sum::<u64>(), 40_000);
         let snap = h.snapshot();
         assert_eq!(snap.count, 40_000);
+    }
+
+    #[test]
+    fn sharded_counter_sums_across_threads() {
+        static C: ShardedCounter = ShardedCounter::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        C.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        C.add(5);
+        assert_eq!(C.get(), 80_005);
+    }
+
+    #[test]
+    fn sharded_gauge_balances_across_threads() {
+        static G: ShardedGauge = ShardedGauge::new();
+        let up: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..1_000 {
+                        G.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in up {
+            t.join().unwrap();
+        }
+        // Decrements from a different thread than the increments must
+        // still net out: slots are summed, not per-thread balances.
+        std::thread::spawn(|| {
+            for _ in 0..4_000 {
+                G.dec();
+            }
+        })
+        .join()
+        .unwrap();
+        assert_eq!(G.get(), 0);
+        G.add(-7);
+        assert_eq!(G.get(), -7);
     }
 
     #[test]

@@ -48,6 +48,9 @@ mod registry;
 mod sampler;
 
 pub use encode::encode_text;
-pub use instruments::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use instruments::{
+    Counter, Gauge, Histogram, HistogramSnapshot, ShardedCounter, ShardedGauge, HISTOGRAM_BUCKETS,
+    SHARDED_SLOTS,
+};
 pub use registry::{MetricKind, Registry, Sample, SampleSet, SampleValue};
 pub use sampler::{Sampler, SharedSampler};

@@ -4,7 +4,9 @@
 
 use std::sync::{Arc, Mutex};
 
-use crate::instruments::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::instruments::{
+    Counter, Gauge, Histogram, HistogramSnapshot, ShardedCounter, ShardedGauge,
+};
 
 /// What kind of time series a sample belongs to (drives the `# TYPE`
 /// line of the exposition format).
@@ -113,13 +115,19 @@ enum Instrument {
     CounterRef(&'static Counter),
     GaugeRef(&'static Gauge),
     HistogramRef(&'static Histogram),
+    ShardedCounterRef(&'static ShardedCounter),
+    ShardedGaugeRef(&'static ShardedGauge),
 }
 
 impl Instrument {
     fn kind(&self) -> MetricKind {
         match self {
-            Instrument::Counter(_) | Instrument::CounterRef(_) => MetricKind::Counter,
-            Instrument::Gauge(_) | Instrument::GaugeRef(_) => MetricKind::Gauge,
+            Instrument::Counter(_)
+            | Instrument::CounterRef(_)
+            | Instrument::ShardedCounterRef(_) => MetricKind::Counter,
+            Instrument::Gauge(_) | Instrument::GaugeRef(_) | Instrument::ShardedGaugeRef(_) => {
+                MetricKind::Gauge
+            }
             Instrument::Histogram(_) | Instrument::HistogramRef(_) => MetricKind::Histogram,
         }
     }
@@ -128,8 +136,10 @@ impl Instrument {
         match self {
             Instrument::Counter(c) => SampleValue::Counter(c.get()),
             Instrument::CounterRef(c) => SampleValue::Counter(c.get()),
+            Instrument::ShardedCounterRef(c) => SampleValue::Counter(c.get()),
             Instrument::Gauge(g) => SampleValue::Gauge(g.get() as f64),
             Instrument::GaugeRef(g) => SampleValue::Gauge(g.get() as f64),
+            Instrument::ShardedGaugeRef(g) => SampleValue::Gauge(g.get() as f64),
             Instrument::Histogram(h) => SampleValue::Histogram(Box::new(h.snapshot())),
             Instrument::HistogramRef(h) => SampleValue::Histogram(Box::new(h.snapshot())),
         }
@@ -319,6 +329,52 @@ impl Registry {
             help,
             labels,
             Instrument::HistogramRef(histogram),
+        );
+    }
+
+    /// Exports a `'static` [`ShardedCounter`] (summed over its slots at
+    /// scrape time). Same idempotence as
+    /// [`register_counter_ref`](Registry::register_counter_ref).
+    pub fn register_sharded_counter_ref(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        counter: &'static ShardedCounter,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        if find(&inner.entries, name, labels).is_some() {
+            return;
+        }
+        push(
+            &mut inner.entries,
+            name,
+            help,
+            labels,
+            Instrument::ShardedCounterRef(counter),
+        );
+    }
+
+    /// Exports a `'static` [`ShardedGauge`] (summed over its slots at
+    /// scrape time). Same idempotence as
+    /// [`register_counter_ref`](Registry::register_counter_ref).
+    pub fn register_sharded_gauge_ref(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        gauge: &'static ShardedGauge,
+    ) {
+        let mut inner = self.inner.lock().unwrap();
+        if find(&inner.entries, name, labels).is_some() {
+            return;
+        }
+        push(
+            &mut inner.entries,
+            name,
+            help,
+            labels,
+            Instrument::ShardedGaugeRef(gauge),
         );
     }
 

@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use gesto_kinect::{schema_named, KinectSlots, SkeletonFrame, KINECT_STREAM};
-use gesto_stream::{Catalog, Emit, Operator, SchemaRef, StreamError, Tuple, ViewDef};
+use gesto_stream::{Catalog, ColumnBlock, Emit, Operator, SchemaRef, StreamError, Tuple, ViewDef};
 
 use crate::transform::{TransformConfig, Transformer};
 
@@ -35,6 +35,12 @@ pub struct KinectTOp {
     /// Reusable frame scratch (read target + transform output live on the
     /// stack; this avoids re-zeroing the read target every frame).
     scratch: SkeletonFrame,
+    /// Transformed frames of the current batch while block capture is on
+    /// (see [`Operator::fill_block`]): the columnar lanes are then
+    /// written straight from these via [`KinectSlots::write_block`],
+    /// skipping the tuple→lane rebuild.
+    capture: Vec<SkeletonFrame>,
+    capturing: bool,
 }
 
 impl KinectTOp {
@@ -48,6 +54,8 @@ impl KinectTOp {
             in_slots: None,
             transformer: Transformer::new(config),
             scratch: SkeletonFrame::empty(0, 0),
+            capture: Vec::new(),
+            capturing: false,
         }
     }
 }
@@ -68,6 +76,8 @@ impl Operator for KinectTOp {
             in_slots,
             transformer,
             scratch,
+            capture,
+            capturing,
         } = self;
         let cached = matches!(&*in_slots, Some((schema, _)) if Arc::ptr_eq(schema, tuple.schema()));
         if !cached {
@@ -80,7 +90,32 @@ impl Operator for KinectTOp {
         slots.read_frame(tuple, scratch);
         if let Some(transformed) = transformer.transform_frame(scratch) {
             emit(out_slots.tuple(&transformed, out_schema));
+            if *capturing {
+                capture.push(transformed);
+            }
         }
+    }
+
+    fn begin_block_capture(&mut self, on: bool) {
+        self.capturing = on;
+        self.capture.clear();
+    }
+
+    fn fill_block(
+        &mut self,
+        out: &[Tuple],
+        cols: Option<&[usize]>,
+        block: &mut ColumnBlock,
+    ) -> bool {
+        // One captured frame per emitted tuple, in order, or the capture
+        // is unusable (defensive — cannot happen when the capture hint
+        // bracketed the batch) and the caller rebuilds from tuples.
+        if !self.capturing || self.capture.len() != out.len() {
+            return false;
+        }
+        self.out_slots
+            .write_block(&self.capture, &self.out_schema, cols, block);
+        true
     }
 }
 
@@ -161,6 +196,73 @@ mod tests {
         let t = gesto_kinect::frame_to_tuple(&empty, &schema);
         let out = gesto_stream::run_operator(op.as_mut(), &[t]);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn view_block_written_directly_matches_tuple_rebuild() {
+        // SharedViews lets KinectTOp write the view block straight from
+        // its transformed frames (`fill_block`); the result must be
+        // bit-identical to rebuilding the lanes from the output tuples
+        // — including dropout Nulls — both unfiltered and under a
+        // column filter (the same pattern that pins
+        // `KinectSlots::write_block` in gesto-kinect).
+        use gesto_kinect::{kinect_schema, Joint, NoiseModel};
+        use gesto_stream::SharedViews;
+
+        let schema = kinect_schema();
+        let out_schema = kinect_t_schema();
+        let mut perf = Performer::new(
+            Persona::reference()
+                .with_noise(NoiseModel::realistic())
+                .with_seed(11),
+            0,
+        );
+        let mut frames = perf.render(&gestures::swipe_right());
+        frames[2].joints[Joint::RightHand.index()] = None; // dropout
+        let tuples = frames_to_tuples(&frames, &schema);
+
+        let rhand: Vec<usize> = ["rHand_x", "rHand_y", "rHand_z"]
+            .iter()
+            .map(|n| out_schema.index_of(n).unwrap())
+            .collect();
+        for cols in [None, Some(rhand.as_slice())] {
+            let cat = standard_catalog();
+            let mut sv = SharedViews::new(&cat);
+            sv.set_needed([KINECT_T]);
+            if let Some(cols) = cols {
+                sv.clear_block_columns();
+                sv.add_view_block_columns(KINECT_T, cols);
+            }
+            sv.begin_batch(KINECT_STREAM, &tuples);
+            let slot = sv.slot_of(KINECT_T).unwrap();
+            let direct = sv.view_block(slot).expect("view ran");
+
+            let mut rebuilt = gesto_stream::ColumnBlock::new();
+            rebuilt.fill_from_tuples_filtered(sv.outputs(slot), cols);
+
+            assert_eq!(direct.rows(), rebuilt.rows());
+            assert!(direct.rows() > 0, "transform emitted nothing");
+            for c in 0..out_schema.len() {
+                match (direct.lane(c), rebuilt.lane(c)) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.null(), b.null(), "col {c} null mask");
+                        assert_eq!(a.other(), b.other(), "col {c} other mask");
+                        for r in 0..direct.rows() {
+                            if !a.null().get(r) {
+                                assert!(
+                                    a.values()[r].to_bits() == b.values()[r].to_bits(),
+                                    "col {c} row {r}: {} != {}",
+                                    a.values()[r],
+                                    b.values()[r]
+                                );
+                            }
+                        }
+                    }
+                    (a, b) => panic!("col {c}: lane presence diverged ({a:?} vs {b:?})"),
+                }
+            }
+        }
     }
 
     #[test]

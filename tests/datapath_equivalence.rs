@@ -113,9 +113,13 @@ fn reference_detections(plans: &[Arc<QueryPlan>], tuples: &[Tuple]) -> Vec<Detec
     out
 }
 
+/// One detection's full-fidelity comparison key: (gesture, ts,
+/// started_at, event value strings).
+type CanonicalDetection = (String, i64, i64, Vec<String>);
+
 /// Canonical sort + full-fidelity comparison key. Events are kept as
 /// value strings so a mismatch prints something readable.
-fn canonical(mut ds: Vec<Detection>) -> Vec<(String, i64, i64, Vec<String>)> {
+fn canonical(mut ds: Vec<Detection>) -> Vec<CanonicalDetection> {
     ds.sort_by(|a, b| (&a.gesture, a.ts, a.started_at).cmp(&(&b.gesture, b.ts, b.started_at)));
     ds.into_iter()
         .map(|d| {
@@ -583,6 +587,111 @@ fn engine_shared_path_matches_seed_per_route_path() {
         }
     }
     assert!(non_empty >= 4, "sweep must actually detect gestures");
+}
+
+/// Runs a fresh sharded server over the per-session workloads and
+/// returns every session's canonical detections (index = session id).
+fn sharded_server_detections(
+    set: &[gesto::cep::Query],
+    sessions: &[Vec<SkeletonFrame>],
+    shards: usize,
+    pin: bool,
+) -> Vec<Vec<CanonicalDetection>> {
+    let catalog = standard_catalog();
+    let funcs = {
+        let e = Engine::new(catalog.clone());
+        register_rpy(e.functions());
+        e.functions().clone()
+    };
+    let plans: Vec<_> = set
+        .iter()
+        .map(|q| QueryPlan::compile(q.clone(), catalog.as_ref(), &funcs).expect("compiles"))
+        .collect();
+    let server = Server::with_parts(
+        ServerConfig::new()
+            .with_shards(shards)
+            .with_pin_shards(pin)
+            .with_backpressure(BackpressurePolicy::Block),
+        catalog,
+        funcs,
+        Arc::new(gesto::db::GestureStore::new()),
+    );
+    for p in &plans {
+        server.deploy_plan(p.clone()).expect("deploys");
+    }
+    let hits: Arc<Mutex<HashMap<SessionId, Vec<Detection>>>> = Arc::new(Mutex::new(HashMap::new()));
+    let sink_hits = hits.clone();
+    server.on_detection(Arc::new(move |session, d: &Detection| {
+        sink_hits.lock().entry(session).or_default().push(d.clone());
+    }));
+    // Varying chunk sizes per session so batches of different sessions
+    // interleave differently at every shard count.
+    for (s, frames) in sessions.iter().enumerate() {
+        for chunk in frames.chunks(24 + s * 7) {
+            server
+                .push_batch(SessionId(s as u64), chunk.to_vec())
+                .expect("push");
+        }
+    }
+    server.drain().expect("drain");
+    let mut hits = hits.lock();
+    let out = (0..sessions.len())
+        .map(|s| canonical(hits.remove(&SessionId(s as u64)).unwrap_or_default()))
+        .collect();
+    server.shutdown();
+    out
+}
+
+/// The scale-out property: sharding is a pure partitioning of work.
+/// For any gesture set and session population, every shard count and
+/// either pinning mode produces **bit-identical** per-session detections
+/// — and therefore exact conservation of the total detection count —
+/// relative to the 1-shard run. Pinning degrades gracefully on hosts
+/// where affinity is restricted, so this holds on any machine.
+#[test]
+fn shard_count_and_pinning_do_not_change_detections() {
+    let pool = query_pool();
+    let mut rng = Rng::new(0x5AA5);
+    let mut detected = 0usize;
+    for case in 0..2u64 {
+        // Random non-empty query subset and a session population whose
+        // size is not a multiple of any shard count under test.
+        let mask = 1 + rng.below(31);
+        let set: Vec<_> = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, q)| q.clone())
+            .collect();
+        let sessions: Vec<Vec<SkeletonFrame>> = (0..3 + case as usize * 2)
+            .map(|_| workload(rng.below(8)))
+            .collect();
+
+        let baseline = sharded_server_detections(&set, &sessions, 1, false);
+        let total: usize = baseline.iter().map(Vec::len).sum();
+        detected += total;
+
+        for (shards, pin) in [
+            (2, false),
+            (4, false),
+            (8, false),
+            (2, true),
+            (4, true),
+            (8, true),
+        ] {
+            let got = sharded_server_detections(&set, &sessions, shards, pin);
+            let conserved: usize = got.iter().map(Vec::len).sum();
+            assert_eq!(
+                conserved, total,
+                "case {case}: {shards} shards (pin={pin}) lost/duplicated detections"
+            );
+            assert_eq!(
+                got, baseline,
+                "case {case}: {shards} shards (pin={pin}) diverged from 1 shard"
+            );
+        }
+    }
+    assert!(detected > 0, "sweep must actually detect gestures");
 }
 
 #[test]

@@ -38,6 +38,16 @@ impl<T: ?Sized> Mutex<T> {
         }
     }
 
+    /// Attempts to acquire the lock without blocking; `None` if it is
+    /// currently held.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
         match self.0.get_mut() {
@@ -81,6 +91,16 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Attempts shared read access without blocking; `None` if a writer
+    /// holds the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(g) => Some(g),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires exclusive write access.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         match self.0.write() {
@@ -121,5 +141,32 @@ mod tests {
         assert_eq!(l.read().len(), 1);
         l.write().push(2);
         assert_eq!(l.into_inner(), vec![1, 2]);
+    }
+
+    #[test]
+    fn try_variants() {
+        let m = Mutex::new(1);
+        {
+            let held = m.lock();
+            assert!(m.try_lock().is_none());
+            drop(held);
+        }
+        *m.try_lock().unwrap() += 1;
+        assert_eq!(*m.lock(), 2);
+
+        let l = RwLock::new(1);
+        {
+            // Readers don't block try_read…
+            let r = l.read();
+            assert!(l.try_read().is_some());
+            drop(r);
+        }
+        {
+            // …writers do.
+            let w = l.write();
+            assert!(l.try_read().is_none());
+            drop(w);
+        }
+        assert_eq!(*l.try_read().unwrap(), 1);
     }
 }
