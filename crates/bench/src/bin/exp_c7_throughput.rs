@@ -6,13 +6,19 @@
 //! cargo run --release -p gesto-bench --bin exp_c7_throughput -- \
 //!     --sessions 1,8,64,512 --frames 600 [--shards 1,2,4] [--strict] \
 //!     [--no-warmup] [--block | --no-block] [--stage-sample N] \
-//!     [--json BENCH_serve.json]
+//!     [--journal] [--json BENCH_serve.json]
 //! ```
 //!
 //! By default every sweep point is measured twice — once on the
 //! columnar data path (frame→block conversion + vectorized predicate
 //! pre-pass) and once on the scalar path — and both numbers land in the
 //! output. `--block` / `--no-block` restrict the sweep to one mode.
+//!
+//! `--journal` adds a third leg per sweep point: the same run on a
+//! **durable** server (write-ahead journal + checkpoints at the default
+//! `FsyncPolicy::Always`). Only control-plane ops are journaled, so the
+//! steady-state data path should be unaffected; the leg exists to pin
+//! that claim with numbers (the acceptance bar is <3% overhead).
 
 use std::time::Instant;
 
@@ -20,7 +26,7 @@ use gesto_bench::{learn_gesture, Table};
 use gesto_kinect::{gestures, Performer, Persona, SkeletonFrame};
 use gesto_learn::query_gen::{generate_query, QueryStyle};
 use gesto_learn::LearnerConfig;
-use gesto_serve::{BackpressurePolicy, Server, ServerConfig, SessionId};
+use gesto_serve::{BackpressurePolicy, DurabilityConfig, Server, ServerConfig, SessionId};
 
 struct Args {
     sessions: Vec<usize>,
@@ -37,6 +43,11 @@ struct Args {
     /// Stage-timer sampling period handed to the server (0 = timers
     /// off). Lets the telemetry overhead be A/B'd on one machine.
     stage_sample: u32,
+    /// Measure a durable (journaled) leg per sweep point.
+    journal: bool,
+    /// Repetitions per measured leg; the best run is reported (the
+    /// standard noise-resistant estimator on shared/1-core hosts).
+    repeat: usize,
     json: Option<String>,
 }
 
@@ -52,6 +63,8 @@ fn parse_args() -> Args {
         block: true,
         scalar: true,
         stage_sample: 64,
+        journal: false,
+        repeat: 1,
         json: None,
     };
     let mut it = std::env::args().skip(1);
@@ -76,6 +89,8 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("number")
             }
+            "--journal" => args.journal = true,
+            "--repeat" => args.repeat = it.next().expect("--repeat N").parse().expect("number"),
             "--json" => args.json = Some(it.next().expect("--json PATH")),
             other => panic!("unknown argument '{other}'"),
         }
@@ -115,6 +130,8 @@ struct RunResult {
     /// Scalar-path frames/sec of the same sweep point (`None` when only
     /// one mode was measured).
     fps_no_block: Option<f64>,
+    /// Durable-server frames/sec of the same sweep point (`--journal`).
+    fps_journal: Option<f64>,
 }
 
 #[allow(clippy::too_many_arguments)] // bench harness: flat knobs read better than a config struct here
@@ -127,15 +144,28 @@ fn run(
     columnar: bool,
     stage_sample: u32,
     expected_per_session: Option<u64>,
+    journal: bool,
 ) -> RunResult {
-    let server = Server::start(
-        ServerConfig::new()
-            .with_shards(shards)
-            .with_queue_capacity(256)
-            .with_backpressure(BackpressurePolicy::Block)
-            .with_columnar(columnar)
-            .with_stage_sample_every(stage_sample),
-    );
+    let mut config = ServerConfig::new()
+        .with_shards(shards)
+        .with_queue_capacity(256)
+        .with_backpressure(BackpressurePolicy::Block)
+        .with_columnar(columnar)
+        .with_stage_sample_every(stage_sample);
+    // The durable leg journals into a scratch dir at the default fsync
+    // policy (Always) — the full cost, not a relaxed setting.
+    let journal_dir = if journal {
+        let dir = std::env::temp_dir().join(format!(
+            "gesto-c7-journal-{}-{sessions}x{shards}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        config = config.with_durability_config(DurabilityConfig::new(&dir));
+        Some(dir)
+    } else {
+        None
+    };
+    let server = Server::start(config);
 
     // Compile-once invariant: G gestures deployed to N sessions must
     // compile exactly G plans, process-wide.
@@ -202,6 +232,9 @@ fn run(
 
     let detections = m.detections();
     server.shutdown();
+    if let Some(dir) = journal_dir {
+        std::fs::remove_dir_all(&dir).ok();
+    }
     let elapsed_ms = elapsed.as_secs_f64() * 1e3;
     RunResult {
         sessions,
@@ -211,6 +244,7 @@ fn run(
         elapsed_ms,
         fps: frames_total as f64 / elapsed.as_secs_f64(),
         fps_no_block: None,
+        fps_journal: None,
     }
 }
 
@@ -259,6 +293,7 @@ fn main() {
         primary_columnar,
         args.stage_sample,
         None,
+        false,
     );
     let per_session = reference.detections;
     assert!(
@@ -275,6 +310,7 @@ fn main() {
         "elapsed_ms",
         "frames/sec",
         "no-block f/s",
+        "journal f/s",
     ]);
     let mut results = Vec::new();
     for &shards in &args.shards {
@@ -293,32 +329,42 @@ fn main() {
                     primary_columnar,
                     args.stage_sample,
                     None,
+                    false,
                 );
             }
-            let mut r = run(
-                &queries,
-                &frames,
-                sessions,
-                shards,
-                args.batch,
-                primary_columnar,
-                args.stage_sample,
-                Some(per_session),
-            );
+            // Each measured leg runs --repeat times; the best run is
+            // kept (best-of-N discards scheduler noise, the dominant
+            // error source on small/shared hosts).
+            let best = |columnar: bool, journal: bool| {
+                (0..args.repeat.max(1))
+                    .map(|_| {
+                        run(
+                            &queries,
+                            &frames,
+                            sessions,
+                            shards,
+                            args.batch,
+                            columnar,
+                            args.stage_sample,
+                            Some(per_session),
+                            journal,
+                        )
+                    })
+                    .max_by(|a, b| a.fps.total_cmp(&b.fps))
+                    .expect("repeat >= 1")
+            };
+            let mut r = best(primary_columnar, false);
             // A/B: the same point on the scalar path (detections are
             // asserted identical), recorded alongside.
             if args.block && args.scalar {
-                let scalar_run = run(
-                    &queries,
-                    &frames,
-                    sessions,
-                    shards,
-                    args.batch,
-                    false,
-                    args.stage_sample,
-                    Some(per_session),
-                );
-                r.fps_no_block = Some(scalar_run.fps);
+                r.fps_no_block = Some(best(false, false).fps);
+            }
+            // A/B: the same point on a durable server (write-ahead
+            // journal + checkpoints, default fsync policy). Detections
+            // are asserted identical — durability must not change what
+            // the engine computes, and should barely change how fast.
+            if args.journal {
+                r.fps_journal = Some(best(primary_columnar, true).fps);
             }
             table.row(&[
                 r.sessions.to_string(),
@@ -328,6 +374,8 @@ fn main() {
                 format!("{:.1}", r.elapsed_ms),
                 format!("{:.0}", r.fps),
                 r.fps_no_block
+                    .map_or_else(|| "-".into(), |f| format!("{f:.0}")),
+                r.fps_journal
                     .map_or_else(|| "-".into(), |f| format!("{f:.0}")),
             ]);
             results.push(r);
@@ -362,6 +410,24 @@ fn main() {
         _ => println!("\n(sweep has no 1-shard/multi-shard pair to compare)"),
     }
 
+    // Journal overhead: the headline durability number. Only control-
+    // plane ops hit the journal, so this should be measurement noise.
+    if args.journal {
+        let overheads: Vec<f64> = results
+            .iter()
+            .filter_map(|r| r.fps_journal.map(|j| (1.0 - j / r.fps) * 100.0))
+            .collect();
+        if !overheads.is_empty() {
+            let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
+            let worst = overheads.iter().cloned().fold(f64::MIN, f64::max);
+            println!(
+                "\njournal overhead (fsync=always): mean {mean:+.1}%, worst {worst:+.1}% \
+                 across {} sweep point(s)",
+                overheads.len()
+            );
+        }
+    }
+
     if let Some(path) = &args.json {
         let mut rows = String::new();
         for (i, r) in results.iter().enumerate() {
@@ -371,19 +437,27 @@ fn main() {
             let no_block = r.fps_no_block.map_or(String::new(), |f| {
                 format!(", \"frames_per_sec_no_block\": {f:.0}")
             });
+            let journal = r.fps_journal.map_or(String::new(), |f| {
+                format!(
+                    ", \"frames_per_sec_journal\": {f:.0}, \"journal_overhead_pct\": {:.1}",
+                    (1.0 - f / r.fps) * 100.0
+                )
+            });
             rows.push_str(&format!(
-                "    {{\"sessions\": {}, \"shards\": {}, \"frames\": {}, \"detections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}{no_block}}}",
+                "    {{\"sessions\": {}, \"shards\": {}, \"frames\": {}, \"detections\": {}, \"elapsed_ms\": {:.1}, \"frames_per_sec\": {:.0}{no_block}{journal}}}",
                 r.sessions, r.shards, r.frames_total, r.detections, r.elapsed_ms, r.fps
             ));
         }
         let json = format!(
-            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"warmup_runs\": {},\n  \"columnar\": {},\n  \"stage_sample_every\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
+            "{{\n  \"experiment\": \"exp_c7_throughput\",\n  \"host_cores\": {cores},\n  \"frames_per_session\": {},\n  \"batch\": {},\n  \"gestures\": {},\n  \"warmup_runs\": {},\n  \"columnar\": {},\n  \"stage_sample_every\": {},\n  \"journal_leg\": {},\n  \"repeat\": {},\n  \"detections_per_session\": {per_session},\n  \"results\": [\n{rows}\n  ]\n}}\n",
             args.frames,
             args.batch,
             args.gestures,
             u32::from(args.warmup),
             primary_columnar,
-            args.stage_sample
+            args.stage_sample,
+            args.journal,
+            args.repeat.max(1)
         );
         std::fs::write(path, json).expect("write json");
         println!("\nwrote {path}");

@@ -323,6 +323,10 @@ pub struct NfaRuntime {
     completed_events: Vec<u32>,
     /// Arena mark/remap scratch for compaction.
     remap: Vec<u32>,
+    /// When false, tuples stop seeding new runs; existing runs still
+    /// advance to completion (the draining half of a versioned plan
+    /// rollout).
+    seeding: bool,
     /// Scratch backing the legacy [`Self::advance`] wrapper.
     legacy_scratch: MatchScratch,
 }
@@ -382,6 +386,7 @@ impl NfaRuntime {
             completed: Vec::new(),
             completed_events: Vec::new(),
             remap: Vec::new(),
+            seeding: true,
             legacy_scratch: MatchScratch::new(),
         }
     }
@@ -410,6 +415,19 @@ impl NfaRuntime {
     /// Live partial matches.
     pub fn active_runs(&self) -> usize {
         self.runs.len()
+    }
+
+    /// Enables or disables seeding of new runs. With seeding off the
+    /// runtime drains: tuples still advance (and complete) existing
+    /// partial matches, but never start new ones — once
+    /// [`Self::active_runs`] reaches zero the runtime is inert.
+    pub fn set_seeding(&mut self, seeding: bool) {
+        self.seeding = seeding;
+    }
+
+    /// Whether tuples may seed new runs (see [`Self::set_seeding`]).
+    pub fn is_seeding(&self) -> bool {
+        self.seeding
     }
 
     /// Runs discarded because of the `max_runs` cap.
@@ -534,8 +552,10 @@ impl NfaRuntime {
             step_live,
             completed,
             completed_events,
+            seeding,
             ..
         } = self;
+        let seeding = *seeding;
         let program: &NfaProgram = program;
         let stride = program.steps.len();
 
@@ -564,7 +584,7 @@ impl NfaRuntime {
         // memo below (still at most one evaluation per tuple).
         if let Some(b) = block.filter(|b| b.rows() == tuples.len() && !tuples.is_empty()) {
             if any_live {
-                out.pre_hot[0] = step_live[0];
+                out.pre_hot[0] = step_live[0] && seeding;
                 for run in runs.iter() {
                     let s = run.next as usize;
                     out.pre_hot[s] = step_live[s];
@@ -670,7 +690,8 @@ impl NfaRuntime {
             }
 
             // Seed a new run: this tuple as leaf 0.
-            if step_live[0]
+            if seeding
+                && step_live[0]
                 && step_hit(
                     &out.pre,
                     &out.pre_hot,

@@ -173,6 +173,25 @@ impl PlanInstance {
         self.nfa.reset();
     }
 
+    /// Switches the instance into (or out of) draining mode: while
+    /// draining, pushed tuples still advance and complete existing
+    /// partial matches but never seed new ones. A versioned rollout
+    /// keeps the retiring instance draining until [`Self::active_runs`]
+    /// hits zero, so no in-flight match is dropped at cutover.
+    pub fn set_draining(&mut self, draining: bool) {
+        self.nfa.set_seeding(!draining);
+    }
+
+    /// Whether the instance is draining (see [`Self::set_draining`]).
+    pub fn is_draining(&self) -> bool {
+        !self.nfa.is_seeding()
+    }
+
+    /// Live partial matches (cheap accessor for drain polling).
+    pub fn active_runs(&self) -> usize {
+        self.nfa.active_runs()
+    }
+
     /// Runtime statistics in the engine's [`QueryStats`] shape.
     pub fn stats(&self) -> QueryStats {
         QueryStats {
@@ -566,5 +585,40 @@ mod tests {
         assert_eq!(i.stats().active_runs, 1);
         i.reset();
         assert_eq!(i.stats().active_runs, 0);
+    }
+
+    #[test]
+    fn draining_completes_but_never_seeds() {
+        let cat = catalog();
+        let funcs = FunctionRegistry::with_builtins();
+        let q = parse_query(r#"SELECT "g" MATCHING kinect(x < 1) -> kinect(x > 9);"#).unwrap();
+        let plan = QueryPlan::compile(q, &cat, &funcs).unwrap();
+        let mut i = plan.instantiate();
+        let mut out = Vec::new();
+
+        // One in-flight run, then switch to draining.
+        i.push("kinect", &tup(0, 0.5), &mut out).unwrap();
+        assert_eq!(i.active_runs(), 1);
+        i.set_draining(true);
+        assert!(i.is_draining());
+
+        // A seed-step tuple no longer starts a run…
+        i.push("kinect", &tup(5, 0.5), &mut out).unwrap();
+        assert_eq!(i.active_runs(), 1, "draining must not seed new runs");
+
+        // …but the in-flight run still completes.
+        i.push("kinect", &tup(10, 10.0), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(i.active_runs(), 0, "drained");
+
+        // Fully inert now.
+        i.push("kinect", &tup(20, 0.5), &mut out).unwrap();
+        i.push("kinect", &tup(30, 10.0), &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+
+        // Re-enabling seeding restores normal behaviour.
+        i.set_draining(false);
+        i.push("kinect", &tup(40, 0.5), &mut out).unwrap();
+        assert_eq!(i.active_runs(), 1);
     }
 }

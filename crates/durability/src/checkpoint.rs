@@ -1,0 +1,239 @@
+//! Atomic, CRC-validated checkpoints.
+//!
+//! A checkpoint captures the full control-plane state at a journal
+//! sequence number, so recovery can load it and replay only the journal
+//! tail. Two properties make it crash-safe:
+//!
+//! * **Atomic replace** — the payload is written to a temp file in the
+//!   same directory, fsynced, then `rename`d into place (rename within
+//!   a directory is atomic on POSIX). A crash mid-write leaves the
+//!   previous checkpoint untouched.
+//! * **Validated load** — the header carries a CRC32 over the sequence
+//!   number, length and payload; [`load_newest_checkpoint`] walks the
+//!   checkpoints newest-first and returns the first that validates,
+//!   skipping corrupt ones instead of deserializing garbage.
+//!
+//! # File format (normative, pinned by `journal_conformance`)
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic    b"GCK1"
+//! 4       4     crc32    (u32 LE, IEEE; over bytes 8..20 ++ payload)
+//! 8       8     seq      (u64 LE: last journaled op the payload covers)
+//! 16      4     payload_len (u32 LE)
+//! 20      n     payload  (opaque bytes)
+//! ```
+//!
+//! Files are named `ckpt-<seq>.ckpt`, seq zero-padded to 20 digits.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::journal::sync_dir;
+use crate::Crc32;
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 4] = b"GCK1";
+
+/// Bytes of framing before a checkpoint's payload.
+pub const CHECKPOINT_HEADER_LEN: usize = 20;
+
+/// A checkpoint read back from disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedCheckpoint {
+    /// Journal sequence number the payload covers (replay resumes at
+    /// `seq + 1`).
+    pub seq: u64,
+    /// The opaque snapshot payload.
+    pub payload: Vec<u8>,
+    /// Corrupt or unreadable newer checkpoint files that were skipped
+    /// before this one validated.
+    pub corrupt_skipped: usize,
+}
+
+fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("ckpt-{seq:020}.ckpt"))
+}
+
+/// Checkpoint files in `dir`, sorted by seq ascending.
+fn checkpoint_files(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("ckpt-")
+            .and_then(|s| s.strip_suffix(".ckpt"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Writes a checkpoint of `payload` covering journal sequence `seq`
+/// into `dir`, atomically (temp file + rename + directory fsync).
+/// Returns the final path.
+pub fn save_checkpoint(dir: impl AsRef<Path>, seq: u64, payload: &[u8]) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let mut crc = Crc32::new();
+    let seq_bytes = seq.to_le_bytes();
+    let len_bytes = (payload.len() as u32).to_le_bytes();
+    crc.update(&seq_bytes);
+    crc.update(&len_bytes);
+    crc.update(payload);
+
+    let tmp = dir.join(".ckpt-tmp");
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(CHECKPOINT_MAGIC)?;
+        f.write_all(&crc.finalize().to_le_bytes())?;
+        f.write_all(&seq_bytes)?;
+        f.write_all(&len_bytes)?;
+        f.write_all(payload)?;
+        f.sync_data()?;
+    }
+    let path = checkpoint_path(dir, seq);
+    std::fs::rename(&tmp, &path)?;
+    sync_dir(dir)?;
+    Ok(path)
+}
+
+/// Validates and decodes one checkpoint file's bytes.
+fn decode(bytes: &[u8]) -> Option<(u64, Vec<u8>)> {
+    if bytes.len() < CHECKPOINT_HEADER_LEN || &bytes[0..4] != CHECKPOINT_MAGIC {
+        return None;
+    }
+    let stored_crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let seq = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(bytes[16..20].try_into().unwrap()) as usize;
+    if bytes.len() != CHECKPOINT_HEADER_LEN + len {
+        return None;
+    }
+    let payload = &bytes[CHECKPOINT_HEADER_LEN..];
+    let mut crc = Crc32::new();
+    crc.update(&bytes[8..20]);
+    crc.update(payload);
+    if crc.finalize() != stored_crc {
+        return None;
+    }
+    Some((seq, payload.to_vec()))
+}
+
+/// Loads the newest checkpoint in `dir` that validates (magic, length
+/// and CRC), skipping corrupt ones. `Ok(None)` when the directory holds
+/// no valid checkpoint (or does not exist).
+pub fn load_newest_checkpoint(dir: impl AsRef<Path>) -> io::Result<Option<LoadedCheckpoint>> {
+    let dir = dir.as_ref();
+    if !dir.exists() {
+        return Ok(None);
+    }
+    let mut corrupt_skipped = 0;
+    for (_, path) in checkpoint_files(dir)?.into_iter().rev() {
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        match decode(&bytes) {
+            Some((seq, payload)) => {
+                return Ok(Some(LoadedCheckpoint {
+                    seq,
+                    payload,
+                    corrupt_skipped,
+                }))
+            }
+            None => corrupt_skipped += 1,
+        }
+    }
+    Ok(None)
+}
+
+/// Deletes all but the newest `keep` checkpoints. Returns how many were
+/// removed.
+pub fn prune_checkpoints(dir: impl AsRef<Path>, keep: usize) -> io::Result<usize> {
+    let dir = dir.as_ref();
+    let files = checkpoint_files(dir)?;
+    let mut removed = 0;
+    if files.len() > keep {
+        for (_, path) in &files[..files.len() - keep] {
+            std::fs::remove_file(path)?;
+            removed += 1;
+        }
+        sync_dir(dir)?;
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gesto-ckpt-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = scratch_dir("roundtrip");
+        save_checkpoint(&dir, 7, b"state at seven").unwrap();
+        let loaded = load_newest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(loaded.seq, 7);
+        assert_eq!(loaded.payload, b"state at seven");
+        assert_eq!(loaded.corrupt_skipped, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn newest_valid_wins_and_corrupt_is_skipped() {
+        let dir = scratch_dir("newest");
+        save_checkpoint(&dir, 3, b"old").unwrap();
+        let newest = save_checkpoint(&dir, 9, b"new").unwrap();
+        // Corrupt the newest in place (flip a payload byte).
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let loaded = load_newest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(loaded.seq, 3, "falls back to the older valid checkpoint");
+        assert_eq!(loaded.payload, b"old");
+        assert_eq!(loaded.corrupt_skipped, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_checkpoint_is_invalid() {
+        let dir = scratch_dir("trunc");
+        let path = save_checkpoint(&dir, 5, b"will be cut").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(load_newest_checkpoint(&dir).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_dir_is_none() {
+        assert_eq!(
+            load_newest_checkpoint("/nonexistent/gesto-ckpt").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn prune_keeps_newest() {
+        let dir = scratch_dir("prune");
+        for seq in [1, 2, 3, 4] {
+            save_checkpoint(&dir, seq, b"x").unwrap();
+        }
+        assert_eq!(prune_checkpoints(&dir, 2).unwrap(), 2);
+        let loaded = load_newest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(loaded.seq, 4);
+        assert_eq!(checkpoint_files(&dir).unwrap().len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

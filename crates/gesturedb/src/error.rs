@@ -14,6 +14,14 @@ pub enum DbError {
         /// Version this build supports.
         supported: u32,
     },
+    /// Snapshot integrity check failed (stored CRC does not match the
+    /// payload).
+    Corrupt {
+        /// CRC stored in the snapshot.
+        stored: u32,
+        /// CRC recomputed over the payload.
+        computed: u32,
+    },
     /// Filesystem error.
     Io(String),
     /// JSON (de)serialisation error.
@@ -35,6 +43,12 @@ impl fmt::Display for DbError {
                 write!(
                     f,
                     "snapshot version {found} unsupported (supported: {supported})"
+                )
+            }
+            DbError::Corrupt { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot corrupt: stored crc {stored:#010x}, computed {computed:#010x}"
                 )
             }
             DbError::Io(m) => write!(f, "io error: {m}"),

@@ -10,7 +10,7 @@ use std::path::Path;
 
 use gesto_learn::{GestureDefinition, GestureSample};
 use parking_lot::RwLock;
-use serde::{Deserialize, Serialize};
+use serde::{Content, DeError, Deserialize, Serialize};
 
 use crate::error::DbError;
 
@@ -26,16 +26,67 @@ pub struct GestureRecord {
 }
 
 /// Serialisable snapshot of the whole store.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct StoreSnapshot {
     /// Format version for forward compatibility.
     pub version: u32,
+    /// CRC-32 over the canonical JSON of `gestures` — bit rot in a
+    /// persisted snapshot is caught at [`GestureStore::restore`] instead
+    /// of silently loading a mangled gesture. Version-1 snapshots
+    /// predate the checksum; they deserialise with `crc == 0` and skip
+    /// the check.
+    pub crc: u32,
     /// Gestures by name.
     pub gestures: BTreeMap<String, GestureRecord>,
 }
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+// Hand-written (not derived) so version-1 snapshots — which have no
+// `crc` key — keep loading: the vendored serde shim treats every missing
+// struct field as an error.
+impl Serialize for StoreSnapshot {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("version".to_owned(), self.version.to_content()),
+            ("crc".to_owned(), self.crc.to_content()),
+            ("gestures".to_owned(), self.gestures.to_content()),
+        ])
+    }
+}
+
+impl Deserialize for StoreSnapshot {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let version = match content.get("version") {
+            Some(c) => u32::from_content(c)?,
+            None => return Err(DeError::new("missing field `version`")),
+        };
+        let crc = match content.get("crc") {
+            Some(c) => u32::from_content(c)?,
+            None => 0,
+        };
+        let gestures = match content.get("gestures") {
+            Some(c) => BTreeMap::from_content(c)?,
+            None => return Err(DeError::new("missing field `gestures`")),
+        };
+        Ok(StoreSnapshot {
+            version,
+            crc,
+            gestures,
+        })
+    }
+}
+
+/// Current snapshot format version. Version 2 added the payload CRC;
+/// version-1 snapshots still load (without the integrity check).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// CRC-32 over the canonical JSON of a gesture map. `BTreeMap` ordering
+/// makes the serialisation deterministic, so the checksum is stable
+/// across processes.
+pub fn snapshot_crc(gestures: &BTreeMap<String, GestureRecord>) -> u32 {
+    let json = serde_json::to_string(gestures)
+        .expect("in-memory serialisation of the gesture map cannot fail");
+    gesto_durability::crc32(json.as_bytes())
+}
 
 /// Thread-safe gesture database.
 #[derive(Default)]
@@ -64,6 +115,18 @@ impl GestureStore {
         let mut inner = self.inner.write();
         let rec = inner.entry(def.name.clone()).or_default();
         rec.definition = Some(def);
+        Ok(())
+    }
+
+    /// Inserts (or replaces) the full record of `name` — the journal-
+    /// replay entry point: a recovered control-plane op carries the
+    /// whole record. Validates the definition (if any) first.
+    pub fn put_record(&self, name: &str, record: GestureRecord) -> Result<(), DbError> {
+        if let Some(def) = &record.definition {
+            def.validate()
+                .map_err(|e| DbError::InvalidDefinition(format!("gesture '{name}': {e}")))?;
+        }
+        self.inner.write().insert(name.to_owned(), record);
         Ok(())
     }
 
@@ -125,21 +188,37 @@ impl GestureStore {
         }
     }
 
-    /// Snapshot for persistence.
+    /// Snapshot for persistence (carries a CRC over the payload).
     pub fn snapshot(&self) -> StoreSnapshot {
+        let gestures = self.inner.read().clone();
         StoreSnapshot {
             version: SNAPSHOT_VERSION,
-            gestures: self.inner.read().clone(),
+            crc: snapshot_crc(&gestures),
+            gestures,
         }
     }
 
     /// Restores from a snapshot (replaces current contents).
+    ///
+    /// Everything is validated **before** the write lock is taken — the
+    /// store is never left holding a half-checked snapshot: the version
+    /// must be supported, the CRC must match (version ≥ 2), and every
+    /// definition must validate.
     pub fn restore(&self, snapshot: StoreSnapshot) -> Result<(), DbError> {
-        if snapshot.version != SNAPSHOT_VERSION {
+        if snapshot.version == 0 || snapshot.version > SNAPSHOT_VERSION {
             return Err(DbError::Version {
                 found: snapshot.version,
                 supported: SNAPSHOT_VERSION,
             });
+        }
+        if snapshot.version >= 2 {
+            let computed = snapshot_crc(&snapshot.gestures);
+            if computed != snapshot.crc {
+                return Err(DbError::Corrupt {
+                    stored: snapshot.crc,
+                    computed,
+                });
+            }
         }
         for (name, rec) in &snapshot.gestures {
             if let Some(def) = &rec.definition {
@@ -253,12 +332,69 @@ mod tests {
         let store = GestureStore::new();
         let snap = StoreSnapshot {
             version: 99,
+            crc: 0,
             gestures: BTreeMap::new(),
         };
         assert!(matches!(
             store.restore(snap),
             Err(DbError::Version { found: 99, .. })
         ));
+    }
+
+    #[test]
+    fn v1_snapshot_without_crc_still_loads() {
+        // A version-1 snapshot (written before the checksum existed) has
+        // no `crc` key at all; it must keep loading.
+        let store = GestureStore::new();
+        store.add_sample("a", sample());
+        store.put_definition(def("a")).unwrap();
+        let gestures_json = serde_json::to_string(&store.snapshot().gestures).unwrap();
+        let v1 = format!("{{\"version\":1,\"gestures\":{gestures_json}}}");
+        let snap: StoreSnapshot = serde_json::from_str(&v1).unwrap();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.crc, 0);
+        let store2 = GestureStore::new();
+        store2.restore(snap).unwrap();
+        assert_eq!(store2.definition("a"), Some(def("a")));
+    }
+
+    #[test]
+    fn crc_mismatch_rejected() {
+        let store = GestureStore::new();
+        store.add_sample("a", sample());
+        let mut snap = store.snapshot();
+        assert_eq!(snap.version, SNAPSHOT_VERSION);
+        assert_ne!(snap.crc, 0);
+        // Mutate the payload after the checksum was taken.
+        snap.gestures
+            .insert("ghost".into(), GestureRecord::default());
+        let store2 = GestureStore::new();
+        assert!(matches!(store2.restore(snap), Err(DbError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn put_record_validates_and_inserts() {
+        let store = GestureStore::new();
+        let rec = GestureRecord {
+            samples: vec![sample()],
+            definition: Some(def("w")),
+            query_text: Some("Q".into()),
+        };
+        store.put_record("w", rec.clone()).unwrap();
+        assert_eq!(store.get("w"), Some(rec));
+
+        let mut bad = def("b");
+        bad.within_ms.clear();
+        let rec = GestureRecord {
+            samples: vec![],
+            definition: Some(bad),
+            query_text: None,
+        };
+        assert!(matches!(
+            store.put_record("b", rec),
+            Err(DbError::InvalidDefinition(_))
+        ));
+        assert!(store.get("b").is_none());
     }
 
     #[test]

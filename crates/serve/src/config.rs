@@ -1,5 +1,69 @@
 //! Server configuration.
 
+use std::path::PathBuf;
+
+use gesto_durability::FsyncPolicy;
+
+/// Durable control plane configuration: where the write-ahead journal
+/// and checkpoints live, and how aggressively they are persisted. See
+/// `docs/DURABILITY.md` for the on-disk formats and the recovery
+/// algorithm.
+///
+/// Only **control-plane** operations are journaled (teach, deploy,
+/// undeploy, set-config) — never frames — so the steady-state data path
+/// pays nothing for durability.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding journal segments (`wal-*.log`) and checkpoints
+    /// (`ckpt-*.ckpt`). Created on start if missing.
+    pub dir: PathBuf,
+    /// When appended journal records are fsynced. The default
+    /// ([`FsyncPolicy::Always`]) syncs every control op — they are rare,
+    /// so the cost is negligible; relax to `EveryN`/`IntervalMs` only if
+    /// the control plane itself becomes write-heavy.
+    pub fsync: FsyncPolicy,
+    /// Journaled ops between automatic checkpoints (each checkpoint
+    /// also rotates and compacts the journal). `0` disables automatic
+    /// checkpoints; [`crate::ServerHandle::checkpoint`] still works.
+    pub checkpoint_every: u64,
+    /// Checkpoint files retained after each checkpoint (older ones are
+    /// pruned). Keeping more than one lets recovery fall back past a
+    /// corrupt newest checkpoint.
+    pub keep_checkpoints: usize,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the default policies (fsync every
+    /// op, checkpoint every 16 ops, keep 2 checkpoints).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 16,
+            keep_checkpoints: 2,
+        }
+    }
+
+    /// Sets the fsync policy.
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.fsync = policy;
+        self
+    }
+
+    /// Sets the auto-checkpoint interval in journaled ops (`0` = manual
+    /// checkpoints only).
+    pub fn with_checkpoint_every(mut self, ops: u64) -> Self {
+        self.checkpoint_every = ops;
+        self
+    }
+
+    /// Sets how many checkpoints to retain (minimum 1).
+    pub fn with_keep_checkpoints(mut self, keep: usize) -> Self {
+        self.keep_checkpoints = keep.max(1);
+        self
+    }
+}
+
 /// What `push_batch` does when a shard's ingest queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackpressurePolicy {
@@ -72,6 +136,10 @@ pub struct ServerConfig {
     /// of a timed pipeline to one integer decrement per stage per
     /// batch.
     pub stage_sample_every: u32,
+    /// Durable control plane: journal every control op to disk, restore
+    /// store + deployed plans + config on restart. `None` (the default)
+    /// keeps the control plane in-memory only.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +152,7 @@ impl Default for ServerConfig {
             columnar_min_batch: 8,
             pin_shards: false,
             stage_sample_every: 64,
+            durability: None,
         }
     }
 }
@@ -140,6 +209,18 @@ impl ServerConfig {
     /// (`0` disables stage timing, `1` times every batch).
     pub fn with_stage_sample_every(mut self, every: u32) -> Self {
         self.stage_sample_every = every;
+        self
+    }
+
+    /// Enables the durable control plane with default policies under
+    /// `dir` (see [`DurabilityConfig::new`]).
+    pub fn with_durability(self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.with_durability_config(DurabilityConfig::new(dir))
+    }
+
+    /// Enables the durable control plane with an explicit configuration.
+    pub fn with_durability_config(mut self, config: DurabilityConfig) -> Self {
+        self.durability = Some(config);
         self
     }
 

@@ -20,6 +20,10 @@ pub enum ServeError {
     },
     /// The server is shut down (worker threads are gone).
     Shutdown,
+    /// The durable control plane failed: the journal could not be
+    /// appended, a checkpoint could not be written, or recovery found
+    /// state it cannot restore.
+    Durability(String),
 }
 
 impl fmt::Display for ServeError {
@@ -31,6 +35,7 @@ impl fmt::Display for ServeError {
                 write!(f, "shard {shard} ingest queue is full")
             }
             ServeError::Shutdown => write!(f, "server is shut down"),
+            ServeError::Durability(m) => write!(f, "durability error: {m}"),
         }
     }
 }

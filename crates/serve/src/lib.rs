@@ -60,6 +60,7 @@
 
 pub mod affinity;
 mod config;
+mod durable;
 mod error;
 mod metrics;
 pub mod net;
@@ -68,7 +69,8 @@ mod session;
 mod shard;
 mod telemetry;
 
-pub use config::{BackpressurePolicy, ServerConfig};
+pub use config::{BackpressurePolicy, DurabilityConfig, ServerConfig};
+pub use durable::ControlOp;
 pub use error::ServeError;
 pub use metrics::{LatencySummary, ServerMetrics, ShardMetrics, ShardSnapshot};
 pub use server::{DetectionSink, OfferOutcome, Server, ServerHandle};
@@ -266,6 +268,113 @@ mod tests {
         server.drain().unwrap();
         assert_eq!(server.metrics().sessions(), 9);
         assert!(m.shards.iter().all(|s| s.latency.samples > 0));
+        server.shutdown();
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gesto-serve-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_server_restarts_from_disk() {
+        let dir = temp_dir("restart");
+        let detections_of = |server: &Server| {
+            for user in 0..3u64 {
+                server
+                    .push_batch(SessionId(user), swipe_frames(200 + user))
+                    .unwrap();
+            }
+            server.drain().unwrap();
+            server.metrics().per_gesture.clone()
+        };
+
+        let server = Server::start(ServerConfig::new().with_shards(2).with_durability(&dir));
+        let samples: Vec<_> = (0..3).map(swipe_frames).collect();
+        server.teach("swipe_right", &samples).unwrap();
+        server
+            .deploy_text(r#"SELECT "never" MATCHING kinect(head_y > 100000);"#)
+            .unwrap();
+        server.set_config("mode", "demo").unwrap();
+        let versions = server.deployed_versions();
+        let store_snap = server.store().snapshot();
+        let config = server.config_entries();
+        let first_run = detections_of(&server);
+        assert!(first_run.contains_key("swipe_right"));
+        server.shutdown();
+
+        // A restarted server recovers the full control plane from disk —
+        // store, deployed plans with versions, config — and detects the
+        // same performances identically. Compiled once per plan, on
+        // recovery.
+        let server = Server::start(ServerConfig::new().with_shards(2).with_durability(&dir));
+        assert_eq!(server.deployed_versions(), versions);
+        assert_eq!(server.store().snapshot(), store_snap);
+        assert_eq!(server.config_entries(), config);
+        assert_eq!(server.get_config("mode").as_deref(), Some("demo"));
+        assert_eq!(server.metrics().plans_compiled, 2);
+        assert_eq!(detections_of(&server), first_run);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovery_replays_ops_beyond_checkpoint() {
+        let dir = temp_dir("replay");
+        let server = Server::start(ServerConfig::new().with_shards(1).with_durability(&dir));
+        server.set_config("a", "1").unwrap();
+        server.checkpoint().unwrap().expect("durability is on");
+        // Ops after the checkpoint live only in the journal tail.
+        server.set_config("b", "2").unwrap();
+        server
+            .deploy_text(r#"SELECT "late" MATCHING kinect(head_y > 100000);"#)
+            .unwrap();
+        server.shutdown();
+
+        let server = Server::start(ServerConfig::new().with_shards(1).with_durability(&dir));
+        assert_eq!(server.get_config("a").as_deref(), Some("1"));
+        assert_eq!(server.get_config("b").as_deref(), Some("2"));
+        assert_eq!(server.deployed(), vec!["late"]);
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn redeploy_bumps_version_and_drains_in_flight_runs() {
+        let server = server_with_swipe(ServerConfig::new().with_shards(1));
+        assert_eq!(server.plan_version("swipe_right"), Some(1));
+        let text = server
+            .store()
+            .get("swipe_right")
+            .unwrap()
+            .query_text
+            .unwrap();
+
+        // Seed an in-flight partial match: the first half of a swipe.
+        let frames = swipe_frames(77);
+        let (head, tail) = frames.split_at(frames.len() / 2);
+        server.push_batch(SessionId(0), head.to_vec()).unwrap();
+        server.drain().unwrap();
+
+        // Redeploy the same query mid-gesture: version 2 cuts in at the
+        // batch boundary, version 1 keeps draining its in-flight run.
+        server.deploy_text(&text).unwrap();
+        assert_eq!(server.plan_version("swipe_right"), Some(2));
+        server.drain().unwrap();
+        let retiring: usize = server.metrics().shards.iter().map(|s| s.retiring).sum();
+        assert_eq!(retiring, 1, "old version still draining");
+
+        // The drained run completes across the cutover: the performance
+        // begun under v1 is still detected — a redeploy under load loses
+        // no in-flight detection.
+        server.push_batch(SessionId(0), tail.to_vec()).unwrap();
+        server.drain().unwrap();
+        assert_eq!(
+            server.metrics().per_gesture.get("swipe_right"),
+            Some(&1),
+            "performance spanning the rollout detected exactly once"
+        );
         server.shutdown();
     }
 }

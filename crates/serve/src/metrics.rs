@@ -61,6 +61,11 @@ pub struct ShardMetrics {
     /// batch was under `columnar_min_batch`).
     pub(crate) block_skips: AtomicU64,
     pub(crate) sessions: AtomicUsize,
+    /// Retiring plan instances (replaced versions still draining their
+    /// in-flight runs) across this shard's sessions. 0 on the steady
+    /// state — a persistently non-zero value means a replaced plan's
+    /// partial matches never complete or expire.
+    pub(crate) retiring: AtomicUsize,
     /// CPU core this shard's worker is pinned to, or `-1` when
     /// unpinned. Written once at worker start-up.
     pub(crate) pinned_core: AtomicI64,
@@ -85,6 +90,7 @@ impl Default for ShardMetrics {
             columnar_batches: AtomicU64::new(0),
             block_skips: AtomicU64::new(0),
             sessions: AtomicUsize::new(0),
+            retiring: AtomicUsize::new(0),
             pinned_core: AtomicI64::new(-1),
             contention: AtomicU64::new(0),
             per_gesture: Mutex::new(HashMap::new()),
@@ -127,6 +133,7 @@ impl ShardMetrics {
             block_skips: self.block_skips.load(Ordering::Relaxed),
             queue_depth,
             sessions: self.sessions.load(Ordering::Relaxed),
+            retiring: self.retiring.load(Ordering::Relaxed),
             pinned_core: self.pinned_core.load(Ordering::Relaxed),
             contention: self.contention.load(Ordering::Relaxed),
             latency: LatencySummary::from_histogram(&self.latency),
@@ -162,6 +169,9 @@ pub struct ShardSnapshot {
     pub queue_depth: usize,
     /// Sessions resident on this shard.
     pub sessions: usize,
+    /// Retiring plan instances (replaced versions still draining) on
+    /// this shard.
+    pub retiring: usize,
     /// CPU core the worker is pinned to (`-1` = unpinned).
     pub pinned_core: i64,
     /// Times the worker had to wait on a shared structure (0 on the

@@ -7,14 +7,112 @@
 //! collects streamed detections. It is deliberately simple and
 //! synchronous: one per producer thread; the tests and the
 //! `exp_net_throughput` bench drive thousands of them.
+//!
+//! The data path **reconnects**: when the connection drops mid-stream,
+//! [`NetClient::send_batch`] (and the other session operations)
+//! redials with exponential backoff and jitter under the bounded retry
+//! budget of [`NetClientConfig`], re-handshakes, and re-opens every
+//! session the client had open — the producer keeps streaming through
+//! a server restart. Frames in flight around the drop may be lost (the
+//! transport is at-most-once; the engine's durable control plane is
+//! what survives the restart, not ephemeral frames). Control
+//! operations ([`NetClient::deploy_text`] and friends) are **not**
+//! auto-retried: a redeploy is version-bumping, so replaying one on a
+//! suspicion of loss is not idempotent — callers decide.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use gesto_kinect::SkeletonFrame;
 
 use super::wire::{self, ErrorCode, Message, WireDetection};
+
+/// Process-wide count of successful [`NetClient`] reconnects, exported
+/// by any in-process network edge as `gesto_net_client_reconnects_total`.
+static CLIENT_RECONNECTS: AtomicU64 = AtomicU64::new(0);
+
+/// Successful reconnects of every [`NetClient`] in this process.
+pub fn client_reconnects_total() -> u64 {
+    CLIENT_RECONNECTS.load(Ordering::Relaxed)
+}
+
+/// Reconnect policy of a [`NetClient`].
+///
+/// After a connection failure the client sleeps
+/// `min(base_backoff_ms << attempt, max_backoff_ms)` milliseconds,
+/// halved-and-jittered (equal jitter: half fixed, half random), then
+/// redials — at most `max_retries` times per failed operation before
+/// the error surfaces.
+#[derive(Debug, Clone)]
+pub struct NetClientConfig {
+    /// Hello flags to request (`wire::FLAG_*`).
+    pub flags: u16,
+    /// Redial attempts per failed operation (`0` disables reconnect).
+    pub max_retries: u32,
+    /// First backoff step, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        NetClientConfig {
+            flags: wire::FLAG_WANT_EVENTS,
+            max_retries: 3,
+            base_backoff_ms: 50,
+            max_backoff_ms: 2_000,
+        }
+    }
+}
+
+impl NetClientConfig {
+    /// Defaults: want events, 3 retries, 50 ms base backoff, 2 s cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the hello flags.
+    pub fn with_flags(mut self, flags: u16) -> Self {
+        self.flags = flags;
+        self
+    }
+
+    /// Sets the retry budget (`0` disables reconnect).
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Sets the first backoff step, in milliseconds.
+    pub fn with_base_backoff_ms(mut self, ms: u64) -> Self {
+        self.base_backoff_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the backoff ceiling, in milliseconds.
+    pub fn with_max_backoff_ms(mut self, ms: u64) -> Self {
+        self.max_backoff_ms = ms.max(1);
+        self
+    }
+}
+
+/// Is this I/O error a lost connection (worth redialling) rather than
+/// a protocol or logic error?
+fn is_disconnect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::WriteZero
+    )
+}
 
 /// A blocking client connection to a [`NetServer`](super::NetServer).
 ///
@@ -30,63 +128,103 @@ use super::wire::{self, ErrorCode, Message, WireDetection};
 /// ```
 pub struct NetClient {
     stream: TcpStream,
+    /// Resolved peer addresses, kept for redialling.
+    addrs: Vec<SocketAddr>,
+    config: NetClientConfig,
     rbuf: Vec<u8>,
     scratch: Vec<u8>,
     credits: u64,
     credit_waits: u64,
     rejected_batches: u64,
+    reconnects: u64,
     server_flags: u16,
     detections: VecDeque<WireDetection>,
+    /// Sessions this client considers open — re-opened on reconnect.
+    sessions: HashSet<u64>,
     closed_sessions: Vec<u64>,
+    control_acks: VecDeque<Option<String>>,
     last_pong: Option<u64>,
     next_ping: u64,
+    /// Splitmix64 state driving backoff jitter.
+    jitter: u64,
 }
 
 impl NetClient {
     /// Connects and completes the handshake, requesting
     /// [`wire::FLAG_WANT_EVENTS`] (detections carry matched tuples).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<NetClient> {
-        Self::connect_with_flags(addr, wire::FLAG_WANT_EVENTS)
+        Self::connect_with_config(addr, NetClientConfig::new())
     }
 
     /// Connects with explicit hello `flags` (`wire::FLAG_*`).
     pub fn connect_with_flags(addr: impl ToSocketAddrs, flags: u16) -> io::Result<NetClient> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with_config(addr, NetClientConfig::new().with_flags(flags))
+    }
+
+    /// Connects with an explicit reconnect policy and hello flags.
+    pub fn connect_with_config(
+        addr: impl ToSocketAddrs,
+        config: NetClientConfig,
+    ) -> io::Result<NetClient> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        if addrs.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "unresolvable address",
+            ));
+        }
+        let stream = TcpStream::connect(&addrs[..])?;
         stream.set_nodelay(true)?;
+        let seed = std::process::id() as u64 ^ {
+            let now = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap_or_default();
+            now.as_nanos() as u64
+        };
         let mut client = NetClient {
             stream,
+            addrs,
+            config,
             rbuf: Vec::with_capacity(4096),
             scratch: Vec::with_capacity(4096),
             credits: 0,
             credit_waits: 0,
             rejected_batches: 0,
+            reconnects: 0,
             server_flags: 0,
             detections: VecDeque::new(),
+            sessions: HashSet::new(),
             closed_sessions: Vec::new(),
+            control_acks: VecDeque::new(),
             last_pong: None,
             next_ping: 1,
+            jitter: seed,
         };
-        client.send_message(&Message::Hello {
+        client.handshake()?;
+        Ok(client)
+    }
+
+    /// Sends the hello on the current stream and absorbs the ack.
+    fn handshake(&mut self) -> io::Result<()> {
+        self.send_message(&Message::Hello {
             version: wire::VERSION,
-            flags,
+            flags: self.config.flags,
         })?;
         // The HelloAck is always the server's first message.
-        match client.read_message()? {
+        match self.read_message()? {
             Message::HelloAck {
                 flags: granted,
                 credits,
                 ..
             } => {
-                client.server_flags = granted;
-                client.credits = u64::from(credits);
+                self.server_flags = granted;
+                self.credits = u64::from(credits);
+                Ok(())
             }
-            other => {
-                return Err(io::Error::other(format!(
-                    "expected HelloAck, got {other:?}"
-                )))
-            }
+            other => Err(io::Error::other(format!(
+                "expected HelloAck, got {other:?}"
+            ))),
         }
-        Ok(client)
     }
 
     /// Flags the server granted during the handshake.
@@ -111,55 +249,119 @@ impl NetClient {
         self.rejected_batches
     }
 
+    /// Times this client successfully redialled after losing the
+    /// connection (also counted process-wide as
+    /// [`client_reconnects_total`]).
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
     /// Eagerly opens a session (otherwise the first batch opens it).
     pub fn open_session(&mut self, session: u64) -> io::Result<()> {
-        self.send_message(&Message::OpenSession { session })
+        self.sessions.insert(session);
+        self.with_reconnect(|c| c.send_message(&Message::OpenSession { session }))
     }
 
     /// Sends one batch of frames on `session`, blocking for a credit
     /// grant first if the window is exhausted. Batches must hold at
     /// most [`wire::MAX_BATCH_FRAMES`] frames.
+    ///
+    /// A lost connection is redialled under the [`NetClientConfig`]
+    /// budget and the batch re-sent; frames of a batch that failed
+    /// mid-write may be lost (at-most-once transport).
     pub fn send_batch(&mut self, session: u64, frames: &[SkeletonFrame]) -> io::Result<()> {
-        self.pump()?;
-        if (frames.len() as u64) > self.credits {
-            self.credit_waits += 1;
-            while (frames.len() as u64) > self.credits {
-                let msg = self.read_message()?;
-                self.absorb(msg)?;
+        self.sessions.insert(session);
+        self.with_reconnect(|c| {
+            c.pump()?;
+            if (frames.len() as u64) > c.credits {
+                c.credit_waits += 1;
+                while (frames.len() as u64) > c.credits {
+                    let msg = c.read_message()?;
+                    c.absorb(msg)?;
+                }
             }
-        }
-        self.credits -= frames.len() as u64;
-        self.scratch.clear();
-        wire::encode_frame_batch(session, frames, &mut self.scratch);
-        let bytes = std::mem::take(&mut self.scratch);
-        let res = self.stream.write_all(&bytes);
-        self.scratch = bytes;
-        res
+            c.credits -= frames.len() as u64;
+            c.scratch.clear();
+            wire::encode_frame_batch(session, frames, &mut c.scratch);
+            let bytes = std::mem::take(&mut c.scratch);
+            let res = c.stream.write_all(&bytes);
+            c.scratch = bytes;
+            res
+        })
     }
 
     /// Closes `session`, blocking until the server confirms every
     /// queued frame of the session was processed (detections arriving
     /// meanwhile are collected for [`Self::take_detections`]).
     pub fn close_session(&mut self, session: u64) -> io::Result<()> {
-        self.send_message(&Message::CloseSession { session })?;
-        while !self.closed_sessions.contains(&session) {
-            let msg = self.read_message()?;
-            self.absorb(msg)?;
-        }
-        self.closed_sessions.retain(|&s| s != session);
-        Ok(())
+        self.sessions.remove(&session);
+        self.with_reconnect(|c| {
+            c.send_message(&Message::CloseSession { session })?;
+            while !c.closed_sessions.contains(&session) {
+                let msg = c.read_message()?;
+                c.absorb(msg)?;
+            }
+            c.closed_sessions.retain(|&s| s != session);
+            Ok(())
+        })
     }
 
     /// Round-trips a liveness probe.
     pub fn ping(&mut self) -> io::Result<()> {
-        let token = self.next_ping;
-        self.next_ping += 1;
-        self.send_message(&Message::Ping { token })?;
-        while self.last_pong != Some(token) {
+        self.with_reconnect(|c| {
+            let token = c.next_ping;
+            c.next_ping += 1;
+            c.send_message(&Message::Ping { token })?;
+            while c.last_pong != Some(token) {
+                let msg = c.read_message()?;
+                c.absorb(msg)?;
+            }
+            Ok(())
+        })
+    }
+
+    // ----- control plane (§8) ----------------------------------------
+
+    /// Deploys query text on the engine (§8): parse, compile once,
+    /// broadcast; on a durable server the op is journaled before the
+    /// ack. Requires the edge to allow control. **Not** auto-retried
+    /// across reconnects — redeploying bumps the plan version, so the
+    /// caller must decide whether to replay an unacknowledged deploy.
+    pub fn deploy_text(&mut self, text: &str) -> io::Result<()> {
+        self.control(&Message::Deploy {
+            text: text.to_owned(),
+        })
+    }
+
+    /// Removes a deployed gesture (§8).
+    pub fn undeploy(&mut self, name: &str) -> io::Result<()> {
+        self.control(&Message::Undeploy {
+            name: name.to_owned(),
+        })
+    }
+
+    /// Sets a durable config key (§8).
+    pub fn set_config(&mut self, key: &str, value: &str) -> io::Result<()> {
+        self.control(&Message::SetConfig {
+            key: key.to_owned(),
+            value: value.to_owned(),
+        })
+    }
+
+    /// Sends one control message and blocks for its ack (acks arrive
+    /// in send order on the connection, §8).
+    fn control(&mut self, msg: &Message) -> io::Result<()> {
+        self.send_message(msg)?;
+        loop {
+            if let Some(outcome) = self.control_acks.pop_front() {
+                return match outcome {
+                    None => Ok(()),
+                    Some(e) => Err(io::Error::other(format!("control rejected: {e}"))),
+                };
+            }
             let msg = self.read_message()?;
             self.absorb(msg)?;
         }
-        Ok(())
     }
 
     /// Drains any detections the server has pushed so far without
@@ -182,6 +384,80 @@ impl NetClient {
             }
         }
         Ok(self.detections.into_iter().collect())
+    }
+
+    // ----- reconnect -------------------------------------------------
+
+    /// Runs `op`; when it fails with a lost-connection error, redials
+    /// (exponential backoff + jitter, bounded by the retry budget) and
+    /// runs it again on the fresh connection.
+    fn with_reconnect<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempt = 0u32;
+        loop {
+            let err = match op(self) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            if !is_disconnect(&err) {
+                return Err(err);
+            }
+            loop {
+                if attempt >= self.config.max_retries {
+                    return Err(err);
+                }
+                attempt += 1;
+                std::thread::sleep(self.backoff(attempt));
+                match self.redial() {
+                    Ok(()) => break,
+                    // Budget left: the next lap sleeps longer and
+                    // tries again. Budget gone: report the original
+                    // disconnect, the root cause.
+                    Err(_) if attempt < self.config.max_retries => continue,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+
+    /// One redial: fresh TCP connection, handshake, sessions re-opened.
+    /// Bytes buffered from the dead connection (including any partial
+    /// message) are discarded.
+    fn redial(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(&self.addrs[..])?;
+        stream.set_nodelay(true)?;
+        self.stream = stream;
+        self.rbuf.clear();
+        self.handshake()?;
+        let sessions: Vec<u64> = self.sessions.iter().copied().collect();
+        for session in sessions {
+            self.send_message(&Message::OpenSession { session })?;
+        }
+        self.reconnects += 1;
+        CLIENT_RECONNECTS.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Equal-jitter exponential backoff: half the capped exponential
+    /// step fixed, half uniformly random, so a fleet of clients cut
+    /// off by one restart does not redial in lockstep.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let base = self.config.base_backoff_ms.max(1);
+        let exp = base.saturating_mul(1u64 << (attempt - 1).min(20));
+        let capped = exp.min(self.config.max_backoff_ms.max(1));
+        let half = capped / 2;
+        Duration::from_millis(half + self.next_jitter() % (half + 1))
+    }
+
+    /// Splitmix64 step — no RNG dependency needed for jitter.
+    fn next_jitter(&mut self) -> u64 {
+        self.jitter = self.jitter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
     // ----- internals -------------------------------------------------
@@ -262,6 +538,10 @@ impl NetClient {
                 self.last_pong = Some(token);
                 Ok(())
             }
+            Message::ControlAck { error } => {
+                self.control_acks.push_back(error);
+                Ok(())
+            }
             Message::Error {
                 code: ErrorCode::QueueFull,
                 ..
@@ -269,6 +549,18 @@ impl NetClient {
                 // Non-fatal: that batch was dropped (rejecting policy).
                 self.rejected_batches += 1;
                 Ok(())
+            }
+            Message::Error {
+                code: code @ ErrorCode::Shutdown,
+                detail,
+            } => {
+                // The server is going away: surface it as a connection
+                // loss so the reconnect machinery redials (the restart
+                // may already be underway).
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    format!("server error: {code}: {detail}"),
+                ))
             }
             Message::Error { code, detail } => {
                 Err(io::Error::other(format!("server error: {code}: {detail}")))

@@ -62,7 +62,7 @@ mod metrics;
 mod poll;
 pub mod wire;
 
-pub use self::client::NetClient;
+pub use self::client::{client_reconnects_total, NetClient, NetClientConfig};
 pub use self::metrics::{LatencyHistogram, NetMetrics, LATENCY_BUCKETS};
 
 use std::collections::{HashMap, HashSet};
@@ -141,6 +141,12 @@ pub struct NetConfig {
     /// exactly one loop for its lifetime; engine session ids are drawn
     /// from one shared allocator, so shard routing is unaffected.
     pub io_threads: usize,
+    /// Accept control-plane messages (`Deploy`/`Undeploy`/`SetConfig`,
+    /// §8 of `docs/PROTOCOL.md`) on this edge. **Off by default**: the
+    /// data edge is typically exposed to untrusted producers, and a
+    /// control message on a non-control edge is answered with a
+    /// `ControlDisabled` error frame (the connection stays usable).
+    pub allow_control: bool,
 }
 
 impl Default for NetConfig {
@@ -151,6 +157,7 @@ impl Default for NetConfig {
             max_connections: 16384,
             idle_timeout_ms: 300_000,
             io_threads: 1,
+            allow_control: false,
         }
     }
 }
@@ -189,6 +196,13 @@ impl NetConfig {
     /// Sets the number of I/O threads (`SO_REUSEPORT` listener shards).
     pub fn with_io_threads(mut self, threads: usize) -> Self {
         self.io_threads = threads.max(1);
+        self
+    }
+
+    /// Allows control-plane messages (deploy/undeploy/set-config) on
+    /// this edge. Only enable on edges reserved for trusted operators.
+    pub fn with_allow_control(mut self, allow: bool) -> Self {
+        self.allow_control = allow;
         self
     }
 }
@@ -454,6 +468,13 @@ fn install_net_collector(
             "gesto_net_http_requests_total",
             "HTTP requests served off the multiplexed port",
             &m.http_requests,
+        );
+        set.counter(
+            "gesto_net_client_reconnects_total",
+            "Successful NetClient redials in this process (clients co-located \
+             with the edge, e.g. benches and tests)",
+            &[],
+            client_reconnects_total(),
         );
         c(
             set,
@@ -831,17 +852,52 @@ impl IoLoop {
                 self.attention.insert(conn.id);
                 None
             }
+            Message::Deploy { text } => self.on_control(conn, |handle| handle.deploy_text(&text)),
+            Message::Undeploy { name } => self.on_control(conn, |handle| handle.undeploy(&name)),
+            Message::SetConfig { key, value } => {
+                self.on_control(conn, |handle| handle.set_config(&key, &value))
+            }
             // Server→client messages have no business arriving here.
             Message::HelloAck { .. }
             | Message::Credit { .. }
             | Message::Detection(_)
             | Message::Error { .. }
             | Message::Pong { .. }
-            | Message::SessionClosed { .. } => Some(Close::Fault(
+            | Message::SessionClosed { .. }
+            | Message::ControlAck { .. } => Some(Close::Fault(
                 ErrorCode::Malformed,
                 "server-to-client message from client",
             )),
         }
+    }
+
+    /// Runs one control operation against the engine and acks it in
+    /// connection FIFO order. A control message on a data-only edge
+    /// gets a `ControlDisabled` error frame; the connection survives.
+    ///
+    /// On a durable engine the op blocks on the journal append (its
+    /// fsync policy) before the ack — exactly the "journaled before
+    /// acknowledged" contract of `docs/DURABILITY.md`, stretched to the
+    /// wire. Control ops are rare; the event loop tolerates the stall.
+    fn on_control(
+        &mut self,
+        conn: &mut Conn,
+        op: impl FnOnce(&ServerHandle) -> Result<(), ServeError>,
+    ) -> Option<Close> {
+        if !self.config.allow_control {
+            self.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            conn.send(
+                &Message::Error {
+                    code: ErrorCode::ControlDisabled,
+                    detail: "edge started without allow_control".to_owned(),
+                },
+                &mut self.scratch,
+            );
+            return None;
+        }
+        let error = op(&self.handle).err().map(|e| e.to_string());
+        conn.send(&Message::ControlAck { error }, &mut self.scratch);
+        None
     }
 
     fn on_hello(&mut self, conn: &mut Conn, version: u16, flags: u16) -> Option<Close> {

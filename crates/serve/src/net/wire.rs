@@ -56,6 +56,10 @@ pub enum ErrorCode {
     QueueFull,
     /// The server is shutting down.
     Shutdown,
+    /// A control message (deploy/undeploy/set-config) arrived but the
+    /// edge was not started with
+    /// [`NetConfig::allow_control`](super::NetConfig::allow_control).
+    ControlDisabled,
     /// An error code this codec version does not know.
     Unknown(u16),
 }
@@ -69,6 +73,7 @@ impl ErrorCode {
             ErrorCode::CreditExceeded => 3,
             ErrorCode::QueueFull => 4,
             ErrorCode::Shutdown => 5,
+            ErrorCode::ControlDisabled => 6,
             ErrorCode::Unknown(c) => c,
         }
     }
@@ -81,6 +86,7 @@ impl ErrorCode {
             3 => ErrorCode::CreditExceeded,
             4 => ErrorCode::QueueFull,
             5 => ErrorCode::Shutdown,
+            6 => ErrorCode::ControlDisabled,
             other => ErrorCode::Unknown(other),
         }
     }
@@ -94,6 +100,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::CreditExceeded => f.write_str("credit window exceeded"),
             ErrorCode::QueueFull => f.write_str("shard queue full, batch rejected"),
             ErrorCode::Shutdown => f.write_str("server shutting down"),
+            ErrorCode::ControlDisabled => f.write_str("control plane disabled on this edge"),
             ErrorCode::Unknown(c) => write!(f, "unknown error code {c}"),
         }
     }
@@ -159,6 +166,26 @@ pub enum Message {
     /// every remaining session, flushes pending detections and closes
     /// the connection.
     Bye,
+    /// `0x07` client→server: parses, compiles and deploys query text on
+    /// the engine (§8). Requires the edge to allow control; answered
+    /// with [`Message::ControlAck`] in connection FIFO order.
+    Deploy {
+        /// Query text (the `SELECT … MATCHING …;` language).
+        text: String,
+    },
+    /// `0x08` client→server: removes a deployed gesture (§8).
+    Undeploy {
+        /// Gesture (query) name.
+        name: String,
+    },
+    /// `0x09` client→server: sets a durable config key (§8). On a
+    /// durable server the write is journaled before the ack.
+    SetConfig {
+        /// Key.
+        key: String,
+        /// Value.
+        value: String,
+    },
     /// `0x81` server→client: accepts the protocol (§2); grants the
     /// initial credit window.
     HelloAck {
@@ -194,6 +221,13 @@ pub enum Message {
     SessionClosed {
         /// Client-chosen session id.
         session: u64,
+    },
+    /// `0x87` server→client: outcome of one control message (§8).
+    /// Acks arrive in the order the control messages were sent on this
+    /// connection, so no correlation token is needed.
+    ControlAck {
+        /// `None` on success; the engine's error text otherwise.
+        error: Option<String>,
     },
 }
 
@@ -270,6 +304,16 @@ pub fn encode(msg: &Message, buf: &mut Vec<u8>) {
                     buf.extend_from_slice(&token.to_le_bytes());
                 }
                 Message::Bye => {}
+                Message::Deploy { text } => write_str16(buf, text),
+                Message::Undeploy { name } => write_str16(buf, name),
+                Message::SetConfig { key, value } => {
+                    write_str16(buf, key);
+                    write_str16(buf, value);
+                }
+                Message::ControlAck { error } => {
+                    buf.push(error.is_none() as u8);
+                    write_str16(buf, error.as_deref().unwrap_or(""));
+                }
                 Message::HelloAck {
                     version,
                     flags,
@@ -389,12 +433,16 @@ fn type_byte(msg: &Message) -> u8 {
         Message::CloseSession { .. } => 0x04,
         Message::Ping { .. } => 0x05,
         Message::Bye => 0x06,
+        Message::Deploy { .. } => 0x07,
+        Message::Undeploy { .. } => 0x08,
+        Message::SetConfig { .. } => 0x09,
         Message::HelloAck { .. } => 0x81,
         Message::Credit { .. } => 0x82,
         Message::Detection(_) => 0x83,
         Message::Error { .. } => 0x84,
         Message::Pong { .. } => 0x85,
         Message::SessionClosed { .. } => 0x86,
+        Message::ControlAck { .. } => 0x87,
     }
 }
 
@@ -448,6 +496,16 @@ fn decode_body(ty: u8, p: &[u8]) -> Result<Message, NetWireError> {
             token: get_u64(p, &mut pos)?,
         },
         0x06 => Message::Bye,
+        0x07 => Message::Deploy {
+            text: read_str16(p, &mut pos)?,
+        },
+        0x08 => Message::Undeploy {
+            name: read_str16(p, &mut pos)?,
+        },
+        0x09 => Message::SetConfig {
+            key: read_str16(p, &mut pos)?,
+            value: read_str16(p, &mut pos)?,
+        },
         0x81 => Message::HelloAck {
             version: get_u16(p, &mut pos)?,
             flags: get_u16(p, &mut pos)?,
@@ -489,6 +547,17 @@ fn decode_body(ty: u8, p: &[u8]) -> Result<Message, NetWireError> {
         0x86 => Message::SessionClosed {
             session: get_u64(p, &mut pos)?,
         },
+        0x87 => {
+            let ok = take(p, &mut pos, 1)?[0];
+            let detail = read_str16(p, &mut pos)?;
+            Message::ControlAck {
+                error: match ok {
+                    1 => None,
+                    0 => Some(detail),
+                    _ => return Err(NetWireError::Malformed("bad control ack flag")),
+                },
+            }
+        }
         other => return Err(NetWireError::BadType(other)),
     };
     if pos != p.len() {

@@ -9,13 +9,15 @@ use std::time::Instant;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gesto_cep::{parse_query, Detection, FunctionRegistry, Query, QueryPlan};
 use gesto_db::GestureStore;
+use gesto_durability::{load_newest_checkpoint, save_checkpoint, Journal};
 use gesto_kinect::{kinect_schema, SkeletonFrame, KINECT_STREAM};
 use gesto_learn::{GestureDefinition, LearnerConfig};
 use gesto_stream::{Catalog, SchemaRef};
 use gesto_transform::{register_rpy, standard_catalog};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::config::{BackpressurePolicy, ServerConfig};
+use crate::durable::{self, ControlOp, DurableState};
 use crate::error::ServeError;
 use crate::metrics::{ServerMetrics, ShardMetrics};
 use crate::session::SessionId;
@@ -46,6 +48,20 @@ struct ShardLink {
     metrics: Arc<ShardMetrics>,
 }
 
+/// One deployed plan with its rollout version. Redeploying a name
+/// installs version `n + 1`; shards cut the new instance in at a batch
+/// boundary and drain the old one's in-flight runs before retiring it
+/// (see `Control::Deploy` handling in [`crate::shard`]).
+pub(crate) struct DeployedPlan {
+    pub plan: Arc<QueryPlan>,
+    pub version: u32,
+}
+
+/// The versioned plan registry, shared with the telemetry collector
+/// (`gesto_plan_version{gesture}`) — the collector captures only this
+/// `Arc`, never the server core, so shutdown has no cycle to break.
+pub(crate) type PlanRegistry = Arc<RwLock<HashMap<String, DeployedPlan>>>;
+
 /// State shared between the [`Server`] and every [`ServerHandle`].
 struct ServerCore {
     config: ServerConfig,
@@ -54,8 +70,16 @@ struct ServerCore {
     store: Arc<GestureStore>,
     schema: SchemaRef,
     shards: Vec<ShardLink>,
-    /// Authoritative deployed set (the shards mirror it).
-    plans: RwLock<HashMap<String, Arc<QueryPlan>>>,
+    /// Authoritative deployed set with rollout versions (the shards
+    /// mirror it).
+    plans: PlanRegistry,
+    /// Durable key/value config (journaled as `SetConfig` ops when
+    /// durability is on; plain in-memory otherwise).
+    kv: RwLock<BTreeMap<String, String>>,
+    /// Durable control plane: the open journal + checkpoint pacing.
+    /// `None` when durability is off. Shared with the telemetry
+    /// collector (journal/checkpoint counters) via the `Arc`.
+    durable: Arc<Mutex<Option<DurableState>>>,
     listeners: Arc<RwLock<Vec<DetectionSink>>>,
     /// The scrape surface: registry + owned instruments (stage timers,
     /// plans-compiled counter).
@@ -102,23 +126,51 @@ pub struct ServerHandle {
 impl Server {
     /// Starts a server with the standard Kinect catalog (`kinect` stream +
     /// `kinect_t` view), the RPY functions and a fresh gesture store.
+    ///
+    /// Panics if the durable control plane is configured and recovery
+    /// fails (unreadable journal directory, un-restorable state); use
+    /// [`Self::try_start`] to handle that error.
     pub fn start(config: ServerConfig) -> Self {
+        Self::try_start(config).expect("durable control plane recovery failed")
+    }
+
+    /// [`Self::start`], returning recovery errors instead of panicking.
+    pub fn try_start(config: ServerConfig) -> Result<Self, ServeError> {
         let catalog = standard_catalog();
         let funcs = Arc::new(FunctionRegistry::with_builtins());
         register_rpy(&funcs);
-        Self::with_parts(config, catalog, funcs, Arc::new(GestureStore::new()))
+        Self::try_with_parts(config, catalog, funcs, Arc::new(GestureStore::new()))
     }
 
     /// Starts a server over existing parts — the upgrade path from a
     /// single-user `GestureSystem` (catalog, functions and store carry
     /// over; use [`ServerHandle::deploy_plan`] to move live queries in
     /// without recompiling).
+    ///
+    /// Panics if the durable control plane is configured and recovery
+    /// fails; use [`Self::try_with_parts`] to handle that error.
     pub fn with_parts(
         config: ServerConfig,
         catalog: Arc<Catalog>,
         funcs: Arc<FunctionRegistry>,
         store: Arc<GestureStore>,
     ) -> Self {
+        Self::try_with_parts(config, catalog, funcs, store)
+            .expect("durable control plane recovery failed")
+    }
+
+    /// [`Self::with_parts`], returning recovery errors instead of
+    /// panicking. When [`crate::ServerConfig::durability`] is set, this
+    /// is where crash recovery happens: load the newest valid
+    /// checkpoint, replay the journal tail, recompile each surviving
+    /// plan **once**, broadcast to the shards — then open the journal
+    /// for new ops.
+    pub fn try_with_parts(
+        config: ServerConfig,
+        catalog: Arc<Catalog>,
+        funcs: Arc<FunctionRegistry>,
+        store: Arc<GestureStore>,
+    ) -> Result<Self, ServeError> {
         let shard_count = config.effective_shards();
         let listeners: Arc<RwLock<Vec<DetectionSink>>> = Arc::new(RwLock::new(Vec::new()));
         let schema = kinect_schema();
@@ -166,6 +218,11 @@ impl Server {
                 .collect(),
         );
 
+        let plans: PlanRegistry = Arc::new(RwLock::new(HashMap::new()));
+        let durable: Arc<Mutex<Option<DurableState>>> = Arc::new(Mutex::new(None));
+        telemetry.register_plan_versions(plans.clone());
+        telemetry.register_durable(durable.clone());
+
         let core = Arc::new(ServerCore {
             config,
             catalog,
@@ -173,15 +230,21 @@ impl Server {
             store,
             schema,
             shards,
-            plans: RwLock::new(HashMap::new()),
+            plans,
+            kv: RwLock::new(BTreeMap::new()),
+            durable,
             listeners,
             telemetry,
             closed: AtomicBool::new(false),
         });
-        Server {
+        let server = Server {
             handle: ServerHandle { core },
             workers,
+        };
+        if server.handle.core.config.durability.is_some() {
+            server.handle.recover()?;
         }
+        Ok(server)
     }
 
     /// A clonable handle for producers and control planes on other
@@ -392,6 +455,15 @@ impl ServerHandle {
     ) -> Result<GestureDefinition, ServeError> {
         let (def, query) =
             gesto_control::learn_into_store(&self.core.store, name, samples, config)?;
+        // Journal the stored record before the deploy op, so replay
+        // restores the store verbatim (no re-learning on recovery).
+        {
+            let plans = self.core.plans.read();
+            self.journal_op(&plans, || ControlOp::PutRecord {
+                name: name.to_owned(),
+                record: self.core.store.get(name).unwrap_or_default(),
+            })?;
+        }
         self.deploy(query)?;
         Ok(def)
     }
@@ -412,12 +484,32 @@ impl ServerHandle {
     /// Broadcasts an already-compiled plan to every shard — the zero-
     /// compile path for plans shared with another runtime (e.g. moved in
     /// from a `GestureSystem`'s engine).
+    ///
+    /// Deploying a name that is already deployed installs the next
+    /// **version**: each shard cuts sessions over at a batch boundary
+    /// and keeps the old version's in-flight partial matches stepping
+    /// (without seeding new ones) until they complete or expire — a
+    /// redeploy under load drops no frames and loses no in-flight
+    /// detection.
     pub fn deploy_plan(&self, plan: Arc<QueryPlan>) -> Result<(), ServeError> {
-        // Hold the registry lock across the broadcast so concurrent
-        // deploy/undeploy calls serialise: every shard sees control
-        // messages in the same order as the registry updates.
+        // Hold the registry lock across the journal append and the
+        // broadcast so concurrent deploy/undeploy calls serialise:
+        // every shard sees control messages in the same order as the
+        // registry (and the journal) records them.
         let mut plans = self.core.plans.write();
-        plans.insert(plan.name().to_owned(), plan.clone());
+        let version = plans.get(plan.name()).map(|d| d.version + 1).unwrap_or(1);
+        plans.insert(
+            plan.name().to_owned(),
+            DeployedPlan {
+                plan: plan.clone(),
+                version,
+            },
+        );
+        self.journal_op(&plans, || ControlOp::Deploy {
+            name: plan.name().to_owned(),
+            text: plan.query().to_query_text(),
+            version,
+        })?;
         for shard in 0..self.core.shards.len() {
             self.control(shard, Control::Deploy(plan.clone()))?;
         }
@@ -432,6 +524,9 @@ impl ServerHandle {
                 name.to_owned(),
             )));
         }
+        self.journal_op(&plans, || ControlOp::Undeploy {
+            name: name.to_owned(),
+        })?;
         for shard in 0..self.core.shards.len() {
             self.control(shard, Control::Undeploy(name.to_owned()))?;
         }
@@ -443,6 +538,223 @@ impl ServerHandle {
         let mut names: Vec<String> = self.core.plans.read().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Deployed gestures with their rollout versions, sorted by name.
+    /// A freshly deployed name is version 1; every redeploy increments
+    /// it (also exported as `gesto_plan_version{gesture}`).
+    pub fn deployed_versions(&self) -> Vec<(String, u32)> {
+        let mut v: Vec<(String, u32)> = self
+            .core
+            .plans
+            .read()
+            .iter()
+            .map(|(n, d)| (n.clone(), d.version))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Rollout version of one deployed gesture.
+    pub fn plan_version(&self, name: &str) -> Option<u32> {
+        self.core.plans.read().get(name).map(|d| d.version)
+    }
+
+    // ----- durable config + persistence ------------------------------
+
+    /// Sets a durable config key. With durability on, the write is
+    /// journaled before this returns; it survives restarts and is
+    /// exported to recovered servers. Without durability it is a plain
+    /// in-memory KV write.
+    pub fn set_config(&self, key: &str, value: &str) -> Result<(), ServeError> {
+        let plans = self.core.plans.read();
+        self.core
+            .kv
+            .write()
+            .insert(key.to_owned(), value.to_owned());
+        self.journal_op(&plans, || ControlOp::SetConfig {
+            key: key.to_owned(),
+            value: value.to_owned(),
+        })
+    }
+
+    /// Reads a durable config key.
+    pub fn get_config(&self, key: &str) -> Option<String> {
+        self.core.kv.read().get(key).cloned()
+    }
+
+    /// All durable config entries.
+    pub fn config_entries(&self) -> BTreeMap<String, String> {
+        self.core.kv.read().clone()
+    }
+
+    /// Writes a checkpoint of the full control-plane state (store,
+    /// deployed plans + versions, config), then rotates and compacts
+    /// the journal behind it. Returns the journal sequence number the
+    /// checkpoint covers, or `None` when durability is off.
+    ///
+    /// Checkpoints also happen automatically every
+    /// [`crate::DurabilityConfig::checkpoint_every`] journaled ops.
+    pub fn checkpoint(&self) -> Result<Option<u64>, ServeError> {
+        let plans = self.core.plans.read();
+        let mut guard = self.core.durable.lock();
+        match guard.as_mut() {
+            Some(ds) => self.checkpoint_locked(&plans, ds).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Appends one control op to the journal (no-op when durability is
+    /// off), auto-checkpointing when the op budget is reached. `op` is
+    /// built lazily so non-durable servers never pay for the encoding.
+    ///
+    /// Lock order everywhere: `plans` (read or write) → `durable`.
+    fn journal_op(
+        &self,
+        plans: &HashMap<String, DeployedPlan>,
+        op: impl FnOnce() -> ControlOp,
+    ) -> Result<(), ServeError> {
+        let mut guard = self.core.durable.lock();
+        let Some(ds) = guard.as_mut() else {
+            return Ok(());
+        };
+        let json = durable::encode_op(&op())?;
+        ds.journal
+            .append(json.as_bytes())
+            .map_err(|e| durable::io_err("journal append", e))?;
+        ds.ops_since_ckpt += 1;
+        if ds.cfg.checkpoint_every > 0 && ds.ops_since_ckpt >= ds.cfg.checkpoint_every {
+            self.checkpoint_locked(plans, ds)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint and compacts the journal behind it. Caller
+    /// holds the plan registry (read or write) and the durable mutex.
+    fn checkpoint_locked(
+        &self,
+        plans: &HashMap<String, DeployedPlan>,
+        ds: &mut DurableState,
+    ) -> Result<u64, ServeError> {
+        let payload = durable::encode_checkpoint(
+            self.core.store.snapshot(),
+            plans,
+            self.core.kv.read().clone(),
+        )?;
+        let seq = ds.journal.last_seq();
+        save_checkpoint(&ds.cfg.dir, seq, payload.as_bytes())
+            .map_err(|e| durable::io_err("checkpoint write", e))?;
+        // The checkpoint covers everything up to `seq`: start a fresh
+        // segment and delete the segments the checkpoint made redundant
+        // (crash-safe — a half-finished compaction just leaves extra
+        // segments whose records replay idempotently below `seq`).
+        ds.journal
+            .rotate()
+            .map_err(|e| durable::io_err("journal rotate", e))?;
+        ds.journal
+            .compact(seq)
+            .map_err(|e| durable::io_err("journal compact", e))?;
+        gesto_durability::prune_checkpoints(&ds.cfg.dir, ds.cfg.keep_checkpoints.max(1))
+            .map_err(|e| durable::io_err("checkpoint prune", e))?;
+        ds.ops_since_ckpt = 0;
+        self.core.telemetry.checkpoints_total.inc();
+        self.core.telemetry.checkpoint_last_seq.set(seq as i64);
+        Ok(seq)
+    }
+
+    /// Crash recovery: checkpoint → journal tail → compile once →
+    /// broadcast. Called exactly once from [`Server::try_with_parts`]
+    /// when durability is configured, before the server is handed to
+    /// the caller.
+    fn recover(&self) -> Result<(), ServeError> {
+        let dcfg = self
+            .core
+            .config
+            .durability
+            .clone()
+            .expect("recover() requires a durability config");
+        let t = &self.core.telemetry;
+
+        // 1. Newest valid checkpoint (corrupt ones are skipped).
+        let mut ckpt_seq = 0u64;
+        let mut metas: BTreeMap<String, (String, u32)> = BTreeMap::new();
+        if let Some(ckpt) =
+            load_newest_checkpoint(&dcfg.dir).map_err(|e| durable::io_err("checkpoint load", e))?
+        {
+            t.recovery_corrupt_checkpoints
+                .add(ckpt.corrupt_skipped as u64);
+            let payload = durable::decode_checkpoint(&ckpt.payload)?;
+            self.core
+                .store
+                .restore(payload.store)
+                .map_err(|e| ServeError::Durability(format!("restoring store snapshot: {e}")))?;
+            *self.core.kv.write() = payload.config;
+            for m in payload.plans {
+                metas.insert(m.name, (m.text, m.version));
+            }
+            ckpt_seq = ckpt.seq;
+            t.checkpoint_last_seq.set(ckpt_seq as i64);
+        }
+
+        // 2. Open the journal (torn tails are repaired here) and replay
+        // the tail beyond the checkpoint. Records at or below
+        // `ckpt_seq` can linger when a crash hit between checkpoint and
+        // compaction; they are already folded into the snapshot.
+        let (journal, replay) =
+            Journal::open(&dcfg.dir, dcfg.fsync).map_err(|e| durable::io_err("journal open", e))?;
+        t.recovery_truncated_bytes.add(replay.truncated_bytes);
+        let mut replayed = 0u64;
+        for (seq, payload) in &replay.records {
+            if *seq <= ckpt_seq {
+                continue;
+            }
+            match durable::decode_op(payload)? {
+                ControlOp::PutRecord { name, record } => {
+                    self.core.store.put_record(&name, record).map_err(|e| {
+                        ServeError::Durability(format!("replaying record '{name}': {e}"))
+                    })?;
+                }
+                ControlOp::Deploy {
+                    name,
+                    text,
+                    version,
+                } => {
+                    metas.insert(name, (text, version));
+                }
+                ControlOp::Undeploy { name } => {
+                    metas.remove(&name);
+                }
+                ControlOp::SetConfig { key, value } => {
+                    self.core.kv.write().insert(key, value);
+                }
+            }
+            replayed += 1;
+        }
+        t.recovery_replayed_ops.add(replayed);
+
+        // 3. Compile each surviving plan exactly once (whatever number
+        // of deploys the journal held for it) and broadcast, restoring
+        // the recorded version.
+        {
+            let mut plans = self.core.plans.write();
+            for (name, (text, version)) in metas {
+                let query = parse_query(&text)?;
+                let plan = QueryPlan::compile(query, self.core.catalog.as_ref(), &self.core.funcs)?;
+                self.core.telemetry.plans_compiled.inc();
+                for shard in 0..self.core.shards.len() {
+                    self.control(shard, Control::Deploy(plan.clone()))?;
+                }
+                plans.insert(name, DeployedPlan { plan, version });
+            }
+        }
+
+        // 4. Open for business: later control ops append here.
+        *self.core.durable.lock() = Some(DurableState {
+            journal,
+            cfg: dcfg,
+            ops_since_ckpt: 0,
+        });
+        Ok(())
     }
 
     /// Registers a detection sink invoked (on shard threads) for every

@@ -51,8 +51,13 @@ pub(crate) struct Batch {
 }
 
 pub(crate) enum Control {
-    /// Deploy or replace a shared plan (partial matches of a replaced
-    /// plan are discarded, mirroring `Engine::replace`).
+    /// Deploy or replace a shared plan. Replacing is a **versioned
+    /// rollout**: the new instance cuts in at this message's position
+    /// in the FIFO (a batch boundary), and the replaced instance keeps
+    /// stepping in draining mode — advancing its in-flight partial
+    /// matches without seeding new ones — until they complete or
+    /// expire. No frame is dropped and no in-flight detection is lost
+    /// at cutover.
     Deploy(Arc<QueryPlan>),
     /// Remove a plan (and its per-session instances).
     Undeploy(String),
@@ -139,21 +144,27 @@ impl Drop for GateGuard {
 }
 
 /// State owned by one session on this shard: a shared view runtime (each
-/// view evaluated once per frame) plus one runtime instance per deployed
-/// plan, in deployment order.
+/// view evaluated once per frame), one runtime instance per deployed
+/// plan in deployment order, plus the retiring instances of replaced
+/// plan versions, still draining their in-flight partial matches.
 pub(crate) struct SessionRuntime {
     views: SharedViews,
     instances: Vec<PlanInstance>,
+    /// Replaced instances in draining mode: they step on every batch
+    /// (completing or expiring their in-flight runs, never seeding new
+    /// ones) and are dropped once [`PlanInstance::active_runs`] hits 0.
+    retiring: Vec<PlanInstance>,
 }
 
 impl SessionRuntime {
     fn new(catalog: &Catalog, plans: &[Arc<QueryPlan>], columnar: bool) -> Self {
         let mut views = SharedViews::new(catalog);
         views.set_columnar(columnar);
-        Self::sync_needed(&mut views, plans);
+        Self::sync_needed(&mut views, plans, &[]);
         Self {
             views,
             instances: plans.iter().map(|p| p.instantiate()).collect(),
+            retiring: Vec::new(),
         }
     }
 
@@ -161,9 +172,15 @@ impl SessionRuntime {
     /// as needed (stale views stop being evaluated after an undeploy)
     /// and declares the float columns the deployed predicates read, so
     /// the per-batch columnar blocks only materialise those lanes.
-    fn sync_needed(views: &mut SharedViews, plans: &[Arc<QueryPlan>]) {
+    /// Retiring instances keep their views alive until they finish
+    /// draining — a replaced plan's in-flight runs still need them.
+    fn sync_needed(views: &mut SharedViews, plans: &[Arc<QueryPlan>], retiring: &[PlanInstance]) {
+        let mut all: Vec<Arc<QueryPlan>> = plans.to_vec();
+        for inst in retiring {
+            all.push(inst.plan().clone());
+        }
         let mut needed: Vec<&str> = Vec::new();
-        for plan in plans {
+        for plan in &all {
             for route in plan.routes() {
                 for v in &route.views {
                     if !needed.contains(&v.as_str()) {
@@ -173,7 +190,7 @@ impl SessionRuntime {
             }
         }
         views.set_needed(needed);
-        gesto_cep::sync_block_columns(views, plans);
+        gesto_cep::sync_block_columns(views, &all);
     }
 }
 
@@ -325,7 +342,11 @@ impl ShardWorker {
 
         detections.clear();
         let mut errors = 0u64;
-        let SessionRuntime { views, instances } = runtime;
+        let SessionRuntime {
+            views,
+            instances,
+            retiring,
+        } = runtime;
         // 1-in-N stage timing: a sampled batch takes one Instant
         // reading per stage boundary; an unsampled batch (the steady
         // state) pays a single integer decrement and no clock reads.
@@ -382,6 +403,28 @@ impl ShardWorker {
                 .is_err()
             {
                 errors += 1;
+            }
+        }
+        // Retiring instances of replaced plan versions step the same
+        // batch: their in-flight runs advance (and may still detect)
+        // but never seed, so a well-separated performance is matched by
+        // exactly one version. Fully-drained instances retire here.
+        if !retiring.is_empty() {
+            for inst in retiring.iter_mut() {
+                if inst
+                    .push_batch_shared(stream, tuples, views, detections)
+                    .is_err()
+                {
+                    errors += 1;
+                }
+            }
+            if retiring.iter().any(|i| i.active_runs() == 0) {
+                let before = retiring.len();
+                retiring.retain(|i| i.active_runs() > 0);
+                metrics
+                    .retiring
+                    .fetch_sub(before - retiring.len(), Ordering::Relaxed);
+                SessionRuntime::sync_needed(views, plans, retiring);
             }
         }
         if let Some(t0) = mark {
@@ -449,21 +492,40 @@ impl ShardWorker {
                 for slot in self.sessions.values_mut() {
                     let instances = &mut slot.instances;
                     match instances.iter_mut().find(|i| i.name() == plan.name()) {
-                        Some(i) => *i = plan.instantiate(),
+                        Some(i) => {
+                            // Versioned cutover: the new version takes
+                            // the slot (and seeds from the next frame
+                            // on); the old one drains its in-flight
+                            // runs in the retiring set instead of
+                            // dropping them mid-gesture.
+                            let mut old = std::mem::replace(i, plan.instantiate());
+                            if old.active_runs() > 0 {
+                                old.set_draining(true);
+                                self.metrics.retiring.fetch_add(1, Ordering::Relaxed);
+                                slot.retiring.push(old);
+                            }
+                        }
                         None => instances.push(plan.instantiate()),
                     }
                     // The plan may reference views registered after the
                     // session started; instantiate them and re-mark the
                     // needed set.
                     slot.views.refresh(&self.catalog);
-                    SessionRuntime::sync_needed(&mut slot.views, &self.plans);
+                    SessionRuntime::sync_needed(&mut slot.views, &self.plans, &slot.retiring);
                 }
             }
             Control::Undeploy(name) => {
                 self.plans.retain(|p| p.name() != name);
                 for slot in self.sessions.values_mut() {
                     slot.instances.retain(|i| i.name() != name);
-                    SessionRuntime::sync_needed(&mut slot.views, &self.plans);
+                    // Undeploy is not a rollout: in-flight runs of the
+                    // removed plan (any version) are discarded.
+                    let before = slot.retiring.len();
+                    slot.retiring.retain(|i| i.name() != name);
+                    self.metrics
+                        .retiring
+                        .fetch_sub(before - slot.retiring.len(), Ordering::Relaxed);
+                    SessionRuntime::sync_needed(&mut slot.views, &self.plans, &slot.retiring);
                 }
             }
             Control::Open(session) => {
@@ -477,8 +539,11 @@ impl ShardWorker {
                 }
             }
             Control::Close(session, ack) => {
-                if self.sessions.remove(&session).is_some() {
+                if let Some(rt) = self.sessions.remove(&session) {
                     self.metrics.sessions.fetch_sub(1, Ordering::Relaxed);
+                    self.metrics
+                        .retiring
+                        .fetch_sub(rt.retiring.len(), Ordering::Relaxed);
                 }
                 if let Some(ack) = ack {
                     let _ = ack.send(());

@@ -23,10 +23,13 @@
 
 use std::sync::Arc;
 
-use gesto_telemetry::{Histogram, Registry, Sampler};
+use gesto_telemetry::{Counter, Gauge, Histogram, Registry, Sampler};
+use parking_lot::Mutex;
 
 use crate::config::ServerConfig;
+use crate::durable::DurableState;
 use crate::metrics::ShardMetrics;
+use crate::server::PlanRegistry;
 use crate::shard::QueueGate;
 
 /// Owned per-stage duration histograms, exported as
@@ -61,7 +64,21 @@ pub(crate) struct ServerTelemetry {
     pub stage_sample_every: u32,
     /// `gesto_plans_compiled_total` (the compile-once invariant's
     /// observable face).
-    pub plans_compiled: Arc<gesto_telemetry::Counter>,
+    pub plans_compiled: Arc<Counter>,
+    /// `gesto_checkpoints_total`.
+    pub checkpoints_total: Arc<Counter>,
+    /// `gesto_checkpoint_last_seq` (journal seq the newest checkpoint
+    /// covers; 0 before the first).
+    pub checkpoint_last_seq: Arc<Gauge>,
+    /// `gesto_recovery_replayed_ops_total` (journal-tail ops applied on
+    /// the last recovery).
+    pub recovery_replayed_ops: Arc<Counter>,
+    /// `gesto_recovery_truncated_bytes_total` (torn/corrupt journal
+    /// bytes discarded on the last recovery).
+    pub recovery_truncated_bytes: Arc<Counter>,
+    /// `gesto_recovery_corrupt_checkpoints_total` (corrupt checkpoint
+    /// files skipped on the last recovery).
+    pub recovery_corrupt_checkpoints: Arc<Counter>,
 }
 
 impl ServerTelemetry {
@@ -167,12 +184,125 @@ impl ServerTelemetry {
             &gesto_stream::metrics::BLOCK_ROWS_BUILT_TOTAL,
         );
 
+        // Durable control plane instruments (all stay 0 on a
+        // non-durable server).
+        let checkpoints_total = registry.counter(
+            "gesto_checkpoints_total",
+            "Control-plane checkpoints written (each rotates + compacts the journal)",
+            &[],
+        );
+        let checkpoint_last_seq = registry.gauge(
+            "gesto_checkpoint_last_seq",
+            "Journal sequence number the newest checkpoint covers (0 before the first)",
+            &[],
+        );
+        let recovery_replayed_ops = registry.counter(
+            "gesto_recovery_replayed_ops_total",
+            "Journal-tail control ops replayed during crash recovery",
+            &[],
+        );
+        let recovery_truncated_bytes = registry.counter(
+            "gesto_recovery_truncated_bytes_total",
+            "Torn or corrupt journal bytes discarded during crash recovery",
+            &[],
+        );
+        let recovery_corrupt_checkpoints = registry.counter(
+            "gesto_recovery_corrupt_checkpoints_total",
+            "Corrupt checkpoint files skipped during crash recovery",
+            &[],
+        );
+
         ServerTelemetry {
             registry,
             stages,
             stage_sample_every: config.stage_sample_every,
             plans_compiled,
+            checkpoints_total,
+            checkpoint_last_seq,
+            recovery_replayed_ops,
+            recovery_truncated_bytes,
+            recovery_corrupt_checkpoints,
         }
+    }
+
+    /// Registers the `gesto_plan_version{gesture}` collector over the
+    /// versioned plan registry. Captures only the registry `Arc` (never
+    /// the server core), keeping shutdown cycle-free.
+    pub fn register_plan_versions(&self, plans: PlanRegistry) {
+        self.registry.register_collector(move |set| {
+            let mut versions: Vec<(String, u32)> = plans
+                .read()
+                .iter()
+                .map(|(n, d)| (n.clone(), d.version))
+                .collect();
+            versions.sort();
+            for (gesture, version) in &versions {
+                set.gauge(
+                    "gesto_plan_version",
+                    "Rollout version of the deployed plan (1 on first deploy, +1 per redeploy)",
+                    &[("gesture", gesture.as_str())],
+                    f64::from(*version),
+                );
+            }
+        });
+    }
+
+    /// Registers the journal scrape collector over the durable state.
+    /// Uses `try_lock` so a scrape never waits behind a control op in
+    /// flight; a skipped scrape just reports the previous values next
+    /// time.
+    pub fn register_durable(&self, durable: Arc<Mutex<Option<DurableState>>>) {
+        self.registry.register_collector(move |set| {
+            let Some(guard) = durable.try_lock() else {
+                return;
+            };
+            let Some(ds) = guard.as_ref() else {
+                return;
+            };
+            let stats = ds.journal.stats();
+            set.counter(
+                "gesto_journal_appends_total",
+                "Control ops appended to the write-ahead journal",
+                &[],
+                stats.appends,
+            );
+            set.counter(
+                "gesto_journal_bytes_total",
+                "Bytes appended to the journal (framing + payload)",
+                &[],
+                stats.bytes,
+            );
+            set.counter(
+                "gesto_journal_fsyncs_total",
+                "fdatasync calls issued by the journal",
+                &[],
+                stats.fsyncs,
+            );
+            set.counter(
+                "gesto_journal_rotations_total",
+                "Journal segment rotations",
+                &[],
+                stats.rotations,
+            );
+            set.counter(
+                "gesto_journal_compacted_segments_total",
+                "Journal segments deleted by checkpoint compaction",
+                &[],
+                stats.compacted_segments,
+            );
+            set.gauge(
+                "gesto_journal_segments",
+                "Journal segment files currently on disk",
+                &[],
+                ds.journal.segment_count() as f64,
+            );
+            set.gauge(
+                "gesto_journal_last_seq",
+                "Sequence number of the last journaled op",
+                &[],
+                ds.journal.last_seq() as f64,
+            );
+        });
     }
 
     /// The scrape surface (what `GET /metrics` renders).
@@ -274,6 +404,13 @@ impl ServerTelemetry {
                     "Sessions resident on the shard",
                     &labels,
                     m.sessions.load(Ordering::Relaxed) as f64,
+                );
+                set.gauge(
+                    "gesto_shard_plan_instances_retiring",
+                    "Replaced plan versions still draining in-flight runs \
+                     on the shard (0 on the steady state)",
+                    &labels,
+                    m.retiring.load(Ordering::Relaxed) as f64,
                 );
                 set.gauge(
                     "gesto_shard_queue_depth",

@@ -12,7 +12,7 @@ use std::process::Command;
 use std::sync::{Arc, Mutex};
 
 use gesto_kinect::{gestures, Performer, Persona, SkeletonFrame};
-use gesto_serve::net::{wire, NetClient, NetConfig, NetServer};
+use gesto_serve::net::{wire, NetClient, NetClientConfig, NetConfig, NetServer};
 use gesto_serve::{BackpressurePolicy, Server, ServerConfig, SessionId};
 
 const CHILD_ADDR_VAR: &str = "GESTO_NET_E2E_ADDR";
@@ -256,6 +256,118 @@ fn sharded_io_threads_serve_concurrent_clients() {
         );
     }
     assert_eq!(net.metrics().sessions_opened(), 4);
+
+    net.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn control_plane_over_the_wire_and_gated_by_default() {
+    let server = Server::start(ServerConfig::new().with_shards(1));
+    teach_swipe(&server);
+
+    // An operator edge, explicitly opted into control (§8).
+    let net = NetServer::start(server.handle(), NetConfig::new().with_allow_control(true)).unwrap();
+    let mut op = NetClient::connect(net.local_addr()).unwrap();
+    op.deploy_text(r#"SELECT "ceiling" MATCHING kinect(head_y > 100000.0);"#)
+        .unwrap();
+    assert_eq!(server.plan_version("ceiling"), Some(1));
+    // Redeploying the same name over the wire bumps the version.
+    op.deploy_text(r#"SELECT "ceiling" MATCHING kinect(head_y > 200000.0);"#)
+        .unwrap();
+    assert_eq!(server.plan_version("ceiling"), Some(2));
+    op.set_config("mode", "demo").unwrap();
+    assert_eq!(server.get_config("mode").as_deref(), Some("demo"));
+    // Engine-side failures come back in the ControlAck, not as a
+    // protocol error: the connection stays usable.
+    let err = op.deploy_text("this is not a query").unwrap_err();
+    assert!(err.to_string().contains("control rejected"), "{err}");
+    op.undeploy("ceiling").unwrap();
+    assert!(!server.deployed().contains(&"ceiling".to_owned()));
+    // The data path still works on the same connection.
+    for chunk in swipe_frames(9).chunks(CHUNK) {
+        op.send_batch(1, chunk).unwrap();
+    }
+    assert!(!op.bye().unwrap().is_empty());
+    net.shutdown();
+
+    // The default edge is data-only: control frames are refused with
+    // ErrorCode::ControlDisabled but the connection survives.
+    let net = NetServer::start(server.handle(), NetConfig::new()).unwrap();
+    let mut data = NetClient::connect(net.local_addr()).unwrap();
+    let err = data.set_config("mode", "evil").unwrap_err();
+    assert!(
+        err.to_string().contains("control plane disabled"),
+        "unexpected refusal: {err}"
+    );
+    assert_eq!(server.get_config("mode").as_deref(), Some("demo"));
+    data.ping().unwrap();
+    for chunk in swipe_frames(10).chunks(CHUNK) {
+        data.send_batch(2, chunk).unwrap();
+    }
+    assert!(!data.bye().unwrap().is_empty());
+    assert!(net.metrics().protocol_errors() > 0);
+
+    net.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn client_reconnects_with_backoff_after_edge_restart() {
+    let server = Server::start(ServerConfig::new().with_shards(1));
+    teach_swipe(&server);
+    let net = NetServer::start(server.handle(), NetConfig::new()).unwrap();
+    let addr = net.local_addr();
+
+    let mut client = NetClient::connect_with_config(
+        addr,
+        NetClientConfig::new()
+            .with_max_retries(20)
+            .with_base_backoff_ms(5)
+            .with_max_backoff_ms(50),
+    )
+    .unwrap();
+    client.open_session(3).unwrap();
+    for chunk in swipe_frames(60).chunks(CHUNK) {
+        client.send_batch(3, chunk).unwrap();
+    }
+    client.ping().unwrap();
+    assert_eq!(client.reconnects(), 0);
+
+    // Kill the edge (the engine stays up) and restart it on the same
+    // port. The listener may linger briefly; retry the bind.
+    net.shutdown();
+    let net = (0..100)
+        .find_map(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            NetServer::start(
+                server.handle(),
+                NetConfig::new().with_addr(addr.to_string()),
+            )
+            .ok()
+        })
+        .expect("could not rebind the edge on the old address");
+
+    // The next operation trips over the dead socket, redials within
+    // the retry budget, re-opens session 3, and completes. A fresh
+    // performance sent after the reconnect must still detect.
+    for chunk in swipe_frames(61).chunks(CHUNK) {
+        client.send_batch(3, chunk).unwrap();
+    }
+    assert!(
+        client.reconnects() >= 1,
+        "client never redialed across the restart"
+    );
+    assert!(
+        gesto_serve::net::client_reconnects_total() >= 1,
+        "process-wide reconnect counter did not move"
+    );
+    let detections = client.bye().unwrap();
+    assert!(
+        !detections.is_empty(),
+        "post-reconnect performance produced no detections"
+    );
+    assert!(detections.iter().all(|d| d.session == 3));
 
     net.shutdown();
     server.shutdown();

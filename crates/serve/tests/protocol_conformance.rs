@@ -265,6 +265,72 @@ fn detection_layout_matches_spec() {
     );
 }
 
+// ----- §8: control plane ---------------------------------------------
+
+#[test]
+fn control_messages_layout_matches_spec() {
+    // §8: Deploy carries a u16-prefixed UTF-8 query text.
+    let text = r#"SELECT "hi" MATCHING kinect(x > 1);"#;
+    let mut p = Vec::new();
+    p.extend_from_slice(&(text.len() as u16).to_le_bytes());
+    p.extend_from_slice(text.as_bytes());
+    assert_golden(
+        &Message::Deploy {
+            text: text.to_owned(),
+        },
+        &envelope(0x07, &p),
+    );
+    // §8: Undeploy carries a u16-prefixed gesture name.
+    let mut p = Vec::new();
+    p.extend_from_slice(&2u16.to_le_bytes());
+    p.extend_from_slice(b"hi");
+    assert_golden(
+        &Message::Undeploy {
+            name: "hi".to_owned(),
+        },
+        &envelope(0x08, &p),
+    );
+    // §8: SetConfig carries two u16-prefixed strings, key then value.
+    let mut p = Vec::new();
+    p.extend_from_slice(&4u16.to_le_bytes());
+    p.extend_from_slice(b"mode");
+    p.extend_from_slice(&4u16.to_le_bytes());
+    p.extend_from_slice(b"demo");
+    assert_golden(
+        &Message::SetConfig {
+            key: "mode".to_owned(),
+            value: "demo".to_owned(),
+        },
+        &envelope(0x09, &p),
+    );
+}
+
+#[test]
+fn control_ack_layout_matches_spec() {
+    // §8: u8 ok flag (1 = success), u16-prefixed detail (empty on
+    // success).
+    let mut p = vec![1u8];
+    p.extend_from_slice(&0u16.to_le_bytes());
+    assert_golden(&Message::ControlAck { error: None }, &envelope(0x87, &p));
+
+    let mut p = vec![0u8];
+    p.extend_from_slice(&9u16.to_le_bytes());
+    p.extend_from_slice(b"bad query");
+    assert_golden(
+        &Message::ControlAck {
+            error: Some("bad query".to_owned()),
+        },
+        &envelope(0x87, &p),
+    );
+    // Flag bytes other than 0 and 1 are reserved.
+    let mut p = vec![2u8];
+    p.extend_from_slice(&0u16.to_le_bytes());
+    assert!(matches!(
+        decode(&envelope(0x87, &p)),
+        Err(NetWireError::Malformed(_))
+    ));
+}
+
 // ----- §7: errors ----------------------------------------------------
 
 #[test]
@@ -287,7 +353,8 @@ fn error_layout_and_codes_match_spec() {
     assert_eq!(ErrorCode::CreditExceeded.code(), 3);
     assert_eq!(ErrorCode::QueueFull.code(), 4);
     assert_eq!(ErrorCode::Shutdown.code(), 5);
-    for c in [1u16, 2, 3, 4, 5, 999] {
+    assert_eq!(ErrorCode::ControlDisabled.code(), 6);
+    for c in [1u16, 2, 3, 4, 5, 6, 999] {
         assert_eq!(ErrorCode::from_code(c).code(), c, "codes round-trip");
     }
 }

@@ -19,6 +19,9 @@
 //! - [`learn`] — distance-based sampling, window merging, validation and
 //!   query generation (§3.3);
 //! - [`db`] — the gesture database;
+//! - [`durability`] — crash-safe persistence primitives (write-ahead
+//!   journal, atomic checkpoints) behind the server's durable control
+//!   plane;
 //! - [`control`] — motion detection, control gestures and the
 //!   interactive session workflow (§3.1);
 //! - [`serve`] — the sharded multi-session serving runtime: worker
@@ -61,6 +64,7 @@ use std::sync::Arc;
 pub use gesto_cep as cep;
 pub use gesto_control as control;
 pub use gesto_db as db;
+pub use gesto_durability as durability;
 pub use gesto_kinect as kinect;
 pub use gesto_learn as learn;
 pub use gesto_serve as serve;
@@ -179,12 +183,12 @@ impl GestureSystem {
     /// plan **without recompiling**.
     pub fn into_server(self, config: ServerConfig) -> Result<Server, serve::ServeError> {
         let plans = self.engine.deployed_plans();
-        let server = Server::with_parts(
+        let server = Server::try_with_parts(
             config,
             self.catalog,
             self.engine.functions().clone(),
             self.store,
-        );
+        )?;
         for plan in plans {
             server.deploy_plan(plan)?;
         }

@@ -1,0 +1,131 @@
+//! Restart-equivalence e2e: a durable server is taught several
+//! gestures, killed, and restarted **from disk only** — no re-teaching,
+//! no re-deploying. The restarted server must detect the same
+//! performances bit-identically to the original process: same
+//! gestures, same timestamps, same matched event tuples (floats
+//! compared through their round-trip representation, which is exact
+//! for `f64`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use gesto::kinect::{gestures, NoiseModel, Performer, Persona, SkeletonFrame};
+use gesto::serve::{DurabilityConfig, Server, ServerConfig, SessionId};
+use parking_lot::Mutex;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gesto-restart-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn perform(spec: &gestures::GestureSpec, seed: u64) -> Vec<SkeletonFrame> {
+    let persona = Persona::reference()
+        .with_noise(NoiseModel::realistic())
+        .with_seed(seed);
+    Performer::new(persona, 0).render(spec)
+}
+
+/// Canonical, bit-exact rendering of one detection (Rust's float
+/// formatting is shortest-round-trip, so equal strings ⇔ equal bits).
+fn sink_into(server: &Server, out: &Arc<Mutex<Vec<String>>>) {
+    let sink = out.clone();
+    server.on_detection(Arc::new(move |sid, det| {
+        let events: Vec<_> = det.events.iter().map(|t| t.values().to_vec()).collect();
+        sink.lock().push(format!(
+            "{} {} {} {} {events:?}",
+            sid.0, det.gesture, det.ts, det.started_at
+        ));
+    }));
+}
+
+fn run_performances(server: &Server) -> Vec<String> {
+    let detections = Arc::new(Mutex::new(Vec::new()));
+    sink_into(server, &detections);
+    // Three sessions, each performing every taught gesture with its own
+    // (fixed) noise seed; batches of 25 frames to cross shard batch
+    // boundaries the same way in both runs.
+    let specs = [
+        gestures::swipe_right(),
+        gestures::swipe_left(),
+        gestures::push(),
+        gestures::wave(),
+    ];
+    for session in 0..3u64 {
+        for (g, spec) in specs.iter().enumerate() {
+            let frames = perform(spec, 1000 + session * 10 + g as u64);
+            for chunk in frames.chunks(25) {
+                server
+                    .push_batch(SessionId(session), chunk.to_vec())
+                    .unwrap();
+            }
+        }
+    }
+    server.drain().unwrap();
+    let mut got = detections.lock().clone();
+    got.sort();
+    got
+}
+
+#[test]
+fn restarted_server_detects_bit_identically() {
+    let dir = temp_dir("equiv");
+    let config = || {
+        ServerConfig::new()
+            .with_shards(2)
+            .with_durability_config(DurabilityConfig::new(&dir).with_checkpoint_every(3))
+    };
+
+    // Original process: teach four gestures (journaled as PutRecord +
+    // Deploy ops, with a checkpoint every 3 ops so recovery exercises
+    // checkpoint + journal-tail replay, not just one of them), plus a
+    // hand-written query, then detect.
+    let server = Server::try_start(config()).unwrap();
+    let teachings = [
+        ("swipe_right", gestures::swipe_right()),
+        ("swipe_left", gestures::swipe_left()),
+        ("push", gestures::push()),
+        ("wave", gestures::wave()),
+    ];
+    for (i, (name, spec)) in teachings.iter().enumerate() {
+        let samples: Vec<_> = (0..3)
+            .map(|s| perform(spec, (i as u64) * 100 + s))
+            .collect();
+        server.teach(name, &samples).unwrap();
+    }
+    server
+        .deploy_text(r#"SELECT "ceiling" MATCHING kinect(head_y > 100000.0);"#)
+        .unwrap();
+    server.set_config("mode", "restart-equivalence").unwrap();
+    let first = run_performances(&server);
+    assert!(
+        first.len() >= 12,
+        "original server detected too little to make equivalence meaningful: {first:?}"
+    );
+    let deployed_before = {
+        let mut d = server.deployed_versions();
+        d.sort();
+        d
+    };
+    server.shutdown(); // the "crash" (drain + exit; state is on disk)
+
+    // Restarted process: *only* the durability directory survives.
+    let server = Server::try_start(config()).unwrap();
+    let deployed_after = {
+        let mut d = server.deployed_versions();
+        d.sort();
+        d
+    };
+    assert_eq!(deployed_before, deployed_after);
+    assert_eq!(
+        server.get_config("mode").as_deref(),
+        Some("restart-equivalence")
+    );
+    let second = run_performances(&server);
+    assert_eq!(
+        first, second,
+        "restarted server must detect bit-identically from disk state"
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
