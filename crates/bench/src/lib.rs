@@ -2,6 +2,8 @@
 //! benches: persona sweeps, teach/detect helpers and plain-text table
 //! rendering (the experiment binaries print paper-style tables).
 
+pub mod chaos;
+
 use gesto_cep::Engine;
 use gesto_kinect::{
     frames_to_tuples, kinect_schema, GestureSpec, NoiseModel, Performer, Persona, SkeletonFrame,

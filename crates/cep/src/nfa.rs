@@ -441,6 +441,26 @@ impl NfaRuntime {
         self.arena.len()
     }
 
+    /// Approximate heap footprint of the run state, in bytes: the
+    /// *capacities* (not lengths) of the run slab, event index blocks,
+    /// and shared event arena. Capacity-based because that is what the
+    /// allocator actually holds — a runtime that burst to 10k runs and
+    /// drained back to 3 still pins the 10k-run slab. Tuple payloads
+    /// are estimated by the arena's inline element size; spilled
+    /// per-tuple heap (strings, vectors) is not chased, so this is a
+    /// lower bound suitable for admission budgeting, not an exact
+    /// accounting.
+    pub fn state_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.runs.capacity() * size_of::<Run>()
+            + self.run_events.capacity() * size_of::<u32>()
+            + self.arena.capacity() * size_of::<Tuple>()
+            + self.arena_ts.capacity() * size_of::<StreamTime>()
+            + self.completed.capacity() * size_of::<CompletedRun>()
+            + self.completed_events.capacity() * size_of::<u32>()
+            + self.remap.capacity() * size_of::<u32>()
+    }
+
     /// Drops all partial matches.
     pub fn reset(&mut self) {
         crate::metrics::NFA_RUNS_ACTIVE.add(-(self.runs.len() as i64));

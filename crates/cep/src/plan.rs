@@ -192,6 +192,14 @@ impl PlanInstance {
         self.nfa.active_runs()
     }
 
+    /// Approximate heap footprint of this instance's run state (see
+    /// [`crate::NfaRuntime::state_bytes`]): the NFA slab/arena plus the
+    /// staged private-chain buffer. Serving admission control charges
+    /// this against the per-shard memory budget.
+    pub fn state_bytes(&self) -> usize {
+        self.nfa.state_bytes() + self.staged.capacity() * std::mem::size_of::<Tuple>()
+    }
+
     /// Runtime statistics in the engine's [`QueryStats`] shape.
     pub fn stats(&self) -> QueryStats {
         QueryStats {

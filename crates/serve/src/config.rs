@@ -140,6 +140,44 @@ pub struct ServerConfig {
     /// store + deployed plans + config on restart. `None` (the default)
     /// keeps the control plane in-memory only.
     pub durability: Option<DurabilityConfig>,
+    /// Shard supervision: run each batch under `catch_unwind` so a
+    /// panic in the data path quarantines the poison batch, resets only
+    /// the affected session's NFA/view state and respawns the worker
+    /// thread — the process keeps serving every other session. **On by
+    /// default**; the only reason to turn it off is an A/B measurement
+    /// of the wrapper's (noise-level) cost, which is exactly what the
+    /// `exp_chaos --overhead` bench leg does.
+    pub supervision: bool,
+    /// Per-session frame-rate quota in frames per second (`0` = no
+    /// quota). Enforced on the shard worker with a token bucket (burst
+    /// of one second's allowance): a batch that would overdraw the
+    /// bucket is dropped whole and counted as
+    /// `gesto_admission_rejected_total{reason="quota"}`. This is the
+    /// admission-control answer to one adversarial session trying to
+    /// starve its shard.
+    pub session_frame_quota: u32,
+    /// Per-shard memory budget in bytes (`0` = unlimited), covering the
+    /// queued batches awaiting the worker plus the resident NFA
+    /// run-slab/arena state of the shard's sessions. A push that would
+    /// exceed it is refused with [`crate::ServeError::QueueFull`]
+    /// regardless of backpressure policy (admission control: refuse
+    /// work before it can OOM the process) and counted as
+    /// `gesto_admission_rejected_total{reason="memory"}`.
+    pub shard_memory_budget: usize,
+    /// Staleness deadline in milliseconds (`0` = disabled). Under
+    /// [`BackpressurePolicy::DropOldest`], a queued batch older than
+    /// this when the worker dequeues it is dropped *before* NFA
+    /// stepping — matching a gesture against frames this old is wasted
+    /// work for a live stream. Counted as
+    /// `gesto_admission_rejected_total{reason="stale"}`.
+    pub max_batch_age_ms: u64,
+    /// Queue-fill ratio at which the overload state machine leaves
+    /// `Healthy` for `Shedding` (worst shard; memory budget fill counts
+    /// too). See [`crate::OverloadState`].
+    pub overload_shed_ratio: f64,
+    /// Queue-fill ratio at which the overload state machine enters
+    /// `Rejecting` (the edge then refuses **new** session binds).
+    pub overload_reject_ratio: f64,
 }
 
 impl Default for ServerConfig {
@@ -153,6 +191,12 @@ impl Default for ServerConfig {
             pin_shards: false,
             stage_sample_every: 64,
             durability: None,
+            supervision: true,
+            session_frame_quota: 0,
+            shard_memory_budget: 0,
+            max_batch_age_ms: 0,
+            overload_shed_ratio: 0.75,
+            overload_reject_ratio: 1.0,
         }
     }
 }
@@ -209,6 +253,43 @@ impl ServerConfig {
     /// (`0` disables stage timing, `1` times every batch).
     pub fn with_stage_sample_every(mut self, every: u32) -> Self {
         self.stage_sample_every = every;
+        self
+    }
+
+    /// Enables or disables shard supervision (on by default; keep it on
+    /// outside of overhead A/B measurements).
+    pub fn with_supervision(mut self, on: bool) -> Self {
+        self.supervision = on;
+        self
+    }
+
+    /// Sets the per-session frame-rate quota in frames/second
+    /// (`0` = no quota).
+    pub fn with_session_frame_quota(mut self, frames_per_sec: u32) -> Self {
+        self.session_frame_quota = frames_per_sec;
+        self
+    }
+
+    /// Sets the per-shard memory budget in bytes (`0` = unlimited).
+    pub fn with_shard_memory_budget(mut self, bytes: usize) -> Self {
+        self.shard_memory_budget = bytes;
+        self
+    }
+
+    /// Sets the staleness deadline for queued batches in milliseconds
+    /// (`0` disables staleness shedding; only acts under
+    /// [`BackpressurePolicy::DropOldest`]).
+    pub fn with_max_batch_age_ms(mut self, ms: u64) -> Self {
+        self.max_batch_age_ms = ms;
+        self
+    }
+
+    /// Sets the overload thresholds as queue/memory fill ratios
+    /// (shedding at `shed`, rejecting at `reject`; both clamped to at
+    /// least 0.01, and `reject` to at least `shed`).
+    pub fn with_overload_thresholds(mut self, shed: f64, reject: f64) -> Self {
+        self.overload_shed_ratio = shed.max(0.01);
+        self.overload_reject_ratio = reject.max(self.overload_shed_ratio);
         self
     }
 

@@ -12,8 +12,11 @@ pub enum ServeError {
     Cep(CepError),
     /// Learning a gesture from samples failed.
     Learn(LearnError),
-    /// A shard's ingest queue is full (only under
-    /// [`crate::BackpressurePolicy::Reject`]).
+    /// A shard refused the batch: its ingest queue is full (under
+    /// [`crate::BackpressurePolicy::Reject`]), or admitting the batch
+    /// would exceed the shard's memory budget
+    /// ([`crate::ServerConfig::shard_memory_budget`] — enforced under
+    /// **every** backpressure policy; refusing beats an OOM kill).
     QueueFull {
         /// Shard whose queue rejected the batch.
         shard: usize,

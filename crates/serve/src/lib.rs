@@ -62,6 +62,7 @@ pub mod affinity;
 mod config;
 mod durable;
 mod error;
+pub mod failpoint;
 mod metrics;
 pub mod net;
 mod server;
@@ -72,7 +73,7 @@ mod telemetry;
 pub use config::{BackpressurePolicy, DurabilityConfig, ServerConfig};
 pub use durable::ControlOp;
 pub use error::ServeError;
-pub use metrics::{LatencySummary, ServerMetrics, ShardMetrics, ShardSnapshot};
+pub use metrics::{LatencySummary, OverloadState, ServerMetrics, ShardMetrics, ShardSnapshot};
 pub use server::{DetectionSink, OfferOutcome, Server, ServerHandle};
 pub use session::SessionId;
 
@@ -228,6 +229,65 @@ mod tests {
         assert_eq!(m.shed_frames(), 0);
         assert_eq!(server.session_count(), 0, "session closed");
         server.shutdown();
+    }
+
+    #[test]
+    fn blocking_producer_racing_shutdown_neither_deadlocks_nor_miscounts() {
+        let server = server_with_swipe(
+            ServerConfig::new()
+                .with_shards(1)
+                .with_queue_capacity(1)
+                .with_backpressure(BackpressurePolicy::Block),
+        );
+        let handle = server.handle();
+        let (hold_tx, hold_rx) = bounded::<()>(0);
+        server.barrier_for_test(hold_tx);
+        let frames = swipe_frames(1);
+        let per_batch = frames.len() as u64;
+        // Fills cap=1 behind the clogged worker.
+        server.push_batch(SessionId(0), frames.clone()).unwrap();
+
+        // This producer parks in the queue gate's `wait_below`.
+        let (done_tx, done_rx) = bounded(1);
+        let producer = {
+            let handle = handle.clone();
+            let frames = frames.clone();
+            std::thread::spawn(move || {
+                let _ = done_tx.send(handle.push_batch(SessionId(0), frames));
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(done_rx.try_recv().is_err(), "producer should be parked");
+
+        // Race shutdown against the parked producer's wakeup.
+        let shutdown = std::thread::spawn(move || server.shutdown());
+        hold_rx.recv().unwrap(); // unclog the worker
+        let res = done_rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("parked producer must resolve during shutdown, not deadlock");
+        producer.join().unwrap();
+        shutdown.join().unwrap();
+
+        let m = handle.metrics();
+        match res {
+            // Accepted: processed before the stop signal reached the
+            // worker, or still queued when the worker exited (shutdown
+            // drains only what was queued when it began) — never
+            // double-counted.
+            Ok(()) => assert!(
+                m.frames_in() == per_batch || m.frames_in() == 2 * per_batch,
+                "frames_in {} not a whole number of accepted batches",
+                m.frames_in()
+            ),
+            // Handed back by the closing shard: not counted as ingested.
+            Err(ServeError::Shutdown) => assert_eq!(m.frames_in(), per_batch),
+            other => panic!("unexpected producer result: {other:?}"),
+        }
+        assert_eq!(m.shed_frames(), 0, "Block policy never sheds");
+        assert!(matches!(
+            handle.push_batch(SessionId(9), swipe_frames(9)),
+            Err(ServeError::Shutdown)
+        ));
     }
 
     #[test]

@@ -73,6 +73,30 @@ pub struct ShardMetrics {
     /// list, per-gesture map) already held and had to wait. Stays 0 on
     /// the steady state — the contention audit's observable face.
     pub(crate) contention: AtomicU64,
+    /// Data-path panics caught by the supervised worker (each one
+    /// quarantined a batch and reset one session).
+    pub(crate) panics: AtomicU64,
+    /// Times the shard's worker thread was respawned after a panic.
+    pub(crate) restarts: AtomicU64,
+    /// Sessions whose NFA/view state was reset because a batch of
+    /// theirs was quarantined (`gesto_sessions_reset_total`).
+    pub(crate) sessions_reset: AtomicU64,
+    /// Frames consumed by quarantined (poison) batches — lost with the
+    /// panic, accounted so frame conservation stays exact.
+    pub(crate) quarantined_frames: AtomicU64,
+    /// Batches dropped before NFA stepping because they sat queued past
+    /// `max_batch_age_ms` (drop-oldest policy only).
+    pub(crate) stale_batches: AtomicU64,
+    pub(crate) stale_frames: AtomicU64,
+    /// Batches dropped by the per-session frame-rate quota.
+    pub(crate) quota_batches: AtomicU64,
+    pub(crate) quota_frames: AtomicU64,
+    /// Batches refused at push/offer because the shard's memory budget
+    /// was exhausted (counted on the producer side).
+    pub(crate) mem_rejected_batches: AtomicU64,
+    /// Estimated resident bytes of this shard's session state (NFA run
+    /// slabs + event arenas), maintained incrementally by the worker.
+    pub(crate) state_bytes: AtomicI64,
     pub(crate) per_gesture: Mutex<HashMap<String, u64>>,
     pub(crate) latency: Histogram,
 }
@@ -93,6 +117,16 @@ impl Default for ShardMetrics {
             retiring: AtomicUsize::new(0),
             pinned_core: AtomicI64::new(-1),
             contention: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            sessions_reset: AtomicU64::new(0),
+            quarantined_frames: AtomicU64::new(0),
+            stale_batches: AtomicU64::new(0),
+            stale_frames: AtomicU64::new(0),
+            quota_batches: AtomicU64::new(0),
+            quota_frames: AtomicU64::new(0),
+            mem_rejected_batches: AtomicU64::new(0),
+            state_bytes: AtomicI64::new(0),
             per_gesture: Mutex::new(HashMap::new()),
             latency: Histogram::new(),
         }
@@ -136,6 +170,16 @@ impl ShardMetrics {
             retiring: self.retiring.load(Ordering::Relaxed),
             pinned_core: self.pinned_core.load(Ordering::Relaxed),
             contention: self.contention.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            sessions_reset: self.sessions_reset.load(Ordering::Relaxed),
+            quarantined_frames: self.quarantined_frames.load(Ordering::Relaxed),
+            stale_batches: self.stale_batches.load(Ordering::Relaxed),
+            stale_frames: self.stale_frames.load(Ordering::Relaxed),
+            quota_batches: self.quota_batches.load(Ordering::Relaxed),
+            quota_frames: self.quota_frames.load(Ordering::Relaxed),
+            mem_rejected_batches: self.mem_rejected_batches.load(Ordering::Relaxed),
+            state_bytes: self.state_bytes.load(Ordering::Relaxed).max(0) as u64,
             latency: LatencySummary::from_histogram(&self.latency),
         }
     }
@@ -177,8 +221,125 @@ pub struct ShardSnapshot {
     /// Times the worker had to wait on a shared structure (0 on the
     /// steady state; see `gesto_shard_contention_total`).
     pub contention: u64,
+    /// Data-path panics caught by the supervised worker.
+    pub panics: u64,
+    /// Worker-thread respawns after a caught panic.
+    pub restarts: u64,
+    /// Sessions whose state was reset after a quarantined batch.
+    pub sessions_reset: u64,
+    /// Frames lost inside quarantined (poison) batches.
+    pub quarantined_frames: u64,
+    /// Batches dropped for exceeding `max_batch_age_ms` in the queue.
+    pub stale_batches: u64,
+    /// Frames inside those stale batches.
+    pub stale_frames: u64,
+    /// Batches dropped by the per-session frame-rate quota.
+    pub quota_batches: u64,
+    /// Frames inside those quota-dropped batches.
+    pub quota_frames: u64,
+    /// Batches refused because the shard's memory budget was exhausted.
+    pub mem_rejected_batches: u64,
+    /// Estimated resident bytes of the shard's session NFA state.
+    pub state_bytes: u64,
     /// Push-latency percentiles.
     pub latency: LatencySummary,
+}
+
+/// The server's overload state machine, computed from live shard
+/// gauges (worst shard wins): queue fill and — when a
+/// [`crate::ServerConfig::shard_memory_budget`] is set — memory fill.
+///
+/// `Healthy` → `Shedding` at
+/// [`crate::ServerConfig::overload_shed_ratio`], `Shedding` →
+/// `Rejecting` at [`crate::ServerConfig::overload_reject_ratio`]; the
+/// machine walks back down as the shards drain. Surfaced through
+/// [`crate::ServerHandle::overload_state`], `GET /healthz` (503 when
+/// rejecting) and the `gesto_overload_state` gauge; while `Rejecting`,
+/// the network edge refuses **new** session binds (existing sessions
+/// keep streaming under their backpressure policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum OverloadState {
+    /// All shards comfortably below the shedding threshold.
+    #[default]
+    Healthy,
+    /// At least one shard is past the shedding threshold: latency is
+    /// degrading and (under drop-oldest) stale work is being shed.
+    Shedding,
+    /// At least one shard is at or past the rejecting threshold: new
+    /// sessions are refused at the edge until load drains.
+    Rejecting,
+}
+
+impl OverloadState {
+    /// Stable lowercase name (`healthy` / `shedding` / `rejecting`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OverloadState::Healthy => "healthy",
+            OverloadState::Shedding => "shedding",
+            OverloadState::Rejecting => "rejecting",
+        }
+    }
+
+    /// Numeric encoding exported as the `gesto_overload_state` gauge
+    /// (0 = healthy, 1 = shedding, 2 = rejecting).
+    pub fn code(self) -> u8 {
+        match self {
+            OverloadState::Healthy => 0,
+            OverloadState::Shedding => 1,
+            OverloadState::Rejecting => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for OverloadState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Thresholds the overload state machine evaluates against (derived
+/// from the server config once at startup).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct OverloadPolicy {
+    pub queue_capacity: usize,
+    pub memory_budget: usize,
+    pub shed_ratio: f64,
+    pub reject_ratio: f64,
+}
+
+impl OverloadPolicy {
+    pub(crate) fn from_config(config: &crate::ServerConfig) -> Self {
+        OverloadPolicy {
+            queue_capacity: config.queue_capacity.max(1),
+            memory_budget: config.shard_memory_budget,
+            shed_ratio: config.overload_shed_ratio.max(0.01),
+            reject_ratio: config.overload_reject_ratio.max(0.01),
+        }
+    }
+
+    /// Worst fill ratio of one shard: queue depth over capacity, and
+    /// (with a budget) memory use over budget.
+    pub(crate) fn fill(&self, metrics: &ShardMetrics, gate: &crate::shard::QueueGate) -> f64 {
+        let queue = gate.depth.load(Ordering::Acquire) as f64 / self.queue_capacity as f64;
+        if self.memory_budget == 0 {
+            return queue;
+        }
+        let mem_used = gate.queued_bytes.load(Ordering::Acquire) as f64
+            + metrics.state_bytes.load(Ordering::Relaxed).max(0) as f64;
+        queue.max(mem_used / self.memory_budget as f64)
+    }
+
+    /// Folds per-shard fills into the machine's state (worst shard
+    /// wins).
+    pub(crate) fn classify(&self, worst_fill: f64) -> OverloadState {
+        if worst_fill >= self.reject_ratio {
+            OverloadState::Rejecting
+        } else if worst_fill >= self.shed_ratio {
+            OverloadState::Shedding
+        } else {
+            OverloadState::Healthy
+        }
+    }
 }
 
 /// Aggregated view over all shards.
@@ -225,6 +386,41 @@ impl ServerMetrics {
     /// across shards. 0 on the steady state.
     pub fn contention(&self) -> u64 {
         self.shards.iter().map(|s| s.contention).sum()
+    }
+
+    /// Total data-path panics caught by supervised workers.
+    pub fn panics(&self) -> u64 {
+        self.shards.iter().map(|s| s.panics).sum()
+    }
+
+    /// Total worker-thread respawns after caught panics.
+    pub fn restarts(&self) -> u64 {
+        self.shards.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Total sessions whose state was reset after a quarantined batch.
+    pub fn sessions_reset(&self) -> u64 {
+        self.shards.iter().map(|s| s.sessions_reset).sum()
+    }
+
+    /// Total frames lost inside quarantined (poison) batches.
+    pub fn quarantined_frames(&self) -> u64 {
+        self.shards.iter().map(|s| s.quarantined_frames).sum()
+    }
+
+    /// Total frames dropped by admission control (stale + quota), not
+    /// counting frames refused before enqueue (memory budget, which
+    /// hands the frames back to the caller).
+    pub fn admission_dropped_frames(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.stale_frames + s.quota_frames)
+            .sum()
+    }
+
+    /// Total batches refused by the shard memory budget.
+    pub fn mem_rejected_batches(&self) -> u64 {
+        self.shards.iter().map(|s| s.mem_rejected_batches).sum()
     }
 }
 

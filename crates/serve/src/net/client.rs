@@ -136,6 +136,8 @@ pub struct NetClient {
     credits: u64,
     credit_waits: u64,
     rejected_batches: u64,
+    drop_notices: u64,
+    admission_rejections: u64,
     reconnects: u64,
     server_flags: u16,
     detections: VecDeque<WireDetection>,
@@ -190,6 +192,8 @@ impl NetClient {
             credits: 0,
             credit_waits: 0,
             rejected_batches: 0,
+            drop_notices: 0,
+            admission_rejections: 0,
             reconnects: 0,
             server_flags: 0,
             detections: VecDeque::new(),
@@ -247,6 +251,19 @@ impl NetClient {
     /// backpressure policy); those frames were dropped.
     pub fn rejected_batches(&self) -> u64 {
         self.rejected_batches
+    }
+
+    /// `DetectionsDropped` notices received: congestion episodes in
+    /// which the server shed detections because this client read too
+    /// slowly (each notice covers one or more shed detections).
+    pub fn drop_notices(&self) -> u64 {
+        self.drop_notices
+    }
+
+    /// `Overloaded` refusals received: session binds (and any batch
+    /// riding on them) turned away by server admission control.
+    pub fn admission_rejections(&self) -> u64 {
+        self.admission_rejections
     }
 
     /// Times this client successfully redialled after losing the
@@ -548,6 +565,25 @@ impl NetClient {
             } => {
                 // Non-fatal: that batch was dropped (rejecting policy).
                 self.rejected_batches += 1;
+                Ok(())
+            }
+            Message::Error {
+                code: ErrorCode::DetectionsDropped,
+                ..
+            } => {
+                // Non-fatal notice (§7.1): this connection read too
+                // slowly and at least one detection was shed since the
+                // last notice.
+                self.drop_notices += 1;
+                Ok(())
+            }
+            Message::Error {
+                code: ErrorCode::Overloaded,
+                ..
+            } => {
+                // Non-fatal: a session bind (and the batch riding on
+                // it, if any) was refused by admission control.
+                self.admission_rejections += 1;
                 Ok(())
             }
             Message::Error {

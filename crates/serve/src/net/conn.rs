@@ -4,7 +4,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -42,6 +42,15 @@ pub(crate) struct Outbox {
     dirty: Sender<u64>,
     /// This connection's poller token, sent on `dirty`.
     id: u64,
+    /// A `DetectionsDropped` notice is already queued for the current
+    /// congestion episode (maintained under the buffer mutex; cleared
+    /// by [`Self::flush`] once the spill drains, so each episode
+    /// produces exactly one notice).
+    notice_queued: AtomicBool,
+    /// Detection messages shed on this connection because its outbox
+    /// was full (the per-connection count behind
+    /// `NetMetrics::detections_dropped`).
+    dropped: AtomicU64,
 }
 
 #[derive(Default)]
@@ -64,6 +73,8 @@ impl Outbox {
             metrics,
             dirty,
             id,
+            notice_queued: AtomicBool::new(false),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -72,10 +83,28 @@ impl Outbox {
     }
 
     /// Queues `bytes` (a whole number of protocol messages) for the
-    /// peer, writing through to the socket when possible.
+    /// peer, writing through to the socket when possible. Overflow
+    /// condemns the connection: control-plane replies, credit grants
+    /// and error frames must not be silently lost.
     pub(crate) fn send(&self, bytes: &[u8]) {
+        self.send_inner(bytes, None);
+    }
+
+    /// [`Self::send`] for **droppable** payloads (detection pushes): on
+    /// overflow the message is shed — counted per connection and
+    /// globally — instead of condemning the connection, and a one-shot
+    /// `DetectionsDropped` notice frame (`notice`, pre-encoded by the
+    /// caller) is queued so the peer observes the gap instead of a
+    /// silent hole in its detection stream (one notice per congestion
+    /// episode; re-armed when the spill drains). Returns whether the
+    /// payload itself was accepted.
+    pub(crate) fn send_droppable(&self, bytes: &[u8], notice: &[u8]) -> bool {
+        self.send_inner(bytes, Some(notice))
+    }
+
+    fn send_inner(&self, bytes: &[u8], droppable_notice: Option<&[u8]>) -> bool {
         if self.dead.load(Ordering::Acquire) {
-            return;
+            return false;
         }
         let mut buf = self.buf.lock();
         let mut offset = 0;
@@ -88,31 +117,50 @@ impl Outbox {
                         self.metrics.bytes_out(n as u64);
                         offset += n;
                         if offset == bytes.len() {
-                            return;
+                            return true;
                         }
                     }
                     Err(e) if super::poll::would_block(&e) => break,
                     Err(_) => {
                         self.dead.store(true, Ordering::Release);
                         self.notify();
-                        return;
+                        return false;
                     }
                 }
             }
         }
         if buf.bytes.len() + (bytes.len() - offset) > MAX_OUTBOX_BYTES {
-            // The peer is not reading its detections; shedding part of
-            // a message would desynchronise framing, so the connection
-            // is condemned instead.
-            self.metrics.slow_consumer_drop();
-            self.dead.store(true, Ordering::Release);
-            self.notify();
-            return;
+            let Some(notice) = droppable_notice else {
+                // The peer is not reading and this message may not be
+                // shed; shedding part of a message would desynchronise
+                // framing, so the connection is condemned instead.
+                self.metrics.slow_consumer_drop();
+                self.dead.store(true, Ordering::Release);
+                self.notify();
+                return false;
+            };
+            // Droppable: shed the detection, keep the connection.
+            // `notice_queued` is read and written under the buffer
+            // mutex (flush clears it the same way). The ~20-byte notice
+            // may overshoot the cap transiently — bounded by one notice
+            // per congestion episode.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            self.metrics.detection_drop();
+            if !self.notice_queued.load(Ordering::Relaxed) {
+                self.notice_queued.store(true, Ordering::Relaxed);
+                self.metrics.detection_notice();
+                buf.bytes.extend(notice);
+                if !self.pending.swap(true, Ordering::AcqRel) {
+                    self.notify();
+                }
+            }
+            return false;
         }
         buf.bytes.extend(&bytes[offset..]);
         if !self.pending.swap(true, Ordering::AcqRel) {
             self.notify();
         }
+        true
     }
 
     /// Flushes spilled bytes; returns `true` when the spill is empty
@@ -141,8 +189,21 @@ impl Outbox {
             }
         }
         let empty = buf.bytes.is_empty();
+        if empty {
+            // The congestion episode is over: the next detection shed
+            // (if any) starts a new episode with a fresh notice.
+            self.notice_queued.store(false, Ordering::Relaxed);
+        }
         self.pending.store(!empty, Ordering::Release);
         empty
+    }
+
+    /// Detections shed on this connection because its outbox was full
+    /// (the per-connection view behind the global counter; read by
+    /// tests — production reads go through `NetMetrics`).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn dropped_detections(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// Buffered bytes are waiting for [`Self::flush`].
@@ -277,5 +338,62 @@ impl Conn {
         scratch.clear();
         wire::encode(msg, scratch);
         self.outbox.send(scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Overflowing the outbox with droppable payloads sheds them
+    /// (counted per connection and globally) and queues exactly one
+    /// notice per congestion episode — without condemning the
+    /// connection; draining the spill re-arms the notice.
+    #[test]
+    fn droppable_overflow_sheds_with_one_notice_per_episode() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let metrics = Arc::new(NetMetricsInner::default());
+        let (dirty, _dirty_rx) = crossbeam::channel::unbounded();
+        let outbox = Outbox::new(Arc::new(stream), metrics.clone(), dirty, 1);
+
+        // Far more than the socket buffer + MAX_OUTBOX_BYTES can hold.
+        let payload = vec![0u8; 1 << 20];
+        let notice = [0xABu8; 24];
+        let mut shed = 0u64;
+        for _ in 0..((MAX_OUTBOX_BYTES >> 20) + 32) {
+            if !outbox.send_droppable(&payload, &notice) {
+                shed += 1;
+            }
+        }
+        assert!(shed >= 1, "outbox never overflowed");
+        assert_eq!(outbox.dropped_detections(), shed);
+        assert_eq!(metrics.detections_dropped.load(Ordering::Relaxed), shed);
+        assert_eq!(
+            metrics.detection_notices.load(Ordering::Relaxed),
+            1,
+            "one congestion episode must queue exactly one notice"
+        );
+        assert!(!outbox.is_dead(), "droppable overflow must not condemn");
+
+        // Drain the peer until the spill clears; the notice re-arms.
+        peer.set_read_timeout(Some(Duration::from_millis(100)))
+            .unwrap();
+        let mut sink = vec![0u8; 1 << 20];
+        for _ in 0..4096 {
+            if outbox.flush() {
+                break;
+            }
+            if let Ok(0) = (&peer).read(&mut sink) {
+                panic!("peer saw EOF while spill non-empty");
+            }
+        }
+        assert!(outbox.flush(), "spill never drained");
+        assert!(outbox.send_droppable(&[1, 2, 3], &notice));
+        assert_eq!(outbox.dropped_detections(), shed);
     }
 }

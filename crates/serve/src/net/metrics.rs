@@ -31,6 +31,9 @@ pub(crate) struct NetMetricsInner {
     pub(crate) detections_sent: AtomicU64,
     pub(crate) protocol_errors: AtomicU64,
     pub(crate) slow_consumer_drops: AtomicU64,
+    pub(crate) detections_dropped: AtomicU64,
+    pub(crate) detection_notices: AtomicU64,
+    pub(crate) sessions_rejected: AtomicU64,
     pub(crate) idle_closed: AtomicU64,
     pub(crate) credit_stalls: AtomicU64,
     pub(crate) http_requests: AtomicU64,
@@ -48,6 +51,12 @@ impl NetMetricsInner {
     }
     pub(crate) fn slow_consumer_drop(&self) {
         self.slow_consumer_drops.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn detection_drop(&self) {
+        self.detections_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn detection_notice(&self) {
+        self.detection_notices.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -115,9 +124,30 @@ impl NetMetrics {
         self.inner.protocol_errors.load(Ordering::Relaxed)
     }
 
-    /// Connections condemned because their detection outbox overflowed.
+    /// Connections condemned because their detection outbox overflowed
+    /// on a non-droppable (control/credit/error) message.
     pub fn slow_consumer_drops(&self) -> u64 {
         self.inner.slow_consumer_drops.load(Ordering::Relaxed)
+    }
+
+    /// Detection messages shed (instead of delivered) because their
+    /// connection's outbox was full — each gap is announced to the peer
+    /// with a non-fatal `DetectionsDropped` notice frame.
+    pub fn detections_dropped(&self) -> u64 {
+        self.inner.detections_dropped.load(Ordering::Relaxed)
+    }
+
+    /// `DetectionsDropped` notice frames queued to peers (one per
+    /// congestion episode per connection).
+    pub fn detection_notices(&self) -> u64 {
+        self.inner.detection_notices.load(Ordering::Relaxed)
+    }
+
+    /// Session binds refused by admission control: the server was in
+    /// the `Rejecting` overload state, or the connection hit its
+    /// session cap ([`crate::net::NetConfig::max_sessions_per_conn`]).
+    pub fn sessions_rejected(&self) -> u64 {
+        self.inner.sessions_rejected.load(Ordering::Relaxed)
     }
 
     /// Connections closed by the idle timeout

@@ -147,6 +147,17 @@ pub struct NetConfig {
     /// control message on a non-control edge is answered with a
     /// `ControlDisabled` error frame (the connection stays usable).
     pub allow_control: bool,
+    /// Sessions one connection may bind (default 1024). A bind past the
+    /// cap is refused with a non-fatal `Overloaded` error frame — it
+    /// bounds what one adversarial connection can pin in per-session
+    /// NFA/view state.
+    pub max_sessions_per_conn: usize,
+    /// Batches one connection may hold parked on shard backpressure
+    /// (default 64). Past the cap, further batches are dropped with a
+    /// non-fatal `QueueFull` error frame instead of parked — it bounds
+    /// the frames a connection can buffer server-side beyond its shard
+    /// queue slot.
+    pub max_parked_batches: usize,
 }
 
 impl Default for NetConfig {
@@ -158,6 +169,8 @@ impl Default for NetConfig {
             idle_timeout_ms: 300_000,
             io_threads: 1,
             allow_control: false,
+            max_sessions_per_conn: 1024,
+            max_parked_batches: 64,
         }
     }
 }
@@ -203,6 +216,18 @@ impl NetConfig {
     /// this edge. Only enable on edges reserved for trusted operators.
     pub fn with_allow_control(mut self, allow: bool) -> Self {
         self.allow_control = allow;
+        self
+    }
+
+    /// Sets the per-connection session cap.
+    pub fn with_max_sessions_per_conn(mut self, sessions: usize) -> Self {
+        self.max_sessions_per_conn = sessions.max(1);
+        self
+    }
+
+    /// Sets the per-connection parked-batch cap.
+    pub fn with_max_parked_batches(mut self, batches: usize) -> Self {
+        self.max_parked_batches = batches.max(1);
         self
     }
 }
@@ -452,6 +477,24 @@ fn install_net_collector(
         );
         c(
             set,
+            "gesto_net_detections_dropped_total",
+            "Detection messages shed because their connection's outbox was full",
+            &m.detections_dropped,
+        );
+        c(
+            set,
+            "gesto_net_detection_notices_total",
+            "DetectionsDropped notice frames queued to slow-reading peers",
+            &m.detection_notices,
+        );
+        c(
+            set,
+            "gesto_net_sessions_rejected_total",
+            "Session binds refused by admission control (overload or per-connection cap)",
+            &m.sessions_rejected,
+        );
+        c(
+            set,
             "gesto_net_idle_closed_total",
             "Connections closed by the idle timeout",
             &m.idle_closed,
@@ -508,6 +551,17 @@ fn install_detection_sink(
 ) {
     let registry = registry.clone();
     let inner = inner.clone();
+    // Pre-encoded non-fatal notice queued (once per congestion episode)
+    // when a slow consumer forces a detection to be shed; §7.1 of
+    // docs/PROTOCOL.md.
+    let mut notice = Vec::with_capacity(32);
+    wire::encode(
+        &Message::Error {
+            code: ErrorCode::DetectionsDropped,
+            detail: "detections shed".to_owned(),
+        },
+        &mut notice,
+    );
     handle.on_detection(Arc::new(move |sid, det| {
         let route = registry.lock().get(&sid.0).cloned();
         let Some(route) = route else { return };
@@ -527,7 +581,11 @@ fn install_detection_sink(
             }),
             &mut buf,
         );
-        route.outbox.send(&buf);
+        if !route.outbox.send_droppable(&buf, &notice) {
+            // Shed (or the connection died): counted inside the outbox;
+            // neither `detections_sent` nor latency observes it.
+            return;
+        }
         inner.detections_sent.fetch_add(1, Ordering::Relaxed);
         let now = epoch.elapsed().as_micros() as u64;
         let rx = route.last_rx_us.load(Ordering::Acquire);
@@ -786,7 +844,32 @@ impl IoLoop {
                 self.scrape.render(),
             ),
             ("GET" | "HEAD", "/healthz") => {
-                ("200 OK", "text/plain; charset=utf-8", "ok\n".to_owned())
+                // Overload-aware liveness: healthy/shedding answer 200
+                // (the process is alive and serving, possibly degraded),
+                // rejecting answers 503 so load balancers steer away.
+                let state = self.handle.overload_state();
+                let status = match state {
+                    crate::metrics::OverloadState::Rejecting => "503 Service Unavailable",
+                    _ => "200 OK",
+                };
+                (
+                    status,
+                    "text/plain; charset=utf-8",
+                    format!("{}\n", state.as_str()),
+                )
+            }
+            ("GET" | "HEAD", "/readyz") => {
+                // Readiness: 503 until startup recovery finished and no
+                // shard worker is mid-respawn (plans rebroadcast).
+                if self.handle.is_ready() {
+                    ("200 OK", "text/plain; charset=utf-8", "ready\n".to_owned())
+                } else {
+                    (
+                        "503 Service Unavailable",
+                        "text/plain; charset=utf-8",
+                        "not ready\n".to_owned(),
+                    )
+                }
             }
             ("GET" | "HEAD", _) => (
                 "404 Not Found",
@@ -831,7 +914,8 @@ impl IoLoop {
         match msg {
             Message::Hello { .. } => Some(Close::Fault(ErrorCode::Malformed, "duplicate Hello")),
             Message::OpenSession { session } => {
-                self.bind_session(conn, session);
+                // A refused bind already queued its error frame.
+                let _ = self.bind_session(conn, session);
                 None
             }
             Message::FrameBatch { session, frames } => self.on_frame_batch(conn, session, frames),
@@ -937,7 +1021,12 @@ impl IoLoop {
         }
         conn.credits -= n;
         conn.credit_debt += n as u32;
-        let global = self.bind_session(conn, session);
+        let Some(global) = self.bind_session(conn, session) else {
+            // Admission refused the bind: the batch is dropped (the
+            // refusal frame is already queued) and the frames' credit
+            // returns to the client through the accrued debt.
+            return None;
+        };
         if let Some(route) = self.registry.lock().get(&global) {
             route
                 .last_rx_us
@@ -950,6 +1039,21 @@ impl IoLoop {
             .batches_received
             .fetch_add(1, Ordering::Relaxed);
         if !conn.parked.is_empty() {
+            if conn.parked.len() >= self.config.max_parked_batches {
+                // The connection already buffers its cap of parked
+                // batches: drop instead of growing without bound.
+                self.metrics
+                    .batches_rejected
+                    .fetch_add(1, Ordering::Relaxed);
+                conn.send(
+                    &Message::Error {
+                        code: ErrorCode::QueueFull,
+                        detail: "parked-batch cap reached, batch dropped".to_owned(),
+                    },
+                    &mut self.scratch,
+                );
+                return None;
+            }
             // FIFO per connection: behind an already-parked batch.
             conn.parked.push_back((global, frames));
             return None;
@@ -968,6 +1072,21 @@ impl IoLoop {
         match self.handle.offer_batch(SessionId(global), frames) {
             Ok(OfferOutcome::Queued) => None,
             Ok(OfferOutcome::Full(frames)) => {
+                if conn.parked.len() >= self.config.max_parked_batches {
+                    // Defensive bound (normally unreachable: a parked
+                    // connection is paused): drop rather than park.
+                    self.metrics
+                        .batches_rejected
+                        .fetch_add(1, Ordering::Relaxed);
+                    conn.send(
+                        &Message::Error {
+                            code: ErrorCode::QueueFull,
+                            detail: "parked-batch cap reached, batch dropped".to_owned(),
+                        },
+                        &mut self.scratch,
+                    );
+                    return None;
+                }
                 conn.parked.push_back((global, frames));
                 self.metrics.batches_parked.fetch_add(1, Ordering::Relaxed);
                 self.pause(conn);
@@ -992,9 +1111,35 @@ impl IoLoop {
     }
 
     /// Resolves (or creates) the engine session bound to a client id.
-    fn bind_session(&mut self, conn: &mut Conn, client_sid: u64) -> u64 {
+    ///
+    /// A **new** bind is subject to admission control and returns `None`
+    /// when refused — the connection hit its session cap, or the server
+    /// is in the `Rejecting` overload state. Refusals queue a non-fatal
+    /// `Overloaded` error frame (§7.1 of `docs/PROTOCOL.md`); already
+    /// bound sessions always resolve.
+    fn bind_session(&mut self, conn: &mut Conn, client_sid: u64) -> Option<u64> {
         if let Some(b) = conn.sessions.get(&client_sid) {
-            return b.global;
+            return Some(b.global);
+        }
+        let refusal = if conn.sessions.len() >= self.config.max_sessions_per_conn {
+            Some("connection session cap reached")
+        } else if self.handle.overload_state() == crate::metrics::OverloadState::Rejecting {
+            Some("server rejecting new sessions under overload")
+        } else {
+            None
+        };
+        if let Some(detail) = refusal {
+            self.metrics
+                .sessions_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            conn.send(
+                &Message::Error {
+                    code: ErrorCode::Overloaded,
+                    detail: detail.to_owned(),
+                },
+                &mut self.scratch,
+            );
+            return None;
         }
         let global = self.session_ids.fetch_add(1, Ordering::Relaxed);
         let _ = self.handle.open_session(SessionId(global));
@@ -1007,7 +1152,7 @@ impl IoLoop {
         self.registry.lock().insert(global, route);
         conn.sessions.insert(client_sid, SessionBinding { global });
         self.metrics.sessions_opened.fetch_add(1, Ordering::Relaxed);
-        global
+        Some(global)
     }
 
     /// Starts an asynchronous session close; the ack is collected by

@@ -60,6 +60,16 @@ pub enum ErrorCode {
     /// edge was not started with
     /// [`NetConfig::allow_control`](super::NetConfig::allow_control).
     ControlDisabled,
+    /// **Non-fatal notice** (§7.1): the server shed queued detection
+    /// bytes for this connection because the client read too slowly.
+    /// The stream resumes from the next detection; the gap is
+    /// observable instead of silent.
+    DetectionsDropped,
+    /// **Non-fatal** (§7.1): admission control refused the request —
+    /// a new session bind while the server is `Rejecting`, or a bind
+    /// past the connection's session cap. Existing sessions on the
+    /// connection are unaffected.
+    Overloaded,
     /// An error code this codec version does not know.
     Unknown(u16),
 }
@@ -74,6 +84,8 @@ impl ErrorCode {
             ErrorCode::QueueFull => 4,
             ErrorCode::Shutdown => 5,
             ErrorCode::ControlDisabled => 6,
+            ErrorCode::DetectionsDropped => 7,
+            ErrorCode::Overloaded => 8,
             ErrorCode::Unknown(c) => c,
         }
     }
@@ -87,6 +99,8 @@ impl ErrorCode {
             4 => ErrorCode::QueueFull,
             5 => ErrorCode::Shutdown,
             6 => ErrorCode::ControlDisabled,
+            7 => ErrorCode::DetectionsDropped,
+            8 => ErrorCode::Overloaded,
             other => ErrorCode::Unknown(other),
         }
     }
@@ -101,6 +115,10 @@ impl fmt::Display for ErrorCode {
             ErrorCode::QueueFull => f.write_str("shard queue full, batch rejected"),
             ErrorCode::Shutdown => f.write_str("server shutting down"),
             ErrorCode::ControlDisabled => f.write_str("control plane disabled on this edge"),
+            ErrorCode::DetectionsDropped => {
+                f.write_str("detections shed for this slow-reading connection")
+            }
+            ErrorCode::Overloaded => f.write_str("admission refused: server overloaded"),
             ErrorCode::Unknown(c) => write!(f, "unknown error code {c}"),
         }
     }

@@ -1,10 +1,10 @@
 //! The multi-session detection server and its clonable handle.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use gesto_cep::{parse_query, Detection, FunctionRegistry, Query, QueryPlan};
@@ -19,9 +19,9 @@ use parking_lot::{Mutex, RwLock};
 use crate::config::{BackpressurePolicy, ServerConfig};
 use crate::durable::{self, ControlOp, DurableState};
 use crate::error::ServeError;
-use crate::metrics::{ServerMetrics, ShardMetrics};
+use crate::metrics::{OverloadPolicy, OverloadState, ServerMetrics, ShardMetrics};
 use crate::session::SessionId;
-use crate::shard::{Batch, Control, Job, QueueGate, ShardWorker};
+use crate::shard::{batch_cost, Batch, Control, Job, QueueGate, ShardWorker, WorkerExit};
 use crate::telemetry::ServerTelemetry;
 
 /// Callback invoked for every detection of every session.
@@ -46,6 +46,69 @@ struct ShardLink {
     tx: Sender<Job>,
     gate: Arc<QueueGate>,
     metrics: Arc<ShardMetrics>,
+}
+
+/// The join handle of a shard's **current** worker thread generation.
+///
+/// Under supervision a shard's thread can die and be respawned any
+/// number of times; the dying thread stores its successor's handle here
+/// *before* exiting, so joining whatever handle the slot holds — in a
+/// take/join loop — is guaranteed to eventually join the final
+/// generation: a join only returns after the joined thread finished,
+/// i.e. after any successor handle it spawned became visible in the
+/// slot.
+struct WorkerSlot(Mutex<Option<JoinHandle<()>>>);
+
+/// Everything a dying worker thread needs to respawn itself (the
+/// supervisor runs *on* the shard's own thread — there is no central
+/// supervisor thread to become a bottleneck or single point of
+/// failure).
+struct SuperviseCtx {
+    shard_id: usize,
+    slot: Arc<WorkerSlot>,
+    metrics: Arc<ShardMetrics>,
+    /// Authoritative deployed set, rebroadcast to the respawned worker.
+    plans: PlanRegistry,
+    /// Shards currently between panic and successful respawn; non-zero
+    /// turns `GET /readyz` not-ready.
+    respawning: Arc<AtomicUsize>,
+}
+
+/// Body of every shard thread: runs the worker, and if it exits by
+/// supervised panic, respawns it — same shard id and thread name, same
+/// channel and session state (minus the quarantined session), core
+/// re-pinned by [`ShardWorker::run`]. The process keeps serving
+/// throughout; producers never observe more than queue latency.
+fn run_supervised(worker: ShardWorker, ctx: SuperviseCtx) {
+    let exited = worker.run();
+    let mut worker = match exited {
+        WorkerExit::Shutdown => return,
+        WorkerExit::Panicked(w) => w,
+    };
+    ctx.respawning.fetch_add(1, Ordering::AcqRel);
+    ctx.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+    let delay = crate::failpoint::respawn_delay_ms();
+    if delay > 0 {
+        std::thread::sleep(Duration::from_millis(delay));
+    }
+    // Rebroadcast the authoritative plan set before taking traffic
+    // again. The worker's own plan list survives a batch panic, so this
+    // is normally a pure verification pass (`Arc::ptr_eq` fast path in
+    // `apply_deploy`); it does real work only if a deploy raced the
+    // panic window. A deploy still queued in the channel re-applies
+    // idempotently after this.
+    let plans: Vec<Arc<QueryPlan>> = ctx.plans.read().values().map(|d| d.plan.clone()).collect();
+    worker.resync_plans(&plans);
+    let slot = ctx.slot.clone();
+    let respawning = ctx.respawning.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("gesto-shard-{}", ctx.shard_id))
+        .spawn(move || run_supervised(*worker, ctx))
+        .expect("respawn shard worker");
+    // Publish the successor's handle before this thread exits — the
+    // ordering `Server::stop_workers` relies on.
+    *slot.0.lock() = Some(handle);
+    respawning.fetch_sub(1, Ordering::AcqRel);
 }
 
 /// One deployed plan with its rollout version. Redeploying a name
@@ -85,6 +148,10 @@ struct ServerCore {
     /// plans-compiled counter).
     telemetry: Arc<ServerTelemetry>,
     closed: AtomicBool,
+    /// Start-up (including durable recovery + plan rebroadcast) done.
+    ready: AtomicBool,
+    /// Shards currently between a supervised panic and their respawn.
+    respawning: Arc<AtomicUsize>,
 }
 
 /// A sharded, multi-threaded detection runtime serving many concurrent
@@ -114,7 +181,7 @@ struct ServerCore {
 /// ```
 pub struct Server {
     handle: ServerHandle,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<Arc<WorkerSlot>>,
 }
 
 /// Clonable, thread-safe handle to a running [`Server`].
@@ -180,6 +247,16 @@ impl Server {
         // cores to spread over (core 0 is left to the net I/O threads).
         let host_cores = crate::affinity::host_cores();
 
+        let plans: PlanRegistry = Arc::new(RwLock::new(HashMap::new()));
+        let respawning = Arc::new(AtomicUsize::new(0));
+        // Staleness shedding only exists under DropOldest: Block and
+        // Reject already bound queue age through depth, and dropping a
+        // Block producer's accepted batch would break its no-loss
+        // contract.
+        let max_batch_age = (matches!(config.backpressure, BackpressurePolicy::DropOldest)
+            && config.max_batch_age_ms > 0)
+            .then(|| Duration::from_millis(config.max_batch_age_ms));
+
         let mut shards = Vec::with_capacity(shard_count);
         let mut workers = Vec::with_capacity(shard_count);
         for shard_id in 0..shard_count {
@@ -202,13 +279,24 @@ impl Server {
                 config.columnar_min_batch,
                 telemetry.clone(),
                 pin_core,
+                config.supervision,
+                config.session_frame_quota,
+                max_batch_age,
             );
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("gesto-shard-{shard_id}"))
-                    .spawn(move || worker.run())
-                    .expect("spawn shard worker"),
-            );
+            let slot = Arc::new(WorkerSlot(Mutex::new(None)));
+            let ctx = SuperviseCtx {
+                shard_id,
+                slot: slot.clone(),
+                metrics: metrics.clone(),
+                plans: plans.clone(),
+                respawning: respawning.clone(),
+            };
+            let handle = std::thread::Builder::new()
+                .name(format!("gesto-shard-{shard_id}"))
+                .spawn(move || run_supervised(worker, ctx))
+                .expect("spawn shard worker");
+            *slot.0.lock() = Some(handle);
+            workers.push(slot);
             shards.push(ShardLink { tx, gate, metrics });
         }
         telemetry.register_shards(
@@ -217,8 +305,14 @@ impl Server {
                 .map(|l| (l.metrics.clone(), l.gate.clone()))
                 .collect(),
         );
+        telemetry.register_overload(
+            shards
+                .iter()
+                .map(|l| (l.metrics.clone(), l.gate.clone()))
+                .collect(),
+            OverloadPolicy::from_config(&config),
+        );
 
-        let plans: PlanRegistry = Arc::new(RwLock::new(HashMap::new()));
         let durable: Arc<Mutex<Option<DurableState>>> = Arc::new(Mutex::new(None));
         telemetry.register_plan_versions(plans.clone());
         telemetry.register_durable(durable.clone());
@@ -236,6 +330,8 @@ impl Server {
             listeners,
             telemetry,
             closed: AtomicBool::new(false),
+            ready: AtomicBool::new(false),
+            respawning,
         });
         let server = Server {
             handle: ServerHandle { core },
@@ -244,6 +340,9 @@ impl Server {
         if server.handle.core.config.durability.is_some() {
             server.handle.recover()?;
         }
+        // Recovery + plan rebroadcast done: readiness from here on is
+        // only gated by in-flight worker respawns.
+        server.handle.core.ready.store(true, Ordering::Release);
         Ok(server)
     }
 
@@ -262,11 +361,27 @@ impl Server {
 
     fn stop_workers(&mut self) {
         self.handle.core.closed.store(true, Ordering::Release);
+        self.handle.core.ready.store(false, Ordering::Release);
         for link in &self.handle.core.shards {
             let _ = link.tx.send(Job::Control(Control::Shutdown));
         }
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        for slot in self.workers.drain(..) {
+            // Join whatever thread generation currently owns the shard.
+            // A joined generation that panicked has already published
+            // its successor's handle (see `run_supervised`), so re-check
+            // the slot until it stays empty: the final generation exits
+            // on the Shutdown message above without respawning. The
+            // lock must not be held across `join()` — the dying thread
+            // takes it to publish its successor.
+            loop {
+                let h = slot.0.lock().take();
+                match h {
+                    Some(h) => {
+                        let _ = h.join();
+                    }
+                    None => break,
+                }
+            }
         }
     }
 }
@@ -307,6 +422,7 @@ impl ServerHandle {
         let shard = session.shard(self.core.shards.len());
         let link = &self.core.shards[shard];
         let cap = self.core.config.queue_capacity;
+        self.check_memory_budget(shard, link, frames.len())?;
         match self.core.config.backpressure {
             BackpressurePolicy::Block => link.gate.wait_below(cap),
             BackpressurePolicy::Reject => {
@@ -320,7 +436,9 @@ impl ServerHandle {
                 }
             }
         }
+        let cost = batch_cost(frames.len());
         link.gate.depth.fetch_add(1, Ordering::AcqRel);
+        link.gate.queued_bytes.fetch_add(cost, Ordering::AcqRel);
         link.tx
             .send(Job::Batch(Batch {
                 session,
@@ -329,8 +447,37 @@ impl ServerHandle {
             }))
             .map_err(|_| {
                 link.gate.depth.fetch_sub(1, Ordering::AcqRel);
+                link.gate.queued_bytes.fetch_sub(cost, Ordering::AcqRel);
                 ServeError::Shutdown
             })
+    }
+
+    /// Per-shard memory-budget admission check (no-op when
+    /// `shard_memory_budget` is 0): refuses the batch with
+    /// [`ServeError::QueueFull`] — **whatever the backpressure policy**
+    /// — when queued bytes plus resident NFA state would exceed the
+    /// budget. Refusing before allocating is the graceful-degradation
+    /// contract: an explicit, counted admission decision instead of an
+    /// OOM kill.
+    fn check_memory_budget(
+        &self,
+        shard: usize,
+        link: &ShardLink,
+        frames: usize,
+    ) -> Result<(), ServeError> {
+        let budget = self.core.config.shard_memory_budget;
+        if budget == 0 {
+            return Ok(());
+        }
+        let used = link.gate.queued_bytes.load(Ordering::Acquire)
+            + link.metrics.state_bytes.load(Ordering::Relaxed).max(0) as u64;
+        if used + batch_cost(frames) > budget as u64 {
+            link.metrics
+                .mem_rejected_batches
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::QueueFull { shard });
+        }
+        Ok(())
     }
 
     /// Non-blocking [`Self::push_batch`]: never parks the calling
@@ -354,6 +501,7 @@ impl ServerHandle {
         let shard = session.shard(self.core.shards.len());
         let link = &self.core.shards[shard];
         let cap = self.core.config.queue_capacity;
+        self.check_memory_budget(shard, link, frames.len())?;
         match self.core.config.backpressure {
             BackpressurePolicy::Block => {
                 if link.gate.depth.load(Ordering::Acquire) >= cap {
@@ -371,7 +519,9 @@ impl ServerHandle {
                 }
             }
         }
+        let cost = batch_cost(frames.len());
         link.gate.depth.fetch_add(1, Ordering::AcqRel);
+        link.gate.queued_bytes.fetch_add(cost, Ordering::AcqRel);
         link.tx
             .send(Job::Batch(Batch {
                 session,
@@ -381,6 +531,7 @@ impl ServerHandle {
             .map(|()| OfferOutcome::Queued)
             .map_err(|_| {
                 link.gate.depth.fetch_sub(1, Ordering::AcqRel);
+                link.gate.queued_bytes.fetch_sub(cost, Ordering::AcqRel);
                 ServeError::Shutdown
             })
     }
@@ -796,6 +947,37 @@ impl ServerHandle {
 
     pub(crate) fn telemetry(&self) -> &Arc<ServerTelemetry> {
         &self.core.telemetry
+    }
+
+    /// Readiness: `true` once start-up (durable recovery + plan
+    /// rebroadcast) completed, no shard worker is mid-respawn after a
+    /// supervised panic, and the server is not shutting down. The
+    /// network edge surfaces this as `GET /readyz` (200/503) — a load
+    /// balancer should route around the brief not-ready window of a
+    /// worker respawn even though pushes merely queue during it.
+    pub fn is_ready(&self) -> bool {
+        self.core.ready.load(Ordering::Acquire)
+            && self.core.respawning.load(Ordering::Acquire) == 0
+            && !self.core.closed.load(Ordering::Acquire)
+    }
+
+    /// The overload state machine, computed on demand from the worst
+    /// shard's queue/memory fill against the configured thresholds
+    /// (`ServerConfig::with_overload_thresholds`):
+    /// [`OverloadState::Healthy`] → [`OverloadState::Shedding`] (some
+    /// shard past the shed ratio — degradation mechanisms are active)
+    /// → [`OverloadState::Rejecting`] (past the reject ratio — the net
+    /// edge refuses **new** sessions, `GET /healthz` turns 503).
+    /// Exported as the `gesto_overload_state` gauge (0/1/2).
+    pub fn overload_state(&self) -> OverloadState {
+        let policy = OverloadPolicy::from_config(&self.core.config);
+        let worst = self
+            .core
+            .shards
+            .iter()
+            .map(|l| policy.fill(&l.metrics, &l.gate))
+            .fold(0.0, f64::max);
+        policy.classify(worst)
     }
 
     /// Live sessions across all shards.

@@ -19,7 +19,7 @@
 //! nothing.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -85,6 +85,12 @@ pub(crate) struct QueueGate {
     pub depth: AtomicUsize,
     /// Oldest-batch drop requests not yet honoured by the worker.
     pub shed_requests: AtomicUsize,
+    /// Approximate bytes held by queued batches ([`batch_cost`] per
+    /// batch): producers add before `send`, the worker subtracts at
+    /// dequeue. Together with `ShardMetrics::state_bytes` this is the
+    /// shard's footprint charged against the memory budget
+    /// (`ServerConfig::shard_memory_budget`).
+    pub queued_bytes: AtomicU64,
     /// Cleared when the worker exits — by shutdown *or* by panic (a
     /// drop guard in [`ShardWorker::run`] guarantees it), so blocked
     /// producers can never be stranded by a dead worker.
@@ -98,6 +104,7 @@ impl Default for QueueGate {
         Self {
             depth: AtomicUsize::new(0),
             shed_requests: AtomicUsize::new(0),
+            queued_bytes: AtomicU64::new(0),
             open: AtomicBool::new(true),
             lock: Mutex::new(()),
             cv: Condvar::new(),
@@ -134,13 +141,57 @@ impl QueueGate {
     }
 }
 
-/// Closes the gate when the worker exits, however it exits.
-struct GateGuard(Arc<QueueGate>);
+/// Queue-byte cost charged to [`QueueGate::queued_bytes`] for a batch of
+/// `frames` frames: the inline frame size plus the batch's fixed
+/// overhead. Deterministic from the frame count so producer (add) and
+/// worker (subtract) always agree without shipping the figure in the
+/// job.
+pub(crate) fn batch_cost(frames: usize) -> u64 {
+    (frames * std::mem::size_of::<SkeletonFrame>() + std::mem::size_of::<Batch>()) as u64
+}
+
+/// Closes the gate when the worker exits — unless defused first.
+///
+/// Shutdown and channel-disconnect exits must close the gate so blocked
+/// producers wake and see the disconnection. A *supervised panic* exit
+/// must NOT: the channel stays alive and the respawned worker resumes
+/// the same queue, so producers should keep blocking/queueing as if
+/// nothing happened. The panic path calls [`GateGuard::defuse`] right
+/// before handing the worker back to the supervisor.
+struct GateGuard {
+    gate: Arc<QueueGate>,
+    armed: bool,
+}
+
+impl GateGuard {
+    fn new(gate: Arc<QueueGate>) -> Self {
+        Self { gate, armed: true }
+    }
+
+    fn defuse(&mut self) {
+        self.armed = false;
+    }
+}
 
 impl Drop for GateGuard {
     fn drop(&mut self) {
-        self.0.close();
+        if self.armed {
+            self.gate.close();
+        }
     }
+}
+
+/// Why [`ShardWorker::run`] returned.
+pub(crate) enum WorkerExit {
+    /// Clean exit: `Shutdown` control message or all senders dropped.
+    /// The queue gate is closed; the worker is gone for good.
+    Shutdown,
+    /// A batch panicked under supervision. The poison batch has been
+    /// quarantined and the affected session reset; the worker — with
+    /// all other session state intact — is handed back so the
+    /// supervisor can respawn it on a fresh thread. The gate stays
+    /// open: producers keep queueing into the still-alive channel.
+    Panicked(Box<ShardWorker>),
 }
 
 /// State owned by one session on this shard: a shared view runtime (each
@@ -154,6 +205,16 @@ pub(crate) struct SessionRuntime {
     /// (completing or expiring their in-flight runs, never seeding new
     /// ones) and are dropped once [`PlanInstance::active_runs`] hits 0.
     retiring: Vec<PlanInstance>,
+    /// Frame-rate quota token bucket (tokens = frames). Refilled from
+    /// batch *enqueue* timestamps — not wall-clock reads on the worker —
+    /// so admission is deterministic per producer timeline. Burst
+    /// allowance is one second of quota.
+    quota_tokens: f64,
+    /// Enqueue instant of the last quota-checked batch.
+    quota_stamp: Option<Instant>,
+    /// Last reported [`PlanInstance::state_bytes`] sum, so the shard
+    /// gauge is updated by delta per batch.
+    last_state_bytes: usize,
 }
 
 impl SessionRuntime {
@@ -165,6 +226,9 @@ impl SessionRuntime {
             views,
             instances: plans.iter().map(|p| p.instantiate()).collect(),
             retiring: Vec::new(),
+            quota_tokens: 0.0,
+            quota_stamp: None,
+            last_state_bytes: 0,
         }
     }
 
@@ -225,6 +289,17 @@ pub(crate) struct ShardWorker {
     /// Core to pin this worker to at start-up (`None` = unpinned; see
     /// `crate::affinity::placement`).
     pin_core: Option<usize>,
+    /// Catch batch panics, quarantine, and hand the worker back for
+    /// respawn (`ServerConfig::supervision`). Off = seed behaviour: a
+    /// panic kills the thread and closes the gate.
+    supervision: bool,
+    /// Per-session frames/second admission quota (0 = unlimited); see
+    /// `ServerConfig::session_frame_quota`.
+    session_frame_quota: u32,
+    /// Staleness deadline for queued batches — `Some` only under
+    /// `BackpressurePolicy::DropOldest` with a configured
+    /// `max_batch_age_ms`; older batches are shed before NFA stepping.
+    max_batch_age: Option<Duration>,
 }
 
 impl ShardWorker {
@@ -241,6 +316,9 @@ impl ShardWorker {
         columnar_min_batch: usize,
         telemetry: Arc<ServerTelemetry>,
         pin_core: Option<usize>,
+        supervision: bool,
+        session_frame_quota: u32,
+        max_batch_age: Option<Duration>,
     ) -> Self {
         let slots = KinectSlots::resolve(&schema, "");
         let stage_sampler = telemetry.sampler();
@@ -262,12 +340,18 @@ impl ShardWorker {
             telemetry,
             stage_sampler,
             pin_core,
+            supervision,
+            session_frame_quota,
+            max_batch_age,
         }
     }
 
-    /// The worker loop. Exits on `Shutdown` or when every sender is gone.
-    pub fn run(mut self) {
-        let _gate_guard = GateGuard(self.gate.clone());
+    /// The worker loop. Returns [`WorkerExit::Shutdown`] on a `Shutdown`
+    /// control message or when every sender is gone (gate closed), or
+    /// [`WorkerExit::Panicked`] when a supervised batch panicked (gate
+    /// left open; the supervisor respawns the worker on a new thread).
+    pub fn run(mut self) -> WorkerExit {
+        let mut gate_guard = GateGuard::new(self.gate.clone());
         // Pin before touching any session state so the NFA slabs and
         // view scratch are first faulted in from the core that will use
         // them. Failure (non-Linux, restricted cpuset) degrades to an
@@ -283,6 +367,9 @@ impl ShardWorker {
             match job {
                 Job::Batch(batch) => {
                     let remaining = self.gate.depth.fetch_sub(1, Ordering::AcqRel) - 1;
+                    self.gate
+                        .queued_bytes
+                        .fetch_sub(batch_cost(batch.frames.len()), Ordering::AcqRel);
                     self.gate.notify();
                     // Drop-oldest handshake: a producer that found the
                     // queue full asked for one queued batch to be shed;
@@ -304,7 +391,41 @@ impl ShardWorker {
                         // a later, uncongested burst.
                         self.gate.shed_requests.store(0, Ordering::Release);
                     }
-                    self.process(batch);
+                    // Staleness shedding (DropOldest only): a batch that
+                    // sat queued past the deadline is worthless to a
+                    // live gesture UI — drop it before paying for NFA
+                    // stepping. Measured from the enqueue instant, so a
+                    // deep queue behind a slow shard sheds its backlog
+                    // in O(queue) instead of grinding through it.
+                    if let Some(max_age) = self.max_batch_age {
+                        if batch.enqueued.elapsed() >= max_age {
+                            self.metrics
+                                .stale_frames
+                                .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
+                            self.metrics.stale_batches.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    if self.supervision {
+                        let session = batch.session;
+                        let frames = batch.frames.len() as u64;
+                        // AssertUnwindSafe: on panic the only state that
+                        // can be torn mid-update is the poisoned
+                        // session's runtime and the shared scratch
+                        // buffers — quarantine replaces the former and
+                        // clears the latter before the worker is reused.
+                        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            self.process(batch)
+                        }))
+                        .is_err()
+                        {
+                            self.quarantine(session, frames);
+                            gate_guard.defuse();
+                            return WorkerExit::Panicked(Box::new(self));
+                        }
+                    } else {
+                        self.process(batch);
+                    }
                 }
                 Job::Control(c) => {
                     if self.control(c) {
@@ -312,6 +433,48 @@ impl ShardWorker {
                     }
                 }
             }
+        }
+        WorkerExit::Shutdown
+    }
+
+    /// Post-panic cleanup, run on the worker thread that caught the
+    /// unwind: count the panic, write off the poison batch's frames,
+    /// clear the shared scratch buffers (they may hold torn mid-batch
+    /// output), and reset the poisoned session's runtime **in place** —
+    /// views and every plan instance rebuilt fresh, in-flight partial
+    /// matches of that session (only) discarded and counted via
+    /// `gesto_sessions_reset_total`. Every other session's state is
+    /// untouched: `process` only writes through the one session's
+    /// runtime, so their detections stay bit-identical to an
+    /// un-panicked run (pinned by `tests/supervision_e2e.rs`).
+    fn quarantine(&mut self, session: SessionId, frames: u64) {
+        self.metrics.panics.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .quarantined_frames
+            .fetch_add(frames, Ordering::Relaxed);
+        self.detections.clear();
+        self.tuples.clear();
+        if let Some(rt) = self.sessions.get_mut(&session) {
+            self.metrics
+                .retiring
+                .fetch_sub(rt.retiring.len(), Ordering::Relaxed);
+            self.metrics
+                .state_bytes
+                .fetch_sub(rt.last_state_bytes as i64, Ordering::Relaxed);
+            *rt = SessionRuntime::new(&self.catalog, &self.plans, self.columnar);
+            self.metrics.sessions_reset.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Re-applies the authoritative plan set after a respawn. The
+    /// worker's own plan list survives a batch panic intact (control
+    /// state is never touched mid-batch), so [`Self::apply_deploy`]'s
+    /// `Arc::ptr_eq` fast path makes this a pure verification pass in
+    /// the common case — no spurious retiring instances. It only does
+    /// real work if a `Deploy` raced the panic window.
+    pub(crate) fn resync_plans(&mut self, plans: &[Arc<QueryPlan>]) {
+        for plan in plans {
+            self.apply_deploy(plan.clone());
         }
     }
 
@@ -330,6 +493,7 @@ impl ShardWorker {
             tuples,
             telemetry,
             stage_sampler,
+            session_frame_quota,
             ..
         } = self;
         let runtime = match sessions.entry(batch.session) {
@@ -339,6 +503,36 @@ impl ShardWorker {
                 e.insert(SessionRuntime::new(catalog, plans, *columnar))
             }
         };
+        // Data-path failpoint (disarmed: one relaxed load). Placed after
+        // session creation so an injected panic always exercises the
+        // full quarantine path, session reset included.
+        crate::failpoint::maybe_poison(&batch.frames);
+        // Per-session frame-rate quota: token bucket refilled from the
+        // batches' enqueue timeline (deterministic — no worker clock
+        // reads), burst capped at one second of quota. Admission is
+        // whole-batch: a batch the bucket can't cover is dropped and
+        // counted, partial matches never see half a batch.
+        let quota = *session_frame_quota;
+        if quota > 0 {
+            let rate = f64::from(quota);
+            runtime.quota_tokens = match runtime.quota_stamp {
+                Some(prev) => {
+                    let dt = batch.enqueued.saturating_duration_since(prev).as_secs_f64();
+                    (runtime.quota_tokens + dt * rate).min(rate)
+                }
+                None => rate,
+            };
+            runtime.quota_stamp = Some(batch.enqueued);
+            let need = batch.frames.len() as f64;
+            if runtime.quota_tokens < need {
+                metrics
+                    .quota_frames
+                    .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
+                metrics.quota_batches.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            runtime.quota_tokens -= need;
+        }
 
         detections.clear();
         let mut errors = 0u64;
@@ -346,6 +540,8 @@ impl ShardWorker {
             views,
             instances,
             retiring,
+            last_state_bytes,
+            ..
         } = runtime;
         // 1-in-N stage timing: a sampled batch takes one Instant
         // reading per stage boundary; an unsampled batch (the steady
@@ -431,6 +627,23 @@ impl ShardWorker {
             stages.nfa.record(t0.elapsed().as_nanos() as u64);
         }
 
+        // Run-slab accounting for the memory budget: fold this session's
+        // state-size change into the shard gauge. Capacity-based (see
+        // `PlanInstance::state_bytes`), so the steady state — capacities
+        // settled — is a few loads and a zero delta.
+        let state_now: usize = instances
+            .iter()
+            .chain(retiring.iter())
+            .map(PlanInstance::state_bytes)
+            .sum();
+        if state_now != *last_state_bytes {
+            metrics.state_bytes.fetch_add(
+                state_now as i64 - *last_state_bytes as i64,
+                Ordering::Relaxed,
+            );
+            *last_state_bytes = state_now;
+        }
+
         metrics
             .frames_in
             .fetch_add(batch.frames.len() as u64, Ordering::Relaxed);
@@ -481,39 +694,48 @@ impl ShardWorker {
             .record(batch.enqueued.elapsed().as_micros() as u64);
     }
 
+    /// Deploys or replaces one shared plan across every session.
+    /// Idempotent: re-applying the exact `Arc` already deployed (the
+    /// post-respawn [`Self::resync_plans`] pass) is a no-op — without
+    /// the `ptr_eq` fast path a resync would pointlessly cut every
+    /// session over to an identical instance and strand the old ones in
+    /// the retiring set.
+    fn apply_deploy(&mut self, plan: Arc<QueryPlan>) {
+        match self.plans.iter_mut().find(|p| p.name() == plan.name()) {
+            Some(p) if Arc::ptr_eq(p, &plan) => return,
+            Some(p) => *p = plan.clone(),
+            None => self.plans.push(plan.clone()),
+        }
+        for slot in self.sessions.values_mut() {
+            let instances = &mut slot.instances;
+            match instances.iter_mut().find(|i| i.name() == plan.name()) {
+                Some(i) => {
+                    // Versioned cutover: the new version takes
+                    // the slot (and seeds from the next frame
+                    // on); the old one drains its in-flight
+                    // runs in the retiring set instead of
+                    // dropping them mid-gesture.
+                    let mut old = std::mem::replace(i, plan.instantiate());
+                    if old.active_runs() > 0 {
+                        old.set_draining(true);
+                        self.metrics.retiring.fetch_add(1, Ordering::Relaxed);
+                        slot.retiring.push(old);
+                    }
+                }
+                None => instances.push(plan.instantiate()),
+            }
+            // The plan may reference views registered after the
+            // session started; instantiate them and re-mark the
+            // needed set.
+            slot.views.refresh(&self.catalog);
+            SessionRuntime::sync_needed(&mut slot.views, &self.plans, &slot.retiring);
+        }
+    }
+
     /// Handles one control message; returns `true` to stop the worker.
     fn control(&mut self, c: Control) -> bool {
         match c {
-            Control::Deploy(plan) => {
-                match self.plans.iter_mut().find(|p| p.name() == plan.name()) {
-                    Some(p) => *p = plan.clone(),
-                    None => self.plans.push(plan.clone()),
-                }
-                for slot in self.sessions.values_mut() {
-                    let instances = &mut slot.instances;
-                    match instances.iter_mut().find(|i| i.name() == plan.name()) {
-                        Some(i) => {
-                            // Versioned cutover: the new version takes
-                            // the slot (and seeds from the next frame
-                            // on); the old one drains its in-flight
-                            // runs in the retiring set instead of
-                            // dropping them mid-gesture.
-                            let mut old = std::mem::replace(i, plan.instantiate());
-                            if old.active_runs() > 0 {
-                                old.set_draining(true);
-                                self.metrics.retiring.fetch_add(1, Ordering::Relaxed);
-                                slot.retiring.push(old);
-                            }
-                        }
-                        None => instances.push(plan.instantiate()),
-                    }
-                    // The plan may reference views registered after the
-                    // session started; instantiate them and re-mark the
-                    // needed set.
-                    slot.views.refresh(&self.catalog);
-                    SessionRuntime::sync_needed(&mut slot.views, &self.plans, &slot.retiring);
-                }
-            }
+            Control::Deploy(plan) => self.apply_deploy(plan),
             Control::Undeploy(name) => {
                 self.plans.retain(|p| p.name() != name);
                 for slot in self.sessions.values_mut() {
@@ -544,6 +766,9 @@ impl ShardWorker {
                     self.metrics
                         .retiring
                         .fetch_sub(rt.retiring.len(), Ordering::Relaxed);
+                    self.metrics
+                        .state_bytes
+                        .fetch_sub(rt.last_state_bytes as i64, Ordering::Relaxed);
                 }
                 if let Some(ack) = ack {
                     let _ = ack.send(());

@@ -393,6 +393,31 @@ impl ServerTelemetry {
                      (0 on the steady state)",
                     m.contention.load(Ordering::Relaxed),
                 );
+                c(
+                    set,
+                    "gesto_shard_panics_total",
+                    "Batch-processing panics caught by shard supervision",
+                    m.panics.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_restarts_total",
+                    "Shard worker threads respawned after a supervised panic",
+                    m.restarts.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_sessions_reset_total",
+                    "Sessions whose NFA/view state was reset after their batch \
+                     was quarantined by supervision",
+                    m.sessions_reset.load(Ordering::Relaxed),
+                );
+                c(
+                    set,
+                    "gesto_shard_quarantined_frames_total",
+                    "Frames written off inside quarantined (panic-poisoned) batches",
+                    m.quarantined_frames.load(Ordering::Relaxed),
+                );
                 set.gauge(
                     "gesto_shard_pinned_core",
                     "CPU core the shard worker is pinned to (-1 = unpinned)",
@@ -418,6 +443,19 @@ impl ServerTelemetry {
                     &labels,
                     gate.depth.load(Ordering::Acquire) as f64,
                 );
+                set.gauge(
+                    "gesto_shard_queued_bytes",
+                    "Approximate bytes held by batches queued on the shard",
+                    &labels,
+                    gate.queued_bytes.load(Ordering::Acquire) as f64,
+                );
+                set.gauge(
+                    "gesto_shard_state_bytes",
+                    "Approximate resident NFA run-state bytes across the shard's \
+                     sessions (capacity-based lower bound)",
+                    &labels,
+                    m.state_bytes.load(Ordering::Relaxed).max(0) as f64,
+                );
                 set.histogram(
                     "gesto_shard_push_latency_us",
                     "Batch latency from enqueue to fully processed, in microseconds",
@@ -436,6 +474,43 @@ impl ServerTelemetry {
                     *n,
                 );
             }
+        });
+    }
+
+    /// Registers the overload state machine gauge and the admission
+    /// rejection counters (summed across shards, labelled by the
+    /// admission mechanism that refused the batch). Mirrors
+    /// `ServerHandle::overload_state`: worst shard wins.
+    pub fn register_overload(
+        &self,
+        shards: Vec<(Arc<ShardMetrics>, Arc<QueueGate>)>,
+        policy: crate::metrics::OverloadPolicy,
+    ) {
+        use std::sync::atomic::Ordering;
+
+        self.registry.register_collector(move |set| {
+            let mut worst: f64 = 0.0;
+            let mut quota = 0u64;
+            let mut stale = 0u64;
+            let mut memory = 0u64;
+            for (m, gate) in &shards {
+                worst = worst.max(policy.fill(m, gate));
+                quota += m.quota_batches.load(Ordering::Relaxed);
+                stale += m.stale_batches.load(Ordering::Relaxed);
+                memory += m.mem_rejected_batches.load(Ordering::Relaxed);
+            }
+            set.gauge(
+                "gesto_overload_state",
+                "Overload state machine: 0 = healthy, 1 = shedding, 2 = rejecting \
+                 (worst shard's queue/memory fill vs the configured thresholds)",
+                &[],
+                f64::from(policy.classify(worst).code()),
+            );
+            const REJ_NAME: &str = "gesto_admission_rejected_total";
+            const REJ_HELP: &str = "Batches refused or dropped by admission control, by mechanism";
+            set.counter(REJ_NAME, REJ_HELP, &[("reason", "quota")], quota);
+            set.counter(REJ_NAME, REJ_HELP, &[("reason", "stale")], stale);
+            set.counter(REJ_NAME, REJ_HELP, &[("reason", "memory")], memory);
         });
     }
 }

@@ -172,7 +172,7 @@ fn healthz_errors_and_split_writes() {
 
     let (head, body) = http(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
     assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
-    assert_eq!(body, "ok\n");
+    assert_eq!(body, "healthy\n", "healthz reports the overload state");
 
     let (head, _) = http(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
     assert!(head.starts_with("HTTP/1.1 404 Not Found\r\n"), "{head}");
@@ -186,7 +186,7 @@ fn healthz_errors_and_split_writes() {
     // HEAD gets headers (with the true length) and no body.
     let (head, body) = http(addr, "HEAD /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
     assert!(head.starts_with("HTTP/1.1 200 OK\r\n"), "{head}");
-    assert!(head.contains("Content-Length: 3"), "{head}");
+    assert!(head.contains("Content-Length: 8"), "{head}");
     assert!(body.is_empty());
 
     // A request arriving one byte at a time still parses: the sniffer
@@ -200,7 +200,7 @@ fn healthz_errors_and_split_writes() {
     s.read_to_end(&mut buf).unwrap();
     let text = String::from_utf8(buf).unwrap();
     assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
-    assert!(text.ends_with("ok\n"));
+    assert!(text.ends_with("healthy\n"));
 
     assert_eq!(net.metrics().http_requests(), 5);
     net.shutdown();

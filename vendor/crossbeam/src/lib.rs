@@ -46,6 +46,24 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Error of [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected and the channel is drained.
+        Disconnected,
+    }
+
+    /// Error of [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected and the channel is drained.
+        Disconnected,
+    }
+
     /// Creates a bounded channel with capacity `cap`.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
@@ -83,6 +101,22 @@ pub mod channel {
         /// Blocks until a message arrives (or all senders disconnected).
         pub fn recv(&self) -> Result<T, RecvError> {
             self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocks until a message arrives, but at most `timeout`.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
         }
 
         /// A blocking iterator over received messages.
